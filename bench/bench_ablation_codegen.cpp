@@ -1,0 +1,72 @@
+// Ablation of the vector code generator's optimisations (DESIGN.md calls
+// these out): starting from full bricks codegen, individually disable
+//   * load CSE ("reuse of array common subexpressions"),
+//   * vector scatter (force gather for the cube stencils),
+// and force scatter where the heuristic picks gather, then compare against
+// the naive array baseline.  Shows where each of the paper's Section 3
+// optimisations earns its keep (instruction counts, spills, L1 bytes, time).
+//
+// Flags: --n <extent> (default 256: the MI250X wave-64 bricks need a few
+// interior bricks along i for ghost-layer effects to be representative).
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace bricksim;
+  auto config = harness::sweep_config_from_cli(argc, argv, /*default_n=*/256);
+
+  struct Config {
+    const char* name;
+    codegen::Variant variant;
+    codegen::Options opts;
+  };
+  codegen::Options no_cse;
+  no_cse.enable_cse = false;
+  codegen::Options gather;
+  gather.force_gather = true;
+  codegen::Options scatter;
+  scatter.force_scatter = true;
+  codegen::Options gather_sched;
+  gather_sched.force_gather = true;
+  gather_sched.reorder_for_pressure = true;
+  const Config configs[] = {
+      {"array (naive baseline)", codegen::Variant::Array, {}},
+      {"bricks codegen", codegen::Variant::BricksCodegen, {}},
+      {"bricks codegen, no CSE", codegen::Variant::BricksCodegen, no_cse},
+      {"bricks codegen, force gather", codegen::Variant::BricksCodegen,
+       gather},
+      {"bricks codegen, gather + reorder [44]",
+       codegen::Variant::BricksCodegen, gather_sched},
+      {"bricks codegen, force scatter", codegen::Variant::BricksCodegen,
+       scatter},
+  };
+
+  const model::Launcher launcher(config.domain);
+  const auto platforms = model::metric_platforms();
+
+  std::cout << "Codegen ablation (domain " << config.domain.i << "^3).\n\n";
+  for (const auto& pf : {platforms[0], platforms[2], platforms[4]}) {
+    Table t({"Stencil", "Configuration", "GFLOP/s", "AI (F/B)", "L1 GB",
+             "spills", "mode"});
+    for (const auto& st : {dsl::Stencil::star(2), dsl::Stencil::cube(2)}) {
+      for (const Config& c : configs) {
+        if (config.progress)
+          std::cerr << "[ablation] " << pf.label() << " " << st.name() << " "
+                    << c.name << "\n";
+        const model::LaunchResult r =
+            launcher.run(st, c.variant, pf, c.opts);
+        t.add_row({st.name(), c.name, Table::fmt(r.normalized_gflops(), 1),
+                   Table::fmt(r.normalized_ai(), 3),
+                   Table::fmt(r.report.traffic.l1_total() / 1e9, 2),
+                   std::to_string(r.spill_slots),
+                   r.used_scatter ? "scatter" : "gather"});
+      }
+    }
+    std::cout << pf.label() << ":\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

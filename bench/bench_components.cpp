@@ -1,0 +1,159 @@
+// Component microbenchmarks (google-benchmark): throughput of the building
+// blocks underneath the experiment harness -- cache simulation, code
+// generation, register allocation, brick layout transforms, functional
+// stencil execution, and a full counters-only kernel simulation.
+#include <benchmark/benchmark.h>
+
+#include "brick/brick.h"
+#include "brick/exchange.h"
+#include "codegen/codegen.h"
+#include "codegen/emit_source.h"
+#include "common/grid.h"
+#include "common/rng.h"
+#include "dsl/reference.h"
+#include "ir/regalloc.h"
+#include "memsim/cache.h"
+#include "memsim/hierarchy.h"
+#include "model/launcher.h"
+#include "simt/machine.h"
+
+namespace {
+
+using namespace bricksim;
+
+void BM_CacheAccess(benchmark::State& state) {
+  memsim::SetAssocCache cache({40ull * 1024 * 1024, 128, 32, 16});
+  SplitMix64 rng(1);
+  std::uint64_t line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(line, false));
+    line = rng.next_below(1 << 20);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_HierarchyStream(benchmark::State& state) {
+  const arch::GpuArch gpu = arch::make_a100();
+  memsim::MemoryHierarchy hier(gpu);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hier.access(0, addr, 256, false));
+    addr += 256;
+  }
+  state.SetBytesProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_HierarchyStream);
+
+void BM_Lower(benchmark::State& state) {
+  const auto st = dsl::Stencil::cube(2);
+  for (auto _ : state) {
+    auto lowered = codegen::lower(st, codegen::Variant::BricksCodegen, 32);
+    benchmark::DoNotOptimize(lowered.program.insts().size());
+  }
+}
+BENCHMARK(BM_Lower);
+
+void BM_RegAlloc(benchmark::State& state) {
+  const auto st = dsl::Stencil::cube(2);
+  const auto lowered =
+      codegen::lower(st, codegen::Variant::ArrayCodegen, 32);
+  for (auto _ : state) {
+    auto ra = ir::allocate_registers(lowered.program, 64);
+    benchmark::DoNotOptimize(ra.spill_slots);
+  }
+}
+BENCHMARK(BM_RegAlloc);
+
+void BM_BrickFromHost(benchmark::State& state) {
+  const Vec3 n{64, 64, 64};
+  HostGrid host(n, {4, 4, 4});
+  SplitMix64 rng(7);
+  host.fill_random(rng);
+  brick::BrickDecomp decomp(n, {32, 4, 4});
+  brick::BrickedArray bricks(decomp);
+  for (auto _ : state) {
+    bricks.from_host(host);
+    benchmark::DoNotOptimize(bricks.raw().data());
+  }
+  state.SetBytesProcessed(state.iterations() * n.volume() * kElemBytes);
+}
+BENCHMARK(BM_BrickFromHost);
+
+void BM_ReferenceStencil(benchmark::State& state) {
+  const auto st = dsl::Stencil::star(static_cast<int>(state.range(0)));
+  const Vec3 n{64, 64, 64};
+  HostGrid in(n, {4, 4, 4}), out(n, {0, 0, 0});
+  SplitMix64 rng(7);
+  in.fill_random(rng);
+  for (auto _ : state) {
+    dsl::apply_reference(st, in, out);
+    benchmark::DoNotOptimize(out.raw().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n.volume());
+}
+BENCHMARK(BM_ReferenceStencil)->Arg(1)->Arg(4);
+
+void BM_PeriodicGhostFill(benchmark::State& state) {
+  const Vec3 n{64, 32, 32};
+  brick::BrickDecomp decomp(n, {32, 4, 4});
+  brick::BrickedArray a(decomp);
+  HostGrid host(n, {0, 0, 0});
+  SplitMix64 rng(9);
+  host.fill_random(rng);
+  a.from_host(host);
+  for (auto _ : state) {
+    brick::fill_periodic_ghost(a);
+    benchmark::DoNotOptimize(a.raw().data());
+  }
+}
+BENCHMARK(BM_PeriodicGhostFill);
+
+void BM_HaloExchange(benchmark::State& state) {
+  const Vec3 n{64, 32, 32};
+  brick::BrickDecomp decomp(n, {32, 4, 4});
+  brick::BrickedArray lo(decomp), hi(decomp);
+  for (auto _ : state) {
+    brick::exchange_ghost(lo, hi, 0);
+    benchmark::DoNotOptimize(lo.raw().data());
+  }
+}
+BENCHMARK(BM_HaloExchange);
+
+void BM_EmitSource(benchmark::State& state) {
+  const auto st = dsl::Stencil::cube(2);
+  const auto k = codegen::lower(st, codegen::Variant::BricksCodegen, 32);
+  for (auto _ : state) {
+    const auto src =
+        codegen::emit_kernel_source(k, st, codegen::Dialect::Sycl);
+    benchmark::DoNotOptimize(src.size());
+  }
+}
+BENCHMARK(BM_EmitSource);
+
+void BM_LowerFolded(benchmark::State& state) {
+  const auto st = dsl::Stencil::star(4);
+  codegen::Options opts;
+  opts.tile_i_vectors = 2;
+  for (auto _ : state) {
+    auto k = codegen::lower(st, codegen::Variant::BricksCodegen, 32, opts);
+    benchmark::DoNotOptimize(k.program.insts().size());
+  }
+}
+BENCHMARK(BM_LowerFolded);
+
+void BM_CountersOnlyKernel(benchmark::State& state) {
+  const auto platforms = model::paper_platforms();
+  const model::Platform& pf = platforms[0];  // A100/CUDA
+  const auto st = dsl::Stencil::star(2);
+  const model::Launcher launcher({64, 64, 64});
+  for (auto _ : state) {
+    auto res =
+        launcher.run(st, codegen::Variant::BricksCodegen, pf);
+    benchmark::DoNotOptimize(res.report.seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 64);
+}
+BENCHMARK(BM_CountersOnlyKernel);
+
+}  // namespace

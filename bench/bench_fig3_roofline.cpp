@@ -1,0 +1,17 @@
+// Regenerates paper Figure 3 (long form): the Roofline position (AI,
+// GFLOP/s, fraction of the empirical Roofline) of every stencil x variant
+// on every (architecture, programming model) platform.
+//
+// Flags: --n <extent> (default 256; paper uses 512), --progress.
+#include <iostream>
+
+#include "harness/harness.h"
+
+int main(int argc, char** argv) {
+  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
+  std::cout << "Figure 3: Roofline for stencil computations per platform "
+               "(domain " << config.domain.i << "^3).\n\n";
+  const auto sweep = bricksim::harness::run_sweep(config);
+  bricksim::harness::print_table(std::cout, bricksim::harness::make_fig3(sweep), config.csv);
+  return 0;
+}

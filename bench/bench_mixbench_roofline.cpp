@@ -1,0 +1,31 @@
+// Regenerates the paper's methodology step of deriving empirical Rooflines
+// with the mixbench microbenchmark (Section 4.4): a sweep of synthetic
+// kernels with controlled FLOP:byte ratio per (architecture, model), whose
+// plateaus become the bandwidth and FP64 ceilings used in Figure 3 and
+// Table 3.
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/harness.h"
+
+int main() {
+  using bricksim::Table;
+  std::cout << "Mixbench-derived empirical Rooflines per platform.\n\n";
+  for (const auto& pf : bricksim::model::paper_platforms()) {
+    const auto emp = bricksim::roofline::mixbench(pf, {128, 128, 128});
+    const auto theo = bricksim::roofline::theoretical_roofline(pf.gpu);
+    std::cout << pf.label() << ": empirical "
+              << Table::fmt(emp.roofline.peak_bw / 1e9, 0) << " GB/s, "
+              << Table::fmt(emp.roofline.peak_flops / 1e12, 2)
+              << " TFLOP/s (theoretical "
+              << Table::fmt(theo.peak_bw / 1e9, 0) << " GB/s, "
+              << Table::fmt(theo.peak_flops / 1e12, 2) << " TFLOP/s)\n";
+    Table t({"nominal AI", "measured AI", "GFLOP/s", "GB/s"});
+    for (const auto& p : emp.points)
+      t.add_row({Table::fmt(p.nominal_ai, 2), Table::fmt(p.measured_ai, 2),
+                 Table::fmt(p.gflops, 1), Table::fmt(p.gbytes_per_sec, 0)});
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// PVC sub-group width study (paper Section 4.4): "for Intel PVC, where
+// there is a choice between 16 or 32, we use 16 because it achieves better
+// performance than 32."  This bench runs bricks codegen on the PVC stack at
+// both sub-group widths (brick = 4 x 4 x W follows the width) and compares.
+//
+// Flags: --n <extent> (default 192).
+#include <iostream>
+
+#include "common/table.h"
+#include "harness/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace bricksim;
+  auto config = harness::sweep_config_from_cli(argc, argv, /*default_n=*/192);
+
+  arch::GpuArch pvc16 = arch::make_pvc_stack();
+  arch::GpuArch pvc32 = arch::make_pvc_stack();
+  pvc32.simd_width = 32;
+  pvc32.name = "PVC-Stack-SG32";
+  const model::Platform p16{pvc16, model::model_for(model::PmKind::SYCL,
+                                                    pvc16)};
+  const model::Platform p32{pvc32, model::model_for(model::PmKind::SYCL,
+                                                    pvc32)};
+
+  const model::Launcher launcher(config.domain);
+  std::cout << "PVC sub-group width: 16 vs 32, bricks codegen (domain "
+            << config.domain.i << "^3).\n\n";
+  Table t({"Stencil", "SG16 GFLOP/s", "SG32 GFLOP/s", "SG16/SG32",
+           "SG16 AI", "SG32 AI"});
+  double better16 = 0, total = 0;
+  for (const auto& st : dsl::Stencil::paper_catalog()) {
+    const auto a =
+        launcher.run(st, codegen::Variant::BricksCodegen, p16);
+    const auto b =
+        launcher.run(st, codegen::Variant::BricksCodegen, p32);
+    const double g16 = a.normalized_gflops();
+    const double g32 = b.normalized_gflops();
+    if (g16 > g32) ++better16;
+    ++total;
+    t.add_row({st.name(), Table::fmt(g16, 1), Table::fmt(g32, 1),
+               Table::fmt(g16 / g32, 2) + "x", Table::fmt(a.normalized_ai(), 3),
+               Table::fmt(b.normalized_ai(), 3)});
+  }
+  harness::print_table(std::cout, t, config.csv);
+  std::cout << "\nSG16 wins " << better16 << "/" << total
+            << " stencils (the paper chose 16).\n";
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Regenerates paper Table 1 in BrickSim terms: the (architecture,
+// programming model) combinations of the study and the lowering profile
+// standing in for each toolchain (see DESIGN.md's substitution table).
+#include <iostream>
+
+#include "harness/harness.h"
+
+int main() {
+  std::cout << "Table 1: platforms and programming-model lowering profiles "
+               "(simulator substitution for compilers/modules).\n\n";
+  bricksim::harness::make_table1().print(std::cout);
+  return 0;
+}

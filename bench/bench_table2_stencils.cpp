@@ -1,0 +1,12 @@
+// Regenerates paper Table 2: the stencils of the performance-portability
+// evaluation (shape, radius, points, unique coefficients).
+#include <iostream>
+
+#include "harness/harness.h"
+
+int main() {
+  std::cout << "Table 2: Stencils used for performance portability "
+               "evaluation.\n\n";
+  bricksim::harness::make_table2().print(std::cout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates paper Table 4: theoretical arithmetic intensity (FLOP:Byte)
+// for all stencil shapes and sizes, assuming compulsory-only data movement
+// (one 8-byte read + one 8-byte write per point).
+#include <iostream>
+
+#include "harness/harness.h"
+
+int main() {
+  std::cout << "Table 4: Theoretical arithmetic intensity (FLOP:Byte).\n\n";
+  bricksim::harness::make_table4().print(std::cout);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Regenerates paper Table 5: the Pennycook performance-portability metric P
+// for bricks codegen, with efficiency = fraction of THEORETICAL arithmetic
+// intensity (proximity of measured data movement to the compulsory-miss
+// bound of an infinite cache).  The paper reports ~70% average.
+#include <iostream>
+
+#include "harness/harness.h"
+
+int main(int argc, char** argv) {
+  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
+  config.variants = {bricksim::codegen::Variant::BricksCodegen};
+  config.platforms = bricksim::model::metric_platforms();
+  const auto sweep = bricksim::harness::run_sweep(config);
+  std::cout << "Table 5: performance portability P from fraction of "
+               "theoretical AI, bricks codegen (domain " << config.domain.i
+            << "^3).\n\n";
+  bricksim::harness::print_table(std::cout, bricksim::harness::make_table5(sweep), config.csv);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// portability_report: the study-in-miniature.  Sweeps all six stencils with
+// bricks codegen over every (architecture, programming model) platform,
+// prints each platform's Roofline position, and computes both Pennycook
+// performance-portability metrics -- the numbers a user of the library would
+// quote when asked "is my stencil performance-portable?".
+//
+// Flags: --n <extent> (default 128 so the example runs in seconds).
+#include <iostream>
+
+#include "harness/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace bricksim;
+
+  auto config = harness::sweep_config_from_cli(argc, argv, /*default_n=*/128);
+  config.platforms = model::metric_platforms();
+  config.variants = {codegen::Variant::BricksCodegen};
+
+  std::cout << "BrickSim performance-portability report, bricks codegen, "
+            << config.domain.i << "^3\n\n";
+  const auto sweep = harness::run_sweep(config);
+
+  std::cout << "Empirical rooflines (mixbench):\n";
+  for (const auto& [label, emp] : sweep.rooflines)
+    std::cout << "  " << label << ": "
+              << Table::fmt(emp.roofline.peak_bw / 1e9, 0) << " GB/s, "
+              << Table::fmt(emp.roofline.peak_flops / 1e12, 1)
+              << " TFLOP/s, ridge " << Table::fmt(emp.roofline.ridge(), 1)
+              << "\n";
+
+  std::cout << "\nPer-stencil Roofline positions:\n\n";
+  harness::make_fig7(sweep).print(std::cout);
+
+  std::cout << "\nPerformance portability, fraction of Roofline "
+               "(paper Table 3):\n\n";
+  harness::make_table3(sweep).print(std::cout);
+
+  std::cout << "\nPerformance portability, fraction of theoretical AI "
+               "(paper Table 5):\n\n";
+  harness::make_table5(sweep).print(std::cout);
+
+  // Consistency companions to P (the paper's refs [12, 28]): is performance
+  // uniformly good, or great-with-one-outlier?
+  std::cout << "\nConsistency of the fraction-of-Roofline efficiencies:\n\n";
+  Table c({"Stencil", "P", "min", "max", "min/max", "CV"});
+  for (const auto& st : config.stencils) {
+    std::vector<double> effs;
+    for (const auto& pf : config.platforms) {
+      const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
+      if (m)
+        effs.push_back(metrics::fraction_of_roofline(
+            sweep.rooflines.at(pf.label()).roofline, *m));
+    }
+    const auto s = metrics::summarize_efficiencies(effs);
+    c.add_row({st.name(), Table::pct(s.p), Table::pct(s.min),
+               Table::pct(s.max), Table::fmt(s.min_max, 2),
+               Table::fmt(s.cv, 2)});
+  }
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,135 @@
+// GPU architecture descriptors.
+//
+// BrickSim replaces the paper's physical testbeds (Perlmutter / Crusher /
+// Florentia, Section 4.1) with simulated devices.  A GpuArch captures every
+// hardware parameter the simulator consumes: core counts, SIMT width, cache
+// geometry, HBM bandwidth, FP64 peak, per-core issue capacities, and the
+// calibrated streaming-efficiency model (see DESIGN.md Section 5).
+//
+// The headline numbers (cores, widths, capacities, bandwidths, peaks) are
+// taken directly from the paper's Section 4.1; issue capacities are derived
+// so that the advertised peaks are exactly achievable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bricksim::arch {
+
+/// Geometry of one cache level.
+struct CacheParams {
+  std::uint64_t capacity_bytes = 0;
+  int line_bytes = 0;       ///< allocation/tag granularity
+  int sector_bytes = 0;     ///< transaction granularity (Nsight counts 32B sectors)
+  int associativity = 0;    ///< ways per set
+};
+
+/// A simulated GPU (one A100, one MI250X GCD, or one PVC stack -- the
+/// "one process per GCD / per stack" granularity the paper benchmarks).
+struct GpuArch {
+  std::string name;     ///< e.g. "A100"
+  std::string vendor;   ///< "NVIDIA" / "AMD" / "Intel"
+
+  int num_cores = 0;    ///< SMs / CUs / Xe-cores
+  int simd_width = 0;   ///< warp / wavefront / chosen sub-group width
+  double clock_ghz = 0; ///< nominal core clock used to convert cycles to time
+
+  // Per-core, per-cycle issue capacities.  A "lane" is one element of a
+  // warp-wide operation; a warp-wide FP64 FMA on A100 consumes 32 fp64
+  // lanes and produces 64 FLOPs.
+  double fp64_lanes_per_cycle = 0;
+  double int_lanes_per_cycle = 0;
+  double shuffle_lanes_per_cycle = 0;
+  double l1_bytes_per_cycle = 0;     ///< L1 <-> register file throughput
+  double mem_issue_per_cycle = 0;    ///< warp-wide memory instructions issued
+
+  CacheParams l1;  ///< per core
+  CacheParams l2;  ///< shared across the device
+
+  double hbm_gbytes_per_sec = 0;  ///< peak HBM bandwidth (GB/s, 1e9)
+  double l2_gbytes_per_sec = 0;   ///< aggregate L2 bandwidth (GB/s)
+  double mem_latency_cycles = 0;  ///< average HBM round-trip latency
+
+  int max_resident_blocks_per_core = 0;
+  int regs_per_lane = 0;  ///< FP64-sized registers available per lane
+
+  // --- Calibrated streaming-efficiency model -------------------------------
+  // Achieved HBM bandwidth of a kernel reading `streams` distinct address
+  // streams:
+  //   peak * stream_base_eff                    (streams == 1: mixbench-like)
+  //   peak * stream_base_eff * stencil_bw_eff
+  //        / (1 + stream_penalty * max(0, streams - free_streams))   (else)
+  // Calibration rationale lives in arch.cpp.
+  double stream_base_eff = 1.0;   ///< streaming kernels vs datasheet peak
+  double stencil_bw_eff = 1.0;    ///< multi-stream (stencil) derating
+  double stream_penalty = 0.0;    ///< per-extra-stream decay
+  int free_streams = 0;
+
+  // --- Page-locality (TLB / DRAM row activation) model ----------------------
+  // Each 4 KiB page a thread block touches with DRAM-reaching traffic costs
+  // `page_open_bytes` of extra HBM read traffic (row activation overfetch
+  // plus page-table walks).  Blocked layouts touch O(1) pages per block;
+  // a conventional tiled array touches one page per row it reads -- this is
+  // the "inefficient use of prefetch engines and TLBs" of the paper's
+  // Section 3, made explicit and measurable.
+  double page_open_bytes = 0;
+
+  /// Peak FP64 throughput in FLOP/s (an FMA counts as two FLOPs).
+  double peak_fp64_flops() const {
+    return num_cores * fp64_lanes_per_cycle * 2.0 * clock_ghz * 1e9;
+  }
+  /// Peak HBM bandwidth in bytes/s.
+  double peak_hbm_bytes_per_sec() const { return hbm_gbytes_per_sec * 1e9; }
+
+  /// Achieved bandwidth (bytes/s) for a kernel reading `streams` distinct
+  /// address streams, before any programming-model derating.
+  double achieved_bw(int streams) const;
+
+  /// Maximum thread blocks simultaneously resident on the whole device.
+  int max_resident_blocks() const {
+    return num_cores * max_resident_blocks_per_core;
+  }
+};
+
+/// NVIDIA A100 (Perlmutter node GPU): 108 SMs, warp 32, 192KB L1/SM,
+/// 40MB L2, 40GB HBM2e @ 1555 GB/s, 9.7 TFLOP/s FP64.
+GpuArch make_a100();
+
+/// One GCD of an AMD MI250X (Crusher): 110 CUs, wave 64, 16KB L1/CU,
+/// 8MB L2, 64GB HBM2e @ 1600 GB/s, ~24 TFLOP/s FP64 (vector).
+GpuArch make_mi250x_gcd();
+
+/// One stack of an Intel Data Center GPU Max "Ponte Vecchio" (Florentia):
+/// 64 Xe-cores, sub-group 16 (the paper's preferred width), 512KB L1/Xe-core,
+/// 208MB L2, 64GB HBM2e @ 1640 GB/s, ~16 TFLOP/s FP64.
+GpuArch make_pvc_stack();
+
+// --- CPU extension ----------------------------------------------------------
+// BrickLib also targets CPUs ("architecture-specific implementations for
+// CPUs include SIMD instructions in AVX2, AVX512, and SVE" -- paper
+// Section 3, scoped out of its evaluation; demonstrated in its reference
+// [65] on Intel KNL and Skylake).  The machine model carries over directly:
+// a "core" is a CPU core, a warp is one AVX-512 register (8 doubles),
+// VAlign lowers to valignq, the per-core cache is the private L1, and the
+// shared level models the LLC.
+
+/// Intel Xeon Skylake-SP (one socket): 24 cores, AVX-512 (2 FMA units),
+/// 32KB L1, 33MB shared LLC, 6-channel DDR4 @ ~120 GB/s, ~1.6 TFLOP/s FP64.
+GpuArch make_skylake();
+
+/// Intel Xeon Phi Knights Landing: 68 cores, AVX-512 (2 VPUs), 32KB L1,
+/// MCDRAM in cache/flat mode modelled as a 16GB shared level @ ~380 GB/s
+/// effective, ~3 TFLOP/s FP64.
+GpuArch make_knl();
+
+/// All three GPU architectures in the study, in paper order.
+std::vector<GpuArch> all_architectures();
+
+/// The CPU extension architectures (reference [65] of the paper).
+std::vector<GpuArch> cpu_architectures();
+
+/// Looks up an architecture by (case-sensitive) name; throws on miss.
+GpuArch arch_by_name(const std::string& name);
+
+}  // namespace bricksim::arch

@@ -1,0 +1,112 @@
+#include "brick/brick.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace bricksim::brick {
+
+BrickDecomp::BrickDecomp(Vec3 interior, BrickDims dims, bool shuffled_order,
+                         std::uint64_t seed)
+    : interior_(interior), dims_(dims) {
+  BRICKSIM_REQUIRE(dims.bi > 0 && dims.bj > 0 && dims.bk > 0,
+                   "brick dimensions must be positive");
+  BRICKSIM_REQUIRE(interior.i % dims.bi == 0 && interior.j % dims.bj == 0 &&
+                       interior.k % dims.bk == 0,
+                   "interior extents must be divisible by brick dimensions");
+  grid_ = {interior.i / dims.bi + 2, interior.j / dims.bj + 2,
+           interior.k / dims.bk + 2};
+  const long nb = grid_.volume();
+  BRICKSIM_REQUIRE(nb <= (1ll << 31), "too many bricks for 32-bit ids");
+
+  order_.resize(static_cast<std::size_t>(nb));
+  std::iota(order_.begin(), order_.end(), 0u);
+  if (shuffled_order) {
+    SplitMix64 rng(seed);
+    for (std::size_t n = order_.size() - 1; n > 0; --n)
+      std::swap(order_[n], order_[rng.next_below(n + 1)]);
+  }
+
+  // Adjacency in storage-id space.
+  adjacency_.resize(static_cast<std::size_t>(nb) * 27);
+  for (int gk = 0; gk < grid_.k; ++gk)
+    for (int gj = 0; gj < grid_.j; ++gj)
+      for (int gi = 0; gi < grid_.i; ++gi) {
+        const std::uint32_t id = brick_at({gi, gj, gk});
+        for (int dk = -1; dk <= 1; ++dk)
+          for (int dj = -1; dj <= 1; ++dj)
+            for (int di = -1; di <= 1; ++di) {
+              const Vec3 ng{gi + di, gj + dj, gk + dk};
+              const bool inside = ng.i >= 0 && ng.i < grid_.i && ng.j >= 0 &&
+                                  ng.j < grid_.j && ng.k >= 0 && ng.k < grid_.k;
+              adjacency_[static_cast<std::size_t>(id) * 27 +
+                         neighbor_code(di, dj, dk)] =
+                  inside ? brick_at(ng) : id;
+            }
+      }
+
+  // Interior block -> brick map (ghost layer shifts coordinates by one).
+  const Vec3 bl = blocks();
+  block_to_brick_.resize(static_cast<std::size_t>(bl.volume()));
+  for (int bk = 0; bk < bl.k; ++bk)
+    for (int bj = 0; bj < bl.j; ++bj)
+      for (int bi = 0; bi < bl.i; ++bi)
+        block_to_brick_[static_cast<std::size_t>(
+            linear_index({bi, bj, bk}, bl))] =
+            brick_at({bi + 1, bj + 1, bk + 1});
+}
+
+std::uint32_t BrickDecomp::brick_at(Vec3 g) const {
+  BRICKSIM_ASSERT(g.i >= 0 && g.i < grid_.i && g.j >= 0 && g.j < grid_.j &&
+                      g.k >= 0 && g.k < grid_.k,
+                  "brick grid coordinates out of range");
+  return order_[static_cast<std::size_t>(linear_index(g, grid_))];
+}
+
+BrickedArray::BrickedArray(const BrickDecomp& decomp)
+    : decomp_(&decomp),
+      data_(static_cast<std::size_t>(decomp.num_bricks()) *
+                decomp.dims().elems(),
+            0.0) {}
+
+std::size_t BrickedArray::index(int i, int j, int k) const {
+  const BrickDims d = decomp_->dims();
+  // Shift by one brick so the ghost layer is addressable with negatives.
+  const int si = i + d.bi;
+  const int sj = j + d.bj;
+  const int sk = k + d.bk;
+  BRICKSIM_ASSERT(si >= 0 && sj >= 0 && sk >= 0,
+                  "coordinates beyond the ghost-brick layer");
+  const Vec3 g{si / d.bi, sj / d.bj, sk / d.bk};
+  const std::uint32_t id = decomp_->brick_at(g);
+  const int li = si % d.bi;
+  const int lj = sj % d.bj;
+  const int lk = sk % d.bk;
+  return static_cast<std::size_t>(id) * d.elems() +
+         (static_cast<std::size_t>(lk) * d.bj + lj) * d.bi + li;
+}
+
+void BrickedArray::from_host(const HostGrid& host) {
+  const Vec3 n = decomp_->interior();
+  BRICKSIM_REQUIRE(host.interior() == n, "interior extents must match");
+  const BrickDims d = decomp_->dims();
+  const Vec3 g{std::min(host.ghost().i, d.bi), std::min(host.ghost().j, d.bj),
+               std::min(host.ghost().k, d.bk)};
+  for (int k = -g.k; k < n.k + g.k; ++k)
+    for (int j = -g.j; j < n.j + g.j; ++j)
+      for (int i = -g.i; i < n.i + g.i; ++i)
+        at(i, j, k) = host.at(i, j, k);
+}
+
+void BrickedArray::to_host(HostGrid& host) const {
+  const Vec3 n = decomp_->interior();
+  BRICKSIM_REQUIRE(host.interior() == n, "interior extents must match");
+  for (int k = 0; k < n.k; ++k)
+    for (int j = 0; j < n.j; ++j)
+      for (int i = 0; i < n.i; ++i)
+        host.at(i, j, k) = at(i, j, k);
+}
+
+}  // namespace bricksim::brick

@@ -1,0 +1,109 @@
+// The brick data layout: fine-grained data blocking with adjacency lists.
+//
+// A brick is a small 3D block (4 x 4 x SIMD_width in the paper) stored
+// contiguously in memory.  Bricks carry no per-brick ghost cells; instead a
+// 26-neighbour adjacency table lets stencil kernels reach into neighbouring
+// bricks.  Because neighbours are resolved through the table, bricks can be
+// laid out in memory in ANY order -- BrickSim exposes a deterministic
+// shuffled ordering to exercise exactly that flexibility.
+//
+// The decomposition covers the interior domain plus ONE layer of ghost
+// bricks on every side (stencil radius <= brick dimension is required, which
+// holds for every paper stencil: radius <= 4 = BDIM_j = BDIM_k <= SIMD_width).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/grid.h"
+#include "common/types.h"
+
+namespace bricksim::brick {
+
+/// Brick extents; `bi` is the SIMD/vector dimension.
+struct BrickDims {
+  int bi = 0;
+  int bj = 0;
+  int bk = 0;
+  int elems() const { return bi * bj * bk; }
+  Vec3 as_vec() const { return {bi, bj, bk}; }
+};
+
+/// Neighbour code for a displacement in {-1,0,1}^3 (13 == self).
+inline int neighbor_code(int di, int dj, int dk) {
+  return (dk + 1) * 9 + (dj + 1) * 3 + (di + 1);
+}
+
+class BrickDecomp {
+ public:
+  /// Decomposes an `interior` domain (extents divisible by the brick
+  /// dimensions) into bricks plus one ghost-brick layer.  With
+  /// `shuffled_order`, brick storage indices are a deterministic
+  /// permutation of the natural lexicographic order (seeded by `seed`).
+  BrickDecomp(Vec3 interior, BrickDims dims, bool shuffled_order = false,
+              std::uint64_t seed = 0x5eed);
+
+  Vec3 interior() const { return interior_; }
+  BrickDims dims() const { return dims_; }
+  /// Brick-grid extents including the ghost layer.
+  Vec3 grid_extents() const { return grid_; }
+  /// Interior thread-block grid (= interior brick grid).
+  Vec3 blocks() const {
+    return {grid_.i - 2, grid_.j - 2, grid_.k - 2};
+  }
+  long num_bricks() const { return grid_.volume(); }
+
+  /// Storage index of the brick at brick-grid coordinates (incl. ghost
+  /// layer, so (0,0,0) is the low-corner ghost brick).
+  std::uint32_t brick_at(Vec3 g) const;
+
+  /// Adjacency table: entry [id * 27 + neighbor_code] is the storage index
+  /// of the neighbouring brick (self for out-of-grid directions, which
+  /// kernels never follow).
+  std::span<const std::uint32_t> adjacency() const { return adjacency_; }
+
+  /// Map from interior block linear index (lexicographic over blocks())
+  /// to brick storage index -- the `grid[tk][tj][ti]` array of the paper's
+  /// kernels (Figure 2).
+  std::span<const std::uint32_t> block_to_brick() const {
+    return block_to_brick_;
+  }
+
+ private:
+  Vec3 interior_;
+  BrickDims dims_;
+  Vec3 grid_{};
+  std::vector<std::uint32_t> order_;          ///< grid linear -> storage id
+  std::vector<std::uint32_t> adjacency_;
+  std::vector<std::uint32_t> block_to_brick_;
+};
+
+/// Element storage for one decomposition, plus layout conversions.
+class BrickedArray {
+ public:
+  explicit BrickedArray(const BrickDecomp& decomp);
+
+  const BrickDecomp& decomp() const { return *decomp_; }
+
+  std::span<bElem> raw() { return data_; }
+  std::span<const bElem> raw() const { return data_; }
+
+  /// Element access by interior coordinates; coordinates may extend one
+  /// brick into the ghost layer on every side.
+  bElem& at(int i, int j, int k) { return data_[index(i, j, k)]; }
+  bElem at(int i, int j, int k) const { return data_[index(i, j, k)]; }
+
+  /// Copies the host grid's interior plus as much ghost as both sides have.
+  void from_host(const HostGrid& host);
+  /// Copies the interior back to the host grid.
+  void to_host(HostGrid& host) const;
+
+ private:
+  std::size_t index(int i, int j, int k) const;
+
+  const BrickDecomp* decomp_;
+  std::vector<bElem> data_;
+};
+
+}  // namespace bricksim::brick

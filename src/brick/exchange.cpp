@@ -1,0 +1,72 @@
+#include "brick/exchange.h"
+
+#include "common/error.h"
+
+namespace bricksim::brick {
+
+namespace {
+
+int wrap(int x, int n) { return ((x % n) + n) % n; }
+
+/// True when (i, j, k) lies inside the interior box.
+bool in_interior(const Vec3& n, int i, int j, int k) {
+  return i >= 0 && i < n.i && j >= 0 && j < n.j && k >= 0 && k < n.k;
+}
+
+}  // namespace
+
+void fill_periodic_ghost(BrickedArray& a) {
+  const Vec3 n = a.decomp().interior();
+  const BrickDims d = a.decomp().dims();
+  for (int k = -d.bk; k < n.k + d.bk; ++k)
+    for (int j = -d.bj; j < n.j + d.bj; ++j)
+      for (int i = -d.bi; i < n.i + d.bi; ++i) {
+        if (in_interior(n, i, j, k)) continue;
+        a.at(i, j, k) = a.at(wrap(i, n.i), wrap(j, n.j), wrap(k, n.k));
+      }
+}
+
+void exchange_ghost(BrickedArray& lo, BrickedArray& hi, int axis) {
+  BRICKSIM_REQUIRE(axis >= 0 && axis < 3, "axis must be 0, 1 or 2");
+  const Vec3 n = lo.decomp().interior();
+  BRICKSIM_REQUIRE(hi.decomp().interior() == n,
+                   "subdomains must have equal extents");
+  const BrickDims d = lo.decomp().dims();
+  BRICKSIM_REQUIRE(hi.decomp().dims().elems() == d.elems() &&
+                       hi.decomp().dims().bi == d.bi &&
+                       hi.decomp().dims().bj == d.bj,
+                   "subdomains must share the brick shape");
+
+  const int extent = axis == 0 ? n.i : axis == 1 ? n.j : n.k;
+  const int depth = axis == 0 ? d.bi : axis == 1 ? d.bj : d.bk;
+  BRICKSIM_REQUIRE(extent >= depth, "subdomain thinner than one brick");
+
+  // Iterate the face shell: `a` runs over the exchange axis depth, (b, c)
+  // over the full cross-section of the interior.
+  const int nb = axis == 0 ? n.j : n.i;
+  const int nc = axis == 2 ? n.j : n.k;
+  for (int c = 0; c < nc; ++c)
+    for (int b = 0; b < nb; ++b)
+      for (int a = 0; a < depth; ++a) {
+        auto put = [&](BrickedArray& dst, int da, BrickedArray& src,
+                       int sa) {
+          switch (axis) {
+            case 0:
+              dst.at(da, b, c) = src.at(sa, b, c);
+              break;
+            case 1:
+              dst.at(b, da, c) = src.at(b, sa, c);
+              break;
+            default:
+              dst.at(b, c, da) = src.at(b, c, sa);
+              break;
+          }
+        };
+        // hi's low ghost <- lo's high boundary interior.
+        put(hi, a - depth, lo, extent - depth + a);
+        // lo's high ghost <- hi's low boundary interior.
+        put(lo, extent + a, hi, a);
+      }
+}
+
+}  // namespace bricksim::brick

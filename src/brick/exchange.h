@@ -1,0 +1,29 @@
+// Ghost-brick exchange: the halo-communication patterns BrickLib provides
+// for distributed stencil runs (its MPI layer ships whole bricks, which is
+// why the layout carries no per-brick ghost cells -- a ghost BRICK is the
+// communication unit).  BrickSim proxies the MPI transport with in-process
+// copies; the data placement logic is the real thing.
+//
+//  * fill_periodic_ghost: wrap-around boundary fill within one subdomain
+//    (periodic boundary conditions for a single-process run).
+//  * exchange_ghost: the two-subdomain halo exchange along one axis -- each
+//    side's boundary bricks are copied into the other side's ghost bricks,
+//    exactly what an MPI Isend/Irecv pair of brick payloads achieves.
+#pragma once
+
+#include "brick/brick.h"
+
+namespace bricksim::brick {
+
+/// Fills the entire one-brick-deep ghost shell of `a` with periodic copies
+/// of its interior (ghost coordinate g maps to interior (g + N) mod N).
+void fill_periodic_ghost(BrickedArray& a);
+
+/// Halo exchange between two equal subdomains adjacent along `axis`
+/// (0 = i, 1 = j, 2 = k), with `lo` logically below `hi`:
+/// hi's low ghost bricks receive lo's high interior boundary and vice
+/// versa.  Only the face shell is exchanged (edges/corners belong to the
+/// neighbours in the other axes, as in a standard per-axis MPI exchange).
+void exchange_ghost(BrickedArray& lo, BrickedArray& hi, int axis);
+
+}  // namespace bricksim::brick

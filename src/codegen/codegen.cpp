@@ -1,0 +1,297 @@
+#include "codegen/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace bricksim::codegen {
+
+std::string variant_name(Variant v) {
+  switch (v) {
+    case Variant::Array: return "array";
+    case Variant::ArrayCodegen: return "array codegen";
+    case Variant::BricksCodegen: return "bricks codegen";
+  }
+  return "?";
+}
+
+namespace {
+
+int floor_div(int a, int b) { return (a >= 0) ? a / b : -((-a + b - 1) / b); }
+
+struct Ctx {
+  const dsl::Stencil* st = nullptr;
+  ir::Program prog{0};
+  Options opts;
+  LoweringCosts costs;
+  int W = 0;
+  int f = 1;             ///< vectors per brick row (tile_i = f * W)
+  int tj = kTileJ;       ///< tile extent in j
+  int tk = kTileK;       ///< tile extent in k
+  bool brick = false;    ///< brick layout (else array)
+  bool codegen = false;  ///< vector-codegen variant (else naive)
+
+  std::map<Vec3, int> array_vecs;                        // (i,j,k) offset
+  std::map<std::tuple<int, int, int>, int> brick_aligned;  // (bdi, j, k)
+  std::map<std::tuple<int, int, int>, int> brick_shifted;  // (j, k, s)
+  std::map<Vec3, int> coeff_of;                          // offset -> cidx
+};
+
+/// Loads the input vector whose lane 0 is at array offset d (relative to the
+/// tile origin), with CSE when enabled.
+int load_array_vec(Ctx& c, Vec3 d) {
+  if (c.codegen && c.opts.enable_cse) {
+    auto it = c.array_vecs.find(d);
+    if (it != c.array_vecs.end()) return it->second;
+  }
+  c.prog.int_ops(c.costs.addr_ops_per_load);
+  ir::MemRef m;
+  m.grid = 0;
+  m.space = ir::Space::Array;
+  m.di = d.i;
+  m.dj = d.j;
+  m.dk = d.k;
+  m.vectorized = c.codegen;
+  const int v = c.prog.load(m);
+  if (c.codegen && c.opts.enable_cse) c.array_vecs[d] = v;
+  return v;
+}
+
+/// Loads the aligned brick vector q of logical row (j, k): q indexes the
+/// f vectors of a (possibly folded) brick row; q = -1 and q = f address the
+/// last/first vector of the i-neighbouring brick (adjacency resolves it).
+int brick_aligned_vec(Ctx& c, int q, int j, int k) {
+  const auto key = std::make_tuple(q, j, k);
+  if (c.opts.enable_cse) {
+    auto it = c.brick_aligned.find(key);
+    if (it != c.brick_aligned.end()) return it->second;
+  }
+  const int bdi = floor_div(q, c.f);
+  const int bdj = floor_div(j, c.tj);
+  const int bdk = floor_div(k, c.tk);
+  c.prog.int_ops(c.costs.addr_ops_per_load);
+  ir::MemRef m;
+  m.grid = 0;
+  m.space = ir::Space::Brick;
+  m.nbr_di = bdi;
+  m.nbr_dj = bdj;
+  m.nbr_dk = bdk;
+  m.vi = q - c.f * bdi;
+  m.vj = j - c.tj * bdj;
+  m.vk = k - c.tk * bdk;
+  m.vectorized = true;
+  const int v = c.prog.load(m);
+  if (c.opts.enable_cse) c.brick_aligned[key] = v;
+  return v;
+}
+
+/// The brick vector covering lanes [g, g + W) of logical row (j, k) (g is
+/// a lane offset from the row start; misaligned windows realign with
+/// VAlign/shuffles, crossing into the i-neighbour brick only at row ends).
+int brick_vec(Ctx& c, int j, int k, int g) {
+  const int q = floor_div(g, c.W);
+  const int s = g - q * c.W;
+  if (s == 0) return brick_aligned_vec(c, q, j, k);
+  const auto key = std::make_tuple(j, k, g);
+  if (c.opts.enable_cse) {
+    auto it = c.brick_shifted.find(key);
+    if (it != c.brick_shifted.end()) return it->second;
+  }
+  const int lo = brick_aligned_vec(c, q, j, k);
+  const int hi = brick_aligned_vec(c, q + 1, j, k);
+  const int v = c.prog.align(lo, hi, s);
+  if (c.opts.enable_cse) c.brick_shifted[key] = v;
+  return v;
+}
+
+/// The input vector feeding output vector (vi, vj, vk) for offset o.
+int get_input_vec(Ctx& c, int vi, int vj, int vk, const Vec3& o) {
+  if (c.brick)
+    return brick_vec(c, vj + o.j, vk + o.k, vi * c.W + o.i);
+  return load_array_vec(c, Vec3{vi * c.W + o.i, vj + o.j, vk + o.k});
+}
+
+void emit_store(Ctx& c, int src, int vi, int vj, int vk) {
+  c.prog.int_ops(c.costs.addr_ops_per_store);
+  ir::MemRef m;
+  m.grid = 1;
+  if (c.brick) {
+    m.space = ir::Space::Brick;
+    m.vi = vi;
+    m.vj = vj;
+    m.vk = vk;
+  } else {
+    m.space = ir::Space::Array;
+    m.di = vi * c.W;
+    m.dj = vj;
+    m.dk = vk;
+  }
+  m.vectorized = c.codegen;
+  c.prog.store(src, m);
+}
+
+/// Gather lowering: per output row, group partial sums in the canonical
+/// order (bit-identical to dsl::apply_reference).
+void emit_gather(Ctx& c) {
+  for (int vk = 0; vk < c.tk; ++vk)
+    for (int vj = 0; vj < c.tj; ++vj)
+      for (int vi = 0; vi < c.f; ++vi) {
+        int acc = -1;
+        int gi = 0;
+        for (const auto& group : c.st->groups()) {
+          int partial = -1;
+          for (const Vec3& o : group.offsets) {
+            const int v = get_input_vec(c, vi, vj, vk, o);
+            partial = partial < 0 ? v : c.prog.add(partial, v);
+          }
+          acc = acc < 0 ? c.prog.mul_const(partial, gi)
+                        : c.prog.fma_const(acc, partial, gi);
+          ++gi;
+        }
+        emit_store(c, acc, vi, vj, vk);
+      }
+}
+
+/// Scatter lowering: iterate inputs once, FMA each into every output
+/// accumulator that uses it (associative reordering / statement splitting).
+void emit_scatter(Ctx& c) {
+  auto slot_of = [&](int vi, int vj, int vk) -> std::size_t {
+    return (static_cast<std::size_t>(vk) * c.tj + vj) * c.f + vi;
+  };
+  std::vector<int> acc(static_cast<std::size_t>(c.tk) * c.tj * c.f);
+  for (int vk = 0; vk < c.tk; ++vk)
+    for (int vj = 0; vj < c.tj; ++vj)
+      for (int vi = 0; vi < c.f; ++vi)
+        acc[slot_of(vi, vj, vk)] = c.prog.zero();
+
+  const auto offsets = c.st->offsets();
+  // An input vector at (row j, k; lane offset g) contributes to output
+  // vector (tvi, j - o.j, k - o.k) for every offset o with
+  // g - o.i == tvi * W.
+  auto scatter_into = [&](int vec, int in_j, int in_k, int g) {
+    for (const Vec3& o : offsets) {
+      const int t = g - o.i;
+      if (t % c.W != 0) continue;
+      const int tvi = t / c.W;
+      const int tvj = in_j - o.j;
+      const int tvk = in_k - o.k;
+      if (tvi < 0 || tvi >= c.f || tvj < 0 || tvj >= c.tj || tvk < 0 ||
+          tvk >= c.tk)
+        continue;
+      int& slot = acc[slot_of(tvi, tvj, tvk)];
+      slot = c.prog.fma_const(slot, vec, c.coeff_of.at(o));
+    }
+  };
+
+  if (c.brick) {
+    // Needed logical rows and, per row, the set of lane offsets.
+    std::map<std::pair<int, int>, std::set<int>> rows;  // (k, j) -> g set
+    for (int vk = 0; vk < c.tk; ++vk)
+      for (int vj = 0; vj < c.tj; ++vj)
+        for (int vi = 0; vi < c.f; ++vi)
+          for (const Vec3& o : offsets)
+            rows[{vk + o.k, vj + o.j}].insert(vi * c.W + o.i);
+    for (const auto& [kj, gs] : rows)
+      for (int g : gs) {
+        const int v = brick_vec(c, kj.second, kj.first, g);
+        scatter_into(v, kj.second, kj.first, g);
+      }
+  } else {
+    std::set<Vec3> needed;  // ordered by (k, j, i); .i holds the lane offset
+    for (int vk = 0; vk < c.tk; ++vk)
+      for (int vj = 0; vj < c.tj; ++vj)
+        for (int vi = 0; vi < c.f; ++vi)
+          for (const Vec3& o : offsets)
+            needed.insert(Vec3{vi * c.W + o.i, vj + o.j, vk + o.k});
+    for (const Vec3& d : needed) {
+      const int v = load_array_vec(c, d);
+      scatter_into(v, d.j, d.k, d.i);
+    }
+  }
+
+  for (int vk = 0; vk < c.tk; ++vk)
+    for (int vj = 0; vj < c.tj; ++vj)
+      for (int vi = 0; vi < c.f; ++vi)
+        emit_store(c, acc[slot_of(vi, vj, vk)], vi, vj, vk);
+}
+
+/// Distinct read address streams of the stencil: as the block grid advances,
+/// every distinct (o.j, o.k) plane/row offset is a separate DRAM access
+/// stream (i-offsets share the row's stream).  Brick kernels additionally
+/// stream the two i-neighbour brick columns when the stencil has i-offsets.
+int count_read_streams(const dsl::Stencil& st, Variant variant) {
+  std::set<std::pair<int, int>> rows;
+  bool has_i = false;
+  for (const Vec3& o : st.offsets()) {
+    rows.insert({o.j, o.k});
+    has_i = has_i || o.i != 0;
+  }
+  int streams = static_cast<int>(rows.size());
+  if (variant == Variant::BricksCodegen && has_i) streams += 2;
+  return std::max(1, streams);
+}
+
+}  // namespace
+
+LoweredKernel lower(const dsl::Stencil& stencil, Variant variant, int W,
+                    const Options& opts, const LoweringCosts& costs) {
+  BRICKSIM_REQUIRE(W >= 8 && (W & (W - 1)) == 0,
+                   "vector width must be a power of two >= 8");
+  BRICKSIM_REQUIRE(opts.tile_j >= 1 && opts.tile_k >= 1,
+                   "tile extents must be positive");
+  BRICKSIM_REQUIRE(opts.tile_i_vectors >= 1,
+                   "tile_i_vectors must be positive");
+  BRICKSIM_REQUIRE(stencil.radius() <= opts.tile_j &&
+                       stencil.radius() <= opts.tile_k,
+                   "stencil radius exceeds the brick dimensions");
+  BRICKSIM_REQUIRE(stencil.radius() <= W,
+                   "stencil radius exceeds the vector width");
+  BRICKSIM_REQUIRE(!(opts.force_scatter && opts.force_gather),
+                   "cannot force both scatter and gather");
+
+  Ctx c;
+  c.st = &stencil;
+  c.prog = ir::Program(W);
+  c.opts = opts;
+  c.costs = costs;
+  c.W = W;
+  c.f = opts.tile_i_vectors;
+  c.tj = opts.tile_j;
+  c.tk = opts.tile_k;
+  c.brick = variant == Variant::BricksCodegen;
+  c.codegen = variant != Variant::Array;
+
+  int gi = 0;
+  for (const auto& group : stencil.groups()) {
+    const int cidx = c.prog.add_constant(group.coeff);
+    BRICKSIM_ASSERT(cidx == gi, "constant indices must follow group order");
+    for (const Vec3& o : group.offsets) c.coeff_of[o] = gi;
+    ++gi;
+  }
+
+  const bool scatter =
+      c.codegen && !opts.force_gather &&
+      (opts.force_scatter ||
+       stencil.num_points() >= opts.scatter_threshold_points);
+
+  if (scatter)
+    emit_scatter(c);
+  else
+    emit_gather(c);
+
+  c.prog.verify();
+
+  LoweredKernel out{std::move(c.prog)};
+  out.variant = variant;
+  out.used_scatter = scatter;
+  out.read_streams = count_read_streams(stencil, variant);
+  out.tile_j = opts.tile_j;
+  out.tile_k = opts.tile_k;
+  out.tile_i_vectors = opts.tile_i_vectors;
+  return out;
+}
+
+}  // namespace bricksim::codegen

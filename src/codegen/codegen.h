@@ -1,0 +1,104 @@
+// The BrickSim vector code generator.
+//
+// Lowers a classified stencil (dsl::Stencil) to a vector-IR thread-block
+// program for one of the paper's three kernel variants:
+//
+//  * Variant::Array         -- naive tiled kernel: each output point gathers
+//    all of its inputs independently; no cross-output register reuse.  The
+//    baseline every optimisation is measured against.
+//  * Variant::ArrayCodegen  -- vector code generation over the conventional
+//    array layout: unaligned vector loads, load CSE across the tile
+//    ("array common subexpressions" reused from buffers), and vector
+//    scatter (associative reordering) where profitable.
+//  * Variant::BricksCodegen -- the same generator over the brick layout:
+//    aligned vector loads resolved through the adjacency table, with lane
+//    realignment done by VAlign (lowered to warp shuffles on hardware).
+//
+// The three domain-specific optimisations of Section 3:
+//  1. vector folding: the brick's innermost 4x4xW rows ARE the vectors; the
+//     generator emits whole-row operations, never per-lane code.
+//  2. reuse of array common subexpressions: loaded (and realigned) vectors
+//     are cached and reused across all 16 output rows of the block, shifting
+//     iteration spaces instead of data.
+//  3. vector scatter: for high-order stencils the generator iterates inputs
+//     and scatters each into every output accumulator that uses it, slashing
+//     the live set (and thus spills) relative to gather.
+//
+// Gather-mode programs reproduce the scalar reference's floating-point
+// association exactly; scatter reassociates (tests compare with tolerance).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dsl/stencil.h"
+#include "ir/program.h"
+
+namespace bricksim::codegen {
+
+enum class Variant { Array, ArrayCodegen, BricksCodegen };
+
+std::string variant_name(Variant v);
+
+/// Generator options (defaults reproduce the paper's configuration).
+struct Options {
+  bool enable_cse = true;  ///< reuse loaded/realigned vectors across outputs
+  /// Scatter when the stencil has at least this many points (the
+  /// profitability heuristic: cube stencils scatter, stars gather).
+  int scatter_threshold_points = 27;
+  bool force_scatter = false;  ///< ablation: scatter regardless of size
+  bool force_gather = false;   ///< ablation: never scatter
+  /// Run the pressure-aware list scheduler (ir/schedule.h) on the lowered
+  /// program before register allocation -- the associative-reordering idea
+  /// of the paper's reference [44], as an instruction-order pass.
+  bool reorder_for_pressure = false;
+  /// Tile/brick extents in j and k (the paper uses 4 x 4 x SIMD_width;
+  /// its conclusion names brick-shape tuning as the next optimisation --
+  /// the autotuner in harness/autotune.h sweeps these).
+  int tile_j = 4;
+  int tile_k = 4;
+  /// Vector folding in i: the brick's i extent is tile_i_vectors * W, so a
+  /// brick row folds several hardware vectors (paper Section 3, "vector
+  /// folding as described by Yount": longer logical vectors by collapsing
+  /// brick dimensions).  i-shifts inside a folded row realign between
+  /// vectors of the SAME brick and only cross bricks at the row ends.
+  int tile_i_vectors = 1;
+  /// Store bricks in a deterministic shuffled order instead of the natural
+  /// lexicographic one.  The adjacency indirection makes kernels oblivious
+  /// to storage order ("allowing flexibility in how bricks are organized in
+  /// memory", Section 1) -- this exercises exactly that freedom.
+  bool shuffled_brick_order = false;
+  std::uint64_t brick_order_seed = 0x5eed;
+};
+
+/// Per-access lowering costs injected by the programming model (address
+/// arithmetic the target compiler fails to strength-reduce shows up as
+/// integer instructions in the kernel).
+struct LoweringCosts {
+  int addr_ops_per_load = 0;
+  int addr_ops_per_store = 0;
+};
+
+struct LoweredKernel {
+  ir::Program program;  ///< virtual registers; run regalloc before launch
+  Variant variant = Variant::Array;
+  bool used_scatter = false;
+  /// Distinct read address streams (rows of (dj,dk) for arrays, neighbour
+  /// brick columns for bricks) -- feeds the bandwidth model.
+  int read_streams = 1;
+  int tile_j = 4;  ///< tile/brick extents the program was generated for
+  int tile_k = 4;
+  int tile_i_vectors = 1;
+};
+
+/// Default tile extents in j and k (the paper's 4 x 4 x SIMD_width blocks).
+inline constexpr int kTileJ = 4;
+inline constexpr int kTileK = 4;
+
+/// Lowers `stencil` for `variant` at vector width `W`.
+/// Grid slot 0 is the input, slot 1 the output.  Requires
+/// radius <= min(tile_j, tile_k) (one ghost-brick layer) and radius <= W.
+LoweredKernel lower(const dsl::Stencil& stencil, Variant variant, int W,
+                    const Options& opts = {}, const LoweringCosts& costs = {});
+
+}  // namespace bricksim::codegen

@@ -1,0 +1,58 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace bricksim {
+
+Cli::Cli(int argc, const char* const* argv,
+         std::map<std::string, std::string> known)
+    : known_(std::move(known)) {
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    BRICKSIM_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    std::string name = arg, value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else if (a + 1 < argc && std::string(argv[a + 1]).rfind("--", 0) != 0) {
+      value = argv[++a];
+    }
+    BRICKSIM_REQUIRE(known_.count(name) != 0, "unknown flag: --" + name);
+    values_[name] = value;
+  }
+}
+
+bool Cli::has(const std::string& name) const { return values_.count(name) != 0; }
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Cli::get_long(const std::string& name, long fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Cli::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [--flag value]...\n";
+  for (const auto& [name, doc] : known_) os << "  --" << name << "  " << doc << "\n";
+  return os.str();
+}
+
+}  // namespace bricksim

@@ -1,0 +1,34 @@
+// Minimal command-line flag parsing shared by the bench and example
+// binaries:  --name value  or  --name=value  pairs plus boolean switches.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace bricksim {
+
+/// Parsed flags.  Unknown flags are an error (typos in an experiment sweep
+/// silently changing nothing would be worse than failing loudly).
+class Cli {
+ public:
+  /// `known` maps flag name (without "--") to a help string; parsing rejects
+  /// anything not in the map.
+  Cli(int argc, const char* const* argv,
+      std::map<std::string, std::string> known);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_long(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// True when --help was passed; the caller should print `help()` and exit.
+  bool help_requested() const { return help_; }
+  std::string help(const std::string& program) const;
+
+ private:
+  std::map<std::string, std::string> known_;
+  std::map<std::string, std::string> values_;
+  bool help_ = false;
+};
+
+}  // namespace bricksim

@@ -1,0 +1,48 @@
+// Error handling for BrickSim.
+//
+// The library is exception-based: violated preconditions and invariants throw
+// bricksim::Error with a formatted message.  BRICKSIM_REQUIRE is used for
+// user-facing precondition checks (always on); BRICKSIM_ASSERT for internal
+// invariants (also always on -- the simulator is not in any inner loop hot
+// enough for them to matter, and silent corruption of counters would
+// invalidate every experiment built on top).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bricksim {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace bricksim
+
+#define BRICKSIM_REQUIRE(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::bricksim::detail::raise("precondition", #cond, __FILE__,          \
+                                __LINE__, (msg));                         \
+  } while (0)
+
+#define BRICKSIM_ASSERT(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::bricksim::detail::raise("invariant", #cond, __FILE__, __LINE__,   \
+                                (msg));                                   \
+  } while (0)

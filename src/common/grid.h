@@ -1,0 +1,77 @@
+// HostGrid: a padded 3D double-precision grid on the host.
+//
+// The canonical data container experiments start from: an interior region
+// of `interior` elements surrounded by a ghost margin (so stencils of radius
+// <= ghost can be applied without branches).  Storage is lexicographic with
+// i innermost -- the "conventional array data layout" of the paper; the
+// brick module converts to/from the blocked layout.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace bricksim {
+
+class HostGrid {
+ public:
+  HostGrid(Vec3 interior, Vec3 ghost)
+      : interior_(interior),
+        ghost_(ghost),
+        padded_{interior.i + 2 * ghost.i, interior.j + 2 * ghost.j,
+                interior.k + 2 * ghost.k},
+        data_(static_cast<std::size_t>(padded_.volume()), 0.0) {
+    BRICKSIM_REQUIRE(interior.i > 0 && interior.j > 0 && interior.k > 0,
+                     "interior extents must be positive");
+    BRICKSIM_REQUIRE(ghost.i >= 0 && ghost.j >= 0 && ghost.k >= 0,
+                     "ghost extents must be non-negative");
+  }
+
+  Vec3 interior() const { return interior_; }
+  Vec3 ghost() const { return ghost_; }
+  Vec3 padded() const { return padded_; }
+
+  /// Element at interior coordinates; negative / overflowing coordinates up
+  /// to the ghost width address the ghost margin.
+  bElem& at(int i, int j, int k) {
+    return data_[index(i, j, k)];
+  }
+  bElem at(int i, int j, int k) const { return data_[index(i, j, k)]; }
+
+  std::span<bElem> raw() { return data_; }
+  std::span<const bElem> raw() const { return data_; }
+
+  /// Fills interior AND ghost with reproducible pseudo-random values in
+  /// [-1, 1) -- ghost values participate in boundary stencil applications.
+  void fill_random(SplitMix64& rng) {
+    for (bElem& v : data_) v = rng.next_double(-1.0, 1.0);
+  }
+
+  /// Fills with a smooth deterministic function of the coordinates
+  /// (useful where tests want a recognisable pattern).
+  void fill_linear(double ci = 1.0, double cj = 100.0, double ck = 10000.0) {
+    for (int k = -ghost_.k; k < interior_.k + ghost_.k; ++k)
+      for (int j = -ghost_.j; j < interior_.j + ghost_.j; ++j)
+        for (int i = -ghost_.i; i < interior_.i + ghost_.i; ++i)
+          at(i, j, k) = ci * i + cj * j + ck * k;
+  }
+
+ private:
+  std::size_t index(int i, int j, int k) const {
+    const Vec3 p{i + ghost_.i, j + ghost_.j, k + ghost_.k};
+    BRICKSIM_ASSERT(p.i >= 0 && p.i < padded_.i && p.j >= 0 &&
+                        p.j < padded_.j && p.k >= 0 && p.k < padded_.k,
+                    "grid access outside padded region");
+    return static_cast<std::size_t>(linear_index(p, padded_));
+  }
+
+  Vec3 interior_;
+  Vec3 ghost_;
+  Vec3 padded_;
+  std::vector<bElem> data_;
+};
+
+}  // namespace bricksim

@@ -1,0 +1,69 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bricksim {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    s += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / s;
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t n = 0; n < xs.size(); ++n) {
+    const double dx = xs[n] - mx;
+    const double dy = ys[n] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) {
+    if (x <= 0.0) return 0.0;
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace bricksim

@@ -1,0 +1,30 @@
+// Small statistics helpers used by the metrics and roofline modules.
+#pragma once
+
+#include <span>
+
+namespace bricksim {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(std::span<const double> xs);
+
+/// Harmonic mean; 0 if the input is empty or any element is <= 0
+/// (matching the Pennycook performance-portability convention that an
+/// unsupported platform zeroes the whole metric).
+double harmonic_mean(std::span<const double> xs);
+
+/// Sample minimum / maximum; 0 for an empty input.
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length samples; 0 when
+/// either side has zero variance or the spans are empty/mismatched.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Geometric mean; 0 if empty or any element <= 0.
+double geomean(std::span<const double> xs);
+
+}  // namespace bricksim

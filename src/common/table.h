@@ -1,0 +1,45 @@
+// Aligned ASCII table and CSV emitters.
+//
+// Every bench binary regenerating one of the paper's tables or figures
+// prints a human-readable aligned table to stdout and can optionally dump
+// the same rows as CSV for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bricksim {
+
+/// A simple rectangular table: a header row plus data rows of strings.
+/// Columns are right-aligned except the first (row label), which is
+/// left-aligned, matching typical numeric-table layout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row.  The row must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  /// Formats a value as a percentage string such as "61%".
+  static std::string pct(double fraction, int precision = 0);
+
+  /// Prints as an aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Prints as CSV (no quoting beyond commas->semicolons replacement, as
+  /// all emitted values are simple tokens).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t r) const { return rows_[r]; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bricksim

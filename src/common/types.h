@@ -1,0 +1,55 @@
+// Fundamental value and index types shared across every BrickSim module.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+namespace bricksim {
+
+/// Element type of all grids (the paper evaluates double precision only).
+using bElem = double;
+
+/// Size of one grid element in bytes.
+inline constexpr int kElemBytes = sizeof(bElem);
+
+/// A 3D integer coordinate or extent.  Convention throughout BrickSim:
+/// component 0 is `i` (unit stride / SIMD dimension), 1 is `j`, 2 is `k`.
+struct Vec3 {
+  int i = 0;
+  int j = 0;
+  int k = 0;
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {i + o.i, j + o.j, k + o.k};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {i - o.i, j - o.j, k - o.k};
+  }
+  constexpr Vec3 operator*(int s) const { return {i * s, j * s, k * s}; }
+
+  /// Total number of points in the box [0,i) x [0,j) x [0,k).
+  constexpr long volume() const {
+    return static_cast<long>(i) * j * k;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.i << "," << v.j << "," << v.k << ")";
+}
+
+/// Lexicographic ordering so Vec3 can key ordered containers.
+constexpr bool operator<(const Vec3& a, const Vec3& b) {
+  if (a.k != b.k) return a.k < b.k;
+  if (a.j != b.j) return a.j < b.j;
+  return a.i < b.i;
+}
+
+/// Row-major (k outermost, i innermost) linear index of `p` in extent `n`.
+constexpr long linear_index(const Vec3& p, const Vec3& n) {
+  return (static_cast<long>(p.k) * n.j + p.j) * n.i + p.i;
+}
+
+}  // namespace bricksim

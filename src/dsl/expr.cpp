@@ -1,0 +1,155 @@
+#include "dsl/expr.h"
+
+#include "common/error.h"
+
+namespace bricksim::dsl {
+
+Index::Index(int dim) : dim_(dim) {
+  BRICKSIM_REQUIRE(dim >= 0 && dim < 3, "Index dimension must be 0, 1 or 2");
+}
+
+IndexExpr operator+(const Index& x, int off) { return {x.dim(), off}; }
+IndexExpr operator-(const Index& x, int off) { return {x.dim(), -off}; }
+
+const ExprNode& Expr::node() const {
+  BRICKSIM_REQUIRE(node_ != nullptr, "use of an empty expression");
+  return *node_;
+}
+
+namespace {
+Expr make_binary(ExprKind kind, const Expr& a, const Expr& b) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = kind;
+  n->lhs = a;
+  n->rhs = b;
+  return Expr(std::move(n));
+}
+}  // namespace
+
+Expr operator+(const Expr& a, const Expr& b) {
+  return make_binary(ExprKind::Add, a, b);
+}
+Expr operator-(const Expr& a, const Expr& b) {
+  return make_binary(ExprKind::Sub, a, b);
+}
+Expr operator*(const Expr& a, const Expr& b) {
+  return make_binary(ExprKind::Mul, a, b);
+}
+
+Expr literal(double v) {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::Literal;
+  n->literal = v;
+  return Expr(std::move(n));
+}
+
+ConstRef::ConstRef(std::string name) : name_(std::move(name)) {
+  BRICKSIM_REQUIRE(!name_.empty(), "ConstRef needs a name");
+}
+
+ConstRef::operator Expr() const {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::ConstRef;
+  n->const_name = name_;
+  return Expr(std::move(n));
+}
+
+Expr operator*(const ConstRef& c, const Expr& e) { return Expr(c) * e; }
+Expr operator*(const Expr& e, const ConstRef& c) { return e * Expr(c); }
+
+GridAccess::GridAccess(std::string grid, Vec3 offset)
+    : grid_(std::move(grid)), offset_(offset) {}
+
+GridAccess::operator Expr() const {
+  auto n = std::make_shared<ExprNode>();
+  n->kind = ExprKind::GridAccess;
+  n->grid_name = grid_;
+  n->offset = offset_;
+  return Expr(std::move(n));
+}
+
+Expr operator+(const GridAccess& a, const GridAccess& b) {
+  return Expr(a) + Expr(b);
+}
+Expr operator*(const ConstRef& c, const GridAccess& a) {
+  return Expr(c) * Expr(a);
+}
+Expr operator*(const GridAccess& a, const ConstRef& c) {
+  return Expr(a) * Expr(c);
+}
+
+Grid::Grid(std::string name, int rank) : name_(std::move(name)) {
+  BRICKSIM_REQUIRE(rank == 3, "only 3D grids are supported");
+  BRICKSIM_REQUIRE(!name_.empty(), "Grid needs a name");
+}
+
+GridAccess Grid::operator()(IndexExpr ie, IndexExpr je, IndexExpr ke) const {
+  BRICKSIM_REQUIRE(ie.dim == 0 && je.dim == 1 && ke.dim == 2,
+                   "grid arguments must be (i, j, k) index expressions");
+  return GridAccess(name_, Vec3{ie.offset, je.offset, ke.offset});
+}
+
+namespace {
+
+/// Recursive term collection.  `coeff` carries the (at most one) ConstRef
+/// factor on the current path; `sign` tracks +/- through Sub nodes.
+void collect(const Expr& e, const std::string& coeff, int sign,
+             StencilProgram& out) {
+  const ExprNode& n = e.node();
+  switch (n.kind) {
+    case ExprKind::Add:
+      collect(n.lhs, coeff, sign, out);
+      collect(n.rhs, coeff, sign, out);
+      return;
+    case ExprKind::Sub:
+      collect(n.lhs, coeff, sign, out);
+      collect(n.rhs, coeff, -sign, out);
+      return;
+    case ExprKind::Mul: {
+      const ExprNode& l = n.lhs.node();
+      const ExprNode& r = n.rhs.node();
+      const bool l_const = l.kind == ExprKind::ConstRef;
+      const bool r_const = r.kind == ExprKind::ConstRef;
+      BRICKSIM_REQUIRE(l_const != r_const,
+                       "each product must have exactly one ConstRef factor");
+      BRICKSIM_REQUIRE(coeff.empty(),
+                       "nested coefficient products are not a stencil");
+      const std::string name = l_const ? l.const_name : r.const_name;
+      collect(l_const ? n.rhs : n.lhs, name, sign, out);
+      return;
+    }
+    case ExprKind::GridAccess: {
+      BRICKSIM_REQUIRE(sign > 0,
+                       "negated stencil terms are not supported; fold the "
+                       "sign into the coefficient value");
+      if (out.in_grid.empty()) out.in_grid = n.grid_name;
+      BRICKSIM_REQUIRE(out.in_grid == n.grid_name,
+                       "stencil must read a single input grid");
+      for (const StencilTerm& t : out.terms)
+        BRICKSIM_REQUIRE(!(t.offset == n.offset),
+                         "duplicate stencil offset in expression");
+      out.terms.push_back({n.offset, coeff});
+      return;
+    }
+    case ExprKind::ConstRef:
+      throw Error("a bare coefficient is not a stencil term");
+    case ExprKind::Literal:
+      throw Error("literal terms are not supported in stencil expressions");
+  }
+}
+
+}  // namespace
+
+StencilProgram GridAccess::assign(const Expr& rhs) const {
+  BRICKSIM_REQUIRE(offset_ == (Vec3{0, 0, 0}),
+                   "output must be written at the centre point");
+  StencilProgram out;
+  out.out_grid = grid_;
+  collect(rhs, "", 1, out);
+  BRICKSIM_REQUIRE(!out.terms.empty(), "empty stencil expression");
+  BRICKSIM_REQUIRE(out.out_grid != out.in_grid,
+                   "stencil must be out of place");
+  return out;
+}
+
+}  // namespace bricksim::dsl

@@ -1,0 +1,149 @@
+// The BrickSim stencil DSL.
+//
+// A C++ re-casting of BrickLib's python-like stencil DSL (paper Figure 1):
+//
+//   Index i(0), j(1), k(2);
+//   Grid input("in", 3), output("out", 3);
+//   ConstRef a0("MPI_B0"), a1("MPI_B1");
+//   auto calc = a0 * input(i, j, k) +
+//               a1 * (input(i + 1, j, k) + input(i - 1, j, k)) + ...;
+//   StencilProgram prog = output(i, j, k).assign(calc);
+//
+// Expressions are immutable shared ASTs; `assign` walks the AST and extracts
+// the stencil as a set of (offset -> coefficient) terms, validating that the
+// computation is an affine-offset, constant-coefficient stencil over a
+// single input grid (the class of computations BrickLib generates code for).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bricksim::dsl {
+
+/// A loop index bound to one of the three spatial dimensions
+/// (0 = i, 1 = j, 2 = k).
+class Index {
+ public:
+  explicit Index(int dim);
+  int dim() const { return dim_; }
+
+ private:
+  int dim_;
+};
+
+/// `index + constant` -- the only index arithmetic stencils need.
+/// An Index converts implicitly (offset 0) so grids accept both forms.
+struct IndexExpr {
+  IndexExpr(const Index& x) : dim(x.dim()) {}  // NOLINT(google-explicit-constructor)
+  IndexExpr(int d, int o) : dim(d), offset(o) {}
+  int dim = 0;
+  int offset = 0;
+};
+
+IndexExpr operator+(const Index& x, int off);
+IndexExpr operator-(const Index& x, int off);
+
+// --- Expression AST ---------------------------------------------------------
+
+enum class ExprKind { GridAccess, ConstRef, Literal, Add, Sub, Mul };
+
+struct ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+/// Value-semantics handle to an immutable expression tree.
+class Expr {
+ public:
+  Expr() = default;
+  explicit Expr(ExprPtr node) : node_(std::move(node)) {}
+  const ExprNode& node() const;
+  bool valid() const { return node_ != nullptr; }
+
+ private:
+  ExprPtr node_;
+};
+
+struct ExprNode {
+  ExprKind kind;
+  // GridAccess:
+  std::string grid_name;
+  Vec3 offset{};
+  // ConstRef / Literal:
+  std::string const_name;
+  double literal = 0;
+  // Add / Sub / Mul:
+  Expr lhs, rhs;
+};
+
+Expr operator+(const Expr& a, const Expr& b);
+Expr operator-(const Expr& a, const Expr& b);
+Expr operator*(const Expr& a, const Expr& b);
+Expr literal(double v);
+
+/// A named constant coefficient (ConstRef("MPI_B0") in the paper's DSL).
+class ConstRef {
+ public:
+  explicit ConstRef(std::string name);
+  operator Expr() const;  // NOLINT(google-explicit-constructor)
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+Expr operator*(const ConstRef& c, const Expr& e);
+Expr operator*(const Expr& e, const ConstRef& c);
+
+// --- Grids and stencil extraction -------------------------------------------
+
+/// One stencil term: out(p) += coeff * in(p + offset).
+struct StencilTerm {
+  Vec3 offset{};
+  std::string coeff;  ///< coefficient name; "" means an implicit 1.0
+};
+
+/// The extracted (but not yet shape-classified) stencil computation.
+struct StencilProgram {
+  std::string out_grid;
+  std::string in_grid;
+  std::vector<StencilTerm> terms;  ///< unique offsets, DSL order
+};
+
+/// `grid(i, j+1, k-2)`: usable as an expression (right-hand side) or, at the
+/// centre point, as the assignment target (left-hand side).
+class GridAccess {
+ public:
+  GridAccess(std::string grid, Vec3 offset);
+  operator Expr() const;  // NOLINT(google-explicit-constructor)
+
+  /// Extracts the stencil; throws on non-stencil expressions (non-affine,
+  /// multiple input grids, products of accesses, duplicate offsets) and on
+  /// a non-centre output point.
+  StencilProgram assign(const Expr& rhs) const;
+
+ private:
+  std::string grid_;
+  Vec3 offset_;
+};
+
+Expr operator+(const GridAccess& a, const GridAccess& b);
+Expr operator*(const ConstRef& c, const GridAccess& a);
+Expr operator*(const GridAccess& a, const ConstRef& c);
+
+/// A named 3D grid.
+class Grid {
+ public:
+  Grid(std::string name, int rank);
+  const std::string& name() const { return name_; }
+
+  /// Access at `(i + di, j + dj, k + dk)`.  Arguments must be bound to the
+  /// matching dimension (first argument dim 0, ...), as in the paper's DSL.
+  GridAccess operator()(IndexExpr ie, IndexExpr je, IndexExpr ke) const;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace bricksim::dsl

@@ -1,0 +1,49 @@
+#include "dsl/reference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace bricksim::dsl {
+
+void apply_reference(const Stencil& stencil, const HostGrid& in,
+                     HostGrid& out) {
+  const Vec3 n = in.interior();
+  BRICKSIM_REQUIRE(out.interior() == n, "interior extents must match");
+  const int r = stencil.radius();
+  BRICKSIM_REQUIRE(in.ghost().i >= r && in.ghost().j >= r && in.ghost().k >= r,
+                   "input ghost must cover the stencil radius");
+
+  for (int k = 0; k < n.k; ++k)
+    for (int j = 0; j < n.j; ++j)
+      for (int i = 0; i < n.i; ++i) {
+        double acc = 0.0;
+        for (const Stencil::Group& g : stencil.groups()) {
+          double partial = 0.0;
+          for (const Vec3& o : g.offsets)
+            partial += in.at(i + o.i, j + o.j, k + o.k);
+          acc += partial * g.value;
+        }
+        out.at(i, j, k) = acc;
+      }
+}
+
+double max_rel_error(const HostGrid& a, const HostGrid& b) {
+  BRICKSIM_REQUIRE(a.interior() == b.interior(),
+                   "interior extents must match");
+  const Vec3 n = a.interior();
+  double worst = 0.0;
+  for (int k = 0; k < n.k; ++k)
+    for (int j = 0; j < n.j; ++j)
+      for (int i = 0; i < n.i; ++i) {
+        const double va = a.at(i, j, k);
+        const double vb = b.at(i, j, k);
+        const double denom =
+            std::max({1.0, std::abs(va), std::abs(vb)});
+        worst = std::max(worst, std::abs(va - vb) / denom);
+      }
+  return worst;
+}
+
+}  // namespace bricksim::dsl

@@ -1,0 +1,24 @@
+// Scalar reference evaluation of stencils on HostGrids.
+//
+// The reference applies the canonical grouped evaluation order documented in
+// stencil.h: groups ascending, offsets within a group in lexicographic
+// (k, j, i) order, group partial sums accumulated in group order.  Gather
+// codegen follows the same association, so results can be compared with a
+// tight tolerance; the vector-scatter codegen reassociates and is compared
+// with a small relative tolerance instead.
+#pragma once
+
+#include "common/grid.h"
+#include "dsl/stencil.h"
+
+namespace bricksim::dsl {
+
+/// out(p) = stencil applied to in at every interior point p.
+/// Requires matching interiors and ghosts >= stencil radius on `in`.
+void apply_reference(const Stencil& stencil, const HostGrid& in,
+                     HostGrid& out);
+
+/// Maximum relative error between interiors, |a-b| / max(1, |a|, |b|).
+double max_rel_error(const HostGrid& a, const HostGrid& b);
+
+}  // namespace bricksim::dsl

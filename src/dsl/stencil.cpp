@@ -1,0 +1,183 @@
+#include "dsl/stencil.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+
+namespace bricksim::dsl {
+
+std::string shape_name(Shape s) {
+  switch (s) {
+    case Shape::Star: return "star";
+    case Shape::Cube: return "cube";
+    case Shape::Custom: return "custom";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Deterministic default coefficient values: distinct per group, small
+/// enough that repeated application stays well-conditioned.
+double default_value(int group_index, std::size_t group_size) {
+  return 1.0 / ((group_index + 2) * static_cast<double>(group_size));
+}
+
+void sort_offsets(std::vector<Vec3>& offs) {
+  std::sort(offs.begin(), offs.end());
+}
+
+std::array<int, 3> abs_sorted(const Vec3& o) {
+  std::array<int, 3> t{std::abs(o.i), std::abs(o.j), std::abs(o.k)};
+  std::sort(t.begin(), t.end());
+  return t;
+}
+
+}  // namespace
+
+Stencil Stencil::star(int radius) {
+  BRICKSIM_REQUIRE(radius >= 1 && radius <= 8, "star radius out of range");
+  Stencil s;
+  s.shape_ = Shape::Star;
+  s.radius_ = radius;
+  for (int d = 0; d <= radius; ++d) {
+    Group g;
+    g.coeff = "a" + std::to_string(d);
+    if (d == 0) {
+      g.offsets = {Vec3{0, 0, 0}};
+    } else {
+      g.offsets = {Vec3{-d, 0, 0}, Vec3{d, 0, 0}, Vec3{0, -d, 0},
+                   Vec3{0, d, 0},  Vec3{0, 0, -d}, Vec3{0, 0, d}};
+    }
+    sort_offsets(g.offsets);
+    g.value = default_value(d, g.offsets.size());
+    s.groups_.push_back(std::move(g));
+  }
+  s.name_ = std::to_string(s.num_points()) + "pt";
+  return s;
+}
+
+Stencil Stencil::cube(int radius) {
+  BRICKSIM_REQUIRE(radius >= 1 && radius <= 4, "cube radius out of range");
+  Stencil s;
+  s.shape_ = Shape::Cube;
+  s.radius_ = radius;
+  // Group by sorted absolute offset tuple, tuples in lexicographic order.
+  std::map<std::array<int, 3>, std::vector<Vec3>> classes;
+  for (int dk = -radius; dk <= radius; ++dk)
+    for (int dj = -radius; dj <= radius; ++dj)
+      for (int di = -radius; di <= radius; ++di) {
+        const Vec3 o{di, dj, dk};
+        classes[abs_sorted(o)].push_back(o);
+      }
+  int gi = 0;
+  for (auto& [tuple, offs] : classes) {
+    Group g;
+    g.coeff = "a" + std::to_string(gi);
+    g.offsets = offs;
+    sort_offsets(g.offsets);
+    g.value = default_value(gi, g.offsets.size());
+    s.groups_.push_back(std::move(g));
+    ++gi;
+  }
+  s.name_ = std::to_string(s.num_points()) + "pt";
+  return s;
+}
+
+Stencil Stencil::from_program(const StencilProgram& prog) {
+  BRICKSIM_REQUIRE(!prog.terms.empty(), "empty stencil program");
+
+  // Group terms by coefficient name, preserving first-appearance order.
+  Stencil s;
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<Vec3>> by_coeff;
+  int radius = 0;
+  for (const StencilTerm& t : prog.terms) {
+    if (by_coeff.find(t.coeff) == by_coeff.end()) order.push_back(t.coeff);
+    by_coeff[t.coeff].push_back(t.offset);
+    radius = std::max({radius, std::abs(t.offset.i), std::abs(t.offset.j),
+                       std::abs(t.offset.k)});
+  }
+  s.radius_ = radius;
+  int gi = 0;
+  for (const std::string& c : order) {
+    Group g;
+    g.coeff = c.empty() ? "one" : c;
+    g.offsets = by_coeff[c];
+    sort_offsets(g.offsets);
+    g.value = c.empty() ? 1.0 : default_value(gi, g.offsets.size());
+    s.groups_.push_back(std::move(g));
+    ++gi;
+  }
+
+  // Shape classification: compare the full offset set against the canonical
+  // star/cube sets of the same radius.
+  std::set<Vec3> have;
+  for (const StencilTerm& t : prog.terms) have.insert(t.offset);
+  auto matches = [&](const Stencil& canon) {
+    std::set<Vec3> want;
+    for (const auto& g : canon.groups_)
+      want.insert(g.offsets.begin(), g.offsets.end());
+    return want == have;
+  };
+  if (radius >= 1 && matches(star(radius)))
+    s.shape_ = Shape::Star;
+  else if (radius >= 1 && radius <= 4 && matches(cube(radius)))
+    s.shape_ = Shape::Cube;
+  else
+    s.shape_ = Shape::Custom;
+  s.name_ = std::to_string(s.num_points()) + "pt";
+  return s;
+}
+
+std::vector<Stencil> Stencil::paper_catalog() {
+  return {star(1), star(2), star(3), star(4), cube(1), cube(2)};
+}
+
+int Stencil::num_points() const {
+  int n = 0;
+  for (const Group& g : groups_) n += static_cast<int>(g.offsets.size());
+  return n;
+}
+
+std::vector<Vec3> Stencil::offsets() const {
+  std::vector<Vec3> out;
+  for (const Group& g : groups_)
+    out.insert(out.end(), g.offsets.begin(), g.offsets.end());
+  return out;
+}
+
+void Stencil::set_coefficient(const std::string& name, double value) {
+  for (Group& g : groups_) {
+    if (g.coeff == name) {
+      g.value = value;
+      return;
+    }
+  }
+  throw Error("unknown coefficient: " + name);
+}
+
+long Stencil::flops_per_point() const {
+  return (num_points() - 1) + static_cast<long>(groups_.size());
+}
+
+double Stencil::theoretical_ai() const {
+  // Compulsory traffic per point: one 8-byte read of the input + one 8-byte
+  // write of the output = 16 bytes (paper Section 5.2.1 / Table 4).
+  return static_cast<double>(flops_per_point()) / (2.0 * kElemBytes);
+}
+
+long Stencil::min_flops(Vec3 domain) const {
+  return flops_per_point() * domain.volume();
+}
+
+std::map<std::string, double> Stencil::coefficient_values() const {
+  std::map<std::string, double> m;
+  for (const Group& g : groups_) m[g.coeff] = g.value;
+  return m;
+}
+
+}  // namespace bricksim::dsl

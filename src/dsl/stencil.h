@@ -1,0 +1,91 @@
+// Stencil shapes, coefficient symmetry groups, FLOP counts and theoretical
+// arithmetic intensity (paper Tables 2 and 4).
+//
+// A Stencil is the shape-classified form of a StencilProgram: its offsets
+// are partitioned into symmetry groups sharing one constant coefficient
+// (a 7-point star has two unique coefficients: the centre and the six
+// distance-1 neighbours).  The canonical evaluation exploits that symmetry:
+//
+//   out(p) = sum_g coeff_g * ( sum_{o in group g} in(p + o) )
+//
+// giving (points - 1) additions and (groups) multiplications per point --
+// exactly the minimal FLOP counts behind the paper's Table 4 theoretical
+// arithmetic intensities (FLOPs / 16 bytes of compulsory traffic per point).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "dsl/expr.h"
+
+namespace bricksim::dsl {
+
+enum class Shape { Star, Cube, Custom };
+
+std::string shape_name(Shape s);
+
+class Stencil {
+ public:
+  /// Star of radius r: points along the axes up to distance r
+  /// (7pt/13pt/19pt/25pt for r = 1..4).  Coefficients a0..ar by distance.
+  static Stencil star(int radius);
+
+  /// Cube of radius r: every point with max-norm <= r (27pt/125pt for
+  /// r = 1..2).  Coefficients grouped by the sorted absolute offset tuple.
+  static Stencil cube(int radius);
+
+  /// Classifies an extracted DSL program.  Star/cube point sets with
+  /// symmetry-consistent coefficients become Star/Cube; anything else is a
+  /// Custom stencil grouped by coefficient name.
+  static Stencil from_program(const StencilProgram& prog);
+
+  /// The six stencils of the paper's evaluation (Table 2 order):
+  /// star 1-4, cube 1-2.
+  static std::vector<Stencil> paper_catalog();
+
+  /// Paper-style name: "7pt", "13pt", "19pt", "25pt", "27pt", "125pt".
+  const std::string& name() const { return name_; }
+  Shape shape() const { return shape_; }
+  int radius() const { return radius_; }
+  int num_points() const;
+  int num_unique_coefficients() const { return static_cast<int>(groups_.size()); }
+
+  struct Group {
+    std::string coeff;          ///< coefficient name, e.g. "a1"
+    double value = 0;           ///< coefficient value used in experiments
+    std::vector<Vec3> offsets;  ///< lexicographic (k, j, i) order
+  };
+  const std::vector<Group>& groups() const { return groups_; }
+
+  /// All offsets in canonical order (group-major).
+  std::vector<Vec3> offsets() const;
+
+  /// Overrides a coefficient value (by group name); throws on unknown name.
+  void set_coefficient(const std::string& name, double value);
+
+  /// Minimal FLOPs per output point: (points - 1) adds + (groups) muls.
+  long flops_per_point() const;
+
+  /// Theoretical AI assuming compulsory-only traffic: one 8-byte read and
+  /// one 8-byte write per point (Table 4).
+  double theoretical_ai() const;
+
+  /// Normalised FLOP count for a whole domain (the "minimum FLOP count"
+  /// the paper uses to place every kernel variant on the same Roofline).
+  long min_flops(Vec3 domain) const;
+
+  /// Map of coefficient name -> value, for binding kernel constants.
+  std::map<std::string, double> coefficient_values() const;
+
+ private:
+  Stencil() = default;
+
+  std::string name_;
+  Shape shape_ = Shape::Custom;
+  int radius_ = 0;
+  std::vector<Group> groups_;
+};
+
+}  // namespace bricksim::dsl

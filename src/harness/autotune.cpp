@@ -1,0 +1,63 @@
+#include "harness/autotune.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace bricksim::harness {
+
+std::vector<std::pair<int, int>> candidate_shapes(int radius, int simd_width) {
+  BRICKSIM_REQUIRE(radius >= 0 && radius <= 8, "radius out of range");
+  std::vector<std::pair<int, int>> shapes;
+  const int lo = std::max(1, radius);
+  for (int tj = 1; tj <= 8; tj *= 2) {
+    if (tj < lo) continue;
+    for (int tk = 1; tk <= 8; tk *= 2) {
+      if (tk < lo) continue;
+      if (simd_width * tj * tk > 1024) continue;  // thread-block limit
+      shapes.push_back({tj, tk});
+    }
+  }
+  BRICKSIM_REQUIRE(!shapes.empty(), "no feasible brick shape");
+  return shapes;
+}
+
+TuneResult autotune_brick_shape(const dsl::Stencil& stencil,
+                                codegen::Variant variant,
+                                const model::Platform& platform, Vec3 domain) {
+  const model::Launcher launcher(domain);
+  const int w = platform.gpu.simd_width;
+  TuneResult result;
+  for (const auto& [tj, tk] : candidate_shapes(stencil.radius(), w)) {
+    BRICKSIM_REQUIRE(domain.j % tj == 0 && domain.k % tk == 0,
+                     "domain must be divisible by every candidate shape");
+    for (int f = 1; f <= 2; ++f) {
+      if (w * f * tj * tk > 1024) continue;  // thread-block limit
+      if (domain.i % (w * f) != 0) continue;
+      codegen::Options opts;
+      opts.tile_i_vectors = f;
+      opts.tile_j = tj;
+      opts.tile_k = tk;
+      const model::LaunchResult r =
+          launcher.run(stencil, variant, platform, opts);
+      TuneEntry e;
+      e.tile_i_vectors = f;
+      e.tile_j = tj;
+      e.tile_k = tk;
+      e.seconds = r.report.seconds;
+      e.gflops = r.normalized_gflops();
+      e.ai = r.normalized_ai();
+      e.spill_slots = r.spill_slots;
+      e.aligns = r.inst_stats.aligns;
+      result.entries.push_back(e);
+    }
+  }
+  result.best = *std::min_element(
+      result.entries.begin(), result.entries.end(),
+      [](const TuneEntry& a, const TuneEntry& b) {
+        return a.seconds < b.seconds;
+      });
+  return result;
+}
+
+}  // namespace bricksim::harness

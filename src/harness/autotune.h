@@ -1,0 +1,61 @@
+// Brick-shape autotuning.
+//
+// BrickLib "with the addition of autotuning for brick dimension, layout, and
+// ordering ... demonstrates performance portability" (paper Section 3), and
+// the conclusion names brick-shape tuning as the route to the remaining
+// potential speedup ("changing the size of the brick would expose more
+// vector parallelism, amortize shuffling, and potentially improve data
+// locality").  This module implements that tuner: it sweeps candidate
+// (tile_j, tile_k) brick shapes for a stencil on a platform and picks the
+// fastest simulated configuration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.h"
+#include "dsl/stencil.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+
+namespace bricksim::harness {
+
+struct TuneEntry {
+  int tile_i_vectors = 1;  ///< brick i extent = tile_i_vectors * W
+  int tile_j = 0;
+  int tile_k = 0;
+  double seconds = 0;
+  double gflops = 0;        ///< normalised
+  double ai = 0;            ///< normalised
+  int spill_slots = 0;
+  std::int64_t aligns = 0;  ///< shuffles per block
+};
+
+struct TuneResult {
+  std::vector<TuneEntry> entries;  ///< every candidate tried, sweep order
+  TuneEntry best;                  ///< minimal simulated time
+  codegen::Options best_options() const {
+    codegen::Options o;
+    o.tile_i_vectors = best.tile_i_vectors;
+    o.tile_j = best.tile_j;
+    o.tile_k = best.tile_k;
+    return o;
+  }
+};
+
+/// Candidate (tile_j, tile_k) shapes for a stencil of radius r on vector
+/// width W: powers of two in [max(r,1), 8] per axis, with the block kept
+/// within 1024 work items (the portable thread-block limit).
+std::vector<std::pair<int, int>> candidate_shapes(int radius, int simd_width);
+
+/// Sweeps all candidates for (stencil, variant) on `platform` over `domain`
+/// (counters-only) and returns every measurement plus the winner.  The
+/// sweep covers (tile_j, tile_k) shapes AND the vector-folding factor in i
+/// (1 or 2 vectors per brick row, block size permitting).  The domain must
+/// be divisible by every candidate shape (multiples of 8 in j and k, and of
+/// twice the platform vector width in i).
+TuneResult autotune_brick_shape(const dsl::Stencil& stencil,
+                                codegen::Variant variant,
+                                const model::Platform& platform, Vec3 domain);
+
+}  // namespace bricksim::harness

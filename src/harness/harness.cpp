@@ -1,0 +1,298 @@
+#include "harness/harness.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace bricksim::harness {
+
+const profiler::Measurement* Sweep::find(
+    const std::string& stencil, const std::string& variant,
+    const std::string& platform_label) const {
+  for (const auto& m : measurements)
+    if (m.stencil == stencil && m.variant == variant &&
+        (m.arch + "/" + m.pm) == platform_label)
+      return &m;
+  return nullptr;
+}
+
+std::vector<profiler::Measurement> Sweep::select(
+    const std::string& platform_label, const std::string& variant) const {
+  std::vector<profiler::Measurement> out;
+  for (const auto& m : measurements)
+    if ((m.arch + "/" + m.pm) == platform_label &&
+        (variant.empty() || m.variant == variant))
+      out.push_back(m);
+  return out;
+}
+
+Sweep run_sweep(const SweepConfig& config) {
+  Sweep sweep;
+  sweep.config = config;
+  const model::Launcher launcher(config.domain);
+
+  // Mixbench works on a fixed mid-size streaming domain: its counters are
+  // linear in the domain, so the derived ceilings are size-independent.
+  const Vec3 mix_domain{128, 128, 128};
+  for (const auto& pf : config.platforms) {
+    if (sweep.rooflines.count(pf.label()) == 0) {
+      if (config.progress)
+        std::cerr << "[sweep] mixbench " << pf.label() << "\n";
+      sweep.rooflines.emplace(pf.label(), roofline::mixbench(pf, mix_domain));
+    }
+  }
+
+  for (const auto& pf : config.platforms)
+    for (const auto& st : config.stencils)
+      for (const auto variant : config.variants) {
+        if (config.progress)
+          std::cerr << "[sweep] " << pf.label() << " " << st.name() << " "
+                    << codegen::variant_name(variant) << "\n";
+        sweep.measurements.push_back(profiler::run_and_measure(
+            launcher, st, variant, pf, config.cg_opts));
+      }
+  return sweep;
+}
+
+SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
+                                  int default_n) {
+  Cli cli(argc, argv,
+          {{"n", "cubic domain extent (default " + std::to_string(default_n) +
+                     "; the paper uses 512)"},
+           {"progress", "print sweep progress to stderr"},
+           {"csv", "emit CSV instead of aligned tables"}});
+  if (cli.help_requested()) {
+    std::cout << cli.help(argv[0]);
+    std::exit(0);
+  }
+  SweepConfig config;
+  const long n = cli.get_long("n", default_n);
+  BRICKSIM_REQUIRE(n > 0 && n % 64 == 0,
+                   "--n must be a positive multiple of 64 (tile shapes of "
+                   "all three architectures)");
+  config.domain = {static_cast<int>(n), static_cast<int>(n),
+                   static_cast<int>(n)};
+  config.progress = cli.has("progress");
+  config.csv = cli.has("csv");
+  return config;
+}
+
+void print_table(std::ostream& os, const Table& t, bool csv) {
+  if (csv)
+    t.print_csv(os);
+  else
+    t.print(os);
+}
+
+// --- Emitters ----------------------------------------------------------------
+
+Table make_table1() {
+  Table t({"Platform", "Model", "Lowering profile"});
+  for (const auto& pf : model::paper_platforms()) {
+    const auto& pm = pf.pm;
+    std::string prof =
+        "addr-ops naive/codegen " +
+        std::to_string(pm.addr_ops_per_load_naive) + "/" +
+        std::to_string(pm.addr_ops_per_load_codegen) +
+        ", exposed-latency " + Table::fmt(pm.naive_extra_cycles_per_load, 0) +
+        "cyc, regs " + Table::pct(pm.reg_budget_fraction) +
+        (pm.streaming_stores ? "" : ", no streaming stores") +
+        (pm.bypass_l2_unaligned_vloads ? ", unaligned vloads bypass L2" : "");
+    t.add_row({pf.gpu.name, pm.name, prof});
+  }
+  return t;
+}
+
+Table make_table2() {
+  Table t({"Stencil Shape", "Radius", "Points", "Unique Coefficients"});
+  for (const auto& st : dsl::Stencil::paper_catalog())
+    t.add_row({shape_name(st.shape()), std::to_string(st.radius()),
+               std::to_string(st.num_points()),
+               std::to_string(st.num_unique_coefficients())});
+  return t;
+}
+
+Table make_table4() {
+  Table t({"Stencil Shape", "Number of points", "Theoretical AI"});
+  for (const auto& st : dsl::Stencil::paper_catalog())
+    t.add_row({shape_name(st.shape()), std::to_string(st.num_points()),
+               Table::fmt(st.theoretical_ai(), 4)});
+  return t;
+}
+
+Table make_fig3(const Sweep& sweep) {
+  Table t({"Platform", "Stencil", "Variant", "AI (F/B)", "GFLOP/s",
+           "Frac. Roofline"});
+  for (const auto& pf : sweep.config.platforms) {
+    const auto& rl = sweep.rooflines.at(pf.label()).roofline;
+    t.add_row({pf.label(), "(ceilings)", "-",
+               Table::fmt(rl.ridge(), 2) + " ridge",
+               Table::fmt(rl.peak_bw / 1e9, 0) + " GB/s | " +
+                   Table::fmt(rl.peak_flops / 1e9, 0),
+               "-"});
+    for (const auto& m : sweep.select(pf.label()))
+      t.add_row({pf.label(), m.stencil, m.variant, Table::fmt(m.ai, 3),
+                 Table::fmt(m.gflops, 1),
+                 Table::pct(metrics::fraction_of_roofline(rl, m))});
+  }
+  return t;
+}
+
+Table make_fig4(const Sweep& sweep) {
+  Table t({"Platform", "Stencil", "Variant", "L1 moved (GB)",
+           "vs bricks codegen"});
+  for (const auto& pf : sweep.config.platforms)
+    for (const auto& st : sweep.config.stencils) {
+      const auto* bricks =
+          sweep.find(st.name(), "bricks codegen", pf.label());
+      for (const auto& m : sweep.measurements) {
+        if (m.stencil != st.name() || (m.arch + "/" + m.pm) != pf.label())
+          continue;
+        const double gb = static_cast<double>(m.l1_bytes) / 1e9;
+        const double rel =
+            bricks && bricks->l1_bytes > 0
+                ? static_cast<double>(m.l1_bytes) / bricks->l1_bytes
+                : 0;
+        t.add_row({pf.label(), m.stencil, m.variant, Table::fmt(gb, 2),
+                   Table::fmt(rel, 1) + "x"});
+      }
+    }
+  return t;
+}
+
+namespace {
+
+CorrTables make_corr(const Sweep& sweep, const std::string& y_platform,
+                     const std::string& x_platform) {
+  const auto ys = sweep.select(y_platform);
+  const auto xs = sweep.select(x_platform);
+  const std::string ylab = y_platform.substr(y_platform.find('/') + 1);
+  const std::string xlab = x_platform.substr(x_platform.find('/') + 1);
+
+  CorrTables out{
+      Table({"Stencil", "Variant", xlab + " GFLOP/s", ylab + " GFLOP/s",
+             "winner"}),
+      Table({"Stencil", "Variant", xlab + " GB", ylab + " GB",
+             "lower bound GB"})};
+
+  const double bound =
+      static_cast<double>(metrics::compulsory_bytes(sweep.config.domain)) /
+      1e9;
+
+  for (const auto& p : metrics::correlate(ys, xs, metrics::CorrMetric::Gflops))
+    out.perf.add_row({p.stencil, p.variant, Table::fmt(p.x, 1),
+                      Table::fmt(p.y, 1),
+                      p.y > p.x * 1.05 ? ylab
+                                       : (p.x > p.y * 1.05 ? xlab : "tie")});
+  for (const auto& p :
+       metrics::correlate(ys, xs, metrics::CorrMetric::HbmGbytes))
+    out.bytes.add_row({p.stencil, p.variant, Table::fmt(p.x, 2),
+                       Table::fmt(p.y, 2), Table::fmt(bound, 2)});
+  return out;
+}
+
+/// The five metric-platform columns (paper Tables 3/5), restricted to the
+/// platforms present in this sweep.
+std::vector<std::string> metric_labels(const Sweep& sweep) {
+  std::vector<std::string> out;
+  for (const auto& pf : model::metric_platforms())
+    for (const auto& got : sweep.config.platforms)
+      if (got.label() == pf.label()) {
+        out.push_back(pf.label());
+        break;
+      }
+  return out;
+}
+
+}  // namespace
+
+CorrTables make_fig5(const Sweep& sweep) {
+  return make_corr(sweep, "A100/CUDA", "A100/SYCL");
+}
+
+CorrTables make_fig6(const Sweep& sweep) {
+  return make_corr(sweep, "MI250X-GCD/HIP", "MI250X-GCD/SYCL");
+}
+
+Table make_table3(const Sweep& sweep) {
+  const auto labels = metric_labels(sweep);
+  std::vector<std::string> header{"Stencil"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  header.push_back("P");
+  Table t(header);
+
+  std::vector<double> all_p;
+  for (const auto& st : sweep.config.stencils) {
+    std::vector<std::string> row{st.name()};
+    std::vector<double> effs;
+    for (const auto& lab : labels) {
+      const auto* m = sweep.find(st.name(), "bricks codegen", lab);
+      const double e =
+          m ? metrics::fraction_of_roofline(
+                  sweep.rooflines.at(lab).roofline, *m)
+            : 0;
+      effs.push_back(e);
+      row.push_back(Table::pct(e));
+    }
+    const double p = metrics::pennycook_p(effs);
+    all_p.push_back(p);
+    row.push_back(Table::pct(p));
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg{"average"};
+  for (std::size_t c = 0; c < labels.size(); ++c) avg.push_back("");
+  avg.push_back(Table::pct(mean(all_p)));
+  t.add_row(std::move(avg));
+  return t;
+}
+
+Table make_table5(const Sweep& sweep) {
+  const auto labels = metric_labels(sweep);
+  std::vector<std::string> header{"Stencil"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  header.push_back("P");
+  Table t(header);
+
+  std::vector<double> all_p;
+  for (const auto& st : sweep.config.stencils) {
+    std::vector<std::string> row{st.name()};
+    std::vector<double> effs;
+    for (const auto& lab : labels) {
+      const auto* m = sweep.find(st.name(), "bricks codegen", lab);
+      const double e = m ? metrics::fraction_of_theoretical_ai(st, *m) : 0;
+      effs.push_back(e);
+      row.push_back(Table::pct(e));
+    }
+    const double p = metrics::pennycook_p(effs);
+    all_p.push_back(p);
+    row.push_back(Table::pct(p));
+    t.add_row(std::move(row));
+  }
+  std::vector<std::string> avg{"average"};
+  for (std::size_t c = 0; c < labels.size(); ++c) avg.push_back("");
+  avg.push_back(Table::pct(mean(all_p)));
+  t.add_row(std::move(avg));
+  return t;
+}
+
+Table make_fig7(const Sweep& sweep) {
+  Table t({"Platform", "Stencil", "Frac. theoretical AI", "Frac. Roofline",
+           "Potential speedup"});
+  for (const auto& pf : sweep.config.platforms) {
+    for (const auto& st : sweep.config.stencils) {
+      const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
+      if (!m) continue;
+      const double fa = metrics::fraction_of_theoretical_ai(st, *m);
+      const double fr = metrics::fraction_of_roofline(
+          sweep.rooflines.at(pf.label()).roofline, *m);
+      t.add_row({pf.label(), st.name(), Table::pct(fa), Table::pct(fr),
+                 Table::fmt(metrics::potential_speedup(fa, fr), 2) + "x"});
+    }
+  }
+  return t;
+}
+
+}  // namespace bricksim::harness

@@ -1,0 +1,109 @@
+// The experiment harness: runs the full study sweep and regenerates every
+// table and figure of the paper's evaluation as printable tables.
+//
+// One Sweep = { every (stencil, variant, platform) measurement at one
+// domain size } + { the mixbench-derived empirical Roofline per platform }.
+// Each bench binary builds a Sweep (or a subset) and prints the table(s)
+// for its experiment; see DESIGN.md's per-experiment index.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.h"
+#include "common/table.h"
+#include "dsl/stencil.h"
+#include "metrics/metrics.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+#include "profiler/profiler.h"
+#include "roofline/roofline.h"
+
+namespace bricksim::harness {
+
+struct SweepConfig {
+  Vec3 domain{256, 256, 256};
+  std::vector<model::Platform> platforms = model::paper_platforms();
+  std::vector<dsl::Stencil> stencils = dsl::Stencil::paper_catalog();
+  std::vector<codegen::Variant> variants = {codegen::Variant::Array,
+                                            codegen::Variant::ArrayCodegen,
+                                            codegen::Variant::BricksCodegen};
+  codegen::Options cg_opts{};
+  bool progress = false;  ///< progress lines on stderr
+  bool csv = false;       ///< emit CSV instead of aligned tables
+};
+
+/// Prints `t` aligned or as CSV depending on the sweep config.
+void print_table(std::ostream& os, const Table& t, bool csv);
+
+struct Sweep {
+  SweepConfig config;
+  std::vector<profiler::Measurement> measurements;
+  /// Empirical Roofline per platform label.
+  std::map<std::string, roofline::EmpiricalRoofline> rooflines;
+
+  /// Lookup by names; null when the combination was not swept.
+  const profiler::Measurement* find(const std::string& stencil,
+                                    const std::string& variant,
+                                    const std::string& platform_label) const;
+
+  /// All measurements of one platform (optionally one variant).
+  std::vector<profiler::Measurement> select(
+      const std::string& platform_label,
+      const std::string& variant = "") const;
+};
+
+/// Runs every (stencil, variant, platform) combination counters-only and
+/// derives the per-platform empirical rooflines.
+Sweep run_sweep(const SweepConfig& config);
+
+/// Parses a standard bench command line (--n, --progress, --csv) into a
+/// SweepConfig; prints help and exits when requested.
+SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
+                                  int default_n = 256);
+
+// --- Emitters: one per paper table/figure -----------------------------------
+
+/// Table 1: programming models and toolchains per system (in BrickSim:
+/// the lowering-profile summary per platform).
+Table make_table1();
+
+/// Table 2: stencil shapes, radii, points, unique coefficients.
+Table make_table2();
+
+/// Table 4: theoretical arithmetic intensity per stencil.
+Table make_table4();
+
+/// Figure 3 (long form): per platform/stencil/variant -- AI, GFLOP/s and
+/// fraction of the platform's empirical Roofline; includes ceiling rows.
+Table make_fig3(const Sweep& sweep);
+
+/// Figure 4: L1 data movement (GB) per platform/stencil/variant.
+Table make_fig4(const Sweep& sweep);
+
+struct CorrTables {
+  Table perf;
+  Table bytes;
+};
+
+/// Figure 5: CUDA (y) vs SYCL (x) correlation on A100.
+CorrTables make_fig5(const Sweep& sweep);
+
+/// Figure 6: HIP (y) vs SYCL (x) correlation on one MI250X GCD.
+CorrTables make_fig6(const Sweep& sweep);
+
+/// Table 3: performance portability from fraction of the Roofline
+/// (bricks codegen).
+Table make_table3(const Sweep& sweep);
+
+/// Table 5: performance portability from fraction of theoretical AI
+/// (bricks codegen).
+Table make_table5(const Sweep& sweep);
+
+/// Figure 7: potential-speedup coordinates per platform/stencil
+/// (bricks codegen).
+Table make_fig7(const Sweep& sweep);
+
+}  // namespace bricksim::harness

@@ -1,0 +1,329 @@
+#include "ir/program.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace bricksim::ir {
+
+int Program::add_constant(const std::string& name) {
+  for (std::size_t n = 0; n < const_names_.size(); ++n)
+    if (const_names_[n] == name) return static_cast<int>(n);
+  const_names_.push_back(name);
+  return static_cast<int>(const_names_.size()) - 1;
+}
+
+int Program::num_grids() const {
+  int hi = -1;
+  for (const Inst& in : insts_)
+    if (in.op == Op::VLoad || in.op == Op::VStore)
+      if (in.mem.space != Space::Spill) hi = std::max(hi, in.mem.grid);
+  return hi + 1;
+}
+
+int Program::load(const MemRef& mem) {
+  Inst in;
+  in.op = Op::VLoad;
+  in.dst = new_vreg();
+  in.mem = mem;
+  insts_.push_back(in);
+  return in.dst;
+}
+
+void Program::store(int src, const MemRef& mem) {
+  Inst in;
+  in.op = Op::VStore;
+  in.a = src;
+  in.mem = mem;
+  insts_.push_back(in);
+}
+
+int Program::align(int a, int b, int shift) {
+  Inst in;
+  in.op = Op::VAlign;
+  in.dst = new_vreg();
+  in.a = a;
+  in.b = b;
+  in.shift = shift;
+  insts_.push_back(in);
+  return in.dst;
+}
+
+int Program::add(int a, int b) {
+  Inst in;
+  in.op = Op::VAddV;
+  in.dst = new_vreg();
+  in.a = a;
+  in.b = b;
+  insts_.push_back(in);
+  return in.dst;
+}
+
+int Program::mul(int a, int b) {
+  Inst in;
+  in.op = Op::VMulV;
+  in.dst = new_vreg();
+  in.a = a;
+  in.b = b;
+  insts_.push_back(in);
+  return in.dst;
+}
+
+int Program::fma(int a, int b, int c) {
+  Inst in;
+  in.op = Op::VFmaV;
+  in.dst = new_vreg();
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  insts_.push_back(in);
+  return in.dst;
+}
+
+int Program::mul_const(int a, int cidx) {
+  Inst in;
+  in.op = Op::VMulC;
+  in.dst = new_vreg();
+  in.a = a;
+  in.cidx = cidx;
+  insts_.push_back(in);
+  return in.dst;
+}
+
+int Program::fma_const(int acc, int in_reg, int cidx) {
+  Inst in;
+  in.op = Op::VFmaC;
+  in.dst = new_vreg();
+  in.a = acc;
+  in.b = in_reg;
+  in.cidx = cidx;
+  insts_.push_back(in);
+  return in.dst;
+}
+
+int Program::set_const(int cidx) {
+  Inst in;
+  in.op = Op::VSetC;
+  in.dst = new_vreg();
+  in.cidx = cidx;
+  insts_.push_back(in);
+  return in.dst;
+}
+
+int Program::zero() {
+  Inst in;
+  in.op = Op::VZero;
+  in.dst = new_vreg();
+  insts_.push_back(in);
+  return in.dst;
+}
+
+void Program::int_ops(int count) {
+  if (count <= 0) return;
+  Inst in;
+  in.op = Op::IOp;
+  in.iops = count;
+  insts_.push_back(in);
+}
+
+namespace {
+/// Which operand slots an op reads / whether it defines dst.
+struct OpShape {
+  bool reads_a, reads_b, reads_c, defines_dst, has_const;
+};
+OpShape shape_of(Op op) {
+  switch (op) {
+    case Op::VLoad:  return {false, false, false, true, false};
+    case Op::VStore: return {true, false, false, false, false};
+    case Op::VAlign: return {true, true, false, true, false};
+    case Op::VAddV:  return {true, true, false, true, false};
+    case Op::VMulV:  return {true, true, false, true, false};
+    case Op::VFmaV:  return {true, true, true, true, false};
+    case Op::VMulC:  return {true, false, false, true, true};
+    case Op::VFmaC:  return {true, true, false, true, true};
+    case Op::VSetC:  return {false, false, false, true, true};
+    case Op::VZero:  return {false, false, false, true, false};
+    case Op::IOp:    return {false, false, false, false, false};
+  }
+  throw Error("unreachable op");
+}
+}  // namespace
+
+void Program::verify() const {
+  std::vector<bool> defined(num_vregs_, false);
+  auto check_use = [&](int r, std::size_t pos) {
+    BRICKSIM_REQUIRE(r >= 0 && r < num_vregs_,
+                     "operand register out of range at inst " +
+                         std::to_string(pos));
+    BRICKSIM_REQUIRE(defined[r], "use of undefined register v" +
+                                     std::to_string(r) + " at inst " +
+                                     std::to_string(pos));
+  };
+  for (std::size_t pos = 0; pos < insts_.size(); ++pos) {
+    const Inst& in = insts_[pos];
+    const OpShape s = shape_of(in.op);
+    if (s.reads_a) check_use(in.a, pos);
+    if (s.reads_b) check_use(in.b, pos);
+    if (s.reads_c) check_use(in.c, pos);
+    if (s.has_const)
+      BRICKSIM_REQUIRE(in.cidx >= 0 &&
+                           in.cidx < static_cast<int>(const_names_.size()),
+                       "constant index out of range at inst " +
+                           std::to_string(pos));
+    if (in.op == Op::VAlign)
+      BRICKSIM_REQUIRE(in.shift >= 0 && in.shift <= vec_width_,
+                       "align shift out of [0, W] at inst " +
+                           std::to_string(pos));
+    if (in.op == Op::VLoad || in.op == Op::VStore) {
+      BRICKSIM_REQUIRE(in.mem.grid >= 0, "negative grid index");
+      if (in.mem.space == Space::Spill)
+        BRICKSIM_REQUIRE(in.mem.slot >= 0 && in.mem.slot < num_spill_slots_,
+                         "spill slot out of range at inst " +
+                             std::to_string(pos));
+    }
+    if (s.defines_dst) {
+      BRICKSIM_REQUIRE(in.dst >= 0 && in.dst < num_vregs_,
+                       "dst register out of range at inst " +
+                           std::to_string(pos));
+      defined[in.dst] = true;
+    }
+  }
+}
+
+InstStats Program::stats() const {
+  InstStats st;
+  for (const Inst& in : insts_) {
+    st.total_insts++;
+    switch (in.op) {
+      case Op::VLoad:
+        if (in.mem.space == Space::Spill)
+          st.spill_loads++;
+        else
+          st.loads++;
+        break;
+      case Op::VStore:
+        if (in.mem.space == Space::Spill)
+          st.spill_stores++;
+        else
+          st.stores++;
+        break;
+      case Op::VAlign:
+        st.aligns++;
+        break;
+      case Op::VAddV:
+      case Op::VMulV:
+      case Op::VMulC:
+        st.fp_insts++;
+        st.flops_per_lane += 1;
+        break;
+      case Op::VFmaV:
+      case Op::VFmaC:
+        st.fp_insts++;
+        st.flops_per_lane += 2;
+        break;
+      case Op::VSetC:
+      case Op::VZero:
+        st.fp_insts++;  // register initialisation occupies the FP pipe
+        break;
+      case Op::IOp:
+        st.int_ops += in.iops;
+        st.total_insts--;  // IOp is an annotation, not one instruction
+        st.total_insts += in.iops;
+        break;
+    }
+  }
+  return st;
+}
+
+namespace {
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::VLoad:  return "vload";
+    case Op::VStore: return "vstore";
+    case Op::VAlign: return "valign";
+    case Op::VAddV:  return "vadd";
+    case Op::VMulV:  return "vmul";
+    case Op::VFmaV:  return "vfma";
+    case Op::VMulC:  return "vmulc";
+    case Op::VFmaC:  return "vfmac";
+    case Op::VSetC:  return "vsetc";
+    case Op::VZero:  return "vzero";
+    case Op::IOp:    return "iop";
+  }
+  return "?";
+}
+
+std::string memref_str(const MemRef& m) {
+  std::ostringstream os;
+  switch (m.space) {
+    case Space::Array:
+      os << "g" << m.grid << "[arr " << m.di << "," << m.dj << "," << m.dk
+         << "]";
+      break;
+    case Space::Brick:
+      os << "g" << m.grid << "[brk nbr(" << m.nbr_di << "," << m.nbr_dj << ","
+         << m.nbr_dk << ") v(" << m.vi << "," << m.vj << "," << m.vk << ")]";
+      break;
+    case Space::Spill:
+      os << "spill[" << m.slot << "]";
+      break;
+  }
+  return os.str();
+}
+}  // namespace
+
+std::string Program::to_string() const {
+  std::ostringstream os;
+  os << "program W=" << vec_width_ << " vregs=" << num_vregs_
+     << " spills=" << num_spill_slots_ << " consts=";
+  for (std::size_t n = 0; n < const_names_.size(); ++n)
+    os << (n ? "," : "[") << const_names_[n];
+  os << (const_names_.empty() ? "[]" : "]") << "\n";
+  for (const Inst& in : insts_) {
+    os << "  " << op_name(in.op);
+    switch (in.op) {
+      case Op::VLoad:
+        os << " v" << in.dst << " <- " << memref_str(in.mem);
+        break;
+      case Op::VStore:
+        os << " " << memref_str(in.mem) << " <- v" << in.a;
+        break;
+      case Op::VAlign:
+        os << " v" << in.dst << " <- (v" << in.a << ":v" << in.b << ")>>"
+           << in.shift;
+        break;
+      case Op::VAddV:
+        os << " v" << in.dst << " <- v" << in.a << " + v" << in.b;
+        break;
+      case Op::VMulV:
+        os << " v" << in.dst << " <- v" << in.a << " * v" << in.b;
+        break;
+      case Op::VFmaV:
+        os << " v" << in.dst << " <- v" << in.a << " * v" << in.b << " + v"
+           << in.c;
+        break;
+      case Op::VMulC:
+        os << " v" << in.dst << " <- v" << in.a << " * "
+           << const_names_[in.cidx];
+        break;
+      case Op::VFmaC:
+        os << " v" << in.dst << " <- v" << in.a << " + v" << in.b << " * "
+           << const_names_[in.cidx];
+        break;
+      case Op::VSetC:
+        os << " v" << in.dst << " <- " << const_names_[in.cidx];
+        break;
+      case Op::VZero:
+        os << " v" << in.dst << " <- 0";
+        break;
+      case Op::IOp:
+        os << " x" << in.iops;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bricksim::ir

@@ -1,0 +1,150 @@
+// The BrickSim vector IR.
+//
+// A Program is the straight-line, fully unrolled body of ONE thread block
+// (one brick / one tile).  Every instruction is warp-wide: it operates on
+// vector registers of `vec_width` doubles.  The same program runs for every
+// block of a kernel; only the block coordinates (and hence memory addresses)
+// differ.  This mirrors BrickLib's generated kernels, which are sequences of
+// vector code blocks computing portions of a brick's stencil grid.
+//
+// Address semantics live in MemRef: array-space references are relative to
+// the block's tile origin, brick-space references name a neighbor brick via
+// the adjacency list plus an in-brick vector row, and spill-space references
+// name per-block scratch slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bricksim::ir {
+
+enum class Space : std::uint8_t {
+  Array,  ///< lexicographic padded array, vector of W lanes along i
+  Brick,  ///< blocked layout, vector rows addressed by (neighbor, vj, vk)
+  Spill,  ///< per-block scratch (register spills), addressed by slot
+};
+
+/// A memory operand.  Exactly one addressing form is meaningful depending on
+/// `space`; the unused fields stay zero.
+struct MemRef {
+  int grid = 0;  ///< grid slot bound at launch (0 = first input, ...)
+  Space space = Space::Array;
+
+  // --- Array space: lane 0 reads element (origin + (di,dj,dk)); lanes
+  // advance along i.  di may be any small offset => unaligned vector access.
+  int di = 0, dj = 0, dk = 0;
+
+  // --- Brick space: displacement (-1/0/+1 per axis) to a neighboring brick,
+  // then vector row (vj, vk) inside that brick and, when the brick's i
+  // extent folds multiple hardware vectors (B_i = f * W), the vector index
+  // vi within the row.
+  int nbr_di = 0, nbr_dj = 0, nbr_dk = 0;
+  int vi = 0, vj = 0, vk = 0;
+
+  // --- Spill space.
+  int slot = 0;
+
+  /// True when the access is an explicit vector load/store emitted by the
+  /// vector code generator (as opposed to per-lane accesses of a naive
+  /// kernel that merely happen to coalesce).  The MI250X/HIP lowering treats
+  /// unaligned vectorised loads specially (see memsim::MemoryHierarchy).
+  bool vectorized = false;
+};
+
+enum class Op : std::uint8_t {
+  VLoad,   ///< dst <- mem
+  VStore,  ///< mem <- a
+  VAlign,  ///< dst[l] = concat(a,b)[shift + l], shift in [0, W]
+  VAddV,   ///< dst = a + b
+  VMulV,   ///< dst = a * b
+  VFmaV,   ///< dst = a * b + c   (c given via the `c` operand)
+  VMulC,   ///< dst = a * const[cidx]
+  VFmaC,   ///< dst = a + b * const[cidx]   (accumulate form)
+  VSetC,   ///< dst = broadcast const[cidx]
+  VZero,   ///< dst = 0
+  IOp,     ///< `iops` warp-wide integer ops (address arithmetic); no dataflow
+};
+
+struct Inst {
+  Op op = Op::VZero;
+  std::int32_t dst = -1;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  std::int32_t cidx = -1;
+  std::int32_t shift = 0;
+  std::int32_t iops = 0;
+  MemRef mem;
+};
+
+/// Per-program instruction statistics (per thread block).
+struct InstStats {
+  std::int64_t loads = 0;
+  std::int64_t stores = 0;
+  std::int64_t spill_loads = 0;
+  std::int64_t spill_stores = 0;
+  std::int64_t aligns = 0;     ///< shuffle-implemented lane realignments
+  std::int64_t fp_insts = 0;
+  std::int64_t flops_per_lane = 0;  ///< adds+muls, FMA counts 2
+  std::int64_t int_ops = 0;    ///< warp-wide integer ops (incl. IOp weights)
+  std::int64_t total_insts = 0;
+};
+
+class Program {
+ public:
+  explicit Program(int vec_width) : vec_width_(vec_width) {}
+
+  int vec_width() const { return vec_width_; }
+
+  /// Registers a named constant (stencil coefficient); returns its index.
+  int add_constant(const std::string& name);
+  int num_constants() const { return static_cast<int>(const_names_.size()); }
+  const std::vector<std::string>& constant_names() const { return const_names_; }
+
+  /// Allocates a fresh virtual vector register.
+  int new_vreg() { return num_vregs_++; }
+  int num_vregs() const { return num_vregs_; }
+  /// Used only by the register allocator when rewriting a program.
+  void set_num_vregs(int n) { num_vregs_ = n; }
+
+  int num_spill_slots() const { return num_spill_slots_; }
+  void set_num_spill_slots(int n) { num_spill_slots_ = n; }
+
+  /// Number of distinct grids referenced (max grid index + 1).
+  int num_grids() const;
+
+  std::vector<Inst>& insts() { return insts_; }
+  const std::vector<Inst>& insts() const { return insts_; }
+
+  // -- Builder helpers (append an instruction, return dst where relevant) --
+  int load(const MemRef& mem);
+  void store(int src, const MemRef& mem);
+  int align(int a, int b, int shift);
+  int add(int a, int b);
+  int mul(int a, int b);
+  int fma(int a, int b, int c);
+  int mul_const(int a, int cidx);
+  int fma_const(int acc, int in, int cidx);
+  int set_const(int cidx);
+  int zero();
+  void int_ops(int count);
+
+  /// Throws bricksim::Error if the program is malformed (use before def,
+  /// out-of-range operands, bad shift, bad constant index).
+  void verify() const;
+
+  InstStats stats() const;
+
+  /// Human-readable listing (for debugging and golden tests).
+  std::string to_string() const;
+
+ private:
+  int vec_width_;
+  int num_vregs_ = 0;
+  int num_spill_slots_ = 0;
+  std::vector<Inst> insts_;
+  std::vector<std::string> const_names_;
+};
+
+}  // namespace bricksim::ir

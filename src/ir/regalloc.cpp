@@ -1,0 +1,235 @@
+#include "ir/regalloc.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace bricksim::ir {
+
+namespace {
+
+constexpr int kNoReg = -1;
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+struct OpReads {
+  int regs[3];
+  int count = 0;
+};
+
+OpReads reads_of(const Inst& in) {
+  OpReads r{};
+  auto push = [&](int v) { r.regs[r.count++] = v; };
+  switch (in.op) {
+    case Op::VStore: push(in.a); break;
+    case Op::VAlign:
+    case Op::VAddV:
+    case Op::VMulV:
+      push(in.a);
+      push(in.b);
+      break;
+    case Op::VFmaV:
+      push(in.a);
+      push(in.b);
+      push(in.c);
+      break;
+    case Op::VMulC: push(in.a); break;
+    case Op::VFmaC:
+      push(in.a);
+      push(in.b);
+      break;
+    case Op::VLoad:
+    case Op::VSetC:
+    case Op::VZero:
+    case Op::IOp:
+      break;
+  }
+  return r;
+}
+
+bool defines_dst(const Inst& in) {
+  switch (in.op) {
+    case Op::VStore:
+    case Op::IOp:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+RegAllocResult allocate_registers(const Program& prog, int budget) {
+  BRICKSIM_REQUIRE(budget >= 4, "register budget must be at least 4");
+  prog.verify();
+
+  const auto& insts = prog.insts();
+  const int nv = prog.num_vregs();
+
+  // Use lists per vreg (ascending instruction positions).
+  std::vector<std::vector<std::size_t>> uses(nv);
+  for (std::size_t pos = 0; pos < insts.size(); ++pos) {
+    const OpReads r = reads_of(insts[pos]);
+    for (int n = 0; n < r.count; ++n) uses[r.regs[n]].push_back(pos);
+  }
+  // Cursor into each use list: next_use(v) is the first entry >= current pos.
+  std::vector<std::size_t> cursor(nv, 0);
+  auto next_use = [&](int v, std::size_t pos) -> std::size_t {
+    auto& u = uses[v];
+    std::size_t& c = cursor[v];
+    while (c < u.size() && u[c] < pos) ++c;
+    return c < u.size() ? u[c] : kNever;
+  };
+
+  RegAllocResult out{Program(prog.vec_width())};
+  for (const auto& name : prog.constant_names())
+    out.program.add_constant(name);
+
+  std::vector<int> phys_of(nv, kNoReg);     // vreg -> phys or kNoReg
+  std::vector<int> slot_of(nv, kNoReg);     // vreg -> spill slot or kNoReg
+  std::vector<int> owner(budget, kNoReg);   // phys -> vreg or kNoReg
+  std::vector<int> free_regs;
+  for (int p = budget - 1; p >= 0; --p) free_regs.push_back(p);
+  int next_slot = 0;
+  int regs_high_water = 0;
+
+  // Registers that must not be evicted while processing the current inst.
+  std::vector<int> pinned;
+
+  auto emit = [&](Inst in) { out.program.insts().push_back(in); };
+
+  auto acquire_phys = [&](std::size_t pos) -> int {
+    if (!free_regs.empty()) {
+      int p = free_regs.back();
+      free_regs.pop_back();
+      regs_high_water = std::max(regs_high_water, budget - static_cast<int>(free_regs.size()));
+      return p;
+    }
+    // Belady eviction: the resident, unpinned value with the farthest next
+    // use goes to its spill slot (with a store only on first eviction).
+    int victim_phys = kNoReg;
+    std::size_t victim_next = 0;
+    for (int p = 0; p < budget; ++p) {
+      const int v = owner[p];
+      if (v == kNoReg) continue;
+      if (std::find(pinned.begin(), pinned.end(), p) != pinned.end()) continue;
+      const std::size_t nu = next_use(v, pos);
+      if (victim_phys == kNoReg || nu > victim_next) {
+        victim_phys = p;
+        victim_next = nu;
+      }
+    }
+    BRICKSIM_REQUIRE(victim_phys != kNoReg,
+                     "register pressure exceeds budget with all regs pinned");
+    const int v = owner[victim_phys];
+    if (victim_next != kNever && slot_of[v] == kNoReg) {
+      slot_of[v] = next_slot++;
+      Inst st;
+      st.op = Op::VStore;
+      st.a = victim_phys;
+      st.mem.space = Space::Spill;
+      st.mem.slot = slot_of[v];
+      emit(st);
+      out.spill_stores++;
+    }
+    phys_of[v] = kNoReg;
+    owner[victim_phys] = kNoReg;
+    return victim_phys;
+  };
+
+  auto ensure_resident = [&](int v, std::size_t pos) -> int {
+    if (phys_of[v] != kNoReg) {
+      pinned.push_back(phys_of[v]);
+      return phys_of[v];
+    }
+    BRICKSIM_REQUIRE(slot_of[v] != kNoReg,
+                     "value neither resident nor spilled (allocator bug)");
+    const int p = acquire_phys(pos);
+    Inst ld;
+    ld.op = Op::VLoad;
+    ld.dst = p;
+    ld.mem.space = Space::Spill;
+    ld.mem.slot = slot_of[v];
+    emit(ld);
+    out.spill_loads++;
+    phys_of[v] = p;
+    owner[p] = v;
+    pinned.push_back(p);
+    return p;
+  };
+
+  auto release_if_dead = [&](int v, std::size_t pos) {
+    if (phys_of[v] != kNoReg && next_use(v, pos + 1) == kNever) {
+      owner[phys_of[v]] = kNoReg;
+      free_regs.push_back(phys_of[v]);
+      phys_of[v] = kNoReg;
+    }
+  };
+
+  for (std::size_t pos = 0; pos < insts.size(); ++pos) {
+    Inst in = insts[pos];
+    pinned.clear();
+
+    const OpReads r = reads_of(in);
+    int mapped[3] = {kNoReg, kNoReg, kNoReg};
+    for (int n = 0; n < r.count; ++n)
+      mapped[n] = ensure_resident(r.regs[n], pos);
+
+    // Rewrite operand fields in the same order reads_of produced them.
+    {
+      int n = 0;
+      switch (in.op) {
+        case Op::VStore: in.a = mapped[n++]; break;
+        case Op::VAlign:
+        case Op::VAddV:
+        case Op::VMulV:
+          in.a = mapped[n++];
+          in.b = mapped[n++];
+          break;
+        case Op::VFmaV:
+          in.a = mapped[n++];
+          in.b = mapped[n++];
+          in.c = mapped[n++];
+          break;
+        case Op::VMulC: in.a = mapped[n++]; break;
+        case Op::VFmaC:
+          in.a = mapped[n++];
+          in.b = mapped[n++];
+          break;
+        default:
+          break;
+      }
+    }
+
+    // Operands whose last use is this instruction free their registers
+    // before the destination is allocated, enabling in-place reuse.
+    for (int n = 0; n < r.count; ++n) release_if_dead(r.regs[n], pos);
+
+    if (defines_dst(in)) {
+      const int v = in.dst;
+      const int p = acquire_phys(pos);
+      in.dst = p;
+      phys_of[v] = p;
+      owner[p] = v;
+      // A value with no uses at all (e.g. a store-less experiment) stays
+      // resident until evicted; that is fine.
+    }
+    emit(in);
+
+    // The defined value might itself be dead (never read) -- free eagerly.
+    if (defines_dst(in)) {
+      const Inst& orig = insts[pos];
+      release_if_dead(orig.dst, pos);
+    }
+  }
+
+  out.program.set_num_vregs(budget);
+  out.program.set_num_spill_slots(next_slot);
+  out.regs_used = regs_high_water;
+  out.spill_slots = next_slot;
+  out.program.verify();
+  return out;
+}
+
+}  // namespace bricksim::ir

@@ -1,0 +1,33 @@
+// Register allocation for straight-line SSA vector programs.
+//
+// Kernels lowered for a concrete (architecture, programming model) pair have
+// a finite vector-register budget; exceeding it forces spills to per-thread
+// local memory, which on a real GPU turns into extra L1/L2 traffic -- one of
+// the effects the paper attributes performance differences to (gather-style
+// high-order stencils spill; the vector-scatter codegen avoids it).
+//
+// Programs built by ir::Program's builder are SSA (every helper defines a
+// fresh vreg), so allocation is the classic Belady/furthest-next-use scheme:
+// on pressure, evict the resident value whose next use is farthest away,
+// storing it to a spill slot on first eviction (SSA values never change, so
+// later evictions of the same value need no store).
+#pragma once
+
+#include "ir/program.h"
+
+namespace bricksim::ir {
+
+struct RegAllocResult {
+  Program program;       ///< rewritten with physical registers + spill code
+  int regs_used = 0;     ///< physical registers actually used
+  int spill_slots = 0;
+  int spill_stores = 0;  ///< VStore-to-spill instructions inserted
+  int spill_loads = 0;   ///< VLoad-from-spill instructions inserted
+};
+
+/// Allocates `prog` (virtual, SSA) onto `budget` physical vector registers.
+/// Requires budget >= 4 (max operands of one instruction plus its result).
+/// Throws bricksim::Error on malformed input.
+RegAllocResult allocate_registers(const Program& prog, int budget);
+
+}  // namespace bricksim::ir

@@ -1,0 +1,164 @@
+#include "ir/schedule.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace bricksim::ir {
+
+namespace {
+
+struct Reads {
+  int regs[3];
+  int count = 0;
+};
+
+Reads reads_of(const Inst& in) {
+  Reads r{};
+  auto push = [&](int v) {
+    if (v >= 0) r.regs[r.count++] = v;
+  };
+  switch (in.op) {
+    case Op::VStore: push(in.a); break;
+    case Op::VAlign:
+    case Op::VAddV:
+    case Op::VMulV:
+      push(in.a);
+      push(in.b);
+      break;
+    case Op::VFmaV:
+      push(in.a);
+      push(in.b);
+      push(in.c);
+      break;
+    case Op::VMulC: push(in.a); break;
+    case Op::VFmaC:
+      push(in.a);
+      push(in.b);
+      break;
+    default:
+      break;
+  }
+  return r;
+}
+
+bool defines_dst(const Inst& in) {
+  return in.op != Op::VStore && in.op != Op::IOp;
+}
+
+}  // namespace
+
+int max_live_values(const Program& prog) {
+  const auto& insts = prog.insts();
+  // Last use position of every vreg.
+  std::vector<std::ptrdiff_t> last_use(prog.num_vregs(), -1);
+  for (std::size_t pos = 0; pos < insts.size(); ++pos) {
+    const Reads r = reads_of(insts[pos]);
+    for (int n = 0; n < r.count; ++n)
+      last_use[r.regs[n]] = static_cast<std::ptrdiff_t>(pos);
+  }
+  int live = 0, peak = 0;
+  for (std::size_t pos = 0; pos < insts.size(); ++pos) {
+    if (defines_dst(insts[pos])) {
+      ++live;
+      peak = std::max(peak, live);
+    }
+    const Reads r = reads_of(insts[pos]);
+    for (int n = 0; n < r.count; ++n)
+      if (last_use[r.regs[n]] == static_cast<std::ptrdiff_t>(pos)) {
+        --live;
+        last_use[r.regs[n]] = -2;  // a repeated operand dies once
+      }
+  }
+  return peak;
+}
+
+ScheduleResult schedule_for_pressure(const Program& prog) {
+  prog.verify();
+  const auto& insts = prog.insts();
+  const std::size_t n = insts.size();
+
+  // Dependences: value edges (def -> use) plus a chain through the stores.
+  std::vector<int> pending(n, 0);            // unscheduled predecessors
+  std::vector<std::vector<int>> succ(n);     // dependents
+  std::vector<int> def_site(prog.num_vregs(), -1);
+  std::vector<int> remaining_uses(prog.num_vregs(), 0);
+
+  int prev_store = -1;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const Inst& in = insts[pos];
+    const Reads r = reads_of(in);
+    for (int u = 0; u < r.count; ++u) {
+      const int site = def_site[r.regs[u]];
+      BRICKSIM_ASSERT(site >= 0, "SSA input expected");
+      succ[site].push_back(static_cast<int>(pos));
+      ++pending[pos];
+      ++remaining_uses[r.regs[u]];
+    }
+    if (in.op == Op::VStore) {
+      if (prev_store >= 0) {
+        succ[prev_store].push_back(static_cast<int>(pos));
+        ++pending[pos];
+      }
+      prev_store = static_cast<int>(pos);
+    }
+    if (defines_dst(in)) def_site[in.dst] = static_cast<int>(pos);
+  }
+
+  // Greedy selection: prefer the ready instruction with the best net
+  // pressure change (operands it kills minus values it defines), then the
+  // earliest original position (keeps loads near their first use).
+  std::vector<char> scheduled(n, 0);
+  std::vector<int> ready;
+  for (std::size_t pos = 0; pos < n; ++pos)
+    if (pending[pos] == 0) ready.push_back(static_cast<int>(pos));
+
+  ScheduleResult out{Program(prog.vec_width())};
+  for (const auto& name : prog.constant_names()) out.program.add_constant(name);
+  out.program.set_num_vregs(prog.num_vregs());
+  out.program.set_num_spill_slots(prog.num_spill_slots());
+
+  auto net_pressure = [&](int pos) {
+    const Reads r = reads_of(insts[pos]);
+    int kills = 0;
+    // Count distinct operands whose last remaining use this would be.
+    for (int u = 0; u < r.count; ++u) {
+      bool dup = false;
+      for (int v = 0; v < u; ++v) dup = dup || r.regs[v] == r.regs[u];
+      if (!dup && remaining_uses[r.regs[u]] == 1) ++kills;
+    }
+    return kills - (defines_dst(insts[pos]) ? 1 : 0);
+  };
+
+  while (!ready.empty()) {
+    int best = -1, best_score = std::numeric_limits<int>::min();
+    for (std::size_t c = 0; c < ready.size(); ++c) {
+      const int score = net_pressure(ready[c]);
+      if (score > best_score ||
+          (score == best_score && ready[c] < ready[best])) {
+        best = static_cast<int>(c);
+        best_score = score;
+      }
+    }
+    const int pos = ready[best];
+    ready.erase(ready.begin() + best);
+    scheduled[pos] = 1;
+    out.program.insts().push_back(insts[pos]);
+
+    const Reads r = reads_of(insts[pos]);
+    for (int u = 0; u < r.count; ++u) --remaining_uses[r.regs[u]];
+    for (int s : succ[pos])
+      if (--pending[s] == 0) ready.push_back(s);
+  }
+
+  BRICKSIM_REQUIRE(out.program.insts().size() == n,
+                   "scheduler dropped instructions (cyclic dependences?)");
+  out.program.verify();
+  out.max_live_before = max_live_values(prog);
+  out.max_live_after = max_live_values(out.program);
+  return out;
+}
+
+}  // namespace bricksim::ir

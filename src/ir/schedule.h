@@ -1,0 +1,35 @@
+// Register-pressure-aware instruction scheduling.
+//
+// Gather-mode high-order kernels build large reuse sets; the ORDER in which
+// the straight-line program walks them decides how many values are live at
+// once and therefore how many spills the register allocator must insert
+// (the problem the paper's reference [44], "Associative Instruction
+// Reordering to Alleviate Register Pressure", attacks at the source level).
+//
+// schedule_for_pressure() is a greedy list scheduler over the dataflow DAG:
+// at each step it picks, among the ready instructions, the one that frees
+// the most live values (net of what it defines), tie-breaking by original
+// program order.  Only instruction ORDER changes -- the operand tree is
+// untouched, so floating-point results are bit-identical; stores keep their
+// relative order (distinct addresses, but cheap and safe).
+#pragma once
+
+#include "ir/program.h"
+
+namespace bricksim::ir {
+
+struct ScheduleResult {
+  Program program;
+  int max_live_before = 0;  ///< peak simultaneously-live values, input order
+  int max_live_after = 0;   ///< peak after scheduling
+};
+
+/// Reorders `prog` (straight-line SSA, as produced by the code generator;
+/// run BEFORE register allocation) to reduce peak register pressure.
+ScheduleResult schedule_for_pressure(const Program& prog);
+
+/// Peak number of simultaneously-live values of a straight-line program
+/// (exact, by liveness scan); exposed for tests and reporting.
+int max_live_values(const Program& prog);
+
+}  // namespace bricksim::ir

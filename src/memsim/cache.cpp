@@ -1,0 +1,87 @@
+#include "memsim/cache.h"
+
+#include "common/error.h"
+
+namespace bricksim::memsim {
+
+SetAssocCache::SetAssocCache(const arch::CacheParams& params)
+    : params_(params) {
+  BRICKSIM_REQUIRE(params.line_bytes > 0, "cache line size must be positive");
+  BRICKSIM_REQUIRE(params.associativity > 0, "associativity must be positive");
+  const std::uint64_t lines = params.capacity_bytes / params.line_bytes;
+  BRICKSIM_REQUIRE(lines >= static_cast<std::uint64_t>(params.associativity),
+                   "cache must hold at least one set");
+  sets_ = lines / params.associativity;
+  ways_.assign(sets_ * params.associativity, Way{});
+}
+
+SetAssocCache::Result SetAssocCache::access(std::uint64_t line, bool write) {
+  const std::uint64_t set = line % sets_;
+  Way* base = &ways_[set * params_.associativity];
+  for (int w = 0; w < params_.associativity; ++w) {
+    if (base[w].tag == line) {
+      base[w].stamp = ++tick_;
+      base[w].dirty = base[w].dirty || write;
+      return {.hit = true};
+    }
+  }
+  return fill(line, set, write);
+}
+
+SetAssocCache::Result SetAssocCache::install_dirty(std::uint64_t line) {
+  const std::uint64_t set = line % sets_;
+  Way* base = &ways_[set * params_.associativity];
+  for (int w = 0; w < params_.associativity; ++w) {
+    if (base[w].tag == line) {
+      base[w].stamp = ++tick_;
+      base[w].dirty = true;
+      return {.hit = true};
+    }
+  }
+  return fill(line, set, /*dirty=*/true);
+}
+
+SetAssocCache::Result SetAssocCache::fill(std::uint64_t line,
+                                          std::uint64_t set, bool dirty) {
+  Way* base = &ways_[set * params_.associativity];
+  int victim = 0;
+  for (int w = 1; w < params_.associativity; ++w) {
+    if (base[w].tag == Way::kInvalid) {
+      victim = w;
+      break;
+    }
+    if (base[w].stamp < base[victim].stamp) victim = w;
+  }
+  Result r;
+  r.hit = false;
+  if (base[victim].tag != Way::kInvalid && base[victim].dirty) {
+    r.writeback = true;
+    r.wb_line = base[victim].tag;
+  }
+  base[victim] = {.tag = line, .stamp = ++tick_, .dirty = dirty};
+  return r;
+}
+
+bool SetAssocCache::probe(std::uint64_t line) const {
+  const std::uint64_t set = line % sets_;
+  const Way* base = &ways_[set * params_.associativity];
+  for (int w = 0; w < params_.associativity; ++w)
+    if (base[w].tag == line) return true;
+  return false;
+}
+
+std::uint64_t SetAssocCache::reset() {
+  const std::uint64_t dirty = dirty_lines();
+  ways_.assign(ways_.size(), Way{});
+  tick_ = 0;
+  return dirty;
+}
+
+std::uint64_t SetAssocCache::dirty_lines() const {
+  std::uint64_t n = 0;
+  for (const Way& w : ways_)
+    if (w.tag != Way::kInvalid && w.dirty) ++n;
+  return n;
+}
+
+}  // namespace bricksim::memsim

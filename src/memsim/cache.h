@@ -1,0 +1,62 @@
+// A single set-associative, write-back, LRU cache level.
+//
+// Operates on line addresses (byte address >> log2(line)).  The hierarchy
+// (hierarchy.h) composes per-core L1s with a shared L2 and owns the traffic
+// accounting; this class only answers hit/miss/writeback questions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.h"
+
+namespace bricksim::memsim {
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const arch::CacheParams& params);
+
+  struct Result {
+    bool hit = false;
+    bool writeback = false;        ///< an evicted dirty line must go down
+    std::uint64_t wb_line = 0;     ///< line address of the writeback victim
+  };
+
+  /// Looks up `line` (a line address, not a byte address).  On miss the line
+  /// is allocated, evicting the LRU way.  `write` marks the line dirty.
+  Result access(std::uint64_t line, bool write);
+
+  /// Allocates `line` as dirty WITHOUT a fill from below (full-line streaming
+  /// store).  Returns any dirty victim exactly like access().
+  Result install_dirty(std::uint64_t line);
+
+  /// True if the line is currently resident (no state change).
+  bool probe(std::uint64_t line) const;
+
+  /// Drops everything; returns the number of dirty lines discarded.
+  std::uint64_t reset();
+
+  /// Number of dirty resident lines (used by flush accounting and tests).
+  std::uint64_t dirty_lines() const;
+
+  int line_bytes() const { return params_.line_bytes; }
+  std::uint64_t num_sets() const { return sets_; }
+  int ways() const { return params_.associativity; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = kInvalid;
+    std::uint64_t stamp = 0;
+    bool dirty = false;
+    static constexpr std::uint64_t kInvalid = ~0ull;
+  };
+
+  Result fill(std::uint64_t line, std::uint64_t set, bool dirty);
+
+  arch::CacheParams params_;
+  std::uint64_t sets_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_;  ///< sets_ * associativity entries
+};
+
+}  // namespace bricksim::memsim

@@ -1,0 +1,101 @@
+// The simulated device memory hierarchy: one L1 per core, a shared L2, HBM.
+//
+// The SIMT machine presents warp-wide accesses (address + byte count); the
+// hierarchy splits them into sectors (transaction granularity, what Nsight
+// and rocprof report as "L1 bytes") and lines (allocation granularity), and
+// walks the levels with write-back/LRU semantics:
+//
+//  * loads:  L1 -> L2 -> HBM, allocating at every level.
+//  * stores that cover whole lines: streaming/write-combining -- installed
+//    dirty in L2 without a fill from HBM (GPU stencil stores are full-line).
+//  * partial-line stores: write-through the L1 into L2 with write-allocate
+//    (a read-modify-write fill from HBM on L2 miss).
+//  * `bypass_l2` loads: on L1 miss go straight to HBM.  Used to model the
+//    MI250X/HIP lowering of unaligned vector loads that the paper observed
+//    moving >10 GB on `array codegen` (Figure 6, right).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/arch.h"
+#include "memsim/cache.h"
+
+namespace bricksim::memsim {
+
+/// Byte counters between adjacent levels plus hit/miss tallies.
+struct Traffic {
+  // Register file <-> L1, sector-granular ("L1 data movement" in Figure 4).
+  std::uint64_t l1_read_bytes = 0;
+  std::uint64_t l1_write_bytes = 0;
+  // L1 <-> L2, line-granular.
+  std::uint64_t l2_read_bytes = 0;
+  std::uint64_t l2_write_bytes = 0;
+  // L2 <-> HBM, line-granular ("Bytes accessed" in Figures 5/6).
+  std::uint64_t hbm_read_bytes = 0;
+  std::uint64_t hbm_write_bytes = 0;
+
+  std::uint64_t l1_hits = 0, l1_misses = 0;
+  std::uint64_t l2_hits = 0, l2_misses = 0;
+
+  std::uint64_t l1_total() const { return l1_read_bytes + l1_write_bytes; }
+  std::uint64_t hbm_total() const { return hbm_read_bytes + hbm_write_bytes; }
+
+  Traffic& operator+=(const Traffic& o);
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const arch::GpuArch& arch);
+
+  /// Shape of one warp-wide access, used by the SIMT timing model.
+  struct AccessShape {
+    int sectors = 0;  ///< transaction granules touched
+    int lines = 0;    ///< cache lines touched
+    /// True when the access reached DRAM (an L2 read miss, a streaming-
+    /// store install of a new line, or an L2 bypass) -- feeds the
+    /// page-locality overhead model (arch::GpuArch::page_open_bytes).
+    bool dram_touch = false;
+  };
+
+  /// Performs a warp-wide access of `bytes` bytes at byte address `addr`
+  /// issued from `core` (selects the L1).  `write` selects store semantics;
+  /// `bypass_l2` applies to loads only (see file comment); `rmw_stores`
+  /// forces write-allocate (read-modify-write) even for full-line stores,
+  /// modelling lowerings that fail streaming-store detection.
+  AccessShape access(int core, std::uint64_t addr, std::uint32_t bytes,
+                     bool write, bool bypass_l2 = false,
+                     bool rmw_stores = false);
+
+  /// Charges page-locality overhead (DRAM row activations / TLB walks) as
+  /// extra HBM read traffic; called by the machine once per (block, page).
+  void charge_page_overhead(double bytes) {
+    traffic_.hbm_read_bytes += static_cast<std::uint64_t>(bytes);
+  }
+
+  /// A per-thread-block scratch access (register spill traffic).  Spill
+  /// working sets are tiny and block-local, so they are modelled as
+  /// L1-resident: only register-file<->L1 bytes are counted.
+  AccessShape scratch_access(std::uint32_t bytes, bool write);
+
+  /// Counts the dirty lines still in L2 as written back to HBM.  Call at
+  /// most once, after a kernel, when modelling a full drain; the default
+  /// reports (like hardware profilers) count only in-kernel traffic.
+  void flush_l2();
+
+  const Traffic& traffic() const { return traffic_; }
+  void reset_counters() { traffic_ = Traffic{}; }
+  /// Drops all cached state AND counters (cold caches).
+  void reset();
+
+  const arch::GpuArch& gpu() const { return arch_; }
+
+ private:
+  arch::GpuArch arch_;
+  std::vector<SetAssocCache> l1_;
+  SetAssocCache l2_;
+  Traffic traffic_;
+};
+
+}  // namespace bricksim::memsim

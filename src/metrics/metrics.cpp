@@ -1,0 +1,70 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace bricksim::metrics {
+
+double pennycook_p(std::span<const double> efficiencies) {
+  return harmonic_mean(efficiencies);
+}
+
+EfficiencySummary summarize_efficiencies(std::span<const double> effs) {
+  EfficiencySummary s;
+  if (effs.empty()) return s;
+  s.p = pennycook_p(effs);
+  s.min = min_of(effs);
+  s.max = max_of(effs);
+  s.stddev = stddev(effs);
+  const double m = mean(effs);
+  s.cv = m > 0 ? s.stddev / m : 0;
+  s.min_max = s.max > 0 ? s.min / s.max : 0;
+  return s;
+}
+
+double fraction_of_roofline(const roofline::Roofline& rl,
+                            const profiler::Measurement& m) {
+  return rl.fraction(m.gflops, m.ai);
+}
+
+double fraction_of_theoretical_ai(const dsl::Stencil& stencil,
+                                  const profiler::Measurement& m) {
+  const double theo = stencil.theoretical_ai();
+  if (theo <= 0) return 0;
+  return std::min(1.0, m.ai / theo);
+}
+
+double potential_speedup(double frac_ai, double frac_roofline) {
+  if (frac_ai <= 0 || frac_roofline <= 0) return 0;
+  return 1.0 / (frac_ai * frac_roofline);
+}
+
+std::uint64_t compulsory_bytes(Vec3 domain) {
+  return 2ull * static_cast<std::uint64_t>(domain.volume()) * kElemBytes;
+}
+
+std::vector<CorrPoint> correlate(std::span<const profiler::Measurement> ys,
+                                 std::span<const profiler::Measurement> xs,
+                                 CorrMetric metric) {
+  auto value = [&](const profiler::Measurement& m) {
+    switch (metric) {
+      case CorrMetric::Gflops: return m.gflops;
+      case CorrMetric::HbmGbytes:
+        return static_cast<double>(m.hbm_bytes) / 1e9;
+    }
+    return 0.0;
+  };
+  std::vector<CorrPoint> out;
+  for (const auto& y : ys) {
+    for (const auto& x : xs) {
+      if (x.stencil == y.stencil && x.variant == y.variant) {
+        out.push_back({y.stencil, y.variant, value(x), value(y)});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bricksim::metrics

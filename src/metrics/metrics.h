@@ -1,0 +1,80 @@
+// Performance-portability metrics (paper Section 5.2).
+//
+//  * Pennycook's metric P: the harmonic mean of per-platform performance
+//    efficiencies, zero if any platform is unsupported/zero.
+//  * Two efficiency definitions: fraction of the (empirical) Roofline at
+//    the measured arithmetic intensity, and the paper's new fraction of
+//    THEORETICAL arithmetic intensity (how close data movement comes to the
+//    compulsory-miss bound of an infinite cache).
+//  * The potential-speedup model of Figure 7: plotting fraction-of-AI (x)
+//    against fraction-of-Roofline (y) puts every platform/model on one
+//    chart; iso-curves x*y = 1/s mark a constant potential speedup s from
+//    any mix of better data locality and better code generation.
+//  * Correlation pairs (Figures 5/6): the same metric measured under two
+//    programming models on one architecture, one per axis.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dsl/stencil.h"
+#include "profiler/profiler.h"
+#include "roofline/roofline.h"
+
+namespace bricksim::metrics {
+
+/// Pennycook performance portability: |H| / sum(1/e_i); 0 when any
+/// efficiency is <= 0 (unsupported platform).
+double pennycook_p(std::span<const double> efficiencies);
+
+/// The consistency companions to P from the studies the paper builds on
+/// (its references [12, 28]): P alone hides whether performance is
+/// uniformly mediocre or mostly-great-with-one-outlier.
+struct EfficiencySummary {
+  double p = 0;         ///< Pennycook harmonic mean
+  double min = 0;       ///< worst platform
+  double max = 0;       ///< best platform
+  double stddev = 0;    ///< spread
+  double cv = 0;        ///< coefficient of variation (stddev / mean)
+  double min_max = 0;   ///< min/max ratio: 1 = perfectly consistent
+};
+
+EfficiencySummary summarize_efficiencies(std::span<const double> effs);
+
+/// e_i = achieved GFLOP/s over Roofline-attainable GFLOP/s at measured AI.
+double fraction_of_roofline(const roofline::Roofline& rl,
+                            const profiler::Measurement& m);
+
+/// e_i = measured AI over the stencil's theoretical (compulsory-bound) AI.
+/// Capped at 1 (a cache can deliver at most compulsory-only traffic over a
+/// whole out-of-place kernel; above-unity readings would be ghost effects).
+double fraction_of_theoretical_ai(const dsl::Stencil& stencil,
+                                  const profiler::Measurement& m);
+
+/// Potential speedup = 1 / (frac_ai * frac_roofline): how much faster the
+/// kernel could get from ideal locality AND ideal code generation.
+double potential_speedup(double frac_ai, double frac_roofline);
+
+/// Theoretical lower bound on bytes moved for an out-of-place stencil over
+/// `domain`: one read and one write per point (2.15 GB at 512^3).
+std::uint64_t compulsory_bytes(Vec3 domain);
+
+/// One point of a correlation plot: the same (stencil, variant) measured
+/// under two programming models.
+struct CorrPoint {
+  std::string stencil;
+  std::string variant;
+  double x = 0;  ///< metric under the x-axis model
+  double y = 0;  ///< metric under the y-axis model
+};
+
+enum class CorrMetric { Gflops, HbmGbytes };
+
+/// Pairs measurements by (stencil, variant); `ys` provides the y axis.
+/// Measurements present on only one side are skipped.
+std::vector<CorrPoint> correlate(
+    std::span<const profiler::Measurement> ys,
+    std::span<const profiler::Measurement> xs, CorrMetric metric);
+
+}  // namespace bricksim::metrics

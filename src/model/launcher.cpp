@@ -1,0 +1,174 @@
+#include "model/launcher.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "brick/brick.h"
+#include "common/error.h"
+#include "ir/regalloc.h"
+#include "ir/schedule.h"
+
+namespace bricksim::model {
+
+Launcher::Launcher(Vec3 domain) : domain_(domain) {
+  BRICKSIM_REQUIRE(domain.i > 0 && domain.j > 0 && domain.k > 0,
+                   "domain extents must be positive");
+}
+
+LaunchResult Launcher::run(const dsl::Stencil& stencil,
+                           codegen::Variant variant, const Platform& platform,
+                           const codegen::Options& opts) const {
+  return run_impl(stencil, variant, platform, opts, nullptr, nullptr);
+}
+
+LaunchResult Launcher::run_functional(const dsl::Stencil& stencil,
+                                      codegen::Variant variant,
+                                      const Platform& platform,
+                                      const HostGrid& in, HostGrid& out,
+                                      const codegen::Options& opts) const {
+  BRICKSIM_REQUIRE(in.interior() == domain_ && out.interior() == domain_,
+                   "grid interiors must match the launcher domain");
+  const int r = stencil.radius();
+  BRICKSIM_REQUIRE(in.ghost().i >= r && in.ghost().j >= r && in.ghost().k >= r,
+                   "input ghost must cover the stencil radius");
+  return run_impl(stencil, variant, platform, opts, &in, &out);
+}
+
+LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
+                                codegen::Variant variant,
+                                const Platform& platform,
+                                const codegen::Options& opts,
+                                const HostGrid* in, HostGrid* out) const {
+  const arch::GpuArch& gpu = platform.gpu;
+  const ProgModel& pm = platform.pm;
+  const int W = gpu.simd_width;
+  const int ti = W * opts.tile_i_vectors;  // vector folding in i
+  const int tj = opts.tile_j;
+  const int tk = opts.tile_k;
+  BRICKSIM_REQUIRE(domain_.i % ti == 0 && domain_.j % tj == 0 &&
+                       domain_.k % tk == 0,
+                   "domain must be divisible by the tile shape on " +
+                       gpu.name);
+
+  // 1. Lower with this model's per-access costs.
+  const bool naive = variant == codegen::Variant::Array;
+  codegen::LoweringCosts costs;
+  costs.addr_ops_per_load =
+      naive ? pm.addr_ops_per_load_naive : pm.addr_ops_per_load_codegen;
+  costs.addr_ops_per_store =
+      naive ? pm.addr_ops_per_store_naive : pm.addr_ops_per_store_codegen;
+  codegen::LoweredKernel lowered =
+      codegen::lower(stencil, variant, W, opts, costs);
+  if (opts.reorder_for_pressure)
+    lowered.program =
+        ir::schedule_for_pressure(lowered.program).program;
+
+  // 2. Register allocation against the platform budget.
+  const int budget = std::max(
+      8, static_cast<int>(gpu.regs_per_lane * pm.reg_budget_fraction));
+  ir::RegAllocResult ra = ir::allocate_registers(lowered.program, budget);
+
+  // 3. Bind data.
+  const bool functional = in != nullptr;
+  simt::Kernel kernel;
+  kernel.program = &ra.program;
+  kernel.tile = {ti, tj, tk};
+  kernel.blocks = {domain_.i / ti, domain_.j / tj, domain_.k / tk};
+  for (const auto& group : stencil.groups())
+    kernel.constants.push_back(group.value);
+  kernel.read_streams = lowered.read_streams;
+  kernel.bw_derate = pm.bw_derate;
+  kernel.shuffle_cost_mult = pm.shuffle_cost_mult;
+  kernel.bypass_l2_unaligned_vloads = pm.bypass_l2_unaligned_vloads;
+  kernel.streaming_stores = pm.streaming_stores;
+  kernel.extra_cycles_per_load = naive ? pm.naive_extra_cycles_per_load : 0.0;
+
+  simt::DeviceAllocator dev(gpu.l1.line_bytes);
+
+  // Functional scratch that must outlive machine.run():
+  std::vector<bElem> in_copy;
+  std::unique_ptr<brick::BrickDecomp> decomp;
+  std::unique_ptr<brick::BrickedArray> bin, bout;
+
+  if (variant == codegen::Variant::BricksCodegen) {
+    decomp = std::make_unique<brick::BrickDecomp>(
+        domain_, brick::BrickDims{ti, tj, tk}, opts.shuffled_brick_order,
+        opts.brick_order_seed);
+    const std::uint64_t bytes = static_cast<std::uint64_t>(
+        decomp->num_bricks() * decomp->dims().elems() * kElemBytes);
+    auto make_binding = [&](bElem* data, std::size_t len) {
+      simt::GridBinding g;
+      g.device_base = dev.allocate(bytes);
+      g.elems_per_brick = decomp->dims().elems();
+      g.adjacency = decomp->adjacency();
+      g.block_to_brick = decomp->block_to_brick();
+      g.brick_dims = decomp->dims().as_vec();
+      g.data = data;
+      g.len = len;
+      return g;
+    };
+    if (functional) {
+      bin = std::make_unique<brick::BrickedArray>(*decomp);
+      bout = std::make_unique<brick::BrickedArray>(*decomp);
+      bin->from_host(*in);
+      kernel.grids.push_back(
+          make_binding(bin->raw().data(), bin->raw().size()));
+      kernel.grids.push_back(
+          make_binding(bout->raw().data(), bout->raw().size()));
+    } else {
+      kernel.grids.push_back(make_binding(nullptr, 0));
+      kernel.grids.push_back(make_binding(nullptr, 0));
+    }
+  } else {
+    // Array layout: input padded by the stencil radius, output by whatever
+    // ghost the caller's grid carries (zero in counters-only mode).
+    const int r = stencil.radius();
+    const Vec3 in_ghost = functional ? in->ghost() : Vec3{r, r, r};
+    const Vec3 in_padded{domain_.i + 2 * in_ghost.i,
+                         domain_.j + 2 * in_ghost.j,
+                         domain_.k + 2 * in_ghost.k};
+    simt::GridBinding gi;
+    gi.padded = in_padded;
+    gi.ghost = in_ghost;
+    gi.device_base = dev.allocate(
+        static_cast<std::uint64_t>(in_padded.volume()) * kElemBytes);
+    if (functional) {
+      in_copy.assign(in->raw().begin(), in->raw().end());
+      gi.data = in_copy.data();
+      gi.len = in_copy.size();
+    }
+    kernel.grids.push_back(gi);
+
+    const Vec3 out_ghost = functional ? out->ghost() : Vec3{0, 0, 0};
+    const Vec3 out_padded{domain_.i + 2 * out_ghost.i,
+                          domain_.j + 2 * out_ghost.j,
+                          domain_.k + 2 * out_ghost.k};
+    simt::GridBinding go;
+    go.padded = out_padded;
+    go.ghost = out_ghost;
+    go.device_base = dev.allocate(
+        static_cast<std::uint64_t>(out_padded.volume()) * kElemBytes);
+    if (functional) {
+      go.data = out->raw().data();
+      go.len = out->raw().size();
+    }
+    kernel.grids.push_back(go);
+  }
+
+  // 4. Execute.
+  simt::Machine machine(gpu);
+  LaunchResult res;
+  res.report = machine.run(kernel, functional ? simt::ExecMode::Functional
+                                              : simt::ExecMode::CountersOnly);
+  if (functional && bout) bout->to_host(*out);
+
+  res.inst_stats = ra.program.stats();
+  res.regs_used = ra.regs_used;
+  res.spill_slots = ra.spill_slots;
+  res.used_scatter = lowered.used_scatter;
+  res.read_streams = lowered.read_streams;
+  res.normalized_flops = stencil.min_flops(domain_);
+  return res;
+}
+
+}  // namespace bricksim::model

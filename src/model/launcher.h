@@ -1,0 +1,75 @@
+// The launcher: runs one (stencil, variant, platform) experiment end to end.
+//
+// Pipeline: DSL stencil -> vector codegen (variant-specific lowering with
+// the platform's programming-model costs) -> register allocation against
+// the platform's register budget -> data binding (padded arrays or bricked
+// storage with adjacency) -> SIMT machine execution -> KernelReport.
+//
+// Two entry points: `run` executes counters-only (no data allocated; used
+// by the benchmark sweeps at paper scale), `run_functional` executes with
+// real values so results can be verified against the scalar reference.
+#pragma once
+
+#include "codegen/codegen.h"
+#include "common/grid.h"
+#include "dsl/stencil.h"
+#include "model/progmodel.h"
+#include "simt/machine.h"
+
+namespace bricksim::model {
+
+struct LaunchResult {
+  simt::KernelReport report;
+  ir::InstStats inst_stats;  ///< post-register-allocation, per thread block
+  int regs_used = 0;
+  int spill_slots = 0;
+  bool used_scatter = false;
+  int read_streams = 1;
+
+  /// The paper's normalised FLOP count: the minimal symmetry-exploiting
+  /// count, identical for every variant of the same stencil, "to avoid
+  /// introducing FLOP count variations on the Roofline model".
+  long normalized_flops = 0;
+
+  double normalized_gflops() const {
+    return report.seconds > 0
+               ? static_cast<double>(normalized_flops) / report.seconds / 1e9
+               : 0.0;
+  }
+  /// Arithmetic intensity from normalised FLOPs and measured HBM bytes.
+  double normalized_ai() const {
+    const auto bytes = report.traffic.hbm_total();
+    return bytes > 0 ? static_cast<double>(normalized_flops) / bytes : 0.0;
+  }
+};
+
+class Launcher {
+ public:
+  /// `domain` is the interior grid (512^3 in the paper).  Extents must be
+  /// divisible by the tile/brick shape of every platform used.
+  explicit Launcher(Vec3 domain);
+
+  Vec3 domain() const { return domain_; }
+
+  /// Counters-only execution (no element data; fast, any domain size).
+  LaunchResult run(const dsl::Stencil& stencil, codegen::Variant variant,
+                   const Platform& platform,
+                   const codegen::Options& opts = {}) const;
+
+  /// Functional execution: applies the stencil to `in` (ghost >= radius)
+  /// and writes `out` (interior == domain).
+  LaunchResult run_functional(const dsl::Stencil& stencil,
+                              codegen::Variant variant,
+                              const Platform& platform, const HostGrid& in,
+                              HostGrid& out,
+                              const codegen::Options& opts = {}) const;
+
+ private:
+  LaunchResult run_impl(const dsl::Stencil& stencil, codegen::Variant variant,
+                        const Platform& platform, const codegen::Options& opts,
+                        const HostGrid* in, HostGrid* out) const;
+
+  Vec3 domain_;
+};
+
+}  // namespace bricksim::model

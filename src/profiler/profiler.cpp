@@ -1,0 +1,75 @@
+#include "profiler/profiler.h"
+
+#include <iomanip>
+
+namespace bricksim::profiler {
+
+Measurement measure(const dsl::Stencil& stencil, codegen::Variant variant,
+                    const model::Platform& platform, Vec3 domain,
+                    const model::LaunchResult& r) {
+  Measurement m;
+  m.stencil = stencil.name();
+  m.variant = codegen::variant_name(variant);
+  m.arch = platform.gpu.name;
+  m.pm = platform.pm.name;
+  m.domain = domain;
+
+  m.seconds = r.report.seconds;
+  m.gflops = r.normalized_gflops();
+  m.ai = r.normalized_ai();
+  m.ai_executed = r.report.arithmetic_intensity();
+
+  const auto& t = r.report.traffic;
+  m.hbm_bytes = t.hbm_total();
+  m.hbm_read_bytes = t.hbm_read_bytes;
+  m.hbm_write_bytes = t.hbm_write_bytes;
+  m.l2_bytes = t.l2_read_bytes + t.l2_write_bytes;
+  m.l1_bytes = t.l1_total();
+  m.flops_executed = r.report.flops_executed;
+  m.flops_normalized = r.normalized_flops;
+  m.warp_insts = r.report.warp_insts;
+
+  m.t_hbm = r.report.t_hbm;
+  m.t_l2 = r.report.t_l2;
+  m.t_issue = r.report.t_issue;
+  m.bottleneck = r.report.bottleneck();
+  m.regs_used = r.regs_used;
+  m.spill_slots = r.spill_slots;
+  m.read_streams = r.read_streams;
+  m.used_scatter = r.used_scatter;
+  return m;
+}
+
+Measurement run_and_measure(const model::Launcher& launcher,
+                            const dsl::Stencil& stencil,
+                            codegen::Variant variant,
+                            const model::Platform& platform,
+                            const codegen::Options& opts) {
+  const model::LaunchResult r =
+      launcher.run(stencil, variant, platform, opts);
+  return measure(stencil, variant, platform, launcher.domain(), r);
+}
+
+void print_report(std::ostream& os, const Measurement& m) {
+  auto gb = [](std::uint64_t b) { return static_cast<double>(b) / 1e9; };
+  os << std::fixed;
+  os << "kernel " << m.stencil << " / " << m.variant << " on " << m.arch
+     << " / " << m.pm << "  (domain " << m.domain.i << "x" << m.domain.j
+     << "x" << m.domain.k << ")\n";
+  os << "  time          " << std::setprecision(4) << m.seconds * 1e3
+     << " ms   bottleneck: " << m.bottleneck << "\n";
+  os << "    t_hbm " << m.t_hbm * 1e3 << " ms, t_l2 " << m.t_l2 * 1e3
+     << " ms, t_issue " << m.t_issue * 1e3 << " ms\n";
+  os << "  perf          " << std::setprecision(1) << m.gflops
+     << " GFLOP/s (normalised)   AI " << std::setprecision(3) << m.ai
+     << " FLOP/B (executed " << m.ai_executed << ")\n";
+  os << "  traffic       HBM " << std::setprecision(3) << gb(m.hbm_bytes)
+     << " GB (R " << gb(m.hbm_read_bytes) << " / W " << gb(m.hbm_write_bytes)
+     << "), L2 " << gb(m.l2_bytes) << " GB, L1 " << gb(m.l1_bytes) << " GB\n";
+  os << "  kernel shape  regs " << m.regs_used << ", spill slots "
+     << m.spill_slots << ", read streams " << m.read_streams << ", "
+     << (m.used_scatter ? "scatter" : "gather") << ", warp insts "
+     << m.warp_insts << "\n";
+}
+
+}  // namespace bricksim::profiler

@@ -1,0 +1,67 @@
+// Profiler substrate: the stand-in for Nsight Compute / rocprof / Omniperf /
+// Intel Advisor.  Hardware profilers read device counters; BrickSim's
+// simulator owns the ground truth, so this module just snapshots a
+// LaunchResult into a flat, self-describing Measurement record (the unit all
+// tables, figures and metrics are computed from) and renders the detailed
+// per-kernel report a profiler CLI would print.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "codegen/codegen.h"
+#include "dsl/stencil.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+
+namespace bricksim::profiler {
+
+struct Measurement {
+  // Identity.
+  std::string stencil;
+  std::string variant;
+  std::string arch;
+  std::string pm;
+  Vec3 domain{};
+
+  // Headline numbers (normalised to the paper's common minimum FLOP count).
+  double seconds = 0;
+  double gflops = 0;        ///< normalised FLOPs / time
+  double ai = 0;            ///< normalised FLOPs / HBM bytes
+  double ai_executed = 0;   ///< executed FLOPs / HBM bytes
+
+  // Raw counters.
+  std::uint64_t hbm_bytes = 0;
+  std::uint64_t hbm_read_bytes = 0;
+  std::uint64_t hbm_write_bytes = 0;
+  std::uint64_t l2_bytes = 0;
+  std::uint64_t l1_bytes = 0;
+  std::uint64_t flops_executed = 0;
+  long flops_normalized = 0;
+  std::uint64_t warp_insts = 0;
+
+  // Timing decomposition and kernel shape.
+  double t_hbm = 0, t_l2 = 0, t_issue = 0;
+  std::string bottleneck;
+  int regs_used = 0;
+  int spill_slots = 0;
+  int read_streams = 0;
+  bool used_scatter = false;
+};
+
+/// Builds a Measurement from a launch.
+Measurement measure(const dsl::Stencil& stencil, codegen::Variant variant,
+                    const model::Platform& platform, Vec3 domain,
+                    const model::LaunchResult& result);
+
+/// Runs the launcher (counters-only) and measures in one call.
+Measurement run_and_measure(const model::Launcher& launcher,
+                            const dsl::Stencil& stencil,
+                            codegen::Variant variant,
+                            const model::Platform& platform,
+                            const codegen::Options& opts = {});
+
+/// Prints a detailed per-kernel report (profiler-CLI style).
+void print_report(std::ostream& os, const Measurement& m);
+
+}  // namespace bricksim::profiler

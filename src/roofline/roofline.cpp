@@ -1,0 +1,98 @@
+#include "roofline/roofline.h"
+
+#include <algorithm>
+
+#include "codegen/codegen.h"
+#include "common/error.h"
+#include "ir/program.h"
+#include "simt/machine.h"
+
+namespace bricksim::roofline {
+
+Roofline theoretical_roofline(const arch::GpuArch& gpu) {
+  return {gpu.peak_hbm_bytes_per_sec(), gpu.peak_fp64_flops()};
+}
+
+namespace {
+
+/// Builds the mixbench kernel body: per output row, one streaming load,
+/// `flops_per_elem/2` FMAs, one streaming store.  AI = flops_per_elem/16.
+ir::Program make_mixbench_program(int W, int fma_per_elem) {
+  ir::Program prog(W);
+  const int cidx = prog.add_constant("c");
+  for (int vk = 0; vk < codegen::kTileK; ++vk)
+    for (int vj = 0; vj < codegen::kTileJ; ++vj) {
+      ir::MemRef in;
+      in.grid = 0;
+      in.space = ir::Space::Array;
+      in.dj = vj;
+      in.dk = vk;
+      in.vectorized = true;
+      int acc = prog.load(in);
+      for (int t = 0; t < fma_per_elem; ++t)
+        acc = prog.fma_const(acc, acc, cidx);
+      ir::MemRef out = in;
+      out.grid = 1;
+      prog.store(acc, out);
+    }
+  return prog;
+}
+
+}  // namespace
+
+EmpiricalRoofline mixbench(const model::Platform& platform, Vec3 domain) {
+  const arch::GpuArch& gpu = platform.gpu;
+  const int W = gpu.simd_width;
+  BRICKSIM_REQUIRE(domain.i % W == 0 && domain.j % codegen::kTileJ == 0 &&
+                       domain.k % codegen::kTileK == 0,
+                   "mixbench domain must be divisible by the tile shape");
+
+  EmpiricalRoofline out;
+  simt::Machine machine(gpu);
+
+  for (int fma : {0, 1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+    const ir::Program prog = make_mixbench_program(W, fma);
+
+    simt::Kernel kernel;
+    kernel.program = &prog;
+    kernel.tile = {W, codegen::kTileJ, codegen::kTileK};
+    kernel.blocks = {domain.i / W, domain.j / codegen::kTileJ,
+                     domain.k / codegen::kTileK};
+    kernel.constants = {1.0000001};
+    kernel.read_streams = 1;  // a pure streaming pattern
+    kernel.bw_derate = platform.pm.bw_derate;
+    kernel.streaming_stores = platform.pm.streaming_stores;
+
+    simt::DeviceAllocator dev(gpu.l1.line_bytes);
+    for (int g = 0; g < 2; ++g) {
+      simt::GridBinding b;
+      b.padded = domain;
+      b.device_base = dev.allocate(
+          static_cast<std::uint64_t>(domain.volume()) * kElemBytes);
+      kernel.grids.push_back(b);
+    }
+
+    const simt::KernelReport rep =
+        machine.run(kernel, simt::ExecMode::CountersOnly);
+
+    MixbenchPoint p;
+    p.nominal_ai = 2.0 * fma / (2.0 * kElemBytes);
+    p.measured_ai = rep.arithmetic_intensity();
+    p.gflops = rep.gflops();
+    p.gbytes_per_sec = rep.seconds > 0
+                           ? static_cast<double>(rep.traffic.hbm_total()) /
+                                 rep.seconds / 1e9
+                           : 0;
+    out.points.push_back(p);
+  }
+
+  for (const MixbenchPoint& p : out.points) {
+    out.roofline.peak_bw = std::max(out.roofline.peak_bw,
+                                    p.gbytes_per_sec * 1e9);
+    out.roofline.peak_flops = std::max(out.roofline.peak_flops,
+                                       p.gflops * 1e9);
+  }
+  return out;
+}
+
+}  // namespace bricksim::roofline

@@ -1,0 +1,61 @@
+// The Roofline model and its mixbench-style empirical derivation.
+//
+// The paper evaluates every kernel against a Roofline per (architecture,
+// programming model), with ceilings derived from the mixbench microbenchmark
+// (Konstantinidis & Cotronis) on NVIDIA/AMD and from Intel Advisor on PVC.
+// BrickSim reproduces the methodology: a sweep of synthetic kernels with a
+// controlled FLOP:byte ratio is run through the same simulator, and the
+// plateaus of that sweep become the empirical bandwidth and compute
+// ceilings.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "model/progmodel.h"
+
+namespace bricksim::roofline {
+
+struct Roofline {
+  double peak_bw = 0;     ///< bytes/s ceiling
+  double peak_flops = 0;  ///< FLOP/s ceiling
+
+  /// Arithmetic intensity at which the two ceilings meet.
+  double ridge() const { return peak_bw > 0 ? peak_flops / peak_bw : 0; }
+
+  /// Attainable FLOP/s at arithmetic intensity `ai`.
+  double attainable(double ai) const {
+    const double mem = ai * peak_bw;
+    return mem < peak_flops ? mem : peak_flops;
+  }
+
+  /// Fraction of the Roofline achieved by a kernel running at `gflops`
+  /// (1e9 FLOP/s) with arithmetic intensity `ai`.
+  double fraction(double gflops, double ai) const {
+    const double att = attainable(ai);
+    return att > 0 ? gflops * 1e9 / att : 0;
+  }
+};
+
+/// Vendor-datasheet ceilings (no derating).
+Roofline theoretical_roofline(const arch::GpuArch& gpu);
+
+/// One point of the mixbench sweep.
+struct MixbenchPoint {
+  double nominal_ai = 0;   ///< configured FLOP:byte ratio
+  double measured_ai = 0;  ///< FLOPs / measured HBM bytes
+  double gflops = 0;
+  double gbytes_per_sec = 0;
+};
+
+struct EmpiricalRoofline {
+  Roofline roofline;  ///< plateaus of the sweep
+  std::vector<MixbenchPoint> points;
+};
+
+/// Runs the mixbench sweep for `platform` on a `domain`-sized working set
+/// (large enough to defeat the L2) and derives the empirical ceilings.
+EmpiricalRoofline mixbench(const model::Platform& platform,
+                           bricksim::Vec3 domain);
+
+}  // namespace bricksim::roofline

@@ -1,0 +1,420 @@
+#include "simt/machine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace bricksim::simt {
+
+namespace {
+
+/// Per-core issue-resource accumulators (lanes / bytes / instructions).
+struct CoreUse {
+  double fp_lanes = 0;
+  double int_lanes = 0;
+  double shuffle_lanes = 0;
+  double l1_bytes = 0;
+  double mem_insts = 0;
+  double serial_cycles = 0;  ///< exposed-latency dead time (additive)
+};
+
+/// Execution state of one resident thread block.
+struct BlockCtx {
+  Vec3 bc{};
+  long blin = -1;
+  int core = 0;
+  std::size_t pc = 0;
+  bool active = false;
+  std::vector<double> regs;    ///< Functional mode: num_vregs * W
+  std::vector<double> spills;  ///< Functional mode: slots * W
+  /// Distinct DRAM activation granules this block touched with
+  /// DRAM-reaching accesses (small: compulsory misses only), for the
+  /// page-locality model.  Array accesses are keyed by their logical
+  /// (grid, j, k) row -- each row is a separate address stream / DRAM row
+  /// regardless of domain size -- while brick and scratch accesses are
+  /// keyed by 4 KiB page (a brick IS a page-sized contiguous granule).
+  std::vector<std::uint64_t> dram_pages;
+
+  void note_dram_page(std::uint64_t key) {
+    for (std::uint64_t p : dram_pages)
+      if (p == key) return;
+    dram_pages.push_back(key);
+  }
+};
+
+Vec3 unlinearize(long b, const Vec3& n) {
+  Vec3 v;
+  v.i = static_cast<int>(b % n.i);
+  v.j = static_cast<int>((b / n.i) % n.j);
+  v.k = static_cast<int>(b / (static_cast<long>(n.i) * n.j));
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t DeviceAllocator::allocate(std::uint64_t bytes) {
+  // Align every buffer to 4 KiB so distinct grids never share a line.
+  constexpr std::uint64_t kAlign = 4096;
+  next_ = (next_ + kAlign - 1) / kAlign * kAlign;
+  const std::uint64_t base = next_;
+  next_ += (bytes + line_ - 1) / line_ * line_;
+  return base;
+}
+
+Machine::Machine(const arch::GpuArch& arch) : arch_(arch), hier_(arch) {}
+
+KernelReport Machine::run(const Kernel& kernel, ExecMode mode) {
+  BRICKSIM_REQUIRE(kernel.program != nullptr, "kernel without a program");
+  const ir::Program& prog = *kernel.program;
+  prog.verify();
+  BRICKSIM_REQUIRE(kernel.tile.i % prog.vec_width() == 0,
+                   "tile inner extent must be a multiple of the program "
+                   "vector width (vector folding)");
+  BRICKSIM_REQUIRE(static_cast<int>(kernel.grids.size()) >= prog.num_grids(),
+                   "not enough grid bindings for the program");
+  BRICKSIM_REQUIRE(static_cast<int>(kernel.constants.size()) >=
+                       prog.num_constants(),
+                   "not enough constant values bound");
+
+  hier_.reset();
+  const int W = prog.vec_width();
+  const long total_blocks = kernel.blocks.volume();
+  BRICKSIM_REQUIRE(total_blocks > 0, "empty launch grid");
+  const int resident = static_cast<int>(
+      std::min<long>(arch_.max_resident_blocks(), total_blocks));
+  const bool functional = mode == ExecMode::Functional;
+
+  KernelReport rep;
+  std::vector<CoreUse> cores(arch_.num_cores);
+
+  // Counters-only fast path: ALU/shuffle resource usage and FLOPs are
+  // identical for every block (same straight-line program), so they are
+  // tallied analytically per block and only memory instructions -- whose
+  // cache behaviour genuinely differs -- are executed.
+  std::vector<ir::Inst> mem_only;
+  double alu_fp_lanes = 0, alu_int_lanes = 0, alu_shuffle_lanes = 0;
+  std::uint64_t alu_flops = 0, alu_warp_insts = 0;
+  if (!functional) {
+    for (const ir::Inst& in : prog.insts()) {
+      switch (in.op) {
+        case ir::Op::VLoad:
+        case ir::Op::VStore:
+          mem_only.push_back(in);
+          break;
+        case ir::Op::VAlign:
+          alu_shuffle_lanes += W * kernel.shuffle_cost_mult;
+          ++alu_warp_insts;
+          break;
+        case ir::Op::VAddV:
+        case ir::Op::VMulV:
+        case ir::Op::VMulC:
+          alu_fp_lanes += W;
+          alu_flops += W;
+          ++alu_warp_insts;
+          break;
+        case ir::Op::VFmaV:
+        case ir::Op::VFmaC:
+          alu_fp_lanes += W;
+          alu_flops += 2ull * W;
+          ++alu_warp_insts;
+          break;
+        case ir::Op::VSetC:
+        case ir::Op::VZero:
+          alu_fp_lanes += W;
+          ++alu_warp_insts;
+          break;
+        case ir::Op::IOp:
+          alu_int_lanes += static_cast<double>(in.iops) * W;
+          alu_warp_insts += in.iops;
+          break;
+      }
+    }
+  }
+  const auto& insts = functional ? prog.insts() : mem_only;
+
+  std::vector<BlockCtx> slots(resident);
+  long next_block = 0;
+  int active = 0;
+
+  auto assign = [&](BlockCtx& ctx) -> bool {
+    if (next_block >= total_blocks) {
+      ctx.active = false;
+      return false;
+    }
+    ctx.blin = next_block++;
+    ctx.bc = unlinearize(ctx.blin, kernel.blocks);
+    ctx.core = static_cast<int>(ctx.blin % arch_.num_cores);
+    ctx.pc = 0;
+    ctx.active = true;
+    ctx.dram_pages.clear();
+    if (functional) {
+      ctx.regs.assign(static_cast<std::size_t>(prog.num_vregs()) * W, 0.0);
+      ctx.spills.assign(
+          static_cast<std::size_t>(prog.num_spill_slots()) * W, 0.0);
+    } else {
+      CoreUse& cu = cores[ctx.core];
+      cu.fp_lanes += alu_fp_lanes;
+      cu.int_lanes += alu_int_lanes;
+      cu.shuffle_lanes += alu_shuffle_lanes;
+      rep.flops_executed += alu_flops;
+      rep.warp_insts += alu_warp_insts;
+    }
+    return true;
+  };
+  for (auto& s : slots)
+    if (assign(s)) ++active;
+
+  std::vector<double> tmp(W);  // VAlign scratch (dst may alias a source)
+
+  // Resolves an array/brick MemRef to a device address, an optional
+  // functional pointer, and the DRAM-activation-granule key (see BlockCtx).
+  struct Resolved {
+    std::uint64_t addr;
+    bElem* ptr;
+    std::uint64_t row_key;
+  };
+  auto resolve = [&](const BlockCtx& ctx, const ir::MemRef& m) -> Resolved {
+    const GridBinding& g = kernel.grids[m.grid];
+    if (m.space == ir::Space::Array) {
+      const Vec3 e{g.ghost.i + ctx.bc.i * kernel.tile.i + m.di,
+                   g.ghost.j + ctx.bc.j * kernel.tile.j + m.dj,
+                   g.ghost.k + ctx.bc.k * kernel.tile.k + m.dk};
+      const long idx = linear_index(e, g.padded);
+      BRICKSIM_ASSERT(idx >= 0, "array access before the buffer");
+      BRICKSIM_ASSERT(g.data == nullptr || idx + W <= static_cast<long>(g.len),
+                      "array access out of bounds");
+      const std::uint64_t row_key =
+          (1ull << 62) | (static_cast<std::uint64_t>(m.grid) << 56) |
+          (static_cast<std::uint64_t>(e.k) << 28) |
+          static_cast<std::uint64_t>(e.j);
+      return {g.device_base + static_cast<std::uint64_t>(idx) * kElemBytes,
+              g.data ? g.data + idx : nullptr, row_key};
+    }
+    // Brick space.
+    BRICKSIM_ASSERT(!g.block_to_brick.empty(), "brick binding without map");
+    std::uint32_t bid = g.block_to_brick[static_cast<std::size_t>(ctx.blin)];
+    const int code =
+        (m.nbr_dk + 1) * 9 + (m.nbr_dj + 1) * 3 + (m.nbr_di + 1);
+    if (code != 13) bid = g.adjacency[static_cast<std::size_t>(bid) * 27 + code];
+    const long idx = static_cast<long>(bid) * g.elems_per_brick +
+                     (static_cast<long>(m.vk) * g.brick_dims.j + m.vj) *
+                         g.brick_dims.i +
+                     static_cast<long>(m.vi) * W;
+    const std::uint64_t addr =
+        g.device_base + static_cast<std::uint64_t>(idx) * kElemBytes;
+    return {addr, g.data ? g.data + idx : nullptr, addr >> 12};
+  };
+
+  constexpr int kSlice = 16;  // instructions per block per scheduling round
+
+  while (active > 0) {
+    for (auto& ctx : slots) {
+      if (!ctx.active) continue;
+      CoreUse& cu = cores[ctx.core];
+      const std::size_t end = std::min(insts.size(), ctx.pc + kSlice);
+      for (; ctx.pc < end; ++ctx.pc) {
+        const ir::Inst& in = insts[ctx.pc];
+        switch (in.op) {
+          case ir::Op::VLoad: {
+            if (in.mem.space == ir::Space::Spill) {
+              auto shape = hier_.scratch_access(W * kElemBytes, false);
+              cu.mem_insts += shape.lines;
+              cu.l1_bytes += shape.sectors * arch_.l1.sector_bytes;
+              rep.spill_bytes += static_cast<std::uint64_t>(W) * kElemBytes;
+              if (functional) {
+                const double* src = &ctx.spills[static_cast<std::size_t>(
+                                                    in.mem.slot) *
+                                                W];
+                std::copy(src, src + W, &ctx.regs[static_cast<std::size_t>(
+                                                      in.dst) *
+                                                  W]);
+              }
+              break;
+            }
+            auto [addr, ptr, row_key] = resolve(ctx, in.mem);
+            const bool bypass = kernel.bypass_l2_unaligned_vloads &&
+                                in.mem.vectorized &&
+                                in.mem.space == ir::Space::Array &&
+                                (addr % (static_cast<std::uint64_t>(W) *
+                                         kElemBytes)) != 0;
+            auto shape =
+                hier_.access(ctx.core, addr, W * kElemBytes, false, bypass);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * arch_.l1.sector_bytes;
+            cu.serial_cycles += kernel.extra_cycles_per_load;
+            if (shape.dram_touch) ctx.note_dram_page(row_key);
+            if (functional) {
+              BRICKSIM_ASSERT(ptr != nullptr, "functional load without data");
+              std::copy(ptr, ptr + W,
+                        &ctx.regs[static_cast<std::size_t>(in.dst) * W]);
+            }
+            break;
+          }
+          case ir::Op::VStore: {
+            if (in.mem.space == ir::Space::Spill) {
+              auto shape = hier_.scratch_access(W * kElemBytes, true);
+              cu.mem_insts += shape.lines;
+              cu.l1_bytes += shape.sectors * arch_.l1.sector_bytes;
+              rep.spill_bytes += static_cast<std::uint64_t>(W) * kElemBytes;
+              if (functional) {
+                const double* src =
+                    &ctx.regs[static_cast<std::size_t>(in.a) * W];
+                std::copy(src, src + W,
+                          &ctx.spills[static_cast<std::size_t>(in.mem.slot) *
+                                      W]);
+              }
+              break;
+            }
+            auto [addr, ptr, row_key] = resolve(ctx, in.mem);
+            auto shape =
+                hier_.access(ctx.core, addr, W * kElemBytes, true,
+                             /*bypass_l2=*/false,
+                             /*rmw_stores=*/!kernel.streaming_stores);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * arch_.l1.sector_bytes;
+            if (shape.dram_touch) ctx.note_dram_page(row_key);
+            if (functional) {
+              BRICKSIM_ASSERT(ptr != nullptr, "functional store without data");
+              const double* src = &ctx.regs[static_cast<std::size_t>(in.a) * W];
+              std::copy(src, src + W, ptr);
+            }
+            break;
+          }
+          case ir::Op::VAlign: {
+            cu.shuffle_lanes += W * kernel.shuffle_cost_mult;
+            if (functional) {
+              const double* a = &ctx.regs[static_cast<std::size_t>(in.a) * W];
+              const double* b = &ctx.regs[static_cast<std::size_t>(in.b) * W];
+              for (int l = 0; l < W; ++l) {
+                const int s = in.shift + l;
+                tmp[l] = s < W ? a[s] : b[s - W];
+              }
+              std::copy(tmp.begin(), tmp.end(),
+                        &ctx.regs[static_cast<std::size_t>(in.dst) * W]);
+            }
+            break;
+          }
+          case ir::Op::VAddV: {
+            cu.fp_lanes += W;
+            rep.flops_executed += W;
+            if (functional) {
+              const double* a = &ctx.regs[static_cast<std::size_t>(in.a) * W];
+              const double* b = &ctx.regs[static_cast<std::size_t>(in.b) * W];
+              double* d = &ctx.regs[static_cast<std::size_t>(in.dst) * W];
+              for (int l = 0; l < W; ++l) d[l] = a[l] + b[l];
+            }
+            break;
+          }
+          case ir::Op::VMulV: {
+            cu.fp_lanes += W;
+            rep.flops_executed += W;
+            if (functional) {
+              const double* a = &ctx.regs[static_cast<std::size_t>(in.a) * W];
+              const double* b = &ctx.regs[static_cast<std::size_t>(in.b) * W];
+              double* d = &ctx.regs[static_cast<std::size_t>(in.dst) * W];
+              for (int l = 0; l < W; ++l) d[l] = a[l] * b[l];
+            }
+            break;
+          }
+          case ir::Op::VFmaV: {
+            cu.fp_lanes += W;
+            rep.flops_executed += 2ull * W;
+            if (functional) {
+              const double* a = &ctx.regs[static_cast<std::size_t>(in.a) * W];
+              const double* b = &ctx.regs[static_cast<std::size_t>(in.b) * W];
+              const double* c = &ctx.regs[static_cast<std::size_t>(in.c) * W];
+              double* d = &ctx.regs[static_cast<std::size_t>(in.dst) * W];
+              for (int l = 0; l < W; ++l) d[l] = a[l] * b[l] + c[l];
+            }
+            break;
+          }
+          case ir::Op::VMulC: {
+            cu.fp_lanes += W;
+            rep.flops_executed += W;
+            if (functional) {
+              const double cv = kernel.constants[in.cidx];
+              const double* a = &ctx.regs[static_cast<std::size_t>(in.a) * W];
+              double* d = &ctx.regs[static_cast<std::size_t>(in.dst) * W];
+              for (int l = 0; l < W; ++l) d[l] = a[l] * cv;
+            }
+            break;
+          }
+          case ir::Op::VFmaC: {
+            cu.fp_lanes += W;
+            rep.flops_executed += 2ull * W;
+            if (functional) {
+              const double cv = kernel.constants[in.cidx];
+              const double* a = &ctx.regs[static_cast<std::size_t>(in.a) * W];
+              const double* b = &ctx.regs[static_cast<std::size_t>(in.b) * W];
+              double* d = &ctx.regs[static_cast<std::size_t>(in.dst) * W];
+              for (int l = 0; l < W; ++l) d[l] = a[l] + b[l] * cv;
+            }
+            break;
+          }
+          case ir::Op::VSetC: {
+            cu.fp_lanes += W;
+            if (functional) {
+              const double cv = kernel.constants[in.cidx];
+              double* d = &ctx.regs[static_cast<std::size_t>(in.dst) * W];
+              std::fill(d, d + W, cv);
+            }
+            break;
+          }
+          case ir::Op::VZero: {
+            cu.fp_lanes += W;
+            if (functional) {
+              double* d = &ctx.regs[static_cast<std::size_t>(in.dst) * W];
+              std::fill(d, d + W, 0.0);
+            }
+            break;
+          }
+          case ir::Op::IOp: {
+            cu.int_lanes += static_cast<double>(in.iops) * W;
+            rep.warp_insts += in.iops - 1;  // +1 added below like any inst
+            break;
+          }
+        }
+        rep.warp_insts += 1;
+      }
+      if (ctx.pc >= insts.size()) {
+        // Page-locality overhead: each distinct activation granule this
+        // block reached DRAM for costs row-activation / TLB-walk traffic.
+        // Single-stream kernels are exempt: a sequential stream keeps its
+        // DRAM row open and never pays the switch cost.
+        if (kernel.read_streams > 1)
+          hier_.charge_page_overhead(ctx.dram_pages.size() *
+                                     arch_.page_open_bytes);
+        ++rep.blocks_run;
+        if (!assign(ctx)) --active;
+      }
+    }
+  }
+
+  // Drain dirty output lines: an out-of-place stencil's stores all reach
+  // HBM eventually, so end-of-kernel residue is counted as written back.
+  hier_.flush_l2();
+  rep.traffic = hier_.traffic();
+
+  // --- Timing model (see DESIGN.md Section 5) ---
+  const double bw =
+      arch_.achieved_bw(kernel.read_streams) * kernel.bw_derate;
+  rep.t_hbm = bw > 0 ? static_cast<double>(rep.traffic.hbm_total()) / bw : 0;
+  rep.t_l2 = static_cast<double>(rep.traffic.l2_read_bytes +
+                                 rep.traffic.l2_write_bytes) /
+             (arch_.l2_gbytes_per_sec * 1e9);
+  double worst_cycles = 0;
+  for (const CoreUse& cu : cores) {
+    double cyc = cu.fp_lanes / arch_.fp64_lanes_per_cycle;
+    cyc = std::max(cyc, cu.int_lanes / arch_.int_lanes_per_cycle);
+    cyc = std::max(cyc, cu.shuffle_lanes / arch_.shuffle_lanes_per_cycle);
+    cyc = std::max(cyc, cu.l1_bytes / arch_.l1_bytes_per_cycle);
+    cyc = std::max(cyc, cu.mem_insts / arch_.mem_issue_per_cycle);
+    cyc += cu.serial_cycles;  // exposed latency is dead time on top
+    worst_cycles = std::max(worst_cycles, cyc);
+  }
+  rep.t_issue = worst_cycles / (arch_.clock_ghz * 1e9);
+  rep.seconds = std::max({rep.t_hbm, rep.t_l2, rep.t_issue});
+  return rep;
+}
+
+}  // namespace bricksim::simt

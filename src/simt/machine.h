@@ -1,0 +1,139 @@
+// The SIMT machine: executes vector-IR kernels on a simulated GPU.
+//
+// A kernel is an ir::Program (the straight-line body of one thread block)
+// launched over a 3D grid of blocks.  The machine:
+//
+//  * dispatches blocks to cores round-robin, keeping
+//    `max_resident_blocks_per_core * num_cores` blocks in flight and
+//    interleaving their execution in fixed instruction slices -- so the
+//    shared L2 observes the concurrent access stream a real GPU produces;
+//  * resolves MemRefs to device byte addresses (array, brick-with-adjacency,
+//    or per-block spill scratch) and drives memsim::MemoryHierarchy;
+//  * in Functional mode also computes real double-precision values through
+//    per-block vector register files, so generated kernels can be verified
+//    bit-for-bit against scalar references;
+//  * accumulates per-core issue-resource usage and produces a timing
+//    decomposition: kernel time is the max of the HBM-bandwidth term, the
+//    L2-bandwidth term, and the per-core issue bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/arch.h"
+#include "common/types.h"
+#include "ir/program.h"
+#include "memsim/hierarchy.h"
+
+namespace bricksim::simt {
+
+enum class ExecMode {
+  Functional,    ///< compute values + counters (tests, examples)
+  CountersOnly,  ///< addresses/counters only (large benchmark sweeps)
+};
+
+/// Binds one IR grid slot to a simulated device buffer.
+///
+/// Exactly one of the two layout descriptions is used, matching the Space of
+/// the MemRefs that name this grid.  `data` optionally backs Functional
+/// execution (may be null in CountersOnly mode).
+struct GridBinding {
+  std::uint64_t device_base = 0;  ///< device byte address of element 0
+
+  // --- Array layout ---
+  Vec3 padded{};  ///< allocated extents including ghost
+  Vec3 ghost{};   ///< element offset of interior (0,0,0)
+
+  // --- Brick layout ---
+  int elems_per_brick = 0;
+  std::span<const std::uint32_t> adjacency;       ///< [num_bricks * 27]
+  std::span<const std::uint32_t> block_to_brick;  ///< [blocks.volume()]
+  Vec3 brick_dims{};  ///< (BI = vec width, BJ, BK)
+
+  // --- Functional backing store (host mirror of the device buffer) ---
+  bElem* data = nullptr;
+  std::size_t len = 0;
+};
+
+/// A lowered kernel plus everything needed to launch it.
+struct Kernel {
+  const ir::Program* program = nullptr;
+  Vec3 blocks{};            ///< thread-block grid extents
+  Vec3 tile{};              ///< elements per block: (W, TJ, TK)
+  std::vector<GridBinding> grids;
+  std::vector<double> constants;  ///< values of program constants
+
+  // Launch attributes supplied by the programming-model lowering:
+  int read_streams = 1;           ///< distinct read address streams
+  double bw_derate = 1.0;         ///< achieved-bandwidth multiplier
+  double shuffle_cost_mult = 1.0; ///< shuffle issue-cost multiplier
+  bool bypass_l2_unaligned_vloads = false;  ///< MI250X/HIP lowering quirk
+  bool streaming_stores = true;   ///< false => full-line stores still RMW
+  /// Exposed memory latency per global load (cycles).  Zero when the
+  /// compiler pipelines loads well; positive for lowerings that leave loads
+  /// serialised on the accumulation chain (the paper's naive-SYCL kernels).
+  double extra_cycles_per_load = 0;
+};
+
+/// Counters and timing decomposition for one kernel invocation.
+struct KernelReport {
+  memsim::Traffic traffic;
+
+  std::uint64_t blocks_run = 0;
+  std::uint64_t warp_insts = 0;     ///< total warp-wide instructions issued
+  std::uint64_t flops_executed = 0; ///< FLOPs actually performed
+  std::uint64_t spill_bytes = 0;    ///< scratch traffic included in L1 bytes
+
+  // Timing components (seconds); seconds == the max of them.
+  double t_hbm = 0;
+  double t_l2 = 0;
+  double t_issue = 0;   ///< slowest core's issue-bottleneck time
+  double seconds = 0;
+
+  /// Name of the binding component, for reports: "HBM", "L2" or "issue".
+  const char* bottleneck() const {
+    if (seconds == t_hbm) return "HBM";
+    if (seconds == t_l2) return "L2";
+    return "issue";
+  }
+
+  double gflops() const {
+    return seconds > 0 ? static_cast<double>(flops_executed) / seconds / 1e9
+                       : 0.0;
+  }
+  /// Empirical arithmetic intensity (FLOPs per HBM byte).
+  double arithmetic_intensity() const {
+    const auto bytes = traffic.hbm_total();
+    return bytes > 0 ? static_cast<double>(flops_executed) / bytes : 0.0;
+  }
+};
+
+class Machine {
+ public:
+  explicit Machine(const arch::GpuArch& arch);
+
+  /// Runs `kernel` to completion with cold caches and returns its report.
+  KernelReport run(const Kernel& kernel, ExecMode mode);
+
+  const arch::GpuArch& gpu() const { return arch_; }
+  const memsim::MemoryHierarchy& hierarchy() const { return hier_; }
+
+ private:
+  arch::GpuArch arch_;
+  memsim::MemoryHierarchy hier_;
+};
+
+/// Assigns non-overlapping, line-aligned device address ranges to a sequence
+/// of buffer sizes (a miniature device allocator for tests and launchers).
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(int line_bytes) : line_(line_bytes) {}
+  std::uint64_t allocate(std::uint64_t bytes);
+
+ private:
+  int line_;
+  std::uint64_t next_ = 1ull << 20;  // leave page zero unmapped
+};
+
+}  // namespace bricksim::simt

@@ -1,0 +1,282 @@
+// Unit and property tests for the vector code generator: instruction
+// shapes of the three variants, the CSE and scatter optimisations, stream
+// counting, and the lowering-cost injection.
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.h"
+#include "codegen/emit_source.h"
+#include "common/error.h"
+#include "dsl/stencil.h"
+#include "ir/regalloc.h"
+
+namespace bricksim::codegen {
+namespace {
+
+constexpr int kRows = kTileJ * kTileK;  // output rows per block
+
+ir::InstStats stats_of(const dsl::Stencil& st, Variant v, int w,
+                       Options opts = {}, LoweringCosts costs = {}) {
+  return lower(st, v, w, opts, costs).program.stats();
+}
+
+TEST(Lower, NaiveArrayLoadsEveryPointPerOutput) {
+  for (const auto& st : dsl::Stencil::paper_catalog()) {
+    const auto s = stats_of(st, Variant::Array, 32);
+    EXPECT_EQ(s.loads, kRows * st.num_points()) << st.name();
+    EXPECT_EQ(s.stores, kRows) << st.name();
+    EXPECT_EQ(s.aligns, 0) << st.name();  // naive kernels never shuffle
+  }
+}
+
+TEST(Lower, NaiveFlopsMatchSymmetryMinimalCount) {
+  for (const auto& st : dsl::Stencil::paper_catalog()) {
+    const auto s = stats_of(st, Variant::Array, 32);
+    EXPECT_EQ(s.flops_per_lane, kRows * st.flops_per_point()) << st.name();
+  }
+}
+
+TEST(Lower, ArrayCodegenCseReducesLoads) {
+  for (const auto& st : dsl::Stencil::paper_catalog()) {
+    const auto naive = stats_of(st, Variant::Array, 32);
+    const auto cg = stats_of(st, Variant::ArrayCodegen, 32);
+    EXPECT_LT(cg.loads, naive.loads) << st.name();
+  }
+}
+
+TEST(Lower, DisablingCseRestoresPerUseLoads) {
+  const auto st = dsl::Stencil::star(2);
+  Options no_cse;
+  no_cse.enable_cse = false;
+  no_cse.force_gather = true;  // isolate the CSE effect
+  Options cse;
+  cse.force_gather = true;
+  const auto with = stats_of(st, Variant::ArrayCodegen, 32, cse);
+  const auto without = stats_of(st, Variant::ArrayCodegen, 32, no_cse);
+  EXPECT_GT(without.loads, with.loads);
+  EXPECT_EQ(without.loads, kRows * st.num_points());
+}
+
+TEST(Lower, BrickCodegenUsesAlignsForIShifts) {
+  const auto st = dsl::Stencil::star(2);
+  const auto s = stats_of(st, Variant::BricksCodegen, 32);
+  // Four i-shifts (+-1, +-2) per output row, CSE'd across rows ->
+  // exactly 4 aligns per (vj, vk) row.
+  EXPECT_EQ(s.aligns, 4 * kRows);
+  // Arrays never need aligns (unaligned vector loads are native).
+  EXPECT_EQ(stats_of(st, Variant::ArrayCodegen, 32).aligns, 0);
+}
+
+TEST(Lower, ScatterHeuristicPicksCubesOnly) {
+  for (const auto& st : dsl::Stencil::paper_catalog()) {
+    const auto k = lower(st, Variant::BricksCodegen, 32);
+    EXPECT_EQ(k.used_scatter, st.num_points() >= 27) << st.name();
+  }
+  // Naive kernels never scatter.
+  Options force;
+  force.force_scatter = true;
+  EXPECT_FALSE(lower(dsl::Stencil::cube(2), Variant::Array, 32, force)
+                   .used_scatter);
+}
+
+TEST(Lower, ForceFlagsOverrideHeuristic) {
+  const auto st = dsl::Stencil::star(1);  // 7 points: default gather
+  Options scatter;
+  scatter.force_scatter = true;
+  EXPECT_TRUE(
+      lower(st, Variant::BricksCodegen, 32, scatter).used_scatter);
+  Options gather;
+  gather.force_gather = true;
+  EXPECT_FALSE(lower(dsl::Stencil::cube(2), Variant::BricksCodegen, 32,
+                     gather)
+                   .used_scatter);
+  Options both;
+  both.force_scatter = both.force_gather = true;
+  EXPECT_THROW(lower(st, Variant::BricksCodegen, 32, both), Error);
+}
+
+TEST(Lower, ScatterShrinksLiveSetForHighOrderStencils) {
+  // The paper's rationale for vector scatter: gather-mode 125pt needs far
+  // more simultaneously-live vectors than scatter mode.
+  const auto st = dsl::Stencil::cube(2);
+  Options g, s;
+  g.force_gather = true;
+  s.force_scatter = true;
+  const auto gather = lower(st, Variant::BricksCodegen, 32, g);
+  const auto scatter = lower(st, Variant::BricksCodegen, 32, s);
+  // Compare spill behaviour at a realistic budget.
+  const auto ra_g = ir::allocate_registers(gather.program, 64);
+  const auto ra_s = ir::allocate_registers(scatter.program, 64);
+  EXPECT_GT(ra_g.spill_slots, 0);
+  EXPECT_EQ(ra_s.spill_slots, 0);
+}
+
+TEST(Lower, StreamCountsFollowStencilShape) {
+  // Arrays: distinct (o.j, o.k) rows; bricks add the two i-neighbour
+  // brick columns.
+  EXPECT_EQ(lower(dsl::Stencil::star(1), Variant::Array, 32).read_streams, 5);
+  EXPECT_EQ(lower(dsl::Stencil::star(4), Variant::Array, 32).read_streams,
+            17);
+  EXPECT_EQ(lower(dsl::Stencil::cube(1), Variant::Array, 32).read_streams, 9);
+  EXPECT_EQ(lower(dsl::Stencil::cube(2), Variant::Array, 32).read_streams,
+            25);
+  EXPECT_EQ(
+      lower(dsl::Stencil::star(1), Variant::BricksCodegen, 32).read_streams,
+      7);
+  EXPECT_EQ(
+      lower(dsl::Stencil::cube(2), Variant::BricksCodegen, 32).read_streams,
+      27);
+}
+
+TEST(Lower, AddressOpsInjectedPerMemoryAccess) {
+  const auto st = dsl::Stencil::star(1);
+  LoweringCosts costs;
+  costs.addr_ops_per_load = 7;
+  costs.addr_ops_per_store = 3;
+  const auto with = stats_of(st, Variant::Array, 32, {}, costs);
+  const auto without = stats_of(st, Variant::Array, 32);
+  EXPECT_EQ(with.int_ops - without.int_ops,
+            7 * with.loads + 3 * with.stores);
+}
+
+TEST(Lower, BrickLoadsAreVectorizedAndInNeighborRange) {
+  const auto k = lower(dsl::Stencil::cube(2), Variant::BricksCodegen, 32);
+  int loads = 0;
+  for (const auto& in : k.program.insts()) {
+    if (in.op != ir::Op::VLoad) continue;
+    ++loads;
+    EXPECT_EQ(in.mem.space, ir::Space::Brick);
+    EXPECT_TRUE(in.mem.vectorized);
+    EXPECT_GE(in.mem.nbr_di, -1);
+    EXPECT_LE(in.mem.nbr_di, 1);
+    EXPECT_GE(in.mem.vj, 0);
+    EXPECT_LT(in.mem.vj, kTileJ);
+    EXPECT_GE(in.mem.vk, 0);
+    EXPECT_LT(in.mem.vk, kTileK);
+  }
+  EXPECT_GT(loads, 0);
+}
+
+TEST(Lower, NaiveLoadsAreNotMarkedVectorized) {
+  const auto k = lower(dsl::Stencil::star(1), Variant::Array, 32);
+  for (const auto& in : k.program.insts()) {
+    if (in.op == ir::Op::VLoad) {
+      EXPECT_FALSE(in.mem.vectorized);
+    }
+  }
+}
+
+TEST(Lower, RejectsUnsupportedShapes) {
+  EXPECT_THROW(lower(dsl::Stencil::star(5), Variant::Array, 32), Error);
+  EXPECT_THROW(lower(dsl::Stencil::star(1), Variant::Array, 12), Error);
+  EXPECT_THROW(lower(dsl::Stencil::star(1), Variant::Array, 4), Error);
+}
+
+// --- Source emission (the Figure 2 reproduction path) ------------------------
+
+TEST(EmitSource, DialectsUseTheirOwnPrimitives) {
+  // Paper Section 3: CUDA >= 9 uses __shfl_*_sync, HIP __shfl_*, SYCL
+  // sub_group_shfl_*; block indices differ per model.
+  const auto st = dsl::Stencil::star(2);
+  const auto k = lower(st, Variant::BricksCodegen, 32);
+
+  const std::string cuda = emit_kernel_source(k, st, Dialect::Cuda);
+  EXPECT_NE(cuda.find("__shfl_down_sync"), std::string::npos);
+  EXPECT_NE(cuda.find("blockIdx.z"), std::string::npos);
+  EXPECT_NE(cuda.find("__global__"), std::string::npos);
+  EXPECT_EQ(cuda.find("hipBlockIdx"), std::string::npos);
+
+  const std::string hip = emit_kernel_source(k, st, Dialect::Hip);
+  EXPECT_NE(hip.find("__shfl_down("), std::string::npos);
+  EXPECT_NE(hip.find("hipBlockIdx_z"), std::string::npos);
+  EXPECT_EQ(hip.find("_sync"), std::string::npos);
+
+  const std::string sycl = emit_kernel_source(k, st, Dialect::Sycl);
+  EXPECT_NE(sycl.find("sub_group_shfl_down"), std::string::npos);
+  EXPECT_NE(sycl.find("parallel_for"), std::string::npos);
+  EXPECT_NE(sycl.find("WIid.get_group"), std::string::npos);
+
+  const std::string omp = emit_kernel_source(k, st, Dialect::OpenMp);
+  EXPECT_NE(omp.find("valignq"), std::string::npos);
+}
+
+TEST(EmitSource, BrickVsArrayAddressing) {
+  const auto st = dsl::Stencil::star(1);
+  const auto bricks = lower(st, Variant::BricksCodegen, 32);
+  const auto arrays = lower(st, Variant::Array, 32);
+  const std::string b = emit_kernel_source(bricks, st, Dialect::Cuda);
+  const std::string a = emit_kernel_source(arrays, st, Dialect::Cuda);
+  EXPECT_NE(b.find("adj(b,"), std::string::npos);
+  EXPECT_NE(b.find("grid[tk][tj][ti]"), std::string::npos);
+  EXPECT_EQ(a.find("adj(b,"), std::string::npos);
+  EXPECT_NE(a.find("in_vec("), std::string::npos);
+  // Naive kernels contain no shuffles at all.
+  EXPECT_EQ(a.find("__shfl"), std::string::npos);
+}
+
+TEST(EmitSource, OneStatementPerInstruction) {
+  const auto st = dsl::Stencil::cube(1);
+  const auto k = lower(st, Variant::BricksCodegen, 32);
+  const std::string src = emit_kernel_source(k, st, Dialect::Cuda);
+  // Count "vec vN = " definitions: one per dst-defining instruction.
+  std::size_t defs = 0, pos = 0;
+  while ((pos = src.find("vec v", pos)) != std::string::npos) {
+    ++defs;
+    ++pos;
+  }
+  std::size_t expected = 0;
+  for (const auto& in : k.program.insts())
+    if (in.dst >= 0) ++expected;
+  EXPECT_EQ(defs, expected);
+  // Header documents the configuration.
+  EXPECT_NE(src.find("scatter"), std::string::npos);
+  EXPECT_NE(src.find("W=32"), std::string::npos);
+}
+
+/// Property sweep: for every paper stencil, variant and vector width, the
+/// program verifies, stores exactly 16 rows, and executes at least the
+/// symmetry-minimal FLOPs.
+struct ShapeCase {
+  std::string stencil;
+  Variant variant;
+  int w;
+};
+
+class LoweringSweep : public testing::TestWithParam<ShapeCase> {};
+
+TEST_P(LoweringSweep, WellFormedPrograms) {
+  const auto& c = GetParam();
+  dsl::Stencil st = dsl::Stencil::star(1);
+  for (const auto& s : dsl::Stencil::paper_catalog())
+    if (s.name() == c.stencil) st = s;
+  const auto k = lower(st, c.variant, c.w);
+  EXPECT_NO_THROW(k.program.verify());
+  const auto s = k.program.stats();
+  EXPECT_EQ(s.stores, kRows);
+  EXPECT_GE(s.flops_per_lane, kRows * st.flops_per_point());
+  EXPECT_EQ(k.program.num_grids(), 2);
+  EXPECT_EQ(k.program.num_constants(), st.num_unique_coefficients());
+}
+
+std::vector<ShapeCase> sweep_cases() {
+  std::vector<ShapeCase> cases;
+  for (const auto& st : dsl::Stencil::paper_catalog())
+    for (Variant v :
+         {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen})
+      for (int w : {16, 32, 64})
+        cases.push_back({st.name(), v, w});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, LoweringSweep, testing::ValuesIn(sweep_cases()),
+    [](const testing::TestParamInfo<ShapeCase>& info) {
+      std::string s = info.param.stencil + "_" +
+                      variant_name(info.param.variant) + "_w" +
+                      std::to_string(info.param.w);
+      for (char& ch : s)
+        if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      return s;
+    });
+
+}  // namespace
+}  // namespace bricksim::codegen

@@ -1,0 +1,176 @@
+// Unit tests for the common module: types, statistics, tables, CLI, RNG,
+// and HostGrid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/grid.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace bricksim {
+namespace {
+
+TEST(Vec3, VolumeAndArithmetic) {
+  const Vec3 a{2, 3, 4};
+  EXPECT_EQ(a.volume(), 24);
+  EXPECT_EQ((a + Vec3{1, 1, 1}).volume(), 60);
+  EXPECT_EQ(a - a, (Vec3{0, 0, 0}));
+  EXPECT_EQ(a * 2, (Vec3{4, 6, 8}));
+}
+
+TEST(Vec3, LinearIndexIsLexicographicIInnermost) {
+  const Vec3 n{4, 5, 6};
+  long expect = 0;
+  for (int k = 0; k < n.k; ++k)
+    for (int j = 0; j < n.j; ++j)
+      for (int i = 0; i < n.i; ++i)
+        EXPECT_EQ(linear_index({i, j, k}, n), expect++);
+}
+
+TEST(Vec3, OrderingIsKMajor) {
+  EXPECT_LT((Vec3{5, 0, 0}), (Vec3{0, 1, 0}));
+  EXPECT_LT((Vec3{0, 5, 0}), (Vec3{0, 0, 1}));
+  EXPECT_LT((Vec3{1, 2, 3}), (Vec3{2, 2, 3}));
+}
+
+TEST(Stats, MeanAndHarmonicMean) {
+  const double xs[] = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+  // harmonic mean of {1,2,4} = 3 / (1 + 1/2 + 1/4)
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs), 3.0 / 1.75);
+}
+
+TEST(Stats, HarmonicMeanZeroPropagates) {
+  const double xs[] = {0.5, 0.0, 0.9};
+  EXPECT_EQ(harmonic_mean(xs), 0.0);
+  EXPECT_EQ(harmonic_mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, HarmonicLeqGeomLeqArithmetic) {
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> xs;
+    for (int n = 0; n < 10; ++n) xs.push_back(rng.next_double(0.01, 10.0));
+    const double h = harmonic_mean(xs);
+    const double g = geomean(xs);
+    const double a = mean(xs);
+    EXPECT_LE(h, g * (1 + 1e-12));
+    EXPECT_LE(g, a * (1 + 1e-12));
+  }
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const double xs[] = {1, 2, 3, 4};
+  const double ys[] = {2, 4, 6, 8};
+  const double zs[] = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const double xs[] = {1, 1, 1};
+  const double ys[] = {1, 2, 3};
+  EXPECT_EQ(pearson(xs, ys), 0.0);
+  EXPECT_EQ(pearson(xs, std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, MinMaxStddev) {
+  const double xs[] = {3.0, 1.0, 2.0};
+  EXPECT_EQ(min_of(xs), 1.0);
+  EXPECT_EQ(max_of(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(Table, AlignedPrintAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"x", Table::fmt(1.5, 1)});
+  t.add_row({"longer", Table::pct(0.616)});
+  EXPECT_EQ(t.num_rows(), 2u);
+
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("longer"), std::string::npos);
+  EXPECT_NE(os.str().find("62%"), std::string::npos);
+
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("x,1.5"), std::string::npos);
+}
+
+TEST(Table, RejectsAriyMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Cli, ParsesBothFlagForms) {
+  const char* argv[] = {"prog", "--n", "256", "--mode=fast", "--verbose"};
+  Cli cli(5, argv, {{"n", ""}, {"mode", ""}, {"verbose", ""}});
+  EXPECT_EQ(cli.get_long("n", 0), 256);
+  EXPECT_EQ(cli.get("mode", ""), "fast");
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_FALSE(cli.has("absent"));
+  EXPECT_EQ(cli.get_double("absent", 1.5), 1.5);
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--typo", "1"};
+  EXPECT_THROW(Cli(3, argv, {{"n", ""}}), Error);
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  SplitMix64 a(7), b(7), c(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+  for (int n = 0; n < 1000; ++n) {
+    const double d = a.next_double(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+    EXPECT_LT(a.next_below(17), 17u);
+  }
+}
+
+TEST(HostGrid, GhostAddressingAndRoundTrip) {
+  HostGrid g({4, 4, 4}, {2, 2, 2});
+  g.at(-2, -2, -2) = 1.0;
+  g.at(5, 5, 5) = 2.0;
+  g.at(0, 0, 0) = 3.0;
+  EXPECT_EQ(g.at(-2, -2, -2), 1.0);
+  EXPECT_EQ(g.at(5, 5, 5), 2.0);
+  EXPECT_EQ(g.at(0, 0, 0), 3.0);
+  EXPECT_EQ(g.padded(), (Vec3{8, 8, 8}));
+  EXPECT_EQ(g.raw().size(), 512u);
+}
+
+TEST(HostGrid, FillLinearIsAffine) {
+  HostGrid g({4, 4, 4}, {1, 1, 1});
+  g.fill_linear(1.0, 10.0, 100.0);
+  EXPECT_EQ(g.at(2, 3, 1) - g.at(1, 3, 1), 1.0);
+  EXPECT_EQ(g.at(1, 3, 1) - g.at(1, 2, 1), 10.0);
+  EXPECT_EQ(g.at(1, 3, 2) - g.at(1, 3, 1), 100.0);
+}
+
+TEST(HostGrid, RejectsBadExtents) {
+  EXPECT_THROW(HostGrid({0, 4, 4}, {1, 1, 1}), Error);
+  EXPECT_THROW(HostGrid({4, 4, 4}, {-1, 0, 0}), Error);
+}
+
+TEST(ErrorMacros, RequireAndAssertThrowWithContext) {
+  try {
+    BRICKSIM_REQUIRE(1 == 2, "custom message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace bricksim

@@ -1,0 +1,127 @@
+// Tests for the CPU extension backend: architecture descriptors, the
+// OpenMP lowering profile, and -- most importantly -- functional
+// correctness of every kernel variant on the AVX-512-style machine
+// (W = 8, one resident brick per core, valignq-style VAlign).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/grid.h"
+#include "common/rng.h"
+#include "dsl/reference.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+#include "profiler/profiler.h"
+#include "roofline/roofline.h"
+
+namespace bricksim {
+namespace {
+
+TEST(CpuArch, DescriptorsAreSane) {
+  const auto skx = arch::make_skylake();
+  EXPECT_EQ(skx.simd_width, 8);  // AVX-512 doubles
+  EXPECT_NEAR(skx.peak_fp64_flops() / 1e12, 1.6, 0.2);
+  const auto knl = arch::make_knl();
+  EXPECT_EQ(knl.simd_width, 8);
+  EXPECT_NEAR(knl.peak_fp64_flops() / 1e12, 3.0, 0.2);
+  EXPECT_GT(knl.peak_hbm_bytes_per_sec(), skx.peak_hbm_bytes_per_sec());
+  EXPECT_EQ(arch::arch_by_name("SKX").name, "SKX");
+  EXPECT_EQ(arch::arch_by_name("KNL").name, "KNL");
+}
+
+TEST(CpuModel, OpenMpOnlyOnCpus) {
+  EXPECT_NO_THROW(model::model_for(model::PmKind::OpenMP,
+                                   arch::make_skylake()));
+  EXPECT_NO_THROW(model::model_for(model::PmKind::OpenMP, arch::make_knl()));
+  EXPECT_THROW(model::model_for(model::PmKind::OpenMP, arch::make_a100()),
+               Error);
+  EXPECT_THROW(model::model_for(model::PmKind::CUDA, arch::make_skylake()),
+               Error);
+  const auto plats = model::cpu_platforms();
+  ASSERT_EQ(plats.size(), 2u);
+  EXPECT_EQ(plats[0].label(), "SKX/OpenMP");
+  EXPECT_EQ(plats[1].label(), "KNL/OpenMP");
+}
+
+class CpuEndToEnd : public testing::TestWithParam<
+                        std::tuple<std::string, codegen::Variant>> {};
+
+TEST_P(CpuEndToEnd, MatchesScalarReference) {
+  const auto& [stencil_name, variant] = GetParam();
+  dsl::Stencil st = dsl::Stencil::star(1);
+  for (const auto& s : dsl::Stencil::paper_catalog())
+    if (s.name() == stencil_name) st = s;
+
+  for (const auto& pf : model::cpu_platforms()) {
+    const Vec3 domain{16, 8, 8};  // two bricks per dimension at W = 8
+    const Vec3 ghost{st.radius(), st.radius(), st.radius()};
+    HostGrid in(domain, ghost), expect(domain, {0, 0, 0}),
+        got(domain, {0, 0, 0});
+    SplitMix64 rng(11);
+    in.fill_random(rng);
+    dsl::apply_reference(st, in, expect);
+
+    const model::Launcher launcher(domain);
+    const auto res = launcher.run_functional(st, variant, pf, in, got);
+    const double err = dsl::max_rel_error(expect, got);
+    if (res.used_scatter)
+      EXPECT_LE(err, 1e-12) << pf.label();
+    else
+      EXPECT_EQ(err, 0.0) << pf.label();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStencilsVariants, CpuEndToEnd,
+    testing::Combine(testing::Values("7pt", "13pt", "19pt", "25pt", "27pt",
+                                     "125pt"),
+                     testing::Values(codegen::Variant::Array,
+                                     codegen::Variant::ArrayCodegen,
+                                     codegen::Variant::BricksCodegen)),
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param) + "_" +
+                      codegen::variant_name(std::get<1>(info.param));
+      for (char& c : s)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+TEST(CpuPerformance, BandwidthBoundStencilsScaleWithMemory) {
+  // KNL's MCDRAM gives it ~3x SKX's bandwidth; a 7pt stencil (far below
+  // both ridges) must reflect that, up to model noise.
+  const model::Launcher launcher({64, 64, 64});
+  const auto skx = model::cpu_platforms()[0];
+  const auto knl = model::cpu_platforms()[1];
+  const auto st = dsl::Stencil::star(1);
+  const auto m_skx = profiler::run_and_measure(
+      launcher, st, codegen::Variant::BricksCodegen, skx);
+  const auto m_knl = profiler::run_and_measure(
+      launcher, st, codegen::Variant::BricksCodegen, knl);
+  EXPECT_GT(m_knl.gflops, 1.8 * m_skx.gflops);
+  EXPECT_LT(m_knl.gflops, 5.0 * m_skx.gflops);
+}
+
+TEST(CpuPerformance, MixbenchDerivesCpuRooflines) {
+  for (const auto& pf : model::cpu_platforms()) {
+    const auto emp = roofline::mixbench(pf, {64, 64, 64});
+    const auto theo = roofline::theoretical_roofline(pf.gpu);
+    EXPECT_LE(emp.roofline.peak_bw, theo.peak_bw) << pf.label();
+    EXPECT_GE(emp.roofline.peak_bw, 0.5 * theo.peak_bw) << pf.label();
+    EXPECT_GE(emp.roofline.peak_flops, 0.5 * theo.peak_flops) << pf.label();
+  }
+}
+
+TEST(CpuPerformance, BricksBeatArraysOnCpusToo) {
+  // The brick layout's locality benefit is architecture-independent.
+  const model::Launcher launcher({128, 64, 64});
+  for (const auto& pf : model::cpu_platforms()) {
+    const auto st = dsl::Stencil::star(2);
+    const auto arr = profiler::run_and_measure(
+        launcher, st, codegen::Variant::Array, pf);
+    const auto bricks = profiler::run_and_measure(
+        launcher, st, codegen::Variant::BricksCodegen, pf);
+    EXPECT_GT(bricks.ai, arr.ai) << pf.label();
+  }
+}
+
+}  // namespace
+}  // namespace bricksim

@@ -1,0 +1,229 @@
+// Unit and property tests for the stencil DSL: expression extraction,
+// shape classification, the Table 2 catalogue, the Table 4 theoretical
+// arithmetic intensities, and the scalar reference evaluator.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dsl/expr.h"
+#include "dsl/reference.h"
+#include "dsl/stencil.h"
+
+namespace bricksim::dsl {
+namespace {
+
+TEST(Expr, Figure1Extracts13PointStar) {
+  Index i(0), j(1), k(2);
+  Grid input("in", 3), output("out", 3);
+  ConstRef a0("MPI_B0"), a1("MPI_B1"), a2("MPI_B2");
+  auto calc = a0 * input(i, j, k) + a1 * input(i + 1, j, k) +
+              a1 * input(i - 1, j, k) + a1 * input(i, j + 1, k) +
+              a1 * input(i, j - 1, k) + a1 * input(i, j, k + 1) +
+              a1 * input(i, j, k - 1) + a2 * input(i + 2, j, k) +
+              a2 * input(i - 2, j, k) + a2 * input(i, j + 2, k) +
+              a2 * input(i, j - 2, k) + a2 * input(i, j, k + 2) +
+              a2 * input(i, j, k - 2);
+  const StencilProgram prog = output(i, j, k).assign(calc);
+  EXPECT_EQ(prog.in_grid, "in");
+  EXPECT_EQ(prog.out_grid, "out");
+  EXPECT_EQ(prog.terms.size(), 13u);
+
+  const Stencil st = Stencil::from_program(prog);
+  EXPECT_EQ(st.shape(), Shape::Star);
+  EXPECT_EQ(st.radius(), 2);
+  EXPECT_EQ(st.num_points(), 13);
+  EXPECT_EQ(st.num_unique_coefficients(), 3);
+  EXPECT_EQ(st.name(), "13pt");
+}
+
+TEST(Expr, CoefficientDistributesOverParenthesisedSum) {
+  Index i(0), j(1), k(2);
+  Grid in("in", 3), out("out", 3);
+  ConstRef c("c"), d("d");
+  auto calc = c * (in(i + 1, j, k) + in(i - 1, j, k)) + d * in(i, j, k);
+  const Stencil st = Stencil::from_program(out(i, j, k).assign(calc));
+  EXPECT_EQ(st.num_points(), 3);
+  EXPECT_EQ(st.num_unique_coefficients(), 2);
+}
+
+TEST(Expr, BareAccessGetsImplicitUnitCoefficient) {
+  Index i(0), j(1), k(2);
+  Grid in("in", 3), out("out", 3);
+  auto calc = Expr(in(i + 1, j, k)) + Expr(in(i - 1, j, k));
+  const Stencil st = Stencil::from_program(out(i, j, k).assign(calc));
+  ASSERT_EQ(st.groups().size(), 1u);
+  EXPECT_EQ(st.groups()[0].coeff, "one");
+  EXPECT_EQ(st.groups()[0].value, 1.0);
+}
+
+TEST(Expr, RejectsNonStencilForms) {
+  Index i(0), j(1), k(2);
+  Grid in("in", 3), in2("in2", 3), out("out", 3);
+  ConstRef c("c"), d("d");
+
+  // Duplicate offset.
+  EXPECT_THROW(out(i, j, k).assign(c * in(i, j, k) + d * in(i, j, k)), Error);
+  // Two input grids.
+  EXPECT_THROW(out(i, j, k).assign(c * in(i, j, k) + c * in2(i, j, k)),
+               Error);
+  // Product of two accesses.
+  EXPECT_THROW(out(i, j, k).assign(Expr(in(i, j, k)) * Expr(in(i + 1, j, k))),
+               Error);
+  // Nested coefficients.
+  EXPECT_THROW(out(i, j, k).assign(c * (d * in(i, j, k))), Error);
+  // In-place update.
+  EXPECT_THROW(out(i, j, k).assign(c * out(i + 1, j, k)), Error);
+  // Off-centre output.
+  EXPECT_THROW(out(i + 1, j, k).assign(c * in(i, j, k)), Error);
+  // Wrong index order.
+  EXPECT_THROW(in(IndexExpr{1, 0}, IndexExpr{0, 0}, IndexExpr{2, 0}), Error);
+}
+
+TEST(Expr, IndexValidation) {
+  EXPECT_THROW(Index(-1), Error);
+  EXPECT_THROW(Index(3), Error);
+  EXPECT_THROW(Grid("g", 2), Error);
+  EXPECT_THROW(Grid("", 3), Error);
+  EXPECT_THROW(ConstRef(""), Error);
+}
+
+// --- Catalogue: paper Table 2 -----------------------------------------------
+
+struct Table2Row {
+  Shape shape;
+  int radius, points, coeffs;
+};
+
+class Catalog : public testing::TestWithParam<Table2Row> {};
+
+TEST_P(Catalog, MatchesPaperTable2) {
+  const auto& row = GetParam();
+  const Stencil st = row.shape == Shape::Star ? Stencil::star(row.radius)
+                                              : Stencil::cube(row.radius);
+  EXPECT_EQ(st.shape(), row.shape);
+  EXPECT_EQ(st.num_points(), row.points);
+  EXPECT_EQ(st.num_unique_coefficients(), row.coeffs);
+  EXPECT_EQ(st.name(), std::to_string(row.points) + "pt");
+  // Offsets unique and within radius.
+  const auto offs = st.offsets();
+  EXPECT_EQ(static_cast<int>(offs.size()), row.points);
+  for (const Vec3& o : offs) {
+    EXPECT_LE(std::abs(o.i), row.radius);
+    EXPECT_LE(std::abs(o.j), row.radius);
+    EXPECT_LE(std::abs(o.k), row.radius);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable2, Catalog,
+    testing::Values(Table2Row{Shape::Star, 1, 7, 2},
+                    Table2Row{Shape::Star, 2, 13, 3},
+                    Table2Row{Shape::Star, 3, 19, 4},
+                    Table2Row{Shape::Star, 4, 25, 5},
+                    Table2Row{Shape::Cube, 1, 27, 4},
+                    Table2Row{Shape::Cube, 2, 125, 10}),
+    [](const testing::TestParamInfo<Table2Row>& info) {
+      return shape_name(info.param.shape) + std::to_string(info.param.radius);
+    });
+
+TEST(Catalog, PaperOrderAndSymmetry) {
+  const auto cat = Stencil::paper_catalog();
+  ASSERT_EQ(cat.size(), 6u);
+  EXPECT_EQ(cat[0].name(), "7pt");
+  EXPECT_EQ(cat[5].name(), "125pt");
+  // Every stencil is symmetric: offset set closed under negation.
+  for (const auto& st : cat) {
+    const auto offs = st.offsets();
+    for (const Vec3& o : offs) {
+      const Vec3 neg{-o.i, -o.j, -o.k};
+      EXPECT_NE(std::find(offs.begin(), offs.end(), neg), offs.end());
+    }
+  }
+}
+
+// --- Theoretical AI: paper Table 4 -------------------------------------------
+
+TEST(TheoreticalAi, MatchesPaperTable4Exactly) {
+  EXPECT_DOUBLE_EQ(Stencil::star(1).theoretical_ai(), 0.5);
+  EXPECT_DOUBLE_EQ(Stencil::star(2).theoretical_ai(), 0.9375);
+  EXPECT_DOUBLE_EQ(Stencil::star(3).theoretical_ai(), 1.375);
+  EXPECT_DOUBLE_EQ(Stencil::star(4).theoretical_ai(), 1.8125);
+  EXPECT_DOUBLE_EQ(Stencil::cube(1).theoretical_ai(), 1.875);
+  EXPECT_DOUBLE_EQ(Stencil::cube(2).theoretical_ai(), 8.375);
+}
+
+TEST(TheoreticalAi, FlopsAreSymmetryMinimal) {
+  // (points - 1) adds + (groups) multiplies.
+  EXPECT_EQ(Stencil::star(1).flops_per_point(), 8);
+  EXPECT_EQ(Stencil::cube(2).flops_per_point(), 134);
+  EXPECT_EQ(Stencil::star(2).min_flops({10, 10, 10}), 15000);
+}
+
+TEST(Stencil, SetCoefficient) {
+  Stencil st = Stencil::star(1);
+  st.set_coefficient("a0", -6.0);
+  st.set_coefficient("a1", 1.0);
+  EXPECT_EQ(st.coefficient_values().at("a0"), -6.0);
+  EXPECT_EQ(st.coefficient_values().at("a1"), 1.0);
+  EXPECT_THROW(st.set_coefficient("nope", 0.0), Error);
+}
+
+TEST(Stencil, CustomShapeClassification) {
+  Index i(0), j(1), k(2);
+  Grid in("in", 3), out("out", 3);
+  ConstRef c("c");
+  // An asymmetric 2-point stencil is Custom.
+  const Stencil st = Stencil::from_program(
+      out(i, j, k).assign(c * in(i + 1, j, k) + c * in(i, j, k)));
+  EXPECT_EQ(st.shape(), Shape::Custom);
+}
+
+// --- Reference evaluator ------------------------------------------------------
+
+TEST(Reference, ConstantFieldGivesCoefficientSum) {
+  Stencil st = Stencil::star(1);
+  st.set_coefficient("a0", 2.0);
+  st.set_coefficient("a1", 0.5);
+  HostGrid in({8, 8, 8}, {1, 1, 1}), out({8, 8, 8}, {0, 0, 0});
+  for (bElem& v : in.raw()) v = 3.0;
+  apply_reference(st, in, out);
+  // 3 * (2.0 + 6 * 0.5) = 15 everywhere.
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(out.at(i, j, k), 15.0);
+}
+
+TEST(Reference, SymmetricStencilAnnihilatesLinearField) {
+  // A symmetric stencil with zero coefficient sum has zero action on any
+  // affine field (discrete derivative property).
+  Stencil st = Stencil::star(2);
+  st.set_coefficient("a0", -1.0);
+  st.set_coefficient("a1", 1.0 / 12.0);
+  st.set_coefficient("a2", 1.0 / 12.0);
+  HostGrid in({8, 8, 8}, {2, 2, 2}), out({8, 8, 8}, {0, 0, 0});
+  in.fill_linear(1.0, 3.0, 7.0);
+  apply_reference(st, in, out);
+  for (int k = 0; k < 8; ++k)
+    for (int j = 0; j < 8; ++j)
+      for (int i = 0; i < 8; ++i)
+        EXPECT_NEAR(out.at(i, j, k), 0.0, 1e-9) << i << "," << j << "," << k;
+}
+
+TEST(Reference, RequiresGhostAtLeastRadius) {
+  HostGrid in({8, 8, 8}, {1, 1, 1}), out({8, 8, 8}, {0, 0, 0});
+  EXPECT_THROW(apply_reference(Stencil::star(2), in, out), Error);
+}
+
+TEST(Reference, MaxRelError) {
+  HostGrid a({4, 4, 4}, {0, 0, 0}), b({4, 4, 4}, {0, 0, 0});
+  for (bElem& v : a.raw()) v = 2.0;
+  for (bElem& v : b.raw()) v = 2.0;
+  EXPECT_EQ(max_rel_error(a, b), 0.0);
+  b.at(1, 2, 3) = 2.5;
+  EXPECT_NEAR(max_rel_error(a, b), 0.5 / 2.5, 1e-12);
+  HostGrid c({5, 4, 4}, {0, 0, 0});
+  EXPECT_THROW(max_rel_error(a, c), Error);
+}
+
+}  // namespace
+}  // namespace bricksim::dsl

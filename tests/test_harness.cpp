@@ -1,0 +1,132 @@
+// Structural tests for the experiment harness: sweep bookkeeping, lookup,
+// CLI parsing, and the shape of every table/figure emitter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "harness/harness.h"
+
+namespace bricksim::harness {
+namespace {
+
+/// One small shared sweep for the whole suite (A100 CUDA+SYCL only).
+class HarnessTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SweepConfig config;
+    config.domain = {64, 64, 64};
+    const auto all = model::paper_platforms();
+    config.platforms = {all[0], all[2]};  // A100/CUDA, A100/SYCL
+    sweep_ = new Sweep(run_sweep(config));
+  }
+  static void TearDownTestSuite() {
+    delete sweep_;
+    sweep_ = nullptr;
+  }
+  static const Sweep& sweep() { return *sweep_; }
+
+ private:
+  static Sweep* sweep_;
+};
+
+Sweep* HarnessTest::sweep_ = nullptr;
+
+TEST_F(HarnessTest, SweepCoversEveryCombination) {
+  // 6 stencils x 3 variants x 2 platforms.
+  EXPECT_EQ(sweep().measurements.size(), 36u);
+  EXPECT_EQ(sweep().rooflines.size(), 2u);
+  for (const auto& m : sweep().measurements) {
+    EXPECT_GT(m.seconds, 0) << m.stencil << " " << m.variant;
+    EXPECT_GT(m.hbm_bytes, 0u);
+    EXPECT_GT(m.gflops, 0);
+  }
+}
+
+TEST_F(HarnessTest, FindAndSelect) {
+  const auto* m = sweep().find("13pt", "bricks codegen", "A100/CUDA");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->stencil, "13pt");
+  EXPECT_EQ(sweep().find("13pt", "bricks codegen", "PVC-Stack/SYCL"),
+            nullptr);
+  EXPECT_EQ(sweep().select("A100/CUDA").size(), 18u);
+  EXPECT_EQ(sweep().select("A100/CUDA", "array").size(), 6u);
+  EXPECT_TRUE(sweep().select("MI250X-GCD/HIP").empty());
+}
+
+TEST_F(HarnessTest, Fig3HasCeilingAndDataRows) {
+  const Table t = make_fig3(sweep());
+  // Per platform: 1 ceiling row + 18 data rows.
+  EXPECT_EQ(t.num_rows(), 2u * 19);
+  EXPECT_EQ(t.num_cols(), 6u);
+}
+
+TEST_F(HarnessTest, Fig4RowsPerMeasurement) {
+  const Table t = make_fig4(sweep());
+  EXPECT_EQ(t.num_rows(), 36u);
+  // bricks codegen rows must show 1.0x against themselves.
+  int bricks_rows = 0;
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    if (t.row(r)[2] == "bricks codegen") {
+      EXPECT_EQ(t.row(r)[4], "1.0x");
+      ++bricks_rows;
+    }
+  EXPECT_EQ(bricks_rows, 12);
+}
+
+TEST_F(HarnessTest, Fig5CorrelatesAllPairs) {
+  const CorrTables corr = make_fig5(sweep());
+  EXPECT_EQ(corr.perf.num_rows(), 18u);
+  EXPECT_EQ(corr.bytes.num_rows(), 18u);
+  // Lower-bound column = 2 * 64^3 * 8 bytes = 0.0042 GB on every row.
+  for (std::size_t r = 0; r < corr.bytes.num_rows(); ++r)
+    EXPECT_EQ(corr.bytes.row(r)[4], corr.bytes.row(0)[4]);
+}
+
+TEST_F(HarnessTest, Table3And5ShapeAndParse) {
+  for (const Table& t : {make_table3(sweep()), make_table5(sweep())}) {
+    // Columns: stencil + (only A100/CUDA + A100/SYCL present) + P.
+    EXPECT_EQ(t.num_cols(), 4u);
+    EXPECT_EQ(t.num_rows(), 7u);  // 6 stencils + average
+    EXPECT_EQ(t.row(6)[0], "average");
+    // Every percentage parses and sits in (0, 100].
+    for (std::size_t r = 0; r < 6; ++r)
+      for (std::size_t c = 1; c < t.num_cols(); ++c) {
+        const double v = std::stod(t.row(r)[c]);
+        EXPECT_GT(v, 0.0) << r << "," << c;
+        EXPECT_LE(v, 100.0) << r << "," << c;
+      }
+  }
+}
+
+TEST_F(HarnessTest, Fig7PotentialSpeedupAtLeastOne) {
+  const Table t = make_fig7(sweep());
+  EXPECT_EQ(t.num_rows(), 12u);  // 6 stencils x 2 platforms
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const double s = std::stod(t.row(r)[4]);
+    EXPECT_GE(s, 1.0) << "row " << r;
+  }
+}
+
+TEST(HarnessStatic, Table1And2And4NeedNoSweep) {
+  EXPECT_EQ(make_table1().num_rows(), 6u);
+  const Table t2 = make_table2();
+  EXPECT_EQ(t2.num_rows(), 6u);
+  EXPECT_EQ(t2.row(0), (std::vector<std::string>{"star", "1", "7", "2"}));
+  EXPECT_EQ(t2.row(5), (std::vector<std::string>{"cube", "2", "125", "10"}));
+  const Table t4 = make_table4();
+  EXPECT_EQ(t4.row(1)[2], "0.9375");
+  EXPECT_EQ(t4.row(5)[2], "8.3750");
+}
+
+TEST(HarnessStatic, CliConfig) {
+  const char* argv[] = {"bench", "--n", "128", "--progress"};
+  const SweepConfig c = sweep_config_from_cli(4, argv);
+  EXPECT_EQ(c.domain, (Vec3{128, 128, 128}));
+  EXPECT_TRUE(c.progress);
+  const char* bad[] = {"bench", "--n", "100"};
+  EXPECT_THROW(sweep_config_from_cli(3, bad), Error);
+}
+
+}  // namespace
+}  // namespace bricksim::harness

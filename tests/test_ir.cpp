@@ -1,0 +1,171 @@
+// Unit tests for the vector IR: builder, verifier, statistics, printing.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ir/program.h"
+
+namespace bricksim::ir {
+namespace {
+
+MemRef array_ref(int grid, int di, int dj, int dk) {
+  MemRef m;
+  m.grid = grid;
+  m.space = Space::Array;
+  m.di = di;
+  m.dj = dj;
+  m.dk = dk;
+  return m;
+}
+
+TEST(Program, BuilderProducesVerifiableSsa) {
+  Program p(32);
+  const int c = p.add_constant("a0");
+  const int v = p.load(array_ref(0, 0, 0, 0));
+  const int w = p.load(array_ref(0, 1, 0, 0));
+  const int s = p.add(v, w);
+  const int r = p.mul_const(s, c);
+  p.store(r, array_ref(1, 0, 0, 0));
+  EXPECT_NO_THROW(p.verify());
+  EXPECT_EQ(p.num_vregs(), 4);
+  EXPECT_EQ(p.num_grids(), 2);
+}
+
+TEST(Program, ConstantsDeduplicateByName) {
+  Program p(32);
+  EXPECT_EQ(p.add_constant("a0"), 0);
+  EXPECT_EQ(p.add_constant("a1"), 1);
+  EXPECT_EQ(p.add_constant("a0"), 0);
+  EXPECT_EQ(p.num_constants(), 2);
+}
+
+TEST(Program, VerifyRejectsUseBeforeDef) {
+  Program p(32);
+  Inst in;
+  in.op = Op::VAddV;
+  in.dst = p.new_vreg();
+  in.a = p.new_vreg();  // never defined
+  in.b = in.a;
+  p.insts().push_back(in);
+  EXPECT_THROW(p.verify(), Error);
+}
+
+TEST(Program, VerifyRejectsBadShift) {
+  Program p(8);
+  const int a = p.zero();
+  const int b = p.zero();
+  p.align(a, b, 3);  // fine
+  EXPECT_NO_THROW(p.verify());
+  Inst bad;
+  bad.op = Op::VAlign;
+  bad.dst = p.new_vreg();
+  bad.a = a;
+  bad.b = b;
+  bad.shift = 9;  // > W
+  p.insts().push_back(bad);
+  EXPECT_THROW(p.verify(), Error);
+}
+
+TEST(Program, VerifyRejectsBadConstantIndex) {
+  Program p(8);
+  Inst in;
+  in.op = Op::VSetC;
+  in.dst = p.new_vreg();
+  in.cidx = 0;  // no constants registered
+  p.insts().push_back(in);
+  EXPECT_THROW(p.verify(), Error);
+}
+
+TEST(Program, VerifyRejectsBadSpillSlot) {
+  Program p(8);
+  Inst in;
+  in.op = Op::VLoad;
+  in.dst = p.new_vreg();
+  in.mem.space = Space::Spill;
+  in.mem.slot = 0;  // no slots declared
+  p.insts().push_back(in);
+  EXPECT_THROW(p.verify(), Error);
+}
+
+TEST(Program, StatsCountEveryClass) {
+  Program p(32);
+  const int c = p.add_constant("a0");
+  const int v = p.load(array_ref(0, 0, 0, 0));
+  const int w = p.load(array_ref(0, 1, 0, 0));
+  const int al = p.align(v, w, 4);
+  const int s = p.add(v, al);
+  const int f = p.fma_const(s, w, c);
+  const int m = p.mul(f, f);
+  p.int_ops(5);
+  p.store(m, array_ref(1, 0, 0, 0));
+
+  const InstStats st = p.stats();
+  EXPECT_EQ(st.loads, 2);
+  EXPECT_EQ(st.stores, 1);
+  EXPECT_EQ(st.aligns, 1);
+  EXPECT_EQ(st.fp_insts, 3);            // add, fmac, mul
+  EXPECT_EQ(st.flops_per_lane, 1 + 2 + 1);
+  EXPECT_EQ(st.int_ops, 5);
+  // total: 2 loads + 1 store + 1 align + 3 fp + 5 int-op units
+  EXPECT_EQ(st.total_insts, 12);
+}
+
+TEST(Program, SpillOpsCountedSeparately) {
+  Program p(8);
+  p.set_num_spill_slots(1);
+  const int v = p.zero();
+  Inst st;
+  st.op = Op::VStore;
+  st.a = v;
+  st.mem.space = Space::Spill;
+  st.mem.slot = 0;
+  p.insts().push_back(st);
+  Inst ld;
+  ld.op = Op::VLoad;
+  ld.dst = p.new_vreg();
+  ld.mem.space = Space::Spill;
+  ld.mem.slot = 0;
+  p.insts().push_back(ld);
+  EXPECT_NO_THROW(p.verify());
+  const InstStats s = p.stats();
+  EXPECT_EQ(s.spill_stores, 1);
+  EXPECT_EQ(s.spill_loads, 1);
+  EXPECT_EQ(s.loads, 0);
+  EXPECT_EQ(s.stores, 0);
+}
+
+TEST(Program, PrinterShowsOpsAndOperands) {
+  Program p(16);
+  const int c = p.add_constant("MPI_B0");
+  const int v = p.load(array_ref(0, -1, 0, 2));
+  const int r = p.mul_const(v, c);
+  p.store(r, array_ref(1, 0, 0, 0));
+  const std::string text = p.to_string();
+  EXPECT_NE(text.find("vload"), std::string::npos);
+  EXPECT_NE(text.find("vmulc"), std::string::npos);
+  EXPECT_NE(text.find("MPI_B0"), std::string::npos);
+  EXPECT_NE(text.find("arr -1,0,2"), std::string::npos);
+  EXPECT_NE(text.find("W=16"), std::string::npos);
+}
+
+TEST(Program, IntOpsZeroIsNoop) {
+  Program p(8);
+  p.int_ops(0);
+  p.int_ops(-3);
+  EXPECT_TRUE(p.insts().empty());
+}
+
+TEST(Program, BrickRefRoundTripsThroughPrinter) {
+  Program p(8);
+  MemRef m;
+  m.grid = 0;
+  m.space = Space::Brick;
+  m.nbr_di = -1;
+  m.nbr_dj = 1;
+  m.vj = 3;
+  m.vk = 2;
+  p.load(m);
+  EXPECT_NE(p.to_string().find("brk nbr(-1,1,0) v(0,3,2)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bricksim::ir

@@ -1,0 +1,220 @@
+// Unit tests for the memory simulator: set-associative cache semantics and
+// the multi-level hierarchy's traffic accounting.
+#include <gtest/gtest.h>
+
+#include "arch/arch.h"
+#include "common/error.h"
+#include "memsim/cache.h"
+#include "memsim/hierarchy.h"
+
+namespace bricksim::memsim {
+namespace {
+
+arch::CacheParams tiny_cache(int lines, int assoc, int line_bytes = 64) {
+  return {static_cast<std::uint64_t>(lines) * line_bytes, line_bytes,
+          line_bytes / 2, assoc};
+}
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache c(tiny_cache(8, 2));
+  EXPECT_FALSE(c.access(5, false).hit);
+  EXPECT_TRUE(c.access(5, false).hit);
+  EXPECT_TRUE(c.probe(5));
+  EXPECT_FALSE(c.probe(6));
+}
+
+TEST(SetAssocCache, LruEvictionWithinSet) {
+  // 4 sets, 2 ways: lines 0, 4, 8 all map to set 0.
+  SetAssocCache c(tiny_cache(8, 2));
+  c.access(0, false);
+  c.access(4, false);
+  c.access(0, false);   // 0 is now MRU
+  c.access(8, false);   // evicts 4 (LRU)
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(4));
+  EXPECT_TRUE(c.probe(8));
+}
+
+TEST(SetAssocCache, DirtyEvictionReportsWriteback) {
+  SetAssocCache c(tiny_cache(8, 2));
+  c.access(0, true);  // dirty
+  c.access(4, false);
+  auto r = c.access(8, false);  // evicts dirty 0
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.wb_line, 0u);
+}
+
+TEST(SetAssocCache, CleanEvictionNoWriteback) {
+  SetAssocCache c(tiny_cache(8, 2));
+  c.access(0, false);
+  c.access(4, false);
+  EXPECT_FALSE(c.access(8, false).writeback);
+}
+
+TEST(SetAssocCache, InstallDirtySkipsFillButTracksDirty) {
+  SetAssocCache c(tiny_cache(8, 2));
+  auto r = c.install_dirty(3);
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(c.dirty_lines(), 1u);
+  EXPECT_TRUE(c.install_dirty(3).hit);
+  EXPECT_EQ(c.dirty_lines(), 1u);
+}
+
+TEST(SetAssocCache, ResetDropsEverything) {
+  SetAssocCache c(tiny_cache(8, 2));
+  c.access(1, true);
+  c.access(2, true);
+  EXPECT_EQ(c.reset(), 2u);
+  EXPECT_FALSE(c.probe(1));
+  EXPECT_EQ(c.dirty_lines(), 0u);
+}
+
+TEST(SetAssocCache, RejectsDegenerateGeometry) {
+  EXPECT_THROW(SetAssocCache(arch::CacheParams{64, 0, 32, 2}), Error);
+  EXPECT_THROW(SetAssocCache(arch::CacheParams{64, 64, 32, 0}), Error);
+  EXPECT_THROW(SetAssocCache(arch::CacheParams{64, 64, 32, 4}),
+               Error);  // smaller than one set
+}
+
+/// Property sweep: a cache with S sets and A ways must retain any working
+/// set of <= A lines mapping to one set, for several geometries.
+class CacheAssocSweep : public testing::TestWithParam<int> {};
+
+TEST_P(CacheAssocSweep, RetainsWorkingSetUpToAssociativity) {
+  const int assoc = GetParam();
+  SetAssocCache c(tiny_cache(8 * assoc, assoc));
+  const auto sets = c.num_sets();
+  // `assoc` lines, all in set 0:
+  for (int w = 0; w < assoc; ++w) c.access(w * sets, false);
+  for (int round = 0; round < 3; ++round)
+    for (int w = 0; w < assoc; ++w)
+      EXPECT_TRUE(c.access(w * sets, false).hit) << "way " << w;
+  // One more line in the set evicts exactly one resident.
+  c.access(static_cast<std::uint64_t>(assoc) * sets, false);
+  int resident = 0;
+  for (int w = 0; w < assoc; ++w) resident += c.probe(w * sets) ? 1 : 0;
+  EXPECT_EQ(resident, assoc - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheAssocSweep,
+                         testing::Values(1, 2, 4, 8, 16));
+
+// --- Hierarchy ---------------------------------------------------------------
+
+arch::GpuArch small_arch() {
+  arch::GpuArch a = arch::make_a100();
+  a.num_cores = 2;
+  a.l1 = {4 * 1024, 128, 32, 4};
+  a.l2 = {64 * 1024, 128, 32, 16};
+  return a;
+}
+
+TEST(Hierarchy, SectorAndLineCounting) {
+  MemoryHierarchy h(small_arch());
+  // 256B aligned read: 8 sectors of 32B, 2 lines of 128B.
+  auto s = h.access(0, 0, 256, false);
+  EXPECT_EQ(s.sectors, 8);
+  EXPECT_EQ(s.lines, 2);
+  EXPECT_TRUE(s.dram_touch);
+  // Misaligned by 8 bytes: 9 sectors, 3 lines.
+  auto s2 = h.access(0, 128 * 1024 + 8, 256, false);
+  EXPECT_EQ(s2.sectors, 9);
+  EXPECT_EQ(s2.lines, 3);
+}
+
+TEST(Hierarchy, ColdReadGoesToHbmOnceThenCaches) {
+  MemoryHierarchy h(small_arch());
+  h.access(0, 0, 256, false);
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 256u);
+  auto s = h.access(0, 0, 256, false);  // L1 hit
+  EXPECT_FALSE(s.dram_touch);
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 256u);
+  EXPECT_EQ(h.traffic().l1_hits, 2u);
+  EXPECT_EQ(h.traffic().l1_read_bytes, 512u);
+}
+
+TEST(Hierarchy, L2ServesOtherCoresL1Misses) {
+  MemoryHierarchy h(small_arch());
+  h.access(0, 0, 256, false);
+  h.access(1, 0, 256, false);  // other core: L1 miss, L2 hit
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 256u);
+  EXPECT_EQ(h.traffic().l2_hits, 2u);
+}
+
+TEST(Hierarchy, FullLineStreamingStoreAvoidsRmwFill) {
+  MemoryHierarchy h(small_arch());
+  h.access(0, 0, 256, true);  // full lines
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 0u);
+  h.flush_l2();
+  EXPECT_EQ(h.traffic().hbm_write_bytes, 256u);
+}
+
+TEST(Hierarchy, PartialLineStoreFillsFromHbm) {
+  MemoryHierarchy h(small_arch());
+  h.access(0, 32, 64, true);  // partial line
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 128u);  // RMW fill
+}
+
+TEST(Hierarchy, RmwStoresFlagForcesFill) {
+  MemoryHierarchy h(small_arch());
+  h.access(0, 0, 256, true, false, /*rmw_stores=*/true);
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 256u);
+}
+
+TEST(Hierarchy, BypassSkipsL2Allocation) {
+  MemoryHierarchy h(small_arch());
+  h.access(0, 0, 256, false, /*bypass_l2=*/true);
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 256u);
+  // A second core misses L1; with no L2 copy it goes to HBM again.
+  h.access(1, 0, 256, false, /*bypass_l2=*/true);
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 512u);
+}
+
+TEST(Hierarchy, CapacityEvictionWritesBackDirtyLines) {
+  MemoryHierarchy h(small_arch());  // 64KB L2
+  h.access(0, 0, 128, true);        // one dirty line
+  // Stream 128KB of reads through: the dirty line must eventually go out.
+  for (std::uint64_t a = 4096; a < 4096 + 128 * 1024; a += 128)
+    h.access(0, a, 128, false);
+  EXPECT_EQ(h.traffic().hbm_write_bytes, 128u);
+}
+
+TEST(Hierarchy, ScratchCountsOnlyL1Bytes) {
+  MemoryHierarchy h(small_arch());
+  auto s = h.scratch_access(256, true);
+  EXPECT_EQ(s.sectors, 8);
+  EXPECT_EQ(h.traffic().l1_write_bytes, 256u);
+  EXPECT_EQ(h.traffic().hbm_total(), 0u);
+  EXPECT_FALSE(s.dram_touch);
+}
+
+TEST(Hierarchy, PageOverheadChargesReads) {
+  MemoryHierarchy h(small_arch());
+  h.charge_page_overhead(96);
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 96u);
+}
+
+TEST(Hierarchy, ResetClearsStateAndCounters) {
+  MemoryHierarchy h(small_arch());
+  h.access(0, 0, 256, false);
+  h.reset();
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 0u);
+  auto s = h.access(0, 0, 256, false);
+  EXPECT_TRUE(s.dram_touch);  // cold again
+}
+
+TEST(Traffic, Accumulation) {
+  Traffic a, b;
+  a.hbm_read_bytes = 10;
+  a.l1_hits = 1;
+  b.hbm_read_bytes = 5;
+  b.hbm_write_bytes = 7;
+  a += b;
+  EXPECT_EQ(a.hbm_read_bytes, 15u);
+  EXPECT_EQ(a.hbm_write_bytes, 7u);
+  EXPECT_EQ(a.hbm_total(), 22u);
+  EXPECT_EQ(a.l1_hits, 1u);
+}
+
+}  // namespace
+}  // namespace bricksim::memsim

@@ -1,0 +1,141 @@
+// Unit tests for the Roofline model, the mixbench sweep, and the
+// performance-portability metrics.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "model/progmodel.h"
+#include "roofline/roofline.h"
+
+namespace bricksim {
+namespace {
+
+TEST(Roofline, AttainableAndRidge) {
+  const roofline::Roofline rl{1000e9, 8000e9};
+  EXPECT_DOUBLE_EQ(rl.ridge(), 8.0);
+  EXPECT_DOUBLE_EQ(rl.attainable(2.0), 2000e9);   // memory-bound
+  EXPECT_DOUBLE_EQ(rl.attainable(100.0), 8000e9); // compute-bound
+  EXPECT_DOUBLE_EQ(rl.fraction(1000.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(rl.fraction(8000.0, 100.0), 1.0);
+}
+
+TEST(Roofline, TheoreticalMatchesArch) {
+  const auto a100 = arch::make_a100();
+  const auto rl = roofline::theoretical_roofline(a100);
+  EXPECT_DOUBLE_EQ(rl.peak_bw, a100.peak_hbm_bytes_per_sec());
+  EXPECT_DOUBLE_EQ(rl.peak_flops, a100.peak_fp64_flops());
+}
+
+TEST(Mixbench, CeilingsBelowTheoreticalAboveHalf) {
+  for (const auto& pf : model::paper_platforms()) {
+    const auto emp = roofline::mixbench(pf, {64, 64, 64});
+    const auto theo = roofline::theoretical_roofline(pf.gpu);
+    EXPECT_LE(emp.roofline.peak_bw, theo.peak_bw) << pf.label();
+    EXPECT_GE(emp.roofline.peak_bw, 0.5 * theo.peak_bw) << pf.label();
+    EXPECT_LE(emp.roofline.peak_flops, theo.peak_flops * 1.001) << pf.label();
+    EXPECT_GE(emp.roofline.peak_flops, 0.5 * theo.peak_flops) << pf.label();
+  }
+}
+
+TEST(Mixbench, GflopsMonotoneInAiUntilPlateau) {
+  const auto pf = model::paper_platforms().front();
+  const auto emp = roofline::mixbench(pf, {64, 64, 64});
+  ASSERT_GE(emp.points.size(), 5u);
+  for (std::size_t n = 1; n < emp.points.size(); ++n)
+    EXPECT_GE(emp.points[n].gflops, emp.points[n - 1].gflops * 0.999)
+        << "point " << n;
+  // The last point must be essentially compute-bound.
+  EXPECT_NEAR(emp.points.back().gflops * 1e9, emp.roofline.peak_flops,
+              0.05 * emp.roofline.peak_flops);
+}
+
+TEST(Mixbench, MeasuredAiTracksNominal) {
+  const auto pf = model::paper_platforms().front();
+  const auto emp = roofline::mixbench(pf, {64, 64, 64});
+  for (const auto& p : emp.points) {
+    if (p.nominal_ai == 0) continue;
+    EXPECT_NEAR(p.measured_ai / p.nominal_ai, 1.0, 0.35) << p.nominal_ai;
+  }
+}
+
+TEST(Pennycook, HandValues) {
+  const double effs[] = {0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(metrics::pennycook_p(effs), 0.5);
+  const double mixed[] = {1.0, 0.5};
+  EXPECT_DOUBLE_EQ(metrics::pennycook_p(mixed), 2.0 / 3.0);
+  const double with_zero[] = {1.0, 0.0};
+  EXPECT_EQ(metrics::pennycook_p(with_zero), 0.0);  // unsupported platform
+}
+
+TEST(Metrics, EfficiencySummaryConsistency) {
+  const double effs[] = {0.5, 0.8, 1.0};
+  const auto s = metrics::summarize_efficiencies(effs);
+  EXPECT_NEAR(s.p, 3.0 / (2.0 + 1.25 + 1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  EXPECT_DOUBLE_EQ(s.min_max, 0.5);
+  EXPECT_GT(s.stddev, 0);
+  EXPECT_GT(s.cv, 0);
+  // Perfectly consistent set.
+  const double same[] = {0.7, 0.7, 0.7};
+  const auto u = metrics::summarize_efficiencies(same);
+  EXPECT_DOUBLE_EQ(u.min_max, 1.0);
+  EXPECT_NEAR(u.cv, 0.0, 1e-12);  // floating-point dust from the mean
+  EXPECT_DOUBLE_EQ(u.p, 0.7);
+  // Empty set.
+  EXPECT_EQ(metrics::summarize_efficiencies({}).p, 0.0);
+}
+
+TEST(Metrics, FractionOfTheoreticalAiCapsAtOne) {
+  const auto st = dsl::Stencil::star(1);  // theoretical AI 0.5
+  profiler::Measurement m;
+  m.ai = 0.25;
+  EXPECT_DOUBLE_EQ(metrics::fraction_of_theoretical_ai(st, m), 0.5);
+  m.ai = 0.7;
+  EXPECT_DOUBLE_EQ(metrics::fraction_of_theoretical_ai(st, m), 1.0);
+}
+
+TEST(Metrics, PotentialSpeedupIsInverseProduct) {
+  EXPECT_DOUBLE_EQ(metrics::potential_speedup(0.5, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(metrics::potential_speedup(1.0, 1.0), 1.0);
+  EXPECT_EQ(metrics::potential_speedup(0.0, 0.5), 0.0);
+}
+
+TEST(Metrics, CompulsoryBytesMatchPaperNumber) {
+  // "one read and one write using double precision, giving us a total of
+  // 2.15 GBytes" for 512^3.
+  EXPECT_NEAR(
+      static_cast<double>(metrics::compulsory_bytes({512, 512, 512})) / 1e9,
+      2.147, 0.001);
+}
+
+TEST(Metrics, CorrelatePairsByStencilAndVariant) {
+  profiler::Measurement a1, a2, b1;
+  a1.stencil = "7pt";
+  a1.variant = "array";
+  a1.gflops = 100;
+  a1.hbm_bytes = 4000000000ull;
+  a2.stencil = "13pt";
+  a2.variant = "array";
+  a2.gflops = 150;
+  b1.stencil = "7pt";
+  b1.variant = "array";
+  b1.gflops = 50;
+  b1.hbm_bytes = 2000000000ull;
+
+  const profiler::Measurement ys[] = {a1, a2};
+  const profiler::Measurement xs[] = {b1};
+  const auto perf =
+      metrics::correlate(ys, xs, metrics::CorrMetric::Gflops);
+  ASSERT_EQ(perf.size(), 1u);  // 13pt has no partner
+  EXPECT_EQ(perf[0].stencil, "7pt");
+  EXPECT_EQ(perf[0].y, 100);
+  EXPECT_EQ(perf[0].x, 50);
+  const auto bytes =
+      metrics::correlate(ys, xs, metrics::CorrMetric::HbmGbytes);
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_DOUBLE_EQ(bytes[0].y, 4.0);
+  EXPECT_DOUBLE_EQ(bytes[0].x, 2.0);
+}
+
+}  // namespace
+}  // namespace bricksim

@@ -1,0 +1,172 @@
+// Unit tests for the programming-model layer and launcher: platform
+// validity, the HIP==CUDA-on-NVIDIA identity, lowering-profile effects,
+// and launcher precondition checking.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "dsl/reference.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+#include "profiler/profiler.h"
+
+namespace bricksim::model {
+namespace {
+
+TEST(ProgModel, SupportedCombinations) {
+  const auto a100 = arch::make_a100();
+  const auto mi = arch::make_mi250x_gcd();
+  const auto pvc = arch::make_pvc_stack();
+  EXPECT_NO_THROW(model_for(PmKind::CUDA, a100));
+  EXPECT_NO_THROW(model_for(PmKind::HIP, a100));
+  EXPECT_NO_THROW(model_for(PmKind::SYCL, a100));
+  EXPECT_NO_THROW(model_for(PmKind::HIP, mi));
+  EXPECT_NO_THROW(model_for(PmKind::SYCL, mi));
+  EXPECT_NO_THROW(model_for(PmKind::SYCL, pvc));
+  // The study has no CUDA on AMD/Intel and no HIP on Intel.
+  EXPECT_THROW(model_for(PmKind::CUDA, mi), Error);
+  EXPECT_THROW(model_for(PmKind::CUDA, pvc), Error);
+  EXPECT_THROW(model_for(PmKind::HIP, pvc), Error);
+}
+
+TEST(ProgModel, PlatformLists) {
+  const auto all = paper_platforms();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].label(), "A100/CUDA");
+  EXPECT_EQ(all[1].label(), "A100/HIP");
+  EXPECT_EQ(all[5].label(), "PVC-Stack/SYCL");
+  const auto metric = metric_platforms();
+  ASSERT_EQ(metric.size(), 5u);
+  for (const auto& p : metric) EXPECT_NE(p.label(), "A100/HIP");
+}
+
+TEST(ProgModel, HipOnNvidiaIsExactlyCuda) {
+  // "HIP interface is a wrapper for the NVIDIA compiler" -- identical
+  // lowering except the name.
+  const auto a100 = arch::make_a100();
+  const auto cuda = model_for(PmKind::CUDA, a100);
+  const auto hip = model_for(PmKind::HIP, a100);
+  EXPECT_EQ(hip.addr_ops_per_load_naive, cuda.addr_ops_per_load_naive);
+  EXPECT_EQ(hip.naive_extra_cycles_per_load, cuda.naive_extra_cycles_per_load);
+  EXPECT_EQ(hip.bw_derate, cuda.bw_derate);
+  EXPECT_EQ(hip.streaming_stores, cuda.streaming_stores);
+  EXPECT_EQ(hip.bypass_l2_unaligned_vloads, cuda.bypass_l2_unaligned_vloads);
+}
+
+TEST(ProgModel, QuirksLandOnTheRightPlatforms) {
+  const auto mi = arch::make_mi250x_gcd();
+  EXPECT_TRUE(model_for(PmKind::HIP, mi).bypass_l2_unaligned_vloads);
+  EXPECT_FALSE(model_for(PmKind::SYCL, mi).bypass_l2_unaligned_vloads);
+  const auto a100 = arch::make_a100();
+  EXPECT_FALSE(model_for(PmKind::SYCL, a100).streaming_stores);
+  EXPECT_TRUE(model_for(PmKind::SYCL, mi).streaming_stores);
+}
+
+TEST(Arch, PeaksMatchPaperSection41) {
+  // ~9.7, ~24 and ~16 TFLOP/s FP64; 1.5-1.65 TB/s HBM each.
+  EXPECT_NEAR(arch::make_a100().peak_fp64_flops() / 1e12, 9.7, 0.3);
+  EXPECT_NEAR(arch::make_mi250x_gcd().peak_fp64_flops() / 1e12, 24.0, 0.5);
+  EXPECT_NEAR(arch::make_pvc_stack().peak_fp64_flops() / 1e12, 16.0, 0.5);
+  EXPECT_NEAR(arch::make_a100().peak_hbm_bytes_per_sec() / 1e12, 1.555, 0.01);
+  EXPECT_EQ(arch::make_a100().simd_width, 32);
+  EXPECT_EQ(arch::make_mi250x_gcd().simd_width, 64);
+  EXPECT_EQ(arch::make_pvc_stack().simd_width, 16);
+}
+
+TEST(Arch, AchievedBwDecaysWithStreams) {
+  const auto pvc = arch::make_pvc_stack();
+  const double one = pvc.achieved_bw(1);
+  const double few = pvc.achieved_bw(5);
+  const double many = pvc.achieved_bw(25);
+  EXPECT_GT(one, few);
+  EXPECT_GT(few, many);
+  EXPECT_THROW(arch::arch_by_name("H100"), Error);
+  EXPECT_EQ(arch::arch_by_name("A100").name, "A100");
+}
+
+TEST(Launcher, RejectsBadDomainsAndGrids) {
+  EXPECT_THROW(Launcher({0, 64, 64}), Error);
+  const auto pf = paper_platforms().front();  // A100, W=32
+  const auto st = dsl::Stencil::star(1);
+  // Domain not divisible by the tile.
+  EXPECT_THROW(Launcher({48, 16, 16}).run(st, codegen::Variant::Array, pf),
+               Error);
+  // Functional with too-small ghost.
+  Launcher l({64, 16, 16});
+  HostGrid in({64, 16, 16}, {1, 1, 1}), out({64, 16, 16}, {0, 0, 0});
+  EXPECT_THROW(l.run_functional(dsl::Stencil::star(2),
+                                codegen::Variant::Array, pf, in, out),
+               Error);
+  // Mismatched interiors.
+  HostGrid small({32, 16, 16}, {4, 4, 4});
+  EXPECT_THROW(l.run_functional(st, codegen::Variant::Array, pf, small, out),
+               Error);
+}
+
+TEST(Launcher, HipAndCudaMeasurementsIdenticalOnA100) {
+  const auto platforms = paper_platforms();
+  const Launcher l({64, 32, 32});
+  for (const auto& st :
+       {dsl::Stencil::star(2), dsl::Stencil::cube(1)}) {
+    for (const auto variant : {codegen::Variant::Array,
+                               codegen::Variant::BricksCodegen}) {
+      const auto cuda = l.run(st, variant, platforms[0]);
+      const auto hip = l.run(st, variant, platforms[1]);
+      EXPECT_EQ(cuda.report.traffic.hbm_total(),
+                hip.report.traffic.hbm_total());
+      EXPECT_EQ(cuda.report.flops_executed, hip.report.flops_executed);
+      EXPECT_DOUBLE_EQ(cuda.report.seconds, hip.report.seconds);
+    }
+  }
+}
+
+TEST(Launcher, NormalizedFlopsAreVariantIndependent) {
+  const auto pf = paper_platforms().front();
+  const Launcher l({64, 32, 32});
+  const auto st = dsl::Stencil::cube(2);
+  const auto a = l.run(st, codegen::Variant::Array, pf);
+  const auto b = l.run(st, codegen::Variant::BricksCodegen, pf);
+  EXPECT_EQ(a.normalized_flops, b.normalized_flops);
+  EXPECT_EQ(a.normalized_flops,
+            st.flops_per_point() * (Vec3{64, 32, 32}.volume()));
+  // Scatter executes MORE flops than the normalised count.
+  EXPECT_GT(static_cast<long>(b.report.flops_executed), b.normalized_flops);
+  EXPECT_TRUE(b.used_scatter);
+}
+
+TEST(Launcher, SpillsReportedForGatherHighOrder) {
+  const auto pf = paper_platforms().front();
+  const Launcher l({64, 32, 32});
+  codegen::Options gather;
+  gather.force_gather = true;
+  const auto res =
+      l.run(dsl::Stencil::cube(2), codegen::Variant::BricksCodegen, pf,
+            gather);
+  EXPECT_GT(res.spill_slots, 0);
+  EXPECT_GT(res.inst_stats.spill_loads, 0);
+}
+
+TEST(Profiler, MeasurementSnapshotsLaunchResult) {
+  const auto pf = paper_platforms().front();
+  const Launcher l({64, 32, 32});
+  const auto st = dsl::Stencil::star(1);
+  const auto m =
+      profiler::run_and_measure(l, st, codegen::Variant::BricksCodegen, pf);
+  EXPECT_EQ(m.stencil, "7pt");
+  EXPECT_EQ(m.variant, "bricks codegen");
+  EXPECT_EQ(m.arch, "A100");
+  EXPECT_EQ(m.pm, "CUDA");
+  EXPECT_GT(m.seconds, 0);
+  EXPECT_GT(m.gflops, 0);
+  EXPECT_GT(m.ai, 0);
+  EXPECT_EQ(m.hbm_bytes, m.hbm_read_bytes + m.hbm_write_bytes);
+  EXPECT_FALSE(m.bottleneck.empty());
+
+  std::ostringstream os;
+  profiler::print_report(os, m);
+  EXPECT_NE(os.str().find("bricks codegen"), std::string::npos);
+  EXPECT_NE(os.str().find("GFLOP/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bricksim::model

@@ -1,0 +1,245 @@
+// The paper's qualitative claims, asserted against the simulator at a
+// reduced domain (128^3).  These are the SHAPE results the reproduction is
+// judged by: who wins, by roughly what factor, and where the anomalies sit.
+// Exact magnitudes are checked loosely (the paper ran 512^3 on real silicon;
+// see EXPERIMENTS.md for the quantitative comparison at paper scale).
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "harness/harness.h"
+
+namespace bricksim {
+namespace {
+
+using codegen::Variant;
+
+class PaperClaims : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    harness::SweepConfig config;
+    // 256 along i so even the W=64 MI250X decomposition has a healthy
+    // interior-to-ghost-brick ratio; 128 elsewhere keeps the suite fast.
+    config.domain = {256, 128, 128};
+    sweep_ = new harness::Sweep(harness::run_sweep(config));
+  }
+  static void TearDownTestSuite() {
+    delete sweep_;
+    sweep_ = nullptr;
+  }
+  static const harness::Sweep& sweep() { return *sweep_; }
+
+  static const profiler::Measurement& get(const std::string& stencil,
+                                          const std::string& variant,
+                                          const std::string& platform) {
+    const auto* m = sweep().find(stencil, variant, platform);
+    EXPECT_NE(m, nullptr) << stencil << "/" << variant << "/" << platform;
+    return *m;
+  }
+
+  static double compulsory_gb() {
+    return static_cast<double>(
+               metrics::compulsory_bytes(sweep().config.domain)) /
+           1e9;
+  }
+
+ private:
+  static harness::Sweep* sweep_;
+};
+
+harness::Sweep* PaperClaims::sweep_ = nullptr;
+
+const char* kStencils[] = {"7pt", "13pt", "19pt", "25pt", "27pt", "125pt"};
+const char* kPlatforms[] = {"A100/CUDA",      "A100/HIP",
+                            "A100/SYCL",      "MI250X-GCD/HIP",
+                            "MI250X-GCD/SYCL", "PVC-Stack/SYCL"};
+
+// Figure 3: "using bricks data layout gives a higher arithmetic intensity
+// over tiled array data layout" -- on every platform and stencil.
+TEST_F(PaperClaims, BricksBeatNaiveArraysInArithmeticIntensity) {
+  for (const char* pf : kPlatforms)
+    for (const char* st : kStencils)
+      EXPECT_GT(get(st, "bricks codegen", pf).ai, get(st, "array", pf).ai)
+          << st << " on " << pf;
+}
+
+// Figure 3: "bricks codegen achieves the highest performance ... across all
+// kernels and stencil shapes and sizes on the NVIDIA A100".
+TEST_F(PaperClaims, BricksCodegenFastestOnA100) {
+  for (const char* st : kStencils) {
+    const double bricks = get(st, "bricks codegen", "A100/CUDA").gflops;
+    EXPECT_GE(bricks, get(st, "array", "A100/CUDA").gflops * 0.99) << st;
+    EXPECT_GE(bricks, get(st, "array codegen", "A100/CUDA").gflops * 0.90)
+        << st;
+  }
+}
+
+// Section 5.1: "CUDA and HIP show the same performance and arithmetic
+// intensity since the HIP interface is a wrapper for the NVIDIA compiler."
+TEST_F(PaperClaims, CudaAndHipIdenticalOnA100) {
+  for (const char* st : kStencils)
+    for (const char* v : {"array", "array codegen", "bricks codegen"}) {
+      const auto& cuda = get(st, v, "A100/CUDA");
+      const auto& hip = get(st, v, "A100/HIP");
+      EXPECT_DOUBLE_EQ(cuda.gflops, hip.gflops) << st << " " << v;
+      EXPECT_EQ(cuda.hbm_bytes, hip.hbm_bytes) << st << " " << v;
+    }
+}
+
+// Section 5.1: on A100, SYCL shows a large gap between naive and codegen
+// kernels (up to 13x star / 26x cube), far larger than CUDA's (<= ~2x).
+TEST_F(PaperClaims, SyclNaiveGapIsClosedByCodegen) {
+  auto speedup = [&](const char* st, const char* pf) {
+    return get(st, "bricks codegen", pf).gflops / get(st, "array", pf).gflops;
+  };
+  // Large SYCL gaps, growing with stencil size.
+  EXPECT_GT(speedup("25pt", "A100/SYCL"), 4.0);
+  EXPECT_GT(speedup("125pt", "A100/SYCL"), 10.0);
+  EXPECT_GT(speedup("125pt", "A100/SYCL"), speedup("7pt", "A100/SYCL"));
+  // CUDA gaps stay modest for star stencils.
+  EXPECT_LT(speedup("7pt", "A100/CUDA"), 2.0);
+  EXPECT_LT(speedup("25pt", "A100/CUDA"), 2.5);
+}
+
+// Figure 5 (left): "most of the stencils perform better using CUDA instead
+// of SYCL", and bricks codegen narrows the gap.
+TEST_F(PaperClaims, CudaOutperformsSyclOnA100AndBricksNarrowTheGap) {
+  int cuda_wins = 0, total = 0;
+  for (const char* st : kStencils)
+    for (const char* v : {"array", "array codegen", "bricks codegen"}) {
+      ++total;
+      if (get(st, v, "A100/CUDA").gflops >
+          get(st, v, "A100/SYCL").gflops * 1.02)
+        ++cuda_wins;
+    }
+  EXPECT_GE(cuda_wins, (2 * total) / 3);
+
+  for (const char* st : kStencils) {
+    const double naive_ratio =
+        get(st, "array", "A100/CUDA").gflops /
+        get(st, "array", "A100/SYCL").gflops;
+    const double bricks_ratio =
+        get(st, "bricks codegen", "A100/CUDA").gflops /
+        get(st, "bricks codegen", "A100/SYCL").gflops;
+    EXPECT_LT(bricks_ratio, naive_ratio) << st;
+    EXPECT_LT(bricks_ratio, 2.2) << st;  // close to the diagonal
+  }
+}
+
+// Figure 5 (right): CUDA moves less data than SYCL on A100, and bricks
+// kernels sit significantly closer to the compulsory lower bound.
+TEST_F(PaperClaims, CudaMovesLessDataThanSyclOnA100) {
+  for (const char* st : kStencils) {
+    const double cuda =
+        static_cast<double>(get(st, "bricks codegen", "A100/CUDA").hbm_bytes);
+    const double sycl =
+        static_cast<double>(get(st, "bricks codegen", "A100/SYCL").hbm_bytes);
+    EXPECT_GT(sycl, cuda * 1.2) << st;
+    EXPECT_LT(cuda / 1e9, 1.9 * compulsory_gb()) << st;
+  }
+}
+
+// Figure 6: on the MI250X GCD, HIP kernels sit near the lower bound EXCEPT
+// `array codegen`, which moves far more data (the >10 GB anomaly); bricks
+// codegen behaves the same under HIP and SYCL.
+TEST_F(PaperClaims, HipArrayCodegenAnomalyOnMi250x) {
+  for (const char* st : kStencils) {
+    const double naive_gb =
+        get(st, "array", "MI250X-GCD/HIP").hbm_bytes / 1e9;
+    const double cg_gb =
+        get(st, "array codegen", "MI250X-GCD/HIP").hbm_bytes / 1e9;
+    const double bricks_gb =
+        get(st, "bricks codegen", "MI250X-GCD/HIP").hbm_bytes / 1e9;
+    EXPECT_GT(cg_gb, 1.5 * naive_gb) << st;          // the anomaly
+    EXPECT_LT(bricks_gb, 2.0 * compulsory_gb()) << st;
+    EXPECT_LT(naive_gb, 2.2 * compulsory_gb()) << st;
+  }
+  // Bricks codegen: same data movement under both models (within 5%).
+  for (const char* st : kStencils) {
+    const double hip =
+        get(st, "bricks codegen", "MI250X-GCD/HIP").hbm_bytes / 1e9;
+    const double sycl =
+        get(st, "bricks codegen", "MI250X-GCD/SYCL").hbm_bytes / 1e9;
+    EXPECT_NEAR(hip / sycl, 1.0, 0.05) << st;
+  }
+}
+
+// Figure 4: the naive array kernel moves by far the most L1 bytes; for the
+// high-order stencils ~10x the codegen variants.
+TEST_F(PaperClaims, NaiveArraysDominateL1Traffic) {
+  for (const char* pf : kPlatforms) {
+    for (const char* st : kStencils) {
+      const auto naive = get(st, "array", pf).l1_bytes;
+      const auto cg = get(st, "array codegen", pf).l1_bytes;
+      const auto bricks = get(st, "bricks codegen", pf).l1_bytes;
+      EXPECT_GE(naive, cg) << st << " " << pf;
+      EXPECT_GT(naive, bricks) << st << " " << pf;
+    }
+    const auto naive125 = get("125pt", "array", pf).l1_bytes;
+    const auto bricks125 = get("125pt", "bricks codegen", pf).l1_bytes;
+    EXPECT_GT(static_cast<double>(naive125) / bricks125, 6.0) << pf;
+  }
+}
+
+// Table 3 / Table 5 headline numbers: P > 60% (fraction of Roofline) and
+// ~70% (fraction of theoretical AI) when averaged; 125pt is the weakest
+// Table 3 row.
+TEST_F(PaperClaims, PennycookMetricsLandNearPaperAverages) {
+  std::vector<double> p3, p5;
+  for (const auto& st : sweep().config.stencils) {
+    std::vector<double> e3, e5;
+    for (const auto& pf : model::metric_platforms()) {
+      const auto& m = get(st.name(), "bricks codegen", pf.label());
+      e3.push_back(metrics::fraction_of_roofline(
+          sweep().rooflines.at(pf.label()).roofline, m));
+      e5.push_back(metrics::fraction_of_theoretical_ai(st, m));
+    }
+    p3.push_back(metrics::pennycook_p(e3));
+    p5.push_back(metrics::pennycook_p(e5));
+  }
+  const double avg3 = mean(p3);
+  const double avg5 = mean(p5);
+  EXPECT_GT(avg3, 0.50);
+  EXPECT_LT(avg3, 0.90);
+  EXPECT_GT(avg5, 0.50);
+  EXPECT_LT(avg5, 0.90);
+  // 125pt (last row) is the weakest of the fraction-of-Roofline rows.
+  EXPECT_EQ(std::min_element(p3.begin(), p3.end()) - p3.begin(), 5);
+}
+
+// Figure 7: every bricks-codegen point has potential speedup >= 1, and the
+// PVC points show the largest headroom among SYCL platforms (its fraction
+// of Roofline decays fastest with stencil size).
+TEST_F(PaperClaims, PotentialSpeedupWellFormed) {
+  for (const auto& pf : model::metric_platforms()) {
+    for (const auto& st : sweep().config.stencils) {
+      const auto& m = get(st.name(), "bricks codegen", pf.label());
+      const double fa = metrics::fraction_of_theoretical_ai(st, m);
+      const double fr = metrics::fraction_of_roofline(
+          sweep().rooflines.at(pf.label()).roofline, m);
+      const double s = metrics::potential_speedup(fa, fr);
+      EXPECT_GE(s, 1.0) << st.name() << " " << pf.label();
+      EXPECT_LT(s, 12.0) << st.name() << " " << pf.label();
+    }
+  }
+}
+
+// Section 4.4 / Figure 3: PVC's fraction of Roofline decays steeply with
+// stencil radius (77% -> 47% across the star stencils in Table 3).
+TEST_F(PaperClaims, PvcFractionDecaysWithRadius) {
+  const auto& rl = sweep().rooflines.at("PVC-Stack/SYCL").roofline;
+  double prev = 1.0;
+  for (const char* st : {"7pt", "13pt", "19pt", "25pt"}) {
+    const double f = metrics::fraction_of_roofline(
+        rl, get(st, "bricks codegen", "PVC-Stack/SYCL"));
+    EXPECT_LT(f, prev + 0.02) << st;
+    prev = f;
+  }
+  const double f7 = metrics::fraction_of_roofline(
+      rl, get("7pt", "bricks codegen", "PVC-Stack/SYCL"));
+  const double f25 = metrics::fraction_of_roofline(
+      rl, get("25pt", "bricks codegen", "PVC-Stack/SYCL"));
+  EXPECT_GT(f7, f25 * 1.25);
+}
+
+}  // namespace
+}  // namespace bricksim

@@ -1,0 +1,149 @@
+// Cross-cutting property tests of the whole simulation stack:
+// determinism, domain-scaling linearity, conservation-style counter
+// invariants, and cross-platform consistency rules.
+#include <gtest/gtest.h>
+
+#include "harness/harness.h"
+#include "model/launcher.h"
+#include "profiler/profiler.h"
+
+namespace bricksim {
+namespace {
+
+using codegen::Variant;
+
+TEST(Properties, RunsAreBitwiseDeterministic) {
+  const auto pf = model::paper_platforms().front();
+  const model::Launcher launcher({64, 64, 64});
+  const auto st = dsl::Stencil::cube(1);
+  for (Variant v : {Variant::Array, Variant::BricksCodegen}) {
+    const auto a = launcher.run(st, v, pf);
+    const auto b = launcher.run(st, v, pf);
+    EXPECT_EQ(a.report.traffic.hbm_total(), b.report.traffic.hbm_total());
+    EXPECT_EQ(a.report.traffic.l1_total(), b.report.traffic.l1_total());
+    EXPECT_EQ(a.report.warp_insts, b.report.warp_insts);
+    EXPECT_DOUBLE_EQ(a.report.seconds, b.report.seconds);
+  }
+}
+
+/// Counters must scale (roughly) linearly with domain volume: 8x the
+/// domain, ~8x the compulsory traffic and instructions.
+class ScalingLinearity : public testing::TestWithParam<Variant> {};
+
+TEST_P(ScalingLinearity, CountersScaleWithVolume) {
+  const auto pf = model::paper_platforms().front();
+  const auto st = dsl::Stencil::star(2);
+  const auto small = model::Launcher({64, 64, 64}).run(st, GetParam(), pf);
+  const auto big = model::Launcher({128, 128, 128}).run(st, GetParam(), pf);
+
+  const double bytes_ratio =
+      static_cast<double>(big.report.traffic.hbm_total()) /
+      static_cast<double>(small.report.traffic.hbm_total());
+  // 8x +- ghost/surface effects.
+  EXPECT_GT(bytes_ratio, 6.0);
+  EXPECT_LT(bytes_ratio, 10.0);
+
+  const double insts_ratio = static_cast<double>(big.report.warp_insts) /
+                             static_cast<double>(small.report.warp_insts);
+  EXPECT_NEAR(insts_ratio, 8.0, 0.01);  // exactly 8x blocks, same program
+
+  const double flops_ratio =
+      static_cast<double>(big.report.flops_executed) /
+      static_cast<double>(small.report.flops_executed);
+  EXPECT_NEAR(flops_ratio, 8.0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ScalingLinearity,
+                         testing::Values(Variant::Array,
+                                         Variant::ArrayCodegen,
+                                         Variant::BricksCodegen),
+                         [](const auto& info) {
+                           std::string s =
+                               codegen::variant_name(info.param);
+                           for (char& c : s)
+                             if (!isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return s;
+                         });
+
+TEST(Properties, HbmBytesAtLeastCompulsory) {
+  // No kernel can move fewer bytes than one read + one write per point.
+  const Vec3 domain{128, 64, 64};
+  const model::Launcher launcher(domain);
+  const auto compulsory = metrics::compulsory_bytes(domain);
+  for (const auto& pf : model::paper_platforms())
+    for (const auto& st :
+         {dsl::Stencil::star(1), dsl::Stencil::cube(2)})
+      for (Variant v :
+           {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen}) {
+        const auto r = launcher.run(st, v, pf);
+        EXPECT_GE(r.report.traffic.hbm_total(), compulsory)
+            << pf.label() << " " << st.name() << " "
+            << codegen::variant_name(v);
+      }
+}
+
+TEST(Properties, L1BytesAtLeastHbmPayload) {
+  // Everything that reaches HBM was requested through the L1 first (the
+  // register file cannot bypass it in this machine).
+  const model::Launcher launcher({128, 64, 64});
+  const auto pf = model::paper_platforms().front();
+  for (Variant v :
+       {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen}) {
+    const auto r = launcher.run(dsl::Stencil::star(4), v, pf);
+    // Compare against the compulsory payload (page-locality overhead is
+    // bookkeeping on the HBM side, not data the L1 saw).
+    EXPECT_GE(r.report.traffic.l1_total(),
+              metrics::compulsory_bytes({128, 64, 64}))
+        << codegen::variant_name(v);
+  }
+}
+
+TEST(Properties, TimeNeverBelowBandwidthBound) {
+  // seconds >= HBM bytes / theoretical peak bandwidth, always.
+  const model::Launcher launcher({128, 64, 64});
+  for (const auto& pf : model::paper_platforms()) {
+    const auto r = launcher.run(dsl::Stencil::star(1),
+                                Variant::BricksCodegen, pf);
+    const double floor =
+        static_cast<double>(r.report.traffic.hbm_total()) /
+        pf.gpu.peak_hbm_bytes_per_sec();
+    EXPECT_GE(r.report.seconds, floor * 0.999) << pf.label();
+  }
+}
+
+TEST(Properties, WiderStencilsNeverReduceTraffic) {
+  // Monotonicity: growing the stencil radius cannot reduce bytes moved.
+  const model::Launcher launcher({128, 64, 64});
+  const auto pf = model::paper_platforms().front();
+  std::uint64_t prev = 0;
+  for (int r = 1; r <= 4; ++r) {
+    const auto res =
+        launcher.run(dsl::Stencil::star(r), Variant::BricksCodegen, pf);
+    EXPECT_GE(res.report.traffic.hbm_total(), prev) << "radius " << r;
+    prev = res.report.traffic.hbm_total();
+  }
+}
+
+TEST(Properties, MeasurementFieldsConsistent) {
+  const auto pf = model::paper_platforms().front();
+  const model::Launcher launcher({64, 64, 64});
+  for (const auto& st : dsl::Stencil::paper_catalog()) {
+    const auto m = profiler::run_and_measure(
+        launcher, st, Variant::BricksCodegen, pf);
+    // ai == flops_normalized / hbm_bytes by definition.
+    EXPECT_NEAR(m.ai,
+                static_cast<double>(m.flops_normalized) / m.hbm_bytes,
+                1e-12);
+    // gflops == flops_normalized / seconds / 1e9.
+    EXPECT_NEAR(m.gflops,
+                static_cast<double>(m.flops_normalized) / m.seconds / 1e9,
+                1e-6 * m.gflops);
+    // Executed >= normalised (scatter reassociation can only add FLOPs).
+    EXPECT_GE(m.flops_executed,
+              static_cast<std::uint64_t>(m.flops_normalized));
+  }
+}
+
+}  // namespace
+}  // namespace bricksim

@@ -1,0 +1,289 @@
+// Unit tests for the SIMT machine: address resolution, traffic accounting,
+// functional semantics of every op (especially VAlign), block scheduling,
+// the counters-only fast path, and the timing decomposition.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "arch/arch.h"
+#include "common/rng.h"
+#include "ir/program.h"
+#include "simt/machine.h"
+
+namespace bricksim::simt {
+namespace {
+
+arch::GpuArch test_arch(int cores = 4) {
+  arch::GpuArch a = arch::make_a100();
+  a.num_cores = cores;
+  a.simd_width = 8;
+  a.page_open_bytes = 0;  // unit tests reason about exact byte counts
+  // 64B lines so an 8-lane (64B) row is exactly one full line.
+  a.l1.line_bytes = 64;
+  a.l1.sector_bytes = 32;
+  a.l2.line_bytes = 64;
+  a.l2.sector_bytes = 32;
+  return a;
+}
+
+ir::MemRef aref(int grid, int di, int dj = 0, int dk = 0) {
+  ir::MemRef m;
+  m.grid = grid;
+  m.space = ir::Space::Array;
+  m.di = di;
+  m.dj = dj;
+  m.dk = dk;
+  return m;
+}
+
+/// in/out grids with ghost 8 around a blocks*(8,4,4) interior.
+struct Harness {
+  explicit Harness(Vec3 blocks, const ir::Program& prog)
+      : interior{blocks.i * 8, blocks.j * 4, blocks.k * 4},
+        padded{interior.i + 16, interior.j + 16, interior.k + 16},
+        in(static_cast<std::size_t>(padded.volume())),
+        out(static_cast<std::size_t>(padded.volume())) {
+    SplitMix64 rng(3);
+    for (double& v : in) v = rng.next_double(-1, 1);
+    DeviceAllocator dev(128);
+    GridBinding gi;
+    gi.padded = padded;
+    gi.ghost = {8, 8, 8};
+    gi.device_base = dev.allocate(in.size() * kElemBytes);
+    gi.data = in.data();
+    gi.len = in.size();
+    GridBinding go = gi;
+    go.device_base = dev.allocate(out.size() * kElemBytes);
+    go.data = out.data();
+    kernel.program = &prog;
+    kernel.blocks = blocks;
+    kernel.tile = {8, 4, 4};
+    kernel.grids = {gi, go};
+    for (int n = 0; n < prog.num_constants(); ++n)
+      kernel.constants.push_back(1.0 + n);
+  }
+
+  double out_at(int i, int j, int k) const {
+    return out[linear_index({i + 8, j + 8, k + 8}, padded)];
+  }
+  double in_at(int i, int j, int k) const {
+    return in[linear_index({i + 8, j + 8, k + 8}, padded)];
+  }
+
+  Vec3 interior, padded;
+  std::vector<double> in, out;
+  Kernel kernel;
+};
+
+TEST(Machine, CopyKernelMovesCompulsoryBytes) {
+  ir::Program p(8);
+  for (int vk = 0; vk < 4; ++vk)
+    for (int vj = 0; vj < 4; ++vj) {
+      const int v = p.load(aref(0, 0, vj, vk));
+      p.store(v, aref(1, 0, vj, vk));
+    }
+  Harness h({2, 2, 2}, p);
+  Machine m(test_arch());
+  const KernelReport rep = m.run(h.kernel, ExecMode::Functional);
+
+  EXPECT_EQ(rep.blocks_run, 8u);
+  // Functional copy correct:
+  for (int k = 0; k < h.interior.k; ++k)
+    for (int j = 0; j < h.interior.j; ++j)
+      for (int i = 0; i < h.interior.i; ++i)
+        ASSERT_EQ(h.out_at(i, j, k), h.in_at(i, j, k));
+  // Each tile row is exactly one 64B line; compulsory traffic only.
+  EXPECT_EQ(rep.traffic.l1_read_bytes, 8u * 16 * 64);
+  EXPECT_EQ(rep.traffic.hbm_read_bytes, 8u * 16 * 64);
+  EXPECT_EQ(rep.flops_executed, 0u);
+}
+
+TEST(Machine, AlignComputesShiftedWindow) {
+  // out row = window into concat(in[di=0], in[di=8]) at shift 3 == in[i+3].
+  ir::Program p(8);
+  const int lo = p.load(aref(0, 0));
+  const int hi = p.load(aref(0, 8));
+  const int sh = p.align(lo, hi, 3);
+  p.store(sh, aref(1, 0));
+  Harness h({1, 1, 1}, p);
+  Machine m(test_arch());
+  m.run(h.kernel, ExecMode::Functional);
+  for (int l = 0; l < 8; ++l)
+    EXPECT_EQ(h.out_at(l, 0, 0), h.in_at(l + 3, 0, 0)) << l;
+}
+
+TEST(Machine, AlignShiftZeroAndFullWidth) {
+  ir::Program p(8);
+  const int lo = p.load(aref(0, 0));
+  const int hi = p.load(aref(0, 8));
+  p.store(p.align(lo, hi, 0), aref(1, 0, 0, 0));
+  p.store(p.align(lo, hi, 8), aref(1, 0, 1, 0));
+  Harness h({1, 1, 1}, p);
+  Machine m(test_arch());
+  m.run(h.kernel, ExecMode::Functional);
+  for (int l = 0; l < 8; ++l) {
+    EXPECT_EQ(h.out_at(l, 0, 0), h.in_at(l, 0, 0));
+    EXPECT_EQ(h.out_at(l, 1, 0), h.in_at(l + 8, 0, 0));
+  }
+}
+
+TEST(Machine, ArithmeticOpsAndConstants) {
+  ir::Program p(8);
+  const int c0 = p.add_constant("c0");  // bound to 1.0
+  const int c1 = p.add_constant("c1");  // bound to 2.0
+  const int v = p.load(aref(0, 0));
+  const int w = p.load(aref(0, 0, 1, 0));
+  p.store(p.add(v, w), aref(1, 0, 0, 0));              // v + w
+  p.store(p.mul(v, w), aref(1, 0, 1, 0));              // v * w
+  p.store(p.fma(v, w, v), aref(1, 0, 2, 0));           // v*w + v
+  p.store(p.mul_const(v, c1), aref(1, 0, 3, 0));       // 2v
+  p.store(p.fma_const(v, w, c1), aref(1, 0, 0, 1));    // v + 2w
+  p.store(p.set_const(c0), aref(1, 0, 1, 1));          // 1.0
+  p.store(p.zero(), aref(1, 0, 2, 1));                 // 0.0
+  Harness h({1, 1, 1}, p);
+  Machine m(test_arch());
+  const auto rep = m.run(h.kernel, ExecMode::Functional);
+  for (int l = 0; l < 8; ++l) {
+    const double v0 = h.in_at(l, 0, 0), w0 = h.in_at(l, 1, 0);
+    EXPECT_DOUBLE_EQ(h.out_at(l, 0, 0), v0 + w0);
+    EXPECT_DOUBLE_EQ(h.out_at(l, 1, 0), v0 * w0);
+    EXPECT_DOUBLE_EQ(h.out_at(l, 2, 0), v0 * w0 + v0);
+    EXPECT_DOUBLE_EQ(h.out_at(l, 3, 0), 2.0 * v0);
+    EXPECT_DOUBLE_EQ(h.out_at(l, 0, 1), v0 + 2.0 * w0);
+    EXPECT_DOUBLE_EQ(h.out_at(l, 1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(h.out_at(l, 2, 1), 0.0);
+  }
+  // add(8) + mul(8) + fma(16) + mulc(8) + fmac(16) per lane over 8 lanes.
+  EXPECT_EQ(rep.flops_executed, 8u * (1 + 1 + 2 + 1 + 2));
+}
+
+TEST(Machine, CountersOnlyMatchesFunctionalCounters) {
+  // The fast path must produce byte-identical traffic and issue counters.
+  ir::Program p(8);
+  const int c = p.add_constant("c");
+  for (int vj = 0; vj < 4; ++vj) {
+    const int v = p.load(aref(0, -1, vj, 0));
+    const int w = p.load(aref(0, 1, vj, 0));
+    const int s = p.align(v, w, 2);
+    p.int_ops(3);
+    p.store(p.fma_const(s, v, c), aref(1, 0, vj, 0));
+  }
+  Harness h1({2, 2, 2}, p), h2({2, 2, 2}, p);
+  Machine m1(test_arch()), m2(test_arch());
+  const auto fu = m1.run(h1.kernel, ExecMode::Functional);
+  h2.kernel.grids[0].data = nullptr;  // counters-only needs no data
+  h2.kernel.grids[1].data = nullptr;
+  const auto co = m2.run(h2.kernel, ExecMode::CountersOnly);
+
+  EXPECT_EQ(fu.traffic.hbm_read_bytes, co.traffic.hbm_read_bytes);
+  EXPECT_EQ(fu.traffic.hbm_write_bytes, co.traffic.hbm_write_bytes);
+  EXPECT_EQ(fu.traffic.l1_total(), co.traffic.l1_total());
+  EXPECT_EQ(fu.flops_executed, co.flops_executed);
+  EXPECT_EQ(fu.warp_insts, co.warp_insts);
+  EXPECT_EQ(fu.blocks_run, co.blocks_run);
+  EXPECT_DOUBLE_EQ(fu.seconds, co.seconds);
+}
+
+TEST(Machine, SpillTrafficStaysOnChip) {
+  ir::Program p(8);
+  p.set_num_spill_slots(1);
+  const int v = p.load(aref(0, 0));
+  ir::Inst st;
+  st.op = ir::Op::VStore;
+  st.a = v;
+  st.mem.space = ir::Space::Spill;
+  st.mem.slot = 0;
+  p.insts().push_back(st);
+  ir::Inst ld;
+  ld.op = ir::Op::VLoad;
+  ld.dst = p.new_vreg();
+  ld.mem.space = ir::Space::Spill;
+  ld.mem.slot = 0;
+  p.insts().push_back(ld);
+  p.store(ld.dst, aref(1, 0));
+
+  Harness h({1, 1, 1}, p);
+  Machine m(test_arch());
+  const auto rep = m.run(h.kernel, ExecMode::Functional);
+  EXPECT_EQ(rep.spill_bytes, 2u * 8 * kElemBytes);
+  // Spilled value survives the round trip.
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(h.out_at(l, 0, 0), h.in_at(l, 0, 0));
+  // Spills never reach HBM (read side: only the compulsory input line).
+  EXPECT_LE(rep.traffic.hbm_read_bytes, 256u);
+}
+
+TEST(Machine, TimingDecompositionIsMaxOfComponents) {
+  ir::Program p(8);
+  const int v = p.load(aref(0, 0));
+  p.store(v, aref(1, 0));
+  Harness h({4, 4, 4}, p);
+  Machine m(test_arch());
+  const auto rep = m.run(h.kernel, ExecMode::CountersOnly);
+  EXPECT_GT(rep.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(rep.seconds,
+                   std::max({rep.t_hbm, rep.t_l2, rep.t_issue}));
+  EXPECT_STREQ(rep.bottleneck(),
+               rep.seconds == rep.t_hbm ? "HBM"
+               : rep.seconds == rep.t_l2 ? "L2" : "issue");
+}
+
+TEST(Machine, ExtraCyclesPerLoadSlowKernelsDown) {
+  ir::Program p(8);
+  for (int n = 0; n < 16; ++n) {
+    const int v = p.load(aref(0, 0, n % 4, n / 4));
+    p.store(v, aref(1, 0, n % 4, n / 4));
+  }
+  Harness fast({4, 4, 4}, p), slow({4, 4, 4}, p);
+  slow.kernel.extra_cycles_per_load = 400;
+  Machine m1(test_arch()), m2(test_arch());
+  const auto f = m1.run(fast.kernel, ExecMode::CountersOnly);
+  const auto s = m2.run(slow.kernel, ExecMode::CountersOnly);
+  EXPECT_GT(s.seconds, f.seconds);
+  EXPECT_EQ(s.traffic.hbm_total(), f.traffic.hbm_total());
+}
+
+TEST(Machine, RmwStoresAddReadTraffic) {
+  ir::Program p(8);
+  for (int vj = 0; vj < 4; ++vj)
+    p.store(p.zero(), aref(1, 0, vj, 0));
+  Harness wc({2, 2, 2}, p), rmw({2, 2, 2}, p);
+  rmw.kernel.streaming_stores = false;
+  Machine m1(test_arch()), m2(test_arch());
+  const auto a = m1.run(wc.kernel, ExecMode::CountersOnly);
+  const auto b = m2.run(rmw.kernel, ExecMode::CountersOnly);
+  EXPECT_GT(b.traffic.hbm_read_bytes, a.traffic.hbm_read_bytes);
+  EXPECT_EQ(a.traffic.hbm_write_bytes, b.traffic.hbm_write_bytes);
+}
+
+TEST(Machine, ValidatesKernelShape) {
+  ir::Program p(8);
+  p.store(p.zero(), aref(1, 0));
+  Harness h({1, 1, 1}, p);
+  Machine m(test_arch());
+
+  Kernel bad = h.kernel;
+  bad.tile = {12, 4, 4};  // not a multiple of the vector width
+  EXPECT_THROW(m.run(bad, ExecMode::CountersOnly), Error);
+
+  bad = h.kernel;
+  bad.grids.clear();
+  EXPECT_THROW(m.run(bad, ExecMode::CountersOnly), Error);
+
+  bad = h.kernel;
+  bad.blocks = {0, 1, 1};
+  EXPECT_THROW(m.run(bad, ExecMode::CountersOnly), Error);
+}
+
+TEST(DeviceAllocator, NonOverlappingAlignedRanges) {
+  DeviceAllocator dev(128);
+  const auto a = dev.allocate(1000);
+  const auto b = dev.allocate(1);
+  const auto c = dev.allocate(4096);
+  EXPECT_EQ(a % 4096, 0u);
+  EXPECT_EQ(b % 4096, 0u);
+  EXPECT_GE(b, a + 1000);
+  EXPECT_GE(c, b + 1);
+  EXPECT_NE(a, 0u);  // page zero unmapped
+}
+
+}  // namespace
+}  // namespace bricksim::simt
