@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_brickshape.dir/bench_ablation_brickshape.cpp.o"
+  "CMakeFiles/bench_ablation_brickshape.dir/bench_ablation_brickshape.cpp.o.d"
+  "bench_ablation_brickshape"
+  "bench_ablation_brickshape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_brickshape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cpu_crossplatform.dir/bench_cpu_crossplatform.cpp.o"
+  "CMakeFiles/bench_cpu_crossplatform.dir/bench_cpu_crossplatform.cpp.o.d"
+  "bench_cpu_crossplatform"
+  "bench_cpu_crossplatform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_crossplatform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

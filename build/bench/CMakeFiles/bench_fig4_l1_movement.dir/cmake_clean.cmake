@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_l1_movement.dir/bench_fig4_l1_movement.cpp.o"
+  "CMakeFiles/bench_fig4_l1_movement.dir/bench_fig4_l1_movement.cpp.o.d"
+  "bench_fig4_l1_movement"
+  "bench_fig4_l1_movement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_l1_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

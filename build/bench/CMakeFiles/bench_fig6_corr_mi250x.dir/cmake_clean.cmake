@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_corr_mi250x.dir/bench_fig6_corr_mi250x.cpp.o"
+  "CMakeFiles/bench_fig6_corr_mi250x.dir/bench_fig6_corr_mi250x.cpp.o.d"
+  "bench_fig6_corr_mi250x"
+  "bench_fig6_corr_mi250x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_corr_mi250x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

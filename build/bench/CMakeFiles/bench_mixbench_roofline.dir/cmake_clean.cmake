@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixbench_roofline.dir/bench_mixbench_roofline.cpp.o"
+  "CMakeFiles/bench_mixbench_roofline.dir/bench_mixbench_roofline.cpp.o.d"
+  "bench_mixbench_roofline"
+  "bench_mixbench_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixbench_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pvc_subgroup.dir/bench_pvc_subgroup.cpp.o"
+  "CMakeFiles/bench_pvc_subgroup.dir/bench_pvc_subgroup.cpp.o.d"
+  "bench_pvc_subgroup"
+  "bench_pvc_subgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pvc_subgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

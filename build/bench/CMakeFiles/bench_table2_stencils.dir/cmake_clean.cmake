@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_stencils.dir/bench_table2_stencils.cpp.o"
+  "CMakeFiles/bench_table2_stencils.dir/bench_table2_stencils.cpp.o.d"
+  "bench_table2_stencils"
+  "bench_table2_stencils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_stencils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

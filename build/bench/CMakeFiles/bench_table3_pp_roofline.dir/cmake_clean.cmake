@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pp_roofline.dir/bench_table3_pp_roofline.cpp.o"
+  "CMakeFiles/bench_table3_pp_roofline.dir/bench_table3_pp_roofline.cpp.o.d"
+  "bench_table3_pp_roofline"
+  "bench_table3_pp_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pp_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_theoretical_ai.dir/bench_table4_theoretical_ai.cpp.o"
+  "CMakeFiles/bench_table4_theoretical_ai.dir/bench_table4_theoretical_ai.cpp.o.d"
+  "bench_table4_theoretical_ai"
+  "bench_table4_theoretical_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_theoretical_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_pp_theoretical_ai.cpp" "bench/CMakeFiles/bench_table5_pp_theoretical_ai.dir/bench_table5_pp_theoretical_ai.cpp.o" "gcc" "bench/CMakeFiles/bench_table5_pp_theoretical_ai.dir/bench_table5_pp_theoretical_ai.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bricksim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/bricksim_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/bricksim_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/bricksim_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/bricksim_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/bricksim_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/bricksim_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/brick/CMakeFiles/bricksim_brick.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/bricksim_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bricksim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/bricksim_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/bricksim_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bricksim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_pp_theoretical_ai.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_kernels.dir/fig2_kernels.cpp.o"
+  "CMakeFiles/fig2_kernels.dir/fig2_kernels.cpp.o.d"
+  "fig2_kernels"
+  "fig2_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat3d.dir/heat3d.cpp.o"
+  "CMakeFiles/heat3d.dir/heat3d.cpp.o.d"
+  "heat3d"
+  "heat3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

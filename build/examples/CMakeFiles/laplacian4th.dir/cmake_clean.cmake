@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplacian4th.dir/laplacian4th.cpp.o"
+  "CMakeFiles/laplacian4th.dir/laplacian4th.cpp.o.d"
+  "laplacian4th"
+  "laplacian4th.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplacian4th.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave25pt.dir/wave25pt.cpp.o"
+  "CMakeFiles/wave25pt.dir/wave25pt.cpp.o.d"
+  "wave25pt"
+  "wave25pt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave25pt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arch")
+subdirs("memsim")
+subdirs("ir")
+subdirs("simt")
+subdirs("dsl")
+subdirs("brick")
+subdirs("codegen")
+subdirs("model")
+subdirs("profiler")
+subdirs("roofline")
+subdirs("metrics")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_arch.dir/arch.cpp.o"
+  "CMakeFiles/bricksim_arch.dir/arch.cpp.o.d"
+  "libbricksim_arch.a"
+  "libbricksim_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

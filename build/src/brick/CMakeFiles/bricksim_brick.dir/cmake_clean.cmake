@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_brick.dir/brick.cpp.o"
+  "CMakeFiles/bricksim_brick.dir/brick.cpp.o.d"
+  "CMakeFiles/bricksim_brick.dir/exchange.cpp.o"
+  "CMakeFiles/bricksim_brick.dir/exchange.cpp.o.d"
+  "libbricksim_brick.a"
+  "libbricksim_brick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_brick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bricksim_brick.
+# This may be replaced when dependencies are built.

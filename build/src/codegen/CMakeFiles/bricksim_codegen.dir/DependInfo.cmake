@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/codegen.cpp" "src/codegen/CMakeFiles/bricksim_codegen.dir/codegen.cpp.o" "gcc" "src/codegen/CMakeFiles/bricksim_codegen.dir/codegen.cpp.o.d"
+  "/root/repo/src/codegen/emit_source.cpp" "src/codegen/CMakeFiles/bricksim_codegen.dir/emit_source.cpp.o" "gcc" "src/codegen/CMakeFiles/bricksim_codegen.dir/emit_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsl/CMakeFiles/bricksim_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/bricksim_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bricksim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_codegen.dir/codegen.cpp.o"
+  "CMakeFiles/bricksim_codegen.dir/codegen.cpp.o.d"
+  "CMakeFiles/bricksim_codegen.dir/emit_source.cpp.o"
+  "CMakeFiles/bricksim_codegen.dir/emit_source.cpp.o.d"
+  "libbricksim_codegen.a"
+  "libbricksim_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

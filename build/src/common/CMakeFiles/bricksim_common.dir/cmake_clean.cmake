@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_common.dir/cli.cpp.o"
+  "CMakeFiles/bricksim_common.dir/cli.cpp.o.d"
+  "CMakeFiles/bricksim_common.dir/stats.cpp.o"
+  "CMakeFiles/bricksim_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bricksim_common.dir/table.cpp.o"
+  "CMakeFiles/bricksim_common.dir/table.cpp.o.d"
+  "libbricksim_common.a"
+  "libbricksim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/expr.cpp" "src/dsl/CMakeFiles/bricksim_dsl.dir/expr.cpp.o" "gcc" "src/dsl/CMakeFiles/bricksim_dsl.dir/expr.cpp.o.d"
+  "/root/repo/src/dsl/reference.cpp" "src/dsl/CMakeFiles/bricksim_dsl.dir/reference.cpp.o" "gcc" "src/dsl/CMakeFiles/bricksim_dsl.dir/reference.cpp.o.d"
+  "/root/repo/src/dsl/stencil.cpp" "src/dsl/CMakeFiles/bricksim_dsl.dir/stencil.cpp.o" "gcc" "src/dsl/CMakeFiles/bricksim_dsl.dir/stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bricksim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_dsl.dir/expr.cpp.o"
+  "CMakeFiles/bricksim_dsl.dir/expr.cpp.o.d"
+  "CMakeFiles/bricksim_dsl.dir/reference.cpp.o"
+  "CMakeFiles/bricksim_dsl.dir/reference.cpp.o.d"
+  "CMakeFiles/bricksim_dsl.dir/stencil.cpp.o"
+  "CMakeFiles/bricksim_dsl.dir/stencil.cpp.o.d"
+  "libbricksim_dsl.a"
+  "libbricksim_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

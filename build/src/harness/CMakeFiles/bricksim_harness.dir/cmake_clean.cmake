@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_harness.dir/autotune.cpp.o"
+  "CMakeFiles/bricksim_harness.dir/autotune.cpp.o.d"
+  "CMakeFiles/bricksim_harness.dir/harness.cpp.o"
+  "CMakeFiles/bricksim_harness.dir/harness.cpp.o.d"
+  "libbricksim_harness.a"
+  "libbricksim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_ir.dir/program.cpp.o"
+  "CMakeFiles/bricksim_ir.dir/program.cpp.o.d"
+  "CMakeFiles/bricksim_ir.dir/regalloc.cpp.o"
+  "CMakeFiles/bricksim_ir.dir/regalloc.cpp.o.d"
+  "CMakeFiles/bricksim_ir.dir/schedule.cpp.o"
+  "CMakeFiles/bricksim_ir.dir/schedule.cpp.o.d"
+  "libbricksim_ir.a"
+  "libbricksim_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_memsim.dir/cache.cpp.o"
+  "CMakeFiles/bricksim_memsim.dir/cache.cpp.o.d"
+  "CMakeFiles/bricksim_memsim.dir/hierarchy.cpp.o"
+  "CMakeFiles/bricksim_memsim.dir/hierarchy.cpp.o.d"
+  "libbricksim_memsim.a"
+  "libbricksim_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

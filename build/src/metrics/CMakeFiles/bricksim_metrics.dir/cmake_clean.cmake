@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/bricksim_metrics.dir/metrics.cpp.o.d"
+  "libbricksim_metrics.a"
+  "libbricksim_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_model.dir/launcher.cpp.o"
+  "CMakeFiles/bricksim_model.dir/launcher.cpp.o.d"
+  "CMakeFiles/bricksim_model.dir/progmodel.cpp.o"
+  "CMakeFiles/bricksim_model.dir/progmodel.cpp.o.d"
+  "libbricksim_model.a"
+  "libbricksim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

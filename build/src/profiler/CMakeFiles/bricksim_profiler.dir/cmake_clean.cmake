@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/bricksim_profiler.dir/profiler.cpp.o.d"
+  "libbricksim_profiler.a"
+  "libbricksim_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

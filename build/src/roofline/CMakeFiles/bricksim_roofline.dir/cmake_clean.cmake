@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/bricksim_roofline.dir/roofline.cpp.o.d"
+  "libbricksim_roofline.a"
+  "libbricksim_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bricksim_simt.dir/machine.cpp.o"
+  "CMakeFiles/bricksim_simt.dir/machine.cpp.o.d"
+  "libbricksim_simt.a"
+  "libbricksim_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bricksim_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbricksim_simt.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_stencils.dir/test_fuzz_stencils.cpp.o"
+  "CMakeFiles/test_fuzz_stencils.dir/test_fuzz_stencils.cpp.o.d"
+  "test_fuzz_stencils"
+  "test_fuzz_stencils.pdb"
+  "test_fuzz_stencils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_stencils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

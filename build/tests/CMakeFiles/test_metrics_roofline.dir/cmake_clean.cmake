@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_roofline.dir/test_metrics_roofline.cpp.o"
+  "CMakeFiles/test_metrics_roofline.dir/test_metrics_roofline.cpp.o.d"
+  "test_metrics_roofline"
+  "test_metrics_roofline.pdb"
+  "test_metrics_roofline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
