@@ -13,5 +13,9 @@ int main(int argc, char** argv) {
                "(domain " << config.domain.i << "^3).\n\n";
   const auto sweep = bricksim::harness::run_sweep(config);
   bricksim::harness::print_table(std::cout, bricksim::harness::make_fig3(sweep), config.csv);
+  std::cout << "\nbrickcheck (pre-launch static verification, --check="
+            << bricksim::analysis::check_mode_name(config.check_mode) << "):\n";
+  bricksim::harness::print_table(
+      std::cout, bricksim::harness::make_check_summary(sweep), config.csv);
   return 0;
 }

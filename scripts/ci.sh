@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# The full CI gate future PRs inherit:
+#
+#   1. tier-1 verify, plain:     configure + build + ctest
+#   2. tier-1 verify, sanitized: the same under ASan + UBSan
+#                                (BRICKSIM_SANITIZE=address;undefined)
+#   3. clang-tidy lint           (scripts/lint.sh; skipped when absent)
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast  run only the brickcheck/ir/codegen test subset under the
+#           sanitizers instead of the full suite (for quick local loops).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> [1/3] tier-1 verify (plain)"
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> [2/3] tier-1 verify (ASan + UBSan)"
+cmake -B build-asan -S . -DBRICKSIM_SANITIZE="address;undefined"
+cmake --build build-asan -j "$JOBS"
+if [[ "$FAST" == 1 ]]; then
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'test_analysis|test_ir|test_codegen|test_regalloc'
+else
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "==> [3/3] lint"
+scripts/lint.sh
+
+echo "==> CI green"

@@ -1,0 +1,505 @@
+#include "analysis/brickcheck.h"
+
+#include <iostream>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace bricksim::analysis {
+
+const char* check_name(Check c) {
+  switch (c) {
+    case Check::Bounds:    return "bounds";
+    case Check::Dataflow:  return "dataflow";
+    case Check::Race:      return "race";
+    case Check::Alignment: return "alignment";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << (severity == Severity::Error ? "error" : "warning") << "["
+     << check_name(check) << "] ";
+  if (inst >= 0)
+    os << "inst " << inst;
+  else
+    os << "program";
+  os << ": " << message;
+  return os.str();
+}
+
+CheckStats& CheckStats::operator+=(const CheckStats& o) {
+  programs += o.programs;
+  insts += o.insts;
+  errors += o.errors;
+  warnings += o.warnings;
+  for (int c = 0; c < kNumChecks; ++c) by_check[c] += o.by_check[c];
+  return *this;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (std::size_t n = 0; n < diags.size(); ++n)
+    os << (n ? "\n" : "") << diags[n].to_string();
+  return os.str();
+}
+
+const char* check_mode_name(CheckMode m) {
+  switch (m) {
+    case CheckMode::Off:    return "off";
+    case CheckMode::Warn:   return "warn";
+    case CheckMode::Strict: return "strict";
+  }
+  return "?";
+}
+
+CheckMode parse_check_mode(const std::string& s) {
+  if (s == "off") return CheckMode::Off;
+  if (s == "warn") return CheckMode::Warn;
+  if (s == "strict") return CheckMode::Strict;
+  throw Error("unknown check mode '" + s + "' (expected strict|warn|off)");
+}
+
+void enforce(const Report& report, CheckMode mode,
+             const std::string& context) {
+  if (mode == CheckMode::Off || report.clean()) return;
+  if (mode == CheckMode::Strict && !report.ok())
+    throw Error("brickcheck failed for " + context + ":\n" +
+                report.to_string());
+  std::cerr << "[brickcheck] " << context << ": " << report.stats.errors
+            << " error(s), " << report.stats.warnings << " warning(s)\n";
+  for (const Diagnostic& d : report.diags)
+    std::cerr << "[brickcheck]   " << d.to_string() << "\n";
+}
+
+namespace {
+
+/// Operand/def shape of each op (which slots are read, whether dst is
+/// defined, whether cidx must name a constant).
+struct OpShape {
+  bool reads_a = false, reads_b = false, reads_c = false;
+  bool defines_dst = false, has_const = false;
+};
+
+OpShape shape_of(ir::Op op) {
+  using ir::Op;
+  switch (op) {
+    case Op::VLoad:  return {false, false, false, true, false};
+    case Op::VStore: return {true, false, false, false, false};
+    case Op::VAlign: return {true, true, false, true, false};
+    case Op::VAddV:  return {true, true, false, true, false};
+    case Op::VMulV:  return {true, true, false, true, false};
+    case Op::VFmaV:  return {true, true, true, true, false};
+    case Op::VMulC:  return {true, false, false, true, true};
+    case Op::VFmaC:  return {true, true, false, true, true};
+    case Op::VSetC:  return {false, false, false, true, true};
+    case Op::VZero:  return {false, false, false, true, false};
+    case Op::IOp:    return {false, false, false, false, false};
+  }
+  return {};
+}
+
+bool is_mem(const ir::Inst& in) {
+  return in.op == ir::Op::VLoad || in.op == ir::Op::VStore;
+}
+
+std::string array_ref_str(const ir::MemRef& m) {
+  std::ostringstream os;
+  os << "g" << m.grid << "[arr " << m.di << "," << m.dj << "," << m.dk << "]";
+  return os.str();
+}
+
+std::string brick_ref_str(const ir::MemRef& m) {
+  std::ostringstream os;
+  os << "g" << m.grid << "[brk nbr(" << m.nbr_di << "," << m.nbr_dj << ","
+     << m.nbr_dk << ") v(" << m.vi << "," << m.vj << "," << m.vk << ")]";
+  return os.str();
+}
+
+class Checker {
+ public:
+  explicit Checker(const ir::Program& prog) : prog_(prog) {
+    report_.stats.programs = 1;
+    report_.stats.insts = static_cast<long>(prog.insts().size());
+  }
+
+  void add(Check check, Severity sev, int inst, std::string msg) {
+    report_.stats.by_check[static_cast<int>(check)]++;
+    if (sev == Severity::Error)
+      report_.stats.errors++;
+    else
+      report_.stats.warnings++;
+    report_.diags.push_back({check, sev, inst, std::move(msg)});
+  }
+
+  Report take() { return std::move(report_); }
+
+  // --- Launch-free checks ----------------------------------------------------
+
+  /// Def-before-use on vector registers, constant/shift/operand ranges, and
+  /// spill-slot hygiene.  Reports instead of throwing (unlike
+  /// ir::Program::verify, which predates this pass and guards the machine).
+  void check_dataflow() {
+    const auto& insts = prog_.insts();
+    std::vector<bool> defined(static_cast<std::size_t>(prog_.num_vregs()),
+                              false);
+    // Spill-slot state: instruction index of the last store, whether that
+    // store's value has been loaded since, whether the slot was ever stored.
+    struct SlotState {
+      int last_store = -1;
+      bool loaded_since_store = true;
+      bool ever_stored = false;
+    };
+    std::vector<SlotState> slots(
+        static_cast<std::size_t>(prog_.num_spill_slots()));
+
+    auto check_use = [&](int r, int pos) {
+      if (r < 0 || r >= prog_.num_vregs()) {
+        add(Check::Dataflow, Severity::Error, pos,
+            "operand register v" + std::to_string(r) + " out of range (" +
+                std::to_string(prog_.num_vregs()) + " registers)");
+        return;
+      }
+      if (!defined[static_cast<std::size_t>(r)])
+        add(Check::Dataflow, Severity::Error, pos,
+            "read of register v" + std::to_string(r) +
+                " before any definition");
+    };
+
+    for (int pos = 0; pos < static_cast<int>(insts.size()); ++pos) {
+      const ir::Inst& in = insts[static_cast<std::size_t>(pos)];
+      const OpShape s = shape_of(in.op);
+      if (s.reads_a) check_use(in.a, pos);
+      if (s.reads_b) check_use(in.b, pos);
+      if (s.reads_c) check_use(in.c, pos);
+      if (s.has_const && (in.cidx < 0 || in.cidx >= prog_.num_constants()))
+        add(Check::Dataflow, Severity::Error, pos,
+            "constant index " + std::to_string(in.cidx) + " out of range (" +
+                std::to_string(prog_.num_constants()) + " constants)");
+      if (in.op == ir::Op::VAlign &&
+          (in.shift < 0 || in.shift > prog_.vec_width()))
+        add(Check::Dataflow, Severity::Error, pos,
+            "align shift " + std::to_string(in.shift) + " outside [0, W=" +
+                std::to_string(prog_.vec_width()) + "]");
+
+      if (is_mem(in) && in.mem.space == ir::Space::Spill) {
+        if (in.mem.slot < 0 ||
+            in.mem.slot >= prog_.num_spill_slots()) {
+          add(Check::Dataflow, Severity::Error, pos,
+              "spill slot " + std::to_string(in.mem.slot) +
+                  " out of range (" +
+                  std::to_string(prog_.num_spill_slots()) + " slots)");
+        } else {
+          SlotState& st = slots[static_cast<std::size_t>(in.mem.slot)];
+          if (in.op == ir::Op::VLoad) {
+            if (!st.ever_stored)
+              add(Check::Dataflow, Severity::Error, pos,
+                  "load from spill slot " + std::to_string(in.mem.slot) +
+                      " before any store (read-before-write)");
+            st.loaded_since_store = true;
+          } else {
+            if (!st.loaded_since_store)
+              add(Check::Dataflow, Severity::Warning, pos,
+                  "double-spill: slot " + std::to_string(in.mem.slot) +
+                      " overwritten before the store at inst " +
+                      std::to_string(st.last_store) + " was ever loaded");
+            st.last_store = pos;
+            st.loaded_since_store = false;
+            st.ever_stored = true;
+          }
+        }
+      }
+      if (is_mem(in) && in.mem.space != ir::Space::Spill && in.mem.grid < 0)
+        add(Check::Bounds, Severity::Error, pos,
+            "negative grid index " + std::to_string(in.mem.grid));
+
+      if (s.defines_dst) {
+        if (in.dst < 0 || in.dst >= prog_.num_vregs())
+          add(Check::Dataflow, Severity::Error, pos,
+              "dst register v" + std::to_string(in.dst) + " out of range (" +
+                  std::to_string(prog_.num_vregs()) + " registers)");
+        else
+          defined[static_cast<std::size_t>(in.dst)] = true;
+      }
+    }
+
+    for (std::size_t slot = 0; slot < slots.size(); ++slot)
+      if (slots[slot].ever_stored && !slots[slot].loaded_since_store)
+        add(Check::Dataflow, Severity::Warning, slots[slot].last_store,
+            "dead store: spill slot " + std::to_string(static_cast<int>(slot)) +
+                " is never loaded after this store");
+  }
+
+  /// Brick-space invariants that need no launch geometry: adjacency
+  /// displacements must stay within the one-ghost-brick ring and in-brick
+  /// coordinates must be non-negative.
+  void check_brick_structure() {
+    const auto& insts = prog_.insts();
+    for (int pos = 0; pos < static_cast<int>(insts.size()); ++pos) {
+      const ir::Inst& in = insts[static_cast<std::size_t>(pos)];
+      if (!is_mem(in) || in.mem.space != ir::Space::Brick) continue;
+      const ir::MemRef& m = in.mem;
+      auto bad_axis = [&](int d, const char* axis) {
+        if (d < -1 || d > 1)
+          add(Check::Bounds, Severity::Error, pos,
+              "brick displacement " + std::string(axis) + "=" +
+                  std::to_string(d) + " outside {-1,0,+1} in " +
+                  brick_ref_str(m));
+      };
+      bad_axis(m.nbr_di, "nbr_di");
+      bad_axis(m.nbr_dj, "nbr_dj");
+      bad_axis(m.nbr_dk, "nbr_dk");
+      if (m.vi < 0 || m.vj < 0 || m.vk < 0)
+        add(Check::Bounds, Severity::Error, pos,
+            "negative in-brick coordinate in " + brick_ref_str(m));
+    }
+  }
+
+  // --- Geometry-aware checks -------------------------------------------------
+
+  void check_geometry(const LaunchGeom& geom) {
+    const int W = prog_.vec_width();
+    if (geom.tile.i <= 0 || geom.tile.j <= 0 || geom.tile.k <= 0 ||
+        geom.blocks.i <= 0 || geom.blocks.j <= 0 || geom.blocks.k <= 0) {
+      add(Check::Bounds, Severity::Error, -1,
+          "launch geometry has non-positive tile or block extents");
+      return;
+    }
+    if (geom.tile.i % W != 0)
+      add(Check::Bounds, Severity::Error, -1,
+          "tile inner extent " + std::to_string(geom.tile.i) +
+              " is not a multiple of the vector width " + std::to_string(W));
+    if (prog_.num_grids() > static_cast<int>(geom.grids.size())) {
+      add(Check::Bounds, Severity::Error, -1,
+          "program references " + std::to_string(prog_.num_grids()) +
+              " grids but the launch binds only " +
+              std::to_string(geom.grids.size()));
+      return;
+    }
+
+    // Per-grid layout sanity (once per grid, not per instruction).
+    for (std::size_t g = 0; g < geom.grids.size(); ++g) {
+      const GridGeom& gg = geom.grids[g];
+      if (gg.layout == ir::Space::Brick && gg.brick_dims.i % W != 0)
+        add(Check::Alignment, Severity::Error, -1,
+            "grid " + std::to_string(g) + " brick inner extent " +
+                std::to_string(gg.brick_dims.i) +
+                " is not a multiple of the vector width " +
+                std::to_string(W) + "; brick rows cannot hold whole vectors");
+    }
+
+    const auto& insts = prog_.insts();
+
+    // Written grids feed the race analysis.
+    std::set<int> written;
+    for (const ir::Inst& in : insts)
+      if (in.op == ir::Op::VStore && in.mem.space != ir::Space::Spill &&
+          in.mem.grid >= 0)
+        written.insert(in.mem.grid);
+    std::set<int> inplace_warned;
+
+    for (int pos = 0; pos < static_cast<int>(insts.size()); ++pos) {
+      const ir::Inst& in = insts[static_cast<std::size_t>(pos)];
+      if (!is_mem(in) || in.mem.space == ir::Space::Spill) continue;
+      const ir::MemRef& m = in.mem;
+      if (m.grid < 0 || m.grid >= static_cast<int>(geom.grids.size()))
+        continue;  // already reported
+      const GridGeom& gg = geom.grids[static_cast<std::size_t>(m.grid)];
+      if (gg.layout != m.space) {
+        add(Check::Bounds, Severity::Error, pos,
+            "grid " + std::to_string(m.grid) + " is bound with " +
+                (gg.layout == ir::Space::Array ? "array" : "brick") +
+                " layout but referenced in " +
+                (m.space == ir::Space::Array ? "array" : "brick") + " space");
+        continue;
+      }
+      const bool is_store = in.op == ir::Op::VStore;
+      if (m.space == ir::Space::Array) {
+        check_array_bounds(pos, m, gg, geom);
+        check_array_race(pos, m, geom, is_store,
+                         written.count(m.grid) != 0, inplace_warned);
+        if (geom.require_aligned_vloads && m.vectorized)
+          check_array_alignment(pos, m, gg);
+      } else {
+        check_brick_bounds(pos, m, gg);
+        check_brick_race(pos, m, is_store, written.count(m.grid) != 0,
+                         inplace_warned);
+      }
+    }
+  }
+
+ private:
+  /// Array refs are affine in the block coordinate, so the two extreme
+  /// blocks per axis bound every block of the launch.
+  void check_array_bounds(int pos, const ir::MemRef& m, const GridGeom& gg,
+                          const LaunchGeom& geom) {
+    const int W = prog_.vec_width();
+    struct Axis {
+      const char* name;
+      int ghost, tile, blocks, padded, off, width;
+    };
+    const Axis axes[3] = {
+        {"i", gg.ghost.i, geom.tile.i, geom.blocks.i, gg.padded.i, m.di, W},
+        {"j", gg.ghost.j, geom.tile.j, geom.blocks.j, gg.padded.j, m.dj, 1},
+        {"k", gg.ghost.k, geom.tile.k, geom.blocks.k, gg.padded.k, m.dk, 1},
+    };
+    for (const Axis& ax : axes) {
+      const int lo = ax.ghost + ax.off;                        // block 0
+      const int hi = ax.ghost + (ax.blocks - 1) * ax.tile + ax.off;
+      if (lo < 0)
+        add(Check::Bounds, Severity::Error, pos,
+            "array ref " + array_ref_str(m) + " reaches " + ax.name + "=" +
+                std::to_string(lo - ax.ghost) +
+                " at block (0,0,0): " + std::to_string(-lo) +
+                " element(s) before the padded buffer (ghost " +
+                std::to_string(ax.ghost) + ")");
+      if (hi + ax.width > ax.padded)
+        add(Check::Bounds, Severity::Error, pos,
+            "array ref " + array_ref_str(m) + " reaches padded " + ax.name +
+                "=" + std::to_string(hi + ax.width - 1) + " at the last "
+                "block, past the padded extent " + std::to_string(ax.padded));
+    }
+  }
+
+  void check_brick_bounds(int pos, const ir::MemRef& m, const GridGeom& gg) {
+    const int W = prog_.vec_width();
+    if (m.vi >= 0 && (m.vi + 1) * W > gg.brick_dims.i)
+      add(Check::Bounds, Severity::Error, pos,
+          "brick ref " + brick_ref_str(m) + " vector index vi=" +
+              std::to_string(m.vi) + " exceeds the " +
+              std::to_string(gg.brick_dims.i / W) +
+              " vector(s) of a brick row (brick inner extent " +
+              std::to_string(gg.brick_dims.i) + ")");
+    if (m.vj >= gg.brick_dims.j)
+      add(Check::Bounds, Severity::Error, pos,
+          "brick ref " + brick_ref_str(m) + " row vj=" +
+              std::to_string(m.vj) + " outside brick extent " +
+              std::to_string(gg.brick_dims.j));
+    if (m.vk >= gg.brick_dims.k)
+      add(Check::Bounds, Severity::Error, pos,
+          "brick ref " + brick_ref_str(m) + " row vk=" +
+              std::to_string(m.vk) + " outside brick extent " +
+              std::to_string(gg.brick_dims.k));
+  }
+
+  /// Write-set / read-set overlap across concurrent blocks.  A block owns
+  /// the tile [bc*tile, (bc+1)*tile); accesses to a written grid that leave
+  /// the block's own tile touch elements a neighbouring block writes.
+  void check_array_race(int pos, const ir::MemRef& m, const LaunchGeom& geom,
+                        bool is_store, bool grid_written,
+                        std::set<int>& inplace_warned) {
+    if (!is_store && !grid_written) return;  // reads of pure inputs race-free
+    const int W = prog_.vec_width();
+    struct Axis {
+      const char* name;
+      int off, width, tile, blocks;
+    };
+    const Axis axes[3] = {
+        {"i", m.di, W, geom.tile.i, geom.blocks.i},
+        {"j", m.dj, 1, geom.tile.j, geom.blocks.j},
+        {"k", m.dk, 1, geom.tile.k, geom.blocks.k},
+    };
+    bool escapes_concurrent = false, escapes_edge = false;
+    std::string axis_desc;
+    for (const Axis& ax : axes) {
+      const bool escapes = ax.off < 0 || ax.off + ax.width > ax.tile;
+      if (!escapes) continue;
+      (ax.blocks > 1 ? escapes_concurrent : escapes_edge) = true;
+      axis_desc += std::string(axis_desc.empty() ? "" : ",") + ax.name;
+    }
+    if (is_store) {
+      if (escapes_concurrent)
+        add(Check::Race, Severity::Error, pos,
+            "store " + array_ref_str(m) + " escapes the block tile in " +
+                axis_desc + ": concurrent blocks' write ranges overlap");
+      else if (escapes_edge)
+        add(Check::Race, Severity::Warning, pos,
+            "store " + array_ref_str(m) +
+                " writes outside the block tile in " + axis_desc +
+                " (single-block axis: no overlap, but it lands in the "
+                "ghost margin)");
+      return;
+    }
+    // Load of a grid this kernel writes.
+    if (escapes_concurrent) {
+      add(Check::Race, Severity::Error, pos,
+          "load " + array_ref_str(m) + " reads the written grid outside "
+              "the block tile in " + axis_desc +
+              ": observes a concurrent block's stores");
+    } else if (inplace_warned.insert(m.grid).second) {
+      add(Check::Race, Severity::Warning, pos,
+          "grid " + std::to_string(m.grid) + " is both read and written "
+              "(in-place kernel): block-local ordering holds, but "
+              "cross-launch hazards are not checked");
+    }
+  }
+
+  void check_brick_race(int pos, const ir::MemRef& m, bool is_store,
+                        bool grid_written, std::set<int>& inplace_warned) {
+    const bool own_brick = m.nbr_di == 0 && m.nbr_dj == 0 && m.nbr_dk == 0;
+    if (is_store) {
+      if (!own_brick)
+        add(Check::Race, Severity::Error, pos,
+            "store " + brick_ref_str(m) + " targets a neighbouring brick: "
+                "concurrent blocks' write ranges overlap");
+      return;
+    }
+    if (!grid_written) return;
+    if (!own_brick)
+      add(Check::Race, Severity::Error, pos,
+          "load " + brick_ref_str(m) + " reads the written grid from a "
+              "neighbouring brick: observes a concurrent block's stores");
+    else if (inplace_warned.insert(m.grid).second)
+      add(Check::Race, Severity::Warning, pos,
+          "grid " + std::to_string(m.grid) + " is both read and written "
+              "(in-place kernel): block-local ordering holds, but "
+              "cross-launch hazards are not checked");
+  }
+
+  /// Lane 0 of a vectorised array access must sit on a W-element boundary
+  /// when the lowering requires natural alignment.  tile.i is a multiple of
+  /// W, so the block coordinate never changes alignment: (ghost.i + di)
+  /// decides rows of the first j/k plane, and the row stride decides all
+  /// later rows.
+  void check_array_alignment(int pos, const ir::MemRef& m,
+                             const GridGeom& gg) {
+    const int W = prog_.vec_width();
+    const int lane0 = gg.ghost.i + m.di;
+    if (((lane0 % W) + W) % W != 0)
+      add(Check::Alignment, Severity::Error, pos,
+          "vectorized array ref " + array_ref_str(m) + " starts at element " +
+              std::to_string(lane0) + " of its row, not a multiple of W=" +
+              std::to_string(W) +
+              "; this lowering requires naturally aligned vector accesses");
+    else if (gg.padded.i % W != 0)
+      add(Check::Alignment, Severity::Error, pos,
+          "vectorized array ref " + array_ref_str(m) + ": row stride " +
+              std::to_string(gg.padded.i) + " is not a multiple of W=" +
+              std::to_string(W) +
+              ", so rows beyond the first are unaligned");
+  }
+
+  const ir::Program& prog_;
+  Report report_;
+};
+
+}  // namespace
+
+Report check_program(const ir::Program& prog) {
+  Checker c(prog);
+  c.check_dataflow();
+  c.check_brick_structure();
+  return c.take();
+}
+
+Report check(const ir::Program& prog, const LaunchGeom& geom) {
+  Checker c(prog);
+  c.check_dataflow();
+  c.check_brick_structure();
+  c.check_geometry(geom);
+  return c.take();
+}
+
+}  // namespace bricksim::analysis

@@ -1,0 +1,133 @@
+// brickcheck: static verification of vector-IR kernels.
+//
+// Nothing downstream of codegen re-derives what a program *may* touch; the
+// SIMT machine simply executes it.  A codegen bug (bad adjacency
+// displacement, read-before-def register, a store that escapes its block's
+// tile, a misaligned vectorised load on an architecture that requires
+// alignment) would silently corrupt both values and counters -- and every
+// Roofline number built on them.  brickcheck closes that gap: it analyses an
+// ir::Program SYMBOLICALLY against a launch geometry, covering all blocks of
+// the grid at once (every address is affine in the block coordinates, so the
+// extreme blocks bound every block), and reports structured diagnostics.
+//
+// Four check families:
+//  * bounds    -- array refs stay inside the padded extents for every block;
+//                 brick refs use displacements in {-1,0,+1} and in-brick
+//                 coordinates inside brick_dims.
+//  * dataflow  -- def-before-use on vector registers; spill-slot hygiene
+//                 (read-before-write, dead stores, double-spill).
+//  * race      -- concurrent blocks of one launch must have disjoint write
+//                 sets, and must never read another block's portion of a
+//                 grid the kernel writes (out-of-place stencils are clean by
+//                 construction; anything else is flagged).
+//  * alignment -- vectorised accesses whose lane-0 element is not W-aligned,
+//                 flagged only where the architecture's lowering requires
+//                 natural alignment (arch::GpuArch::requires_aligned_vloads).
+//
+// Wiring: codegen::lower runs the launch-free checks as a mandatory
+// post-emit gate (throws on any error); model::Launcher runs the full
+// geometry-aware pass before every launch under a CheckMode (strict = throw,
+// warn = print to stderr, off = skip); pass statistics flow through
+// model::LaunchResult into profiler::Measurement and metrics::.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ir/program.h"
+
+namespace bricksim::analysis {
+
+/// Check family a diagnostic belongs to.
+enum class Check : std::uint8_t { Bounds, Dataflow, Race, Alignment };
+inline constexpr int kNumChecks = 4;
+
+const char* check_name(Check c);
+
+enum class Severity : std::uint8_t { Warning, Error };
+
+/// One finding: which check fired, how bad, where, and why.
+struct Diagnostic {
+  Check check = Check::Bounds;
+  Severity severity = Severity::Error;
+  int inst = -1;  ///< instruction index in the program; -1 = program-level
+  std::string message;
+
+  /// Stable one-line rendering: "error[bounds] inst 12: <message>".
+  std::string to_string() const;
+};
+
+/// Layout of one grid binding, as the checker needs it.  Exactly one of the
+/// two layout descriptions is meaningful, selected by `layout`.
+struct GridGeom {
+  ir::Space layout = ir::Space::Array;  ///< Array or Brick (never Spill)
+
+  // Array layout: allocated extents and the element offset of the interior
+  // origin (matches simt::GridBinding).
+  Vec3 padded{};
+  Vec3 ghost{};
+
+  // Brick layout: extents of one brick (BI = f * W, BJ, BK).
+  Vec3 brick_dims{};
+};
+
+/// Everything about a launch the checker consumes.  Mirrors simt::Kernel
+/// minus the data; buildable at codegen time with a representative grid.
+struct LaunchGeom {
+  Vec3 blocks{1, 1, 1};  ///< thread-block grid extents
+  Vec3 tile{};           ///< elements per block: (f * W, TJ, TK)
+  std::vector<GridGeom> grids;  ///< one per IR grid slot
+  /// The target lowering requires vectorised loads/stores to be naturally
+  /// aligned (lane 0 at a W-element boundary); unaligned ones become
+  /// alignment errors instead of modelled slow paths.
+  bool require_aligned_vloads = false;
+};
+
+/// Aggregate pass statistics (accumulable across launches).
+struct CheckStats {
+  long programs = 0;   ///< programs checked
+  long insts = 0;      ///< instructions scanned
+  long errors = 0;
+  long warnings = 0;
+  long by_check[kNumChecks] = {0, 0, 0, 0};  ///< diagnostics per family
+
+  CheckStats& operator+=(const CheckStats& o);
+};
+
+/// Result of one brickcheck run.
+struct Report {
+  std::vector<Diagnostic> diags;
+  CheckStats stats;
+
+  bool ok() const { return stats.errors == 0; }       ///< no errors
+  bool clean() const { return diags.empty(); }        ///< no diagnostics
+  /// All diagnostics, one per line (empty string when clean).
+  std::string to_string() const;
+};
+
+/// Launch-free verification: dataflow (registers, spill slots, constants,
+/// align shifts) plus the structural brick-space invariants that need no
+/// geometry (displacements in {-1,0,+1}, non-negative in-brick coords).
+/// This is the mandatory post-emit gate codegen runs on every lowering.
+Report check_program(const ir::Program& prog);
+
+/// Full verification of `prog` against a concrete launch geometry: all of
+/// check_program plus bounds, race and alignment analysis across every
+/// block of the grid (symbolic -- nothing is executed).
+Report check(const ir::Program& prog, const LaunchGeom& geom);
+
+/// Enforcement policy for a Report (the harness `--check` flag).
+enum class CheckMode : std::uint8_t { Off, Warn, Strict };
+
+const char* check_mode_name(CheckMode m);
+/// Parses "off" / "warn" / "strict"; throws bricksim::Error otherwise.
+CheckMode parse_check_mode(const std::string& s);
+
+/// Applies `mode`: Strict throws bricksim::Error listing every diagnostic
+/// when the report has errors; Warn prints all diagnostics to stderr;
+/// Off does nothing.  `context` prefixes the output ("5pt/bricks codegen").
+void enforce(const Report& report, CheckMode mode, const std::string& context);
+
+}  // namespace bricksim::analysis

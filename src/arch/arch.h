@@ -54,6 +54,13 @@ struct GpuArch {
   int max_resident_blocks_per_core = 0;
   int regs_per_lane = 0;  ///< FP64-sized registers available per lane
 
+  /// The lowering requires vectorised loads/stores to be naturally aligned
+  /// (lane 0 at a W-element boundary).  None of the paper's GPUs do -- they
+  /// model unaligned accesses as extra sectors/L2 behaviour instead -- but
+  /// analysis::brickcheck turns unaligned vectorised refs into hard
+  /// alignment diagnostics on architectures that set this.
+  bool requires_aligned_vloads = false;
+
   // --- Calibrated streaming-efficiency model -------------------------------
   // Achieved HBM bandwidth of a kernel reading `streams` distinct address
   // streams:

@@ -5,6 +5,7 @@
 #include <set>
 #include <tuple>
 
+#include "analysis/brickcheck.h"
 #include "common/error.h"
 
 namespace bricksim::codegen {
@@ -234,6 +235,34 @@ int count_read_streams(const dsl::Stencil& st, Variant variant) {
   return std::max(1, streams);
 }
 
+/// A representative launch geometry for the post-emit brickcheck gate: a
+/// 2x2x2 block grid (so every escape overlaps a concurrent block) with the
+/// minimal ghosts a legal launch provides (radius on the input, none on the
+/// output).  Array addresses are affine in the block coordinates, so any
+/// violation against this geometry is a violation of every real launch.
+analysis::LaunchGeom representative_geom(const Ctx& c, int radius) {
+  analysis::LaunchGeom geom;
+  geom.blocks = {2, 2, 2};
+  geom.tile = {c.f * c.W, c.tj, c.tk};
+  const int grids = std::max(2, c.prog.num_grids());
+  for (int g = 0; g < grids; ++g) {
+    analysis::GridGeom gg;
+    if (c.brick) {
+      gg.layout = ir::Space::Brick;
+      gg.brick_dims = geom.tile;
+    } else {
+      gg.layout = ir::Space::Array;
+      const int gh = g == 0 ? radius : 0;
+      gg.ghost = {gh, gh, gh};
+      gg.padded = {geom.blocks.i * geom.tile.i + 2 * gh,
+                   geom.blocks.j * geom.tile.j + 2 * gh,
+                   geom.blocks.k * geom.tile.k + 2 * gh};
+    }
+    geom.grids.push_back(gg);
+  }
+  return geom;
+}
+
 }  // namespace
 
 LoweredKernel lower(const dsl::Stencil& stencil, Variant variant, int W,
@@ -283,6 +312,15 @@ LoweredKernel lower(const dsl::Stencil& stencil, Variant variant, int W,
     emit_gather(c);
 
   c.prog.verify();
+
+  // Mandatory post-emit gate: no lowered program leaves codegen without a
+  // clean brickcheck bill of health against a representative launch.
+  const analysis::Report rep =
+      analysis::check(c.prog, representative_geom(c, stencil.radius()));
+  if (!rep.ok())
+    throw Error("codegen emitted a program that fails brickcheck (" +
+                stencil.name() + ", " + variant_name(variant) + "):\n" +
+                rep.to_string());
 
   LoweredKernel out{std::move(c.prog)};
   out.variant = variant;

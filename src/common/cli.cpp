@@ -48,6 +48,18 @@ double Cli::get_double(const std::string& name, double fallback) const {
   return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
 }
 
+std::string Cli::get_choice(const std::string& name,
+                            std::initializer_list<const char*> allowed,
+                            const std::string& fallback) const {
+  const std::string value = get(name, fallback);
+  std::string choices;
+  for (const char* a : allowed) {
+    if (value == a) return value;
+    choices += std::string(choices.empty() ? "" : "|") + a;
+  }
+  throw Error("--" + name + " must be one of " + choices + ", got: " + value);
+}
+
 std::string Cli::help(const std::string& program) const {
   std::ostringstream os;
   os << "usage: " << program << " [--flag value]...\n";

@@ -2,6 +2,7 @@
 // binaries:  --name value  or  --name=value  pairs plus boolean switches.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -20,6 +21,11 @@ class Cli {
   std::string get(const std::string& name, const std::string& fallback) const;
   long get_long(const std::string& name, long fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  /// Like get, but the value (or fallback) must be one of `allowed`;
+  /// anything else throws bricksim::Error naming the choices.
+  std::string get_choice(const std::string& name,
+                         std::initializer_list<const char*> allowed,
+                         const std::string& fallback) const;
 
   /// True when --help was passed; the caller should print `help()` and exit.
   bool help_requested() const { return help_; }

@@ -32,7 +32,8 @@ std::vector<profiler::Measurement> Sweep::select(
 Sweep run_sweep(const SweepConfig& config) {
   Sweep sweep;
   sweep.config = config;
-  const model::Launcher launcher(config.domain);
+  model::Launcher launcher(config.domain);
+  launcher.set_check_mode(config.check_mode);
 
   // Mixbench works on a fixed mid-size streaming domain: its counters are
   // linear in the domain, so the derived ceilings are size-independent.
@@ -63,7 +64,10 @@ SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
           {{"n", "cubic domain extent (default " + std::to_string(default_n) +
                      "; the paper uses 512)"},
            {"progress", "print sweep progress to stderr"},
-           {"csv", "emit CSV instead of aligned tables"}});
+           {"csv", "emit CSV instead of aligned tables"},
+           {"check",
+            "brickcheck policy before every launch: strict (error out), "
+            "warn (default; print diagnostics), off"}});
   if (cli.help_requested()) {
     std::cout << cli.help(argv[0]);
     std::exit(0);
@@ -77,6 +81,8 @@ SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
                    static_cast<int>(n)};
   config.progress = cli.has("progress");
   config.csv = cli.has("csv");
+  config.check_mode = analysis::parse_check_mode(
+      cli.get_choice("check", {"strict", "warn", "off"}, "warn"));
   return config;
 }
 
@@ -292,6 +298,29 @@ Table make_fig7(const Sweep& sweep) {
                  Table::fmt(metrics::potential_speedup(fa, fr), 2) + "x"});
     }
   }
+  return t;
+}
+
+Table make_check_summary(const Sweep& sweep) {
+  Table t({"Platform", "Kernels checked", "Insts verified", "Errors",
+           "Warnings", "Clean"});
+  metrics::CheckRollup total;
+  for (const auto& pf : sweep.config.platforms) {
+    const auto ms = sweep.select(pf.label());
+    const metrics::CheckRollup r = metrics::rollup_checks(ms);
+    t.add_row({pf.label(), std::to_string(r.kernels),
+               std::to_string(r.insts), std::to_string(r.errors),
+               std::to_string(r.warnings), Table::pct(r.clean_fraction())});
+    total.kernels += r.kernels;
+    total.insts += r.insts;
+    total.errors += r.errors;
+    total.warnings += r.warnings;
+    total.clean += r.clean;
+  }
+  t.add_row({"all", std::to_string(total.kernels),
+             std::to_string(total.insts), std::to_string(total.errors),
+             std::to_string(total.warnings),
+             Table::pct(total.clean_fraction())});
   return t;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/brickcheck.h"
 #include "codegen/codegen.h"
 #include "common/table.h"
 #include "dsl/stencil.h"
@@ -33,6 +34,8 @@ struct SweepConfig {
   codegen::Options cg_opts{};
   bool progress = false;  ///< progress lines on stderr
   bool csv = false;       ///< emit CSV instead of aligned tables
+  /// Pre-launch brickcheck policy (the --check=strict|warn|off flag).
+  analysis::CheckMode check_mode = analysis::CheckMode::Warn;
 };
 
 /// Prints `t` aligned or as CSV depending on the sweep config.
@@ -105,5 +108,10 @@ Table make_table5(const Sweep& sweep);
 /// Figure 7: potential-speedup coordinates per platform/stencil
 /// (bricks codegen).
 Table make_fig7(const Sweep& sweep);
+
+/// brickcheck rollup for every kernel of the sweep: kernels checked,
+/// instructions verified, diagnostics, clean fraction (extension; no paper
+/// counterpart -- the audit trail for every number the sweep produced).
+Table make_check_summary(const Sweep& sweep);
 
 }  // namespace bricksim::harness

@@ -67,4 +67,17 @@ std::vector<CorrPoint> correlate(std::span<const profiler::Measurement> ys,
   return out;
 }
 
+CheckRollup rollup_checks(std::span<const profiler::Measurement> ms) {
+  CheckRollup r;
+  for (const auto& m : ms) {
+    if (m.check_insts == 0) continue;  // pass was off for this launch
+    r.kernels++;
+    r.insts += m.check_insts;
+    r.errors += m.check_errors;
+    r.warnings += m.check_warnings;
+    if (m.check_errors == 0 && m.check_warnings == 0) r.clean++;
+  }
+  return r;
+}
+
 }  // namespace bricksim::metrics

@@ -77,4 +77,24 @@ std::vector<CorrPoint> correlate(
     std::span<const profiler::Measurement> ys,
     std::span<const profiler::Measurement> xs, CorrMetric metric);
 
+/// Aggregated analysis::brickcheck statistics over a set of measurements:
+/// every Roofline/portability number in a report should be traceable to a
+/// kernel the static verifier passed, so the rollup travels with the
+/// metrics rather than being a side channel.
+struct CheckRollup {
+  long kernels = 0;   ///< measurements with the pass enabled
+  long insts = 0;     ///< total instructions verified
+  long errors = 0;
+  long warnings = 0;
+  long clean = 0;     ///< kernels with zero diagnostics
+
+  /// Fraction of checked kernels with no diagnostics at all (1 when none
+  /// were checked: no evidence of a problem).
+  double clean_fraction() const {
+    return kernels > 0 ? static_cast<double>(clean) / kernels : 1.0;
+  }
+};
+
+CheckRollup rollup_checks(std::span<const profiler::Measurement> ms);
+
 }  // namespace bricksim::metrics

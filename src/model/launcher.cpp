@@ -155,9 +155,35 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
     kernel.grids.push_back(go);
   }
 
-  // 4. Execute.
-  simt::Machine machine(gpu);
+  // 4. Pre-launch static verification of the program that will actually
+  // run (post-regalloc: spill code included) against the real geometry.
   LaunchResult res;
+  if (check_ != analysis::CheckMode::Off) {
+    analysis::LaunchGeom geom;
+    geom.blocks = kernel.blocks;
+    geom.tile = kernel.tile;
+    geom.require_aligned_vloads = gpu.requires_aligned_vloads;
+    for (const simt::GridBinding& g : kernel.grids) {
+      analysis::GridGeom gg;
+      if (variant == codegen::Variant::BricksCodegen) {
+        gg.layout = ir::Space::Brick;
+        gg.brick_dims = g.brick_dims;
+      } else {
+        gg.layout = ir::Space::Array;
+        gg.padded = g.padded;
+        gg.ghost = g.ghost;
+      }
+      geom.grids.push_back(gg);
+    }
+    const analysis::Report rep = analysis::check(ra.program, geom);
+    analysis::enforce(rep, check_,
+                      stencil.name() + "/" + codegen::variant_name(variant) +
+                          " on " + gpu.name);
+    res.check_stats = rep.stats;
+  }
+
+  // 5. Execute.
+  simt::Machine machine(gpu);
   res.report = machine.run(kernel, functional ? simt::ExecMode::Functional
                                               : simt::ExecMode::CountersOnly);
   if (functional && bout) bout->to_host(*out);

@@ -10,6 +10,7 @@
 // real values so results can be verified against the scalar reference.
 #pragma once
 
+#include "analysis/brickcheck.h"
 #include "codegen/codegen.h"
 #include "common/grid.h"
 #include "dsl/stencil.h"
@@ -25,6 +26,10 @@ struct LaunchResult {
   int spill_slots = 0;
   bool used_scatter = false;
   int read_streams = 1;
+
+  /// brickcheck statistics for the pre-launch verification of the
+  /// post-regalloc program (zeroed when the launcher's check mode is Off).
+  analysis::CheckStats check_stats;
 
   /// The paper's normalised FLOP count: the minimal symmetry-exploiting
   /// count, identical for every variant of the same stencil, "to avoid
@@ -51,6 +56,12 @@ class Launcher {
 
   Vec3 domain() const { return domain_; }
 
+  /// Pre-launch brickcheck policy: Warn (default) prints diagnostics to
+  /// stderr, Strict turns any error into a thrown bricksim::Error, Off
+  /// skips the pass.  The harness `--check` flag plumbs through here.
+  void set_check_mode(analysis::CheckMode mode) { check_ = mode; }
+  analysis::CheckMode check_mode() const { return check_; }
+
   /// Counters-only execution (no element data; fast, any domain size).
   LaunchResult run(const dsl::Stencil& stencil, codegen::Variant variant,
                    const Platform& platform,
@@ -70,6 +81,7 @@ class Launcher {
                         const HostGrid* in, HostGrid* out) const;
 
   Vec3 domain_;
+  analysis::CheckMode check_ = analysis::CheckMode::Warn;
 };
 
 }  // namespace bricksim::model

@@ -37,6 +37,9 @@ Measurement measure(const dsl::Stencil& stencil, codegen::Variant variant,
   m.spill_slots = r.spill_slots;
   m.read_streams = r.read_streams;
   m.used_scatter = r.used_scatter;
+  m.check_errors = r.check_stats.errors;
+  m.check_warnings = r.check_stats.warnings;
+  m.check_insts = r.check_stats.insts;
   return m;
 }
 
@@ -70,6 +73,10 @@ void print_report(std::ostream& os, const Measurement& m) {
      << m.spill_slots << ", read streams " << m.read_streams << ", "
      << (m.used_scatter ? "scatter" : "gather") << ", warp insts "
      << m.warp_insts << "\n";
+  if (m.check_insts > 0)
+    os << "  brickcheck    " << m.check_insts << " insts verified, "
+       << m.check_errors << " error(s), " << m.check_warnings
+       << " warning(s)\n";
 }
 
 }  // namespace bricksim::profiler

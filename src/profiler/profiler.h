@@ -47,6 +47,11 @@ struct Measurement {
   int spill_slots = 0;
   int read_streams = 0;
   bool used_scatter = false;
+
+  // brickcheck results for the launched program (pre-launch static pass).
+  long check_errors = 0;
+  long check_warnings = 0;
+  long check_insts = 0;  ///< instructions the pass scanned (0 = pass off)
 };
 
 /// Builds a Measurement from a launch.
