@@ -8,10 +8,14 @@
 // winner versus the paper's default 4 x 4.
 //
 // Flags: --n <extent> (default 128; must be a multiple of 8 and of every
-// platform vector width -- multiples of 64 qualify).
+// platform vector width -- multiples of 64 qualify); --jobs=N tunes the
+// (platform, stencil) pairs on N workers with output identical to serial.
 #include <iostream>
+#include <mutex>
+#include <vector>
 
 #include "common/table.h"
+#include "common/threadpool.h"
 #include "harness/autotune.h"
 #include "harness/harness.h"
 
@@ -22,31 +26,48 @@ int main(int argc, char** argv) {
   std::cout << "Brick-shape autotuning, bricks codegen (domain "
             << config.domain.i << "^3).\n\n";
 
+  // Each (platform, stencil) tuning run is independent; workers fill the
+  // row slot of the pair they claimed, so the table order never changes.
+  const auto platforms = model::metric_platforms();
+  const auto stencils = dsl::Stencil::paper_catalog();
+  struct Pair {
+    const model::Platform* pf;
+    const dsl::Stencil* st;
+  };
+  std::vector<Pair> pairs;
+  for (const auto& pf : platforms)
+    for (const auto& st : stencils) pairs.push_back({&pf, &st});
+
+  std::vector<std::vector<std::string>> rows(pairs.size());
+  std::mutex progress_mu;
+  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  parallel_for(jobs, static_cast<long>(pairs.size()), [&](long n) {
+    const auto& [pf, st] = pairs[static_cast<std::size_t>(n)];
+    if (config.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      std::cerr << "[tune] " << pf->label() << " " << st->name() << "\n";
+    }
+    const auto tuned = harness::autotune_brick_shape(
+        *st, codegen::Variant::BricksCodegen, *pf, config.domain);
+    double base_gflops = 0;
+    for (const auto& e : tuned.entries)
+      if (e.tile_j == 4 && e.tile_k == 4 && e.tile_i_vectors == 1)
+        base_gflops = e.gflops;
+    rows[static_cast<std::size_t>(n)] = {
+        pf->label(), st->name(),
+        std::to_string(tuned.best.tile_j) + "x" +
+            std::to_string(tuned.best.tile_k) + "x" +
+            std::to_string(tuned.best.tile_i_vectors * pf->gpu.simd_width),
+        Table::fmt(tuned.best.gflops, 1), Table::fmt(base_gflops, 1),
+        Table::fmt(base_gflops > 0 ? tuned.best.gflops / base_gflops : 0,
+                   2) +
+            "x"};
+  });
+
   Table summary({"Platform", "Stencil", "best shape", "best GFLOP/s",
                  "4x4 GFLOP/s", "speedup vs 4x4"});
-  for (const auto& pf : model::metric_platforms()) {
-    for (const auto& st : dsl::Stencil::paper_catalog()) {
-      if (config.progress)
-        std::cerr << "[tune] " << pf.label() << " " << st.name() << "\n";
-      const auto tuned = harness::autotune_brick_shape(
-          st, codegen::Variant::BricksCodegen, pf, config.domain);
-      double base_gflops = 0;
-      for (const auto& e : tuned.entries)
-        if (e.tile_j == 4 && e.tile_k == 4 && e.tile_i_vectors == 1)
-          base_gflops = e.gflops;
-      summary.add_row(
-          {pf.label(), st.name(),
-           std::to_string(tuned.best.tile_j) + "x" +
-               std::to_string(tuned.best.tile_k) + "x" +
-               std::to_string(tuned.best.tile_i_vectors *
-                              pf.gpu.simd_width),
-           Table::fmt(tuned.best.gflops, 1), Table::fmt(base_gflops, 1),
-           Table::fmt(base_gflops > 0 ? tuned.best.gflops / base_gflops : 0,
-                      2) +
-               "x"});
-    }
-  }
-  summary.print(std::cout);
+  for (auto& row : rows) summary.add_row(std::move(row));
+  harness::print_table(std::cout, summary, config.csv);
 
   // Detail for one representative case: the 125pt stencil on the A100.
   const auto pf = model::metric_platforms().front();
@@ -60,6 +81,6 @@ int main(int argc, char** argv) {
                    "x" + std::to_string(e.tile_i_vectors * 32),
                Table::fmt(e.gflops, 1), Table::fmt(e.ai, 3),
                std::to_string(e.spill_slots), std::to_string(e.aligns)});
-  t.print(std::cout);
+  harness::print_table(std::cout, t, config.csv);
   return 0;
 }

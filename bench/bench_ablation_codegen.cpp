@@ -7,10 +7,15 @@
 // optimisations earns its keep (instruction counts, spills, L1 bytes, time).
 //
 // Flags: --n <extent> (default 256: the MI250X wave-64 bricks need a few
-// interior bricks along i for ghost-layer effects to be representative).
+// interior bricks along i for ghost-layer effects to be representative);
+// --jobs=N runs the ablation points on N workers, output identical to
+// serial.
 #include <iostream>
+#include <mutex>
+#include <vector>
 
 #include "common/table.h"
+#include "common/threadpool.h"
 #include "harness/harness.h"
 
 int main(int argc, char** argv) {
@@ -47,25 +52,51 @@ int main(int argc, char** argv) {
   const auto platforms = model::metric_platforms();
 
   std::cout << "Codegen ablation (domain " << config.domain.i << "^3).\n\n";
-  for (const auto& pf : {platforms[0], platforms[2], platforms[4]}) {
+
+  // Flatten (platform, stencil, config), launch in parallel into one row
+  // slot each, then assemble the per-platform tables in canonical order.
+  const std::vector<model::Platform> pfs = {platforms[0], platforms[2],
+                                            platforms[4]};
+  const std::vector<dsl::Stencil> sts = {dsl::Stencil::star(2),
+                                         dsl::Stencil::cube(2)};
+  struct Item {
+    std::size_t pf;
+    const dsl::Stencil* st;
+    const Config* c;
+  };
+  std::vector<Item> items;
+  for (std::size_t p = 0; p < pfs.size(); ++p)
+    for (const auto& st : sts)
+      for (const Config& c : configs) items.push_back({p, &st, &c});
+
+  std::vector<std::vector<std::string>> rows(items.size());
+  std::mutex progress_mu;
+  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  parallel_for(jobs, static_cast<long>(items.size()), [&](long n) {
+    const Item& it = items[static_cast<std::size_t>(n)];
+    if (config.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      std::cerr << "[ablation] " << pfs[it.pf].label() << " "
+                << it.st->name() << " " << it.c->name << "\n";
+    }
+    const model::LaunchResult r =
+        launcher.run(*it.st, it.c->variant, pfs[it.pf], it.c->opts);
+    rows[static_cast<std::size_t>(n)] = {
+        it.st->name(), it.c->name, Table::fmt(r.normalized_gflops(), 1),
+        Table::fmt(r.normalized_ai(), 3),
+        Table::fmt(r.report.traffic.l1_total() / 1e9, 2),
+        std::to_string(r.spill_slots),
+        r.used_scatter ? "scatter" : "gather"};
+  });
+
+  std::size_t n = 0;
+  for (std::size_t p = 0; p < pfs.size(); ++p) {
     Table t({"Stencil", "Configuration", "GFLOP/s", "AI (F/B)", "L1 GB",
              "spills", "mode"});
-    for (const auto& st : {dsl::Stencil::star(2), dsl::Stencil::cube(2)}) {
-      for (const Config& c : configs) {
-        if (config.progress)
-          std::cerr << "[ablation] " << pf.label() << " " << st.name() << " "
-                    << c.name << "\n";
-        const model::LaunchResult r =
-            launcher.run(st, c.variant, pf, c.opts);
-        t.add_row({st.name(), c.name, Table::fmt(r.normalized_gflops(), 1),
-                   Table::fmt(r.normalized_ai(), 3),
-                   Table::fmt(r.report.traffic.l1_total() / 1e9, 2),
-                   std::to_string(r.spill_slots),
-                   r.used_scatter ? "scatter" : "gather"});
-      }
-    }
-    std::cout << pf.label() << ":\n";
-    t.print(std::cout);
+    for (std::size_t r = 0; r < sts.size() * std::size(configs); ++r)
+      t.add_row(std::move(rows[n++]));
+    std::cout << pfs[p].label() << ":\n";
+    harness::print_table(std::cout, t, config.csv);
     std::cout << "\n";
   }
   return 0;

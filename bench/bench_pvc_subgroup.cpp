@@ -3,10 +3,13 @@
 // performance than 32."  This bench runs bricks codegen on the PVC stack at
 // both sub-group widths (brick = 4 x 4 x W follows the width) and compares.
 //
-// Flags: --n <extent> (default 192).
+// Flags: --n <extent> (default 192); --jobs=N runs the per-stencil pairs
+// on N workers, output identical to serial.
 #include <iostream>
+#include <vector>
 
 #include "common/table.h"
+#include "common/threadpool.h"
 #include "harness/harness.h"
 
 int main(int argc, char** argv) {
@@ -27,19 +30,30 @@ int main(int argc, char** argv) {
             << config.domain.i << "^3).\n\n";
   Table t({"Stencil", "SG16 GFLOP/s", "SG32 GFLOP/s", "SG16/SG32",
            "SG16 AI", "SG32 AI"});
+  const auto stencils = dsl::Stencil::paper_catalog();
+  struct Slot {
+    model::LaunchResult a, b;
+  };
+  std::vector<Slot> slots(stencils.size());
+  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  parallel_for(jobs, static_cast<long>(stencils.size()), [&](long n) {
+    auto& s = slots[static_cast<std::size_t>(n)];
+    s.a = launcher.run(stencils[static_cast<std::size_t>(n)],
+                       codegen::Variant::BricksCodegen, p16);
+    s.b = launcher.run(stencils[static_cast<std::size_t>(n)],
+                       codegen::Variant::BricksCodegen, p32);
+  });
   double better16 = 0, total = 0;
-  for (const auto& st : dsl::Stencil::paper_catalog()) {
-    const auto a =
-        launcher.run(st, codegen::Variant::BricksCodegen, p16);
-    const auto b =
-        launcher.run(st, codegen::Variant::BricksCodegen, p32);
-    const double g16 = a.normalized_gflops();
-    const double g32 = b.normalized_gflops();
+  for (std::size_t n = 0; n < stencils.size(); ++n) {
+    const auto& st = stencils[n];
+    const double g16 = slots[n].a.normalized_gflops();
+    const double g32 = slots[n].b.normalized_gflops();
     if (g16 > g32) ++better16;
     ++total;
     t.add_row({st.name(), Table::fmt(g16, 1), Table::fmt(g32, 1),
-               Table::fmt(g16 / g32, 2) + "x", Table::fmt(a.normalized_ai(), 3),
-               Table::fmt(b.normalized_ai(), 3)});
+               Table::fmt(g16 / g32, 2) + "x",
+               Table::fmt(slots[n].a.normalized_ai(), 3),
+               Table::fmt(slots[n].b.normalized_ai(), 3)});
   }
   harness::print_table(std::cout, t, config.csv);
   std::cout << "\nSG16 wins " << better16 << "/" << total

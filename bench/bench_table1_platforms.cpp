@@ -1,13 +1,18 @@
 // Regenerates paper Table 1 in BrickSim terms: the (architecture,
 // programming model) combinations of the study and the lowering profile
 // standing in for each toolchain (see DESIGN.md's substitution table).
+//
+// Uses the shared bench CLI (--csv; the sweep flags are accepted but this
+// table is static and runs no sweep).
 #include <iostream>
 
 #include "harness/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
   std::cout << "Table 1: platforms and programming-model lowering profiles "
                "(simulator substitution for compilers/modules).\n\n";
-  bricksim::harness::make_table1().print(std::cout);
+  bricksim::harness::print_table(std::cout, bricksim::harness::make_table1(),
+                                 config.csv);
   return 0;
 }

@@ -1,12 +1,17 @@
 // Regenerates paper Table 2: the stencils of the performance-portability
 // evaluation (shape, radius, points, unique coefficients).
+//
+// Uses the shared bench CLI (--csv; the sweep flags are accepted but this
+// table is static and runs no sweep).
 #include <iostream>
 
 #include "harness/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
   std::cout << "Table 2: Stencils used for performance portability "
                "evaluation.\n\n";
-  bricksim::harness::make_table2().print(std::cout);
+  bricksim::harness::print_table(std::cout, bricksim::harness::make_table2(),
+                                 config.csv);
   return 0;
 }

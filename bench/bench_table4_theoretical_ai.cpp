@@ -1,12 +1,17 @@
 // Regenerates paper Table 4: theoretical arithmetic intensity (FLOP:Byte)
 // for all stencil shapes and sizes, assuming compulsory-only data movement
 // (one 8-byte read + one 8-byte write per point).
+//
+// Uses the shared bench CLI (--csv; the sweep flags are accepted but this
+// table is static and runs no sweep).
 #include <iostream>
 
 #include "harness/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
   std::cout << "Table 4: Theoretical arithmetic intensity (FLOP:Byte).\n\n";
-  bricksim::harness::make_table4().print(std::cout);
+  bricksim::harness::print_table(std::cout, bricksim::harness::make_table4(),
+                                 config.csv);
   return 0;
 }

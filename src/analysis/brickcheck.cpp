@@ -1,6 +1,7 @@
 #include "analysis/brickcheck.h"
 
 #include <iostream>
+#include <mutex>
 #include <set>
 #include <sstream>
 
@@ -68,6 +69,10 @@ void enforce(const Report& report, CheckMode mode,
   if (mode == CheckMode::Strict && !report.ok())
     throw Error("brickcheck failed for " + context + ":\n" +
                 report.to_string());
+  // Launches may run concurrently (the parallel sweep executor); keep one
+  // kernel's diagnostic block contiguous on stderr.
+  static std::mutex cerr_mu;
+  std::lock_guard<std::mutex> lock(cerr_mu);
   std::cerr << "[brickcheck] " << context << ": " << report.stats.errors
             << " error(s), " << report.stats.warnings << " warning(s)\n";
   for (const Diagnostic& d : report.diags)

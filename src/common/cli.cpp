@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -23,6 +24,10 @@ Cli::Cli(int argc, const char* const* argv,
       name = arg.substr(0, eq);
       value = arg.substr(eq + 1);
     } else if (a + 1 < argc && std::string(argv[a + 1]).rfind("--", 0) != 0) {
+      // The next argv is this flag's value unless it is itself a flag.
+      // Flags always carry the "--" prefix, so a lone negative number
+      // ("--shift -3") is a value, not a flag.  A value-bearing flag at
+      // argv end gets an empty value, which get_long/get_double reject.
       value = argv[++a];
     }
     BRICKSIM_REQUIRE(known_.count(name) != 0, "unknown flag: --" + name);
@@ -40,12 +45,28 @@ std::string Cli::get(const std::string& name,
 
 long Cli::get_long(const std::string& name, long fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtol(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return fallback;
+  const std::string& s = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  BRICKSIM_REQUIRE(
+      !s.empty() && end == s.c_str() + s.size() && errno == 0,
+      "--" + name + " expects an integer, got: '" + s + "'");
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return fallback;
+  const std::string& s = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  BRICKSIM_REQUIRE(
+      !s.empty() && end == s.c_str() + s.size() && errno == 0,
+      "--" + name + " expects a number, got: '" + s + "'");
+  return v;
 }
 
 std::string Cli::get_choice(const std::string& name,

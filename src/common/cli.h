@@ -19,6 +19,9 @@ class Cli {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
+  /// Numeric getters return `fallback` when the flag is absent and throw
+  /// bricksim::Error when the value is present but not entirely a number
+  /// (e.g. "--n=abc", "--n=12x", or a value-bearing flag at argv end).
   long get_long(const std::string& name, long fallback) const;
   double get_double(const std::string& name, double fallback) const;
   /// Like get, but the value (or fallback) must be one of `allowed`;

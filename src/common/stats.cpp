@@ -37,7 +37,7 @@ double stddev(std::span<const double> xs) {
   const double m = mean(xs);
   double s = 0.0;
   for (double x : xs) s += (x - m) * (x - m);
-  return std::sqrt(s / static_cast<double>(xs.size()));
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
 }
 
 double pearson(std::span<const double> xs, std::span<const double> ys) {

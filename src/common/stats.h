@@ -17,7 +17,9 @@ double harmonic_mean(std::span<const double> xs);
 double min_of(std::span<const double> xs);
 double max_of(std::span<const double> xs);
 
-/// Population standard deviation; 0 for fewer than two samples.
+/// Sample standard deviation (Bessel-corrected, divides by n-1: the inputs
+/// are repeated measurements of a larger population, not the population
+/// itself); 0 for fewer than two samples.
 double stddev(std::span<const double> xs);
 
 /// Pearson correlation coefficient of two equal-length samples; 0 when

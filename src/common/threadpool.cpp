@@ -1,0 +1,113 @@
+#include "common/threadpool.h"
+
+#include <atomic>
+
+namespace bricksim {
+
+ThreadPool::ThreadPool(int jobs) {
+  const int n = jobs < 1 ? 1 : jobs;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = std::move(first_error_);
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      --in_flight_;
+    }
+    all_done_.notify_all();
+  }
+}
+
+void parallel_for(int jobs, long n, const std::function<void(long)>& fn) {
+  if (n <= 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (long i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const int workers = static_cast<int>(
+      jobs < n ? jobs : n);  // never more threads than indices
+
+  std::atomic<long> next{0};
+  std::mutex err_mu;
+  long err_index = -1;
+  std::exception_ptr err;
+
+  {
+    ThreadPool pool(workers);
+    for (int w = 0; w < workers; ++w)
+      pool.submit([&] {
+        for (;;) {
+          const long i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            fn(i);
+          } catch (...) {
+            next.store(n, std::memory_order_relaxed);  // abandon the rest
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (err_index < 0 || i < err_index) {
+              err_index = i;
+              err = std::current_exception();
+            }
+            return;
+          }
+        }
+      });
+    pool.wait();
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace bricksim

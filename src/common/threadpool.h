@@ -1,0 +1,80 @@
+// A small fixed-size thread pool for the embarrassingly parallel sweeps of
+// the experiment harness.
+//
+// Design constraints (see DESIGN.md "Threading model"):
+//  * results must be bit-identical and deterministically ordered regardless
+//    of the job count -- so the pool never aggregates: callers pre-size an
+//    output vector and every task writes only its own slot;
+//  * exceptions thrown by tasks must not be lost -- the first one (in task
+//    submission order for parallel_for) is captured and rethrown on wait();
+//  * the pool is a host-side utility only; nothing inside the simulator
+//    (simt, memsim, codegen, model) knows threads exist.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bricksim {
+
+/// A fixed-size pool of worker threads draining one task queue.
+///
+/// Tasks are `void()` closures; submission order is the order workers pick
+/// them up, but completion order is unspecified.  `wait()` blocks until the
+/// queue is empty and every worker is idle, then rethrows the first task
+/// exception (if any).  The destructor waits for queued tasks and joins.
+class ThreadPool {
+ public:
+  /// Spawns `jobs` workers (clamped to at least 1).
+  explicit ThreadPool(int jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int jobs() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task.  Must not be called concurrently with wait().
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.  If any task threw,
+  /// rethrows the first captured exception (clearing it for reuse).
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  long in_flight_ = 0;  ///< queued + currently running tasks
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs `fn(index)` for every index in [0, n) on up to `jobs` worker
+/// threads and blocks until all calls have returned.
+///
+/// Indices are claimed dynamically (an atomic counter), so the assignment
+/// of index to thread varies between runs -- determinism is the caller's
+/// contract: `fn` must write only to per-index state (e.g. slot `index` of
+/// a pre-sized vector) so the outcome is independent of the interleaving.
+///
+/// `jobs <= 1` (or `n <= 1`) runs everything inline on the calling thread
+/// with zero threading overhead -- the serial and parallel paths are the
+/// same code.  If any call throws, the remaining indices are abandoned,
+/// all workers are joined, and the exception thrown by the lowest index
+/// that failed is rethrown on the calling thread.
+void parallel_for(int jobs, long n, const std::function<void(long)>& fn);
+
+/// The default worker count for `--jobs`: std::thread::hardware_concurrency,
+/// or 1 when the runtime cannot report it.
+int default_jobs();
+
+}  // namespace bricksim

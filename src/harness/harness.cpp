@@ -2,10 +2,12 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 #include "common/cli.h"
 #include "common/error.h"
 #include "common/stats.h"
+#include "common/threadpool.h"
 
 namespace bricksim::harness {
 
@@ -32,29 +34,67 @@ std::vector<profiler::Measurement> Sweep::select(
 Sweep run_sweep(const SweepConfig& config) {
   Sweep sweep;
   sweep.config = config;
+  // The launcher is shared const across workers: its only state is the
+  // domain and the check mode, and run() builds everything per call
+  // (lowering, register allocation, a fresh simt::Machine with its own
+  // memsim::MemoryHierarchy), so concurrent runs never share mutable state.
   model::Launcher launcher(config.domain);
   launcher.set_check_mode(config.check_mode);
+  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  std::mutex progress_mu;  // progress lines are the only shared sink
 
   // Mixbench works on a fixed mid-size streaming domain: its counters are
   // linear in the domain, so the derived ceilings are size-independent.
+  // One sweep per distinct platform label, each in its own slot; the map
+  // insertion happens serially afterwards so the Sweep is identical for
+  // every job count.
   const Vec3 mix_domain{128, 128, 128};
+  std::vector<const model::Platform*> rl_platforms;
   for (const auto& pf : config.platforms) {
-    if (sweep.rooflines.count(pf.label()) == 0) {
-      if (config.progress)
-        std::cerr << "[sweep] mixbench " << pf.label() << "\n";
-      sweep.rooflines.emplace(pf.label(), roofline::mixbench(pf, mix_domain));
-    }
+    bool seen = false;
+    for (const auto* got : rl_platforms)
+      if (got->label() == pf.label()) { seen = true; break; }
+    if (!seen) rl_platforms.push_back(&pf);
   }
+  std::vector<roofline::EmpiricalRoofline> rl_slots(rl_platforms.size());
+  parallel_for(jobs, static_cast<long>(rl_platforms.size()), [&](long n) {
+    if (config.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      std::cerr << "[sweep] mixbench " << rl_platforms[n]->label() << "\n";
+    }
+    rl_slots[n] = roofline::mixbench(*rl_platforms[n], mix_domain);
+  });
+  for (std::size_t n = 0; n < rl_platforms.size(); ++n)
+    sweep.rooflines.emplace(rl_platforms[n]->label(),
+                            std::move(rl_slots[n]));
 
+  // Flatten the cross product in the canonical nested order, then let each
+  // worker fill the slot of the config it claimed: measurement order (and
+  // content -- no RNG, no accumulation across configs) is independent of
+  // the job count and the scheduling interleave.
+  struct Item {
+    const model::Platform* pf;
+    const dsl::Stencil* st;
+    codegen::Variant variant;
+  };
+  std::vector<Item> items;
   for (const auto& pf : config.platforms)
     for (const auto& st : config.stencils)
-      for (const auto variant : config.variants) {
-        if (config.progress)
-          std::cerr << "[sweep] " << pf.label() << " " << st.name() << " "
-                    << codegen::variant_name(variant) << "\n";
-        sweep.measurements.push_back(profiler::run_and_measure(
-            launcher, st, variant, pf, config.cg_opts));
-      }
+      for (const auto variant : config.variants)
+        items.push_back({&pf, &st, variant});
+
+  sweep.measurements.resize(items.size());
+  parallel_for(jobs, static_cast<long>(items.size()), [&](long n) {
+    const Item& it = items[static_cast<std::size_t>(n)];
+    if (config.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      std::cerr << "[sweep] " << it.pf->label() << " " << it.st->name()
+                << " " << codegen::variant_name(it.variant) << "\n";
+    }
+    sweep.measurements[static_cast<std::size_t>(n)] =
+        profiler::run_and_measure(launcher, *it.st, it.variant, *it.pf,
+                                  config.cg_opts);
+  });
   return sweep;
 }
 
@@ -63,6 +103,9 @@ SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
   Cli cli(argc, argv,
           {{"n", "cubic domain extent (default " + std::to_string(default_n) +
                      "; the paper uses 512)"},
+           {"jobs",
+            "parallel sweep workers (default: hardware concurrency; "
+            "results are identical for every value)"},
            {"progress", "print sweep progress to stderr"},
            {"csv", "emit CSV instead of aligned tables"},
            {"check",
@@ -79,6 +122,9 @@ SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
                    "all three architectures)");
   config.domain = {static_cast<int>(n), static_cast<int>(n),
                    static_cast<int>(n)};
+  const long jobs = cli.get_long("jobs", 0);
+  BRICKSIM_REQUIRE(!cli.has("jobs") || jobs >= 1, "--jobs must be >= 1");
+  config.jobs = static_cast<int>(jobs);
   config.progress = cli.has("progress");
   config.csv = cli.has("csv");
   config.check_mode = analysis::parse_check_mode(

@@ -36,6 +36,11 @@ struct SweepConfig {
   bool csv = false;       ///< emit CSV instead of aligned tables
   /// Pre-launch brickcheck policy (the --check=strict|warn|off flag).
   analysis::CheckMode check_mode = analysis::CheckMode::Warn;
+  /// Worker threads for the sweep (the --jobs=N flag); 0 means
+  /// hardware_concurrency.  Every (stencil, variant, platform) config is
+  /// simulated independently, so the Sweep is bit-identical and ordered
+  /// identically for every job count (see DESIGN.md "Threading model").
+  int jobs = 0;
 };
 
 /// Prints `t` aligned or as CSV depending on the sweep config.
@@ -59,11 +64,13 @@ struct Sweep {
 };
 
 /// Runs every (stencil, variant, platform) combination counters-only and
-/// derives the per-platform empirical rooflines.
+/// derives the per-platform empirical rooflines.  Configs are dispatched
+/// to `config.jobs` worker threads; measurements land in the same nested
+/// (platform, stencil, variant) order as a serial walk.
 Sweep run_sweep(const SweepConfig& config);
 
-/// Parses a standard bench command line (--n, --progress, --csv) into a
-/// SweepConfig; prints help and exits when requested.
+/// Parses a standard bench command line (--n, --jobs, --progress, --csv,
+/// --check) into a SweepConfig; prints help and exits when requested.
 SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
                                   int default_n = 256);
 

@@ -52,6 +52,11 @@ struct Measurement {
   long check_errors = 0;
   long check_warnings = 0;
   long check_insts = 0;  ///< instructions the pass scanned (0 = pass off)
+
+  /// Field-for-field (bit-exact on the doubles) equality: the parallel
+  /// sweep executor promises results identical to a serial sweep, and the
+  /// determinism tests compare through this.
+  friend bool operator==(const Measurement&, const Measurement&) = default;
 };
 
 /// Builds a Measurement from a launch.

@@ -20,6 +20,8 @@ struct Roofline {
   double peak_bw = 0;     ///< bytes/s ceiling
   double peak_flops = 0;  ///< FLOP/s ceiling
 
+  friend bool operator==(const Roofline&, const Roofline&) = default;
+
   /// Arithmetic intensity at which the two ceilings meet.
   double ridge() const { return peak_bw > 0 ? peak_flops / peak_bw : 0; }
 
@@ -46,11 +48,17 @@ struct MixbenchPoint {
   double measured_ai = 0;  ///< FLOPs / measured HBM bytes
   double gflops = 0;
   double gbytes_per_sec = 0;
+
+  friend bool operator==(const MixbenchPoint&,
+                         const MixbenchPoint&) = default;
 };
 
 struct EmpiricalRoofline {
   Roofline roofline;  ///< plateaus of the sweep
   std::vector<MixbenchPoint> points;
+
+  friend bool operator==(const EmpiricalRoofline&,
+                         const EmpiricalRoofline&) = default;
 };
 
 /// Runs the mixbench sweep for `platform` on a `domain`-sized working set

@@ -84,7 +84,10 @@ TEST(Stats, MinMaxStddev) {
   const double xs[] = {3.0, 1.0, 2.0};
   EXPECT_EQ(min_of(xs), 1.0);
   EXPECT_EQ(max_of(xs), 3.0);
-  EXPECT_NEAR(stddev(xs), std::sqrt(2.0 / 3.0), 1e-12);
+  // Sample (n-1) estimator: variance of {3,1,2} is (1 + 1 + 0) / 2.
+  EXPECT_NEAR(stddev(xs), 1.0, 1e-12);
+  const double one[] = {5.0};
+  EXPECT_EQ(stddev(one), 0.0);
 }
 
 TEST(Table, AlignedPrintAndCsv) {
@@ -122,6 +125,56 @@ TEST(Cli, ParsesBothFlagForms) {
 TEST(Cli, RejectsUnknownFlag) {
   const char* argv[] = {"prog", "--typo", "1"};
   EXPECT_THROW(Cli(3, argv, {{"n", ""}}), Error);
+}
+
+TEST(Cli, RejectsMalformedNumericValues) {
+  const char* argv[] = {"prog", "--n=abc", "--x=1.5ghz"};
+  Cli cli(3, argv, {{"n", ""}, {"x", ""}});
+  try {
+    cli.get_long("n", 0);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--n expects an integer"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("'abc'"), std::string::npos);
+  }
+  try {
+    cli.get_double("x", 0);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--x expects a number"),
+              std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsPartiallyConsumedNumbers) {
+  const char* argv[] = {"prog", "--n=12x3"};
+  Cli cli(2, argv, {{"n", ""}});
+  EXPECT_THROW(cli.get_long("n", 0), Error);
+}
+
+TEST(Cli, NegativeValueWithEquals) {
+  const char* argv[] = {"prog", "--shift=-3", "--scale=-2.5"};
+  Cli cli(3, argv, {{"shift", ""}, {"scale", ""}});
+  EXPECT_EQ(cli.get_long("shift", 0), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 0), -2.5);
+}
+
+TEST(Cli, NegativeValueAsSeparateArg) {
+  const char* argv[] = {"prog", "--shift", "-3", "--verbose"};
+  Cli cli(4, argv, {{"shift", ""}, {"verbose", ""}});
+  EXPECT_EQ(cli.get_long("shift", 0), -3);
+  EXPECT_TRUE(cli.has("verbose"));
+}
+
+TEST(Cli, ValueFlagAtArgvEndRejectsEmptyValue) {
+  // A value-bearing flag with nothing after it parses as present-but-empty;
+  // the numeric getters must reject that instead of returning 0.
+  const char* argv[] = {"prog", "--n"};
+  Cli cli(2, argv, {{"n", ""}});
+  EXPECT_TRUE(cli.has("n"));
+  EXPECT_THROW(cli.get_long("n", 64), Error);
+  EXPECT_THROW(cli.get_double("n", 64), Error);
 }
 
 TEST(Rng, DeterministicAndInRange) {

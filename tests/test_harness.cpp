@@ -120,12 +120,43 @@ TEST(HarnessStatic, Table1And2And4NeedNoSweep) {
 }
 
 TEST(HarnessStatic, CliConfig) {
-  const char* argv[] = {"bench", "--n", "128", "--progress"};
-  const SweepConfig c = sweep_config_from_cli(4, argv);
+  const char* argv[] = {"bench", "--n", "128", "--progress", "--jobs=3"};
+  const SweepConfig c = sweep_config_from_cli(5, argv);
   EXPECT_EQ(c.domain, (Vec3{128, 128, 128}));
   EXPECT_TRUE(c.progress);
+  EXPECT_EQ(c.jobs, 3);
   const char* bad[] = {"bench", "--n", "100"};
   EXPECT_THROW(sweep_config_from_cli(3, bad), Error);
+  const char* bad_jobs[] = {"bench", "--jobs=0"};
+  EXPECT_THROW(sweep_config_from_cli(2, bad_jobs), Error);
+  const char* bad_n[] = {"bench", "--n=abc"};
+  EXPECT_THROW(sweep_config_from_cli(2, bad_n), Error);
+}
+
+// The parallel sweep executor's core promise: the same SweepConfig produces
+// a bit-identical, identically ordered Sweep at every job count.  This test
+// (and the threadpool suite) is what scripts/ci.sh runs under TSan.
+TEST(HarnessParallel, SweepIsDeterministicAcrossJobCounts) {
+  SweepConfig config;
+  config.domain = {64, 64, 64};
+  const auto all = model::paper_platforms();
+  config.platforms = {all[0], all[2]};  // A100/CUDA, A100/SYCL
+  config.jobs = 1;
+  const Sweep serial = run_sweep(config);
+  config.jobs = 8;
+  const Sweep parallel = run_sweep(config);
+
+  ASSERT_EQ(serial.measurements.size(), parallel.measurements.size());
+  for (std::size_t n = 0; n < serial.measurements.size(); ++n) {
+    const auto& a = serial.measurements[n];
+    const auto& b = parallel.measurements[n];
+    EXPECT_EQ(a.stencil, b.stencil) << "slot " << n;
+    EXPECT_EQ(a.variant, b.variant) << "slot " << n;
+    EXPECT_TRUE(a == b) << "slot " << n << ": " << a.stencil << "/"
+                        << a.variant << " on " << a.arch << "/" << a.pm
+                        << " differs between --jobs=1 and --jobs=8";
+  }
+  EXPECT_TRUE(serial.rooflines == parallel.rooflines);
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+// Unit tests for the thread pool underneath the parallel sweep executor:
+// slot-exact parallel_for semantics, exception propagation, and the
+// serial/parallel equivalence contract.  This suite (with test_harness's
+// determinism tests) is the one scripts/ci.sh runs under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "common/threadpool.h"
+
+namespace bricksim {
+namespace {
+
+TEST(ThreadPool, DefaultJobsIsPositive) { EXPECT_GE(default_jobs(), 1); }
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.jobs(), 1);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4);
+  std::atomic<long> sum{0};
+  for (long t = 1; t <= 100; ++t) pool.submit([&sum, t] { sum += t; });
+  pool.wait();
+  EXPECT_EQ(sum.load(), 5050);
+  // The pool is reusable after wait().
+  pool.submit([&sum] { sum += 1; });
+  pool.wait();
+  EXPECT_EQ(sum.load(), 5051);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("task failed"); });
+  EXPECT_THROW(pool.wait(), Error);
+  // The error is cleared: subsequent rounds succeed.
+  std::atomic<int> ran{0};
+  pool.submit([&] { ++ran; });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, EveryIndexExactlyOnceIntoItsSlot) {
+  for (int jobs : {1, 2, 8, 33}) {
+    const long n = 257;
+    std::vector<long> slots(n, -1);
+    parallel_for(jobs, n, [&](long i) { slots[i] = i * i; });
+    for (long i = 0; i < n; ++i)
+      EXPECT_EQ(slots[i], i * i) << "jobs=" << jobs << " i=" << i;
+  }
+}
+
+TEST(ParallelFor, ResultsIndependentOfJobCount) {
+  const long n = 64;
+  auto run = [n](int jobs) {
+    std::vector<double> out(n);
+    parallel_for(jobs, n, [&](long i) {
+      double acc = 0;
+      for (long t = 0; t <= i; ++t) acc += 1.0 / (1.0 + t);
+      out[i] = acc;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelFor, EmptyAndSingleton) {
+  int calls = 0;
+  parallel_for(8, 0, [&](long) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(8, 1, [&](long i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, MoreJobsThanIndices) {
+  std::vector<int> slots(3, 0);
+  parallel_for(64, 3, [&](long i) { slots[i] = 1; });
+  EXPECT_EQ(std::accumulate(slots.begin(), slots.end(), 0), 3);
+}
+
+TEST(ParallelFor, RethrowsLowestFailingIndex) {
+  for (int jobs : {1, 4}) {
+    try {
+      parallel_for(jobs, 100, [&](long i) {
+        if (i >= 5) throw Error("boom at " + std::to_string(i));
+      });
+      FAIL() << "should have thrown";
+    } catch (const Error& e) {
+      // Workers race past index 5 before the abort propagates, but the
+      // reported exception is the lowest index that actually failed, and
+      // with jobs=1 that is exactly 5.
+      if (jobs == 1)
+        EXPECT_NE(std::string(e.what()).find("boom at 5"), std::string::npos);
+      else
+        EXPECT_NE(std::string(e.what()).find("boom at "), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bricksim
