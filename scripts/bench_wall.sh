@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark of the simulator itself (not the simulated GPUs):
+# times the fig3 roofline sweep and the table2 emitter end to end in a
+# Release build, for both execution engines (--engine=plan vs interp) at
+# --jobs 1 and --jobs N, and writes the results to BENCH_interpreter.json.
+#
+# This is the acceptance benchmark of the ExecPlan engine (see EXPERIMENTS.md
+# "Timing methodology"): identical output is asserted for every timed
+# configuration before any number is recorded, so a speedup can never come
+# from computing something different.
+#
+# Usage: scripts/bench_wall.sh [--n N] [--jobs J] [--reps R] [--out FILE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N=128
+JOBS="$(nproc 2>/dev/null || echo 4)"
+REPS=3
+OUT=BENCH_interpreter.json
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --n) N="$2"; shift 2 ;;
+    --jobs) JOBS="$2"; shift 2 ;;
+    --reps) REPS="$2"; shift 2 ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> Release build" >&2
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build build-release -j "$JOBS" --target \
+  bench_fig3_roofline bench_table2_stencils > /dev/null
+
+FIG3=build-release/bench/bench_fig3_roofline
+TABLE2=build-release/bench/bench_table2_stencils
+
+# Outputs must be identical across engines and job counts before timing.
+echo "==> A/B output check (plan vs interp, jobs 1 vs $JOBS)" >&2
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+"$FIG3" --n "$N" --jobs 1 --engine=plan   > "$TMP/plan1"
+"$FIG3" --n "$N" --jobs 1 --engine=interp > "$TMP/interp1"
+"$FIG3" --n "$N" --jobs "$JOBS" --engine=plan > "$TMP/planN"
+cmp -s "$TMP/plan1" "$TMP/interp1" || { echo "ENGINE MISMATCH" >&2; exit 1; }
+cmp -s "$TMP/plan1" "$TMP/planN"   || { echo "JOBS MISMATCH" >&2; exit 1; }
+
+# Median-of-R wall-clock seconds for one command.
+time_cmd() {
+  local times=()
+  for _ in $(seq "$REPS"); do
+    local t0 t1
+    t0=$(date +%s.%N)
+    "$@" > /dev/null
+    t1=$(date +%s.%N)
+    times+=("$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')")
+  done
+  printf '%s\n' "${times[@]}" | sort -n | awk -v r="$REPS" \
+    'NR == int((r + 1) / 2) { print }'
+}
+
+rows=()
+run_config() {  # name cmd...
+  local name="$1"; shift
+  local engine jobs
+  for engine in plan interp; do
+    for jobs in 1 "$JOBS"; do
+      echo "==> timing $name engine=$engine jobs=$jobs" >&2
+      local secs
+      secs=$(time_cmd "$@" --jobs "$jobs" --engine="$engine")
+      rows+=("    {\"config\": \"$name\", \"engine\": \"$engine\", \"jobs\": $jobs, \"seconds\": $secs}")
+    done
+  done
+}
+
+run_config "fig3_n$N" "$FIG3" --n "$N"
+run_config "table2" "$TABLE2"
+
+{
+  echo '{'
+  echo '  "benchmark": "simulator wall-clock (Release, median of '"$REPS"')",'
+  echo '  "host_jobs": '"$JOBS"','
+  echo '  "results": ['
+  (IFS=,$'\n'; echo "${rows[*]}")
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+echo "==> wrote $OUT" >&2

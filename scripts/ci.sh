@@ -2,14 +2,19 @@
 # The full CI gate future PRs inherit:
 #
 #   1. tier-1 verify, plain:     configure + build + ctest
-#   2. tier-1 verify, sanitized: the same under ASan + UBSan
+#   2. tier-1 verify, Release:   the same under -O2 -DNDEBUG -- the
+#                                configuration the benchmarks run in, so
+#                                assert-hidden behaviour differences and
+#                                optimizer-sensitive bugs surface in CI
+#   3. tier-1 verify, sanitized: the same under ASan + UBSan
 #                                (BRICKSIM_SANITIZE=address;undefined)
-#   3. concurrency verify, TSan: the threadpool + harness suites (the
+#   4. concurrency verify, TSan: the threadpool + harness suites (the
 #                                parallel sweep executor's determinism and
-#                                data-race contracts) under
+#                                data-race contracts) and the engine A/B
+#                                equivalence suite under
 #                                BRICKSIM_SANITIZE=thread
-#   4. parallel sweep smoke:     the fig3 sweep at --jobs > 1
-#   5. clang-tidy lint           (scripts/lint.sh; skipped when absent)
+#   5. parallel sweep smoke:     the fig3 sweep at --jobs > 1, both engines
+#   6. clang-tidy lint           (scripts/lint.sh; skipped when absent)
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  run only the brickcheck/ir/codegen test subset under the
@@ -21,12 +26,22 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/5] tier-1 verify (plain)"
+echo "==> [1/6] tier-1 verify (plain)"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/5] tier-1 verify (ASan + UBSan)"
+echo "==> [2/6] tier-1 verify (Release)"
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-release -j "$JOBS"
+if [[ "$FAST" == 1 ]]; then
+  ctest --test-dir build-release --output-on-failure -j "$JOBS" \
+    -R 'ExecPlan|Machine|SetAssocCache|Hierarchy'
+else
+  ctest --test-dir build-release --output-on-failure -j "$JOBS"
+fi
+
+echo "==> [3/6] tier-1 verify (ASan + UBSan)"
 cmake -B build-asan -S . -DBRICKSIM_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -36,16 +51,17 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [3/5] concurrency verify (TSan)"
+echo "==> [4/6] concurrency verify (TSan)"
 cmake -B build-tsan -S . -DBRICKSIM_SANITIZE="thread"
-cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness
+cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest'
+  -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan'
 
-echo "==> [4/5] parallel sweep smoke (fig3 at --jobs 4)"
-./build/bench/bench_fig3_roofline --n 128 --jobs 4 > /dev/null
+echo "==> [5/6] parallel sweep smoke (fig3 at --jobs 4, both engines)"
+./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null
+./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null
 
-echo "==> [5/5] lint"
+echo "==> [6/6] lint"
 scripts/lint.sh
 
 echo "==> CI green"

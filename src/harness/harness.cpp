@@ -40,6 +40,7 @@ Sweep run_sweep(const SweepConfig& config) {
   // memsim::MemoryHierarchy), so concurrent runs never share mutable state.
   model::Launcher launcher(config.domain);
   launcher.set_check_mode(config.check_mode);
+  launcher.set_engine(config.engine);
   const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
   std::mutex progress_mu;  // progress lines are the only shared sink
 
@@ -110,7 +111,10 @@ SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
            {"csv", "emit CSV instead of aligned tables"},
            {"check",
             "brickcheck policy before every launch: strict (error out), "
-            "warn (default; print diagnostics), off"}});
+            "warn (default; print diagnostics), off"},
+           {"engine",
+            "SIMT execution engine: plan (default; pre-decoded replay), "
+            "interp (legacy interpreter; bit-identical results)"}});
   if (cli.help_requested()) {
     std::cout << cli.help(argv[0]);
     std::exit(0);
@@ -129,6 +133,10 @@ SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
   config.csv = cli.has("csv");
   config.check_mode = analysis::parse_check_mode(
       cli.get_choice("check", {"strict", "warn", "off"}, "warn"));
+  config.engine =
+      cli.get_choice("engine", {"plan", "interp"}, "plan") == "interp"
+          ? simt::Engine::Interp
+          : simt::Engine::Plan;
   return config;
 }
 

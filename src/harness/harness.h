@@ -41,6 +41,10 @@ struct SweepConfig {
   /// simulated independently, so the Sweep is bit-identical and ordered
   /// identically for every job count (see DESIGN.md "Threading model").
   int jobs = 0;
+  /// SIMT execution engine (the --engine=plan|interp flag).  Both engines
+  /// produce bit-identical measurements; interp is the legacy A/B baseline
+  /// kept for one release (see DESIGN.md "Execution engine").
+  simt::Engine engine = simt::Engine::Plan;
 };
 
 /// Prints `t` aligned or as CSV depending on the sweep config.
@@ -70,7 +74,8 @@ struct Sweep {
 Sweep run_sweep(const SweepConfig& config);
 
 /// Parses a standard bench command line (--n, --jobs, --progress, --csv,
-/// --check) into a SweepConfig; prints help and exits when requested.
+/// --check, --engine) into a SweepConfig; prints help and exits when
+/// requested.
 SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
                                   int default_n = 256);
 

@@ -1,5 +1,7 @@
 #include "memsim/cache.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace bricksim::memsim {
@@ -8,80 +10,47 @@ SetAssocCache::SetAssocCache(const arch::CacheParams& params)
     : params_(params) {
   BRICKSIM_REQUIRE(params.line_bytes > 0, "cache line size must be positive");
   BRICKSIM_REQUIRE(params.associativity > 0, "associativity must be positive");
+  BRICKSIM_REQUIRE(params.associativity <= 64,
+                   "associativity above 64 overflows the dirty bitmask");
   const std::uint64_t lines = params.capacity_bytes / params.line_bytes;
   BRICKSIM_REQUIRE(lines >= static_cast<std::uint64_t>(params.associativity),
                    "cache must hold at least one set");
-  sets_ = lines / params.associativity;
-  ways_.assign(sets_ * params.associativity, Way{});
+  assoc_ = params.associativity;
+  sets_ = lines / assoc_;
+  if ((sets_ & (sets_ - 1)) == 0) sets_mask_ = sets_ - 1;
+  sets_magic_ = ~0ull / sets_ + 1;
+  stride_ = static_cast<std::size_t>(assoc_) + 1;
+  state_.assign(sets_ * stride_, kInvalid);
+  for (std::uint64_t s = 0; s < sets_; ++s) state_[s * stride_ + assoc_] = 0;
 }
 
-SetAssocCache::Result SetAssocCache::access(std::uint64_t line, bool write) {
-  const std::uint64_t set = line % sets_;
-  Way* base = &ways_[set * params_.associativity];
-  for (int w = 0; w < params_.associativity; ++w) {
-    if (base[w].tag == line) {
-      base[w].stamp = ++tick_;
-      base[w].dirty = base[w].dirty || write;
-      return {.hit = true};
-    }
-  }
-  return fill(line, set, write);
-}
-
-SetAssocCache::Result SetAssocCache::install_dirty(std::uint64_t line) {
-  const std::uint64_t set = line % sets_;
-  Way* base = &ways_[set * params_.associativity];
-  for (int w = 0; w < params_.associativity; ++w) {
-    if (base[w].tag == line) {
-      base[w].stamp = ++tick_;
-      base[w].dirty = true;
-      return {.hit = true};
-    }
-  }
-  return fill(line, set, /*dirty=*/true);
-}
-
-SetAssocCache::Result SetAssocCache::fill(std::uint64_t line,
-                                          std::uint64_t set, bool dirty) {
-  Way* base = &ways_[set * params_.associativity];
-  int victim = 0;
-  for (int w = 1; w < params_.associativity; ++w) {
-    if (base[w].tag == Way::kInvalid) {
-      victim = w;
-      break;
-    }
-    if (base[w].stamp < base[victim].stamp) victim = w;
-  }
+SetAssocCache::Result SetAssocCache::fill_evict(std::uint64_t* blk,
+                                                std::uint64_t line,
+                                                bool dirty) {
+  // The set is full and the block is in MRU-first order, so the victim is
+  // simply the last way -- the least recently used line.
+  std::uint64_t& mask = blk[assoc_];
+  const std::uint64_t victim_bit = 1ull << (assoc_ - 1);
   Result r;
   r.hit = false;
-  if (base[victim].tag != Way::kInvalid && base[victim].dirty) {
+  if (mask & victim_bit) {
     r.writeback = true;
-    r.wb_line = base[victim].tag;
+    r.wb_line = blk[assoc_ - 1];
+    --dirty_count_;
   }
-  base[victim] = {.tag = line, .stamp = ++tick_, .dirty = dirty};
+  std::memmove(blk + 1, blk, (assoc_ - 1) * sizeof(std::uint64_t));
+  blk[0] = line;
+  mask = ((mask & ~victim_bit) << 1) | (dirty ? 1u : 0u);
+  if (dirty) ++dirty_count_;
   return r;
 }
 
-bool SetAssocCache::probe(std::uint64_t line) const {
-  const std::uint64_t set = line % sets_;
-  const Way* base = &ways_[set * params_.associativity];
-  for (int w = 0; w < params_.associativity; ++w)
-    if (base[w].tag == line) return true;
-  return false;
-}
-
 std::uint64_t SetAssocCache::reset() {
-  const std::uint64_t dirty = dirty_lines();
-  ways_.assign(ways_.size(), Way{});
-  tick_ = 0;
+  const std::uint64_t dirty = dirty_count_;
+  std::fill(state_.begin(), state_.end(), kInvalid);
+  for (std::uint64_t s = 0; s < sets_; ++s) state_[s * stride_ + assoc_] = 0;
+  dirty_count_ = 0;
   return dirty;
-}
-
-std::uint64_t SetAssocCache::dirty_lines() const {
-  std::uint64_t n = 0;
-  for (const Way& w : ways_)
-    if (w.tag != Way::kInvalid && w.dirty) ++n;
-  return n;
 }
 
 }  // namespace bricksim::memsim

@@ -2,10 +2,38 @@
 //
 // Operates on line addresses (byte address >> log2(line)).  The hierarchy
 // (hierarchy.h) composes per-core L1s with a shared L2 and owns the traffic
-// accounting; this class only answers hit/miss/writeback questions.
+// accounting; this class only answers hit/miss/victim/writeback questions.
+//
+// This is the hottest structure in the simulator (hundreds of millions of
+// probes per sweep), so the storage is laid out for the *host's* memory
+// hierarchy.  Each set is one contiguous block of `assoc + 1` words -- the
+// way tags ordered most-recently-used first, then a dirty bitmask (bit w =
+// way at position w dirty).  Keeping the ways physically in recency order
+// replaces the classical LRU timestamp array wholesale:
+//
+//  * a probe touches one small contiguous block instead of three parallel
+//    arrays megabytes apart (for the multi-MB L2 tag stores of the simulated
+//    GPUs that is one host-cache miss instead of three),
+//  * hits scan from the MRU end and stop, and a miss stops at the first
+//    invalid tag (valid ways are always a prefix),
+//  * the eviction victim is O(1): the tag at the last position IS the LRU
+//    line, no stamp scan,
+//  * and there is no monotonic tick counter left to overflow.
+//
+// A hit/fill rotates the block's prefix down one slot (a <=120-byte
+// overlapping move inside one or two host cache lines) and reinserts the
+// line at position 0 -- exactly the "stamp := ++tick" of the classical
+// implementation, expressed as order instead of time.  The set index avoids
+// a hardware divide (mask for power-of-two set counts, Lemire fastmod
+// otherwise) and the dirty census is incremental so dirty_lines() is O(1).
+// All of it is purely mechanical: hit/miss/victim/writeback sequences are
+// bit-identical to the original timestamped array-of-structs implementation
+// (which way of a set holds a line is unobservable; recency order and the
+// resident/dirty line sets are preserved exactly).
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "arch/arch.h"
@@ -24,39 +52,122 @@ class SetAssocCache {
 
   /// Looks up `line` (a line address, not a byte address).  On miss the line
   /// is allocated, evicting the LRU way.  `write` marks the line dirty.
-  Result access(std::uint64_t line, bool write);
+  Result access(std::uint64_t line, bool write) {
+    std::uint64_t* blk = set_block(line);
+    for (int w = 0; w < assoc_; ++w) {
+      if (blk[w] == line) {
+        promote(blk, w, write);
+        return {.hit = true};
+      }
+      if (blk[w] == kInvalid) return fill_empty(blk, w, line, write);
+    }
+    return fill_evict(blk, line, write);
+  }
 
   /// Allocates `line` as dirty WITHOUT a fill from below (full-line streaming
   /// store).  Returns any dirty victim exactly like access().
-  Result install_dirty(std::uint64_t line);
+  Result install_dirty(std::uint64_t line) {
+    return access(line, /*write=*/true);
+  }
 
   /// True if the line is currently resident (no state change).
-  bool probe(std::uint64_t line) const;
+  bool probe(std::uint64_t line) const {
+    const std::uint64_t* blk = set_block(line);
+    for (int w = 0; w < assoc_; ++w) {
+      if (blk[w] == line) return true;
+      if (blk[w] == kInvalid) return false;
+    }
+    return false;
+  }
+
+  /// probe() + LRU-touch fused into one tag scan: refreshes the recency when
+  /// `line` is resident (exactly `probe(line) && access(line, false)`),
+  /// no state change otherwise.
+  bool touch(std::uint64_t line) {
+    std::uint64_t* blk = set_block(line);
+    for (int w = 0; w < assoc_; ++w) {
+      if (blk[w] == line) {
+        promote(blk, w, /*write=*/false);
+        return true;
+      }
+      if (blk[w] == kInvalid) return false;
+    }
+    return false;
+  }
 
   /// Drops everything; returns the number of dirty lines discarded.
   std::uint64_t reset();
 
   /// Number of dirty resident lines (used by flush accounting and tests).
-  std::uint64_t dirty_lines() const;
+  std::uint64_t dirty_lines() const { return dirty_count_; }
 
   int line_bytes() const { return params_.line_bytes; }
   std::uint64_t num_sets() const { return sets_; }
   int ways() const { return params_.associativity; }
 
  private:
-  struct Way {
-    std::uint64_t tag = kInvalid;
-    std::uint64_t stamp = 0;
-    bool dirty = false;
-    static constexpr std::uint64_t kInvalid = ~0ull;
-  };
+  static constexpr std::uint64_t kInvalid = ~0ull;
 
-  Result fill(std::uint64_t line, std::uint64_t set, bool dirty);
+  /// line % sets_, without a hardware divide on the hot path.
+  std::uint64_t set_of(std::uint64_t line) const {
+    if (sets_mask_) return line & sets_mask_;
+    if (line >> 32) return line % sets_;  // fastmod needs a 32-bit operand
+    // Lemire fastmod: exact for line, sets_ < 2^32 (Lemire/Kaser/Kurz 2019).
+    const std::uint64_t lowbits = sets_magic_ * line;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(lowbits) * sets_) >> 64);
+  }
+
+  /// The state block of `line`'s set: assoc_ tags in MRU-first order, then
+  /// one dirty-bitmask word.
+  std::uint64_t* set_block(std::uint64_t line) {
+    return state_.data() + set_of(line) * stride_;
+  }
+  const std::uint64_t* set_block(std::uint64_t line) const {
+    return state_.data() + set_of(line) * stride_;
+  }
+
+  /// Moves the hit way at position `p` to the MRU position (0), carrying its
+  /// dirty bit along and or-ing in `write`.
+  void promote(std::uint64_t* blk, int p, bool write) {
+    std::uint64_t& mask = blk[assoc_];
+    std::uint64_t bit = (mask >> p) & 1u;
+    if (p != 0) {
+      const std::uint64_t line = blk[p];
+      std::memmove(blk + 1, blk, p * sizeof(std::uint64_t));
+      blk[0] = line;
+      const std::uint64_t low = mask & ((1ull << p) - 1);
+      mask = (mask & ~((2ull << p) - 1)) | (low << 1) | bit;
+    }
+    if (write && !bit) {
+      mask |= 1u;
+      ++dirty_count_;
+    }
+  }
+
+  /// Installs `line` at MRU with the free slot at `e` (no eviction).  Valid
+  /// ways are always a prefix, so slots e..assoc_ are all empty and the
+  /// dirty mask has no bits at or above e.
+  Result fill_empty(std::uint64_t* blk, int e, std::uint64_t line,
+                    bool dirty) {
+    std::memmove(blk + 1, blk, e * sizeof(std::uint64_t));
+    blk[0] = line;
+    std::uint64_t& mask = blk[assoc_];
+    mask = (mask << 1) | (dirty ? 1u : 0u);
+    if (dirty) ++dirty_count_;
+    return {.hit = false};
+  }
+
+  Result fill_evict(std::uint64_t* blk, std::uint64_t line, bool dirty);
 
   arch::CacheParams params_;
+  int assoc_ = 0;
+  std::size_t stride_ = 0;        ///< words per set block: assoc_ + 1
   std::uint64_t sets_ = 0;
-  std::uint64_t tick_ = 0;
-  std::vector<Way> ways_;  ///< sets_ * associativity entries
+  std::uint64_t sets_mask_ = 0;   ///< sets_ - 1 when sets_ is a power of two
+  std::uint64_t sets_magic_ = 0;  ///< ~0ull / sets_ + 1 (Lemire fastmod)
+  std::uint64_t dirty_count_ = 0;
+  std::vector<std::uint64_t> state_;  ///< sets_ * stride_ words (see set_block)
 };
 
 }  // namespace bricksim::memsim

@@ -4,6 +4,18 @@
 
 namespace bricksim::memsim {
 
+namespace {
+
+/// log2(v) when v is a positive power of two, -1 otherwise.
+int pow2_shift(int v) {
+  if (v <= 0 || (v & (v - 1)) != 0) return -1;
+  int s = 0;
+  while ((1 << s) != v) ++s;
+  return s;
+}
+
+}  // namespace
+
 Traffic& Traffic::operator+=(const Traffic& o) {
   l1_read_bytes += o.l1_read_bytes;
   l1_write_bytes += o.l1_write_bytes;
@@ -20,110 +32,10 @@ Traffic& Traffic::operator+=(const Traffic& o) {
 
 MemoryHierarchy::MemoryHierarchy(const arch::GpuArch& arch)
     : arch_(arch), l2_(arch.l2) {
+  sector_shift_ = pow2_shift(arch.l1.sector_bytes);
+  line_shift_ = pow2_shift(arch.l1.line_bytes);
   l1_.reserve(arch.num_cores);
   for (int c = 0; c < arch.num_cores; ++c) l1_.emplace_back(arch.l1);
-}
-
-MemoryHierarchy::AccessShape MemoryHierarchy::access(int core,
-                                                     std::uint64_t addr,
-                                                     std::uint32_t bytes,
-                                                     bool write,
-                                                     bool bypass_l2,
-                                                     bool rmw_stores) {
-  BRICKSIM_ASSERT(core >= 0 && core < static_cast<int>(l1_.size()),
-                  "core id out of range");
-  BRICKSIM_ASSERT(bytes > 0, "zero-byte access");
-
-  const int sector = arch_.l1.sector_bytes;
-  const int line = arch_.l1.line_bytes;
-  const std::uint64_t first_sector = addr / sector;
-  const std::uint64_t last_sector = (addr + bytes - 1) / sector;
-  const std::uint64_t first_line = addr / line;
-  const std::uint64_t last_line = (addr + bytes - 1) / line;
-
-  AccessShape shape;
-  shape.sectors = static_cast<int>(last_sector - first_sector + 1);
-  shape.lines = static_cast<int>(last_line - first_line + 1);
-
-  const std::uint64_t sector_bytes =
-      static_cast<std::uint64_t>(shape.sectors) * sector;
-  if (write)
-    traffic_.l1_write_bytes += sector_bytes;
-  else
-    traffic_.l1_read_bytes += sector_bytes;
-
-  SetAssocCache& l1 = l1_[core];
-  for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
-    if (write) {
-      // Full-line coverage -> streaming store into L2, no fill.  Partial
-      // coverage (first/last line of an unaligned span) -> write-allocate.
-      const std::uint64_t line_begin = ln * line;
-      const std::uint64_t line_end = line_begin + line;
-      const bool full =
-          !rmw_stores && addr <= line_begin && (addr + bytes) >= line_end;
-      // L1 is write-through for global stores: update if present, do not
-      // allocate.  (GPU L1s do not cache global stores.)
-      if (l1.probe(ln)) l1.access(ln, /*write=*/false);  // keep it warm
-      traffic_.l2_write_bytes += line;
-      if (full) {
-        auto r2 = l2_.install_dirty(ln);
-        if (!r2.hit) shape.dram_touch = true;  // will be written to DRAM
-        if (r2.writeback) traffic_.hbm_write_bytes += line;
-      } else {
-        auto r2 = l2_.access(ln, /*write=*/true);
-        if (!r2.hit) {
-          traffic_.l2_misses++;
-          traffic_.hbm_read_bytes += line;  // read-modify-write fill
-          shape.dram_touch = true;
-        } else {
-          traffic_.l2_hits++;
-        }
-        if (r2.writeback) traffic_.hbm_write_bytes += line;
-      }
-      continue;
-    }
-
-    // Load path.
-    auto r1 = l1.access(ln, /*write=*/false);
-    if (r1.hit) {
-      traffic_.l1_hits++;
-      continue;
-    }
-    traffic_.l1_misses++;
-    // L1 holds no dirty global data (write-through), so L1 victims vanish.
-    traffic_.l2_read_bytes += line;
-    if (bypass_l2) {
-      traffic_.hbm_read_bytes += line;
-      shape.dram_touch = true;
-      continue;
-    }
-    auto r2 = l2_.access(ln, /*write=*/false);
-    if (r2.hit) {
-      traffic_.l2_hits++;
-    } else {
-      traffic_.l2_misses++;
-      traffic_.hbm_read_bytes += line;
-      shape.dram_touch = true;
-    }
-    if (r2.writeback) traffic_.hbm_write_bytes += line;
-  }
-  return shape;
-}
-
-MemoryHierarchy::AccessShape MemoryHierarchy::scratch_access(
-    std::uint32_t bytes, bool write) {
-  const int sector = arch_.l1.sector_bytes;
-  const int line = arch_.l1.line_bytes;
-  AccessShape shape;
-  shape.sectors = static_cast<int>((bytes + sector - 1) / sector);
-  shape.lines = static_cast<int>((bytes + line - 1) / line);
-  const std::uint64_t sector_bytes =
-      static_cast<std::uint64_t>(shape.sectors) * sector;
-  if (write)
-    traffic_.l1_write_bytes += sector_bytes;
-  else
-    traffic_.l1_read_bytes += sector_bytes;
-  return shape;
 }
 
 void MemoryHierarchy::flush_l2() {

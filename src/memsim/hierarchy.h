@@ -13,6 +13,15 @@
 //  * `bypass_l2` loads: on L1 miss go straight to HBM.  Used to model the
 //    MI250X/HIP lowering of unaligned vector loads that the paper observed
 //    moving >10 GB on `array codegen` (Figure 6, right).
+//
+// access() and scratch_access() are defined inline: they sit on the replay
+// engine's per-instruction path, and together with SetAssocCache's inline
+// tag scans the whole L1-hit case compiles down to one set probe.  Sector
+// and line splitting uses precomputed shifts (all real geometries are
+// power-of-two) with a division fallback, and the store path's full-line
+// coverage test is hoisted out of the per-line loop for aligned accesses.
+// The restructuring is mechanical: every counter update and cache state
+// transition is bit-identical to the original out-of-line implementation.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "arch/arch.h"
+#include "common/error.h"
 #include "memsim/cache.h"
 
 namespace bricksim::memsim {
@@ -43,6 +53,9 @@ struct Traffic {
   std::uint64_t hbm_total() const { return hbm_read_bytes + hbm_write_bytes; }
 
   Traffic& operator+=(const Traffic& o);
+  /// Bit-exact equality (all counters are integers); the ExecPlan
+  /// equivalence tests compare engine outputs through this.
+  friend bool operator==(const Traffic&, const Traffic&) = default;
 };
 
 class MemoryHierarchy {
@@ -66,7 +79,94 @@ class MemoryHierarchy {
   /// modelling lowerings that fail streaming-store detection.
   AccessShape access(int core, std::uint64_t addr, std::uint32_t bytes,
                      bool write, bool bypass_l2 = false,
-                     bool rmw_stores = false);
+                     bool rmw_stores = false) {
+    BRICKSIM_ASSERT(core >= 0 && core < static_cast<int>(l1_.size()),
+                    "core id out of range");
+    BRICKSIM_ASSERT(bytes > 0, "zero-byte access");
+
+    const int sector = arch_.l1.sector_bytes;
+    const int line = arch_.l1.line_bytes;
+    const std::uint64_t first_sector = sector_of(addr);
+    const std::uint64_t last_sector = sector_of(addr + bytes - 1);
+    const std::uint64_t first_line = line_of(addr);
+    const std::uint64_t last_line = line_of(addr + bytes - 1);
+
+    AccessShape shape;
+    shape.sectors = static_cast<int>(last_sector - first_sector + 1);
+    shape.lines = static_cast<int>(last_line - first_line + 1);
+
+    const std::uint64_t sector_bytes =
+        static_cast<std::uint64_t>(shape.sectors) * sector;
+    if (write)
+      traffic_.l1_write_bytes += sector_bytes;
+    else
+      traffic_.l1_read_bytes += sector_bytes;
+
+    SetAssocCache& l1 = l1_[core];
+    if (write) {
+      // Full-line coverage -> streaming store into L2, no fill.  Partial
+      // coverage (first/last line of an unaligned span) -> write-allocate.
+      // The coverage test depends only on the span's end lines, so it is
+      // resolved here instead of per line; a line-aligned full-line store
+      // (the common stencil case) takes the all_full path for every line.
+      const bool all_full = !rmw_stores &&
+                            addr == first_line * static_cast<std::uint64_t>(line) &&
+                            addr + bytes == (last_line + 1) * static_cast<std::uint64_t>(line);
+      for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
+        const std::uint64_t line_begin = ln * line;
+        const bool full = all_full ||
+                          (!rmw_stores && addr <= line_begin &&
+                           (addr + bytes) >= line_begin + line);
+        // L1 is write-through for global stores: update if present, do not
+        // allocate.  (GPU L1s do not cache global stores.)
+        l1.touch(ln);  // keep a resident line warm
+        traffic_.l2_write_bytes += line;
+        if (full) {
+          auto r2 = l2_.install_dirty(ln);
+          if (!r2.hit) shape.dram_touch = true;  // will be written to DRAM
+          if (r2.writeback) traffic_.hbm_write_bytes += line;
+        } else {
+          auto r2 = l2_.access(ln, /*write=*/true);
+          if (!r2.hit) {
+            traffic_.l2_misses++;
+            traffic_.hbm_read_bytes += line;  // read-modify-write fill
+            shape.dram_touch = true;
+          } else {
+            traffic_.l2_hits++;
+          }
+          if (r2.writeback) traffic_.hbm_write_bytes += line;
+        }
+      }
+      return shape;
+    }
+
+    // Load path.
+    for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
+      auto r1 = l1.access(ln, /*write=*/false);
+      if (r1.hit) {
+        traffic_.l1_hits++;
+        continue;
+      }
+      traffic_.l1_misses++;
+      // L1 holds no dirty global data (write-through), so L1 victims vanish.
+      traffic_.l2_read_bytes += line;
+      if (bypass_l2) {
+        traffic_.hbm_read_bytes += line;
+        shape.dram_touch = true;
+        continue;
+      }
+      auto r2 = l2_.access(ln, /*write=*/false);
+      if (r2.hit) {
+        traffic_.l2_hits++;
+      } else {
+        traffic_.l2_misses++;
+        traffic_.hbm_read_bytes += line;
+        shape.dram_touch = true;
+      }
+      if (r2.writeback) traffic_.hbm_write_bytes += line;
+    }
+    return shape;
+  }
 
   /// Charges page-locality overhead (DRAM row activations / TLB walks) as
   /// extra HBM read traffic; called by the machine once per (block, page).
@@ -77,7 +177,20 @@ class MemoryHierarchy {
   /// A per-thread-block scratch access (register spill traffic).  Spill
   /// working sets are tiny and block-local, so they are modelled as
   /// L1-resident: only register-file<->L1 bytes are counted.
-  AccessShape scratch_access(std::uint32_t bytes, bool write);
+  AccessShape scratch_access(std::uint32_t bytes, bool write) {
+    const int sector = arch_.l1.sector_bytes;
+    const int line = arch_.l1.line_bytes;
+    AccessShape shape;
+    shape.sectors = static_cast<int>((bytes + sector - 1) / sector);
+    shape.lines = static_cast<int>((bytes + line - 1) / line);
+    const std::uint64_t sector_bytes =
+        static_cast<std::uint64_t>(shape.sectors) * sector;
+    if (write)
+      traffic_.l1_write_bytes += sector_bytes;
+    else
+      traffic_.l1_read_bytes += sector_bytes;
+    return shape;
+  }
 
   /// Counts the dirty lines still in L2 as written back to HBM.  Call at
   /// most once, after a kernel, when modelling a full drain; the default
@@ -92,7 +205,20 @@ class MemoryHierarchy {
   const arch::GpuArch& gpu() const { return arch_; }
 
  private:
+  std::uint64_t sector_of(std::uint64_t addr) const {
+    return sector_shift_ >= 0
+               ? addr >> sector_shift_
+               : addr / static_cast<std::uint64_t>(arch_.l1.sector_bytes);
+  }
+  std::uint64_t line_of(std::uint64_t addr) const {
+    return line_shift_ >= 0
+               ? addr >> line_shift_
+               : addr / static_cast<std::uint64_t>(arch_.l1.line_bytes);
+  }
+
   arch::GpuArch arch_;
+  int sector_shift_ = -1;  ///< log2(sector_bytes), or -1 if not a power of 2
+  int line_shift_ = -1;    ///< log2(line_bytes), or -1 if not a power of 2
   std::vector<SetAssocCache> l1_;
   SetAssocCache l2_;
   Traffic traffic_;

@@ -184,8 +184,10 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
 
   // 5. Execute.
   simt::Machine machine(gpu);
-  res.report = machine.run(kernel, functional ? simt::ExecMode::Functional
-                                              : simt::ExecMode::CountersOnly);
+  res.report = machine.run(kernel,
+                           functional ? simt::ExecMode::Functional
+                                      : simt::ExecMode::CountersOnly,
+                           engine_);
   if (functional && bout) bout->to_host(*out);
 
   res.inst_stats = ra.program.stats();

@@ -62,6 +62,11 @@ class Launcher {
   void set_check_mode(analysis::CheckMode mode) { check_ = mode; }
   analysis::CheckMode check_mode() const { return check_; }
 
+  /// Execution engine for the SIMT machine (bit-identical reports either
+  /// way).  The harness `--engine` flag plumbs through here.
+  void set_engine(simt::Engine engine) { engine_ = engine; }
+  simt::Engine engine() const { return engine_; }
+
   /// Counters-only execution (no element data; fast, any domain size).
   LaunchResult run(const dsl::Stencil& stencil, codegen::Variant variant,
                    const Platform& platform,
@@ -82,6 +87,7 @@ class Launcher {
 
   Vec3 domain_;
   analysis::CheckMode check_ = analysis::CheckMode::Warn;
+  simt::Engine engine_ = simt::Engine::Plan;
 };
 
 }  // namespace bricksim::model

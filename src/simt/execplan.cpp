@@ -1,0 +1,510 @@
+#include "simt/execplan.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "simt/issue_model.h"
+
+namespace bricksim::simt {
+
+namespace {
+
+/// Inverse of the block linearization (identical to the interpreter's).
+Vec3 unlinearize(long b, const Vec3& n) {
+  Vec3 v;
+  v.i = static_cast<int>(b % n.i);
+  v.j = static_cast<int>((b / n.i) % n.j);
+  v.k = static_cast<int>(b / (static_cast<long>(n.i) * n.j));
+  return v;
+}
+
+constexpr int kSlice = 16;  // instructions per block per scheduling round
+
+}  // namespace
+
+ExecPlan::ExecPlan(const Kernel& kernel, const arch::GpuArch& arch,
+                   ExecMode mode)
+    : kernel_(&kernel), arch_(&arch), mode_(mode) {
+  BRICKSIM_REQUIRE(kernel.program != nullptr, "kernel without a program");
+  const ir::Program& prog = *kernel.program;
+  prog.verify();
+  BRICKSIM_REQUIRE(kernel.tile.i % prog.vec_width() == 0,
+                   "tile inner extent must be a multiple of the program "
+                   "vector width (vector folding)");
+  BRICKSIM_REQUIRE(static_cast<int>(kernel.grids.size()) >= prog.num_grids(),
+                   "not enough grid bindings for the program");
+  BRICKSIM_REQUIRE(static_cast<int>(kernel.constants.size()) >=
+                       prog.num_constants(),
+                   "not enough constant values bound");
+  const long total_blocks = kernel.blocks.volume();
+  BRICKSIM_REQUIRE(total_blocks > 0, "empty launch grid");
+
+  W_ = prog.vec_width();
+  vec_bytes_ = static_cast<std::uint32_t>(W_) * kElemBytes;
+  if ((vec_bytes_ & (vec_bytes_ - 1)) == 0) vec_mask_ = vec_bytes_ - 1;
+  num_vregs_ = prog.num_vregs();
+  num_spill_slots_ = prog.num_spill_slots();
+  const bool functional = mode == ExecMode::Functional;
+
+  // Grid templates: device base, functional pointer, and the element stride
+  // of one block step along each launch axis (array layout; meaningless and
+  // unused for brick grids, whose `padded` is zero).
+  grids_.reserve(kernel.grids.size());
+  for (const GridBinding& g : kernel.grids) {
+    GridPlan gp;
+    gp.base = g.device_base;
+    gp.data = g.data;
+    gp.bi = kernel.tile.i;
+    gp.bj = static_cast<std::int64_t>(kernel.tile.j) * g.padded.i;
+    gp.bk = static_cast<std::int64_t>(kernel.tile.k) * g.padded.i * g.padded.j;
+    gp.adjacency = g.adjacency.data();
+    gp.block_to_brick = g.block_to_brick.data();
+    gp.elems_per_brick = g.elems_per_brick;
+    grids_.push_back(gp);
+  }
+
+  // Largest per-grid block offset in the launch: the offset is monotone in
+  // each block coordinate, so the (blocks - 1) corner bounds every block.
+  auto max_block_offset = [&](const GridPlan& gp) {
+    return static_cast<std::int64_t>(kernel.blocks.i - 1) * gp.bi +
+           static_cast<std::int64_t>(kernel.blocks.j - 1) * gp.bj +
+           static_cast<std::int64_t>(kernel.blocks.k - 1) * gp.bk;
+  };
+
+  auto decode_mem = [&](const ir::Inst& in, bool is_store) {
+    const ir::MemRef& m = in.mem;
+    PlanInst p;
+    p.grid = static_cast<std::uint8_t>(m.grid);
+    if (is_store)
+      p.a = static_cast<std::uint32_t>(in.a) * W_;
+    else
+      p.dst = static_cast<std::uint32_t>(in.dst) * W_;
+    if (m.space == ir::Space::Spill) {
+      p.kind = is_store ? PKind::StoreSpill : PKind::LoadSpill;
+      p.idx0 = static_cast<std::int64_t>(m.slot) * W_;
+      insts_.push_back(p);
+      return;
+    }
+    const GridBinding& g = kernel.grids[m.grid];
+    if (functional)
+      BRICKSIM_ASSERT(g.data != nullptr,
+                      is_store ? "functional store without data"
+                               : "functional load without data");
+    if (m.space == ir::Space::Array) {
+      p.kind = is_store ? PKind::StoreArray : PKind::LoadArray;
+      p.bypass_candidate = !is_store && m.vectorized;
+      const Vec3 e0{g.ghost.i + m.di, g.ghost.j + m.dj, g.ghost.k + m.dk};
+      p.idx0 = linear_index(e0, g.padded);
+      p.row_key0 = (1ull << 62) |
+                   (static_cast<std::uint64_t>(m.grid) << 56) |
+                   (static_cast<std::uint64_t>(e0.k) << 28) |
+                   static_cast<std::uint64_t>(e0.j);
+      // Whole-launch bounds check, hoisted out of the replay loop: block
+      // offsets are non-negative and maximal at the far-corner block.
+      BRICKSIM_ASSERT(p.idx0 >= 0, "array access before the buffer");
+      BRICKSIM_ASSERT(g.data == nullptr ||
+                          p.idx0 + max_block_offset(grids_[m.grid]) + W_ <=
+                              static_cast<std::int64_t>(g.len),
+                      "array access out of bounds");
+    } else {
+      p.kind = is_store ? PKind::StoreBrick : PKind::LoadBrick;
+      BRICKSIM_ASSERT(!g.block_to_brick.empty(), "brick binding without map");
+      BRICKSIM_ASSERT(static_cast<long>(g.block_to_brick.size()) >=
+                          total_blocks,
+                      "block-to-brick map smaller than the launch grid");
+      p.nbr_code = static_cast<std::uint8_t>((m.nbr_dk + 1) * 9 +
+                                             (m.nbr_dj + 1) * 3 +
+                                             (m.nbr_di + 1));
+      p.idx0 = (static_cast<std::int64_t>(m.vk) * g.brick_dims.j + m.vj) *
+                   g.brick_dims.i +
+               static_cast<std::int64_t>(m.vi) * W_;
+    }
+    insts_.push_back(p);
+  };
+
+  for (const ir::Inst& in : prog.insts()) {
+    switch (in.op) {
+      case ir::Op::VLoad:
+        decode_mem(in, /*is_store=*/false);
+        break;
+      case ir::Op::VStore:
+        decode_mem(in, /*is_store=*/true);
+        break;
+      case ir::Op::VAlign:
+        if (functional) {
+          PlanInst p;
+          p.kind = PKind::Align;
+          p.dst = static_cast<std::uint32_t>(in.dst) * W_;
+          p.a = static_cast<std::uint32_t>(in.a) * W_;
+          p.b = static_cast<std::uint32_t>(in.b) * W_;
+          p.shift_or_iops = in.shift;
+          insts_.push_back(p);
+        } else {
+          alu_shuffle_lanes_ += W_ * kernel.shuffle_cost_mult;
+          ++alu_warp_insts_;
+        }
+        break;
+      case ir::Op::VAddV:
+      case ir::Op::VMulV:
+      case ir::Op::VMulC:
+      case ir::Op::VFmaV:
+      case ir::Op::VFmaC:
+      case ir::Op::VSetC:
+      case ir::Op::VZero:
+        if (functional) {
+          PlanInst p;
+          switch (in.op) {
+            case ir::Op::VAddV: p.kind = PKind::AddV; break;
+            case ir::Op::VMulV: p.kind = PKind::MulV; break;
+            case ir::Op::VFmaV: p.kind = PKind::FmaV; break;
+            case ir::Op::VMulC: p.kind = PKind::MulC; break;
+            case ir::Op::VFmaC: p.kind = PKind::FmaC; break;
+            case ir::Op::VSetC: p.kind = PKind::SetC; break;
+            default:            p.kind = PKind::Zero; break;
+          }
+          p.dst = static_cast<std::uint32_t>(in.dst) * W_;
+          if (in.a >= 0) p.a = static_cast<std::uint32_t>(in.a) * W_;
+          if (in.b >= 0) p.b = static_cast<std::uint32_t>(in.b) * W_;
+          if (in.c >= 0) p.c = static_cast<std::uint32_t>(in.c) * W_;
+          if (in.cidx >= 0) p.cv = kernel.constants[in.cidx];
+          insts_.push_back(p);
+        } else {
+          alu_fp_lanes_ += W_;
+          ++alu_warp_insts_;
+          if (in.op == ir::Op::VAddV || in.op == ir::Op::VMulV ||
+              in.op == ir::Op::VMulC)
+            alu_flops_ += W_;
+          else if (in.op == ir::Op::VFmaV || in.op == ir::Op::VFmaC)
+            alu_flops_ += 2ull * W_;
+        }
+        break;
+      case ir::Op::IOp:
+        if (functional) {
+          PlanInst p;
+          p.kind = PKind::IOp;
+          p.shift_or_iops = in.iops;
+          insts_.push_back(p);
+        } else {
+          alu_int_lanes_ += static_cast<double>(in.iops) * W_;
+          alu_warp_insts_ += in.iops;
+        }
+        break;
+    }
+  }
+}
+
+KernelReport ExecPlan::replay(memsim::MemoryHierarchy& hier) const {
+  const Kernel& kernel = *kernel_;
+  const arch::GpuArch& arch = *arch_;
+  hier.reset();
+
+  const int W = W_;
+  const long total_blocks = kernel.blocks.volume();
+  const int resident = static_cast<int>(
+      std::min<long>(arch.max_resident_blocks(), total_blocks));
+  const bool functional = mode_ == ExecMode::Functional;
+  const double shuffle_lanes_per_align = W * kernel.shuffle_cost_mult;
+  const double l1_sector_bytes = arch.l1.sector_bytes;
+  const bool bypass_loads = kernel.bypass_l2_unaligned_vloads;
+  const bool rmw_stores = !kernel.streaming_stores;
+  const std::size_t ngrids = grids_.size();
+
+  KernelReport rep;
+  std::vector<detail::CoreUse> cores(arch.num_cores);
+
+  // One scratch arena for all resident blocks, zeroed once: programs are
+  // verified free of use-before-def (ExecPlan construction ran
+  // ir::Program::verify()), so a block never observes its predecessor's
+  // register or spill values and per-block re-zeroing would be dead work.
+  const std::size_t reg_elems =
+      functional ? static_cast<std::size_t>(num_vregs_) * W : 0;
+  const std::size_t spill_elems =
+      functional ? static_cast<std::size_t>(num_spill_slots_) * W : 0;
+  std::vector<double> arena(
+      static_cast<std::size_t>(resident) * (reg_elems + spill_elems), 0.0);
+  std::vector<std::int64_t> goff(static_cast<std::size_t>(resident) * ngrids,
+                                 0);
+
+  /// Execution state of one resident thread block.
+  struct Slot {
+    long blin = -1;
+    int core = 0;
+    std::size_t pc = 0;
+    bool active = false;
+    double* regs = nullptr;
+    double* spills = nullptr;
+    std::int64_t* goff = nullptr;  ///< per-grid block element offsets
+    std::uint64_t row_add = 0;     ///< per-block row-key addend
+    PageSet pages;
+  };
+  std::vector<Slot> slots(resident);
+  for (int n = 0; n < resident; ++n) {
+    slots[n].regs = arena.data() +
+                    static_cast<std::size_t>(n) * (reg_elems + spill_elems);
+    slots[n].spills = slots[n].regs + reg_elems;
+    slots[n].goff = goff.data() + static_cast<std::size_t>(n) * ngrids;
+  }
+
+  long next_block = 0;
+  int active = 0;
+  auto assign = [&](Slot& s) -> bool {
+    if (next_block >= total_blocks) {
+      s.active = false;
+      return false;
+    }
+    s.blin = next_block++;
+    const Vec3 bc = unlinearize(s.blin, kernel.blocks);
+    s.core = static_cast<int>(s.blin % arch.num_cores);
+    s.pc = 0;
+    s.active = true;
+    s.pages.clear();
+    for (std::size_t g = 0; g < ngrids; ++g)
+      s.goff[g] = bc.i * grids_[g].bi + bc.j * grids_[g].bj +
+                  bc.k * grids_[g].bk;
+    s.row_add = (static_cast<std::uint64_t>(bc.k) * kernel.tile.k << 28) +
+                static_cast<std::uint64_t>(bc.j) * kernel.tile.j;
+    if (!functional) {
+      detail::CoreUse& cu = cores[s.core];
+      cu.fp_lanes += alu_fp_lanes_;
+      cu.int_lanes += alu_int_lanes_;
+      cu.shuffle_lanes += alu_shuffle_lanes_;
+      rep.flops_executed += alu_flops_;
+      rep.warp_insts += alu_warp_insts_;
+    }
+    return true;
+  };
+  for (auto& s : slots)
+    if (assign(s)) ++active;
+
+  std::vector<double> tmp(W);  // VAlign scratch (dst may alias a source)
+  const PlanInst* const ip = insts_.data();
+  const std::size_t ninsts = insts_.size();
+
+  while (active > 0) {
+    for (auto& s : slots) {
+      if (!s.active) continue;
+      detail::CoreUse& cu = cores[s.core];
+      const std::size_t end = std::min(ninsts, s.pc + kSlice);
+      for (; s.pc < end; ++s.pc) {
+        const PlanInst& in = ip[s.pc];
+        switch (in.kind) {
+          case PKind::LoadArray: {
+            const GridPlan& g = grids_[in.grid];
+            const std::int64_t idx = in.idx0 + s.goff[in.grid];
+            const std::uint64_t addr =
+                g.base + static_cast<std::uint64_t>(idx) * kElemBytes;
+            const bool bypass =
+                bypass_loads && in.bypass_candidate &&
+                (vec_mask_ ? (addr & vec_mask_) != 0
+                           : (addr % vec_bytes_) != 0);
+            const auto shape =
+                hier.access(s.core, addr, vec_bytes_, false, bypass);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * l1_sector_bytes;
+            cu.serial_cycles += kernel.extra_cycles_per_load;
+            if (shape.dram_touch) s.pages.insert(in.row_key0 + s.row_add);
+            if (functional) {
+              const double* src = g.data + idx;
+              std::copy(src, src + W, s.regs + in.dst);
+            }
+            break;
+          }
+          case PKind::StoreArray: {
+            const GridPlan& g = grids_[in.grid];
+            const std::int64_t idx = in.idx0 + s.goff[in.grid];
+            const std::uint64_t addr =
+                g.base + static_cast<std::uint64_t>(idx) * kElemBytes;
+            const auto shape = hier.access(s.core, addr, vec_bytes_, true,
+                                           /*bypass_l2=*/false, rmw_stores);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * l1_sector_bytes;
+            if (shape.dram_touch) s.pages.insert(in.row_key0 + s.row_add);
+            if (functional) {
+              const double* src = s.regs + in.a;
+              std::copy(src, src + W, g.data + idx);
+            }
+            break;
+          }
+          case PKind::LoadBrick: {
+            const GridPlan& g = grids_[in.grid];
+            std::uint32_t bid =
+                g.block_to_brick[static_cast<std::size_t>(s.blin)];
+            if (in.nbr_code != 13)
+              bid = g.adjacency[static_cast<std::size_t>(bid) * 27 +
+                                in.nbr_code];
+            const std::int64_t idx =
+                static_cast<std::int64_t>(bid) * g.elems_per_brick + in.idx0;
+            const std::uint64_t addr =
+                g.base + static_cast<std::uint64_t>(idx) * kElemBytes;
+            const auto shape =
+                hier.access(s.core, addr, vec_bytes_, false, false);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * l1_sector_bytes;
+            cu.serial_cycles += kernel.extra_cycles_per_load;
+            if (shape.dram_touch) s.pages.insert(addr >> 12);
+            if (functional) {
+              const double* src = g.data + idx;
+              std::copy(src, src + W, s.regs + in.dst);
+            }
+            break;
+          }
+          case PKind::StoreBrick: {
+            const GridPlan& g = grids_[in.grid];
+            std::uint32_t bid =
+                g.block_to_brick[static_cast<std::size_t>(s.blin)];
+            if (in.nbr_code != 13)
+              bid = g.adjacency[static_cast<std::size_t>(bid) * 27 +
+                                in.nbr_code];
+            const std::int64_t idx =
+                static_cast<std::int64_t>(bid) * g.elems_per_brick + in.idx0;
+            const std::uint64_t addr =
+                g.base + static_cast<std::uint64_t>(idx) * kElemBytes;
+            const auto shape = hier.access(s.core, addr, vec_bytes_, true,
+                                           /*bypass_l2=*/false, rmw_stores);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * l1_sector_bytes;
+            if (shape.dram_touch) s.pages.insert(addr >> 12);
+            if (functional) {
+              const double* src = s.regs + in.a;
+              std::copy(src, src + W, g.data + idx);
+            }
+            break;
+          }
+          case PKind::LoadSpill: {
+            const auto shape = hier.scratch_access(vec_bytes_, false);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * l1_sector_bytes;
+            rep.spill_bytes += vec_bytes_;
+            if (functional) {
+              const double* src = s.spills + in.idx0;
+              std::copy(src, src + W, s.regs + in.dst);
+            }
+            break;
+          }
+          case PKind::StoreSpill: {
+            const auto shape = hier.scratch_access(vec_bytes_, true);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * l1_sector_bytes;
+            rep.spill_bytes += vec_bytes_;
+            if (functional) {
+              const double* src = s.regs + in.a;
+              std::copy(src, src + W, s.spills + in.idx0);
+            }
+            break;
+          }
+          case PKind::Align: {
+            cu.shuffle_lanes += shuffle_lanes_per_align;
+            if (functional) {
+              const double* a = s.regs + in.a;
+              const double* b = s.regs + in.b;
+              for (int l = 0; l < W; ++l) {
+                const int sh = in.shift_or_iops + l;
+                tmp[l] = sh < W ? a[sh] : b[sh - W];
+              }
+              std::copy(tmp.begin(), tmp.end(), s.regs + in.dst);
+            }
+            break;
+          }
+          case PKind::AddV: {
+            cu.fp_lanes += W;
+            rep.flops_executed += W;
+            if (functional) {
+              const double* a = s.regs + in.a;
+              const double* b = s.regs + in.b;
+              double* d = s.regs + in.dst;
+              for (int l = 0; l < W; ++l) d[l] = a[l] + b[l];
+            }
+            break;
+          }
+          case PKind::MulV: {
+            cu.fp_lanes += W;
+            rep.flops_executed += W;
+            if (functional) {
+              const double* a = s.regs + in.a;
+              const double* b = s.regs + in.b;
+              double* d = s.regs + in.dst;
+              for (int l = 0; l < W; ++l) d[l] = a[l] * b[l];
+            }
+            break;
+          }
+          case PKind::FmaV: {
+            cu.fp_lanes += W;
+            rep.flops_executed += 2ull * W;
+            if (functional) {
+              const double* a = s.regs + in.a;
+              const double* b = s.regs + in.b;
+              const double* c = s.regs + in.c;
+              double* d = s.regs + in.dst;
+              for (int l = 0; l < W; ++l) d[l] = a[l] * b[l] + c[l];
+            }
+            break;
+          }
+          case PKind::MulC: {
+            cu.fp_lanes += W;
+            rep.flops_executed += W;
+            if (functional) {
+              const double cv = in.cv;
+              const double* a = s.regs + in.a;
+              double* d = s.regs + in.dst;
+              for (int l = 0; l < W; ++l) d[l] = a[l] * cv;
+            }
+            break;
+          }
+          case PKind::FmaC: {
+            cu.fp_lanes += W;
+            rep.flops_executed += 2ull * W;
+            if (functional) {
+              const double cv = in.cv;
+              const double* a = s.regs + in.a;
+              const double* b = s.regs + in.b;
+              double* d = s.regs + in.dst;
+              for (int l = 0; l < W; ++l) d[l] = a[l] + b[l] * cv;
+            }
+            break;
+          }
+          case PKind::SetC: {
+            cu.fp_lanes += W;
+            if (functional) {
+              double* d = s.regs + in.dst;
+              std::fill(d, d + W, in.cv);
+            }
+            break;
+          }
+          case PKind::Zero: {
+            cu.fp_lanes += W;
+            if (functional) {
+              double* d = s.regs + in.dst;
+              std::fill(d, d + W, 0.0);
+            }
+            break;
+          }
+          case PKind::IOp: {
+            cu.int_lanes += static_cast<double>(in.shift_or_iops) * W;
+            rep.warp_insts += in.shift_or_iops - 1;  // +1 added below
+            break;
+          }
+        }
+        rep.warp_insts += 1;
+      }
+      if (s.pc >= ninsts) {
+        // Page-locality overhead: each distinct activation granule this
+        // block reached DRAM for costs row-activation / TLB-walk traffic.
+        // Single-stream kernels are exempt: a sequential stream keeps its
+        // DRAM row open and never pays the switch cost.
+        if (kernel.read_streams > 1)
+          hier.charge_page_overhead(s.pages.size() * arch.page_open_bytes);
+        ++rep.blocks_run;
+        if (!assign(s)) --active;
+      }
+    }
+  }
+
+  // Drain dirty output lines: an out-of-place stencil's stores all reach
+  // HBM eventually, so end-of-kernel residue is counted as written back.
+  hier.flush_l2();
+  rep.traffic = hier.traffic();
+  detail::finalize_timing(rep, cores, arch, kernel);
+  return rep;
+}
+
+}  // namespace bricksim::simt

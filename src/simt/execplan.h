@@ -1,0 +1,149 @@
+// ExecPlan: the decode-once / replay-many execution engine.
+//
+// Every kernel launch runs the SAME straight-line ir::Program for up to
+// millions of thread blocks; only the block coordinates (and hence memory
+// addresses) differ.  The legacy interpreter re-walks the Program per block,
+// re-resolving register offsets, re-folding constants, and re-deriving every
+// MemRef's address arithmetic each time.  ExecPlan hoists all of that
+// kernel-invariant work into a single decode pass (the structure cycle-level
+// simulators use: decode once, replay many):
+//
+//  * one flat, cache-friendly PlanInst stream (56 bytes/inst) replaces the
+//    Program walk -- register operands are pre-scaled element offsets,
+//    constants are pre-folded values, per-instruction issue costs are
+//    implicit in the opcode;
+//  * array MemRefs collapse to an affine address template: the block-
+//    invariant element index `idx0` plus a per-(block, grid) offset computed
+//    once per block from precomputed strides (base + block_offset at replay
+//    time).  Brick MemRefs keep only the adjacency code and in-brick offset;
+//    spill MemRefs a pre-scaled slot offset;
+//  * array bounds are validated once at decode time over the whole launch
+//    extent (the corner blocks), so the replay loop carries no per-access
+//    assertions;
+//  * functional register/spill scratch is one arena allocated per replay and
+//    reused across blocks (ir::Program::verify() rejects use-before-def, so
+//    no per-block re-zeroing is needed).
+//
+// Replay preserves the interpreter's observable behaviour EXACTLY: the same
+// resident-block scheduling (kSlice-instruction round-robin slices, so the
+// shared L2 sees the identical interleaved access stream), the same counter
+// updates, the same functional arithmetic.  Reports are bit-identical to
+// Engine::Interp at every --jobs count; tests/test_execplan.cpp enforces
+// this across the paper catalog.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.h"
+#include "memsim/hierarchy.h"
+#include "simt/machine.h"
+
+namespace bricksim::simt {
+
+/// The set of distinct DRAM activation granules one thread block touched
+/// with DRAM-reaching accesses (compulsory misses only, so small), for the
+/// page-locality model.  A sorted-insert vector: dedup costs O(log n) per
+/// probe instead of the O(n) linear scan it replaces, and the storage is a
+/// single contiguous buffer reused across blocks.
+class PageSet {
+ public:
+  void insert(std::uint64_t key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || *it != key) keys_.insert(it, key);
+  }
+  std::size_t size() const { return keys_.size(); }
+  void clear() { keys_.clear(); }
+
+ private:
+  std::vector<std::uint64_t> keys_;
+};
+
+/// A kernel pre-decoded for replay.  Construction performs every check the
+/// interpreter runs (program verification, launch-shape preconditions,
+/// whole-launch array bounds); replay() then executes blocks against a
+/// memory hierarchy.  The Kernel (and its Program and grid storage) must
+/// outlive the plan.
+class ExecPlan {
+ public:
+  ExecPlan(const Kernel& kernel, const arch::GpuArch& arch, ExecMode mode);
+
+  /// Runs every block of the launch against `hier` (cold caches) and
+  /// returns the report.  Bit-identical to Machine's legacy interpreter.
+  KernelReport replay(memsim::MemoryHierarchy& hier) const;
+
+  ExecMode mode() const { return mode_; }
+  /// Replay-stream length: all instructions in Functional mode, memory
+  /// instructions only in CountersOnly mode (ALU costs are per-block
+  /// aggregates there, exactly like the interpreter's fast path).
+  std::size_t num_insts() const { return insts_.size(); }
+
+ private:
+  /// Replay opcode: ir::Op split by address space so the replay switch
+  /// dispatches without re-testing MemRef fields.
+  enum class PKind : std::uint8_t {
+    LoadArray,
+    LoadBrick,
+    LoadSpill,
+    StoreArray,
+    StoreBrick,
+    StoreSpill,
+    Align,
+    AddV,
+    MulV,
+    FmaV,
+    MulC,
+    FmaC,
+    SetC,
+    Zero,
+    IOp,
+  };
+
+  /// One pre-decoded instruction.  Register operands are element offsets
+  /// (vreg * W) into the block's register arena; `cv` is the folded
+  /// constant; memory templates are resolved down to block-invariant parts.
+  struct PlanInst {
+    PKind kind = PKind::Zero;
+    std::uint8_t grid = 0;       ///< grid slot (memory ops)
+    std::uint8_t nbr_code = 13;  ///< brick adjacency code (13 = self)
+    bool bypass_candidate = false;  ///< vectorized array load (L2 bypass)
+    std::int32_t shift_or_iops = 0;
+    std::uint32_t dst = 0, a = 0, b = 0, c = 0;
+    double cv = 0;
+    std::int64_t idx0 = 0;      ///< array: invariant index; brick: in-brick
+                                ///< offset; spill: slot * W
+    std::uint64_t row_key0 = 0; ///< array: invariant row-key part
+  };
+
+  /// Per-grid launch-invariant binding data, flattened out of GridBinding.
+  struct GridPlan {
+    std::uint64_t base = 0;
+    bElem* data = nullptr;
+    // Array layout: element strides of one block step per axis.
+    std::int64_t bi = 0, bj = 0, bk = 0;
+    // Brick layout.
+    const std::uint32_t* adjacency = nullptr;
+    const std::uint32_t* block_to_brick = nullptr;
+    std::int64_t elems_per_brick = 0;
+  };
+
+  const Kernel* kernel_;
+  const arch::GpuArch* arch_;
+  ExecMode mode_;
+  int W_ = 0;
+  std::uint32_t vec_bytes_ = 0;   ///< W * kElemBytes
+  std::uint64_t vec_mask_ = 0;    ///< vec_bytes_ - 1 when a power of two
+  int num_vregs_ = 0;
+  int num_spill_slots_ = 0;
+  std::vector<PlanInst> insts_;
+  std::vector<GridPlan> grids_;
+
+  // CountersOnly per-block ALU aggregates (identical for every block).
+  double alu_fp_lanes_ = 0;
+  double alu_int_lanes_ = 0;
+  double alu_shuffle_lanes_ = 0;
+  std::uint64_t alu_flops_ = 0;
+  std::uint64_t alu_warp_insts_ = 0;
+};
+
+}  // namespace bricksim::simt

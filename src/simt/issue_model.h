@@ -1,0 +1,58 @@
+// Per-core issue-resource accounting and the timing finalization shared by
+// the two execution engines (the legacy interpreter in machine.cpp and the
+// ExecPlan replay in execplan.cpp).  Keeping the arithmetic in one place is
+// what makes the engines' timing decompositions bit-identical by
+// construction: both accumulate the same CoreUse fields and run the same
+// max-of-bottlenecks expression in the same order.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/arch.h"
+#include "simt/machine.h"
+
+namespace bricksim::simt::detail {
+
+/// Per-core issue-resource accumulators (lanes / bytes / instructions).
+///
+/// All fields are doubles, but every addend is either integer-valued (lane
+/// counts, line counts, sector bytes) or a single repeated constant
+/// (W * shuffle_cost_mult, extra_cycles_per_load), so per-core totals depend
+/// only on per-core addend counts, never on accumulation order -- the
+/// property the block-interleaved engines and the parallel sweep rely on.
+struct CoreUse {
+  double fp_lanes = 0;
+  double int_lanes = 0;
+  double shuffle_lanes = 0;
+  double l1_bytes = 0;
+  double mem_insts = 0;
+  double serial_cycles = 0;  ///< exposed-latency dead time (additive)
+};
+
+/// Fills the timing decomposition of `rep` from the finished traffic
+/// counters and per-core issue usage (see DESIGN.md Section 5).
+inline void finalize_timing(KernelReport& rep,
+                            const std::vector<CoreUse>& cores,
+                            const arch::GpuArch& arch, const Kernel& kernel) {
+  const double bw =
+      arch.achieved_bw(kernel.read_streams) * kernel.bw_derate;
+  rep.t_hbm = bw > 0 ? static_cast<double>(rep.traffic.hbm_total()) / bw : 0;
+  rep.t_l2 = static_cast<double>(rep.traffic.l2_read_bytes +
+                                 rep.traffic.l2_write_bytes) /
+             (arch.l2_gbytes_per_sec * 1e9);
+  double worst_cycles = 0;
+  for (const CoreUse& cu : cores) {
+    double cyc = cu.fp_lanes / arch.fp64_lanes_per_cycle;
+    cyc = std::max(cyc, cu.int_lanes / arch.int_lanes_per_cycle);
+    cyc = std::max(cyc, cu.shuffle_lanes / arch.shuffle_lanes_per_cycle);
+    cyc = std::max(cyc, cu.l1_bytes / arch.l1_bytes_per_cycle);
+    cyc = std::max(cyc, cu.mem_insts / arch.mem_issue_per_cycle);
+    cyc += cu.serial_cycles;  // exposed latency is dead time on top
+    worst_cycles = std::max(worst_cycles, cyc);
+  }
+  rep.t_issue = worst_cycles / (arch.clock_ghz * 1e9);
+  rep.seconds = std::max({rep.t_hbm, rep.t_l2, rep.t_issue});
+}
+
+}  // namespace bricksim::simt::detail

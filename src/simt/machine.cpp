@@ -3,22 +3,14 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "simt/execplan.h"
+#include "simt/issue_model.h"
 
 namespace bricksim::simt {
 
 namespace {
 
-/// Per-core issue-resource accumulators (lanes / bytes / instructions).
-struct CoreUse {
-  double fp_lanes = 0;
-  double int_lanes = 0;
-  double shuffle_lanes = 0;
-  double l1_bytes = 0;
-  double mem_insts = 0;
-  double serial_cycles = 0;  ///< exposed-latency dead time (additive)
-};
-
-/// Execution state of one resident thread block.
+/// Execution state of one resident thread block (legacy interpreter).
 struct BlockCtx {
   Vec3 bc{};
   long blin = -1;
@@ -33,13 +25,7 @@ struct BlockCtx {
   /// (grid, j, k) row -- each row is a separate address stream / DRAM row
   /// regardless of domain size -- while brick and scratch accesses are
   /// keyed by 4 KiB page (a brick IS a page-sized contiguous granule).
-  std::vector<std::uint64_t> dram_pages;
-
-  void note_dram_page(std::uint64_t key) {
-    for (std::uint64_t p : dram_pages)
-      if (p == key) return;
-    dram_pages.push_back(key);
-  }
+  PageSet dram_pages;
 };
 
 Vec3 unlinearize(long b, const Vec3& n) {
@@ -63,7 +49,14 @@ std::uint64_t DeviceAllocator::allocate(std::uint64_t bytes) {
 
 Machine::Machine(const arch::GpuArch& arch) : arch_(arch), hier_(arch) {}
 
-KernelReport Machine::run(const Kernel& kernel, ExecMode mode) {
+KernelReport Machine::run(const Kernel& kernel, ExecMode mode,
+                          Engine engine) {
+  if (engine == Engine::Interp) return run_interp(kernel, mode);
+  ExecPlan plan(kernel, arch_, mode);
+  return plan.replay(hier_);
+}
+
+KernelReport Machine::run_interp(const Kernel& kernel, ExecMode mode) {
   BRICKSIM_REQUIRE(kernel.program != nullptr, "kernel without a program");
   const ir::Program& prog = *kernel.program;
   prog.verify();
@@ -85,7 +78,7 @@ KernelReport Machine::run(const Kernel& kernel, ExecMode mode) {
   const bool functional = mode == ExecMode::Functional;
 
   KernelReport rep;
-  std::vector<CoreUse> cores(arch_.num_cores);
+  std::vector<detail::CoreUse> cores(arch_.num_cores);
 
   // Counters-only fast path: ALU/shuffle resource usage and FLOPs are
   // identical for every block (same straight-line program), so they are
@@ -152,7 +145,7 @@ KernelReport Machine::run(const Kernel& kernel, ExecMode mode) {
       ctx.spills.assign(
           static_cast<std::size_t>(prog.num_spill_slots()) * W, 0.0);
     } else {
-      CoreUse& cu = cores[ctx.core];
+      detail::CoreUse& cu = cores[ctx.core];
       cu.fp_lanes += alu_fp_lanes;
       cu.int_lanes += alu_int_lanes;
       cu.shuffle_lanes += alu_shuffle_lanes;
@@ -210,7 +203,7 @@ KernelReport Machine::run(const Kernel& kernel, ExecMode mode) {
   while (active > 0) {
     for (auto& ctx : slots) {
       if (!ctx.active) continue;
-      CoreUse& cu = cores[ctx.core];
+      detail::CoreUse& cu = cores[ctx.core];
       const std::size_t end = std::min(insts.size(), ctx.pc + kSlice);
       for (; ctx.pc < end; ++ctx.pc) {
         const ir::Inst& in = insts[ctx.pc];
@@ -242,7 +235,7 @@ KernelReport Machine::run(const Kernel& kernel, ExecMode mode) {
             cu.mem_insts += shape.lines;
             cu.l1_bytes += shape.sectors * arch_.l1.sector_bytes;
             cu.serial_cycles += kernel.extra_cycles_per_load;
-            if (shape.dram_touch) ctx.note_dram_page(row_key);
+            if (shape.dram_touch) ctx.dram_pages.insert(row_key);
             if (functional) {
               BRICKSIM_ASSERT(ptr != nullptr, "functional load without data");
               std::copy(ptr, ptr + W,
@@ -272,7 +265,7 @@ KernelReport Machine::run(const Kernel& kernel, ExecMode mode) {
                              /*rmw_stores=*/!kernel.streaming_stores);
             cu.mem_insts += shape.lines;
             cu.l1_bytes += shape.sectors * arch_.l1.sector_bytes;
-            if (shape.dram_touch) ctx.note_dram_page(row_key);
+            if (shape.dram_touch) ctx.dram_pages.insert(row_key);
             if (functional) {
               BRICKSIM_ASSERT(ptr != nullptr, "functional store without data");
               const double* src = &ctx.regs[static_cast<std::size_t>(in.a) * W];
@@ -394,26 +387,7 @@ KernelReport Machine::run(const Kernel& kernel, ExecMode mode) {
   // HBM eventually, so end-of-kernel residue is counted as written back.
   hier_.flush_l2();
   rep.traffic = hier_.traffic();
-
-  // --- Timing model (see DESIGN.md Section 5) ---
-  const double bw =
-      arch_.achieved_bw(kernel.read_streams) * kernel.bw_derate;
-  rep.t_hbm = bw > 0 ? static_cast<double>(rep.traffic.hbm_total()) / bw : 0;
-  rep.t_l2 = static_cast<double>(rep.traffic.l2_read_bytes +
-                                 rep.traffic.l2_write_bytes) /
-             (arch_.l2_gbytes_per_sec * 1e9);
-  double worst_cycles = 0;
-  for (const CoreUse& cu : cores) {
-    double cyc = cu.fp_lanes / arch_.fp64_lanes_per_cycle;
-    cyc = std::max(cyc, cu.int_lanes / arch_.int_lanes_per_cycle);
-    cyc = std::max(cyc, cu.shuffle_lanes / arch_.shuffle_lanes_per_cycle);
-    cyc = std::max(cyc, cu.l1_bytes / arch_.l1_bytes_per_cycle);
-    cyc = std::max(cyc, cu.mem_insts / arch_.mem_issue_per_cycle);
-    cyc += cu.serial_cycles;  // exposed latency is dead time on top
-    worst_cycles = std::max(worst_cycles, cyc);
-  }
-  rep.t_issue = worst_cycles / (arch_.clock_ghz * 1e9);
-  rep.seconds = std::max({rep.t_hbm, rep.t_l2, rep.t_issue});
+  detail::finalize_timing(rep, cores, arch_, kernel);
   return rep;
 }
 

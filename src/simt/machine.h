@@ -33,6 +33,15 @@ enum class ExecMode {
   CountersOnly,  ///< addresses/counters only (large benchmark sweeps)
 };
 
+/// Which execution engine runs the kernel.  Both produce bit-identical
+/// KernelReports (functional values, traffic counters, cost totals); the
+/// interpreter is kept for one release as the A/B baseline of the
+/// equivalence tests and the --engine=interp|plan harness flag.
+enum class Engine {
+  Plan,    ///< decode-once/replay-many ExecPlan (default, fast)
+  Interp,  ///< legacy per-block re-decoding interpreter
+};
+
 /// Binds one IR grid slot to a simulated device buffer.
 ///
 /// Exactly one of the two layout descriptions is used, matching the Space of
@@ -107,6 +116,11 @@ struct KernelReport {
     const auto bytes = traffic.hbm_total();
     return bytes > 0 ? static_cast<double>(flops_executed) / bytes : 0.0;
   }
+
+  /// Field-for-field equality (exact on the timing doubles): the ExecPlan
+  /// engine promises reports bit-identical to the interpreter, and the
+  /// equivalence tests compare through this.
+  friend bool operator==(const KernelReport&, const KernelReport&) = default;
 };
 
 class Machine {
@@ -114,12 +128,18 @@ class Machine {
   explicit Machine(const arch::GpuArch& arch);
 
   /// Runs `kernel` to completion with cold caches and returns its report.
-  KernelReport run(const Kernel& kernel, ExecMode mode);
+  /// The default engine decodes the program into an ExecPlan and replays it
+  /// per block (see execplan.h); Engine::Interp selects the legacy
+  /// interpreter, which re-walks the ir::Program for every block.
+  KernelReport run(const Kernel& kernel, ExecMode mode,
+                   Engine engine = Engine::Plan);
 
   const arch::GpuArch& gpu() const { return arch_; }
   const memsim::MemoryHierarchy& hierarchy() const { return hier_; }
 
  private:
+  KernelReport run_interp(const Kernel& kernel, ExecMode mode);
+
   arch::GpuArch arch_;
   memsim::MemoryHierarchy hier_;
 };

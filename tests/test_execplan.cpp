@@ -1,0 +1,302 @@
+// A/B equivalence tests for the two SIMT execution engines: the pre-decoded
+// ExecPlan replay (Engine::Plan, the default) against the legacy interpreter
+// (Engine::Interp).  The plan engine promises BIT-IDENTICAL KernelReports --
+// every traffic counter, every timing double, every functional value -- so
+// these tests compare with operator== (exact), never with tolerances, across
+// the full paper stencil catalog, all lowering variants and platforms, both
+// execution modes, and several --jobs counts.
+#include <gtest/gtest.h>
+
+#include "common/grid.h"
+#include "common/rng.h"
+#include "dsl/stencil.h"
+#include "harness/harness.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+#include "profiler/profiler.h"
+#include "simt/execplan.h"
+#include "simt/machine.h"
+
+namespace bricksim {
+namespace {
+
+using codegen::Variant;
+
+// --- PageSet (the note_dram_page replacement) --------------------------------
+
+TEST(ExecPlanPageSet, DeduplicatesAndCounts) {
+  simt::PageSet s;
+  EXPECT_EQ(s.size(), 0u);
+  s.insert(42);
+  s.insert(7);
+  s.insert(42);  // duplicate
+  s.insert(1ull << 62);
+  s.insert(7);  // duplicate
+  EXPECT_EQ(s.size(), 3u);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  s.insert(5);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+// --- Machine-level equivalence ----------------------------------------------
+
+simt::Kernel make_kernel(const ir::Program& prog, Vec3 blocks,
+                         std::vector<double>& in, std::vector<double>& out,
+                         Vec3& padded) {
+  const Vec3 interior{blocks.i * 8, blocks.j * 4, blocks.k * 4};
+  padded = {interior.i + 16, interior.j + 16, interior.k + 16};
+  in.assign(static_cast<std::size_t>(padded.volume()), 0.0);
+  out.assign(static_cast<std::size_t>(padded.volume()), 0.0);
+  SplitMix64 rng(17);
+  for (double& v : in) v = rng.next_double(-1, 1);
+
+  simt::DeviceAllocator dev(128);
+  simt::GridBinding gi;
+  gi.padded = padded;
+  gi.ghost = {8, 8, 8};
+  gi.device_base = dev.allocate(in.size() * kElemBytes);
+  gi.data = in.data();
+  gi.len = in.size();
+  simt::GridBinding go = gi;
+  go.device_base = dev.allocate(out.size() * kElemBytes);
+  go.data = out.data();
+
+  simt::Kernel k;
+  k.program = &prog;
+  k.blocks = blocks;
+  k.tile = {8, 4, 4};
+  k.grids = {gi, go};
+  for (int n = 0; n < prog.num_constants(); ++n)
+    k.constants.push_back(0.5 + n);
+  return k;
+}
+
+ir::MemRef aref(int grid, int di, int dj = 0, int dk = 0) {
+  ir::MemRef m;
+  m.grid = grid;
+  m.space = ir::Space::Array;
+  m.di = di;
+  m.dj = dj;
+  m.dk = dk;
+  m.vectorized = true;
+  return m;
+}
+
+ir::MemRef spill_ref(int slot) {
+  ir::MemRef m;
+  m.space = ir::Space::Spill;
+  m.slot = slot;
+  return m;
+}
+
+/// A program exercising every opcode, including a spill round-trip and an
+/// unaligned (di=3) vectorized load (the MI250X L2-bypass candidate).
+ir::Program everything_program() {
+  ir::Program p(8);
+  p.add_constant("c0");
+  p.add_constant("c1");
+  const int a = p.load(aref(0, 0));
+  const int b = p.load(aref(0, 3));  // unaligned: bypass candidate
+  const int c = p.load(aref(0, 8));
+  p.store(a, spill_ref(0));
+  const int al = p.align(a, c, 3);
+  const int s1 = p.add(a, b);
+  const int s2 = p.mul(s1, al);
+  const int s3 = p.fma(s2, b, a);
+  const int s4 = p.mul_const(s3, 0);
+  const int s5 = p.fma_const(s4, al, 1);
+  const int sp = p.load(spill_ref(0));
+  const int s6 = p.add(s5, sp);
+  const int k0 = p.set_const(0);
+  const int z = p.zero();
+  const int s7 = p.add(s6, k0);
+  const int s8 = p.add(s7, z);
+  p.int_ops(5);
+  p.store(s8, aref(1, 0));
+  p.set_num_spill_slots(1);
+  return p;
+}
+
+struct EngineRun {
+  simt::KernelReport rep;
+  std::vector<double> out;
+};
+
+EngineRun run_engine(simt::Engine eng, const arch::GpuArch& arch,
+                     simt::ExecMode mode, bool bypass, bool rmw,
+                     int read_streams) {
+  static const ir::Program prog = everything_program();
+  std::vector<double> in, out;
+  Vec3 padded;
+  simt::Kernel k = make_kernel(prog, {2, 2, 2}, in, out, padded);
+  k.bypass_l2_unaligned_vloads = bypass;
+  k.streaming_stores = !rmw;
+  k.read_streams = read_streams;
+  k.shuffle_cost_mult = 1.5;
+  k.extra_cycles_per_load = 2.0;
+  if (mode == simt::ExecMode::CountersOnly)
+    for (auto& g : k.grids) g.data = nullptr;
+  simt::Machine m(arch);
+  return {m.run(k, mode, eng), std::move(out)};
+}
+
+class ExecPlanMachine
+    : public testing::TestWithParam<std::tuple<simt::ExecMode, bool, bool>> {};
+
+TEST_P(ExecPlanMachine, ReportsBitIdenticalToInterp) {
+  const auto [mode, bypass, rmw] = GetParam();
+  for (const arch::GpuArch& base :
+       {arch::make_a100(), arch::make_mi250x_gcd(), arch::make_pvc_stack()}) {
+    arch::GpuArch arch = base;
+    arch.num_cores = 4;
+    const auto plan = run_engine(simt::Engine::Plan, arch, mode, bypass, rmw,
+                                 /*read_streams=*/2);
+    const auto interp = run_engine(simt::Engine::Interp, arch, mode, bypass,
+                                   rmw, /*read_streams=*/2);
+    EXPECT_TRUE(plan.rep == interp.rep) << arch.name;
+    EXPECT_EQ(plan.out, interp.out) << arch.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndQuirks, ExecPlanMachine,
+    testing::Combine(testing::Values(simt::ExecMode::Functional,
+                                     simt::ExecMode::CountersOnly),
+                     testing::Bool(),   // bypass_l2_unaligned_vloads
+                     testing::Bool()),  // rmw stores
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param) == simt::ExecMode::Functional
+                          ? "functional"
+                          : "counters";
+      if (std::get<1>(info.param)) s += "_bypass";
+      if (std::get<2>(info.param)) s += "_rmw";
+      return s;
+    });
+
+TEST(ExecPlanMachine, ValidatesKernelShapeLikeInterp) {
+  ir::Program p(8);
+  p.store(p.load(aref(0, 0)), aref(1, 0));
+  std::vector<double> in, out;
+  Vec3 padded;
+  for (const auto eng : {simt::Engine::Plan, simt::Engine::Interp}) {
+    simt::Machine m(arch::make_a100());
+    simt::Kernel bad_tile = make_kernel(p, {1, 1, 1}, in, out, padded);
+    bad_tile.tile.i = 12;  // not a multiple of W=8
+    EXPECT_THROW(m.run(bad_tile, simt::ExecMode::CountersOnly, eng), Error);
+
+    simt::Kernel no_prog = make_kernel(p, {1, 1, 1}, in, out, padded);
+    no_prog.program = nullptr;
+    EXPECT_THROW(m.run(no_prog, simt::ExecMode::CountersOnly, eng), Error);
+
+    simt::Kernel no_grids = make_kernel(p, {1, 1, 1}, in, out, padded);
+    no_grids.grids.clear();
+    EXPECT_THROW(m.run(no_grids, simt::ExecMode::CountersOnly, eng), Error);
+  }
+}
+
+// --- Launcher-level equivalence over the paper catalog ----------------------
+
+class ExecPlanCatalog : public testing::TestWithParam<std::string> {};
+
+TEST_P(ExecPlanCatalog, CountersBitIdenticalAcrossCatalog) {
+  // Every (stencil, variant) of this platform at 64^3, counters-only: the
+  // full production path (codegen -> regalloc -> binding -> machine) must
+  // produce field-identical reports under both engines.
+  const auto platforms = model::paper_platforms();
+  const model::Platform* pf = nullptr;
+  for (const auto& p : platforms)
+    if (p.label() == GetParam()) pf = &p;
+  ASSERT_NE(pf, nullptr);
+
+  model::Launcher plan({64, 64, 64}), interp({64, 64, 64});
+  plan.set_engine(simt::Engine::Plan);
+  interp.set_engine(simt::Engine::Interp);
+  for (const auto& st : dsl::Stencil::paper_catalog()) {
+    for (const auto v :
+         {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen}) {
+      const auto a = plan.run(st, v, *pf);
+      const auto b = interp.run(st, v, *pf);
+      EXPECT_TRUE(a.report == b.report)
+          << st.name() << " " << codegen::variant_name(v);
+      EXPECT_EQ(a.normalized_flops, b.normalized_flops) << st.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPlatforms, ExecPlanCatalog,
+    testing::ValuesIn([] {
+      std::vector<std::string> labels;
+      for (const auto& p : model::paper_platforms())
+        labels.push_back(p.label());
+      return labels;
+    }()),
+    [](const auto& info) {
+      std::string s = info.param;
+      for (char& c : s)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+TEST(ExecPlanCatalog, FunctionalOutputsBitIdentical) {
+  // Functional runs must agree on the output grid values exactly, not just
+  // the counters: same arithmetic, same evaluation order.
+  const auto st = dsl::Stencil::paper_catalog()[1];  // 13pt star, radius 2
+  const Vec3 ghost{st.radius(), st.radius(), st.radius()};
+  for (const auto& pf : model::paper_platforms()) {
+    const Vec3 domain{2 * pf.gpu.simd_width, 8, 8};
+    for (const auto v :
+         {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen}) {
+      HostGrid in(domain, ghost);
+      SplitMix64 rng(23);
+      in.fill_random(rng);
+      HostGrid out_plan(domain, {0, 0, 0}), out_interp(domain, {0, 0, 0});
+      model::Launcher plan(domain), interp(domain);
+      plan.set_engine(simt::Engine::Plan);
+      interp.set_engine(simt::Engine::Interp);
+      const auto a = plan.run_functional(st, v, pf, in, out_plan);
+      const auto b = interp.run_functional(st, v, pf, in, out_interp);
+      EXPECT_TRUE(a.report == b.report)
+          << pf.label() << " " << codegen::variant_name(v);
+      for (int k = 0; k < domain.k; ++k)
+        for (int j = 0; j < domain.j; ++j)
+          for (int i = 0; i < domain.i; ++i)
+            ASSERT_EQ(out_plan.at(i, j, k), out_interp.at(i, j, k))
+                << pf.label() << " " << codegen::variant_name(v) << " ("
+                << i << "," << j << "," << k << ")";
+    }
+  }
+}
+
+// --- Sweep-level equivalence (engines x jobs) -------------------------------
+
+TEST(ExecPlanSweep, MeasurementsBitIdenticalAcrossEnginesAndJobs) {
+  harness::SweepConfig base;
+  base.domain = {64, 64, 64};
+  base.platforms = {model::paper_platforms()[0]};
+  base.check_mode = analysis::CheckMode::Off;
+
+  harness::SweepConfig plan1 = base, plan8 = base, interp1 = base;
+  plan1.jobs = 1;
+  plan8.jobs = 8;
+  interp1.jobs = 1;
+  interp1.engine = simt::Engine::Interp;
+
+  const auto a = harness::run_sweep(plan1);
+  const auto b = harness::run_sweep(plan8);
+  const auto c = harness::run_sweep(interp1);
+  ASSERT_EQ(a.measurements.size(), b.measurements.size());
+  ASSERT_EQ(a.measurements.size(), c.measurements.size());
+  for (std::size_t n = 0; n < a.measurements.size(); ++n) {
+    EXPECT_TRUE(a.measurements[n] == b.measurements[n])
+        << a.measurements[n].stencil << " " << a.measurements[n].variant
+        << " (jobs 1 vs 8)";
+    EXPECT_TRUE(a.measurements[n] == c.measurements[n])
+        << a.measurements[n].stencil << " " << a.measurements[n].variant
+        << " (plan vs interp)";
+  }
+}
+
+}  // namespace
+}  // namespace bricksim

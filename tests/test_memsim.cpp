@@ -203,6 +203,124 @@ TEST(Hierarchy, ResetClearsStateAndCounters) {
   EXPECT_TRUE(s.dram_touch);  // cold again
 }
 
+TEST(SetAssocCache, LruEvictionOrderFollowsRecency) {
+  // 4 ways of set 0 filled in order 0,4,8,12 (with 4 sets: lines n*4),
+  // then re-touched in the order 8,0,12,4 -- so the eviction order of
+  // successive conflict misses must be 8,0,12,4 (oldest stamp first).
+  SetAssocCache c(tiny_cache(16, 4));
+  const auto sets = c.num_sets();
+  ASSERT_EQ(sets, 4u);
+  for (std::uint64_t w = 0; w < 4; ++w) c.access(w * sets, false);
+  const std::uint64_t order[] = {2 * sets, 0 * sets, 3 * sets, 1 * sets};
+  for (const std::uint64_t ln : order) EXPECT_TRUE(c.access(ln, false).hit);
+  std::uint64_t next_conflict = 4 * sets;
+  for (const std::uint64_t victim : order) {
+    c.access(next_conflict, false);
+    next_conflict += sets;
+    EXPECT_FALSE(c.probe(victim)) << "line " << victim;
+  }
+}
+
+TEST(SetAssocCache, InstallDirtyEvictionWritesBackDirtyVictim) {
+  // Set 0 full of dirty lines; a streaming install into the same set must
+  // evict the LRU one and report it as a writeback.
+  SetAssocCache c(tiny_cache(8, 2));
+  const auto sets = c.num_sets();
+  c.access(0 * sets, true);
+  c.access(1 * sets, true);
+  EXPECT_EQ(c.dirty_lines(), 2u);
+  auto r = c.install_dirty(2 * sets);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.wb_line, 0u * sets);
+  // Victim's dirty bit left with it: still 2 dirty residents (1,2).
+  EXPECT_EQ(c.dirty_lines(), 2u);
+}
+
+TEST(SetAssocCache, TouchRefreshesRecencyWithoutAllocating) {
+  SetAssocCache c(tiny_cache(8, 2));
+  const auto sets = c.num_sets();
+  EXPECT_FALSE(c.touch(0));  // absent: no allocation
+  EXPECT_FALSE(c.probe(0));
+  c.access(0 * sets, false);
+  c.access(1 * sets, false);
+  EXPECT_TRUE(c.touch(0));  // line 0 is now MRU...
+  c.access(2 * sets, false);
+  EXPECT_TRUE(c.probe(0));  // ...so the conflict miss evicted line 1*sets
+  EXPECT_FALSE(c.probe(1 * sets));
+}
+
+TEST(SetAssocCache, NonPowerOfTwoSetCount) {
+  // 3 sets x 2 ways: exercises the fastmod set-index path (the A100's L1
+  // and L2 set counts are not powers of two either).
+  SetAssocCache c(tiny_cache(6, 2));
+  ASSERT_EQ(c.num_sets(), 3u);
+  // Lines 0, 3, 6 collide in set 0; 1 and 2 land elsewhere untouched.
+  c.access(0, false);
+  c.access(3, false);
+  c.access(1, false);
+  c.access(2, false);
+  EXPECT_TRUE(c.access(0, false).hit);
+  c.access(6, false);  // evicts 3 (LRU of set 0)
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(3));
+  EXPECT_TRUE(c.probe(1));
+  EXPECT_TRUE(c.probe(2));
+}
+
+TEST(SetAssocCache, SetIndexExactForHugeLineAddresses) {
+  // Line addresses above 2^32 take the division fallback; they must land in
+  // the same set as their modular equivalents.
+  SetAssocCache c(tiny_cache(6, 2));
+  const std::uint64_t big = (1ull << 33) * 3;  // == 0 mod 3
+  c.access(big, false);
+  c.access(big + 3, false);
+  EXPECT_TRUE(c.access(big, false).hit);  // big is now MRU
+  c.access(0, false);  // third line of set 0: evicts `big + 3` (LRU)
+  EXPECT_TRUE(c.probe(big));
+  EXPECT_FALSE(c.probe(big + 3));
+  EXPECT_TRUE(c.probe(0));
+}
+
+TEST(Hierarchy, UnalignedStoreSplitsStreamingAndRmwLines) {
+  // 128B lines; a 256B store at offset +32 covers: line 0 partially (RMW
+  // fill from HBM), line 1 fully (streaming install, no fill), line 2
+  // partially (RMW fill).
+  MemoryHierarchy h(small_arch());
+  auto s = h.access(0, 32, 256, true);
+  EXPECT_EQ(s.lines, 3);
+  EXPECT_TRUE(s.dram_touch);
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 2u * 128);  // two RMW fills
+  EXPECT_EQ(h.traffic().l2_write_bytes, 3u * 128);
+}
+
+TEST(Hierarchy, AlignedFullLineStoreTakesStreamingPathForAllLines) {
+  MemoryHierarchy h(small_arch());
+  auto s = h.access(0, 0, 256, true);  // two aligned full lines
+  EXPECT_EQ(s.lines, 2);
+  EXPECT_TRUE(s.dram_touch);
+  EXPECT_EQ(h.traffic().hbm_read_bytes, 0u);  // no RMW fills at all
+  EXPECT_EQ(h.traffic().l2_write_bytes, 2u * 128);
+  h.flush_l2();
+  EXPECT_EQ(h.traffic().hbm_write_bytes, 2u * 128);
+}
+
+TEST(Hierarchy, StoreTouchKeepsResidentLineWarmInL1) {
+  // A store to a line resident in L1 refreshes its recency (write-through
+  // touch), so a later conflict evicts the colder line instead.
+  MemoryHierarchy h(small_arch());
+  const std::uint64_t set_stride = 4u * 1024 / 4;  // L1: 4KiB, 4-way, 128B
+  h.access(0, 0, 128, false);
+  h.access(0, set_stride, 128, false);
+  h.access(0, 2 * set_stride, 128, false);
+  h.access(0, 3 * set_stride, 128, false);  // set 0 of L1 is now full
+  h.access(0, 0, 128, true);                // store touch: line 0 MRU
+  h.access(0, 4 * set_stride, 128, false);  // conflict miss
+  const auto before = h.traffic().l1_hits;
+  h.access(0, 0, 128, false);
+  EXPECT_EQ(h.traffic().l1_hits, before + 1);  // line 0 survived
+}
+
 TEST(Traffic, Accumulation) {
   Traffic a, b;
   a.hbm_read_bytes = 10;

@@ -254,6 +254,47 @@ TEST(Machine, RmwStoresAddReadTraffic) {
   EXPECT_EQ(a.traffic.hbm_write_bytes, b.traffic.hbm_write_bytes);
 }
 
+TEST(Machine, PageLocalityCountsDistinctRowsOncePerBlock) {
+  // One block loads the SAME logical row twice (di=0 and di=8: two distinct
+  // 64B lines, both compulsory DRAM misses) and streams one output row.
+  // The page-locality model must count 2 distinct activation granules per
+  // block -- the input row deduplicated to one, plus the output row -- not
+  // 3, under both engines.
+  ir::Program p(8);
+  const int lo = p.load(aref(0, 0));
+  const int hi = p.load(aref(0, 8));
+  p.store(p.add(lo, hi), aref(1, 0));
+  for (const auto eng : {Engine::Plan, Engine::Interp}) {
+    Harness base({1, 1, 1}, p), charged({1, 1, 1}, p);
+    base.kernel.read_streams = 2;
+    charged.kernel.read_streams = 2;
+    arch::GpuArch a0 = test_arch(), a100b = test_arch();
+    a100b.page_open_bytes = 100;
+    Machine m0(a0), m1(a100b);
+    const auto rep0 = m0.run(base.kernel, ExecMode::CountersOnly, eng);
+    const auto rep1 = m1.run(charged.kernel, ExecMode::CountersOnly, eng);
+    EXPECT_EQ(rep1.traffic.hbm_read_bytes - rep0.traffic.hbm_read_bytes,
+              2u * 100)
+        << (eng == Engine::Plan ? "plan" : "interp");
+  }
+}
+
+TEST(Machine, PageLocalityExemptsSingleStreamKernels) {
+  ir::Program p(8);
+  p.store(p.load(aref(0, 0)), aref(1, 0));
+  arch::GpuArch a = test_arch();
+  a.page_open_bytes = 100;
+  for (const auto eng : {Engine::Plan, Engine::Interp}) {
+    Harness single({1, 1, 1}, p), multi({1, 1, 1}, p);
+    single.kernel.read_streams = 1;
+    multi.kernel.read_streams = 2;
+    Machine m1(a), m2(a);
+    const auto s = m1.run(single.kernel, ExecMode::CountersOnly, eng);
+    const auto m = m2.run(multi.kernel, ExecMode::CountersOnly, eng);
+    EXPECT_EQ(m.traffic.hbm_read_bytes - s.traffic.hbm_read_bytes, 2u * 100);
+  }
+}
+
 TEST(Machine, ValidatesKernelShape) {
   ir::Program p(8);
   p.store(p.zero(), aref(1, 0));
