@@ -1,86 +1,9 @@
-// Brick-shape autotuning sweep (the paper's conclusion: "one way to achieve
-// this speedup is by changing the size of the brick which would expose more
-// vector parallelism, amortize shuffling, and potentially improve data
-// locality for a specific stencil on an architecture").
-//
-// For each metric platform and stencil, sweeps candidate (tile_j, tile_k)
-// brick shapes with bricks codegen and reports every candidate plus the
-// winner versus the paper's default 4 x 4.
-//
-// Flags: --n <extent> (default 128; must be a multiple of 8 and of every
-// platform vector width -- multiples of 64 qualify); --jobs=N tunes the
-// (platform, stencil) pairs on N workers with output identical to serial.
-#include <iostream>
-#include <mutex>
-#include <vector>
-
-#include "common/table.h"
-#include "common/threadpool.h"
-#include "harness/autotune.h"
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run ablation_brickshape`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  using namespace bricksim;
-  auto config = harness::sweep_config_from_cli(argc, argv, /*default_n=*/128);
-
-  std::cout << "Brick-shape autotuning, bricks codegen (domain "
-            << config.domain.i << "^3).\n\n";
-
-  // Each (platform, stencil) tuning run is independent; workers fill the
-  // row slot of the pair they claimed, so the table order never changes.
-  const auto platforms = model::metric_platforms();
-  const auto stencils = dsl::Stencil::paper_catalog();
-  struct Pair {
-    const model::Platform* pf;
-    const dsl::Stencil* st;
-  };
-  std::vector<Pair> pairs;
-  for (const auto& pf : platforms)
-    for (const auto& st : stencils) pairs.push_back({&pf, &st});
-
-  std::vector<std::vector<std::string>> rows(pairs.size());
-  std::mutex progress_mu;
-  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
-  parallel_for(jobs, static_cast<long>(pairs.size()), [&](long n) {
-    const auto& [pf, st] = pairs[static_cast<std::size_t>(n)];
-    if (config.progress) {
-      std::lock_guard<std::mutex> lock(progress_mu);
-      std::cerr << "[tune] " << pf->label() << " " << st->name() << "\n";
-    }
-    const auto tuned = harness::autotune_brick_shape(
-        *st, codegen::Variant::BricksCodegen, *pf, config.domain);
-    double base_gflops = 0;
-    for (const auto& e : tuned.entries)
-      if (e.tile_j == 4 && e.tile_k == 4 && e.tile_i_vectors == 1)
-        base_gflops = e.gflops;
-    rows[static_cast<std::size_t>(n)] = {
-        pf->label(), st->name(),
-        std::to_string(tuned.best.tile_j) + "x" +
-            std::to_string(tuned.best.tile_k) + "x" +
-            std::to_string(tuned.best.tile_i_vectors * pf->gpu.simd_width),
-        Table::fmt(tuned.best.gflops, 1), Table::fmt(base_gflops, 1),
-        Table::fmt(base_gflops > 0 ? tuned.best.gflops / base_gflops : 0,
-                   2) +
-            "x"};
-  });
-
-  Table summary({"Platform", "Stencil", "best shape", "best GFLOP/s",
-                 "4x4 GFLOP/s", "speedup vs 4x4"});
-  for (auto& row : rows) summary.add_row(std::move(row));
-  harness::print_table(std::cout, summary, config.csv);
-
-  // Detail for one representative case: the 125pt stencil on the A100.
-  const auto pf = model::metric_platforms().front();
-  const auto detail = harness::autotune_brick_shape(
-      dsl::Stencil::cube(2), codegen::Variant::BricksCodegen, pf,
-      config.domain);
-  std::cout << "\nDetail: 125pt on " << pf.label() << "\n";
-  Table t({"shape", "GFLOP/s", "AI (F/B)", "spill slots", "aligns/block"});
-  for (const auto& e : detail.entries)
-    t.add_row({std::to_string(e.tile_j) + "x" + std::to_string(e.tile_k) +
-                   "x" + std::to_string(e.tile_i_vectors * 32),
-               Table::fmt(e.gflops, 1), Table::fmt(e.ai, 3),
-               std::to_string(e.spill_slots), std::to_string(e.aligns)});
-  harness::print_table(std::cout, t, config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("ablation_brickshape", argc, argv);
 }

@@ -1,103 +1,9 @@
-// Ablation of the vector code generator's optimisations (DESIGN.md calls
-// these out): starting from full bricks codegen, individually disable
-//   * load CSE ("reuse of array common subexpressions"),
-//   * vector scatter (force gather for the cube stencils),
-// and force scatter where the heuristic picks gather, then compare against
-// the naive array baseline.  Shows where each of the paper's Section 3
-// optimisations earns its keep (instruction counts, spills, L1 bytes, time).
-//
-// Flags: --n <extent> (default 256: the MI250X wave-64 bricks need a few
-// interior bricks along i for ghost-layer effects to be representative);
-// --jobs=N runs the ablation points on N workers, output identical to
-// serial.
-#include <iostream>
-#include <mutex>
-#include <vector>
-
-#include "common/table.h"
-#include "common/threadpool.h"
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run ablation_codegen`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  using namespace bricksim;
-  auto config = harness::sweep_config_from_cli(argc, argv, /*default_n=*/256);
-
-  struct Config {
-    const char* name;
-    codegen::Variant variant;
-    codegen::Options opts;
-  };
-  codegen::Options no_cse;
-  no_cse.enable_cse = false;
-  codegen::Options gather;
-  gather.force_gather = true;
-  codegen::Options scatter;
-  scatter.force_scatter = true;
-  codegen::Options gather_sched;
-  gather_sched.force_gather = true;
-  gather_sched.reorder_for_pressure = true;
-  const Config configs[] = {
-      {"array (naive baseline)", codegen::Variant::Array, {}},
-      {"bricks codegen", codegen::Variant::BricksCodegen, {}},
-      {"bricks codegen, no CSE", codegen::Variant::BricksCodegen, no_cse},
-      {"bricks codegen, force gather", codegen::Variant::BricksCodegen,
-       gather},
-      {"bricks codegen, gather + reorder [44]",
-       codegen::Variant::BricksCodegen, gather_sched},
-      {"bricks codegen, force scatter", codegen::Variant::BricksCodegen,
-       scatter},
-  };
-
-  const model::Launcher launcher(config.domain);
-  const auto platforms = model::metric_platforms();
-
-  std::cout << "Codegen ablation (domain " << config.domain.i << "^3).\n\n";
-
-  // Flatten (platform, stencil, config), launch in parallel into one row
-  // slot each, then assemble the per-platform tables in canonical order.
-  const std::vector<model::Platform> pfs = {platforms[0], platforms[2],
-                                            platforms[4]};
-  const std::vector<dsl::Stencil> sts = {dsl::Stencil::star(2),
-                                         dsl::Stencil::cube(2)};
-  struct Item {
-    std::size_t pf;
-    const dsl::Stencil* st;
-    const Config* c;
-  };
-  std::vector<Item> items;
-  for (std::size_t p = 0; p < pfs.size(); ++p)
-    for (const auto& st : sts)
-      for (const Config& c : configs) items.push_back({p, &st, &c});
-
-  std::vector<std::vector<std::string>> rows(items.size());
-  std::mutex progress_mu;
-  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
-  parallel_for(jobs, static_cast<long>(items.size()), [&](long n) {
-    const Item& it = items[static_cast<std::size_t>(n)];
-    if (config.progress) {
-      std::lock_guard<std::mutex> lock(progress_mu);
-      std::cerr << "[ablation] " << pfs[it.pf].label() << " "
-                << it.st->name() << " " << it.c->name << "\n";
-    }
-    const model::LaunchResult r =
-        launcher.run(*it.st, it.c->variant, pfs[it.pf], it.c->opts);
-    rows[static_cast<std::size_t>(n)] = {
-        it.st->name(), it.c->name, Table::fmt(r.normalized_gflops(), 1),
-        Table::fmt(r.normalized_ai(), 3),
-        Table::fmt(r.report.traffic.l1_total() / 1e9, 2),
-        std::to_string(r.spill_slots),
-        r.used_scatter ? "scatter" : "gather"};
-  });
-
-  std::size_t n = 0;
-  for (std::size_t p = 0; p < pfs.size(); ++p) {
-    Table t({"Stencil", "Configuration", "GFLOP/s", "AI (F/B)", "L1 GB",
-             "spills", "mode"});
-    for (std::size_t r = 0; r < sts.size() * std::size(configs); ++r)
-      t.add_row(std::move(rows[n++]));
-    std::cout << pfs[p].label() << ":\n";
-    harness::print_table(std::cout, t, config.csv);
-    std::cout << "\n";
-  }
-  return 0;
+  return bricksim::harness::run_legacy_shim("ablation_codegen", argc, argv);
 }

@@ -1,65 +1,9 @@
-// CPU extension: the cross-CPU/GPU portability experiment of the paper's
-// reference [65] ("Delivering Performance-Portable Stencil Computations on
-// CPUs and GPUs Using Bricks", P3HPC'18), which demonstrated BrickLib on
-// Intel KNL, Intel Skylake and an NVIDIA GPU.  The same generated kernels
-// run here on the two simulated CPUs (OpenMP backend: a warp is one AVX-512
-// register, VAlign is valignq) and the A100, and the Pennycook metric is
-// computed across the combined CPU+GPU set.
-//
-// Flags: --n <extent> (default 128; the CPU vector width of 8 keeps even
-// small domains many bricks wide).
-#include <iostream>
-
-#include "common/table.h"
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run cpu_crossplatform`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  using namespace bricksim;
-  auto config = harness::sweep_config_from_cli(argc, argv, /*default_n=*/128);
-
-  std::vector<model::Platform> platforms = model::cpu_platforms();
-  platforms.push_back(model::paper_platforms().front());  // A100/CUDA
-  config.platforms = platforms;
-  config.variants = {codegen::Variant::BricksCodegen};
-
-  std::cout << "CPU+GPU cross-platform portability, bricks codegen (domain "
-            << config.domain.i << "^3).\n\n";
-  const auto sweep = harness::run_sweep(config);
-
-  std::vector<std::string> header{"Stencil"};
-  for (const auto& pf : platforms) header.push_back(pf.label());
-  header.push_back("P");
-  Table t(header);
-
-  std::vector<double> all_p;
-  for (const auto& st : config.stencils) {
-    std::vector<std::string> row{st.name()};
-    std::vector<double> effs;
-    for (const auto& pf : platforms) {
-      const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
-      const double e =
-          m ? metrics::fraction_of_roofline(
-                  sweep.rooflines.at(pf.label()).roofline, *m)
-            : 0;
-      effs.push_back(e);
-      row.push_back(Table::pct(e));
-    }
-    const double p = metrics::pennycook_p(effs);
-    all_p.push_back(p);
-    row.push_back(Table::pct(p));
-    t.add_row(std::move(row));
-  }
-  t.print(std::cout);
-  std::cout << "\nGFLOP/s for scale (bricks codegen):\n";
-  Table g({"Stencil", "SKX", "KNL", "A100"});
-  for (const auto& st : config.stencils) {
-    std::vector<std::string> row{st.name()};
-    for (const auto& pf : platforms) {
-      const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
-      row.push_back(Table::fmt(m ? m->gflops : 0, 1));
-    }
-    g.add_row(std::move(row));
-  }
-  g.print(std::cout);
-  return 0;
+  return bricksim::harness::run_legacy_shim("cpu_crossplatform", argc, argv);
 }

@@ -1,21 +1,9 @@
-// Regenerates paper Figure 3 (long form): the Roofline position (AI,
-// GFLOP/s, fraction of the empirical Roofline) of every stencil x variant
-// on every (architecture, programming model) platform.
-//
-// Flags: --n <extent> (default 256; paper uses 512), --progress.
-#include <iostream>
-
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run fig3`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  std::cout << "Figure 3: Roofline for stencil computations per platform "
-               "(domain " << config.domain.i << "^3).\n\n";
-  const auto sweep = bricksim::harness::run_sweep(config);
-  bricksim::harness::print_table(std::cout, bricksim::harness::make_fig3(sweep), config.csv);
-  std::cout << "\nbrickcheck (pre-launch static verification, --check="
-            << bricksim::analysis::check_mode_name(config.check_mode) << "):\n";
-  bricksim::harness::print_table(
-      std::cout, bricksim::harness::make_check_summary(sweep), config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("fig3", argc, argv);
 }

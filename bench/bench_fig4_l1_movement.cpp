@@ -1,15 +1,9 @@
-// Regenerates paper Figure 4: L1 data movement per stencil/variant/platform.
-// The headline claim: the naive array kernel moves >= 10x the L1 bytes of
-// the vector-codegen variants, and bricks codegen is the most L1-efficient.
-#include <iostream>
-
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run fig4`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  std::cout << "Figure 4: L1 data movement (lower is better; domain "
-            << config.domain.i << "^3).\n\n";
-  const auto sweep = bricksim::harness::run_sweep(config);
-  bricksim::harness::print_table(std::cout, bricksim::harness::make_fig4(sweep), config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("fig4", argc, argv);
 }

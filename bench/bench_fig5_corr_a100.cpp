@@ -1,24 +1,9 @@
-// Regenerates paper Figure 5: performance (left) and bytes-accessed (right)
-// correlation between CUDA and SYCL on the NVIDIA A100.
-#include <iostream>
-
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run fig5`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  // Only the two A100 programming models are needed.
-  std::vector<bricksim::model::Platform> keep;
-  for (const auto& pf : config.platforms)
-    if (pf.label() == "A100/CUDA" || pf.label() == "A100/SYCL")
-      keep.push_back(pf);
-  config.platforms = keep;
-
-  const auto sweep = bricksim::harness::run_sweep(config);
-  const auto corr = bricksim::harness::make_fig5(sweep);
-  std::cout << "Figure 5 (left): performance correlation, CUDA vs SYCL on "
-               "A100 (domain " << config.domain.i << "^3).\n\n";
-  bricksim::harness::print_table(std::cout, corr.perf, config.csv);
-  std::cout << "\nFigure 5 (right): bytes accessed, CUDA vs SYCL on A100.\n\n";
-  bricksim::harness::print_table(std::cout, corr.bytes, config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("fig5", argc, argv);
 }

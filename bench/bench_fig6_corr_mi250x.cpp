@@ -1,27 +1,9 @@
-// Regenerates paper Figure 6: performance (left) and bytes-accessed (right)
-// correlation between HIP and SYCL on one MI250X GCD.  The signature
-// feature: `array codegen` under HIP moves an anomalously large number of
-// bytes (>10 GB at 512^3) while every other HIP kernel sits near the
-// compulsory-traffic bound.
-#include <iostream>
-
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run fig6`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  std::vector<bricksim::model::Platform> keep;
-  for (const auto& pf : config.platforms)
-    if (pf.label() == "MI250X-GCD/HIP" || pf.label() == "MI250X-GCD/SYCL")
-      keep.push_back(pf);
-  config.platforms = keep;
-
-  const auto sweep = bricksim::harness::run_sweep(config);
-  const auto corr = bricksim::harness::make_fig6(sweep);
-  std::cout << "Figure 6 (left): performance correlation, HIP vs SYCL on "
-               "MI250X GCD (domain " << config.domain.i << "^3).\n\n";
-  bricksim::harness::print_table(std::cout, corr.perf, config.csv);
-  std::cout << "\nFigure 6 (right): bytes accessed, HIP vs SYCL on MI250X "
-               "GCD.\n\n";
-  bricksim::harness::print_table(std::cout, corr.bytes, config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("fig6", argc, argv);
 }

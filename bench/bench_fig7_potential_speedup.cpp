@@ -1,17 +1,9 @@
-// Regenerates paper Figure 7: the potential-speedup plot for bricks codegen.
-// x = fraction of theoretical AI, y = fraction of the Roofline; iso-curves
-// x*y = 1/s are a constant potential speedup s from any mix of improved
-// data locality and improved code generation / bandwidth.
-#include <iostream>
-
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run fig7`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  config.variants = {bricksim::codegen::Variant::BricksCodegen};
-  const auto sweep = bricksim::harness::run_sweep(config);
-  std::cout << "Figure 7: potential speed-up for bricks codegen (domain "
-            << config.domain.i << "^3).\n\n";
-  bricksim::harness::print_table(std::cout, bricksim::harness::make_fig7(sweep), config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("fig7", argc, argv);
 }

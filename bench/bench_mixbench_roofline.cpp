@@ -1,48 +1,9 @@
-// Regenerates the paper's methodology step of deriving empirical Rooflines
-// with the mixbench microbenchmark (Section 4.4): a sweep of synthetic
-// kernels with controlled FLOP:byte ratio per (architecture, model), whose
-// plateaus become the bandwidth and FP64 ceilings used in Figure 3 and
-// Table 3.
-//
-// Flags: the shared bench CLI; --jobs=N runs the per-platform sweeps on N
-// workers (each platform's sweep is independent, so output is identical
-// for every job count).
-#include <iostream>
-#include <vector>
-
-#include "common/table.h"
-#include "common/threadpool.h"
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run mixbench`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  using bricksim::Table;
-  const auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  std::cout << "Mixbench-derived empirical Rooflines per platform.\n\n";
-
-  const auto platforms = bricksim::model::paper_platforms();
-  std::vector<bricksim::roofline::EmpiricalRoofline> emp(platforms.size());
-  const int jobs =
-      config.jobs > 0 ? config.jobs : bricksim::default_jobs();
-  bricksim::parallel_for(
-      jobs, static_cast<long>(platforms.size()), [&](long n) {
-        emp[n] = bricksim::roofline::mixbench(platforms[n], {128, 128, 128});
-      });
-
-  for (std::size_t n = 0; n < platforms.size(); ++n) {
-    const auto& pf = platforms[n];
-    const auto theo = bricksim::roofline::theoretical_roofline(pf.gpu);
-    std::cout << pf.label() << ": empirical "
-              << Table::fmt(emp[n].roofline.peak_bw / 1e9, 0) << " GB/s, "
-              << Table::fmt(emp[n].roofline.peak_flops / 1e12, 2)
-              << " TFLOP/s (theoretical "
-              << Table::fmt(theo.peak_bw / 1e9, 0) << " GB/s, "
-              << Table::fmt(theo.peak_flops / 1e12, 2) << " TFLOP/s)\n";
-    Table t({"nominal AI", "measured AI", "GFLOP/s", "GB/s"});
-    for (const auto& p : emp[n].points)
-      t.add_row({Table::fmt(p.nominal_ai, 2), Table::fmt(p.measured_ai, 2),
-                 Table::fmt(p.gflops, 1), Table::fmt(p.gbytes_per_sec, 0)});
-    bricksim::harness::print_table(std::cout, t, config.csv);
-    std::cout << "\n";
-  }
-  return 0;
+  return bricksim::harness::run_legacy_shim("mixbench", argc, argv);
 }

@@ -1,62 +1,9 @@
-// PVC sub-group width study (paper Section 4.4): "for Intel PVC, where
-// there is a choice between 16 or 32, we use 16 because it achieves better
-// performance than 32."  This bench runs bricks codegen on the PVC stack at
-// both sub-group widths (brick = 4 x 4 x W follows the width) and compares.
-//
-// Flags: --n <extent> (default 192); --jobs=N runs the per-stencil pairs
-// on N workers, output identical to serial.
-#include <iostream>
-#include <vector>
-
-#include "common/table.h"
-#include "common/threadpool.h"
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run pvc_subgroup`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  using namespace bricksim;
-  auto config = harness::sweep_config_from_cli(argc, argv, /*default_n=*/192);
-
-  arch::GpuArch pvc16 = arch::make_pvc_stack();
-  arch::GpuArch pvc32 = arch::make_pvc_stack();
-  pvc32.simd_width = 32;
-  pvc32.name = "PVC-Stack-SG32";
-  const model::Platform p16{pvc16, model::model_for(model::PmKind::SYCL,
-                                                    pvc16)};
-  const model::Platform p32{pvc32, model::model_for(model::PmKind::SYCL,
-                                                    pvc32)};
-
-  const model::Launcher launcher(config.domain);
-  std::cout << "PVC sub-group width: 16 vs 32, bricks codegen (domain "
-            << config.domain.i << "^3).\n\n";
-  Table t({"Stencil", "SG16 GFLOP/s", "SG32 GFLOP/s", "SG16/SG32",
-           "SG16 AI", "SG32 AI"});
-  const auto stencils = dsl::Stencil::paper_catalog();
-  struct Slot {
-    model::LaunchResult a, b;
-  };
-  std::vector<Slot> slots(stencils.size());
-  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
-  parallel_for(jobs, static_cast<long>(stencils.size()), [&](long n) {
-    auto& s = slots[static_cast<std::size_t>(n)];
-    s.a = launcher.run(stencils[static_cast<std::size_t>(n)],
-                       codegen::Variant::BricksCodegen, p16);
-    s.b = launcher.run(stencils[static_cast<std::size_t>(n)],
-                       codegen::Variant::BricksCodegen, p32);
-  });
-  double better16 = 0, total = 0;
-  for (std::size_t n = 0; n < stencils.size(); ++n) {
-    const auto& st = stencils[n];
-    const double g16 = slots[n].a.normalized_gflops();
-    const double g32 = slots[n].b.normalized_gflops();
-    if (g16 > g32) ++better16;
-    ++total;
-    t.add_row({st.name(), Table::fmt(g16, 1), Table::fmt(g32, 1),
-               Table::fmt(g16 / g32, 2) + "x",
-               Table::fmt(slots[n].a.normalized_ai(), 3),
-               Table::fmt(slots[n].b.normalized_ai(), 3)});
-  }
-  harness::print_table(std::cout, t, config.csv);
-  std::cout << "\nSG16 wins " << better16 << "/" << total
-            << " stencils (the paper chose 16).\n";
-  return 0;
+  return bricksim::harness::run_legacy_shim("pvc_subgroup", argc, argv);
 }

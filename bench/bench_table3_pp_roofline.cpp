@@ -1,19 +1,9 @@
-// Regenerates paper Table 3: the Pennycook performance-portability metric P
-// for bricks codegen, with efficiency = fraction of the empirical Roofline
-// at the measured arithmetic intensity.  The paper reports P > 60% averaged
-// across all platforms and programming models, with 125pt the weakest row.
-#include <iostream>
-
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run table3`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  config.variants = {bricksim::codegen::Variant::BricksCodegen};
-  config.platforms = bricksim::model::metric_platforms();
-  const auto sweep = bricksim::harness::run_sweep(config);
-  std::cout << "Table 3: performance portability P from fraction of the "
-               "Roofline, bricks codegen (domain " << config.domain.i
-            << "^3).\n\n";
-  bricksim::harness::print_table(std::cout, bricksim::harness::make_table3(sweep), config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("table3", argc, argv);
 }

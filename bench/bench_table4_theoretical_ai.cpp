@@ -1,17 +1,9 @@
-// Regenerates paper Table 4: theoretical arithmetic intensity (FLOP:Byte)
-// for all stencil shapes and sizes, assuming compulsory-only data movement
-// (one 8-byte read + one 8-byte write per point).
-//
-// Uses the shared bench CLI (--csv; the sweep flags are accepted but this
-// table is static and runs no sweep).
-#include <iostream>
-
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run table4`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  const auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  std::cout << "Table 4: Theoretical arithmetic intensity (FLOP:Byte).\n\n";
-  bricksim::harness::print_table(std::cout, bricksim::harness::make_table4(),
-                                 config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("table4", argc, argv);
 }

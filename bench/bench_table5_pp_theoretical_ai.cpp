@@ -1,19 +1,9 @@
-// Regenerates paper Table 5: the Pennycook performance-portability metric P
-// for bricks codegen, with efficiency = fraction of THEORETICAL arithmetic
-// intensity (proximity of measured data movement to the compulsory-miss
-// bound of an infinite cache).  The paper reports ~70% average.
-#include <iostream>
-
-#include "harness/harness.h"
+// Deprecated alias for `bricksim run table5`: same registry emitter, so
+// stdout is byte-identical to the driver.  Kept one release; new callers
+// should use the driver, which shares one cached sweep across experiments
+// (see harness/registry.h and DESIGN.md "One driver").
+#include "harness/registry.h"
 
 int main(int argc, char** argv) {
-  auto config = bricksim::harness::sweep_config_from_cli(argc, argv);
-  config.variants = {bricksim::codegen::Variant::BricksCodegen};
-  config.platforms = bricksim::model::metric_platforms();
-  const auto sweep = bricksim::harness::run_sweep(config);
-  std::cout << "Table 5: performance portability P from fraction of "
-               "theoretical AI, bricks codegen (domain " << config.domain.i
-            << "^3).\n\n";
-  bricksim::harness::print_table(std::cout, bricksim::harness::make_table5(sweep), config.csv);
-  return 0;
+  return bricksim::harness::run_legacy_shim("table5", argc, argv);
 }

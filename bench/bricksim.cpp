@@ -1,0 +1,19 @@
+// The one experiment driver: `bricksim list | run <name...> | all`.
+//
+// Every paper table/figure is a registered experiment (harness/registry.h);
+// the driver materializes each experiment's sweep at most once per
+// fingerprint through the content-addressed cache and writes structured
+// artifacts (output.txt, tables.json, run_summary.json) under --out.
+#include <exception>
+#include <iostream>
+
+#include "harness/registry.h"
+
+int main(int argc, char** argv) {
+  try {
+    return bricksim::harness::driver_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bricksim: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -14,7 +14,15 @@
 #                                equivalence suite under
 #                                BRICKSIM_SANITIZE=thread
 #   5. parallel sweep smoke:     the fig3 sweep at --jobs > 1, both engines
-#   6. clang-tidy lint           (scripts/lint.sh; skipped when absent)
+#   6. driver verify:            `bricksim all` cold then warm -- the warm
+#                                run must replay entirely from the
+#                                content-addressed cache (zero sweeps
+#                                simulated, zero emitters run, asserted
+#                                from run_summary.json) with byte-identical
+#                                stdout and artifacts; then every legacy
+#                                bench_* binary is diffed byte-for-byte
+#                                against `bricksim run <name>`
+#   7. clang-tidy lint           (scripts/lint.sh; skipped when absent)
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  run only the brickcheck/ir/codegen test subset under the
@@ -26,12 +34,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/6] tier-1 verify (plain)"
+echo "==> [1/7] tier-1 verify (plain)"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/6] tier-1 verify (Release)"
+echo "==> [2/7] tier-1 verify (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -41,7 +49,7 @@ else
   ctest --test-dir build-release --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [3/6] tier-1 verify (ASan + UBSan)"
+echo "==> [3/7] tier-1 verify (ASan + UBSan)"
 cmake -B build-asan -S . -DBRICKSIM_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -51,17 +59,64 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [4/6] concurrency verify (TSan)"
+echo "==> [4/7] concurrency verify (TSan)"
 cmake -B build-tsan -S . -DBRICKSIM_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan'
 
-echo "==> [5/6] parallel sweep smoke (fig3 at --jobs 4, both engines)"
-./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null
-./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null
+echo "==> [5/7] parallel sweep smoke (fig3 at --jobs 4, both engines)"
+./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null 2> /dev/null
+./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null 2> /dev/null
 
-echo "==> [6/6] lint"
+echo "==> [6/7] driver verify (bricksim all cold/warm + legacy byte-diff)"
+CIDIR="$(mktemp -d)"
+trap 'rm -rf "$CIDIR"' EXIT
+BRICKSIM=./build/bench/bricksim
+
+# Cold: runs the sweeps, persists the cache, writes artifacts.
+"$BRICKSIM" all --n 128 --out "$CIDIR/cold" --cache-dir "$CIDIR/cache" \
+  > "$CIDIR/cold.stdout" 2> /dev/null
+
+# Warm: an unchanged fingerprint must replay everything from the cache --
+# zero sweeps simulated, zero emitters executed.
+"$BRICKSIM" all --n 128 --out "$CIDIR/warm" --cache-dir "$CIDIR/cache" \
+  > "$CIDIR/warm.stdout" 2> /dev/null
+grep -q '"sweeps_simulated": 0' "$CIDIR/warm/run_summary.json" \
+  || { echo "FAIL: warm bricksim all re-simulated a sweep"; exit 1; }
+grep -q '"experiments_emitted": 0' "$CIDIR/warm/run_summary.json" \
+  || { echo "FAIL: warm bricksim all re-ran an emitter"; exit 1; }
+cmp "$CIDIR/cold.stdout" "$CIDIR/warm.stdout" \
+  || { echo "FAIL: warm stdout differs from cold"; exit 1; }
+for exp in "$CIDIR"/cold/*/; do
+  name="$(basename "$exp")"
+  cmp "$exp/output.txt" "$CIDIR/warm/$name/output.txt" \
+    || { echo "FAIL: warm output.txt differs for $name"; exit 1; }
+done
+
+# Every deprecated alias binary must be byte-identical to the driver --
+# which, having a warm cache, also proves cached-replay fidelity against
+# a fresh simulation.
+for pair in table1:bench_table1_platforms table2:bench_table2_stencils \
+            table4:bench_table4_theoretical_ai fig3:bench_fig3_roofline \
+            fig4:bench_fig4_l1_movement fig5:bench_fig5_corr_a100 \
+            fig6:bench_fig6_corr_mi250x table3:bench_table3_pp_roofline \
+            table5:bench_table5_pp_theoretical_ai \
+            fig7:bench_fig7_potential_speedup \
+            mixbench:bench_mixbench_roofline \
+            ablation_codegen:bench_ablation_codegen \
+            ablation_brickshape:bench_ablation_brickshape \
+            cpu_crossplatform:bench_cpu_crossplatform \
+            pvc_subgroup:bench_pvc_subgroup; do
+  name="${pair%%:*}"; bin="${pair##*:}"
+  ./build/bench/"$bin" --n 128 > "$CIDIR/legacy.out" 2> /dev/null
+  "$BRICKSIM" run "$name" --n 128 --out "$CIDIR/run" \
+    --cache-dir "$CIDIR/cache" > "$CIDIR/driver.out" 2> /dev/null
+  cmp "$CIDIR/legacy.out" "$CIDIR/driver.out" \
+    || { echo "FAIL: $bin stdout differs from bricksim run $name"; exit 1; }
+done
+
+echo "==> [7/7] lint"
 scripts/lint.sh
 
 echo "==> CI green"

@@ -1,15 +1,13 @@
 #!/usr/bin/env bash
 # Regenerates every paper-scale (512^3) result referenced by EXPERIMENTS.md
-# into results/.  Sweeps run on all cores by default (the parallel sweep
-# executor; results are identical for every job count) -- pass JOBS=N to
-# pin the worker count.  Each bench also accepts --n 256 for a ~8x faster
-# sweep with the same shapes.
+# into results/ through the bricksim driver: one shared sweep feeds all
+# seven experiments (the legacy per-binary loop simulated it seven times),
+# and the content-addressed cache makes reruns free.  Pass JOBS=N to pin
+# the worker count; results are identical for every job count.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-mkdir -p results
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
-for b in fig3_roofline fig4_l1_movement fig5_corr_a100 fig6_corr_mi250x \
-         table3_pp_roofline table5_pp_theoretical_ai fig7_potential_speedup; do
-  echo "== bench_$b --n 512 --jobs $JOBS =="
-  ./build/bench/bench_$b --n 512 --jobs "$JOBS" | tee "results/${b}_n512.txt"
-done
+echo "== bricksim run fig3 fig4 fig5 fig6 table3 table5 fig7 --n 512 --jobs $JOBS =="
+./build/bench/bricksim run fig3 fig4 fig5 fig6 table3 table5 fig7 \
+  --n 512 --jobs "$JOBS" --progress --out results/paper_scale
+echo "== artifacts in results/paper_scale/<experiment>/ =="

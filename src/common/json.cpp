@@ -1,0 +1,414 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace bricksim::json {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v < 0 ? "-Infinity" : "Infinity";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  BRICKSIM_ASSERT(res.ec == std::errc(), "to_chars(double) cannot fail");
+  std::string s(buf, res.ptr);
+  // to_chars emits integral doubles without a decimal point ("3"), which a
+  // strict reader could take for an integer; that is fine here, as_double
+  // accepts either spelling.
+  return s;
+}
+
+double parse_double(const std::string& s) {
+  if (s == "NaN") return std::nan("");
+  if (s == "Infinity") return HUGE_VAL;
+  if (s == "-Infinity") return -HUGE_VAL;
+  double v = 0;
+  const char* b = s.data();
+  const char* e = s.data() + s.size();
+  const auto res = std::from_chars(b, e, v);
+  BRICKSIM_REQUIRE(res.ec == std::errc() && res.ptr == e,
+                   "malformed number: '" + s + "'");
+  return v;
+}
+
+bool Value::as_bool() const {
+  BRICKSIM_REQUIRE(kind_ == Kind::Bool, "JSON value is not a bool");
+  return bool_;
+}
+
+double Value::as_double() const {
+  BRICKSIM_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return parse_double(text_);
+}
+
+long Value::as_long() const {
+  BRICKSIM_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  long v = 0;
+  const char* b = text_.data();
+  const char* e = text_.data() + text_.size();
+  const auto res = std::from_chars(b, e, v);
+  BRICKSIM_REQUIRE(res.ec == std::errc() && res.ptr == e,
+                   "JSON number is not a long: '" + text_ + "'");
+  return v;
+}
+
+std::uint64_t Value::as_u64() const {
+  BRICKSIM_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  std::uint64_t v = 0;
+  const char* b = text_.data();
+  const char* e = text_.data() + text_.size();
+  const auto res = std::from_chars(b, e, v);
+  BRICKSIM_REQUIRE(res.ec == std::errc() && res.ptr == e,
+                   "JSON number is not a uint64: '" + text_ + "'");
+  return v;
+}
+
+const std::string& Value::as_string() const {
+  BRICKSIM_REQUIRE(kind_ == Kind::String, "JSON value is not a string");
+  return text_;
+}
+
+const std::string& Value::number_text() const {
+  BRICKSIM_REQUIRE(kind_ == Kind::Number, "JSON value is not a number");
+  return text_;
+}
+
+void Value::push_back(Value v) {
+  BRICKSIM_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::Array) return arr_.size();
+  if (kind_ == Kind::Object) return obj_.size();
+  BRICKSIM_REQUIRE(false, "JSON value has no size");
+  return 0;
+}
+
+const Value& Value::operator[](std::size_t i) const {
+  BRICKSIM_REQUIRE(kind_ == Kind::Array, "JSON value is not an array");
+  BRICKSIM_REQUIRE(i < arr_.size(), "JSON array index out of range");
+  return arr_[i];
+}
+
+Value& Value::operator[](const std::string& key) {
+  BRICKSIM_REQUIRE(kind_ == Kind::Object || kind_ == Kind::Null,
+                   "JSON value is not an object");
+  kind_ = Kind::Object;
+  for (auto& [k, v] : obj_)
+    if (k == key) return v;
+  obj_.emplace_back(key, Value());
+  return obj_.back().second;
+}
+
+const Value& Value::at(const std::string& key) const {
+  BRICKSIM_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  for (const auto& [k, v] : obj_)
+    if (k == key) return v;
+  BRICKSIM_REQUIRE(false, "JSON object has no member '" + key + "'");
+  return obj_.front().second;  // unreachable
+}
+
+bool Value::contains(const std::string& key) const {
+  if (kind_ != Kind::Object) return false;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return true;
+  return false;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::items() const {
+  BRICKSIM_REQUIRE(kind_ == Kind::Object, "JSON value is not an object");
+  return obj_;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: out += text_; break;
+    case Kind::String: append_escaped(out, text_); break;
+    case Kind::Array: {
+      if (arr_.empty()) { out += "[]"; break; }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      if (obj_.empty()) { out += "{}"; break; }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += ':';
+        if (indent >= 0) out += ' ';
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    require(pos_ == s_.size(), "trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("JSON parse error at offset " + std::to_string(pos_) +
+                ": " + msg);
+  }
+  void require(bool cond, const char* msg) const {
+    if (!cond) fail(msg);
+  }
+  char peek() {
+    require(pos_ < s_.size(), "unexpected end of input");
+    return s_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        require(consume_literal("true"), "invalid literal");
+        return Value(true);
+      case 'f':
+        require(consume_literal("false"), "invalid literal");
+        return Value(false);
+      case 'n':
+        require(consume_literal("null"), "invalid literal");
+        return Value();
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    take();  // '{'
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') { take(); return v; }
+    while (true) {
+      skip_ws();
+      require(peek() == '"', "expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      require(take() == ':', "expected ':' after object key");
+      require(!v.contains(key), "duplicate object key");
+      v[key] = parse_value();
+      skip_ws();
+      const char sep = take();
+      if (sep == '}') return v;
+      require(sep == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    take();  // '['
+    Value v = Value::array();
+    skip_ws();
+    if (peek() == ']') { take(); return v; }
+    while (true) {
+      v.push_back(parse_value());
+      skip_ws();
+      const char sep = take();
+      if (sep == ']') return v;
+      require(sep == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    take();  // '"'
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        require(static_cast<unsigned char>(c) >= 0x20,
+                "unescaped control character in string");
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs unsupported; the writer never
+          // emits them -- it only escapes ASCII control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    // Non-standard non-finite tokens first (see header).
+    const std::size_t start = pos_;
+    if (consume_literal("NaN") || consume_literal("Infinity") ||
+        consume_literal("-Infinity"))
+      return Value(parse_double(s_.substr(start, pos_ - start)));
+    if (peek() == '-') take();
+    require(pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9',
+            "expected digit");
+    const std::size_t int_start = pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    require(s_[int_start] != '0' || pos_ == int_start + 1,
+            "leading zeros are not valid JSON");
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      require(pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9',
+              "expected digit after '.'");
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      require(pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9',
+              "expected digit in exponent");
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    }
+    return token_value(s_.substr(start, pos_ - start));
+  }
+
+  static Value token_value(const std::string& text);
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+Value Parser::token_value(const std::string& text) {
+  // Integer tokens round-trip as integers (exact text); everything else
+  // becomes a double.  "-0" must stay a double so the sign survives.
+  const bool integral =
+      text.find_first_of(".eE") == std::string::npos && text != "-0";
+  if (integral) {
+    long l = 0;
+    const char* b = text.data();
+    const char* e = text.data() + text.size();
+    auto res = std::from_chars(b, e, l);
+    if (res.ec == std::errc() && res.ptr == e) return Value(l);
+    std::uint64_t u = 0;
+    res = std::from_chars(b, e, u);
+    if (res.ec == std::errc() && res.ptr == e) return Value(u);
+  }
+  return Value(parse_double(text));
+}
+
+}  // namespace
+
+Value Value::parse(const std::string& text) {
+  Parser p(text);
+  return p.parse_document();
+}
+
+}  // namespace bricksim::json

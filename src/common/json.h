@@ -1,0 +1,101 @@
+// Minimal JSON: an insertion-ordered value tree, a strict parser, and a
+// writer whose number formatting is lossless for doubles.
+//
+// Built for the structured result artifacts and the content-addressed sweep
+// cache (DESIGN.md "One driver"): every Measurement, Roofline and Table the
+// harness emits round-trips through this module bit-exactly, so a cached
+// sweep replays *identically* to a fresh simulation.  Design choices that
+// follow from that contract:
+//
+//  * Numbers are stored as their canonical text.  A double is formatted
+//    with the shortest decimal that round-trips (std::to_chars), an integer
+//    as plain decimal; parsing keeps the token text verbatim.  Dump-parse
+//    therefore preserves numbers exactly, without float compare tolerance.
+//  * Object members keep insertion order, so serialization is deterministic
+//    and cache files diff cleanly.
+//  * Non-finite doubles are written as the non-standard tokens NaN /
+//    Infinity / -Infinity (accepted back by the parser) rather than
+//    corrupting the value to null; finite-only data never produces them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bricksim::json {
+
+/// Shortest decimal formatting of `v` that parses back to the exact same
+/// bits (finite values; NaN/Infinity/-Infinity tokens otherwise).
+std::string format_double(double v);
+
+/// Inverse of format_double; throws bricksim::Error on malformed input.
+double parse_double(const std::string& s);
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(double v) : kind_(Kind::Number), text_(format_double(v)) {}
+  Value(int v) : kind_(Kind::Number), text_(std::to_string(v)) {}
+  Value(long v) : kind_(Kind::Number), text_(std::to_string(v)) {}
+  Value(long long v) : kind_(Kind::Number), text_(std::to_string(v)) {}
+  Value(unsigned long v) : kind_(Kind::Number), text_(std::to_string(v)) {}
+  Value(unsigned long long v)
+      : kind_(Kind::Number), text_(std::to_string(v)) {}
+  Value(std::string s) : kind_(Kind::String), text_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::String), text_(s) {}
+
+  static Value array() { Value v; v.kind_ = Kind::Array; return v; }
+  static Value object() { Value v; v.kind_ = Kind::Object; return v; }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_object() const { return kind_ == Kind::Object; }
+  bool is_array() const { return kind_ == Kind::Array; }
+
+  // Typed access; each throws bricksim::Error on a kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  long as_long() const;
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  /// The verbatim number token (Kind::Number only).
+  const std::string& number_text() const;
+
+  // Arrays.
+  void push_back(Value v);
+  std::size_t size() const;
+  const Value& operator[](std::size_t i) const;
+
+  // Objects (insertion-ordered).
+  Value& operator[](const std::string& key);  ///< inserts null when missing
+  const Value& at(const std::string& key) const;  ///< throws when missing
+  bool contains(const std::string& key) const;
+  const std::vector<std::pair<std::string, Value>>& items() const;
+
+  /// Serializes; indent < 0 is compact, otherwise pretty with `indent`
+  /// spaces per level.  Deterministic: member order is insertion order,
+  /// number text is canonical.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of one JSON document (plus the non-finite tokens above);
+  /// throws bricksim::Error with an offset on malformed input.
+  static Value parse(const std::string& text);
+
+  /// Structural equality; numbers compare by canonical text.
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::string text_;  ///< string payload or number token
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+}  // namespace bricksim::json

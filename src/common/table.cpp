@@ -57,9 +57,15 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
-  auto sanitize = [](std::string s) {
-    std::replace(s.begin(), s.end(), ',', ';');
-    return s;
+  auto sanitize = [](const std::string& s) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+    std::string quoted = "\"";
+    for (const char c : s) {
+      quoted += c;
+      if (c == '"') quoted += '"';
+    }
+    quoted += '"';
+    return quoted;
   };
   auto print_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
@@ -70,6 +76,32 @@ void Table::print_csv(std::ostream& os) const {
   };
   print_row(header_);
   for (const auto& row : rows_) print_row(row);
+}
+
+json::Value Table::to_json() const {
+  auto strings = [](const std::vector<std::string>& xs) {
+    json::Value a = json::Value::array();
+    for (const auto& x : xs) a.push_back(x);
+    return a;
+  };
+  json::Value v = json::Value::object();
+  v["header"] = strings(header_);
+  json::Value rows = json::Value::array();
+  for (const auto& row : rows_) rows.push_back(strings(row));
+  v["rows"] = rows;
+  return v;
+}
+
+Table Table::from_json(const json::Value& v) {
+  auto strings = [](const json::Value& a) {
+    std::vector<std::string> xs;
+    for (std::size_t i = 0; i < a.size(); ++i) xs.push_back(a[i].as_string());
+    return xs;
+  };
+  Table t(strings(v.at("header")));
+  const json::Value& rows = v.at("rows");
+  for (std::size_t r = 0; r < rows.size(); ++r) t.add_row(strings(rows[r]));
+  return t;
 }
 
 }  // namespace bricksim

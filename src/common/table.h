@@ -1,13 +1,16 @@
-// Aligned ASCII table and CSV emitters.
+// Aligned ASCII table, CSV and JSON emitters.
 //
-// Every bench binary regenerating one of the paper's tables or figures
-// prints a human-readable aligned table to stdout and can optionally dump
-// the same rows as CSV for plotting.
+// Every experiment regenerating one of the paper's tables or figures
+// prints a human-readable aligned table to stdout and can dump the same
+// rows as CSV for plotting; the bricksim driver additionally persists each
+// table as a lossless JSON artifact (see harness/registry.h).
 #pragma once
 
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/json.h"
 
 namespace bricksim {
 
@@ -29,13 +32,20 @@ class Table {
   /// Prints as an aligned ASCII table.
   void print(std::ostream& os) const;
 
-  /// Prints as CSV (no quoting beyond commas->semicolons replacement, as
-  /// all emitted values are simple tokens).
+  /// Prints as RFC 4180 CSV: fields containing a comma, quote, or newline
+  /// are wrapped in double quotes with embedded quotes doubled (stencil
+  /// labels such as "cube, r=2" must not shear columns).
   void print_csv(std::ostream& os) const;
+
+  /// Lossless JSON round trip: {"header": [...], "rows": [[...], ...]}.
+  json::Value to_json() const;
+  static Table from_json(const json::Value& v);
 
   std::size_t num_rows() const { return rows_.size(); }
   std::size_t num_cols() const { return header_.size(); }
   const std::vector<std::string>& row(std::size_t r) const { return rows_[r]; }
+
+  friend bool operator==(const Table&, const Table&) = default;
 
  private:
   std::vector<std::string> header_;

@@ -11,14 +11,37 @@
 
 namespace bricksim::harness {
 
+namespace {
+
+std::string find_key(const std::string& stencil, const std::string& variant,
+                     const std::string& platform_label) {
+  // \x1f never occurs in the names, so the concatenation is unambiguous.
+  return stencil + '\x1f' + variant + '\x1f' + platform_label;
+}
+
+}  // namespace
+
 const profiler::Measurement* Sweep::find(
     const std::string& stencil, const std::string& variant,
     const std::string& platform_label) const {
+  if (!index_.empty()) {
+    const auto it = index_.find(find_key(stencil, variant, platform_label));
+    return it != index_.end() ? &measurements[it->second] : nullptr;
+  }
   for (const auto& m : measurements)
     if (m.stencil == stencil && m.variant == variant &&
         (m.arch + "/" + m.pm) == platform_label)
       return &m;
   return nullptr;
+}
+
+void Sweep::build_index() {
+  index_.clear();
+  // On duplicate keys keep the FIRST occurrence, matching the linear scan.
+  for (std::size_t n = 0; n < measurements.size(); ++n) {
+    const auto& m = measurements[n];
+    index_.emplace(find_key(m.stencil, m.variant, m.arch + "/" + m.pm), n);
+  }
 }
 
 std::vector<profiler::Measurement> Sweep::select(
@@ -31,23 +54,14 @@ std::vector<profiler::Measurement> Sweep::select(
   return out;
 }
 
-Sweep run_sweep(const SweepConfig& config) {
-  Sweep sweep;
-  sweep.config = config;
-  // The launcher is shared const across workers: its only state is the
-  // domain and the check mode, and run() builds everything per call
-  // (lowering, register allocation, a fresh simt::Machine with its own
-  // memsim::MemoryHierarchy), so concurrent runs never share mutable state.
-  model::Launcher launcher(config.domain);
-  launcher.set_check_mode(config.check_mode);
-  launcher.set_engine(config.engine);
+std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
+    const SweepConfig& config) {
   const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
-  std::mutex progress_mu;  // progress lines are the only shared sink
-
+  std::mutex progress_mu;
   // Mixbench works on a fixed mid-size streaming domain: its counters are
   // linear in the domain, so the derived ceilings are size-independent.
   // One sweep per distinct platform label, each in its own slot; the map
-  // insertion happens serially afterwards so the Sweep is identical for
+  // insertion happens serially afterwards so the result is identical for
   // every job count.
   const Vec3 mix_domain{128, 128, 128};
   std::vector<const model::Platform*> rl_platforms;
@@ -65,9 +79,26 @@ Sweep run_sweep(const SweepConfig& config) {
     }
     rl_slots[n] = roofline::mixbench(*rl_platforms[n], mix_domain);
   });
+  std::map<std::string, roofline::EmpiricalRoofline> out;
   for (std::size_t n = 0; n < rl_platforms.size(); ++n)
-    sweep.rooflines.emplace(rl_platforms[n]->label(),
-                            std::move(rl_slots[n]));
+    out.emplace(rl_platforms[n]->label(), std::move(rl_slots[n]));
+  return out;
+}
+
+Sweep run_sweep(const SweepConfig& config) {
+  Sweep sweep;
+  sweep.config = config;
+  // The launcher is shared const across workers: its only state is the
+  // domain and the check mode, and run() builds everything per call
+  // (lowering, register allocation, a fresh simt::Machine with its own
+  // memsim::MemoryHierarchy), so concurrent runs never share mutable state.
+  model::Launcher launcher(config.domain);
+  launcher.set_check_mode(config.check_mode);
+  launcher.set_engine(config.engine);
+  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  std::mutex progress_mu;  // progress lines are the only shared sink
+
+  sweep.rooflines = sweep_rooflines(config);
 
   // Flatten the cross product in the canonical nested order, then let each
   // worker fill the slot of the config it claimed: measurement order (and
@@ -96,29 +127,37 @@ Sweep run_sweep(const SweepConfig& config) {
         profiler::run_and_measure(launcher, *it.st, it.variant, *it.pf,
                                   config.cg_opts);
   });
+  sweep.build_index();
   return sweep;
+}
+
+std::map<std::string, std::string> sweep_cli_flags(int default_n) {
+  return {{"n", "cubic domain extent (default " + std::to_string(default_n) +
+                    "; the paper uses 512)"},
+          {"jobs",
+           "parallel sweep workers (default: hardware concurrency; "
+           "results are identical for every value)"},
+          {"progress", "print sweep progress to stderr"},
+          {"csv", "emit CSV instead of aligned tables"},
+          {"check",
+           "brickcheck policy before every launch: strict (error out), "
+           "warn (default; print diagnostics), off"},
+          {"engine",
+           "SIMT execution engine: plan (default; pre-decoded replay), "
+           "interp (legacy interpreter; bit-identical results)"}};
 }
 
 SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
                                   int default_n) {
-  Cli cli(argc, argv,
-          {{"n", "cubic domain extent (default " + std::to_string(default_n) +
-                     "; the paper uses 512)"},
-           {"jobs",
-            "parallel sweep workers (default: hardware concurrency; "
-            "results are identical for every value)"},
-           {"progress", "print sweep progress to stderr"},
-           {"csv", "emit CSV instead of aligned tables"},
-           {"check",
-            "brickcheck policy before every launch: strict (error out), "
-            "warn (default; print diagnostics), off"},
-           {"engine",
-            "SIMT execution engine: plan (default; pre-decoded replay), "
-            "interp (legacy interpreter; bit-identical results)"}});
+  Cli cli(argc, argv, sweep_cli_flags(default_n));
   if (cli.help_requested()) {
     std::cout << cli.help(argv[0]);
     std::exit(0);
   }
+  return sweep_config_from_cli(cli, default_n);
+}
+
+SweepConfig sweep_config_from_cli(const Cli& cli, int default_n) {
   SweepConfig config;
   const long n = cli.get_long("n", default_n);
   BRICKSIM_REQUIRE(n > 0 && n % 64 == 0,

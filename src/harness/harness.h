@@ -14,6 +14,7 @@
 
 #include "analysis/brickcheck.h"
 #include "codegen/codegen.h"
+#include "common/cli.h"
 #include "common/table.h"
 #include "dsl/stencil.h"
 #include "metrics/metrics.h"
@@ -56,15 +57,27 @@ struct Sweep {
   /// Empirical Roofline per platform label.
   std::map<std::string, roofline::EmpiricalRoofline> rooflines;
 
-  /// Lookup by names; null when the combination was not swept.
+  /// Lookup by names; null when the combination was not swept.  O(log n)
+  /// through the index when built (the correlation and potential-speedup
+  /// emitters call this in nested loops); falls back to a linear scan on
+  /// hand-assembled sweeps that never called build_index().
   const profiler::Measurement* find(const std::string& stencil,
                                     const std::string& variant,
                                     const std::string& platform_label) const;
+
+  /// Builds the (stencil, variant, platform) -> measurement index.
+  /// run_sweep and the sweep-cache loader call this; call it again after
+  /// mutating `measurements` by hand.
+  void build_index();
 
   /// All measurements of one platform (optionally one variant).
   std::vector<profiler::Measurement> select(
       const std::string& platform_label,
       const std::string& variant = "") const;
+
+ private:
+  /// (stencil, variant, platform label) -> index into `measurements`.
+  std::map<std::string, std::size_t> index_;
 };
 
 /// Runs every (stencil, variant, platform) combination counters-only and
@@ -73,11 +86,25 @@ struct Sweep {
 /// (platform, stencil, variant) order as a serial walk.
 Sweep run_sweep(const SweepConfig& config);
 
-/// Parses a standard bench command line (--n, --jobs, --progress, --csv,
-/// --check, --engine) into a SweepConfig; prints help and exits when
-/// requested.
+/// Just the mixbench-derived empirical rooflines of `config` (one per
+/// distinct platform label), exactly as run_sweep would compute them --
+/// run_sweep delegates here, and the registry's SweepProvider uses it when
+/// an experiment needs ceilings but no measurements.
+std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
+    const SweepConfig& config);
+
+/// The standard sweep flags (--n, --jobs, --progress, --csv, --check,
+/// --engine) as a Cli-known map; the bricksim driver extends it with its
+/// own flags.
+std::map<std::string, std::string> sweep_cli_flags(int default_n);
+
+/// Parses a standard bench command line into a SweepConfig; prints help
+/// and exits when requested.
 SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
                                   int default_n = 256);
+
+/// The same over an already-parsed Cli (which may know extra flags).
+SweepConfig sweep_config_from_cli(const Cli& cli, int default_n);
 
 // --- Emitters: one per paper table/figure -----------------------------------
 

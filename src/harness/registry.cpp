@@ -1,0 +1,787 @@
+#include "harness/registry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+#include "arch/arch.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/threadpool.h"
+#include "harness/autotune.h"
+#include "harness/sweepcache.h"
+
+namespace bricksim::harness {
+
+// --- SweepProvider -----------------------------------------------------------
+
+SweepProvider::SweepProvider(std::string cache_dir)
+    : cache_dir_(std::move(cache_dir)) {}
+
+SweepConfig SweepProvider::main_config(const SweepConfig& base) {
+  SweepConfig config = base;
+  config.platforms = model::paper_platforms();
+  config.stencils = dsl::Stencil::paper_catalog();
+  config.variants = {codegen::Variant::Array, codegen::Variant::ArrayCodegen,
+                     codegen::Variant::BricksCodegen};
+  config.cg_opts = {};
+  return config;
+}
+
+SweepConfig SweepProvider::cpu_config(const SweepConfig& base) {
+  SweepConfig config = base;
+  config.platforms = model::cpu_platforms();
+  config.platforms.push_back(model::paper_platforms().front());  // A100/CUDA
+  config.stencils = dsl::Stencil::paper_catalog();
+  config.variants = {codegen::Variant::BricksCodegen};
+  config.cg_opts = {};
+  return config;
+}
+
+const Sweep& SweepProvider::get(const SweepConfig& config) {
+  const std::string fp = fingerprint(config);
+  if (const auto it = memo_.find(fp); it != memo_.end()) {
+    ++stats_.sweep_memo_hits;
+    return it->second;
+  }
+  if (!cache_dir_.empty()) {
+    if (auto sweep = load_cached_sweep(cache_dir_, config)) {
+      ++stats_.sweep_disk_hits;
+      return memo_.emplace(fp, std::move(*sweep)).first->second;
+    }
+  }
+  Sweep sweep = run_sweep(config);
+  ++stats_.sweeps_simulated;
+  if (!cache_dir_.empty()) store_cached_sweep(cache_dir_, sweep);
+  return memo_.emplace(fp, std::move(sweep)).first->second;
+}
+
+const Sweep& SweepProvider::main(const SweepConfig& config) {
+  return get(main_config(config));
+}
+
+const Sweep& SweepProvider::cpu(const SweepConfig& config) {
+  return get(cpu_config(config));
+}
+
+const std::map<std::string, roofline::EmpiricalRoofline>&
+SweepProvider::rooflines(const SweepConfig& config) {
+  const SweepConfig main = main_config(config);
+  const std::string fp = fingerprint(main);
+  if (const auto it = memo_.find(fp); it != memo_.end()) {
+    ++stats_.sweep_memo_hits;
+    return it->second.rooflines;
+  }
+  if (const auto it = rooflines_memo_.find(fp); it != rooflines_memo_.end())
+    return it->second;
+  if (!cache_dir_.empty()) {
+    if (auto sweep = load_cached_sweep(cache_dir_, main)) {
+      ++stats_.sweep_disk_hits;
+      return memo_.emplace(fp, std::move(*sweep)).first->second.rooflines;
+    }
+  }
+  ++stats_.rooflines_computed;
+  return rooflines_memo_.emplace(fp, sweep_rooflines(main)).first->second;
+}
+
+// --- ExperimentContext -------------------------------------------------------
+
+void ExperimentContext::table(const std::string& id, const Table& t,
+                              bool force_aligned) {
+  print_table(*os_, t, !force_aligned && config_.csv);
+  tables_.emplace_back(id, t);
+}
+
+// --- Emitters ----------------------------------------------------------------
+//
+// Each emitter is the body of one legacy bench_* main, byte for byte on
+// stdout; the shims and the driver both run these, which is what makes the
+// deprecated binaries and `bricksim run` interchangeable.
+
+namespace {
+
+void emit_table1(ExperimentContext& ctx) {
+  ctx.out() << "Table 1: platforms and programming-model lowering profiles "
+               "(simulator substitution for compilers/modules).\n\n";
+  ctx.table("table1", make_table1());
+}
+
+void emit_table2(ExperimentContext& ctx) {
+  ctx.out() << "Table 2: Stencils used for performance portability "
+               "evaluation.\n\n";
+  ctx.table("table2", make_table2());
+}
+
+void emit_table4(ExperimentContext& ctx) {
+  ctx.out() << "Table 4: Theoretical arithmetic intensity (FLOP:Byte).\n\n";
+  ctx.table("table4", make_table4());
+}
+
+void emit_fig3(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  ctx.out() << "Figure 3: Roofline for stencil computations per platform "
+               "(domain " << config.domain.i << "^3).\n\n";
+  const Sweep& sweep = ctx.sweeps().main(config);
+  ctx.table("fig3", make_fig3(sweep));
+  ctx.out() << "\nbrickcheck (pre-launch static verification, --check="
+            << analysis::check_mode_name(config.check_mode) << "):\n";
+  ctx.table("check_summary", make_check_summary(sweep));
+}
+
+void emit_fig4(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  ctx.out() << "Figure 4: L1 data movement (lower is better; domain "
+            << config.domain.i << "^3).\n\n";
+  ctx.table("fig4", make_fig4(ctx.sweeps().main(config)));
+}
+
+void emit_fig5(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  const auto corr = make_fig5(ctx.sweeps().main(config));
+  ctx.out() << "Figure 5 (left): performance correlation, CUDA vs SYCL on "
+               "A100 (domain " << config.domain.i << "^3).\n\n";
+  ctx.table("fig5_perf", corr.perf);
+  ctx.out() << "\nFigure 5 (right): bytes accessed, CUDA vs SYCL on A100.\n\n";
+  ctx.table("fig5_bytes", corr.bytes);
+}
+
+void emit_fig6(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  const auto corr = make_fig6(ctx.sweeps().main(config));
+  ctx.out() << "Figure 6 (left): performance correlation, HIP vs SYCL on "
+               "MI250X GCD (domain " << config.domain.i << "^3).\n\n";
+  ctx.table("fig6_perf", corr.perf);
+  ctx.out() << "\nFigure 6 (right): bytes accessed, HIP vs SYCL on MI250X "
+               "GCD.\n\n";
+  ctx.table("fig6_bytes", corr.bytes);
+}
+
+void emit_table3(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  const Sweep& sweep = ctx.sweeps().main(config);
+  ctx.out() << "Table 3: performance portability P from fraction of the "
+               "Roofline, bricks codegen (domain " << config.domain.i
+            << "^3).\n\n";
+  ctx.table("table3", make_table3(sweep));
+}
+
+void emit_table5(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  const Sweep& sweep = ctx.sweeps().main(config);
+  ctx.out() << "Table 5: performance portability P from fraction of "
+               "theoretical AI, bricks codegen (domain " << config.domain.i
+            << "^3).\n\n";
+  ctx.table("table5", make_table5(sweep));
+}
+
+void emit_fig7(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  const Sweep& sweep = ctx.sweeps().main(config);
+  ctx.out() << "Figure 7: potential speed-up for bricks codegen (domain "
+            << config.domain.i << "^3).\n\n";
+  ctx.table("fig7", make_fig7(sweep));
+}
+
+void emit_mixbench(ExperimentContext& ctx) {
+  ctx.out() << "Mixbench-derived empirical Rooflines per platform.\n\n";
+  const auto& rls = ctx.sweeps().rooflines(ctx.config());
+  for (const auto& pf : model::paper_platforms()) {
+    const auto& emp = rls.at(pf.label());
+    const auto theo = roofline::theoretical_roofline(pf.gpu);
+    ctx.out() << pf.label() << ": empirical "
+              << Table::fmt(emp.roofline.peak_bw / 1e9, 0) << " GB/s, "
+              << Table::fmt(emp.roofline.peak_flops / 1e12, 2)
+              << " TFLOP/s (theoretical "
+              << Table::fmt(theo.peak_bw / 1e9, 0) << " GB/s, "
+              << Table::fmt(theo.peak_flops / 1e12, 2) << " TFLOP/s)\n";
+    Table t({"nominal AI", "measured AI", "GFLOP/s", "GB/s"});
+    for (const auto& p : emp.points)
+      t.add_row({Table::fmt(p.nominal_ai, 2), Table::fmt(p.measured_ai, 2),
+                 Table::fmt(p.gflops, 1), Table::fmt(p.gbytes_per_sec, 0)});
+    ctx.table("mixbench_" + pf.label(), t);
+    ctx.out() << "\n";
+  }
+}
+
+void emit_check(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  ctx.out() << "brickcheck summary: pre-launch static verification over the "
+               "full sweep (domain " << config.domain.i << "^3, --check="
+            << analysis::check_mode_name(config.check_mode) << ").\n\n";
+  ctx.table("check_summary", make_check_summary(ctx.sweeps().main(config)));
+}
+
+void emit_ablation_codegen(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+
+  struct Config {
+    const char* name;
+    codegen::Variant variant;
+    codegen::Options opts;
+  };
+  codegen::Options no_cse;
+  no_cse.enable_cse = false;
+  codegen::Options gather;
+  gather.force_gather = true;
+  codegen::Options scatter;
+  scatter.force_scatter = true;
+  codegen::Options gather_sched;
+  gather_sched.force_gather = true;
+  gather_sched.reorder_for_pressure = true;
+  const Config configs[] = {
+      {"array (naive baseline)", codegen::Variant::Array, {}},
+      {"bricks codegen", codegen::Variant::BricksCodegen, {}},
+      {"bricks codegen, no CSE", codegen::Variant::BricksCodegen, no_cse},
+      {"bricks codegen, force gather", codegen::Variant::BricksCodegen,
+       gather},
+      {"bricks codegen, gather + reorder [44]",
+       codegen::Variant::BricksCodegen, gather_sched},
+      {"bricks codegen, force scatter", codegen::Variant::BricksCodegen,
+       scatter},
+  };
+
+  const model::Launcher launcher(config.domain);
+  const auto platforms = model::metric_platforms();
+
+  ctx.out() << "Codegen ablation (domain " << config.domain.i << "^3).\n\n";
+
+  // Flatten (platform, stencil, config), launch in parallel into one row
+  // slot each, then assemble the per-platform tables in canonical order.
+  const std::vector<model::Platform> pfs = {platforms[0], platforms[2],
+                                            platforms[4]};
+  const std::vector<dsl::Stencil> sts = {dsl::Stencil::star(2),
+                                         dsl::Stencil::cube(2)};
+  struct Item {
+    std::size_t pf;
+    const dsl::Stencil* st;
+    const Config* c;
+  };
+  std::vector<Item> items;
+  for (std::size_t p = 0; p < pfs.size(); ++p)
+    for (const auto& st : sts)
+      for (const Config& c : configs) items.push_back({p, &st, &c});
+
+  std::vector<std::vector<std::string>> rows(items.size());
+  std::mutex progress_mu;
+  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  parallel_for(jobs, static_cast<long>(items.size()), [&](long n) {
+    const Item& it = items[static_cast<std::size_t>(n)];
+    if (config.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      std::cerr << "[ablation] " << pfs[it.pf].label() << " "
+                << it.st->name() << " " << it.c->name << "\n";
+    }
+    const model::LaunchResult r =
+        launcher.run(*it.st, it.c->variant, pfs[it.pf], it.c->opts);
+    rows[static_cast<std::size_t>(n)] = {
+        it.st->name(), it.c->name, Table::fmt(r.normalized_gflops(), 1),
+        Table::fmt(r.normalized_ai(), 3),
+        Table::fmt(r.report.traffic.l1_total() / 1e9, 2),
+        std::to_string(r.spill_slots),
+        r.used_scatter ? "scatter" : "gather"};
+  });
+
+  std::size_t n = 0;
+  for (std::size_t p = 0; p < pfs.size(); ++p) {
+    Table t({"Stencil", "Configuration", "GFLOP/s", "AI (F/B)", "L1 GB",
+             "spills", "mode"});
+    for (std::size_t r = 0; r < sts.size() * std::size(configs); ++r)
+      t.add_row(std::move(rows[n++]));
+    ctx.out() << pfs[p].label() << ":\n";
+    ctx.table(pfs[p].label(), t);
+    ctx.out() << "\n";
+  }
+}
+
+void emit_ablation_brickshape(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  ctx.out() << "Brick-shape autotuning, bricks codegen (domain "
+            << config.domain.i << "^3).\n\n";
+
+  // Each (platform, stencil) tuning run is independent; workers fill the
+  // row slot of the pair they claimed, so the table order never changes.
+  const auto platforms = model::metric_platforms();
+  const auto stencils = dsl::Stencil::paper_catalog();
+  struct Pair {
+    const model::Platform* pf;
+    const dsl::Stencil* st;
+  };
+  std::vector<Pair> pairs;
+  for (const auto& pf : platforms)
+    for (const auto& st : stencils) pairs.push_back({&pf, &st});
+
+  std::vector<std::vector<std::string>> rows(pairs.size());
+  std::mutex progress_mu;
+  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  parallel_for(jobs, static_cast<long>(pairs.size()), [&](long n) {
+    const auto& [pf, st] = pairs[static_cast<std::size_t>(n)];
+    if (config.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      std::cerr << "[tune] " << pf->label() << " " << st->name() << "\n";
+    }
+    const auto tuned = autotune_brick_shape(
+        *st, codegen::Variant::BricksCodegen, *pf, config.domain);
+    double base_gflops = 0;
+    for (const auto& e : tuned.entries)
+      if (e.tile_j == 4 && e.tile_k == 4 && e.tile_i_vectors == 1)
+        base_gflops = e.gflops;
+    rows[static_cast<std::size_t>(n)] = {
+        pf->label(), st->name(),
+        std::to_string(tuned.best.tile_j) + "x" +
+            std::to_string(tuned.best.tile_k) + "x" +
+            std::to_string(tuned.best.tile_i_vectors * pf->gpu.simd_width),
+        Table::fmt(tuned.best.gflops, 1), Table::fmt(base_gflops, 1),
+        Table::fmt(base_gflops > 0 ? tuned.best.gflops / base_gflops : 0,
+                   2) +
+            "x"};
+  });
+
+  Table summary({"Platform", "Stencil", "best shape", "best GFLOP/s",
+                 "4x4 GFLOP/s", "speedup vs 4x4"});
+  for (auto& row : rows) summary.add_row(std::move(row));
+  ctx.table("summary", summary);
+
+  // Detail for one representative case: the 125pt stencil on the A100.
+  const auto pf = model::metric_platforms().front();
+  const auto detail = autotune_brick_shape(
+      dsl::Stencil::cube(2), codegen::Variant::BricksCodegen, pf,
+      config.domain);
+  ctx.out() << "\nDetail: 125pt on " << pf.label() << "\n";
+  Table t({"shape", "GFLOP/s", "AI (F/B)", "spill slots", "aligns/block"});
+  for (const auto& e : detail.entries)
+    t.add_row({std::to_string(e.tile_j) + "x" + std::to_string(e.tile_k) +
+                   "x" + std::to_string(e.tile_i_vectors * 32),
+               Table::fmt(e.gflops, 1), Table::fmt(e.ai, 3),
+               std::to_string(e.spill_slots), std::to_string(e.aligns)});
+  ctx.table("detail_125pt", t);
+}
+
+void emit_cpu_crossplatform(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  ctx.out() << "CPU+GPU cross-platform portability, bricks codegen (domain "
+            << config.domain.i << "^3).\n\n";
+  const Sweep& sweep = ctx.sweeps().cpu(config);
+  const auto& platforms = sweep.config.platforms;
+
+  std::vector<std::string> header{"Stencil"};
+  for (const auto& pf : platforms) header.push_back(pf.label());
+  header.push_back("P");
+  Table t(header);
+
+  std::vector<double> all_p;
+  for (const auto& st : sweep.config.stencils) {
+    std::vector<std::string> row{st.name()};
+    std::vector<double> effs;
+    for (const auto& pf : platforms) {
+      const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
+      const double e =
+          m ? metrics::fraction_of_roofline(
+                  sweep.rooflines.at(pf.label()).roofline, *m)
+            : 0;
+      effs.push_back(e);
+      row.push_back(Table::pct(e));
+    }
+    const double p = metrics::pennycook_p(effs);
+    all_p.push_back(p);
+    row.push_back(Table::pct(p));
+    t.add_row(std::move(row));
+  }
+  // The legacy binary always printed these two tables aligned (never CSV).
+  ctx.table("pennycook", t, /*force_aligned=*/true);
+  ctx.out() << "\nGFLOP/s for scale (bricks codegen):\n";
+  Table g({"Stencil", "SKX", "KNL", "A100"});
+  for (const auto& st : sweep.config.stencils) {
+    std::vector<std::string> row{st.name()};
+    for (const auto& pf : platforms) {
+      const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
+      row.push_back(Table::fmt(m ? m->gflops : 0, 1));
+    }
+    g.add_row(std::move(row));
+  }
+  ctx.table("gflops", g, /*force_aligned=*/true);
+}
+
+void emit_pvc_subgroup(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+
+  arch::GpuArch pvc16 = arch::make_pvc_stack();
+  arch::GpuArch pvc32 = arch::make_pvc_stack();
+  pvc32.simd_width = 32;
+  pvc32.name = "PVC-Stack-SG32";
+  const model::Platform p16{pvc16, model::model_for(model::PmKind::SYCL,
+                                                    pvc16)};
+  const model::Platform p32{pvc32, model::model_for(model::PmKind::SYCL,
+                                                    pvc32)};
+
+  const model::Launcher launcher(config.domain);
+  ctx.out() << "PVC sub-group width: 16 vs 32, bricks codegen (domain "
+            << config.domain.i << "^3).\n\n";
+  Table t({"Stencil", "SG16 GFLOP/s", "SG32 GFLOP/s", "SG16/SG32",
+           "SG16 AI", "SG32 AI"});
+  const auto stencils = dsl::Stencil::paper_catalog();
+  struct Slot {
+    model::LaunchResult a, b;
+  };
+  std::vector<Slot> slots(stencils.size());
+  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  parallel_for(jobs, static_cast<long>(stencils.size()), [&](long n) {
+    auto& s = slots[static_cast<std::size_t>(n)];
+    s.a = launcher.run(stencils[static_cast<std::size_t>(n)],
+                       codegen::Variant::BricksCodegen, p16);
+    s.b = launcher.run(stencils[static_cast<std::size_t>(n)],
+                       codegen::Variant::BricksCodegen, p32);
+  });
+  double better16 = 0, total = 0;
+  for (std::size_t n = 0; n < stencils.size(); ++n) {
+    const auto& st = stencils[n];
+    const double g16 = slots[n].a.normalized_gflops();
+    const double g32 = slots[n].b.normalized_gflops();
+    if (g16 > g32) ++better16;
+    ++total;
+    t.add_row({st.name(), Table::fmt(g16, 1), Table::fmt(g32, 1),
+               Table::fmt(g16 / g32, 2) + "x",
+               Table::fmt(slots[n].a.normalized_ai(), 3),
+               Table::fmt(slots[n].b.normalized_ai(), 3)});
+  }
+  ctx.table("sg16_vs_sg32", t);
+  ctx.out() << "\nSG16 wins " << better16 << "/" << total
+            << " stencils (the paper chose 16).\n";
+}
+
+}  // namespace
+
+// --- Registry ----------------------------------------------------------------
+
+const std::vector<Experiment>& experiment_registry() {
+  static const std::vector<Experiment> registry = {
+      {"table1", "platforms and programming-model lowering profiles",
+       "bench_table1_platforms", 256, SweepKind::None, emit_table1},
+      {"table2", "stencil catalog: shape, radius, points, coefficients",
+       "bench_table2_stencils", 256, SweepKind::None, emit_table2},
+      {"table4", "theoretical arithmetic intensity per stencil",
+       "bench_table4_theoretical_ai", 256, SweepKind::None, emit_table4},
+      {"fig3", "Roofline position of every stencil/variant/platform",
+       "bench_fig3_roofline", 256, SweepKind::Main, emit_fig3},
+      {"fig4", "L1 data movement per stencil/variant/platform",
+       "bench_fig4_l1_movement", 256, SweepKind::Main, emit_fig4},
+      {"fig5", "CUDA vs SYCL correlation on A100",
+       "bench_fig5_corr_a100", 256, SweepKind::Main, emit_fig5},
+      {"fig6", "HIP vs SYCL correlation on MI250X GCD",
+       "bench_fig6_corr_mi250x", 256, SweepKind::Main, emit_fig6},
+      {"table3", "Pennycook P from fraction of the Roofline",
+       "bench_table3_pp_roofline", 256, SweepKind::Main, emit_table3},
+      {"table5", "Pennycook P from fraction of theoretical AI",
+       "bench_table5_pp_theoretical_ai", 256, SweepKind::Main, emit_table5},
+      {"fig7", "potential-speedup coordinates, bricks codegen",
+       "bench_fig7_potential_speedup", 256, SweepKind::Main, emit_fig7},
+      {"mixbench", "mixbench-derived empirical Rooflines per platform",
+       "bench_mixbench_roofline", 256, SweepKind::Rooflines, emit_mixbench},
+      {"check", "brickcheck rollup over the full sweep",
+       "", 256, SweepKind::Main, emit_check},
+      {"ablation_codegen", "codegen optimisation ablation",
+       "bench_ablation_codegen", 256, SweepKind::None, emit_ablation_codegen},
+      {"ablation_brickshape", "brick-shape autotuning sweep",
+       "bench_ablation_brickshape", 128, SweepKind::None,
+       emit_ablation_brickshape},
+      {"cpu_crossplatform", "CPU+GPU portability (SKX, KNL, A100)",
+       "bench_cpu_crossplatform", 128, SweepKind::Cpu,
+       emit_cpu_crossplatform},
+      {"pvc_subgroup", "PVC sub-group width study: 16 vs 32",
+       "bench_pvc_subgroup", 192, SweepKind::None, emit_pvc_subgroup},
+  };
+  return registry;
+}
+
+const Experiment* find_experiment(const std::string& name) {
+  for (const auto& exp : experiment_registry())
+    if (exp.name == name) return &exp;
+  return nullptr;
+}
+
+// --- Legacy shim -------------------------------------------------------------
+
+int run_legacy_shim(const std::string& name, int argc,
+                    const char* const* argv) {
+  const Experiment* exp = find_experiment(name);
+  BRICKSIM_ASSERT(exp != nullptr, "unregistered experiment: " + name);
+  const SweepConfig config = sweep_config_from_cli(argc, argv,
+                                                   exp->default_n);
+  std::cerr << "note: " << exp->legacy_binary
+            << " is a deprecated alias for `bricksim run " << name
+            << "` and will be removed next release (the driver shares one "
+               "cached sweep across experiments).\n";
+  SweepProvider provider("");  // shims never touch the persistent cache
+  ExperimentContext ctx(config, &provider, &std::cout);
+  exp->emit(ctx);
+  return 0;
+}
+
+// --- Driver ------------------------------------------------------------------
+
+namespace {
+
+std::string usage_text() {
+  std::ostringstream os;
+  os << "bricksim: every paper artifact from one cached sweep.\n"
+     << "\n"
+     << "usage: bricksim <command> [experiment...] [--flag value]...\n"
+     << "\n"
+     << "commands:\n"
+     << "  list           list the registered experiments\n"
+     << "  run <name...>  run the named experiments\n"
+     << "  all            run every registered experiment\n"
+     << "\n"
+     << "run/all accept the sweep flags (--n, --jobs, --progress, --csv,\n"
+     << "--check, --engine) plus:\n"
+     << "  --out DIR       results directory (default results/run); each\n"
+     << "                  experiment writes output.txt + tables.json, and\n"
+     << "                  the run writes run_summary.json\n"
+     << "  --cache-dir DIR sweep/artifact cache (default $BRICKSIM_CACHE_DIR\n"
+     << "                  or results/cache)\n"
+     << "  --no-cache      disable reading and writing the cache\n"
+     << "\n"
+     << "Without --n each experiment uses its own default domain (see\n"
+     << "`bricksim list`).  Experiment stdout is byte-identical to the\n"
+     << "deprecated bench_* binaries.\n";
+  return os.str();
+}
+
+void run_list(std::ostream& os) {
+  Table t({"Experiment", "Sweep", "Default n", "Deprecated alias", "Title"});
+  for (const auto& exp : experiment_registry()) {
+    const char* kind = "-";
+    switch (exp.sweep) {
+      case SweepKind::None: kind = "-"; break;
+      case SweepKind::Main: kind = "main"; break;
+      case SweepKind::Rooflines: kind = "rooflines"; break;
+      case SweepKind::Cpu: kind = "cpu"; break;
+    }
+    t.add_row({exp.name, kind, std::to_string(exp.default_n),
+               exp.legacy_binary.empty() ? "-" : exp.legacy_binary,
+               exp.title});
+  }
+  t.print(os);
+}
+
+void write_text_file(const std::filesystem::path& path,
+                     const std::string& content) {
+  std::ofstream out(path);
+  BRICKSIM_REQUIRE(out.good(), "cannot write " + path.string());
+  out << content;
+  out.flush();
+  BRICKSIM_REQUIRE(out.good(), "short write to " + path.string());
+}
+
+std::string artifact_path(const std::string& dir, const std::string& name,
+                          const std::string& cfg_fp, bool csv) {
+  return dir + "/artifact-" + name + (csv ? "-csv-" : "-") + cfg_fp +
+         ".json";
+}
+
+/// The tables.json document of one experiment run.
+json::Value tables_document(
+    const std::string& name, const std::string& cfg_fp, bool csv,
+    const std::vector<std::pair<std::string, Table>>& tables) {
+  json::Value v = json::Value::object();
+  v["schema"] = kSweepCacheSchema;
+  v["experiment"] = name;
+  v["config_fingerprint"] = cfg_fp;
+  v["csv"] = csv;
+  json::Value arr = json::Value::array();
+  for (const auto& [id, t] : tables) {
+    json::Value tv = json::Value::object();
+    tv["id"] = id;
+    const json::Value body = t.to_json();
+    tv["header"] = body.at("header");
+    tv["rows"] = body.at("rows");
+    arr.push_back(tv);
+  }
+  v["tables"] = arr;
+  return v;
+}
+
+/// Loads a matching artifact-cache entry; corrupt/mismatched reads miss.
+std::optional<json::Value> load_artifact(const std::string& path,
+                                         const std::string& name,
+                                         const std::string& cfg_fp,
+                                         bool csv) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    json::Value v = json::Value::parse(text.str());
+    if (v.at("schema").as_long() != kSweepCacheSchema ||
+        v.at("experiment").as_string() != name ||
+        v.at("config_fingerprint").as_string() != cfg_fp ||
+        v.at("csv").as_bool() != csv || !v.contains("output"))
+      return std::nullopt;
+    return v;
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+void store_artifact(const std::string& path, const json::Value& doc,
+                    const std::string& output) {
+  json::Value v = doc;
+  v["output"] = output;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  const std::string tmp = path + ".tmp";
+  write_text_file(tmp, v.dump(1) + "\n");
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace
+
+int driver_main(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int a = 1; a < argc; ++a) args.emplace_back(argv[a]);
+  if (args.empty()) {
+    std::cerr << usage_text();
+    return 2;
+  }
+  const std::string command = args[0];
+  if (command == "help" || command == "--help" || command == "-h") {
+    std::cout << usage_text();
+    return 0;
+  }
+  if (command == "list") {
+    run_list(std::cout);
+    return 0;
+  }
+  if (command != "run" && command != "all") {
+    std::cerr << "bricksim: unknown command '" << command << "'\n\n"
+              << usage_text();
+    return 2;
+  }
+
+  // Experiment names are the leading non-flag tokens after the command;
+  // everything from the first "--" token on is flags (so a flag value like
+  // "--jobs 4" is never mistaken for a name).
+  std::vector<std::string> names;
+  std::size_t i = 1;
+  for (; i < args.size() && args[i].rfind("--", 0) != 0; ++i)
+    names.push_back(args[i]);
+  std::vector<const char*> flag_argv{argv[0]};
+  for (; i < args.size(); ++i) flag_argv.push_back(argv[i + 1]);
+
+  auto known = sweep_cli_flags(256);
+  known["n"] =
+      "cubic domain extent (default: each experiment's own; the paper "
+      "uses 512)";
+  known["out"] = "results directory (default results/run)";
+  known["cache-dir"] =
+      "sweep/artifact cache directory (default $BRICKSIM_CACHE_DIR or "
+      "results/cache)";
+  known["no-cache"] = "disable reading and writing the cache";
+  const Cli cli(static_cast<int>(flag_argv.size()), flag_argv.data(),
+                std::move(known));
+  if (cli.help_requested()) {
+    std::cout << usage_text() << "\n"
+              << cli.help(std::string("bricksim ") + command);
+    return 0;
+  }
+
+  const SweepConfig base = sweep_config_from_cli(cli, 256);
+  const bool explicit_n = cli.has("n");
+  const std::string cache_dir =
+      cli.has("no-cache") ? "" : default_cache_dir(cli.get("cache-dir", ""));
+  const std::string out_dir = cli.get("out", "results/run");
+
+  if (command == "all") {
+    BRICKSIM_REQUIRE(names.empty(),
+                     "`bricksim all` takes no experiment names");
+    for (const auto& exp : experiment_registry()) names.push_back(exp.name);
+  }
+  BRICKSIM_REQUIRE(!names.empty(),
+                   "`bricksim run` needs at least one experiment name "
+                   "(see `bricksim list`)");
+  for (const auto& name : names)
+    BRICKSIM_REQUIRE(find_experiment(name) != nullptr,
+                     "unknown experiment: " + name +
+                         " (see `bricksim list`)");
+
+  SweepProvider provider(cache_dir);
+  json::Value fps = json::Value::object();
+  for (const auto& name : names) {
+    const Experiment& exp = *find_experiment(name);
+    SweepConfig config = base;
+    if (!explicit_n)
+      config.domain = {exp.default_n, exp.default_n, exp.default_n};
+    // The main-config fingerprint identifies every driver-level knob that
+    // can reach this experiment's output (domain, engine, check mode,
+    // catalog, platform parameters): the artifact-cache key.
+    const std::string cfg_fp =
+        fingerprint(SweepProvider::main_config(config));
+    fps[name] = cfg_fp;
+
+    std::string text;
+    json::Value doc;
+    bool replayed = false;
+    const std::string art_path =
+        cache_dir.empty()
+            ? std::string()
+            : artifact_path(cache_dir, name, cfg_fp, config.csv);
+    if (!cache_dir.empty()) {
+      if (auto art = load_artifact(art_path, name, cfg_fp, config.csv)) {
+        text = art->at("output").as_string();
+        doc = json::Value::object();
+        for (const auto& [key, val] : art->items())
+          if (key != "output") doc[key] = val;
+        ++provider.stats().artifact_hits;
+        replayed = true;
+      }
+    }
+    if (!replayed) {
+      std::ostringstream oss;
+      ExperimentContext ctx(config, &provider, &oss);
+      exp.emit(ctx);
+      text = oss.str();
+      doc = tables_document(name, cfg_fp, config.csv, ctx.tables());
+      ++provider.stats().experiments_emitted;
+      if (!cache_dir.empty()) store_artifact(art_path, doc, text);
+    }
+    if (config.progress)
+      std::cerr << "[bricksim] " << name << (replayed ? " (cached, " : " (")
+                << cfg_fp << ")\n";
+
+    std::cout << text << std::flush;
+    const std::filesystem::path exp_dir =
+        std::filesystem::path(out_dir) / name;
+    std::filesystem::create_directories(exp_dir);
+    write_text_file(exp_dir / "output.txt", text);
+    write_text_file(exp_dir / "tables.json", doc.dump(1) + "\n");
+  }
+
+  const CacheStats& stats = provider.stats();
+  json::Value summary = json::Value::object();
+  summary["schema"] = kSweepCacheSchema;
+  summary["command"] = command;
+  json::Value names_json = json::Value::array();
+  for (const auto& name : names) names_json.push_back(name);
+  summary["experiments"] = names_json;
+  summary["csv"] = base.csv;
+  summary["engine"] =
+      base.engine == simt::Engine::Interp ? "interp" : "plan";
+  summary["check_mode"] = analysis::check_mode_name(base.check_mode);
+  summary["cache_dir"] = cache_dir;  // empty when caching is disabled
+  summary["config_fingerprints"] = fps;
+  json::Value cache = json::Value::object();
+  cache["sweeps_simulated"] = stats.sweeps_simulated;
+  cache["sweep_disk_hits"] = stats.sweep_disk_hits;
+  cache["sweep_memo_hits"] = stats.sweep_memo_hits;
+  cache["rooflines_computed"] = stats.rooflines_computed;
+  cache["artifact_hits"] = stats.artifact_hits;
+  cache["experiments_emitted"] = stats.experiments_emitted;
+  summary["cache"] = cache;
+  std::filesystem::create_directories(out_dir);
+  write_text_file(std::filesystem::path(out_dir) / "run_summary.json",
+                  summary.dump(1) + "\n");
+  return 0;
+}
+
+}  // namespace bricksim::harness

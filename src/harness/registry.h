@@ -1,0 +1,145 @@
+// The experiment registry behind the one `bricksim` driver binary.
+//
+// Every paper artifact (tables 1-5, figures 3-7, the mixbench rooflines,
+// the ablations, the PVC sub-group study, the CPU extension, the brickcheck
+// summary) is a registered Experiment declaring its name, the sweep slice
+// it needs, and an emitter.  The driver (`bricksim list | run <name...> |
+// all`) resolves sweeps through a SweepProvider that memoizes in process
+// and persists through the content-addressed sweep cache
+// (harness/sweepcache.h), so `bricksim all` simulates the full
+// (platform, stencil, variant) cross product exactly once -- and a rerun
+// with an unchanged fingerprint simulates nothing at all.  Each experiment
+// additionally writes structured artifacts (output.txt + tables.json)
+// under the results directory, plus a run_summary.json carrying the cache
+// counters CI asserts on.
+//
+// The 16 legacy bench_* binaries are thin shims over this registry
+// (run_legacy_shim), kept as deprecated aliases for one release; their
+// stdout is byte-identical to `bricksim run <name>` because both paths are
+// the same emitter.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/harness.h"
+
+namespace bricksim::harness {
+
+/// Which sweep an experiment consumes (its cache/memo granularity).
+enum class SweepKind {
+  None,       ///< self-driving (launcher/autotuner); no shared sweep
+  Main,       ///< the full paper sweep: paper_platforms x catalog x variants
+  Rooflines,  ///< only the per-platform mixbench rooflines of the main sweep
+  Cpu,        ///< the CPU-extension sweep (SKX, KNL, A100/CUDA; bricks only)
+};
+
+struct CacheStats {
+  int sweeps_simulated = 0;    ///< full sweeps that ran the simulator
+  int sweep_disk_hits = 0;     ///< sweeps replayed from the persisted cache
+  int sweep_memo_hits = 0;     ///< sweeps reused in-process within one run
+  int rooflines_computed = 0;  ///< standalone mixbench runs (no main sweep)
+  int artifact_hits = 0;       ///< experiments replayed from artifact cache
+  int experiments_emitted = 0; ///< experiments that executed their emitter
+};
+
+/// Lazily materializes sweeps for experiments: in-process memo first, then
+/// the content-addressed disk cache, then a real run_sweep (persisted for
+/// next time).  One provider serves a whole driver invocation, so every
+/// experiment of `bricksim all` shares one main sweep.
+class SweepProvider {
+ public:
+  /// `cache_dir` empty disables persistence (legacy shims, --no-cache).
+  explicit SweepProvider(std::string cache_dir);
+
+  /// The full paper sweep at `config`'s domain/engine/check settings
+  /// (platforms/stencils/variants forced to the paper defaults).
+  const Sweep& main(const SweepConfig& config);
+
+  /// The CPU-extension sweep (cpu_platforms + A100/CUDA, bricks codegen).
+  const Sweep& cpu(const SweepConfig& config);
+
+  /// Per-platform-label mixbench rooflines.  Reuses the main sweep when it
+  /// is already materialized (memo or disk); otherwise computes just the
+  /// rooflines, which is far cheaper than the cross product.
+  const std::map<std::string, roofline::EmpiricalRoofline>& rooflines(
+      const SweepConfig& config);
+
+  CacheStats& stats() { return stats_; }
+  const std::string& cache_dir() const { return cache_dir_; }
+
+  /// The main-sweep config derived from driver-level settings.
+  static SweepConfig main_config(const SweepConfig& base);
+  static SweepConfig cpu_config(const SweepConfig& base);
+
+ private:
+  const Sweep& get(const SweepConfig& config);
+
+  std::string cache_dir_;
+  std::map<std::string, Sweep> memo_;  ///< fingerprint -> sweep
+  std::map<std::string, std::map<std::string, roofline::EmpiricalRoofline>>
+      rooflines_memo_;  ///< main fingerprint -> rooflines only
+  CacheStats stats_;
+};
+
+/// Execution context handed to an experiment emitter.
+class ExperimentContext {
+ public:
+  ExperimentContext(SweepConfig config, SweepProvider* sweeps,
+                    std::ostream* os)
+      : config_(std::move(config)), sweeps_(sweeps), os_(os) {}
+
+  const SweepConfig& config() const { return config_; }
+  SweepProvider& sweeps() { return *sweeps_; }
+
+  /// Free-text output (headers, summary lines).
+  std::ostream& out() { return *os_; }
+
+  /// Emits a table: prints it (aligned or CSV per --csv; `force_aligned`
+  /// pins the historical always-aligned tables) and records it under `id`
+  /// for the JSON artifact.
+  void table(const std::string& id, const Table& t,
+             bool force_aligned = false);
+
+  /// Tables recorded so far, in emission order.
+  const std::vector<std::pair<std::string, Table>>& tables() const {
+    return tables_;
+  }
+
+ private:
+  SweepConfig config_;
+  SweepProvider* sweeps_;
+  std::ostream* os_;
+  std::vector<std::pair<std::string, Table>> tables_;
+};
+
+struct Experiment {
+  std::string name;           ///< registry key, e.g. "fig3"
+  std::string title;          ///< one-liner for `bricksim list`
+  std::string legacy_binary;  ///< deprecated alias, "" when none
+  int default_n = 256;        ///< the legacy binary's default domain
+  SweepKind sweep = SweepKind::None;
+  std::function<void(ExperimentContext&)> emit;
+};
+
+/// All experiments in emission order (paper order, then extensions).
+const std::vector<Experiment>& experiment_registry();
+
+/// Lookup by name; nullptr when unknown.
+const Experiment* find_experiment(const std::string& name);
+
+/// Entry point of the deprecated bench_* alias binaries: parses the legacy
+/// CLI (sweep flags only), prints a deprecation note to stderr, and runs
+/// the named experiment against stdout with caching disabled.
+int run_legacy_shim(const std::string& name, int argc,
+                    const char* const* argv);
+
+/// Entry point of the `bricksim` driver binary.
+int driver_main(int argc, const char* const* argv);
+
+}  // namespace bricksim::harness

@@ -1,0 +1,241 @@
+#include "harness/sweepcache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace bricksim::harness {
+
+namespace {
+
+json::Value to_json(const Vec3& v) {
+  json::Value a = json::Value::array();
+  a.push_back(v.i);
+  a.push_back(v.j);
+  a.push_back(v.k);
+  return a;
+}
+
+json::Value to_json(const arch::CacheParams& c) {
+  json::Value v = json::Value::object();
+  v["capacity_bytes"] = c.capacity_bytes;
+  v["line_bytes"] = c.line_bytes;
+  v["sector_bytes"] = c.sector_bytes;
+  v["associativity"] = c.associativity;
+  return v;
+}
+
+// Every GpuArch field: any of them reaches simulated counters or timing.
+json::Value to_json(const arch::GpuArch& g) {
+  json::Value v = json::Value::object();
+  v["name"] = g.name;
+  v["vendor"] = g.vendor;
+  v["num_cores"] = g.num_cores;
+  v["simd_width"] = g.simd_width;
+  v["clock_ghz"] = g.clock_ghz;
+  v["fp64_lanes_per_cycle"] = g.fp64_lanes_per_cycle;
+  v["int_lanes_per_cycle"] = g.int_lanes_per_cycle;
+  v["shuffle_lanes_per_cycle"] = g.shuffle_lanes_per_cycle;
+  v["l1_bytes_per_cycle"] = g.l1_bytes_per_cycle;
+  v["mem_issue_per_cycle"] = g.mem_issue_per_cycle;
+  v["l1"] = to_json(g.l1);
+  v["l2"] = to_json(g.l2);
+  v["hbm_gbytes_per_sec"] = g.hbm_gbytes_per_sec;
+  v["l2_gbytes_per_sec"] = g.l2_gbytes_per_sec;
+  v["mem_latency_cycles"] = g.mem_latency_cycles;
+  v["max_resident_blocks_per_core"] = g.max_resident_blocks_per_core;
+  v["regs_per_lane"] = g.regs_per_lane;
+  v["requires_aligned_vloads"] = g.requires_aligned_vloads;
+  v["stream_base_eff"] = g.stream_base_eff;
+  v["stencil_bw_eff"] = g.stencil_bw_eff;
+  v["stream_penalty"] = g.stream_penalty;
+  v["free_streams"] = g.free_streams;
+  v["page_open_bytes"] = g.page_open_bytes;
+  return v;
+}
+
+json::Value to_json(const model::ProgModel& pm) {
+  json::Value v = json::Value::object();
+  v["kind"] = static_cast<int>(pm.kind);
+  v["name"] = pm.name;
+  v["addr_ops_per_load_naive"] = pm.addr_ops_per_load_naive;
+  v["addr_ops_per_store_naive"] = pm.addr_ops_per_store_naive;
+  v["addr_ops_per_load_codegen"] = pm.addr_ops_per_load_codegen;
+  v["addr_ops_per_store_codegen"] = pm.addr_ops_per_store_codegen;
+  v["naive_extra_cycles_per_load"] = pm.naive_extra_cycles_per_load;
+  v["bw_derate"] = pm.bw_derate;
+  v["shuffle_cost_mult"] = pm.shuffle_cost_mult;
+  v["reg_budget_fraction"] = pm.reg_budget_fraction;
+  v["streaming_stores"] = pm.streaming_stores;
+  v["bypass_l2_unaligned_vloads"] = pm.bypass_l2_unaligned_vloads;
+  return v;
+}
+
+// Shape, offsets and coefficient values: a retuned coefficient or a custom
+// stencil must miss the cache even when the display name collides.
+json::Value to_json(const dsl::Stencil& st) {
+  json::Value v = json::Value::object();
+  v["name"] = st.name();
+  v["shape"] = dsl::shape_name(st.shape());
+  v["radius"] = st.radius();
+  json::Value groups = json::Value::array();
+  for (const auto& g : st.groups()) {
+    json::Value gv = json::Value::object();
+    gv["coeff"] = g.coeff;
+    gv["value"] = g.value;
+    json::Value offs = json::Value::array();
+    for (const auto& o : g.offsets) offs.push_back(to_json(o));
+    gv["offsets"] = offs;
+    groups.push_back(gv);
+  }
+  v["groups"] = groups;
+  return v;
+}
+
+json::Value to_json(const codegen::Options& o) {
+  json::Value v = json::Value::object();
+  v["enable_cse"] = o.enable_cse;
+  v["scatter_threshold_points"] = o.scatter_threshold_points;
+  v["force_scatter"] = o.force_scatter;
+  v["force_gather"] = o.force_gather;
+  v["reorder_for_pressure"] = o.reorder_for_pressure;
+  v["tile_j"] = o.tile_j;
+  v["tile_k"] = o.tile_k;
+  v["tile_i_vectors"] = o.tile_i_vectors;
+  v["shuffled_brick_order"] = o.shuffled_brick_order;
+  v["brick_order_seed"] = o.brick_order_seed;
+  return v;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return s;
+}
+
+}  // namespace
+
+json::Value config_identity(const SweepConfig& config) {
+  json::Value v = json::Value::object();
+  v["schema"] = kSweepCacheSchema;
+  v["domain"] = to_json(config.domain);
+  json::Value platforms = json::Value::array();
+  for (const auto& pf : config.platforms) {
+    json::Value p = json::Value::object();
+    p["gpu"] = to_json(pf.gpu);
+    p["pm"] = to_json(pf.pm);
+    platforms.push_back(p);
+  }
+  v["platforms"] = platforms;
+  json::Value stencils = json::Value::array();
+  for (const auto& st : config.stencils) stencils.push_back(to_json(st));
+  v["stencils"] = stencils;
+  json::Value variants = json::Value::array();
+  for (const auto var : config.variants)
+    variants.push_back(codegen::variant_name(var));
+  v["variants"] = variants;
+  v["cg_opts"] = to_json(config.cg_opts);
+  v["check_mode"] = analysis::check_mode_name(config.check_mode);
+  // Engines are bit-identical by contract, but an A/B discrepancy hiding
+  // behind a shared cache entry would be undebuggable -- key on it.
+  v["engine"] = config.engine == simt::Engine::Interp ? "interp" : "plan";
+  return v;
+}
+
+std::string fingerprint(const SweepConfig& config) {
+  return hex16(fnv1a(config_identity(config).dump()));
+}
+
+json::Value sweep_to_json(const Sweep& sweep) {
+  json::Value v = json::Value::object();
+  v["schema"] = kSweepCacheSchema;
+  v["fingerprint"] = fingerprint(sweep.config);
+  v["config"] = config_identity(sweep.config);
+  json::Value ms = json::Value::array();
+  for (const auto& m : sweep.measurements)
+    ms.push_back(profiler::to_json(m));
+  v["measurements"] = ms;
+  json::Value rls = json::Value::object();
+  for (const auto& [label, rl] : sweep.rooflines)
+    rls[label] = roofline::to_json(rl);
+  v["rooflines"] = rls;
+  return v;
+}
+
+Sweep sweep_from_json(const json::Value& v, const SweepConfig& config) {
+  BRICKSIM_REQUIRE(v.at("schema").as_long() == kSweepCacheSchema,
+                   "sweep cache schema mismatch");
+  BRICKSIM_REQUIRE(v.at("fingerprint").as_string() == fingerprint(config),
+                   "sweep cache fingerprint does not match the config");
+  Sweep sweep;
+  sweep.config = config;
+  const json::Value& ms = v.at("measurements");
+  sweep.measurements.reserve(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i)
+    sweep.measurements.push_back(profiler::measurement_from_json(ms[i]));
+  for (const auto& [label, rl] : v.at("rooflines").items())
+    sweep.rooflines.emplace(label,
+                            roofline::empirical_roofline_from_json(rl));
+  sweep.build_index();
+  return sweep;
+}
+
+std::string default_cache_dir(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  if (const char* env = std::getenv("BRICKSIM_CACHE_DIR");
+      env != nullptr && env[0] != '\0')
+    return env;
+  return "results/cache";
+}
+
+std::string cache_entry_path(const std::string& dir,
+                             const SweepConfig& config) {
+  return dir + "/sweep-" + fingerprint(config) + ".json";
+}
+
+std::optional<Sweep> load_cached_sweep(const std::string& dir,
+                                       const SweepConfig& config) {
+  const std::string path = cache_entry_path(dir, config);
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return sweep_from_json(json::Value::parse(text.str()), config);
+  } catch (const Error&) {
+    return std::nullopt;  // corrupt or stale entry reads as a miss
+  }
+}
+
+void store_cached_sweep(const std::string& dir, const Sweep& sweep) {
+  std::filesystem::create_directories(dir);
+  const std::string path = cache_entry_path(dir, sweep.config);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    BRICKSIM_REQUIRE(out.good(), "cannot write sweep cache entry " + tmp);
+    out << sweep_to_json(sweep).dump(1) << "\n";
+    BRICKSIM_REQUIRE(out.good(), "short write to sweep cache entry " + tmp);
+  }
+  // Rename last so a crash never leaves a half-written entry under the
+  // content-addressed name.
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace bricksim::harness

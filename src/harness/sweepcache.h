@@ -1,0 +1,69 @@
+// Content-addressed sweep cache.
+//
+// A Sweep is a pure function of its SweepConfig: the simulator draws no
+// randomness, accumulates nothing across configs, and both execution
+// engines are bit-identical, so two sweeps with the same inputs produce the
+// same measurements bit for bit.  This module exploits that: a Sweep is
+// keyed by a fingerprint of everything that can reach a result -- the
+// domain, every architecture and programming-model parameter of every
+// platform, the full stencil catalog (offsets and coefficient values
+// included), the codegen options, the variant list, the brickcheck mode,
+// the execution engine, and a schema version -- and persisted as JSON.
+// `bricksim all` runs the sweep once; every experiment, and every later
+// invocation with an unchanged fingerprint, replays it from cache
+// bit-identically (tests/test_serialize.cpp holds the cold-vs-warm
+// equality proof).
+//
+// Deliberately NOT in the fingerprint: --jobs, --progress and --csv, which
+// cannot affect measurement content (DESIGN.md "Threading model"), and the
+// output/cache paths themselves.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "harness/harness.h"
+
+namespace bricksim::harness {
+
+/// Bump when the Measurement/Roofline schema or the sweep semantics change;
+/// stale cache entries then miss instead of deserializing garbage.
+inline constexpr int kSweepCacheSchema = 1;
+
+/// 16-hex-digit FNV-1a fingerprint of every result-reaching field of
+/// `config` (plus kSweepCacheSchema).
+std::string fingerprint(const SweepConfig& config);
+
+/// The config's identity as JSON -- the exact tree the fingerprint hashes.
+/// Stored inside cache files so an entry is self-describing.
+json::Value config_identity(const SweepConfig& config);
+
+/// Serializes fingerprint + measurements + rooflines.  The config itself
+/// travels as its identity tree; sweep_from_json re-attaches the caller's
+/// in-memory config (which the fingerprint proves equivalent).
+json::Value sweep_to_json(const Sweep& sweep);
+
+/// Rebuilds a Sweep (measurements, rooflines, find-index) from
+/// sweep_to_json output; throws bricksim::Error when `v` does not carry
+/// the fingerprint of `config` at the current schema.
+Sweep sweep_from_json(const json::Value& v, const SweepConfig& config);
+
+/// Cache directory resolution: `flag_value` if non-empty, else
+/// $BRICKSIM_CACHE_DIR, else "results/cache".
+std::string default_cache_dir(const std::string& flag_value = "");
+
+/// Path of the cache entry for `config` under `dir`.
+std::string cache_entry_path(const std::string& dir,
+                             const SweepConfig& config);
+
+/// Loads the cached sweep for `config`, or nullopt when absent/stale
+/// (fingerprint or schema mismatch -- a corrupt entry also reads as a
+/// miss, never as wrong data).
+std::optional<Sweep> load_cached_sweep(const std::string& dir,
+                                       const SweepConfig& config);
+
+/// Persists `sweep` under its fingerprint (creates `dir` as needed).
+void store_cached_sweep(const std::string& dir, const Sweep& sweep);
+
+}  // namespace bricksim::harness

@@ -80,4 +80,24 @@ CheckRollup rollup_checks(std::span<const profiler::Measurement> ms) {
   return r;
 }
 
+json::Value to_json(const CheckRollup& r) {
+  json::Value v = json::Value::object();
+  v["kernels"] = r.kernels;
+  v["insts"] = r.insts;
+  v["errors"] = r.errors;
+  v["warnings"] = r.warnings;
+  v["clean"] = r.clean;
+  return v;
+}
+
+CheckRollup check_rollup_from_json(const json::Value& v) {
+  CheckRollup r;
+  r.kernels = v.at("kernels").as_long();
+  r.insts = v.at("insts").as_long();
+  r.errors = v.at("errors").as_long();
+  r.warnings = v.at("warnings").as_long();
+  r.clean = v.at("clean").as_long();
+  return r;
+}
+
 }  // namespace bricksim::metrics

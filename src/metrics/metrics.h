@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "dsl/stencil.h"
 #include "profiler/profiler.h"
 #include "roofline/roofline.h"
@@ -93,8 +94,15 @@ struct CheckRollup {
   double clean_fraction() const {
     return kernels > 0 ? static_cast<double>(clean) / kernels : 1.0;
   }
+
+  friend bool operator==(const CheckRollup&, const CheckRollup&) = default;
 };
 
 CheckRollup rollup_checks(std::span<const profiler::Measurement> ms);
+
+/// Lossless JSON round trip for the audit-trail artifact:
+/// check_rollup_from_json(to_json(r)) == r.
+json::Value to_json(const CheckRollup& r);
+CheckRollup check_rollup_from_json(const json::Value& v);
 
 }  // namespace bricksim::metrics

@@ -79,4 +79,87 @@ void print_report(std::ostream& os, const Measurement& m) {
        << " warning(s)\n";
 }
 
+namespace {
+
+json::Value vec3_to_json(const Vec3& v) {
+  json::Value a = json::Value::array();
+  a.push_back(v.i);
+  a.push_back(v.j);
+  a.push_back(v.k);
+  return a;
+}
+
+Vec3 vec3_from_json(const json::Value& a) {
+  return {static_cast<int>(a[0].as_long()), static_cast<int>(a[1].as_long()),
+          static_cast<int>(a[2].as_long())};
+}
+
+}  // namespace
+
+json::Value to_json(const Measurement& m) {
+  json::Value v = json::Value::object();
+  v["stencil"] = m.stencil;
+  v["variant"] = m.variant;
+  v["arch"] = m.arch;
+  v["pm"] = m.pm;
+  v["domain"] = vec3_to_json(m.domain);
+  v["seconds"] = m.seconds;
+  v["gflops"] = m.gflops;
+  v["ai"] = m.ai;
+  v["ai_executed"] = m.ai_executed;
+  v["hbm_bytes"] = m.hbm_bytes;
+  v["hbm_read_bytes"] = m.hbm_read_bytes;
+  v["hbm_write_bytes"] = m.hbm_write_bytes;
+  v["l2_bytes"] = m.l2_bytes;
+  v["l1_bytes"] = m.l1_bytes;
+  v["flops_executed"] = m.flops_executed;
+  v["flops_normalized"] = m.flops_normalized;
+  v["warp_insts"] = m.warp_insts;
+  v["t_hbm"] = m.t_hbm;
+  v["t_l2"] = m.t_l2;
+  v["t_issue"] = m.t_issue;
+  v["bottleneck"] = m.bottleneck;
+  v["regs_used"] = m.regs_used;
+  v["spill_slots"] = m.spill_slots;
+  v["read_streams"] = m.read_streams;
+  v["used_scatter"] = m.used_scatter;
+  v["check_errors"] = m.check_errors;
+  v["check_warnings"] = m.check_warnings;
+  v["check_insts"] = m.check_insts;
+  return v;
+}
+
+Measurement measurement_from_json(const json::Value& v) {
+  Measurement m;
+  m.stencil = v.at("stencil").as_string();
+  m.variant = v.at("variant").as_string();
+  m.arch = v.at("arch").as_string();
+  m.pm = v.at("pm").as_string();
+  m.domain = vec3_from_json(v.at("domain"));
+  m.seconds = v.at("seconds").as_double();
+  m.gflops = v.at("gflops").as_double();
+  m.ai = v.at("ai").as_double();
+  m.ai_executed = v.at("ai_executed").as_double();
+  m.hbm_bytes = v.at("hbm_bytes").as_u64();
+  m.hbm_read_bytes = v.at("hbm_read_bytes").as_u64();
+  m.hbm_write_bytes = v.at("hbm_write_bytes").as_u64();
+  m.l2_bytes = v.at("l2_bytes").as_u64();
+  m.l1_bytes = v.at("l1_bytes").as_u64();
+  m.flops_executed = v.at("flops_executed").as_u64();
+  m.flops_normalized = v.at("flops_normalized").as_long();
+  m.warp_insts = v.at("warp_insts").as_u64();
+  m.t_hbm = v.at("t_hbm").as_double();
+  m.t_l2 = v.at("t_l2").as_double();
+  m.t_issue = v.at("t_issue").as_double();
+  m.bottleneck = v.at("bottleneck").as_string();
+  m.regs_used = static_cast<int>(v.at("regs_used").as_long());
+  m.spill_slots = static_cast<int>(v.at("spill_slots").as_long());
+  m.read_streams = static_cast<int>(v.at("read_streams").as_long());
+  m.used_scatter = v.at("used_scatter").as_bool();
+  m.check_errors = v.at("check_errors").as_long();
+  m.check_warnings = v.at("check_warnings").as_long();
+  m.check_insts = v.at("check_insts").as_long();
+  return m;
+}
+
 }  // namespace bricksim::profiler

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "codegen/codegen.h"
+#include "common/json.h"
 #include "dsl/stencil.h"
 #include "model/launcher.h"
 #include "model/progmodel.h"
@@ -73,5 +74,11 @@ Measurement run_and_measure(const model::Launcher& launcher,
 
 /// Prints a detailed per-kernel report (profiler-CLI style).
 void print_report(std::ostream& os, const Measurement& m);
+
+/// Lossless JSON round trip (doubles via shortest-round-trip formatting):
+/// measurement_from_json(to_json(m)) == m field-for-field, bit-exact on the
+/// doubles.  The unit record of the sweep cache and all result artifacts.
+json::Value to_json(const Measurement& m);
+Measurement measurement_from_json(const json::Value& v);
 
 }  // namespace bricksim::profiler

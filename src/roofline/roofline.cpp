@@ -95,4 +95,54 @@ EmpiricalRoofline mixbench(const model::Platform& platform, Vec3 domain) {
   return out;
 }
 
+json::Value to_json(const Roofline& rl) {
+  json::Value v = json::Value::object();
+  v["peak_bw"] = rl.peak_bw;
+  v["peak_flops"] = rl.peak_flops;
+  return v;
+}
+
+Roofline roofline_from_json(const json::Value& v) {
+  Roofline rl;
+  rl.peak_bw = v.at("peak_bw").as_double();
+  rl.peak_flops = v.at("peak_flops").as_double();
+  return rl;
+}
+
+json::Value to_json(const MixbenchPoint& p) {
+  json::Value v = json::Value::object();
+  v["nominal_ai"] = p.nominal_ai;
+  v["measured_ai"] = p.measured_ai;
+  v["gflops"] = p.gflops;
+  v["gbytes_per_sec"] = p.gbytes_per_sec;
+  return v;
+}
+
+MixbenchPoint mixbench_point_from_json(const json::Value& v) {
+  MixbenchPoint p;
+  p.nominal_ai = v.at("nominal_ai").as_double();
+  p.measured_ai = v.at("measured_ai").as_double();
+  p.gflops = v.at("gflops").as_double();
+  p.gbytes_per_sec = v.at("gbytes_per_sec").as_double();
+  return p;
+}
+
+json::Value to_json(const EmpiricalRoofline& e) {
+  json::Value v = json::Value::object();
+  v["roofline"] = to_json(e.roofline);
+  json::Value points = json::Value::array();
+  for (const auto& p : e.points) points.push_back(to_json(p));
+  v["points"] = points;
+  return v;
+}
+
+EmpiricalRoofline empirical_roofline_from_json(const json::Value& v) {
+  EmpiricalRoofline e;
+  e.roofline = roofline_from_json(v.at("roofline"));
+  const json::Value& points = v.at("points");
+  for (std::size_t i = 0; i < points.size(); ++i)
+    e.points.push_back(mixbench_point_from_json(points[i]));
+  return e;
+}
+
 }  // namespace bricksim::roofline

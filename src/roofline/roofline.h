@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/json.h"
 #include "common/types.h"
 #include "model/progmodel.h"
 
@@ -65,5 +66,14 @@ struct EmpiricalRoofline {
 /// (large enough to defeat the L2) and derives the empirical ceilings.
 EmpiricalRoofline mixbench(const model::Platform& platform,
                            bricksim::Vec3 domain);
+
+/// Lossless JSON round trips (bit-exact doubles) for the sweep cache and
+/// result artifacts: *_from_json(to_json(x)) == x.
+json::Value to_json(const Roofline& rl);
+Roofline roofline_from_json(const json::Value& v);
+json::Value to_json(const MixbenchPoint& p);
+MixbenchPoint mixbench_point_from_json(const json::Value& v);
+json::Value to_json(const EmpiricalRoofline& e);
+EmpiricalRoofline empirical_roofline_from_json(const json::Value& v);
 
 }  // namespace bricksim::roofline

@@ -107,6 +107,20 @@ TEST(Table, AlignedPrintAndCsv) {
   EXPECT_NE(csv.str().find("x,1.5"), std::string::npos);
 }
 
+TEST(Table, CsvQuotesAndEscapesPerRfc4180) {
+  // Regression: fields containing commas/quotes/newlines used to be
+  // mangled (comma -> semicolon) instead of quoted.
+  Table t({"name", "with,comma"});
+  t.add_row({"a\"b", "line1\nline2"});
+  t.add_row({"plain", "13pt, star"});
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_EQ(csv.str(),
+            "name,\"with,comma\"\n"
+            "\"a\"\"b\",\"line1\nline2\"\n"
+            "plain,\"13pt, star\"\n");
+}
+
 TEST(Table, RejectsAriyMismatch) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), Error);

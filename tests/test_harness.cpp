@@ -119,6 +119,38 @@ TEST(HarnessStatic, Table1And2And4NeedNoSweep) {
   EXPECT_EQ(t4.row(5)[2], "8.3750");
 }
 
+TEST(HarnessStatic, FindIndexMatchesLinearScan) {
+  // A hand-assembled sweep (no build_index) uses the linear scan; after
+  // build_index the indexed lookup must agree, including first-duplicate
+  // semantics.
+  Sweep sweep;
+  profiler::Measurement a, b, other;
+  a.stencil = b.stencil = "7pt";
+  a.variant = b.variant = "bricks codegen";
+  a.arch = b.arch = "A100";
+  a.pm = b.pm = "CUDA";
+  a.gflops = 1;
+  b.gflops = 2;  // duplicate key; the scan returns the first
+  other.stencil = "13pt";
+  other.variant = "array";
+  other.arch = "MI250X-GCD";
+  other.pm = "HIP";
+  sweep.measurements = {a, b, other};
+
+  const auto* scanned = sweep.find("7pt", "bricks codegen", "A100/CUDA");
+  ASSERT_NE(scanned, nullptr);
+  EXPECT_EQ(scanned->gflops, 1);
+  EXPECT_EQ(sweep.find("13pt", "array", "MI250X-GCD/HIP"), &sweep.measurements[2]);
+  EXPECT_EQ(sweep.find("13pt", "array", "A100/CUDA"), nullptr);
+
+  sweep.build_index();
+  EXPECT_EQ(sweep.find("7pt", "bricks codegen", "A100/CUDA"),
+            &sweep.measurements[0]);
+  EXPECT_EQ(sweep.find("13pt", "array", "MI250X-GCD/HIP"),
+            &sweep.measurements[2]);
+  EXPECT_EQ(sweep.find("13pt", "array", "A100/CUDA"), nullptr);
+}
+
 TEST(HarnessStatic, CliConfig) {
   const char* argv[] = {"bench", "--n", "128", "--progress", "--jobs=3"};
   const SweepConfig c = sweep_config_from_cli(5, argv);

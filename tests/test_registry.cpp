@@ -1,0 +1,168 @@
+// The experiment registry and the bricksim driver: registration
+// invariants, emitter/shim equivalence, and the artifact cache replaying
+// a warm run byte-identically without executing any emitter.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "harness/registry.h"
+#include "harness/sweepcache.h"
+
+namespace bricksim {
+namespace {
+
+TEST(Registry, SixteenUniquelyNamedExperiments) {
+  const auto& reg = harness::experiment_registry();
+  EXPECT_EQ(reg.size(), 16u);
+  std::set<std::string> names, binaries;
+  for (const auto& exp : reg) {
+    EXPECT_TRUE(names.insert(exp.name).second) << exp.name;
+    EXPECT_NE(exp.emit, nullptr) << exp.name;
+    EXPECT_GT(exp.default_n, 0) << exp.name;
+    EXPECT_EQ(exp.default_n % 64, 0) << exp.name;
+    if (!exp.legacy_binary.empty())
+      EXPECT_TRUE(binaries.insert(exp.legacy_binary).second)
+          << exp.legacy_binary;
+  }
+  EXPECT_EQ(binaries.size(), 15u);  // every legacy bench except components
+}
+
+TEST(Registry, FindExperiment) {
+  ASSERT_NE(harness::find_experiment("fig3"), nullptr);
+  EXPECT_EQ(harness::find_experiment("fig3")->legacy_binary,
+            "bench_fig3_roofline");
+  EXPECT_EQ(harness::find_experiment("nope"), nullptr);
+}
+
+TEST(Registry, StaticEmitterMatchesMakeTable) {
+  // table2 runs no sweep: the emitter must be exactly the legacy stdout.
+  harness::SweepProvider provider("");
+  std::ostringstream os;
+  harness::ExperimentContext ctx(harness::SweepConfig{}, &provider, &os);
+  harness::find_experiment("table2")->emit(ctx);
+
+  std::ostringstream expect;
+  expect << "Table 2: Stencils used for performance portability "
+            "evaluation.\n\n";
+  harness::make_table2().print(expect);
+  EXPECT_EQ(os.str(), expect.str());
+  ASSERT_EQ(ctx.tables().size(), 1u);
+  EXPECT_EQ(ctx.tables()[0].first, "table2");
+  EXPECT_EQ(ctx.tables()[0].second, harness::make_table2());
+}
+
+TEST(Registry, CsvFlagReachesEmittedTables) {
+  harness::SweepConfig config;
+  config.csv = true;
+  harness::SweepProvider provider("");
+  std::ostringstream os;
+  harness::ExperimentContext ctx(config, &provider, &os);
+  harness::find_experiment("table1")->emit(ctx);
+  EXPECT_NE(os.str().find("Platform,Model,Lowering profile"),
+            std::string::npos)
+      << os.str();
+}
+
+int run_driver(const std::vector<std::string>& args) {
+  std::vector<const char*> argv{"bricksim"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  return harness::driver_main(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(Driver, ColdThenWarmReplaysFromArtifactCache) {
+  const std::filesystem::path root =
+      std::filesystem::path(testing::TempDir()) / "bricksim_driver_test";
+  std::filesystem::remove_all(root);
+  const std::string cache = (root / "cache").string();
+
+  // Cheap but sweep-bearing selection: one static table plus the CPU sweep
+  // at a small domain.
+  const std::vector<std::string> sel = {"run",     "table2",
+                                        "cpu_crossplatform",
+                                        "--n",     "64",
+                                        "--out",   (root / "cold").string(),
+                                        "--cache-dir", cache};
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(run_driver(sel), 0);
+  const std::string cold_stdout = testing::internal::GetCapturedStdout();
+
+  const json::Value cold_summary =
+      json::Value::parse(slurp(root / "cold" / "run_summary.json"));
+  EXPECT_EQ(cold_summary.at("cache").at("experiments_emitted").as_long(), 2);
+  EXPECT_EQ(cold_summary.at("cache").at("artifact_hits").as_long(), 0);
+  EXPECT_EQ(cold_summary.at("cache").at("sweeps_simulated").as_long(), 1);
+
+  std::vector<std::string> warm_sel = sel;
+  warm_sel[6] = (root / "warm").string();
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(run_driver(warm_sel), 0);
+  const std::string warm_stdout = testing::internal::GetCapturedStdout();
+
+  EXPECT_EQ(warm_stdout, cold_stdout);
+  const json::Value warm_summary =
+      json::Value::parse(slurp(root / "warm" / "run_summary.json"));
+  EXPECT_EQ(warm_summary.at("cache").at("experiments_emitted").as_long(), 0);
+  EXPECT_EQ(warm_summary.at("cache").at("artifact_hits").as_long(), 2);
+  EXPECT_EQ(warm_summary.at("cache").at("sweeps_simulated").as_long(), 0);
+
+  // Per-experiment artifacts are byte-identical too.
+  for (const char* name : {"table2", "cpu_crossplatform"}) {
+    EXPECT_EQ(slurp(root / "warm" / name / "output.txt"),
+              slurp(root / "cold" / name / "output.txt"))
+        << name;
+    EXPECT_EQ(slurp(root / "warm" / name / "tables.json"),
+              slurp(root / "cold" / name / "tables.json"))
+        << name;
+  }
+  // output.txt carries the exact stdout of the run.
+  EXPECT_EQ(slurp(root / "cold" / "table2" / "output.txt") +
+                slurp(root / "cold" / "cpu_crossplatform" / "output.txt"),
+            cold_stdout);
+  std::filesystem::remove_all(root);
+}
+
+TEST(Driver, NoCacheDisablesPersistence) {
+  const std::filesystem::path root =
+      std::filesystem::path(testing::TempDir()) / "bricksim_nocache_test";
+  std::filesystem::remove_all(root);
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(run_driver({"run", "table1", "--out", (root / "out").string(),
+                        "--no-cache"}),
+            0);
+  testing::internal::GetCapturedStdout();
+  const json::Value summary =
+      json::Value::parse(slurp(root / "out" / "run_summary.json"));
+  EXPECT_EQ(summary.at("cache_dir").as_string(), "");
+  EXPECT_EQ(summary.at("cache").at("experiments_emitted").as_long(), 1);
+  std::filesystem::remove_all(root);
+}
+
+TEST(Driver, RejectsUnknownExperimentAndCommand) {
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_driver({"frobnicate"}), 2);
+  testing::internal::GetCapturedStderr();
+  EXPECT_THROW(run_driver({"run", "nope", "--no-cache"}), Error);
+}
+
+TEST(Driver, ListNamesEveryExperiment) {
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(run_driver({"list"}), 0);
+  const std::string out = testing::internal::GetCapturedStdout();
+  for (const auto& exp : harness::experiment_registry())
+    EXPECT_NE(out.find(exp.name), std::string::npos) << exp.name;
+}
+
+}  // namespace
+}  // namespace bricksim

@@ -1,0 +1,308 @@
+// Round-trip properties of the JSON layer and every serializer the sweep
+// cache depends on: from_json(to_json(x)) == x with bit-exact doubles, and
+// a cold-store/warm-load sweep equality proof (the contract behind
+// `bricksim all` replaying cached results identically to a fresh
+// simulation).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/table.h"
+#include "harness/harness.h"
+#include "harness/sweepcache.h"
+#include "metrics/metrics.h"
+#include "profiler/profiler.h"
+#include "roofline/roofline.h"
+
+namespace bricksim {
+namespace {
+
+// --- format_double -----------------------------------------------------------
+
+TEST(FormatDouble, SpecialValuesRoundTrip) {
+  for (const double v : {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e300, 1e-300,
+                         5e-324 /* min denormal */, 123456789.123456789,
+                         std::numeric_limits<double>::max(),
+                         std::numeric_limits<double>::min()}) {
+    const double back = json::parse_double(json::format_double(v));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v))
+        << json::format_double(v);
+  }
+}
+
+TEST(FormatDouble, NegativeZeroKeepsSign) {
+  const std::string s = json::format_double(-0.0);
+  const double back = json::parse_double(s);
+  EXPECT_TRUE(std::signbit(back)) << s;
+}
+
+TEST(FormatDouble, NonFiniteTokens) {
+  EXPECT_EQ(json::format_double(std::numeric_limits<double>::infinity()),
+            "Infinity");
+  EXPECT_EQ(json::format_double(-std::numeric_limits<double>::infinity()),
+            "-Infinity");
+  EXPECT_EQ(json::format_double(std::nan("")), "NaN");
+  EXPECT_TRUE(std::isnan(json::parse_double("NaN")));
+  EXPECT_EQ(json::parse_double("-Infinity"),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(FormatDouble, RandomBitPatternsAreBitExact) {
+  // SplitMix64 over raw bit patterns: every finite double, including
+  // denormals and extreme exponents, must survive format -> parse exactly.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  int tested = 0;
+  for (int n = 0; n < 20000; ++n) {
+    const std::uint64_t bits = next();
+    const double v = std::bit_cast<double>(bits);
+    if (!std::isfinite(v)) continue;
+    ++tested;
+    const double back = json::parse_double(json::format_double(v));
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(back), bits)
+        << json::format_double(v);
+  }
+  EXPECT_GT(tested, 15000);  // non-finite patterns are rare
+}
+
+// --- Value parse/dump --------------------------------------------------------
+
+TEST(JsonValue, DumpParseRoundTripPreservesStructure) {
+  json::Value v = json::Value::object();
+  v["zulu"] = 1;  // insertion order, not alphabetical
+  v["alpha"] = std::string("two\nlines \"quoted\" \\ and \x01 control");
+  v["pi"] = 3.141592653589793;
+  v["neg"] = -0.0;
+  v["big"] = 123456789012345678ll;
+  v["flag"] = true;
+  v["nothing"] = json::Value();
+  json::Value arr = json::Value::array();
+  arr.push_back(1);
+  arr.push_back("x");
+  json::Value inner = json::Value::object();
+  inner["k"] = 2.5;
+  arr.push_back(inner);
+  v["arr"] = arr;
+
+  for (const int indent : {-1, 1, 2}) {
+    const json::Value back = json::Value::parse(v.dump(indent));
+    EXPECT_EQ(back, v) << "indent " << indent;
+  }
+  // Insertion order is preserved through the round trip.
+  const json::Value back = json::Value::parse(v.dump());
+  EXPECT_EQ(back.items().front().first, "zulu");
+}
+
+TEST(JsonValue, IntegersKeepTheirText) {
+  EXPECT_EQ(json::Value(123456789012345678ll).dump(), "123456789012345678");
+  EXPECT_EQ(json::Value(std::uint64_t{18446744073709551615ull}).dump(),
+            "18446744073709551615");
+  const json::Value v = json::Value::parse("18446744073709551615");
+  EXPECT_EQ(v.as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(v.dump(), "18446744073709551615");
+}
+
+TEST(JsonValue, NegativeZeroTokenStaysADouble) {
+  const json::Value v = json::Value::parse("-0");
+  EXPECT_TRUE(std::signbit(v.as_double()));
+  EXPECT_EQ(v.dump(), "-0");
+}
+
+TEST(JsonValue, UnicodeEscapes) {
+  const json::Value v = json::Value::parse("\"A\\u0042\\u00e9\"");
+  EXPECT_EQ(v.as_string(), "AB\xc3\xa9");
+}
+
+TEST(JsonValue, StrictParserRejectsMalformedInput) {
+  EXPECT_THROW(json::Value::parse("{\"a\":1,}"), Error);
+  EXPECT_THROW(json::Value::parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(json::Value::parse("{\"a\":1,\"a\":2}"), Error);  // dup key
+  EXPECT_THROW(json::Value::parse("\"bad \\q escape\""), Error);
+  EXPECT_THROW(json::Value::parse("01"), Error);
+  EXPECT_THROW(json::Value::parse(""), Error);
+}
+
+// --- Serializers -------------------------------------------------------------
+
+profiler::Measurement sample_measurement() {
+  profiler::Measurement m;
+  m.stencil = "star,\"13pt\"";  // adversarial name: CSV metacharacters
+  m.variant = "bricks codegen";
+  m.arch = "A100";
+  m.pm = "CUDA";
+  m.domain = {128, 192, 256};
+  m.seconds = 1.0 / 3.0;
+  m.gflops = 1234.5678901234567;
+  m.ai = 0.1;
+  m.ai_executed = 0.30000000000000004;
+  m.hbm_bytes = 18446744073709551615ull;
+  m.hbm_read_bytes = 1ull << 62;
+  m.hbm_write_bytes = 3;
+  m.l2_bytes = 5;
+  m.l1_bytes = 7;
+  m.flops_executed = 11;
+  m.flops_normalized = 123456789012345;
+  m.warp_insts = 13;
+  m.t_hbm = 1e-300;
+  m.t_l2 = 5e-324;
+  m.t_issue = 1e300;
+  m.bottleneck = "hbm";
+  m.regs_used = 42;
+  m.spill_slots = -1;
+  m.read_streams = 9;
+  m.used_scatter = true;
+  m.check_errors = 2;
+  m.check_warnings = 3;
+  m.check_insts = 1000000;
+  return m;
+}
+
+TEST(Serialize, MeasurementRoundTripIsExact) {
+  const profiler::Measurement m = sample_measurement();
+  const profiler::Measurement back =
+      profiler::measurement_from_json(profiler::to_json(m));
+  EXPECT_EQ(back, m);
+  // And through a full text round trip (dump + parse), still exact.
+  const profiler::Measurement back2 = profiler::measurement_from_json(
+      json::Value::parse(profiler::to_json(m).dump(2)));
+  EXPECT_EQ(back2, m);
+}
+
+TEST(Serialize, EmpiricalRooflineRoundTripIsExact) {
+  roofline::EmpiricalRoofline e;
+  e.roofline = {1555.0e9 / 3.0, 9.7e12};
+  e.points = {{0.125, 0.12499999999999997, 194.0 + 1.0 / 3.0, 1555.4},
+              {64.0, 63.9, 9700.0, 151.5}};
+  const roofline::EmpiricalRoofline back =
+      roofline::empirical_roofline_from_json(
+          json::Value::parse(roofline::to_json(e).dump()));
+  EXPECT_EQ(back, e);
+}
+
+TEST(Serialize, CheckRollupRoundTrip) {
+  const metrics::CheckRollup r{120, 987654321012345, 0, 7, 113};
+  EXPECT_EQ(metrics::check_rollup_from_json(
+                json::Value::parse(metrics::to_json(r).dump())),
+            r);
+}
+
+TEST(Serialize, TableRoundTrip) {
+  Table t({"a", "b,c"});
+  t.add_row({"plain", "with \"quotes\" and,commas"});
+  t.add_row({"", "multi\nline"});
+  EXPECT_EQ(Table::from_json(json::Value::parse(t.to_json().dump(1))), t);
+}
+
+// --- Sweep cache -------------------------------------------------------------
+
+harness::SweepConfig small_config() {
+  harness::SweepConfig config;
+  config.domain = {64, 64, 64};
+  config.platforms = {model::paper_platforms().front()};
+  config.stencils = {dsl::Stencil::star(1), dsl::Stencil::cube(1)};
+  config.variants = {codegen::Variant::Array,
+                     codegen::Variant::BricksCodegen};
+  return config;
+}
+
+TEST(SweepCache, SweepJsonRoundTripIsExact) {
+  const harness::Sweep sweep = harness::run_sweep(small_config());
+  const harness::Sweep back = harness::sweep_from_json(
+      json::Value::parse(harness::sweep_to_json(sweep).dump(1)),
+      sweep.config);
+  EXPECT_EQ(back.measurements, sweep.measurements);
+  EXPECT_EQ(back.rooflines, sweep.rooflines);
+  // The loader rebuilt the find index.
+  const auto* m = back.find("7pt", "bricks codegen", "A100/CUDA");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(*m, *sweep.find("7pt", "bricks codegen", "A100/CUDA"));
+}
+
+TEST(SweepCache, FromJsonRejectsMismatchedConfig) {
+  const harness::Sweep sweep = harness::run_sweep(small_config());
+  const json::Value v = harness::sweep_to_json(sweep);
+  harness::SweepConfig other = small_config();
+  other.engine = simt::Engine::Interp;
+  EXPECT_THROW(harness::sweep_from_json(v, other), Error);
+}
+
+TEST(SweepCache, ColdStoreWarmLoadIsBitIdentical) {
+  const std::string dir =
+      (std::filesystem::path(testing::TempDir()) / "bricksim_sweepcache")
+          .string();
+  std::filesystem::remove_all(dir);
+  const harness::SweepConfig config = small_config();
+  EXPECT_FALSE(harness::load_cached_sweep(dir, config).has_value());
+
+  const harness::Sweep cold = harness::run_sweep(config);
+  harness::store_cached_sweep(dir, cold);
+  const auto warm = harness::load_cached_sweep(dir, config);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->measurements, cold.measurements);
+  EXPECT_EQ(warm->rooflines, cold.rooflines);
+  // Re-serializing the warm sweep reproduces the cache file text exactly.
+  EXPECT_EQ(harness::sweep_to_json(*warm).dump(1),
+            harness::sweep_to_json(cold).dump(1));
+
+  // A corrupt entry reads as a miss, never as wrong data.
+  {
+    std::ofstream out(harness::cache_entry_path(dir, config));
+    out << "{ not json";
+  }
+  EXPECT_FALSE(harness::load_cached_sweep(dir, config).has_value());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepCache, FingerprintCoversResultReachingKnobs) {
+  const harness::SweepConfig base = small_config();
+  const std::string fp = harness::fingerprint(base);
+
+  harness::SweepConfig c = base;
+  c.engine = simt::Engine::Interp;
+  EXPECT_NE(harness::fingerprint(c), fp);
+
+  c = base;
+  c.check_mode = analysis::CheckMode::Off;
+  EXPECT_NE(harness::fingerprint(c), fp);
+
+  c = base;
+  c.domain = {128, 64, 64};
+  EXPECT_NE(harness::fingerprint(c), fp);
+
+  c = base;
+  c.stencils = {dsl::Stencil::star(2), dsl::Stencil::cube(1)};
+  EXPECT_NE(harness::fingerprint(c), fp);
+
+  c = base;
+  c.cg_opts.force_gather = true;
+  EXPECT_NE(harness::fingerprint(c), fp);
+
+  c = base;
+  c.variants = {codegen::Variant::Array};
+  EXPECT_NE(harness::fingerprint(c), fp);
+}
+
+TEST(SweepCache, FingerprintIgnoresPresentationKnobs) {
+  const harness::SweepConfig base = small_config();
+  harness::SweepConfig c = base;
+  c.jobs = 7;
+  c.progress = true;
+  c.csv = true;
+  EXPECT_EQ(harness::fingerprint(c), harness::fingerprint(base));
+}
+
+}  // namespace
+}  // namespace bricksim
