@@ -12,7 +12,10 @@
 int main(int argc, char** argv) {
   using namespace bricksim;
 
-  auto config = harness::sweep_config_from_cli(argc, argv, /*default_n=*/128);
+  auto config_opt =
+      harness::sweep_config_from_cli(argc, argv, /*default_n=*/128);
+  if (!config_opt) return 0;  // --help: printed and handled
+  auto config = *std::move(config_opt);
   config.platforms = model::metric_platforms();
   config.variants = {codegen::Variant::BricksCodegen};
 

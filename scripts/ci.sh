@@ -22,7 +22,18 @@
 #                                stdout and artifacts; then every legacy
 #                                bench_* binary is diffed byte-for-byte
 #                                against `bricksim run <name>`
-#   7. clang-tidy lint           (scripts/lint.sh; skipped when absent)
+#   7. fault-injection soak:     the driver under ASan with deterministic
+#                                faults armed (--fault-inject /
+#                                BRICKSIM_FAULT_INJECT): a degraded run
+#                                exits 3 with FAILED holes and a named
+#                                failure in run_summary.json, --resume
+#                                replays the checkpoint shards and
+#                                simulates only the hole (byte-identical
+#                                to a never-faulted run), a corrupted
+#                                cache entry is quarantined and healed by
+#                                re-simulation, and `bricksim doctor`
+#                                reports/prunes the damage
+#   8. clang-tidy lint           (scripts/lint.sh; skipped when absent)
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  run only the brickcheck/ir/codegen test subset under the
@@ -34,12 +45,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/7] tier-1 verify (plain)"
+echo "==> [1/8] tier-1 verify (plain)"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/7] tier-1 verify (Release)"
+echo "==> [2/8] tier-1 verify (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -49,7 +60,7 @@ else
   ctest --test-dir build-release --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [3/7] tier-1 verify (ASan + UBSan)"
+echo "==> [3/8] tier-1 verify (ASan + UBSan)"
 cmake -B build-asan -S . -DBRICKSIM_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -59,17 +70,17 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [4/7] concurrency verify (TSan)"
+echo "==> [4/8] concurrency verify (TSan)"
 cmake -B build-tsan -S . -DBRICKSIM_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan'
 
-echo "==> [5/7] parallel sweep smoke (fig3 at --jobs 4, both engines)"
+echo "==> [5/8] parallel sweep smoke (fig3 at --jobs 4, both engines)"
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null 2> /dev/null
 
-echo "==> [6/7] driver verify (bricksim all cold/warm + legacy byte-diff)"
+echo "==> [6/8] driver verify (bricksim all cold/warm + legacy byte-diff)"
 CIDIR="$(mktemp -d)"
 trap 'rm -rf "$CIDIR"' EXIT
 BRICKSIM=./build/bench/bricksim
@@ -116,7 +127,100 @@ for pair in table1:bench_table1_platforms table2:bench_table2_stencils \
     || { echo "FAIL: $bin stdout differs from bricksim run $name"; exit 1; }
 done
 
-echo "==> [7/7] lint"
+echo "==> [7/8] fault-injection soak (ASan driver)"
+ASAN_BRICKSIM=./build-asan/bench/bricksim
+SOAK="$CIDIR/soak"
+mkdir -p "$SOAK"
+
+# Reference: a clean run in its own cache, for byte-level comparison.
+"$ASAN_BRICKSIM" run cpu_crossplatform --n 64 --jobs 1 \
+  --out "$SOAK/ref" --cache-dir "$SOAK/ref_cache" \
+  > "$SOAK/ref.stdout" 2> /dev/null
+
+# Degraded run: one deterministic launch fault (--jobs 1 pins which
+# config fails).  The run must complete, render the hole as FAILED, name
+# the failure in run_summary.json, and exit 3 -- not 1.
+rc=0
+"$ASAN_BRICKSIM" run cpu_crossplatform --n 64 --jobs 1 \
+  --out "$SOAK/bad" --cache-dir "$SOAK/cache" --fault-inject 'launch@1' \
+  > "$SOAK/bad.stdout" 2> /dev/null || rc=$?
+[[ "$rc" == 3 ]] \
+  || { echo "FAIL: degraded run exited $rc, expected 3"; exit 1; }
+grep -q 'FAILED' "$SOAK/bad.stdout" \
+  || { echo "FAIL: degraded run rendered no FAILED hole"; exit 1; }
+grep -q '"site": "launch"' "$SOAK/bad/run_summary.json" \
+  || { echo "FAIL: run_summary.json names no launch failure"; exit 1; }
+grep -q '"cpu_crossplatform": "degraded"' "$SOAK/bad/run_summary.json" \
+  || { echo "FAIL: experiment not marked degraded"; exit 1; }
+
+# Resume without the fault: the checkpoint shards replay bit-identically,
+# only the hole is simulated, and the output matches the never-faulted
+# reference byte for byte.
+"$ASAN_BRICKSIM" run cpu_crossplatform --n 64 --jobs 1 \
+  --out "$SOAK/resumed" --cache-dir "$SOAK/cache" --resume \
+  > "$SOAK/resumed.stdout" 2> /dev/null
+cmp "$SOAK/resumed.stdout" "$SOAK/ref.stdout" \
+  || { echo "FAIL: resumed stdout differs from clean reference"; exit 1; }
+grep -q '"configs_simulated": 1' "$SOAK/resumed/run_summary.json" \
+  || { echo "FAIL: resume re-simulated more than the hole"; exit 1; }
+
+# Cache self-healing: corrupt the stored sweep entry (same-length edit so
+# only the checksum can notice) and drop the artifact entries so the
+# sweep is actually re-read.  The next run must quarantine the damage,
+# re-simulate, and still match the reference byte for byte.
+rm -f "$SOAK/cache"/artifact-*.json
+sed -i 's/"measurements"/"measuremenXs"/' "$SOAK/cache"/sweep-*.json
+"$ASAN_BRICKSIM" run cpu_crossplatform --n 64 --jobs 1 \
+  --out "$SOAK/healed" --cache-dir "$SOAK/cache" \
+  > "$SOAK/healed.stdout" 2> "$SOAK/healed.stderr"
+cmp "$SOAK/healed.stdout" "$SOAK/ref.stdout" \
+  || { echo "FAIL: healed stdout differs from clean reference"; exit 1; }
+grep -q 'quarantin' "$SOAK/healed.stderr" \
+  || { echo "FAIL: corrupt entry was not quarantined"; exit 1; }
+grep -q '"entries_quarantined": 1' "$SOAK/healed/run_summary.json" \
+  || { echo "FAIL: quarantine not counted in run_summary.json"; exit 1; }
+ls "$SOAK/cache"/sweep-*.json.corrupt > /dev/null 2>&1 \
+  || { echo "FAIL: no .corrupt quarantine file left behind"; exit 1; }
+
+# Torn-write fault: the torn entry must be detected (quarantined) on the
+# next run, never replayed as truth.
+rc=0
+"$ASAN_BRICKSIM" run fig4 --n 64 --jobs 1 --out "$SOAK/torn" \
+  --cache-dir "$SOAK/torn_cache" \
+  --fault-inject 'cache.write.torn[sweep-]@1' \
+  > /dev/null 2> /dev/null || rc=$?
+[[ "$rc" == 0 ]] \
+  || { echo "FAIL: torn-write run exited $rc (faults in the cache layer"\
+" must not degrade the run)"; exit 1; }
+rm -f "$SOAK/torn_cache"/artifact-*.json
+"$ASAN_BRICKSIM" run fig4 --n 64 --jobs 1 --out "$SOAK/torn2" \
+  --cache-dir "$SOAK/torn_cache" > /dev/null 2> "$SOAK/torn2.stderr"
+grep -q 'quarantin' "$SOAK/torn2.stderr" \
+  || { echo "FAIL: torn cache entry was not quarantined"; exit 1; }
+
+# Env-armed emitter fault: BRICKSIM_FAULT_INJECT reaches the driver, the
+# failing emitter is isolated and named, exit code 3.
+rc=0
+BRICKSIM_FAULT_INJECT='emit[table2]@1' \
+  "$ASAN_BRICKSIM" run table2 --no-cache --out "$SOAK/emit" \
+  > "$SOAK/emit.stdout" 2> "$SOAK/emit.stderr" || rc=$?
+[[ "$rc" == 3 ]] \
+  || { echo "FAIL: emitter-fault run exited $rc, expected 3"; exit 1; }
+grep -q 'BRICKSIM_FAULT_INJECT' "$SOAK/emit.stderr" \
+  || { echo "FAIL: env-armed fault injection printed no note"; exit 1; }
+grep -q '"table2": "failed"' "$SOAK/emit/run_summary.json" \
+  || { echo "FAIL: failed emitter not marked in run_summary.json"; exit 1; }
+
+# Doctor: reports the quarantined entry, prune clears it, and a healthy
+# cache scans clean (exit 0).
+"$ASAN_BRICKSIM" doctor --cache-dir "$SOAK/cache" > "$SOAK/doctor.out"
+grep -q '\.corrupt' "$SOAK/doctor.out" \
+  || { echo "FAIL: doctor missed the quarantined entry"; exit 1; }
+"$ASAN_BRICKSIM" doctor --cache-dir "$SOAK/cache" --prune > /dev/null
+"$ASAN_BRICKSIM" doctor --cache-dir "$SOAK/cache" > "$SOAK/doctor2.out" \
+  || { echo "FAIL: doctor reports damage after prune"; exit 1; }
+
+echo "==> [8/8] lint"
 scripts/lint.sh
 
 echo "==> CI green"

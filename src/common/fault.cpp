@@ -1,0 +1,182 @@
+#include "common/fault.h"
+
+#include <mutex>
+
+#include "common/error.h"
+
+namespace bricksim::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "cache.write.torn", "cache.write.rename", "cache.read.short",
+    "cache.read.corrupt", "roofline", "launch", "emit",
+};
+
+struct Injector {
+  std::mutex mu;
+  FaultPlan plan;
+  std::vector<long> clause_hits;   // matching hits per plan clause
+  long site_hits[kNumSites] = {};  // raw hits per site
+};
+
+Injector& injector() {
+  static Injector inj;
+  return inj;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+const char* site_name(Site site) {
+  return kSiteNames[static_cast<int>(site)];
+}
+
+std::optional<Site> parse_site(const std::string& name) {
+  for (int s = 0; s < kNumSites; ++s)
+    if (name == kSiteNames[s]) return static_cast<Site>(s);
+  return std::nullopt;
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) {
+      if (pos > spec.size()) break;  // trailing end; empty clauses rejected
+      BRICKSIM_REQUIRE(false, "fault spec: empty clause in '" + spec + "'");
+    }
+    if (clause.rfind("seed=", 0) == 0) {
+      const std::string v = clause.substr(5);
+      BRICKSIM_REQUIRE(!v.empty() &&
+                           v.find_first_not_of("0123456789") ==
+                               std::string::npos,
+                       "fault spec: bad seed in '" + clause + "'");
+      plan.seed = std::stoull(v);
+      continue;
+    }
+    Clause c;
+    std::string head = clause;
+    const std::size_t at = head.rfind('@');
+    BRICKSIM_REQUIRE(at != std::string::npos,
+                     "fault spec: clause '" + clause +
+                         "' is missing '@<nth>' (e.g. launch@1)");
+    std::string nth = head.substr(at + 1);
+    head = head.substr(0, at);
+    if (!nth.empty() && nth.back() == '+') {
+      c.persistent = true;
+      nth.pop_back();
+    }
+    BRICKSIM_REQUIRE(!nth.empty() &&
+                         nth.find_first_not_of("0123456789") ==
+                             std::string::npos,
+                     "fault spec: bad hit index in '" + clause + "'");
+    c.nth = std::stol(nth);
+    BRICKSIM_REQUIRE(c.nth >= 1,
+                     "fault spec: hit index must be >= 1 in '" + clause +
+                         "'");
+    if (const std::size_t lb = head.find('[');
+        lb != std::string::npos) {
+      BRICKSIM_REQUIRE(head.back() == ']',
+                       "fault spec: unterminated '[' in '" + clause + "'");
+      c.match = head.substr(lb + 1, head.size() - lb - 2);
+      head = head.substr(0, lb);
+    }
+    const auto site = parse_site(head);
+    BRICKSIM_REQUIRE(site.has_value(),
+                     "fault spec: unknown site '" + head + "' in '" +
+                         clause + "'");
+    c.site = *site;
+    plan.clauses.push_back(std::move(c));
+  }
+  return plan;
+}
+
+void arm(FaultPlan plan) {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  inj.plan = std::move(plan);
+  inj.clause_hits.assign(inj.plan.clauses.size(), 0);
+  for (long& h : inj.site_hits) h = 0;
+  detail::g_armed.store(!inj.plan.empty(), std::memory_order_relaxed);
+}
+
+void disarm() {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  inj.plan = FaultPlan{};
+  inj.clause_hits.clear();
+  detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool fire(Site site, const std::string& context) {
+  if (!armed()) return false;
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  ++inj.site_hits[static_cast<int>(site)];
+  bool fired = false;
+  for (std::size_t c = 0; c < inj.plan.clauses.size(); ++c) {
+    const FaultPlan::Clause& cl = inj.plan.clauses[c];
+    if (cl.site != site) continue;
+    if (!cl.match.empty() && context.find(cl.match) == std::string::npos)
+      continue;
+    const long hit = ++inj.clause_hits[c];
+    if (hit == cl.nth || (cl.persistent && hit > cl.nth)) fired = true;
+  }
+  return fired;
+}
+
+void throw_if(Site site, const std::string& context) {
+  if (fire(site, context))
+    throw Error(std::string("fault injected: ") + site_name(site) +
+                (context.empty() ? "" : " " + context));
+}
+
+std::string mutate(Site site, const std::string& payload) {
+  if (payload.empty()) return payload;
+  std::uint64_t seed;
+  {
+    Injector& inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mu);
+    seed = inj.plan.seed;
+  }
+  const std::uint64_t r = splitmix64(
+      seed ^ splitmix64(static_cast<std::uint64_t>(site) * 2654435761ull +
+                        payload.size()));
+  std::string out = payload;
+  switch (site) {
+    case Site::CacheWriteTorn:
+    case Site::CacheReadShort:
+      out.resize(static_cast<std::size_t>(r % payload.size()));  // proper prefix
+      break;
+    case Site::CacheReadCorrupt:
+      out[static_cast<std::size_t>(r % payload.size())] ^=
+          static_cast<char>(0xFF);  // always changes the byte
+      break;
+    default:
+      break;  // throwing sites have no payload to mutate
+  }
+  return out;
+}
+
+long hits(Site site) {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mu);
+  return inj.site_hits[static_cast<int>(site)];
+}
+
+}  // namespace bricksim::fault

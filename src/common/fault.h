@@ -1,0 +1,120 @@
+// Deterministic, seeded fault injection for robustness testing.
+//
+// Production sweep runners are only trustworthy if their failure paths are
+// exercised; this module makes every failure path reachable on demand and
+// bit-reproducible.  A FaultPlan -- parsed from `--fault-inject=SPEC` or
+// $BRICKSIM_FAULT_INJECT -- names *sites* (fixed instrumentation points in
+// cache I/O, kernel launch, and emitter dispatch) and which hit of each
+// site should fail.  Disabled cost is a single relaxed atomic load per
+// site; armed behaviour is a pure function of (plan, hit sequence), so a
+// seeded plan reproduces the same torn byte or thrown launch every run.
+//
+// SPEC grammar (comma-separated clauses):
+//   seed=<uint64>            RNG seed for payload mutation (default 1)
+//   <site>@<nth>             fire on the nth hit of the site (1-based)
+//   <site>@<nth>+            fire on every hit from the nth on
+//   <site>[<substr>]@<nth>   count only hits whose context contains
+//                            <substr> (a context is e.g. the cache path or
+//                            "A100/CUDA 125pt bricks codegen" for a launch)
+//
+// Sites:
+//   cache.write.torn    persist a truncated payload at the final path
+//                       (simulates a crash mid-persist; detected later by
+//                       the checksum line)
+//   cache.write.rename  the tmp -> final rename fails (store is dropped
+//                       with a warning; the sweep itself continues)
+//   cache.read.short    the read observes only a prefix of the file
+//   cache.read.corrupt  the read observes one flipped byte (seeded)
+//   roofline            the mixbench roofline derivation throws
+//   launch              the kernel launch throws bricksim::Error
+//   emit                the experiment emitter throws bricksim::Error
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bricksim::fault {
+
+enum class Site : int {
+  CacheWriteTorn = 0,
+  CacheWriteRename,
+  CacheReadShort,
+  CacheReadCorrupt,
+  Roofline,
+  Launch,
+  Emit,
+};
+inline constexpr int kNumSites = 7;
+
+/// "cache.write.torn", "launch", ... (the spec spelling).
+const char* site_name(Site site);
+
+/// Inverse of site_name; nullopt for unknown names.
+std::optional<Site> parse_site(const std::string& name);
+
+struct FaultPlan {
+  struct Clause {
+    Site site = Site::Launch;
+    std::string match;        ///< context substring filter; empty = any
+    long nth = 1;             ///< 1-based matching-hit index that fires
+    bool persistent = false;  ///< "nth+": keep firing from the nth hit on
+  };
+  std::vector<Clause> clauses;
+  std::uint64_t seed = 1;  ///< mutation RNG seed (the `seed=` clause)
+
+  bool empty() const { return clauses.empty(); }
+
+  /// Parses the SPEC grammar above; throws bricksim::Error naming the
+  /// offending clause on malformed input.
+  static FaultPlan parse(const std::string& spec);
+};
+
+/// Installs `plan` process-wide and resets all hit counters.
+void arm(FaultPlan plan);
+
+/// Returns to the zero-overhead disabled state.
+void disarm();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+}  // namespace detail
+
+/// True when a plan is armed.  This load is the entire cost of a disabled
+/// fault site; call sites guard context-string construction behind it.
+inline bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Counts one hit of `site` under `context` and reports whether a clause
+/// of the armed plan fires on it.  Never fires (and never counts) when
+/// disarmed.
+bool fire(Site site, const std::string& context = "");
+
+/// fire(), but throws bricksim::Error("fault injected: <site> <context>")
+/// when the hit fires.
+void throw_if(Site site, const std::string& context = "");
+
+/// Deterministic payload mutation for the firing cache sites: the
+/// truncation point / flipped byte depend only on (plan seed, site,
+/// payload size), so a seeded run is bit-reproducible.
+std::string mutate(Site site, const std::string& payload);
+
+/// Total hits counted for `site` since the last arm() (armed time only).
+long hits(Site site);
+
+/// RAII arm/disarm, used by driver_main and the tests so an exception
+/// never leaks an armed plan into unrelated code.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(FaultPlan plan) { arm(std::move(plan)); }
+  explicit ScopedPlan(const std::string& spec) { arm(FaultPlan::parse(spec)); }
+  ~ScopedPlan() { disarm(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace bricksim::fault

@@ -1,6 +1,8 @@
 #include "common/threadpool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <optional>
 
 namespace bricksim {
 
@@ -103,6 +105,53 @@ void parallel_for(int jobs, long n, const std::function<void(long)>& fn) {
     pool.wait();
   }
   if (err) std::rethrow_exception(err);
+}
+
+std::vector<TaskFailure> parallel_for_collect(
+    int jobs, long n, const std::function<void(long)>& fn) {
+  std::vector<TaskFailure> failures;
+  if (n <= 0) return failures;
+
+  auto run_one = [&fn](long i) -> std::optional<TaskFailure> {
+    try {
+      fn(i);
+      return std::nullopt;
+    } catch (const std::exception& e) {
+      return TaskFailure{i, e.what()};
+    } catch (...) {
+      return TaskFailure{i, "unknown exception"};
+    }
+  };
+
+  if (jobs <= 1 || n == 1) {
+    for (long i = 0; i < n; ++i)
+      if (auto f = run_one(i)) failures.push_back(std::move(*f));
+    return failures;
+  }
+
+  const int workers = static_cast<int>(jobs < n ? jobs : n);
+  std::atomic<long> next{0};
+  std::mutex fail_mu;
+  {
+    ThreadPool pool(workers);
+    for (int w = 0; w < workers; ++w)
+      pool.submit([&] {
+        for (;;) {
+          const long i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          if (auto f = run_one(i)) {
+            std::lock_guard<std::mutex> lock(fail_mu);
+            failures.push_back(std::move(*f));
+          }
+        }
+      });
+    pool.wait();
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const TaskFailure& a, const TaskFailure& b) {
+              return a.index < b.index;
+            });
+  return failures;
 }
 
 int default_jobs() {

@@ -73,6 +73,23 @@ class ThreadPool {
 /// that failed is rethrown on the calling thread.
 void parallel_for(int jobs, long n, const std::function<void(long)>& fn);
 
+/// One captured task failure of parallel_for_collect.
+struct TaskFailure {
+  long index = -1;      ///< the index whose fn() threw
+  std::string what;     ///< exception message ("unknown exception" if not
+                        ///< derived from std::exception)
+  friend bool operator==(const TaskFailure&, const TaskFailure&) = default;
+};
+
+/// Continue-on-error variant of parallel_for: every index in [0, n) runs
+/// exactly once even when some throw.  Returns the captured failures
+/// sorted by index -- a deterministic record regardless of the worker
+/// interleaving -- and never itself throws on a task failure.  The
+/// per-index slot-writing determinism contract is the same as
+/// parallel_for's; a failing index simply leaves its slot untouched.
+std::vector<TaskFailure> parallel_for_collect(
+    int jobs, long n, const std::function<void(long)>& fn);
+
 /// The default worker count for `--jobs`: std::thread::hardware_concurrency,
 /// or 1 when the runtime cannot report it.
 int default_jobs();

@@ -1,0 +1,163 @@
+#include "harness/cachefile.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/fault.h"
+
+namespace bricksim::harness {
+
+namespace {
+
+constexpr const char* kMagic = "bricksim-cache ";
+constexpr int kFramingVersion = 1;
+
+std::atomic<long> g_quarantined{0};
+
+std::string frame_header(const std::string& body) {
+  return std::string(kMagic) + std::to_string(kFramingVersion) + " fnv1a " +
+         hex16(fnv1a(body)) + " " + std::to_string(body.size()) + "\n";
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex16(std::uint64_t h) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[h & 0xF];
+    h >>= 4;
+  }
+  return s;
+}
+
+CacheFileRead read_cache_file(const std::string& path) {
+  CacheFileRead r;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return r;  // Missing
+
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  std::string text = slurp.str();
+  if (fault::armed()) {
+    if (fault::fire(fault::Site::CacheReadShort, path))
+      text = fault::mutate(fault::Site::CacheReadShort, text);
+    if (fault::fire(fault::Site::CacheReadCorrupt, path))
+      text = fault::mutate(fault::Site::CacheReadCorrupt, text);
+  }
+
+  const std::string magic = kMagic;
+  if (text.rfind(magic, 0) != 0) {
+    // A short file that is a prefix of the magic is a truncated entry of
+    // ours; anything else is a foreign/pre-checksum file we leave alone.
+    if (!text.empty() && magic.rfind(text, 0) == 0) {
+      r.status = CacheFileRead::Status::Corrupt;
+      r.error = "truncated inside the checksum header";
+    } else {
+      r.status = CacheFileRead::Status::Foreign;
+    }
+    return r;
+  }
+
+  r.status = CacheFileRead::Status::Corrupt;  // until fully verified
+  const std::size_t eol = text.find('\n');
+  if (eol == std::string::npos) {
+    r.error = "checksum header has no terminating newline";
+    return r;
+  }
+  std::istringstream header(text.substr(magic.size(), eol - magic.size()));
+  int version = 0;
+  std::string algo, checksum;
+  std::size_t length = 0;
+  if (!(header >> version >> algo >> checksum >> length) ||
+      algo != "fnv1a" || checksum.size() != 16) {
+    r.error = "malformed checksum header";
+    return r;
+  }
+  if (version != kFramingVersion) {
+    r.error = "unsupported framing version " + std::to_string(version);
+    return r;
+  }
+  std::string body = text.substr(eol + 1);
+  if (body.size() != length) {
+    r.error = "truncated: header promises " + std::to_string(length) +
+              " body bytes, file has " + std::to_string(body.size());
+    return r;
+  }
+  if (hex16(fnv1a(body)) != checksum) {
+    r.error = "checksum mismatch (stored " + checksum + ", computed " +
+              hex16(fnv1a(body)) + ")";
+    return r;
+  }
+  r.status = CacheFileRead::Status::Ok;
+  r.body = std::move(body);
+  r.error.clear();
+  return r;
+}
+
+bool write_cache_file(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  try {
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+
+    const std::string framed = frame_header(body) + body;
+    if (fault::armed() &&
+        fault::fire(fault::Site::CacheWriteTorn, path)) {
+      // Simulate a crash mid-persist: a truncated image lands at the
+      // *final* path and the process carries on believing the store
+      // succeeded.  The checksum line is what makes this detectable.
+      std::ofstream out(path, std::ios::binary);
+      out << fault::mutate(fault::Site::CacheWriteTorn, framed);
+      return true;
+    }
+    {
+      std::ofstream out(tmp, std::ios::binary);
+      BRICKSIM_REQUIRE(out.good(), "cannot open " + tmp);
+      out << framed;
+      out.flush();
+      BRICKSIM_REQUIRE(out.good(), "short write to " + tmp);
+    }
+    if (fault::armed())
+      fault::throw_if(fault::Site::CacheWriteRename, path);
+    // Rename last so a crash never leaves a half-written entry under the
+    // final name (the torn-write fault above deliberately bypasses this).
+    std::filesystem::rename(tmp, path);
+    return true;
+  } catch (const std::exception& e) {
+    std::cerr << "bricksim: warning: failed to persist cache entry " << path
+              << " (" << e.what() << "); continuing without it\n";
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+}
+
+void quarantine_cache_file(const std::string& path, const std::string& why) {
+  const std::string dest = path + ".corrupt";
+  std::error_code ec;
+  std::filesystem::rename(path, dest, ec);
+  if (ec) std::filesystem::remove(path, ec);
+  ++g_quarantined;
+  std::cerr << "bricksim: warning: corrupt cache entry " << path << " ("
+            << why << "); quarantined to " << dest
+            << " and treating as a miss\n";
+}
+
+long quarantine_count() { return g_quarantined.load(); }
+
+}  // namespace bricksim::harness

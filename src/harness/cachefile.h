@@ -1,0 +1,64 @@
+// Checksummed, crash-evident file framing for every on-disk cache artifact
+// (sweep entries, experiment artifacts, resume shards).
+//
+// Layout:
+//
+//   bricksim-cache 1 fnv1a <hex16-checksum> <body-bytes>\n
+//   <body>
+//
+// The checksum is FNV-1a over the body, so truncation, torn writes and
+// bit flips are *detected* rather than silently re-simulated: the loader
+// distinguishes a missing entry, a foreign/pre-checksum file (silent
+// miss -- not ours to judge), and a corrupt entry (quarantined to
+// `<path>.corrupt` with a one-line stderr warning so it stays
+// inspectable).  Writes go through tmp + rename and never throw: a
+// persistence failure costs the cache entry, not the sweep.
+//
+// All four cache fault-injection sites (common/fault.h) live here, which
+// is what lets one seeded plan exercise every corruption path end to end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bricksim::harness {
+
+/// FNV-1a over `s` (the cache fingerprint/checksum hash).
+std::uint64_t fnv1a(const std::string& s);
+
+/// 16-hex-digit lowercase rendering of `h`.
+std::string hex16(std::uint64_t h);
+
+struct CacheFileRead {
+  enum class Status {
+    Ok,       ///< framed, checksum verified; `body` is valid
+    Missing,  ///< no file at the path
+    Foreign,  ///< exists but carries no bricksim-cache header (a
+              ///< pre-checksum entry or an unrelated file): a silent miss
+    Corrupt,  ///< framed but damaged (truncated / checksum mismatch):
+              ///< the caller should quarantine it
+  };
+  Status status = Status::Missing;
+  std::string body;   ///< valid only when status == Ok
+  std::string error;  ///< damage description when status == Corrupt
+};
+
+/// Reads and verifies one framed cache file.
+CacheFileRead read_cache_file(const std::string& path);
+
+/// Frames `body` and writes it atomically (tmp + rename, parent dirs
+/// created).  Returns false -- after a one-line stderr warning -- when
+/// persisting failed; never throws: the cache is an optimisation and a
+/// write failure must not abort the computation that produced `body`.
+bool write_cache_file(const std::string& path, const std::string& body);
+
+/// Moves a damaged entry aside to `<path>.corrupt` (falling back to
+/// deletion when even the rename fails) and prints a one-line stderr
+/// warning naming the path and `why`.
+void quarantine_cache_file(const std::string& path, const std::string& why);
+
+/// Process-wide count of quarantine_cache_file calls; the driver reports
+/// the per-run delta as `entries_quarantined` in run_summary.json.
+long quarantine_count();
+
+}  // namespace bricksim::harness

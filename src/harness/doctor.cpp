@@ -1,0 +1,162 @@
+#include "harness/doctor.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/table.h"
+#include "harness/cachefile.h"
+#include "harness/sweepcache.h"
+
+namespace bricksim::harness {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The cache-file kind from the filename, "" for files that are not ours.
+std::string classify_kind(const fs::path& p) {
+  const std::string name = p.filename().string();
+  if (name.size() > 8 && name.rfind(".corrupt") == name.size() - 8)
+    return "quarantined";
+  if (name.size() > 4 && name.rfind(".tmp") == name.size() - 4) return "tmp";
+  if (p.extension() != ".json") return "";
+  if (name.rfind("sweep-", 0) == 0) return "sweep";
+  if (name.rfind("artifact-", 0) == 0) return "artifact";
+  if (name.rfind("shard-", 0) == 0) return "shard";
+  if (name.rfind("roofline-", 0) == 0) return "roofline";
+  return "";
+}
+
+/// The fingerprint a well-formed entry at `p` must carry: from the
+/// filename for sweep entries, from the `shards-<fp>` parent directory
+/// for shards; "" when the kind carries none we can cross-check cheaply.
+std::string expected_fingerprint(const fs::path& p, const std::string& kind) {
+  if (kind == "sweep") {
+    const std::string stem = p.stem().string();  // sweep-<16hex>
+    return stem.size() > 6 ? stem.substr(6) : "";
+  }
+  if (kind == "shard" || kind == "roofline") {
+    const std::string parent = p.parent_path().filename().string();
+    return parent.rfind("shards-", 0) == 0 ? parent.substr(7) : "";
+  }
+  return "";
+}
+
+/// Verifies one framed entry's body; returns {status, detail}.
+std::pair<std::string, std::string> verify_entry(const fs::path& p,
+                                                 const std::string& kind) {
+  const CacheFileRead r = read_cache_file(p.string());
+  switch (r.status) {
+    case CacheFileRead::Status::Missing:
+      return {"stale", "vanished mid-scan"};
+    case CacheFileRead::Status::Foreign:
+      return {"stale", "pre-checksum format (never read at this schema)"};
+    case CacheFileRead::Status::Corrupt:
+      return {"corrupt", r.error};
+    case CacheFileRead::Status::Ok:
+      break;
+  }
+  json::Value v;
+  try {
+    v = json::Value::parse(r.body);
+  } catch (const Error& e) {
+    return {"corrupt", std::string("body is not JSON: ") + e.what()};
+  }
+  try {
+    if (v.at("schema").as_long() != kSweepCacheSchema)
+      return {"stale",
+              "schema " + std::to_string(v.at("schema").as_long()) +
+                  " (current is " + std::to_string(kSweepCacheSchema) + ")"};
+    const std::string want = expected_fingerprint(p, kind);
+    if (!want.empty() && v.at("fingerprint").as_string() != want)
+      return {"corrupt", "fingerprint " + v.at("fingerprint").as_string() +
+                             " does not match the filename (" + want + ")"};
+  } catch (const Error& e) {
+    return {"corrupt", std::string("missing header field: ") + e.what()};
+  }
+  return {"ok", ""};
+}
+
+}  // namespace
+
+DoctorReport doctor_scan(const std::string& dir, bool prune) {
+  DoctorReport report;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return report;  // empty cache is healthy
+
+  std::vector<fs::path> files;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       !ec && it != fs::recursive_directory_iterator(); ++it)
+    if (it->is_regular_file()) files.push_back(it->path());
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& p : files) {
+    DoctorEntry e;
+    e.path = fs::relative(p, dir, ec).string();
+    e.kind = classify_kind(p);
+    if (e.kind.empty()) {
+      e.kind = "other";
+      e.status = "ignored";
+      e.detail = "not a bricksim cache file; left untouched";
+    } else if (e.kind == "quarantined") {
+      ++report.quarantined;
+      e.status = "quarantined";
+      e.detail = "kept for inspection; prune deletes it";
+      if (prune) {
+        fs::remove(p, ec);
+        ++report.pruned;
+        e.detail = "deleted";
+      }
+    } else if (e.kind == "tmp") {
+      e.status = "stale";
+      e.detail = "interrupted write, never renamed into place";
+    } else {
+      std::tie(e.status, e.detail) = verify_entry(p, e.kind);
+    }
+
+    if (e.status == "ok") ++report.ok;
+    if (e.status == "stale") {
+      ++report.stale;
+      if (prune) {
+        fs::remove(p, ec);
+        ++report.pruned;
+        e.detail += " -- deleted";
+      }
+    }
+    if (e.status == "corrupt") {
+      ++report.corrupt;
+      if (prune) {
+        quarantine_cache_file(p.string(), e.detail);
+        ++report.pruned;
+        e.detail += " -- quarantined";
+      }
+    }
+    report.entries.push_back(std::move(e));
+  }
+  return report;
+}
+
+int run_doctor(const std::string& dir, bool prune, std::ostream& os) {
+  const DoctorReport report = doctor_scan(dir, prune);
+  os << "bricksim doctor: " << dir
+     << (prune ? " (prune)" : " (report only; --prune repairs)") << "\n\n";
+  if (report.entries.empty()) {
+    os << "empty cache, nothing to check.\n";
+    return 0;
+  }
+  Table t({"Entry", "Kind", "Status", "Detail"});
+  for (const auto& e : report.entries)
+    t.add_row({e.path, e.kind, e.status, e.detail});
+  t.print(os);
+  os << "\n"
+     << report.ok << " ok, " << report.stale << " stale, " << report.corrupt
+     << " corrupt, " << report.quarantined << " quarantined";
+  if (prune) os << "; " << report.pruned << " pruned";
+  os << ".\n";
+  return report.corrupt > 0 ? 3 : 0;
+}
+
+}  // namespace bricksim::harness

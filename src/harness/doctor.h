@@ -1,0 +1,45 @@
+// `bricksim doctor`: cache health scan and repair.
+//
+// Walks a cache directory (sweep entries, experiment artifacts, resume
+// shards), verifies every entry's checksum framing and payload header,
+// and classifies each file as ok / stale (pre-checksum or old-schema --
+// harmless, never read) / corrupt (framed but damaged) / quarantined
+// (an earlier run's `.corrupt` file) / ignored (not a cache file).
+// With prune it quarantines the corrupt entries and deletes the stale
+// and quarantined ones, leaving a cache where every remaining file is
+// either healthy or foreign.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bricksim::harness {
+
+struct DoctorEntry {
+  std::string path;    ///< relative to the scanned directory
+  std::string kind;    ///< sweep | artifact | shard | roofline | tmp | other
+  std::string status;  ///< ok | stale | corrupt | quarantined | ignored
+  std::string detail;  ///< damage description, "" when healthy
+};
+
+struct DoctorReport {
+  std::vector<DoctorEntry> entries;  ///< sorted by path
+  int ok = 0;
+  int stale = 0;
+  int corrupt = 0;
+  int quarantined = 0;  ///< pre-existing `.corrupt` files found
+  int pruned = 0;       ///< files removed/quarantined (prune runs only)
+};
+
+/// Scans `dir` (recursively, so resume shards are covered); with `prune`
+/// also repairs as described above.  A missing directory yields an empty
+/// report, not an error -- an empty cache is healthy.
+DoctorReport doctor_scan(const std::string& dir, bool prune);
+
+/// Runs doctor_scan and prints the per-file table plus a summary line to
+/// `os`.  Returns 3 when corruption was found (matching the driver's
+/// completed-with-failures exit code), else 0.
+int run_doctor(const std::string& dir, bool prune, std::ostream& os);
+
+}  // namespace bricksim::harness

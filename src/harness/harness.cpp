@@ -1,13 +1,14 @@
 #include "harness/harness.h"
 
-#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/stats.h"
 #include "common/threadpool.h"
+#include "harness/sweepcache.h"
 
 namespace bricksim::harness {
 
@@ -38,10 +39,22 @@ const profiler::Measurement* Sweep::find(
 void Sweep::build_index() {
   index_.clear();
   // On duplicate keys keep the FIRST occurrence, matching the linear scan.
+  // Hole slots (failed configs) have no names and stay out of the index.
   for (std::size_t n = 0; n < measurements.size(); ++n) {
     const auto& m = measurements[n];
+    if (m.stencil.empty()) continue;
     index_.emplace(find_key(m.stencil, m.variant, m.arch + "/" + m.pm), n);
   }
+}
+
+const FailureRecord* Sweep::find_failure(
+    const std::string& stencil, const std::string& variant,
+    const std::string& platform_label) const {
+  for (const auto& f : failures)
+    if (f.stencil == stencil && f.variant == variant &&
+        f.platform == platform_label)
+      return &f;
+  return nullptr;
 }
 
 std::vector<profiler::Measurement> Sweep::select(
@@ -55,7 +68,8 @@ std::vector<profiler::Measurement> Sweep::select(
 }
 
 std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
-    const SweepConfig& config) {
+    const SweepConfig& config, std::vector<FailureRecord>* failures,
+    SweepRunStats* stats) {
   const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
   std::mutex progress_mu;
   // Mixbench works on a fixed mid-size streaming domain: its counters are
@@ -71,17 +85,60 @@ std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
       if (got->label() == pf.label()) { seen = true; break; }
     if (!seen) rl_platforms.push_back(&pf);
   }
-  std::vector<roofline::EmpiricalRoofline> rl_slots(rl_platforms.size());
-  parallel_for(jobs, static_cast<long>(rl_platforms.size()), [&](long n) {
-    if (config.progress) {
-      std::lock_guard<std::mutex> lock(progress_mu);
-      std::cerr << "[sweep] mixbench " << rl_platforms[n]->label() << "\n";
+  const bool checkpoint = !config.checkpoint_dir.empty();
+  std::vector<std::optional<roofline::EmpiricalRoofline>> rl_slots(
+      rl_platforms.size());
+  std::vector<long> pending;
+  pending.reserve(rl_platforms.size());
+  for (long n = 0; n < static_cast<long>(rl_platforms.size()); ++n) {
+    if (checkpoint && config.resume) {
+      if (auto got = load_roofline_shard(config.checkpoint_dir, config,
+                                         rl_platforms[n]->label())) {
+        rl_slots[static_cast<std::size_t>(n)] = std::move(*got);
+        if (stats) ++stats->resumed;
+        continue;
+      }
     }
-    rl_slots[n] = roofline::mixbench(*rl_platforms[n], mix_domain);
-  });
+    pending.push_back(n);
+  }
+  const std::vector<TaskFailure> failed = parallel_for_collect(
+      jobs, static_cast<long>(pending.size()), [&](long p) {
+        const long n = pending[static_cast<std::size_t>(p)];
+        const model::Platform& pf = *rl_platforms[static_cast<std::size_t>(n)];
+        if (config.progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          std::cerr << "[sweep] mixbench " << pf.label() << "\n";
+        }
+        if (fault::armed()) fault::throw_if(fault::Site::Roofline, pf.label());
+        rl_slots[static_cast<std::size_t>(n)] =
+            roofline::mixbench(pf, mix_domain);
+        if (checkpoint)
+          store_roofline_shard(config.checkpoint_dir, config, pf.label(),
+                               *rl_slots[static_cast<std::size_t>(n)]);
+      });
+  if (stats) {
+    stats->simulated += static_cast<int>(pending.size());
+    if (checkpoint)
+      stats->checkpointed +=
+          static_cast<int>(pending.size()) - static_cast<int>(failed.size());
+  }
+  if (!failed.empty() && failures == nullptr)
+    throw Error("roofline derivation failed for " +
+                rl_platforms[static_cast<std::size_t>(
+                                 pending[static_cast<std::size_t>(
+                                     failed.front().index)])]
+                    ->label() +
+                ": " + failed.front().what);
+  for (const TaskFailure& f : failed) {
+    const model::Platform& pf =
+        *rl_platforms[static_cast<std::size_t>(
+            pending[static_cast<std::size_t>(f.index)])];
+    failures->push_back({pf.label(), "", "", "roofline", f.what});
+  }
   std::map<std::string, roofline::EmpiricalRoofline> out;
   for (std::size_t n = 0; n < rl_platforms.size(); ++n)
-    out.emplace(rl_platforms[n]->label(), std::move(rl_slots[n]));
+    if (rl_slots[n])
+      out.emplace(rl_platforms[n]->label(), std::move(*rl_slots[n]));
   return out;
 }
 
@@ -98,7 +155,8 @@ Sweep run_sweep(const SweepConfig& config) {
   const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
   std::mutex progress_mu;  // progress lines are the only shared sink
 
-  sweep.rooflines = sweep_rooflines(config);
+  sweep.rooflines =
+      sweep_rooflines(config, &sweep.failures, &sweep.run_stats);
 
   // Flatten the cross product in the canonical nested order, then let each
   // worker fill the slot of the config it claimed: measurement order (and
@@ -116,17 +174,53 @@ Sweep run_sweep(const SweepConfig& config) {
         items.push_back({&pf, &st, variant});
 
   sweep.measurements.resize(items.size());
-  parallel_for(jobs, static_cast<long>(items.size()), [&](long n) {
-    const Item& it = items[static_cast<std::size_t>(n)];
-    if (config.progress) {
-      std::lock_guard<std::mutex> lock(progress_mu);
-      std::cerr << "[sweep] " << it.pf->label() << " " << it.st->name()
-                << " " << codegen::variant_name(it.variant) << "\n";
+  const bool checkpoint = !config.checkpoint_dir.empty();
+  // Resume replays valid shards bit-identically; everything else (and
+  // everything on a non-resume run) lands on the pending list.
+  std::vector<long> pending;
+  pending.reserve(items.size());
+  for (long n = 0; n < static_cast<long>(items.size()); ++n) {
+    if (checkpoint && config.resume) {
+      if (auto got = load_shard(config.checkpoint_dir, config, n)) {
+        sweep.measurements[static_cast<std::size_t>(n)] = std::move(*got);
+        ++sweep.run_stats.resumed;
+        continue;
+      }
     }
-    sweep.measurements[static_cast<std::size_t>(n)] =
-        profiler::run_and_measure(launcher, *it.st, it.variant, *it.pf,
-                                  config.cg_opts);
-  });
+    pending.push_back(n);
+  }
+
+  // A throwing config must cost one hole, not the sweep: collect failures
+  // instead of failing fast, and checkpoint each completed config so a
+  // crashed or degraded run can resume from its shards.
+  const std::vector<TaskFailure> failed = parallel_for_collect(
+      jobs, static_cast<long>(pending.size()), [&](long p) {
+        const long n = pending[static_cast<std::size_t>(p)];
+        const Item& it = items[static_cast<std::size_t>(n)];
+        if (config.progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          std::cerr << "[sweep] " << it.pf->label() << " " << it.st->name()
+                    << " " << codegen::variant_name(it.variant) << "\n";
+        }
+        sweep.measurements[static_cast<std::size_t>(n)] =
+            profiler::run_and_measure(launcher, *it.st, it.variant, *it.pf,
+                                      config.cg_opts);
+        if (checkpoint)
+          store_shard(config.checkpoint_dir, config, n,
+                      sweep.measurements[static_cast<std::size_t>(n)]);
+      });
+  for (const TaskFailure& f : failed) {
+    const Item& it =
+        items[static_cast<std::size_t>(
+            pending[static_cast<std::size_t>(f.index)])];
+    sweep.failures.push_back({it.pf->label(), it.st->name(),
+                              codegen::variant_name(it.variant), "launch",
+                              f.what});
+  }
+  sweep.run_stats.simulated += static_cast<int>(pending.size());
+  if (checkpoint)
+    sweep.run_stats.checkpointed +=
+        static_cast<int>(pending.size()) - static_cast<int>(failed.size());
   sweep.build_index();
   return sweep;
 }
@@ -147,12 +241,16 @@ std::map<std::string, std::string> sweep_cli_flags(int default_n) {
            "interp (legacy interpreter; bit-identical results)"}};
 }
 
-SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
-                                  int default_n) {
+std::optional<SweepConfig> sweep_config_from_cli(int argc,
+                                                 const char* const* argv,
+                                                 int default_n) {
   Cli cli(argc, argv, sweep_cli_flags(default_n));
   if (cli.help_requested()) {
+    // "Handled, nothing to run": the caller owns process exit -- library
+    // code calling std::exit would skip destructors and make this path
+    // untestable in-process.
     std::cout << cli.help(argv[0]);
-    std::exit(0);
+    return std::nullopt;
   }
   return sweep_config_from_cli(cli, default_n);
 }
@@ -226,16 +324,32 @@ Table make_fig3(const Sweep& sweep) {
   Table t({"Platform", "Stencil", "Variant", "AI (F/B)", "GFLOP/s",
            "Frac. Roofline"});
   for (const auto& pf : sweep.config.platforms) {
-    const auto& rl = sweep.rooflines.at(pf.label()).roofline;
-    t.add_row({pf.label(), "(ceilings)", "-",
-               Table::fmt(rl.ridge(), 2) + " ridge",
-               Table::fmt(rl.peak_bw / 1e9, 0) + " GB/s | " +
-                   Table::fmt(rl.peak_flops / 1e9, 0),
-               "-"});
-    for (const auto& m : sweep.select(pf.label()))
-      t.add_row({pf.label(), m.stencil, m.variant, Table::fmt(m.ai, 3),
-                 Table::fmt(m.gflops, 1),
-                 Table::pct(metrics::fraction_of_roofline(rl, m))});
+    const auto rl_it = sweep.rooflines.find(pf.label());
+    const roofline::Roofline* rl =
+        rl_it != sweep.rooflines.end() ? &rl_it->second.roofline : nullptr;
+    if (rl)
+      t.add_row({pf.label(), "(ceilings)", "-",
+                 Table::fmt(rl->ridge(), 2) + " ridge",
+                 Table::fmt(rl->peak_bw / 1e9, 0) + " GB/s | " +
+                     Table::fmt(rl->peak_flops / 1e9, 0),
+                 "-"});
+    else
+      t.add_row({pf.label(), "(ceilings)", "-", "FAILED", "FAILED", "-"});
+    // Walk the config cross product (== measurement order) rather than
+    // select(): a failed config then renders as an explicit hole in its
+    // canonical position instead of silently shortening the table.
+    for (const auto& st : sweep.config.stencils)
+      for (const auto variant : sweep.config.variants) {
+        const std::string vname = codegen::variant_name(variant);
+        const auto* m = sweep.find(st.name(), vname, pf.label());
+        if (m)
+          t.add_row({pf.label(), m->stencil, m->variant, Table::fmt(m->ai, 3),
+                     Table::fmt(m->gflops, 1),
+                     rl ? Table::pct(metrics::fraction_of_roofline(*rl, *m))
+                        : "-"});
+        else if (sweep.find_failure(st.name(), vname, pf.label()))
+          t.add_row({pf.label(), st.name(), vname, "-", "FAILED", "-"});
+      }
   }
   return t;
 }
@@ -247,16 +361,23 @@ Table make_fig4(const Sweep& sweep) {
     for (const auto& st : sweep.config.stencils) {
       const auto* bricks =
           sweep.find(st.name(), "bricks codegen", pf.label());
-      for (const auto& m : sweep.measurements) {
-        if (m.stencil != st.name() || (m.arch + "/" + m.pm) != pf.label())
+      for (const auto variant : sweep.config.variants) {
+        const std::string vname = codegen::variant_name(variant);
+        const auto* m = sweep.find(st.name(), vname, pf.label());
+        if (!m) {
+          if (sweep.find_failure(st.name(), vname, pf.label()))
+            t.add_row({pf.label(), st.name(), vname, "FAILED", "-"});
           continue;
-        const double gb = static_cast<double>(m.l1_bytes) / 1e9;
+        }
+        const double gb = static_cast<double>(m->l1_bytes) / 1e9;
         const double rel =
             bricks && bricks->l1_bytes > 0
-                ? static_cast<double>(m.l1_bytes) / bricks->l1_bytes
+                ? static_cast<double>(m->l1_bytes) / bricks->l1_bytes
                 : 0;
-        t.add_row({pf.label(), m.stencil, m.variant, Table::fmt(gb, 2),
-                   Table::fmt(rel, 1) + "x"});
+        t.add_row({pf.label(), m->stencil, m->variant, Table::fmt(gb, 2),
+                   // The baseline itself failed: a ratio against a hole
+                   // would be meaningless, not 0.0x.
+                   bricks ? Table::fmt(rel, 1) + "x" : "-"});
       }
     }
   return t;
@@ -290,6 +411,28 @@ CorrTables make_corr(const Sweep& sweep, const std::string& y_platform,
        metrics::correlate(ys, xs, metrics::CorrMetric::HbmGbytes))
     out.bytes.add_row({p.stencil, p.variant, Table::fmt(p.x, 2),
                        Table::fmt(p.y, 2), Table::fmt(bound, 2)});
+
+  // Pairs correlate() had to skip because a side failed render as
+  // explicit holes after the matched points (clean sweeps add nothing).
+  for (const auto& st : sweep.config.stencils)
+    for (const auto variant : sweep.config.variants) {
+      const std::string vn = codegen::variant_name(variant);
+      if (!sweep.find_failure(st.name(), vn, y_platform) &&
+          !sweep.find_failure(st.name(), vn, x_platform))
+        continue;
+      const auto* my = sweep.find(st.name(), vn, y_platform);
+      const auto* mx = sweep.find(st.name(), vn, x_platform);
+      out.perf.add_row({st.name(), vn,
+                        mx ? Table::fmt(mx->gflops, 1) : "FAILED",
+                        my ? Table::fmt(my->gflops, 1) : "FAILED", "-"});
+      out.bytes.add_row(
+          {st.name(), vn,
+           mx ? Table::fmt(static_cast<double>(mx->hbm_bytes) / 1e9, 2)
+              : "FAILED",
+           my ? Table::fmt(static_cast<double>(my->hbm_bytes) / 1e9, 2)
+              : "FAILED",
+           Table::fmt(bound, 2)});
+    }
   return out;
 }
 
@@ -329,12 +472,18 @@ Table make_table3(const Sweep& sweep) {
     std::vector<double> effs;
     for (const auto& lab : labels) {
       const auto* m = sweep.find(st.name(), "bricks codegen", lab);
-      const double e =
-          m ? metrics::fraction_of_roofline(
-                  sweep.rooflines.at(lab).roofline, *m)
-            : 0;
+      const auto rl_it = sweep.rooflines.find(lab);
+      const bool failed =
+          (!m && sweep.find_failure(st.name(), "bricks codegen", lab)) ||
+          rl_it == sweep.rooflines.end();
+      const double e = m && rl_it != sweep.rooflines.end()
+                           ? metrics::fraction_of_roofline(
+                                 rl_it->second.roofline, *m)
+                           : 0;
       effs.push_back(e);
-      row.push_back(Table::pct(e));
+      // A hole scores 0 in P (honest: the config produced nothing) but
+      // renders as FAILED so the table never passes 0% off as measured.
+      row.push_back(failed ? "FAILED" : Table::pct(e));
     }
     const double p = metrics::pennycook_p(effs);
     all_p.push_back(p);
@@ -363,7 +512,9 @@ Table make_table5(const Sweep& sweep) {
       const auto* m = sweep.find(st.name(), "bricks codegen", lab);
       const double e = m ? metrics::fraction_of_theoretical_ai(st, *m) : 0;
       effs.push_back(e);
-      row.push_back(Table::pct(e));
+      row.push_back(!m && sweep.find_failure(st.name(), "bricks codegen", lab)
+                        ? "FAILED"
+                        : Table::pct(e));
     }
     const double p = metrics::pennycook_p(effs);
     all_p.push_back(p);
@@ -383,10 +534,19 @@ Table make_fig7(const Sweep& sweep) {
   for (const auto& pf : sweep.config.platforms) {
     for (const auto& st : sweep.config.stencils) {
       const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
-      if (!m) continue;
+      if (!m) {
+        if (sweep.find_failure(st.name(), "bricks codegen", pf.label()))
+          t.add_row({pf.label(), st.name(), "FAILED", "FAILED", "-"});
+        continue;
+      }
       const double fa = metrics::fraction_of_theoretical_ai(st, *m);
-      const double fr = metrics::fraction_of_roofline(
-          sweep.rooflines.at(pf.label()).roofline, *m);
+      const auto rl_it = sweep.rooflines.find(pf.label());
+      if (rl_it == sweep.rooflines.end()) {
+        t.add_row({pf.label(), st.name(), Table::pct(fa), "FAILED", "-"});
+        continue;
+      }
+      const double fr =
+          metrics::fraction_of_roofline(rl_it->second.roofline, *m);
       t.add_row({pf.label(), st.name(), Table::pct(fa), Table::pct(fr),
                  Table::fmt(metrics::potential_speedup(fa, fr), 2) + "x"});
     }

@@ -46,6 +46,38 @@ struct SweepConfig {
   /// produce bit-identical measurements; interp is the legacy A/B baseline
   /// kept for one release (see DESIGN.md "Execution engine").
   simt::Engine engine = simt::Engine::Plan;
+  /// When non-empty, run_sweep checkpoints every completed config (and
+  /// every derived roofline) as a shard under this directory, keyed by the
+  /// sweep fingerprint.  Presentation-side like --jobs: NOT part of the
+  /// cache identity, cannot affect measurement content.
+  std::string checkpoint_dir;
+  /// Replay valid shards from checkpoint_dir instead of re-simulating
+  /// them (the --resume flag).  Off by default so a stale checkpoint
+  /// directory can never surprise a fresh run.
+  bool resume = false;
+};
+
+/// One isolated per-config failure inside a sweep: the config's identity,
+/// the site that threw ("launch" or "roofline"), and the error text.
+/// Roofline failures carry an empty stencil/variant (they are
+/// per-platform).  The failed slot stays a default Measurement -- a hole
+/// the emitters render explicitly -- and the sweep carries on.
+struct FailureRecord {
+  std::string platform;  ///< platform label, e.g. "A100/CUDA"
+  std::string stencil;
+  std::string variant;
+  std::string site;  ///< "launch" or "roofline"
+  std::string what;  ///< the exception text
+  friend bool operator==(const FailureRecord&, const FailureRecord&) =
+      default;
+};
+
+/// What run_sweep actually did, for observability: resumed + simulated ==
+/// total configs (failures count as simulated attempts).
+struct SweepRunStats {
+  int simulated = 0;     ///< configs actually executed this run
+  int resumed = 0;       ///< configs replayed from checkpoint shards
+  int checkpointed = 0;  ///< shards written this run
 };
 
 /// Prints `t` aligned or as CSV depending on the sweep config.
@@ -56,6 +88,13 @@ struct Sweep {
   std::vector<profiler::Measurement> measurements;
   /// Empirical Roofline per platform label.
   std::map<std::string, roofline::EmpiricalRoofline> rooflines;
+  /// Per-config failures isolated by run_sweep, in canonical sweep order
+  /// (rooflines first).  Empty on a clean sweep; a degraded sweep is
+  /// never persisted as a full cache entry.
+  std::vector<FailureRecord> failures;
+  /// Resume/checkpoint accounting for this run (not serialized: a cached
+  /// replay is neither simulated nor resumed).
+  SweepRunStats run_stats;
 
   /// Lookup by names; null when the combination was not swept.  O(log n)
   /// through the index when built (the correlation and potential-speedup
@@ -70,10 +109,18 @@ struct Sweep {
   /// mutating `measurements` by hand.
   void build_index();
 
-  /// All measurements of one platform (optionally one variant).
+  /// All measurements of one platform (optionally one variant).  Hole
+  /// slots (failed configs) never match a platform label, so selections
+  /// contain only real measurements.
   std::vector<profiler::Measurement> select(
       const std::string& platform_label,
       const std::string& variant = "") const;
+
+  /// The failure record of one config (empty stencil+variant looks up a
+  /// roofline failure), or null when that config succeeded.
+  const FailureRecord* find_failure(const std::string& stencil,
+                                    const std::string& variant,
+                                    const std::string& platform_label) const;
 
  private:
   /// (stencil, variant, platform label) -> index into `measurements`.
@@ -84,29 +131,53 @@ struct Sweep {
 /// derives the per-platform empirical rooflines.  Configs are dispatched
 /// to `config.jobs` worker threads; measurements land in the same nested
 /// (platform, stencil, variant) order as a serial walk.
+///
+/// A config that throws does not abort the sweep: its slot stays a hole,
+/// a FailureRecord lands in `sweep.failures`, and every other config
+/// still runs and is bit-identical to a clean sweep.  With
+/// `config.checkpoint_dir` set, every completed config is checkpointed
+/// as a shard; with `config.resume` also set, valid shards from an
+/// earlier interrupted run are replayed bit-identically and only the
+/// remainder is simulated (`sweep.run_stats` carries the counts).
 Sweep run_sweep(const SweepConfig& config);
 
 /// Just the mixbench-derived empirical rooflines of `config` (one per
 /// distinct platform label), exactly as run_sweep would compute them --
 /// run_sweep delegates here, and the registry's SweepProvider uses it when
 /// an experiment needs ceilings but no measurements.
+///
+/// With `failures`, a platform whose derivation throws is isolated as a
+/// FailureRecord (empty stencil/variant) and simply absent from the map;
+/// without it the first failure rethrows.  `stats`, when given, picks up
+/// resume/checkpoint counts (checkpointing follows config.checkpoint_dir
+/// and config.resume exactly as in run_sweep).
 std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
-    const SweepConfig& config);
+    const SweepConfig& config, std::vector<FailureRecord>* failures = nullptr,
+    SweepRunStats* stats = nullptr);
 
 /// The standard sweep flags (--n, --jobs, --progress, --csv, --check,
 /// --engine) as a Cli-known map; the bricksim driver extends it with its
 /// own flags.
 std::map<std::string, std::string> sweep_cli_flags(int default_n);
 
-/// Parses a standard bench command line into a SweepConfig; prints help
-/// and exits when requested.
-SweepConfig sweep_config_from_cli(int argc, const char* const* argv,
-                                  int default_n = 256);
+/// Parses a standard bench command line into a SweepConfig.  When --help
+/// was requested it prints the help text and returns nullopt ("handled,
+/// nothing to run") -- callers own their exit; library code never calls
+/// std::exit.
+std::optional<SweepConfig> sweep_config_from_cli(int argc,
+                                                 const char* const* argv,
+                                                 int default_n = 256);
 
 /// The same over an already-parsed Cli (which may know extra flags).
 SweepConfig sweep_config_from_cli(const Cli& cli, int default_n);
 
 // --- Emitters: one per paper table/figure -----------------------------------
+//
+// Every sweep-consuming emitter renders a degraded sweep as a partial
+// table with explicit holes -- "FAILED" cells for configs named in
+// sweep.failures -- instead of silently dropping rows or aborting.  On a
+// clean sweep the output is byte-identical to the pre-fault-tolerance
+// emitters.
 
 /// Table 1: programming models and toolchains per system (in BrickSim:
 /// the lowering-profile summary per platform).

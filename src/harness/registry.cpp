@@ -1,5 +1,7 @@
 #include "harness/registry.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -9,16 +11,24 @@
 #include "arch/arch.h"
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/fault.h"
 #include "common/threadpool.h"
 #include "harness/autotune.h"
+#include "harness/cachefile.h"
+#include "harness/doctor.h"
 #include "harness/sweepcache.h"
 
 namespace bricksim::harness {
 
 // --- SweepProvider -----------------------------------------------------------
 
-SweepProvider::SweepProvider(std::string cache_dir)
-    : cache_dir_(std::move(cache_dir)) {}
+SweepProvider::SweepProvider(std::string cache_dir, bool resume)
+    : cache_dir_(std::move(cache_dir)), resume_(resume) {}
+
+bool SweepProvider::has_failures(const SweepConfig& config) const {
+  return std::find(degraded_fps_.begin(), degraded_fps_.end(),
+                   fingerprint(config)) != degraded_fps_.end();
+}
 
 SweepConfig SweepProvider::main_config(const SweepConfig& base) {
   SweepConfig config = base;
@@ -52,9 +62,28 @@ const Sweep& SweepProvider::get(const SweepConfig& config) {
       return memo_.emplace(fp, std::move(*sweep)).first->second;
     }
   }
-  Sweep sweep = run_sweep(config);
+  // Checkpoint/resume are presentation knobs layered on top of the
+  // identity-carrying config, so they are set here, not by callers.
+  SweepConfig run_cfg = config;
+  if (!cache_dir_.empty()) {
+    run_cfg.checkpoint_dir = cache_dir_;
+    run_cfg.resume = resume_;
+  }
+  Sweep sweep = run_sweep(run_cfg);
   ++stats_.sweeps_simulated;
-  if (!cache_dir_.empty()) store_cached_sweep(cache_dir_, sweep);
+  stats_.configs_simulated += sweep.run_stats.simulated;
+  stats_.shards_written += sweep.run_stats.checkpointed;
+  stats_.shards_resumed += sweep.run_stats.resumed;
+  if (!sweep.failures.empty()) {
+    // A degraded sweep is never stored as a full entry -- its holes would
+    // outlive the fault -- but its good shards stay on disk for --resume.
+    degraded_fps_.push_back(fp);
+    failures_.insert(failures_.end(), sweep.failures.begin(),
+                     sweep.failures.end());
+  } else if (!cache_dir_.empty()) {
+    store_cached_sweep(cache_dir_, sweep);
+    clear_shards(cache_dir_, config);
+  }
   return memo_.emplace(fp, std::move(sweep)).first->second;
 }
 
@@ -83,7 +112,22 @@ SweepProvider::rooflines(const SweepConfig& config) {
     }
   }
   ++stats_.rooflines_computed;
-  return rooflines_memo_.emplace(fp, sweep_rooflines(main)).first->second;
+  SweepConfig run_cfg = main;
+  if (!cache_dir_.empty()) {
+    run_cfg.checkpoint_dir = cache_dir_;
+    run_cfg.resume = resume_;
+  }
+  std::vector<FailureRecord> fails;
+  SweepRunStats rstats;
+  auto rls = sweep_rooflines(run_cfg, &fails, &rstats);
+  stats_.configs_simulated += rstats.simulated;
+  stats_.shards_written += rstats.checkpointed;
+  stats_.shards_resumed += rstats.resumed;
+  if (!fails.empty()) {
+    degraded_fps_.push_back(fp);
+    failures_.insert(failures_.end(), fails.begin(), fails.end());
+  }
+  return rooflines_memo_.emplace(fp, std::move(rls)).first->second;
 }
 
 // --- ExperimentContext -------------------------------------------------------
@@ -188,7 +232,15 @@ void emit_mixbench(ExperimentContext& ctx) {
   ctx.out() << "Mixbench-derived empirical Rooflines per platform.\n\n";
   const auto& rls = ctx.sweeps().rooflines(ctx.config());
   for (const auto& pf : model::paper_platforms()) {
-    const auto& emp = rls.at(pf.label());
+    const auto emp_it = rls.find(pf.label());
+    if (emp_it == rls.end()) {
+      // Roofline derivation failed for this platform: an explicit hole.
+      ctx.out() << pf.label()
+                << ": FAILED (roofline derivation failed; see "
+                   "run_summary.json)\n\n";
+      continue;
+    }
+    const auto& emp = emp_it->second;
     const auto theo = roofline::theoretical_roofline(pf.gpu);
     ctx.out() << pf.label() << ": empirical "
               << Table::fmt(emp.roofline.peak_bw / 1e9, 0) << " GB/s, "
@@ -376,12 +428,17 @@ void emit_cpu_crossplatform(ExperimentContext& ctx) {
     std::vector<double> effs;
     for (const auto& pf : platforms) {
       const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
-      const double e =
-          m ? metrics::fraction_of_roofline(
-                  sweep.rooflines.at(pf.label()).roofline, *m)
-            : 0;
+      const auto rl_it = sweep.rooflines.find(pf.label());
+      const bool failed =
+          (!m &&
+           sweep.find_failure(st.name(), "bricks codegen", pf.label())) ||
+          rl_it == sweep.rooflines.end();
+      const double e = m && rl_it != sweep.rooflines.end()
+                           ? metrics::fraction_of_roofline(
+                                 rl_it->second.roofline, *m)
+                           : 0;
       effs.push_back(e);
-      row.push_back(Table::pct(e));
+      row.push_back(failed ? "FAILED" : Table::pct(e));
     }
     const double p = metrics::pennycook_p(effs);
     all_p.push_back(p);
@@ -396,7 +453,10 @@ void emit_cpu_crossplatform(ExperimentContext& ctx) {
     std::vector<std::string> row{st.name()};
     for (const auto& pf : platforms) {
       const auto* m = sweep.find(st.name(), "bricks codegen", pf.label());
-      row.push_back(Table::fmt(m ? m->gflops : 0, 1));
+      row.push_back(
+          !m && sweep.find_failure(st.name(), "bricks codegen", pf.label())
+              ? "FAILED"
+              : Table::fmt(m ? m->gflops : 0, 1));
     }
     g.add_row(std::move(row));
   }
@@ -506,16 +566,25 @@ int run_legacy_shim(const std::string& name, int argc,
                     const char* const* argv) {
   const Experiment* exp = find_experiment(name);
   BRICKSIM_ASSERT(exp != nullptr, "unregistered experiment: " + name);
-  const SweepConfig config = sweep_config_from_cli(argc, argv,
-                                                   exp->default_n);
+  const std::optional<SweepConfig> config =
+      sweep_config_from_cli(argc, argv, exp->default_n);
+  if (!config) return 0;  // --help: printed and handled
   std::cerr << "note: " << exp->legacy_binary
             << " is a deprecated alias for `bricksim run " << name
             << "` and will be removed next release (the driver shares one "
                "cached sweep across experiments).\n";
   SweepProvider provider("");  // shims never touch the persistent cache
-  ExperimentContext ctx(config, &provider, &std::cout);
-  exp->emit(ctx);
-  return 0;
+  ExperimentContext ctx(*config, &provider, &std::cout);
+  try {
+    exp->emit(ctx);
+  } catch (const std::exception& e) {
+    std::cerr << "bricksim: error: experiment " << name << " failed: "
+              << e.what() << "\n";
+    return 1;
+  }
+  // Isolated per-config failures render as holes; signal them like the
+  // driver does (exit 3 = completed with failures).
+  return provider.all_failures().empty() ? 0 : 3;
 }
 
 // --- Driver ------------------------------------------------------------------
@@ -532,6 +601,9 @@ std::string usage_text() {
      << "  list           list the registered experiments\n"
      << "  run <name...>  run the named experiments\n"
      << "  all            run every registered experiment\n"
+     << "  doctor         scan the cache for stale/corrupt entries\n"
+     << "                 (--prune repairs: quarantines corrupt entries,\n"
+     << "                 deletes stale and quarantined ones)\n"
      << "\n"
      << "run/all accept the sweep flags (--n, --jobs, --progress, --csv,\n"
      << "--check, --engine) plus:\n"
@@ -541,6 +613,17 @@ std::string usage_text() {
      << "  --cache-dir DIR sweep/artifact cache (default $BRICKSIM_CACHE_DIR\n"
      << "                  or results/cache)\n"
      << "  --no-cache      disable reading and writing the cache\n"
+     << "  --resume        replay checkpoint shards an interrupted or\n"
+     << "                  degraded sweep left behind, bit-identically;\n"
+     << "                  only the remainder is simulated\n"
+     << "  --fault-inject SPEC  arm deterministic fault injection (also:\n"
+     << "                  $BRICKSIM_FAULT_INJECT), e.g.\n"
+     << "                  'seed=7,launch[A100/CUDA 7pt bricks codegen]@1';\n"
+     << "                  see DESIGN.md \"Fault tolerance\"\n"
+     << "\n"
+     << "A run whose sweep had isolated per-config failures still writes\n"
+     << "every artifact it can (failed cells render as FAILED) and exits 3;\n"
+     << "run_summary.json names each failure.\n"
      << "\n"
      << "Without --n each experiment uses its own default domain (see\n"
      << "`bricksim list`).  Experiment stdout is byte-identical to the\n"
@@ -602,24 +685,35 @@ json::Value tables_document(
   return v;
 }
 
-/// Loads a matching artifact-cache entry; corrupt/mismatched reads miss.
+/// Loads a matching artifact-cache entry.  Stale entries (foreign format,
+/// wrong schema/fingerprint/mode) miss silently; corrupt ones are
+/// quarantined with a warning like every other cache file.
 std::optional<json::Value> load_artifact(const std::string& path,
                                          const std::string& name,
                                          const std::string& cfg_fp,
                                          bool csv) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::ostringstream text;
-  text << in.rdbuf();
+  CacheFileRead r = read_cache_file(path);
+  switch (r.status) {
+    case CacheFileRead::Status::Missing:
+    case CacheFileRead::Status::Foreign:
+      return std::nullopt;
+    case CacheFileRead::Status::Corrupt:
+      quarantine_cache_file(path, r.error);
+      return std::nullopt;
+    case CacheFileRead::Status::Ok:
+      break;
+  }
   try {
-    json::Value v = json::Value::parse(text.str());
+    json::Value v = json::Value::parse(r.body);
     if (v.at("schema").as_long() != kSweepCacheSchema ||
         v.at("experiment").as_string() != name ||
         v.at("config_fingerprint").as_string() != cfg_fp ||
         v.at("csv").as_bool() != csv || !v.contains("output"))
       return std::nullopt;
     return v;
-  } catch (const Error&) {
+  } catch (const Error& e) {
+    quarantine_cache_file(path, std::string("undecodable artifact: ") +
+                                    e.what());
     return std::nullopt;
   }
 }
@@ -628,11 +722,7 @@ void store_artifact(const std::string& path, const json::Value& doc,
                     const std::string& output) {
   json::Value v = doc;
   v["output"] = output;
-  std::filesystem::create_directories(
-      std::filesystem::path(path).parent_path());
-  const std::string tmp = path + ".tmp";
-  write_text_file(tmp, v.dump(1) + "\n");
-  std::filesystem::rename(tmp, path);
+  write_cache_file(path, v.dump(1) + "\n");
 }
 
 }  // namespace
@@ -652,6 +742,25 @@ int driver_main(int argc, const char* const* argv) {
   if (command == "list") {
     run_list(std::cout);
     return 0;
+  }
+  if (command == "doctor") {
+    std::vector<const char*> dargv{argv[0]};
+    for (std::size_t a = 1; a < args.size(); ++a)
+      dargv.push_back(argv[a + 1]);
+    const Cli dcli(
+        static_cast<int>(dargv.size()), dargv.data(),
+        {{"cache-dir",
+          "cache directory to scan (default $BRICKSIM_CACHE_DIR or "
+          "results/cache)"},
+         {"prune",
+          "repair: quarantine corrupt entries, delete stale and "
+          "quarantined ones"}});
+    if (dcli.help_requested()) {
+      std::cout << dcli.help("bricksim doctor");
+      return 0;
+    }
+    return run_doctor(default_cache_dir(dcli.get("cache-dir", "")),
+                      dcli.has("prune"), std::cout);
   }
   if (command != "run" && command != "all") {
     std::cerr << "bricksim: unknown command '" << command << "'\n\n"
@@ -678,6 +787,11 @@ int driver_main(int argc, const char* const* argv) {
       "sweep/artifact cache directory (default $BRICKSIM_CACHE_DIR or "
       "results/cache)";
   known["no-cache"] = "disable reading and writing the cache";
+  known["resume"] =
+      "replay checkpoint shards from an interrupted run (bit-identical); "
+      "simulate only the remainder";
+  known["fault-inject"] =
+      "deterministic fault-injection spec (also $BRICKSIM_FAULT_INJECT)";
   const Cli cli(static_cast<int>(flag_argv.size()), flag_argv.data(),
                 std::move(known));
   if (cli.help_requested()) {
@@ -692,6 +806,22 @@ int driver_main(int argc, const char* const* argv) {
       cli.has("no-cache") ? "" : default_cache_dir(cli.get("cache-dir", ""));
   const std::string out_dir = cli.get("out", "results/run");
 
+  // Fault injection: the flag wins, the environment covers child processes
+  // a test harness cannot reach.  ScopedPlan disarms on every exit path.
+  std::string fault_spec = cli.get("fault-inject", "");
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("BRICKSIM_FAULT_INJECT");
+        env != nullptr && env[0] != '\0') {
+      fault_spec = env;
+      std::cerr << "bricksim: note: fault injection armed from "
+                   "BRICKSIM_FAULT_INJECT (" << fault_spec << ")\n";
+    }
+  }
+  std::optional<fault::ScopedPlan> fault_plan;
+  if (!fault_spec.empty())
+    fault_plan.emplace(fault::FaultPlan::parse(fault_spec));
+  const long quarantined_before = quarantine_count();
+
   if (command == "all") {
     BRICKSIM_REQUIRE(names.empty(),
                      "`bricksim all` takes no experiment names");
@@ -705,8 +835,25 @@ int driver_main(int argc, const char* const* argv) {
                      "unknown experiment: " + name +
                          " (see `bricksim list`)");
 
-  SweepProvider provider(cache_dir);
+  SweepProvider provider(cache_dir, cli.has("resume"));
   json::Value fps = json::Value::object();
+  json::Value statuses = json::Value::object();
+  std::vector<std::pair<std::string, std::string>> emit_failures;
+  // Whether the experiment's sweep (if any) ran degraded under this
+  // provider -- checked after emitting, when the sweep has materialized.
+  const auto sweep_degraded = [&provider](const Experiment& exp,
+                                          const SweepConfig& config) {
+    switch (exp.sweep) {
+      case SweepKind::Main:
+      case SweepKind::Rooflines:
+        return provider.has_failures(SweepProvider::main_config(config));
+      case SweepKind::Cpu:
+        return provider.has_failures(SweepProvider::cpu_config(config));
+      case SweepKind::None:
+        return false;
+    }
+    return false;
+  };
   for (const auto& name : names) {
     const Experiment& exp = *find_experiment(name);
     SweepConfig config = base;
@@ -736,15 +883,33 @@ int driver_main(int argc, const char* const* argv) {
         replayed = true;
       }
     }
+    std::string status = "ok";
     if (!replayed) {
       std::ostringstream oss;
       ExperimentContext ctx(config, &provider, &oss);
-      exp.emit(ctx);
-      text = oss.str();
+      try {
+        if (fault::armed()) fault::throw_if(fault::Site::Emit, name);
+        exp.emit(ctx);
+        text = oss.str();
+      } catch (const std::exception& e) {
+        // An emitter failure costs this experiment, not the run: keep the
+        // partial text, mark it, and carry on to the next experiment.
+        status = "failed";
+        emit_failures.emplace_back(name, e.what());
+        text = oss.str() + "\n[experiment " + name + " failed: " +
+               e.what() + "]\n";
+        std::cerr << "bricksim: error: experiment " << name << " failed: "
+                  << e.what() << "; continuing\n";
+      }
       doc = tables_document(name, cfg_fp, config.csv, ctx.tables());
       ++provider.stats().experiments_emitted;
-      if (!cache_dir.empty()) store_artifact(art_path, doc, text);
+      if (status == "ok" && sweep_degraded(exp, config)) status = "degraded";
+      // Only clean output may enter the artifact cache: a cached FAILED
+      // hole would replay bit-identically forever.
+      if (!cache_dir.empty() && status == "ok")
+        store_artifact(art_path, doc, text);
     }
+    statuses[name] = status;
     if (config.progress)
       std::cerr << "[bricksim] " << name << (replayed ? " (cached, " : " (")
                 << cfg_fp << ")\n";
@@ -770,6 +935,32 @@ int driver_main(int argc, const char* const* argv) {
   summary["check_mode"] = analysis::check_mode_name(base.check_mode);
   summary["cache_dir"] = cache_dir;  // empty when caching is disabled
   summary["config_fingerprints"] = fps;
+  summary["experiment_status"] = statuses;
+  // Every isolated failure, sweep-level (per-config identity) then
+  // emitter-level, so a degraded run is fully diagnosable from the
+  // summary alone.
+  json::Value failures = json::Value::array();
+  for (const auto& f : provider.all_failures()) {
+    json::Value fv = json::Value::object();
+    fv["experiment"] = "";  // sweep failures are shared across experiments
+    fv["platform"] = f.platform;
+    fv["stencil"] = f.stencil;
+    fv["variant"] = f.variant;
+    fv["site"] = f.site;
+    fv["error"] = f.what;
+    failures.push_back(fv);
+  }
+  for (const auto& [exp_name, what] : emit_failures) {
+    json::Value fv = json::Value::object();
+    fv["experiment"] = exp_name;
+    fv["platform"] = "";
+    fv["stencil"] = "";
+    fv["variant"] = "";
+    fv["site"] = "emit";
+    fv["error"] = what;
+    failures.push_back(fv);
+  }
+  summary["failures"] = failures;
   json::Value cache = json::Value::object();
   cache["sweeps_simulated"] = stats.sweeps_simulated;
   cache["sweep_disk_hits"] = stats.sweep_disk_hits;
@@ -777,11 +968,18 @@ int driver_main(int argc, const char* const* argv) {
   cache["rooflines_computed"] = stats.rooflines_computed;
   cache["artifact_hits"] = stats.artifact_hits;
   cache["experiments_emitted"] = stats.experiments_emitted;
+  cache["configs_simulated"] = stats.configs_simulated;
+  cache["shards_written"] = stats.shards_written;
+  cache["shards_resumed"] = stats.shards_resumed;
+  cache["entries_quarantined"] =
+      static_cast<long>(quarantine_count() - quarantined_before);
   summary["cache"] = cache;
   std::filesystem::create_directories(out_dir);
   write_text_file(std::filesystem::path(out_dir) / "run_summary.json",
                   summary.dump(1) + "\n");
-  return 0;
+  // 0 = clean; 3 = completed with isolated failures (artifacts written,
+  // summary names each one).  Hard errors still throw out of main as 1.
+  return failures.size() == 0 ? 0 : 3;
 }
 
 }  // namespace bricksim::harness

@@ -17,6 +17,14 @@
 // (run_legacy_shim), kept as deprecated aliases for one release; their
 // stdout is byte-identical to `bricksim run <name>` because both paths are
 // the same emitter.
+//
+// The driver is fault tolerant (DESIGN.md "Fault tolerance"): a config or
+// emitter that throws costs one hole, not the run -- every artifact that
+// can be written is written, run_summary.json names each failure, and the
+// exit code is 3 (completed with failures) rather than 1 (hard error).
+// `bricksim doctor` audits the cache; `--resume` replays the checkpoint
+// shards of an interrupted sweep; `--fault-inject` arms the deterministic
+// fault framework (common/fault.h) that CI soaks all of this with.
 #pragma once
 
 #include <functional>
@@ -46,6 +54,9 @@ struct CacheStats {
   int rooflines_computed = 0;  ///< standalone mixbench runs (no main sweep)
   int artifact_hits = 0;       ///< experiments replayed from artifact cache
   int experiments_emitted = 0; ///< experiments that executed their emitter
+  int configs_simulated = 0;   ///< individual configs actually executed
+  int shards_written = 0;      ///< resume checkpoints persisted this run
+  int shards_resumed = 0;      ///< configs replayed from checkpoint shards
 };
 
 /// Lazily materializes sweeps for experiments: in-process memo first, then
@@ -55,7 +66,9 @@ struct CacheStats {
 class SweepProvider {
  public:
   /// `cache_dir` empty disables persistence (legacy shims, --no-cache).
-  explicit SweepProvider(std::string cache_dir);
+  /// With `resume`, sweeps replay valid checkpoint shards from an earlier
+  /// interrupted run before simulating the remainder (--resume).
+  explicit SweepProvider(std::string cache_dir, bool resume = false);
 
   /// The full paper sweep at `config`'s domain/engine/check settings
   /// (platforms/stencils/variants forced to the paper defaults).
@@ -73,6 +86,18 @@ class SweepProvider {
   CacheStats& stats() { return stats_; }
   const std::string& cache_dir() const { return cache_dir_; }
 
+  /// Every per-config failure isolated by sweeps this provider ran, in
+  /// run order.  Non-empty means the run is degraded: the driver exits 3
+  /// and no degraded sweep was stored as a full cache entry (its good
+  /// shards persist for --resume).
+  const std::vector<FailureRecord>& all_failures() const {
+    return failures_;
+  }
+
+  /// Whether the sweep identified by `config` ran degraded under this
+  /// provider (drives the per-experiment "degraded" status).
+  bool has_failures(const SweepConfig& config) const;
+
   /// The main-sweep config derived from driver-level settings.
   static SweepConfig main_config(const SweepConfig& base);
   static SweepConfig cpu_config(const SweepConfig& base);
@@ -81,10 +106,13 @@ class SweepProvider {
   const Sweep& get(const SweepConfig& config);
 
   std::string cache_dir_;
+  bool resume_ = false;
   std::map<std::string, Sweep> memo_;  ///< fingerprint -> sweep
   std::map<std::string, std::map<std::string, roofline::EmpiricalRoofline>>
       rooflines_memo_;  ///< main fingerprint -> rooflines only
   CacheStats stats_;
+  std::vector<FailureRecord> failures_;   ///< all isolated failures
+  std::vector<std::string> degraded_fps_; ///< fingerprints that failed
 };
 
 /// Execution context handed to an experiment emitter.

@@ -2,10 +2,9 @@
 
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 
 #include "common/error.h"
+#include "harness/cachefile.h"
 
 namespace bricksim::harness {
 
@@ -110,23 +109,58 @@ json::Value to_json(const codegen::Options& o) {
   return v;
 }
 
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ull;
+// Parses a framed cache-file read as JSON carrying `kind` data at the
+// current schema + fingerprint; quarantines on damage, stays silent on
+// miss/foreign/stale.  Returns nullopt unless everything checks out.
+std::optional<json::Value> load_verified(const std::string& path,
+                                         const SweepConfig& config,
+                                         const char* kind) {
+  CacheFileRead r = read_cache_file(path);
+  switch (r.status) {
+    case CacheFileRead::Status::Missing:
+    case CacheFileRead::Status::Foreign:  // pre-checksum or unrelated file
+      return std::nullopt;
+    case CacheFileRead::Status::Corrupt:
+      quarantine_cache_file(path, r.error);
+      return std::nullopt;
+    case CacheFileRead::Status::Ok:
+      break;
   }
-  return h;
+  json::Value v;
+  try {
+    v = json::Value::parse(r.body);
+  } catch (const Error& e) {
+    // The checksum passed, so the process that wrote it stored garbage --
+    // as loud as a bit flip.
+    quarantine_cache_file(path, std::string(kind) + " body is not JSON: " +
+                                    e.what());
+    return std::nullopt;
+  }
+  try {
+    if (v.at("schema").as_long() != kSweepCacheSchema ||
+        v.at("fingerprint").as_string() != fingerprint(config))
+      return std::nullopt;  // stale entry: a silent miss, not corruption
+  } catch (const Error& e) {
+    quarantine_cache_file(path,
+                          std::string(kind) + " header fields: " + e.what());
+    return std::nullopt;
+  }
+  return v;
 }
 
-std::string hex16(std::uint64_t h) {
-  static const char* digits = "0123456789abcdef";
-  std::string s(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    s[static_cast<std::size_t>(i)] = digits[h & 0xF];
-    h >>= 4;
-  }
-  return s;
+std::string shard_path(const std::string& dir, const SweepConfig& config,
+                       long index) {
+  return shard_dir(dir, config) + "/shard-" + std::to_string(index) +
+         ".json";
+}
+
+std::string roofline_shard_path(const std::string& dir,
+                                const SweepConfig& config,
+                                const std::string& label) {
+  std::string safe = label;
+  for (char& c : safe)
+    if (c == '/') c = '-';
+  return shard_dir(dir, config) + "/roofline-" + safe + ".json";
 }
 
 }  // namespace
@@ -212,30 +246,88 @@ std::string cache_entry_path(const std::string& dir,
 std::optional<Sweep> load_cached_sweep(const std::string& dir,
                                        const SweepConfig& config) {
   const std::string path = cache_entry_path(dir, config);
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::ostringstream text;
-  text << in.rdbuf();
+  std::optional<json::Value> v = load_verified(path, config, "sweep entry");
+  if (!v) return std::nullopt;
   try {
-    return sweep_from_json(json::Value::parse(text.str()), config);
-  } catch (const Error&) {
-    return std::nullopt;  // corrupt or stale entry reads as a miss
+    return sweep_from_json(*v, config);
+  } catch (const Error& e) {
+    // Framed, checksummed, schema- and fingerprint-matched, yet the
+    // payload will not decode: that is corruption, not staleness.
+    quarantine_cache_file(path, std::string("undecodable sweep entry: ") +
+                                    e.what());
+    return std::nullopt;
   }
 }
 
 void store_cached_sweep(const std::string& dir, const Sweep& sweep) {
-  std::filesystem::create_directories(dir);
-  const std::string path = cache_entry_path(dir, sweep.config);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp);
-    BRICKSIM_REQUIRE(out.good(), "cannot write sweep cache entry " + tmp);
-    out << sweep_to_json(sweep).dump(1) << "\n";
-    BRICKSIM_REQUIRE(out.good(), "short write to sweep cache entry " + tmp);
+  write_cache_file(cache_entry_path(dir, sweep.config),
+                   sweep_to_json(sweep).dump(1) + "\n");
+}
+
+std::string shard_dir(const std::string& dir, const SweepConfig& config) {
+  return dir + "/shards-" + fingerprint(config);
+}
+
+void store_shard(const std::string& dir, const SweepConfig& config,
+                 long index, const profiler::Measurement& m) {
+  json::Value v = json::Value::object();
+  v["schema"] = kSweepCacheSchema;
+  v["fingerprint"] = fingerprint(config);
+  v["index"] = index;
+  v["measurement"] = profiler::to_json(m);
+  write_cache_file(shard_path(dir, config, index), v.dump(1) + "\n");
+}
+
+std::optional<profiler::Measurement> load_shard(const std::string& dir,
+                                                const SweepConfig& config,
+                                                long index) {
+  const std::string path = shard_path(dir, config, index);
+  std::optional<json::Value> v = load_verified(path, config, "shard");
+  if (!v) return std::nullopt;
+  try {
+    BRICKSIM_REQUIRE(v->at("index").as_long() == index,
+                     "shard index does not match its filename");
+    return profiler::measurement_from_json(v->at("measurement"));
+  } catch (const Error& e) {
+    quarantine_cache_file(path,
+                          std::string("undecodable shard: ") + e.what());
+    return std::nullopt;
   }
-  // Rename last so a crash never leaves a half-written entry under the
-  // content-addressed name.
-  std::filesystem::rename(tmp, path);
+}
+
+void store_roofline_shard(const std::string& dir, const SweepConfig& config,
+                          const std::string& label,
+                          const roofline::EmpiricalRoofline& rl) {
+  json::Value v = json::Value::object();
+  v["schema"] = kSweepCacheSchema;
+  v["fingerprint"] = fingerprint(config);
+  v["label"] = label;
+  v["roofline"] = roofline::to_json(rl);
+  write_cache_file(roofline_shard_path(dir, config, label),
+                   v.dump(1) + "\n");
+}
+
+std::optional<roofline::EmpiricalRoofline> load_roofline_shard(
+    const std::string& dir, const SweepConfig& config,
+    const std::string& label) {
+  const std::string path = roofline_shard_path(dir, config, label);
+  std::optional<json::Value> v =
+      load_verified(path, config, "roofline shard");
+  if (!v) return std::nullopt;
+  try {
+    BRICKSIM_REQUIRE(v->at("label").as_string() == label,
+                     "roofline shard label does not match its filename");
+    return roofline::empirical_roofline_from_json(v->at("roofline"));
+  } catch (const Error& e) {
+    quarantine_cache_file(
+        path, std::string("undecodable roofline shard: ") + e.what());
+    return std::nullopt;
+  }
+}
+
+void clear_shards(const std::string& dir, const SweepConfig& config) {
+  std::error_code ec;
+  std::filesystem::remove_all(shard_dir(dir, config), ec);
 }
 
 }  // namespace bricksim::harness

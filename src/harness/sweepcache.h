@@ -15,8 +15,17 @@
 // equality proof).
 //
 // Deliberately NOT in the fingerprint: --jobs, --progress and --csv, which
-// cannot affect measurement content (DESIGN.md "Threading model"), and the
-// output/cache paths themselves.
+// cannot affect measurement content (DESIGN.md "Threading model"), the
+// output/cache paths themselves, and the checkpoint/resume knobs.
+//
+// Every entry is framed with a checksum line (harness/cachefile.h), so
+// corruption is detected and quarantined instead of silently re-simulated.
+// Alongside the whole-sweep entries, this module persists per-config
+// *shard checkpoints* (`shards-<fingerprint>/`) -- one checksummed file
+// per completed (platform, stencil, variant) measurement and per derived
+// roofline -- which is what makes an interrupted sweep resumable at the
+// cost of one data point instead of the whole run (DESIGN.md "Fault
+// tolerance").
 #pragma once
 
 #include <optional>
@@ -29,7 +38,9 @@ namespace bricksim::harness {
 
 /// Bump when the Measurement/Roofline schema or the sweep semantics change;
 /// stale cache entries then miss instead of deserializing garbage.
-inline constexpr int kSweepCacheSchema = 1;
+/// Schema history: 1 = raw JSON entries (PR 4); 2 = checksum-framed
+/// entries + shard checkpoints.
+inline constexpr int kSweepCacheSchema = 2;
 
 /// 16-hex-digit FNV-1a fingerprint of every result-reaching field of
 /// `config` (plus kSweepCacheSchema).
@@ -57,13 +68,50 @@ std::string default_cache_dir(const std::string& flag_value = "");
 std::string cache_entry_path(const std::string& dir,
                              const SweepConfig& config);
 
-/// Loads the cached sweep for `config`, or nullopt when absent/stale
-/// (fingerprint or schema mismatch -- a corrupt entry also reads as a
-/// miss, never as wrong data).
+/// Loads the cached sweep for `config`, or nullopt when absent or stale
+/// (foreign/pre-checksum file, schema or fingerprint mismatch).  A
+/// *corrupt* entry -- framed but truncated, bit-flipped, or carrying
+/// undecodable content -- is never silent: it is quarantined to
+/// `<path>.corrupt` with a one-line stderr warning, then reads as a miss.
 std::optional<Sweep> load_cached_sweep(const std::string& dir,
                                        const SweepConfig& config);
 
 /// Persists `sweep` under its fingerprint (creates `dir` as needed).
+/// Callers must not persist degraded sweeps (failures would become
+/// permanent); run_sweep failures are checked by the SweepProvider.
+/// A write failure warns and returns; it never throws.
 void store_cached_sweep(const std::string& dir, const Sweep& sweep);
+
+// --- Shard checkpoints (crash-safe resume) ----------------------------------
+
+/// The shard checkpoint directory of `config` under cache `dir`.
+std::string shard_dir(const std::string& dir, const SweepConfig& config);
+
+/// Checkpoints measurement slot `index` of `config`'s flattened
+/// (platform, stencil, variant) cross product (atomic tmp+rename,
+/// checksummed; a failure warns and drops the checkpoint, never throws).
+void store_shard(const std::string& dir, const SweepConfig& config,
+                 long index, const profiler::Measurement& m);
+
+/// Replays shard `index`, or nullopt when absent/stale; corrupt shards
+/// are quarantined (stderr warning) and read as a miss so the config is
+/// simply re-simulated.
+std::optional<profiler::Measurement> load_shard(const std::string& dir,
+                                                const SweepConfig& config,
+                                                long index);
+
+/// Checkpoints the derived empirical roofline of one platform label.
+void store_roofline_shard(const std::string& dir, const SweepConfig& config,
+                          const std::string& label,
+                          const roofline::EmpiricalRoofline& rl);
+
+/// Replays a roofline shard; same miss/quarantine semantics as load_shard.
+std::optional<roofline::EmpiricalRoofline> load_roofline_shard(
+    const std::string& dir, const SweepConfig& config,
+    const std::string& label);
+
+/// Removes `config`'s shard directory (called once the complete sweep
+/// entry has been persisted, which supersedes the shards).
+void clear_shards(const std::string& dir, const SweepConfig& config);
 
 }  // namespace bricksim::harness

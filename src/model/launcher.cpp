@@ -5,6 +5,7 @@
 
 #include "brick/brick.h"
 #include "common/error.h"
+#include "common/fault.h"
 #include "ir/regalloc.h"
 #include "ir/schedule.h"
 
@@ -39,6 +40,13 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
                                 const Platform& platform,
                                 const codegen::Options& opts,
                                 const HostGrid* in, HostGrid* out) const {
+  // The kernel-launch fault site: a seeded plan can fail exactly one
+  // (platform, stencil, variant) config here to exercise the harness's
+  // per-config isolation; free when no plan is armed.
+  if (fault::armed())
+    fault::throw_if(fault::Site::Launch,
+                    platform.label() + " " + stencil.name() + " " +
+                        codegen::variant_name(variant));
   const arch::GpuArch& gpu = platform.gpu;
   const ProgModel& pm = platform.pm;
   const int W = gpu.simd_width;

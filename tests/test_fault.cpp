@@ -1,0 +1,140 @@
+// Unit tests for the deterministic fault-injection framework: spec
+// parsing, hit counting (nth / persistent / context-filtered), throw
+// sites, seeded payload mutation, and the disarmed zero-count contract.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+#include "common/fault.h"
+
+namespace bricksim::fault {
+namespace {
+
+TEST(FaultSpec, SiteNamesRoundTrip) {
+  for (int s = 0; s < kNumSites; ++s) {
+    const Site site = static_cast<Site>(s);
+    const auto parsed = parse_site(site_name(site));
+    ASSERT_TRUE(parsed.has_value()) << site_name(site);
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(parse_site("no.such.site").has_value());
+  EXPECT_FALSE(parse_site("").has_value());
+}
+
+TEST(FaultSpec, ParsesClausesSeedMatchAndPersistence) {
+  const FaultPlan plan = FaultPlan::parse(
+      "seed=42,launch@3,cache.read.corrupt[sweep-]@2+,emit[fig3]@1");
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.clauses.size(), 3u);
+  EXPECT_EQ(plan.clauses[0].site, Site::Launch);
+  EXPECT_EQ(plan.clauses[0].nth, 3);
+  EXPECT_FALSE(plan.clauses[0].persistent);
+  EXPECT_EQ(plan.clauses[0].match, "");
+  EXPECT_EQ(plan.clauses[1].site, Site::CacheReadCorrupt);
+  EXPECT_EQ(plan.clauses[1].match, "sweep-");
+  EXPECT_EQ(plan.clauses[1].nth, 2);
+  EXPECT_TRUE(plan.clauses[1].persistent);
+  EXPECT_EQ(plan.clauses[2].site, Site::Emit);
+  EXPECT_EQ(plan.clauses[2].match, "fig3");
+}
+
+TEST(FaultSpec, DefaultsAndTolerances) {
+  // A trailing comma is tolerated; an empty spec is an empty plan.
+  const FaultPlan plan = FaultPlan::parse("launch@1,");
+  ASSERT_EQ(plan.clauses.size(), 1u);
+  EXPECT_EQ(plan.clauses[0].nth, 1);
+  EXPECT_EQ(plan.seed, 1u);
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+}
+
+TEST(FaultSpec, RejectsMalformedClauses) {
+  EXPECT_THROW(FaultPlan::parse("no.such.site@1"), Error);
+  EXPECT_THROW(FaultPlan::parse("launch"), Error);  // missing @<nth>
+  EXPECT_THROW(FaultPlan::parse("launch@0"), Error);
+  EXPECT_THROW(FaultPlan::parse("launch@-2"), Error);
+  EXPECT_THROW(FaultPlan::parse("launch@abc"), Error);
+  EXPECT_THROW(FaultPlan::parse("seed=notanumber"), Error);
+  EXPECT_THROW(FaultPlan::parse("launch[unclosed@1"), Error);
+  EXPECT_THROW(FaultPlan::parse(",,"), Error);
+}
+
+TEST(FaultFire, NthHitFiresExactlyOnce) {
+  ScopedPlan plan("launch@3");
+  EXPECT_FALSE(fire(Site::Launch));
+  EXPECT_FALSE(fire(Site::Launch));
+  EXPECT_TRUE(fire(Site::Launch));
+  EXPECT_FALSE(fire(Site::Launch));  // one-shot: only the 3rd hit
+  EXPECT_EQ(hits(Site::Launch), 4);
+  EXPECT_EQ(hits(Site::Emit), 0);
+}
+
+TEST(FaultFire, PersistentFiresFromNthOn) {
+  ScopedPlan plan("cache.read.short@2+");
+  EXPECT_FALSE(fire(Site::CacheReadShort, "a"));
+  EXPECT_TRUE(fire(Site::CacheReadShort, "b"));
+  EXPECT_TRUE(fire(Site::CacheReadShort, "c"));
+}
+
+TEST(FaultFire, MatchFilterCountsOnlyMatchingContexts) {
+  ScopedPlan plan("launch[7pt bricks]@2");
+  EXPECT_FALSE(fire(Site::Launch, "A100/CUDA 13pt bricks codegen"));
+  EXPECT_FALSE(fire(Site::Launch, "A100/CUDA 7pt bricks codegen"));  // 1st
+  EXPECT_FALSE(fire(Site::Launch, "A100/CUDA 7pt array"));
+  EXPECT_TRUE(fire(Site::Launch, "A100/SYCL 7pt bricks codegen"));   // 2nd
+}
+
+TEST(FaultFire, ThrowIfCarriesSiteAndContext) {
+  ScopedPlan plan("roofline@1");
+  try {
+    throw_if(Site::Roofline, "PVC-Stack/SYCL");
+    FAIL() << "expected a fault::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fault injected"), std::string::npos);
+    EXPECT_NE(what.find("roofline"), std::string::npos);
+    EXPECT_NE(what.find("PVC-Stack/SYCL"), std::string::npos);
+  }
+}
+
+TEST(FaultFire, DisarmedNeverCountsOrFires) {
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(fire(Site::Launch));
+  EXPECT_NO_THROW(throw_if(Site::Launch));
+  {
+    ScopedPlan plan("launch@1");
+    EXPECT_TRUE(armed());
+  }
+  EXPECT_FALSE(armed());
+  // Counters from an earlier plan are reset on the next arm.
+  ScopedPlan plan("launch@1");
+  EXPECT_EQ(hits(Site::Launch), 0);
+}
+
+TEST(FaultMutate, DeterministicPerSeedAndSite) {
+  const std::string payload(257, 'x');
+  std::string torn1, torn2, corrupt1;
+  {
+    ScopedPlan plan("seed=7,cache.write.torn@1");
+    torn1 = mutate(Site::CacheWriteTorn, payload);
+    corrupt1 = mutate(Site::CacheReadCorrupt, payload);
+  }
+  {
+    ScopedPlan plan("seed=7,cache.write.torn@1");
+    torn2 = mutate(Site::CacheWriteTorn, payload);
+  }
+  EXPECT_EQ(torn1, torn2);  // same seed: bit-identical mutation
+
+  // Torn/short truncate to a proper prefix; corrupt keeps the length and
+  // flips exactly one byte.
+  EXPECT_LT(torn1.size(), payload.size());
+  EXPECT_EQ(payload.rfind(torn1, 0), 0u);
+  ASSERT_EQ(corrupt1.size(), payload.size());
+  int diffs = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    diffs += corrupt1[i] != payload[i];
+  EXPECT_EQ(diffs, 1);
+}
+
+}  // namespace
+}  // namespace bricksim::fault

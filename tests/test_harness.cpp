@@ -153,7 +153,9 @@ TEST(HarnessStatic, FindIndexMatchesLinearScan) {
 
 TEST(HarnessStatic, CliConfig) {
   const char* argv[] = {"bench", "--n", "128", "--progress", "--jobs=3"};
-  const SweepConfig c = sweep_config_from_cli(5, argv);
+  const std::optional<SweepConfig> parsed = sweep_config_from_cli(5, argv);
+  ASSERT_TRUE(parsed.has_value());
+  const SweepConfig& c = *parsed;
   EXPECT_EQ(c.domain, (Vec3{128, 128, 128}));
   EXPECT_TRUE(c.progress);
   EXPECT_EQ(c.jobs, 3);
@@ -163,6 +165,19 @@ TEST(HarnessStatic, CliConfig) {
   EXPECT_THROW(sweep_config_from_cli(2, bad_jobs), Error);
   const char* bad_n[] = {"bench", "--n=abc"};
   EXPECT_THROW(sweep_config_from_cli(2, bad_n), Error);
+}
+
+// --help must be "handled, nothing to run" (nullopt), not a process exit:
+// library code owns no exits (the satellite that removed std::exit from
+// sweep_config_from_cli).
+TEST(HarnessStatic, CliHelpReturnsNullopt) {
+  testing::internal::CaptureStdout();
+  const char* argv[] = {"bench", "--help"};
+  const std::optional<SweepConfig> parsed = sweep_config_from_cli(2, argv);
+  const std::string help = testing::internal::GetCapturedStdout();
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("--jobs"), std::string::npos);
 }
 
 // The parallel sweep executor's core promise: the same SweepConfig produces

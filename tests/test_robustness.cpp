@@ -1,0 +1,628 @@
+// Fault-tolerance properties of the sweep machinery (DESIGN.md "Fault
+// tolerance"): cache corruption detection / quarantine / self-healing,
+// per-config failure isolation in run_sweep, FAILED holes in the
+// emitters, crash-safe resume from checkpoint shards, `bricksim doctor`,
+// and the driver-level exit-code / run_summary contract -- all driven by
+// the deterministic fault-injection framework (common/fault.h).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/json.h"
+#include "harness/cachefile.h"
+#include "harness/doctor.h"
+#include "harness/harness.h"
+#include "harness/registry.h"
+#include "harness/sweepcache.h"
+
+namespace bricksim::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh per-test cache/checkpoint directory under the gtest tmp root.
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// The small sweep the whole suite uses: 1 platform x 2 stencils x
+/// 2 variants at 64^3, serial so fault hit-counting is deterministic.
+SweepConfig small_config() {
+  SweepConfig config;
+  config.domain = {64, 64, 64};
+  config.platforms = {model::paper_platforms().front()};  // A100/CUDA
+  config.stencils = {dsl::Stencil::star(1), dsl::Stencil::cube(1)};
+  config.variants = {codegen::Variant::Array,
+                     codegen::Variant::BricksCodegen};
+  config.jobs = 1;
+  return config;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void spit(const fs::path& p, const std::string& s) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << s;
+}
+
+/// Flips one byte inside the *body* of a framed cache file (past the
+/// header line), so the frame stays parseable but the checksum breaks.
+void flip_body_byte(const fs::path& p) {
+  std::string image = slurp(p);
+  const std::size_t header_end = image.find('\n');
+  ASSERT_NE(header_end, std::string::npos) << p;
+  ASSERT_LT(header_end + 10, image.size()) << p;
+  image[header_end + 10] ^= 0x1;
+  spit(p, image);
+}
+
+bool table_has_cell(const Table& t, const std::string& cell) {
+  for (std::size_t r = 0; r < t.num_rows(); ++r)
+    for (const auto& c : t.row(r))
+      if (c == cell) return true;
+  return false;
+}
+
+std::string dump(const Sweep& sweep) { return sweep_to_json(sweep).dump(1); }
+
+// --- Cache corruption: detect, quarantine, heal ------------------------------
+
+TEST(CacheHealing, BitFlipIsQuarantinedThenResimulationHeals) {
+  const fs::path dir = fresh_dir("robustness_bitflip");
+  const SweepConfig config = small_config();
+  const Sweep clean = run_sweep(config);
+  store_cached_sweep(dir.string(), clean);
+
+  const fs::path entry = cache_entry_path(dir.string(), config);
+  ASSERT_TRUE(fs::exists(entry));
+  {
+    const auto loaded = load_cached_sweep(dir.string(), config);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(dump(*loaded), dump(clean));
+  }
+
+  flip_body_byte(entry);
+  testing::internal::CaptureStderr();
+  const long quarantined_before = quarantine_count();
+  const auto damaged = load_cached_sweep(dir.string(), config);
+  const std::string warning = testing::internal::GetCapturedStderr();
+  // Never a silent miss: the damaged entry is moved aside with a warning.
+  EXPECT_FALSE(damaged.has_value());
+  EXPECT_EQ(quarantine_count(), quarantined_before + 1);
+  EXPECT_NE(warning.find("quarantin"), std::string::npos) << warning;
+  EXPECT_FALSE(fs::exists(entry));
+  EXPECT_TRUE(fs::exists(entry.string() + ".corrupt"));
+
+  // Self-healing: the next store/load cycle is bit-identical again.
+  store_cached_sweep(dir.string(), clean);
+  const auto healed = load_cached_sweep(dir.string(), config);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(dump(*healed), dump(clean));
+  fs::remove_all(dir);
+}
+
+TEST(CacheHealing, TruncationIsQuarantined) {
+  const fs::path dir = fresh_dir("robustness_truncate");
+  const SweepConfig config = small_config();
+  store_cached_sweep(dir.string(), run_sweep(config));
+  const fs::path entry = cache_entry_path(dir.string(), config);
+
+  std::string image = slurp(entry);
+  spit(entry, image.substr(0, image.size() / 2));
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(load_cached_sweep(dir.string(), config).has_value());
+  testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(fs::exists(entry.string() + ".corrupt"));
+  fs::remove_all(dir);
+}
+
+TEST(CacheHealing, ForeignFileIsASilentMissNotCorruption) {
+  const fs::path dir = fresh_dir("robustness_foreign");
+  const SweepConfig config = small_config();
+  const fs::path entry = cache_entry_path(dir.string(), config);
+  fs::create_directories(entry.parent_path());
+  spit(entry, "{ not a framed cache file");
+
+  testing::internal::CaptureStderr();
+  const long quarantined_before = quarantine_count();
+  EXPECT_FALSE(load_cached_sweep(dir.string(), config).has_value());
+  const std::string warning = testing::internal::GetCapturedStderr();
+  // Pre-checksum / unrelated files are not ours to judge: no warning, no
+  // quarantine, file left in place.
+  EXPECT_EQ(quarantine_count(), quarantined_before);
+  EXPECT_EQ(warning, "");
+  EXPECT_TRUE(fs::exists(entry));
+  EXPECT_FALSE(fs::exists(entry.string() + ".corrupt"));
+  fs::remove_all(dir);
+}
+
+TEST(CacheHealing, TornWriteFaultIsDetectedOnNextRead) {
+  const fs::path dir = fresh_dir("robustness_torn");
+  const SweepConfig config = small_config();
+  const Sweep clean = run_sweep(config);
+  {
+    fault::ScopedPlan plan("cache.write.torn@1");
+    store_cached_sweep(dir.string(), clean);
+  }
+  const fs::path entry = cache_entry_path(dir.string(), config);
+  ASSERT_TRUE(fs::exists(entry));
+  const std::string torn = slurp(entry);
+
+  // The torn image is a proper prefix of a valid entry: the framing must
+  // classify it as corrupt (quarantine), never replay it.
+  testing::internal::CaptureStderr();
+  const long quarantined_before = quarantine_count();
+  EXPECT_FALSE(load_cached_sweep(dir.string(), config).has_value());
+  testing::internal::GetCapturedStderr();
+  EXPECT_EQ(quarantine_count(), quarantined_before + 1);
+  EXPECT_FALSE(fs::exists(entry));
+
+  store_cached_sweep(dir.string(), clean);
+  const std::string whole = slurp(entry);
+  EXPECT_LT(torn.size(), whole.size());
+  EXPECT_EQ(whole.rfind(torn, 0), 0u);  // prefix: the write really tore
+  fs::remove_all(dir);
+}
+
+TEST(CacheHealing, RenameFaultCostsTheEntryNotTheRun) {
+  const fs::path dir = fresh_dir("robustness_rename");
+  const SweepConfig config = small_config();
+  const Sweep clean = run_sweep(config);
+  testing::internal::CaptureStderr();
+  {
+    fault::ScopedPlan plan("cache.write.rename@1");
+    // Persisting is an optimisation: the injected rename failure must
+    // warn and drop the entry, never throw into the caller.
+    EXPECT_NO_THROW(store_cached_sweep(dir.string(), clean));
+  }
+  const std::string warning = testing::internal::GetCapturedStderr();
+  EXPECT_NE(warning, "");
+  EXPECT_FALSE(fs::exists(cache_entry_path(dir.string(), config)));
+  EXPECT_FALSE(load_cached_sweep(dir.string(), config).has_value());
+  fs::remove_all(dir);
+}
+
+// --- Shard checkpoints -------------------------------------------------------
+
+TEST(Shards, RoundTripMissAndCorruptionQuarantine) {
+  const fs::path dir = fresh_dir("robustness_shards");
+  const SweepConfig config = small_config();
+  const Sweep clean = run_sweep(config);
+  ASSERT_GE(clean.measurements.size(), 4u);
+
+  store_shard(dir.string(), config, 3, clean.measurements[3]);
+  const auto back = load_shard(dir.string(), config, 3);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, clean.measurements[3]);
+  EXPECT_FALSE(load_shard(dir.string(), config, 2).has_value());
+
+  const fs::path shard =
+      fs::path(shard_dir(dir.string(), config)) / "shard-3.json";
+  ASSERT_TRUE(fs::exists(shard));
+  flip_body_byte(shard);
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(load_shard(dir.string(), config, 3).has_value());
+  testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(fs::exists(shard.string() + ".corrupt"));
+
+  // Roofline shards share the machinery.
+  ASSERT_FALSE(clean.rooflines.empty());
+  const auto& [label, rl] = *clean.rooflines.begin();
+  store_roofline_shard(dir.string(), config, label, rl);
+  const auto rl_back = load_roofline_shard(dir.string(), config, label);
+  ASSERT_TRUE(rl_back.has_value());
+  EXPECT_TRUE(*rl_back == rl);
+
+  clear_shards(dir.string(), config);
+  EXPECT_FALSE(fs::exists(shard_dir(dir.string(), config)));
+  fs::remove_all(dir);
+}
+
+// --- Per-config failure isolation --------------------------------------------
+
+TEST(FailureIsolation, OneFaultyConfigCostsOneHoleNotTheSweep) {
+  const SweepConfig config = small_config();
+  const Sweep clean = run_sweep(config);
+
+  // Target exactly one config by its full launch-context identity.
+  const std::string target = config.platforms[0].label() + " " +
+                             config.stencils[0].name() + " bricks codegen";
+  fault::ScopedPlan plan("launch[" + target + "]@1");
+  const Sweep degraded = run_sweep(config);
+
+  ASSERT_EQ(degraded.failures.size(), 1u);
+  const FailureRecord& f = degraded.failures[0];
+  EXPECT_EQ(f.platform, config.platforms[0].label());
+  EXPECT_EQ(f.stencil, config.stencils[0].name());
+  EXPECT_EQ(f.variant, "bricks codegen");
+  EXPECT_EQ(f.site, "launch");
+  EXPECT_NE(f.what.find("fault injected"), std::string::npos) << f.what;
+  EXPECT_EQ(degraded.find_failure(f.stencil, f.variant, f.platform), &f);
+  EXPECT_EQ(degraded.find_failure("13pt", f.variant, f.platform), nullptr);
+
+  // The failed slot is a hole; every other slot is bit-identical to the
+  // clean sweep, and the rooflines are untouched.
+  ASSERT_EQ(degraded.measurements.size(), clean.measurements.size());
+  // simulated counts attempts (failures included) plus the roofline.
+  EXPECT_EQ(degraded.run_stats.simulated,
+            static_cast<int>(clean.measurements.size()) + 1);
+  int holes = 0;
+  for (std::size_t n = 0; n < clean.measurements.size(); ++n) {
+    if (degraded.measurements[n].stencil.empty()) {
+      ++holes;
+      EXPECT_EQ(clean.measurements[n].stencil, f.stencil);
+      EXPECT_EQ(clean.measurements[n].variant, f.variant);
+    } else {
+      EXPECT_TRUE(degraded.measurements[n] == clean.measurements[n])
+          << "slot " << n;
+    }
+  }
+  EXPECT_EQ(holes, 1);
+  EXPECT_TRUE(degraded.rooflines == clean.rooflines);
+  EXPECT_EQ(degraded.find(f.stencil, f.variant, f.platform), nullptr);
+  // Holes never leak into per-platform selections.
+  for (const auto& m : degraded.select(f.platform))
+    EXPECT_FALSE(m.stencil.empty());
+}
+
+TEST(FailureIsolation, RooflineFailureIsPerPlatformAndIsolated) {
+  SweepConfig config = small_config();
+  fault::ScopedPlan plan("roofline[" + config.platforms[0].label() + "]@1");
+  std::vector<FailureRecord> failures;
+  SweepRunStats stats;
+  const auto rls = sweep_rooflines(config, &failures, &stats);
+  EXPECT_TRUE(rls.empty());  // the only platform's roofline failed
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].platform, config.platforms[0].label());
+  EXPECT_EQ(failures[0].stencil, "");
+  EXPECT_EQ(failures[0].variant, "");
+  EXPECT_EQ(failures[0].site, "roofline");
+  EXPECT_EQ(stats.simulated, 1);
+
+  // Without a collector the historical fail-fast contract holds.
+  fault::ScopedPlan again("roofline@1");
+  EXPECT_THROW(sweep_rooflines(config), Error);
+}
+
+TEST(FailureIsolation, EmittersRenderExplicitHoles) {
+  const SweepConfig config = small_config();
+  const Sweep clean = run_sweep(config);
+  Sweep degraded;
+  {
+    fault::ScopedPlan plan("launch[" + config.platforms[0].label() + " " +
+                           config.stencils[0].name() +
+                           " bricks codegen]@1");
+    degraded = run_sweep(config);
+  }
+  ASSERT_EQ(degraded.failures.size(), 1u);
+
+  // Every sweep-consuming emitter completes on the degraded sweep and
+  // renders the hole as an explicit FAILED cell; none appears on clean.
+  const Table clean_tables[] = {make_fig3(clean), make_fig4(clean),
+                                make_table3(clean), make_table5(clean),
+                                make_fig7(clean)};
+  for (const auto& t : clean_tables) EXPECT_FALSE(table_has_cell(t, "FAILED"));
+  const Table degraded_tables[] = {make_fig3(degraded), make_fig4(degraded),
+                                   make_table3(degraded),
+                                   make_table5(degraded),
+                                   make_fig7(degraded)};
+  for (const auto& t : degraded_tables) {
+    EXPECT_TRUE(table_has_cell(t, "FAILED"));
+    // Partial tables keep the clean shape: a hole is a cell, not a
+    // missing row.
+    EXPECT_GT(t.num_rows(), 0u);
+  }
+  EXPECT_EQ(make_fig4(degraded).num_rows(), make_fig4(clean).num_rows());
+  EXPECT_EQ(make_fig7(degraded).num_rows(), make_fig7(clean).num_rows());
+}
+
+// --- Crash-safe resume -------------------------------------------------------
+
+TEST(Resume, ReplaysCheckpointShardsBitIdentically) {
+  const fs::path dir = fresh_dir("robustness_resume");
+  const SweepConfig reference_config = small_config();
+  const Sweep reference = run_sweep(reference_config);  // never interrupted
+
+  SweepConfig config = small_config();
+  config.checkpoint_dir = dir.string();
+  Sweep degraded;
+  {
+    fault::ScopedPlan plan("launch[" + config.platforms[0].label() + " " +
+                           config.stencils[0].name() +
+                           " bricks codegen]@1");
+    degraded = run_sweep(config);
+  }
+  ASSERT_EQ(degraded.failures.size(), 1u);
+  // Every completed config (and the roofline) left a shard; the failed
+  // one did not.
+  const int total = static_cast<int>(reference.measurements.size());
+  EXPECT_EQ(degraded.run_stats.simulated, total + 1);  // + 1 roofline
+  EXPECT_EQ(degraded.run_stats.checkpointed, total + 1 - 1);
+  EXPECT_TRUE(fs::exists(shard_dir(dir.string(), config)));
+
+  config.resume = true;
+  const Sweep resumed = run_sweep(config);
+  EXPECT_TRUE(resumed.failures.empty());
+  // Only the hole was re-simulated; everything else replayed from shards,
+  // and the result is bit-identical to the never-interrupted sweep.
+  EXPECT_EQ(resumed.run_stats.resumed, total + 1 - 1);
+  EXPECT_EQ(resumed.run_stats.simulated, 1);
+  EXPECT_EQ(dump(resumed), dump(reference));
+  fs::remove_all(dir);
+}
+
+TEST(Resume, CorruptShardIsQuarantinedAndResimulated) {
+  const fs::path dir = fresh_dir("robustness_resume_corrupt");
+  SweepConfig config = small_config();
+  config.checkpoint_dir = dir.string();
+  const Sweep reference = run_sweep(config);  // checkpoints everything
+
+  const fs::path shard =
+      fs::path(shard_dir(dir.string(), config)) / "shard-0.json";
+  ASSERT_TRUE(fs::exists(shard));
+  flip_body_byte(shard);
+
+  config.resume = true;
+  testing::internal::CaptureStderr();
+  const Sweep resumed = run_sweep(config);
+  testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(fs::exists(shard.string() + ".corrupt"));
+  EXPECT_EQ(resumed.run_stats.simulated, 1);  // just the damaged shard
+  EXPECT_EQ(dump(resumed), dump(reference));
+  fs::remove_all(dir);
+}
+
+TEST(Resume, OffByDefaultIgnoresStaleShards) {
+  const fs::path dir = fresh_dir("robustness_no_resume");
+  SweepConfig config = small_config();
+  config.checkpoint_dir = dir.string();
+  const Sweep first = run_sweep(config);
+  const int total = static_cast<int>(first.measurements.size()) + 1;
+  EXPECT_EQ(first.run_stats.simulated, total);
+
+  // Without --resume a fresh run must not trust leftover shards.
+  const Sweep second = run_sweep(config);
+  EXPECT_EQ(second.run_stats.resumed, 0);
+  EXPECT_EQ(second.run_stats.simulated, total);
+  EXPECT_EQ(dump(second), dump(first));
+  fs::remove_all(dir);
+}
+
+// --- bricksim doctor ---------------------------------------------------------
+
+TEST(Doctor, ScansClassifiesAndPrunes) {
+  const fs::path dir = fresh_dir("robustness_doctor");
+  const SweepConfig config = small_config();
+  store_cached_sweep(dir.string(), run_sweep(config));
+  const fs::path entry = cache_entry_path(dir.string(), config);
+
+  // Healthy cache: everything ok, exit 0.
+  {
+    std::ostringstream os;
+    EXPECT_EQ(run_doctor(dir.string(), false, os), 0);
+    const DoctorReport report = doctor_scan(dir.string(), false);
+    EXPECT_EQ(report.ok, 1);
+    EXPECT_EQ(report.corrupt, 0);
+  }
+
+  // Damage the entry, add a pre-checksum (stale) file and a stray tmp.
+  flip_body_byte(entry);
+  spit(dir / "sweep-0123456789abcdef.json", "{\"schema\": 1}");
+  spit(dir / "sweep-feedfacefeedface.json.tmp", "partial");
+  {
+    std::ostringstream os;
+    EXPECT_EQ(run_doctor(dir.string(), false, os), 3);
+    EXPECT_NE(os.str().find("corrupt"), std::string::npos) << os.str();
+    const DoctorReport report = doctor_scan(dir.string(), false);
+    EXPECT_EQ(report.corrupt, 1);
+    EXPECT_GE(report.stale, 1);
+  }
+
+  // Prune: corrupt -> quarantined, stale/tmp deleted.
+  {
+    testing::internal::CaptureStderr();
+    std::ostringstream os;
+    run_doctor(dir.string(), true, os);
+    testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(fs::exists(entry));
+    EXPECT_TRUE(fs::exists(entry.string() + ".corrupt"));
+    EXPECT_FALSE(fs::exists(dir / "sweep-0123456789abcdef.json"));
+    EXPECT_FALSE(fs::exists(dir / "sweep-feedfacefeedface.json.tmp"));
+    const DoctorReport after = doctor_scan(dir.string(), false);
+    EXPECT_EQ(after.corrupt, 0);
+    EXPECT_EQ(after.quarantined, 1);
+  }
+
+  // A second prune clears the quarantine; the cache is then empty-healthy.
+  {
+    std::ostringstream os;
+    EXPECT_EQ(run_doctor(dir.string(), true, os), 0);
+    EXPECT_FALSE(fs::exists(entry.string() + ".corrupt"));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Doctor, EmptyOrMissingCacheIsHealthy) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "robustness_doctor_missing";
+  fs::remove_all(dir);
+  std::ostringstream os;
+  EXPECT_EQ(run_doctor(dir.string(), false, os), 0);
+  EXPECT_NE(os.str().find("empty cache"), std::string::npos) << os.str();
+}
+
+// --- Driver contract ---------------------------------------------------------
+
+int run_driver(const std::vector<std::string>& args) {
+  std::vector<const char*> argv{"bricksim"};
+  for (const auto& a : args) argv.push_back(a.c_str());
+  return driver_main(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(DriverFault, DegradedRunExitsThreeThenResumeCompletesClean) {
+  const fs::path root = fresh_dir("robustness_driver");
+  const std::string cache = (root / "cache").string();
+  const std::string ref_cache = (root / "ref_cache").string();
+  const std::vector<std::string> base = {
+      "run", "cpu_crossplatform", "--n", "64", "--jobs", "1"};
+
+  // Reference: a clean run in its own cache.
+  std::vector<std::string> ref = base;
+  ref.insert(ref.end(), {"--out", (root / "ref").string(), "--cache-dir",
+                         ref_cache});
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(run_driver(ref), 0);
+  const std::string ref_stdout = testing::internal::GetCapturedStdout();
+
+  // Degraded: one injected launch failure.  Every artifact is still
+  // written, the hole renders as FAILED, the exit code is 3.
+  std::vector<std::string> bad = base;
+  bad.insert(bad.end(), {"--out", (root / "bad").string(), "--cache-dir",
+                         cache, "--fault-inject", "launch@1"});
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_driver(bad), 3);
+  const std::string bad_stdout = testing::internal::GetCapturedStdout();
+  testing::internal::GetCapturedStderr();
+  EXPECT_NE(bad_stdout.find("FAILED"), std::string::npos);
+  EXPECT_EQ(slurp(root / "bad" / "cpu_crossplatform" / "output.txt"),
+            bad_stdout);
+
+  const json::Value summary =
+      json::Value::parse(slurp(root / "bad" / "run_summary.json"));
+  EXPECT_EQ(summary.at("experiment_status").at("cpu_crossplatform")
+                .as_string(),
+            "degraded");
+  const json::Value& failures = summary.at("failures");
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].at("site").as_string(), "launch");
+  EXPECT_NE(failures[0].at("platform").as_string(), "");
+  EXPECT_NE(failures[0].at("stencil").as_string(), "");
+  EXPECT_NE(failures[0].at("error").as_string().find("fault injected"),
+            std::string::npos);
+  EXPECT_GT(summary.at("cache").at("shards_written").as_long(), 0);
+
+  // Resume without the fault: only the hole is simulated, the output is
+  // byte-identical to the never-faulted reference, and the now-clean
+  // sweep enters the cache.
+  std::vector<std::string> resume = base;
+  resume.insert(resume.end(), {"--out", (root / "resumed").string(),
+                               "--cache-dir", cache, "--resume"});
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(run_driver(resume), 0);
+  const std::string resumed_stdout = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(resumed_stdout, ref_stdout);
+  const json::Value resumed_summary =
+      json::Value::parse(slurp(root / "resumed" / "run_summary.json"));
+  EXPECT_EQ(resumed_summary.at("cache").at("configs_simulated").as_long(),
+            1);
+  EXPECT_GT(resumed_summary.at("cache").at("shards_resumed").as_long(), 0);
+  EXPECT_EQ(resumed_summary.at("experiment_status")
+                .at("cpu_crossplatform").as_string(),
+            "ok");
+
+  // Warm rerun replays the artifact: the degraded output never entered
+  // the cache, the clean one did.
+  std::vector<std::string> warm = base;
+  warm.insert(warm.end(), {"--out", (root / "warm").string(), "--cache-dir",
+                           cache});
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(run_driver(warm), 0);
+  EXPECT_EQ(testing::internal::GetCapturedStdout(), ref_stdout);
+  const json::Value warm_summary =
+      json::Value::parse(slurp(root / "warm" / "run_summary.json"));
+  EXPECT_EQ(warm_summary.at("cache").at("artifact_hits").as_long(), 1);
+  EXPECT_EQ(warm_summary.at("cache").at("configs_simulated").as_long(), 0);
+  fs::remove_all(root);
+}
+
+TEST(DriverFault, EmitterFailureIsIsolatedAndNamed) {
+  const fs::path root = fresh_dir("robustness_driver_emit");
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_driver({"run", "table2", "--out", (root / "out").string(),
+                        "--no-cache", "--fault-inject", "emit[table2]@1"}),
+            3);
+  const std::string out = testing::internal::GetCapturedStdout();
+  testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[experiment table2 failed:"), std::string::npos);
+
+  const json::Value summary =
+      json::Value::parse(slurp(root / "out" / "run_summary.json"));
+  EXPECT_EQ(summary.at("experiment_status").at("table2").as_string(),
+            "failed");
+  const json::Value& failures = summary.at("failures");
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].at("experiment").as_string(), "table2");
+  EXPECT_EQ(failures[0].at("site").as_string(), "emit");
+  // The partial output still landed on disk.
+  EXPECT_TRUE(fs::exists(root / "out" / "table2" / "output.txt"));
+  fs::remove_all(root);
+}
+
+TEST(DriverFault, QuarantineCounterReachesRunSummary) {
+  const fs::path root = fresh_dir("robustness_driver_quarantine");
+  const std::string cache = (root / "cache").string();
+  const std::vector<std::string> base = {"run",       "cpu_crossplatform",
+                                         "--n",       "64",
+                                         "--jobs",    "1",
+                                         "--cache-dir", cache};
+  auto with_out = [&](const std::string& out) {
+    std::vector<std::string> args = base;
+    args.insert(args.end(), {"--out", (root / out).string()});
+    return args;
+  };
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(run_driver(with_out("cold")), 0);
+  const std::string cold_stdout = testing::internal::GetCapturedStdout();
+
+  // Corrupt both the sweep entry and the artifact entry: the warm run
+  // must quarantine them, re-simulate, and still match byte for byte.
+  int flipped = 0;
+  for (const auto& e : fs::recursive_directory_iterator(cache))
+    if (e.is_regular_file()) {
+      flip_body_byte(e.path());
+      ++flipped;
+    }
+  ASSERT_GE(flipped, 2);
+
+  testing::internal::CaptureStdout();
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(run_driver(with_out("healed")), 0);
+  const std::string healed_stdout = testing::internal::GetCapturedStdout();
+  const std::string warnings = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(healed_stdout, cold_stdout);
+  EXPECT_NE(warnings.find("quarantin"), std::string::npos) << warnings;
+  const json::Value summary =
+      json::Value::parse(slurp(root / "healed" / "run_summary.json"));
+  EXPECT_GE(summary.at("cache").at("entries_quarantined").as_long(), 2);
+  EXPECT_EQ(summary.at("cache").at("artifact_hits").as_long(), 0);
+  fs::remove_all(root);
+}
+
+TEST(DriverFault, DoctorCommandReportsEmptyCache) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "robustness_driver_doctor";
+  fs::remove_all(dir);
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(run_driver({"doctor", "--cache-dir", dir.string()}), 0);
+  EXPECT_NE(testing::internal::GetCapturedStdout().find("empty cache"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bricksim::harness

@@ -301,6 +301,11 @@ TEST(SweepCache, FingerprintIgnoresPresentationKnobs) {
   c.jobs = 7;
   c.progress = true;
   c.csv = true;
+  // Checkpoint/resume are presentation-side too: where shards land (and
+  // whether they replay) cannot affect measurement content, so a resumed
+  // run hits the same cache entry as the uninterrupted one.
+  c.checkpoint_dir = "/tmp/somewhere-else";
+  c.resume = true;
   EXPECT_EQ(harness::fingerprint(c), harness::fingerprint(base));
 }
 

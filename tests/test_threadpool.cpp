@@ -92,6 +92,50 @@ TEST(ParallelFor, MoreJobsThanIndices) {
   EXPECT_EQ(std::accumulate(slots.begin(), slots.end(), 0), 3);
 }
 
+// The continue-on-error twin of parallel_for: parallel_for_collect runs
+// EVERY index even when some throw, and reports the failures (sorted by
+// index) instead of aborting -- the semantics the fault-tolerant sweep
+// builds on.  The fail-fast tests above pin parallel_for's contract; this
+// block pins the collecting one, at both job counts.
+TEST(ParallelForCollect, EmptyOnSuccessAndEveryIndexRuns) {
+  for (int jobs : {1, 4}) {
+    std::vector<long> slots(257, -1);
+    const auto failures =
+        parallel_for_collect(jobs, 257, [&](long i) { slots[i] = i; });
+    EXPECT_TRUE(failures.empty()) << "jobs=" << jobs;
+    for (long i = 0; i < 257; ++i) EXPECT_EQ(slots[i], i);
+  }
+}
+
+TEST(ParallelForCollect, CollectsAllFailuresSortedAndRunsTheRest) {
+  for (int jobs : {1, 4}) {
+    std::vector<int> ran(100, 0);
+    const auto failures = parallel_for_collect(jobs, 100, [&](long i) {
+      ran[i] = 1;
+      if (i % 30 == 7) throw Error("boom at " + std::to_string(i));
+    });
+    // Unlike parallel_for, every index ran -- failures cost only
+    // themselves.
+    EXPECT_EQ(std::accumulate(ran.begin(), ran.end(), 0), 100)
+        << "jobs=" << jobs;
+    ASSERT_EQ(failures.size(), 4u) << "jobs=" << jobs;  // 7, 37, 67, 97
+    long expected[] = {7, 37, 67, 97};
+    for (std::size_t f = 0; f < failures.size(); ++f) {
+      EXPECT_EQ(failures[f].index, expected[f]);
+      EXPECT_EQ(failures[f].what,
+                "boom at " + std::to_string(expected[f]));
+    }
+  }
+}
+
+TEST(ParallelForCollect, NonStdExceptionsBecomeUnknown) {
+  const auto failures =
+      parallel_for_collect(1, 2, [&](long i) { if (i == 1) throw 42; });
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].index, 1);
+  EXPECT_EQ(failures[0].what, "unknown exception");
+}
+
 TEST(ParallelFor, RethrowsLowestFailingIndex) {
   for (int jobs : {1, 4}) {
     try {
