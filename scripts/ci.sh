@@ -33,7 +33,15 @@
 #                                cache entry is quarantined and healed by
 #                                re-simulation, and `bricksim doctor`
 #                                reports/prunes the damage
-#   8. clang-tidy lint           (scripts/lint.sh; skipped when absent)
+#   8. static-analysis verify:   `bricksim lint` under ASan, cold then
+#                                warm -- the warm run must join brickperf's
+#                                static estimates against cached counters
+#                                without simulating a sweep (asserted from
+#                                run_summary.json); then the ExecPlan
+#                                differential verifier gates every decode
+#                                of the full catalog (--verify-plan
+#                                --no-cache)
+#   9. clang-tidy lint           (scripts/lint.sh; skipped when absent)
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  run only the brickcheck/ir/codegen test subset under the
@@ -45,12 +53,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/8] tier-1 verify (plain)"
+echo "==> [1/9] tier-1 verify (plain)"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/8] tier-1 verify (Release)"
+echo "==> [2/9] tier-1 verify (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -60,7 +68,7 @@ else
   ctest --test-dir build-release --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [3/8] tier-1 verify (ASan + UBSan)"
+echo "==> [3/9] tier-1 verify (ASan + UBSan)"
 cmake -B build-asan -S . -DBRICKSIM_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -70,17 +78,17 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [4/8] concurrency verify (TSan)"
+echo "==> [4/9] concurrency verify (TSan)"
 cmake -B build-tsan -S . -DBRICKSIM_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan'
 
-echo "==> [5/8] parallel sweep smoke (fig3 at --jobs 4, both engines)"
+echo "==> [5/9] parallel sweep smoke (fig3 at --jobs 4, both engines)"
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null 2> /dev/null
 
-echo "==> [6/8] driver verify (bricksim all cold/warm + legacy byte-diff)"
+echo "==> [6/9] driver verify (bricksim all cold/warm + legacy byte-diff)"
 CIDIR="$(mktemp -d)"
 trap 'rm -rf "$CIDIR"' EXIT
 BRICKSIM=./build/bench/bricksim
@@ -127,7 +135,7 @@ for pair in table1:bench_table1_platforms table2:bench_table2_stencils \
     || { echo "FAIL: $bin stdout differs from bricksim run $name"; exit 1; }
 done
 
-echo "==> [7/8] fault-injection soak (ASan driver)"
+echo "==> [7/9] fault-injection soak (ASan driver)"
 ASAN_BRICKSIM=./build-asan/bench/bricksim
 SOAK="$CIDIR/soak"
 mkdir -p "$SOAK"
@@ -220,7 +228,27 @@ grep -q '\.corrupt' "$SOAK/doctor.out" \
 "$ASAN_BRICKSIM" doctor --cache-dir "$SOAK/cache" > "$SOAK/doctor2.out" \
   || { echo "FAIL: doctor reports damage after prune"; exit 1; }
 
-echo "==> [8/8] lint"
+echo "==> [8/9] static-analysis verify (brickperf drift gate + plan verifier)"
+# Cold: simulates the main sweep, then joins brickperf's static estimates
+# against the measured counters; any drift outside tolerance exits 3.
+"$ASAN_BRICKSIM" run lint --n 64 --out "$CIDIR/lint_cold" \
+  --cache-dir "$CIDIR/lint_cache" > /dev/null 2> /dev/null
+
+# Warm: the same join must replay counters from the cache -- the static
+# analysis itself costs no simulation.
+"$ASAN_BRICKSIM" run lint --n 64 --out "$CIDIR/lint_warm" \
+  --cache-dir "$CIDIR/lint_cache" > /dev/null 2> /dev/null
+grep -q '"sweeps_simulated": 0' "$CIDIR/lint_warm/run_summary.json" \
+  || { echo "FAIL: warm bricksim lint re-simulated a sweep"; exit 1; }
+
+# Differential decode verification over the full catalog: every ExecPlan
+# the sweep decodes is re-derived from its source program and compared
+# field by field before it replays (enforced strictly; any divergence
+# aborts the launch).
+"$ASAN_BRICKSIM" run fig3 --n 64 --verify-plan --no-cache \
+  --out "$CIDIR/verify_plan" > /dev/null 2> /dev/null
+
+echo "==> [9/9] lint"
 scripts/lint.sh
 
 echo "==> CI green"

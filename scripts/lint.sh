@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Runs clang-tidy (config: .clang-tidy) over every source file under src/
-# and fails on any warning (WarningsAsErrors: '*').  Usage:
+# and fails on any warning (--warnings-as-errors='*').  Usage:
 #
 #   scripts/lint.sh [build-dir]
 #
 # The build dir (default: build) is reconfigured with compile_commands.json
-# exported.  When clang-tidy is not installed the lint is skipped with a
-# notice and exit 0, so environments without LLVM tooling (like the pinned
-# CI container) still run the rest of the pipeline.
+# exported.  Files are linted in parallel, one clang-tidy process per core
+# (clang-tidy is single-threaded per invocation, so this is the only way to
+# use the machine); xargs propagates any child's failure as a non-zero exit.
+# When clang-tidy is not installed the lint is skipped with a notice and
+# exit 0, so environments without LLVM tooling (like the pinned CI
+# container) still run the rest of the pipeline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +23,10 @@ fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 
+JOBS="$(nproc 2>/dev/null || echo 2)"
 mapfile -t files < <(find src -name '*.cpp' | sort)
-echo "lint: clang-tidy over ${#files[@]} files"
-clang-tidy -p "$BUILD_DIR" --quiet "${files[@]}"
+echo "lint: clang-tidy over ${#files[@]} files (${JOBS} jobs)"
+printf '%s\0' "${files[@]}" |
+  xargs -0 -n 1 -P "$JOBS" \
+    clang-tidy -p "$BUILD_DIR" --quiet --warnings-as-errors='*'
 echo "lint: clean"

@@ -1,0 +1,594 @@
+#include "analysis/brickperf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace bricksim::analysis {
+
+namespace {
+
+/// Inclusive min/max offset range per axis over a set of refs.
+struct Spread {
+  bool any = false;
+  int lo[3] = {0, 0, 0};
+  int hi[3] = {0, 0, 0};
+
+  void add(int di, int dj, int dk) {
+    const int d[3] = {di, dj, dk};
+    if (!any) {
+      for (int ax = 0; ax < 3; ++ax) lo[ax] = hi[ax] = d[ax];
+      any = true;
+      return;
+    }
+    for (int ax = 0; ax < 3; ++ax) {
+      lo[ax] = std::min(lo[ax], d[ax]);
+      hi[ax] = std::max(hi[ax], d[ax]);
+    }
+  }
+  int span(int ax) const { return any ? hi[ax] - lo[ax] : 0; }
+};
+
+/// Per-grid address-set summary accumulated in the instruction scan.
+struct GridUse {
+  // Array layout.
+  Spread load, store, all;
+  long load_refs = 0;
+  /// Distinct (dj, dk) rows the block touches (array refs carry absolute
+  /// in-tile offsets, so row identity -- not the offset spread, which
+  /// covers the whole unrolled tile -- is what matches the machine's
+  /// per-block page and line accounting).
+  std::set<std::pair<int, int>> all_rows_jk;
+  /// Distinct dj (resp. dk) values over the grid's array loads.  A count
+  /// above the tile extent means j- (k-) halo rows shared with neighbour
+  /// blocks; the excess over the tile is the per-row re-read multiplicity
+  /// when the reuse distance defeats the shared cache.
+  std::set<int> load_dj, load_dk;
+  /// L2-bypass path (MI250X/HIP unaligned vectorised loads).  Bypassed
+  /// loads still allocate in the L1, so within a block overlapping taps
+  /// collapse onto the row-union footprint: per touched row, the union
+  /// [min di, max di + W) of the bypassing refs, in whole lines.
+  std::map<std::pair<int, int>, std::pair<int, int>> bypass_rows;
+  long bypass_refs = 0;    ///< refs taking the bypass path (weighted)
+  double bypass_frac_sum = 0;  ///< sum of per-ref bypass probabilities
+  /// Largest per-ref L2-path probability (1 - bypass fraction) over the
+  /// grid's loads: the fraction of blocks in which at least one load still
+  /// streams the compulsory footprint through the shared L2.
+  double l2_gate = 0;
+
+  // Brick layout.
+  std::set<std::tuple<int, int, int>> load_rows, store_rows;
+  std::set<std::tuple<int, int, int, int, int, int>> load_tuples;
+  long far_k_tuples = 0;  ///< load (row, d) pairs with dk != 0
+  long far_j_tuples = 0;  ///< dk == 0 but dj != 0
+};
+
+std::int64_t ipow_mod(std::int64_t v, std::int64_t m) {
+  return ((v % m) + m) % m;
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  return std::gcd(std::llabs(a), std::llabs(b));
+}
+
+}  // namespace
+
+const char* perf_check_name(PerfCheck c) {
+  switch (c) {
+    case PerfCheck::Coalesce: return "coalesce";
+    case PerfCheck::Spill: return "spill";
+    case PerfCheck::VecWidth: return "vecwidth";
+    case PerfCheck::Reuse: return "reuse";
+    case PerfCheck::Predication: return "predication";
+  }
+  return "?";
+}
+
+std::string PerfDiag::to_string() const {
+  std::ostringstream os;
+  os << (severity == Severity::Error ? "error" : "warning") << "["
+     << perf_check_name(check) << "]";
+  if (inst >= 0) os << " inst " << inst;
+  os << ": " << message;
+  return os.str();
+}
+
+PerfStats& PerfStats::operator+=(const PerfStats& o) {
+  programs += o.programs;
+  insts += o.insts;
+  warnings += o.warnings;
+  errors += o.errors;
+  for (int i = 0; i < kNumPerfChecks; ++i) by_check[i] += o.by_check[i];
+  return *this;
+}
+
+std::string PerfReport::to_string() const {
+  std::string out;
+  for (const PerfDiag& d : diags) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+PerfReport analyze(const ir::Program& prog, const LaunchGeom& geom,
+                   const arch::GpuArch& arch, const KernelAttrs& attrs) {
+  const int W = prog.vec_width();
+  const std::uint32_t vec_bytes = static_cast<std::uint32_t>(W) * kElemBytes;
+  const int sector = arch.l1.sector_bytes;
+  BRICKSIM_REQUIRE(sector > 0, "architecture without a sector size");
+  BRICKSIM_REQUIRE(static_cast<int>(geom.grids.size()) >= prog.num_grids(),
+                   "launch geometry misses grids the program references");
+
+  PerfReport rep;
+  rep.stats.programs = 1;
+  rep.stats.insts = static_cast<long>(prog.insts().size());
+
+  // Diagnostics with a per-family materialisation cap (naive lowerings
+  // reload hundreds of taps; the counts stay exact in stats.by_check).
+  auto diag = [&rep](PerfCheck c, int inst, std::string msg) {
+    rep.stats.by_check[static_cast<int>(c)]++;
+    rep.stats.warnings++;
+    if (rep.stats.by_check[static_cast<int>(c)] <= kMaxDiagsPerCheck)
+      rep.diags.push_back(
+          {c, Severity::Warning, inst, std::move(msg)});
+  };
+
+  const Vec3 blocks = geom.blocks;
+  const Vec3 tile = geom.tile;
+  const double nblocks = static_cast<double>(blocks.volume());
+  const Vec3 domain = attrs.domain.volume() > 0
+                          ? attrs.domain
+                          : Vec3{blocks.i * tile.i, blocks.j * tile.j,
+                                 blocks.k * tile.k};
+
+  // --- Sector-phase machinery -----------------------------------------------
+  // addr = line-aligned base + (idx0 + bc . (bi,bj,bk)) * 8.  The phase
+  // (addr mod sector) is block-invariant exactly when every block stride is
+  // a sector multiple -- then the static sector count per access is the
+  // count memsim observes, for every block.
+  bool exact = true;
+  std::vector<std::int64_t> stride_mod(geom.grids.size(), 0);  // gcd of
+  // block-stride byte values mod vec_bytes, for the bypass-fraction model.
+  for (std::size_t g = 0; g < geom.grids.size(); ++g) {
+    const GridGeom& gg = geom.grids[g];
+    if (gg.layout == ir::Space::Array) {
+      const std::int64_t b8[3] = {
+          static_cast<std::int64_t>(tile.i) * kElemBytes,
+          static_cast<std::int64_t>(tile.j) * gg.padded.i * kElemBytes,
+          static_cast<std::int64_t>(tile.k) * gg.padded.i * gg.padded.j *
+              kElemBytes};
+      const int nb[3] = {blocks.i, blocks.j, blocks.k};
+      for (int ax = 0; ax < 3; ++ax) {
+        if (nb[ax] <= 1) continue;
+        if (b8[ax] % sector != 0) exact = false;
+        stride_mod[g] = gcd64(stride_mod[g], b8[ax]);
+      }
+    } else {
+      const std::int64_t epb8 =
+          static_cast<std::int64_t>(gg.brick_dims.volume()) * kElemBytes;
+      if (epb8 % sector != 0) exact = false;
+      stride_mod[g] = epb8;
+    }
+  }
+
+  const int ideal_sectors =
+      (static_cast<int>(vec_bytes) + sector - 1) / sector;
+
+  // --- Instruction scan -----------------------------------------------------
+  std::vector<GridUse> use(geom.grids.size());
+  // Reuse tracking: affine address keys loaded since the last store to the
+  // same grid.  Spill traffic is deliberate (regalloc), so only Array and
+  // Brick loads participate.
+  std::vector<std::set<std::tuple<int, int, int, int, int, int, int>>>
+      live_loads(geom.grids.size());
+
+  std::uint64_t sectors_per_block = 0;
+  std::uint64_t spill_sectors_per_block = 0;
+
+  const std::vector<ir::Inst>& insts = prog.insts();
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    const ir::Inst& in = insts[i];
+    if (in.op != ir::Op::VLoad && in.op != ir::Op::VStore) continue;
+    const bool is_store = in.op == ir::Op::VStore;
+    const ir::MemRef& m = in.mem;
+
+    if (m.space == ir::Space::Spill) {
+      spill_sectors_per_block += (vec_bytes + sector - 1) / sector;
+      continue;
+    }
+
+    const std::size_t gi = static_cast<std::size_t>(m.grid);
+    const GridGeom& gg = geom.grids[gi];
+    GridUse& u = use[gi];
+
+    std::int64_t idx0 = 0;
+    std::tuple<int, int, int, int, int, int, int> key;
+    if (m.space == ir::Space::Array) {
+      const Vec3 e0{gg.ghost.i + m.di, gg.ghost.j + m.dj, gg.ghost.k + m.dk};
+      idx0 = linear_index(e0, gg.padded);
+      key = {0, m.di, m.dj, m.dk, 0, 0, 0};
+      if (is_store)
+        u.store.add(m.di, m.dj, m.dk);
+      else
+        u.load.add(m.di, m.dj, m.dk);
+      u.all.add(m.di, m.dj, m.dk);
+      u.all_rows_jk.emplace(m.dj, m.dk);
+      if (!is_store) {
+        ++u.load_refs;
+        u.load_dj.insert(m.dj);
+        u.load_dk.insert(m.dk);
+      }
+    } else {
+      idx0 = (static_cast<std::int64_t>(m.vk) * gg.brick_dims.j + m.vj) *
+                 gg.brick_dims.i +
+             static_cast<std::int64_t>(m.vi) * W;
+      key = {1, m.nbr_di, m.nbr_dj, m.nbr_dk, m.vi, m.vj, m.vk};
+      const auto row = std::make_tuple(m.vi, m.vj, m.vk);
+      if (is_store) {
+        u.store_rows.insert(row);
+        u.store.add(m.nbr_di, m.nbr_dj, m.nbr_dk);
+      } else {
+        u.load_rows.insert(row);
+        u.load.add(m.nbr_di, m.nbr_dj, m.nbr_dk);
+        if (u.load_tuples
+                .insert(std::make_tuple(m.vi, m.vj, m.vk, m.nbr_di, m.nbr_dj,
+                                        m.nbr_dk))
+                .second) {
+          if (m.nbr_dk != 0)
+            ++u.far_k_tuples;
+          else if (m.nbr_dj != 0)
+            ++u.far_j_tuples;
+        }
+      }
+      u.all.add(m.nbr_di, m.nbr_dj, m.nbr_dk);
+      if (!is_store) ++u.load_refs;
+    }
+
+    // Per-warp transaction count (block 0; exact for all blocks when the
+    // phase is block-invariant).
+    const std::int64_t phase = ipow_mod(idx0 * kElemBytes, sector);
+    const int sectors = static_cast<int>(
+        (phase + static_cast<std::int64_t>(vec_bytes) - 1) / sector + 1);
+    sectors_per_block += static_cast<std::uint64_t>(sectors);
+
+    if (sectors > ideal_sectors) {
+      std::ostringstream os;
+      os << (is_store ? "store" : "load") << " of grid " << m.grid
+         << " is misaligned by " << phase << "B: " << sectors << " "
+         << sector << "B transactions per warp (ideal " << ideal_sectors
+         << ") on " << arch.name;
+      if (!is_store && m.vectorized && attrs.bypass_l2_unaligned_vloads)
+        os << "; unaligned vectorised loads bypass the L2 on this lowering";
+      diag(PerfCheck::Coalesce, static_cast<int>(i), os.str());
+    }
+
+    // L2-bypass classification (MI250X/HIP): an unaligned vectorised load
+    // misses the L2 on every L1 line miss and fetches straight from DRAM.
+    // With a block-invariant phase the bypass predicate is exact;
+    // otherwise the aligned fraction is G/vec_bytes for the stride
+    // subgroup gcd G.  The traffic itself is charged per block from the
+    // row-union footprint after the scan (the L1 collapses overlapping
+    // taps), so here we only classify the ref and record its offset.
+    if (!is_store && m.space == ir::Space::Array) {
+      double frac = 0.0;
+      if (m.vectorized && attrs.bypass_l2_unaligned_vloads) {
+        const std::int64_t vb = vec_bytes;
+        const std::int64_t pv = ipow_mod(idx0 * kElemBytes, vb);
+        if (stride_mod[gi] % vb == 0 || stride_mod[gi] == 0) {
+          frac = pv != 0 ? 1.0 : 0.0;
+        } else {
+          const std::int64_t g = gcd64(stride_mod[gi], vb);
+          const double aligned =
+              (pv % g == 0) ? static_cast<double>(g) / static_cast<double>(vb)
+                            : 0.0;
+          frac = 1.0 - aligned;
+        }
+      }
+      if (frac > 0) {
+        auto [it, fresh] =
+            u.bypass_rows.try_emplace({m.dj, m.dk}, m.di, m.di);
+        if (!fresh) {
+          it->second.first = std::min(it->second.first, m.di);
+          it->second.second = std::max(it->second.second, m.di);
+        }
+        ++u.bypass_refs;
+        u.bypass_frac_sum += frac;
+      }
+      u.l2_gate = std::max(u.l2_gate, 1.0 - frac);
+    }
+
+    // Missed-reuse detection.
+    if (is_store) {
+      live_loads[gi].clear();
+    } else if (!live_loads[gi].insert(key).second) {
+      std::ostringstream os;
+      os << "grid " << m.grid
+         << " address reloaded with no intervening store (";
+      if (m.space == ir::Space::Array)
+        os << "offset " << m.di << "," << m.dj << "," << m.dk;
+      else
+        os << "row " << m.vi << "," << m.vj << "," << m.vk << " nbr "
+           << m.nbr_di << "," << m.nbr_dj << "," << m.nbr_dk;
+      os << "): missed register reuse";
+      diag(PerfCheck::Reuse, static_cast<int>(i), os.str());
+    }
+  }
+
+  // --- Program-level hazards ------------------------------------------------
+  if (prog.num_spill_slots() > 0) {
+    const ir::InstStats st = prog.stats();
+    const double bytes_per_block =
+        static_cast<double>(st.spill_loads + st.spill_stores) *
+        ((vec_bytes + sector - 1) / sector) * sector;
+    std::ostringstream os;
+    os << prog.num_spill_slots() << " spill slot(s): register pressure "
+       << attrs.regs_used << "/" << attrs.reg_budget << " regs per lane ("
+       << arch.name << " register file " << arch.regs_per_lane
+       << "), " << bytes_per_block << "B scratch traffic per block";
+    diag(PerfCheck::Spill, -1, os.str());
+  }
+
+  if (W != arch.simd_width) {
+    std::ostringstream os;
+    os << "program vector width " << W << " vs native SIMD width "
+       << arch.simd_width << " on " << arch.name << ": "
+       << (W < arch.simd_width ? "idle lanes" : "multi-pass execution");
+    diag(PerfCheck::VecWidth, -1, os.str());
+  }
+
+  {
+    const double covered = static_cast<double>(blocks.i) * tile.i *
+                           static_cast<double>(blocks.j) * tile.j *
+                           static_cast<double>(blocks.k) * tile.k;
+    const double interior = static_cast<double>(domain.volume());
+    if (covered > interior && interior > 0) {
+      const double frac = 1.0 - interior / covered;
+      std::ostringstream os;
+      os << "corner-block predication: tile " << tile.i << "x" << tile.j
+         << "x" << tile.k << " does not divide the domain; "
+         << 100.0 * frac
+         << "% of issued lanes are predicated off";
+      diag(PerfCheck::Predication, -1, os.str());
+    }
+  }
+
+  // Suppression summaries.
+  for (int c = 0; c < kNumPerfChecks; ++c) {
+    if (rep.stats.by_check[c] > kMaxDiagsPerCheck) {
+      std::ostringstream os;
+      os << (rep.stats.by_check[c] - kMaxDiagsPerCheck) << " further "
+         << perf_check_name(static_cast<PerfCheck>(c))
+         << " diagnostics suppressed (full count in stats)";
+      rep.diags.push_back({static_cast<PerfCheck>(c), Severity::Warning, -1,
+                           os.str()});
+    }
+  }
+
+  // --- Static cost estimate -------------------------------------------------
+  PerfEstimate& est = rep.est;
+  est.exact_sectors = exact;
+  est.transactions_per_block = sectors_per_block + spill_sectors_per_block;
+  est.spill_bytes = static_cast<double>(spill_sectors_per_block) * sector *
+                    nblocks;
+  est.l1_bytes = static_cast<double>(sectors_per_block +
+                                     spill_sectors_per_block) *
+                 sector * nblocks;
+  est.spill_slots = prog.num_spill_slots();
+  est.flops = static_cast<std::uint64_t>(prog.stats().flops_per_lane) * W *
+              static_cast<std::uint64_t>(blocks.volume());
+
+  // HBM model: compulsory footprints + capacity re-fetch + RMW fills +
+  // L2-bypass traffic + page-locality overhead.
+  double hbm = 0;
+
+  // Reuse distances for the capacity heuristic: halo rows are re-fetched
+  // when the bytes streamed between their two uses exceed the shared
+  // cache.  The L2 is LRU, so the stream that ages a line out is the
+  // *inserted* (compulsory-miss) traffic -- re-touches of resident halo
+  // lines hit and merely refresh recency.  The fresh stream per block is
+  // the total compulsory footprint (read + write: streaming stores
+  // install into the L2 too) spread over all blocks.
+  double fresh_bytes = 0;
+  // The bricks far-row heuristic predates the fresh-stream model and is
+  // calibrated against the per-block touched row footprint; keep its
+  // distance definition.
+  double touched_per_block = 0;
+  for (std::size_t g = 0; g < geom.grids.size(); ++g) {
+    const GridGeom& gg = geom.grids[g];
+    const GridUse& u = use[g];
+    if (gg.layout == ir::Space::Array) {
+      if (u.load.any)
+        fresh_bytes += static_cast<double>(domain.i + u.load.span(0)) *
+                       (domain.j + u.load.span(1)) *
+                       (domain.k + u.load.span(2)) * kElemBytes;
+      if (u.store.any)
+        fresh_bytes += static_cast<double>(domain.i + u.store.span(0)) *
+                       (domain.j + u.store.span(1)) *
+                       (domain.k + u.store.span(2)) * kElemBytes;
+      // Exact distinct-row union: star-shaped taps touch far fewer rows
+      // than the (span_j x span_k) bounding box suggests.
+      if (u.all.any)
+        touched_per_block += static_cast<double>(u.all_rows_jk.size()) *
+                             (tile.i + u.all.span(0)) * kElemBytes;
+    } else {
+      const double ghost_bricks =
+          static_cast<double>(blocks.i + u.load.span(0)) *
+          (blocks.j + u.load.span(1)) * (blocks.k + u.load.span(2));
+      fresh_bytes += static_cast<double>(u.load_rows.size()) * ghost_bricks *
+                     vec_bytes;
+      const double store_bricks =
+          static_cast<double>(blocks.i + u.store.span(0)) *
+          (blocks.j + u.store.span(1)) * (blocks.k + u.store.span(2));
+      fresh_bytes += static_cast<double>(u.store_rows.size()) *
+                     store_bricks * vec_bytes;
+      const double rows = static_cast<double>(u.load_rows.size() +
+                                              u.store_rows.size());
+      touched_per_block += rows * vec_bytes;
+    }
+  }
+  const double fresh_per_block = fresh_bytes / nblocks;
+  const double l2_cap = static_cast<double>(arch.l2.capacity_bytes);
+  // Array halo reuse: j neighbours are blocks.i apart in schedule order,
+  // k neighbours a full block-plane apart.
+  const double aj_reuse_dist = fresh_per_block * blocks.i;
+  const double ak_reuse_dist = fresh_per_block * blocks.i * blocks.j;
+  const double j_reuse_dist = touched_per_block * blocks.i;
+  const double k_reuse_dist = touched_per_block * blocks.i * blocks.j;
+
+  for (std::size_t g = 0; g < geom.grids.size(); ++g) {
+    const GridGeom& gg = geom.grids[g];
+    const GridUse& u = use[g];
+    double read_g = 0, write_g = 0;
+    if (gg.layout == ir::Space::Array) {
+      if (u.load.any) {
+        read_g = static_cast<double>(domain.i + u.load.span(0)) *
+                 (domain.j + u.load.span(1)) * (domain.k + u.load.span(2)) *
+                 kElemBytes;
+        // Halo re-fetch beyond the shared cache.  A distinct-dj count
+        // above tile.j means each domain row is read by halo_j/tile.j
+        // extra block rows; those re-reads hit the L2 only while the
+        // inter-use stream fits it.
+        const double halo_j =
+            static_cast<double>(u.load_dj.size()) - tile.j;
+        const double halo_k =
+            static_cast<double>(u.load_dk.size()) - tile.k;
+        if (halo_j > 0 && aj_reuse_dist > l2_cap)
+          read_g += read_g * halo_j / tile.j;
+        else if (halo_k > 0 && ak_reuse_dist > l2_cap)
+          read_g += read_g * halo_k / tile.k;
+      }
+      if (u.store.any)
+        write_g = static_cast<double>(domain.i + u.store.span(0)) *
+                  (domain.j + u.store.span(1)) *
+                  (domain.k + u.store.span(2)) * kElemBytes;
+      // L2 bypass: bypassed lines are fetched from DRAM once per L1 line
+      // miss.  The L1 collapses overlapping taps within a block, so each
+      // block pays its row-union footprint in lines -- per touched row,
+      // the union [min di, max di + W) of the bypassing refs -- and
+      // nothing is shared across blocks (bypassed lines never enter the
+      // L2).  When every load bypasses, no compulsory read footprint
+      // streams through the L2 at all.
+      if (u.bypass_refs > 0) {
+        const std::int64_t line = arch.l1.line_bytes;
+        std::int64_t lines_per_block = 0;
+        for (const auto& [row, di] : u.bypass_rows) {
+          const std::int64_t extent_bytes =
+              (static_cast<std::int64_t>(di.second) - di.first + W) *
+              kElemBytes;
+          lines_per_block += (extent_bytes + line - 1) / line + 1;
+        }
+        const double weight =
+            u.bypass_frac_sum / static_cast<double>(u.bypass_refs);
+        const double bypass_bytes = static_cast<double>(lines_per_block) *
+                                    static_cast<double>(line) * nblocks *
+                                    weight;
+        // Only the block fraction where some load stays on the L2 path
+        // still streams the compulsory footprint through the L2.
+        read_g = read_g * u.l2_gate + bypass_bytes;
+      }
+    } else {
+      const double ghost_bricks =
+          static_cast<double>(blocks.i + u.load.span(0)) *
+          (blocks.j + u.load.span(1)) * (blocks.k + u.load.span(2));
+      read_g = static_cast<double>(u.load_rows.size()) * ghost_bricks *
+               vec_bytes;
+      // Far-neighbour rows whose reuse distance exceeds the shared cache
+      // are fetched twice (once as ghost, once as the owner's row).
+      if (k_reuse_dist > l2_cap)
+        read_g += static_cast<double>(u.far_k_tuples) * nblocks * vec_bytes;
+      if (j_reuse_dist > l2_cap)
+        read_g += static_cast<double>(u.far_j_tuples) * nblocks * vec_bytes;
+      const double store_bricks =
+          static_cast<double>(blocks.i + u.store.span(0)) *
+          (blocks.j + u.store.span(1)) * (blocks.k + u.store.span(2));
+      write_g = static_cast<double>(u.store_rows.size()) * store_bricks *
+                vec_bytes;
+    }
+    hbm += read_g + write_g;
+    if (!attrs.streaming_stores) hbm += write_g;  // read-modify-write fills
+    if (std::getenv("BRICKPERF_DEBUG") != nullptr)
+      std::fprintf(stderr,
+                   "[brickperf] grid %zu read %.3f MB write %.3f MB bypass "
+                   "refs %ld gate %.3f frac %.3f\n",
+                   g, read_g / 1e6, write_g / 1e6, u.bypass_refs, u.l2_gate,
+                   u.bypass_refs > 0
+                       ? u.bypass_frac_sum / static_cast<double>(u.bypass_refs)
+                       : 0.0);
+
+    // Page-locality overhead (row activations / TLB): the machine charges
+    // page_open_bytes per (block, DRAM-touched page).  Array pages are
+    // keyed per (grid, k, j) row, and only accesses that actually reach
+    // DRAM insert one.  On the L2 path a row's lines are compulsory-missed
+    // by exactly one (bj, bk) block column (the first toucher) but by
+    // every block along i -- each owns fresh lines of its own i-extent --
+    // so each distinct global row is charged blocks.i times.  Bypassed
+    // rows never enter the L2 and are charged in every touching block.
+    // Single-stream kernels are exempt.
+    if (attrs.read_streams > 1 && arch.page_open_bytes > 0) {
+      if (gg.layout == ir::Space::Array) {
+        double pages = 0;
+        if (u.bypass_refs > 0)
+          pages += static_cast<double>(u.bypass_rows.size()) * nblocks *
+                   (u.bypass_frac_sum / static_cast<double>(u.bypass_refs));
+        const double gate =
+            u.bypass_refs > 0 && !u.store.any ? u.l2_gate : 1.0;
+        if (u.all.any && gate > 0) {
+          // Exact global row union over all (bj, bk) translations of the
+          // per-block row set, via a bitmap over the padded row range
+          // (star-shaped halos make this smaller than the bounding box).
+          const int jlo = u.all.lo[1], jhi = blocks.j * tile.j + u.all.hi[1];
+          const int klo = u.all.lo[2], khi = blocks.k * tile.k + u.all.hi[2];
+          const std::size_t hj = static_cast<std::size_t>(jhi - jlo + 1);
+          const std::size_t hk = static_cast<std::size_t>(khi - klo + 1);
+          std::vector<char> touched(hj * hk, 0);
+          for (int bj = 0; bj < blocks.j; ++bj)
+            for (int bk = 0; bk < blocks.k; ++bk)
+              for (const auto& [dj, dk] : u.all_rows_jk)
+                touched[static_cast<std::size_t>(bj * tile.j + dj - jlo) *
+                            hk +
+                        static_cast<std::size_t>(bk * tile.k + dk - klo)] = 1;
+          const double rows = static_cast<double>(
+              std::count(touched.begin(), touched.end(), char{1}));
+          pages += rows * blocks.i * gate;
+        }
+        hbm += pages * arch.page_open_bytes;
+      } else {
+        hbm += (read_g + write_g) / 4096.0 * arch.page_open_bytes;
+      }
+    }
+  }
+  est.hbm_bytes = hbm;
+
+  const double bw = arch.achieved_bw(attrs.read_streams) * attrs.bw_derate;
+  est.est_seconds = bw > 0 ? hbm / bw : 0;
+
+  return rep;
+}
+
+Drift compare_measured(const PerfEstimate& est, double measured_l1_bytes,
+                       double measured_hbm_bytes,
+                       int measured_spill_slots) {
+  Drift d;
+  d.exact_sectors = est.exact_sectors;
+  d.spill_match = est.spill_slots == measured_spill_slots;
+  auto rel = [](double stat, double meas) {
+    if (meas > 0) return std::fabs(stat - meas) / meas;
+    return stat > 0 ? 1.0 : 0.0;
+  };
+  d.l1_rel = rel(est.l1_bytes, measured_l1_bytes);
+  d.hbm_rel = rel(est.hbm_bytes, measured_hbm_bytes);
+  return d;
+}
+
+}  // namespace bricksim::analysis

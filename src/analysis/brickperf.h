@@ -1,0 +1,176 @@
+// brickperf: static performance-portability analysis of vector-IR kernels.
+//
+// brickcheck (brickcheck.h) proves a kernel is *correct* for a launch;
+// brickperf predicts how it will *perform* -- before anything executes.  It
+// reuses the same symbolic affine-address framework: every address in the IR
+// is affine in the block coordinates, so per-warp transaction counts, sector
+// phases, reuse opportunities and footprints are all derivable in closed
+// form from one pass over the program.
+//
+// Five diagnostic families, one per portability hazard from the paper:
+//  * coalesce    -- per-warp L1 transaction count vs the ideal for the
+//                   architecture's sector size; unaligned vectorised array
+//                   refs cost extra sectors per access (and on lowerings
+//                   with bypass_l2_unaligned_vloads, DRAM traffic -- the
+//                   paper's Figure 6 `array codegen` blow-up).
+//  * spill      -- register pressure: spill slots allocated against the
+//                   platform's register budget, with the scratch traffic
+//                   they imply per block.
+//  * vecwidth   -- program vector width vs the architecture's native SIMD
+//                   width (idle lanes or multi-pass execution).
+//  * reuse      -- the same affine address loaded twice with no intervening
+//                   store to that grid: a missed register-reuse opportunity
+//                   (naive lowerings reload every stencil tap).
+//  * predication -- corner blocks only partially covered by the domain
+//                   (tile does not divide the domain): predicated-off lanes
+//                   still occupy issue slots.
+//
+// Alongside the diagnostics, analyze() produces a static cost estimate
+// (PerfEstimate): exact per-launch L1 sector traffic whenever the sector
+// phase is block-invariant (true for every paper configuration), a modelled
+// HBM byte count (compulsory footprint + capacity re-fetch + page-locality
+// overhead + RMW fills), and a bandwidth-bound time estimate.  The
+// `bricksim lint` experiment joins these against the simulator's measured
+// counters per configuration and fails on drift outside DriftTolerance --
+// the static model and the simulator cross-validate each other.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/brickcheck.h"
+#include "arch/arch.h"
+#include "common/types.h"
+#include "ir/program.h"
+
+namespace bricksim::analysis {
+
+/// Performance-hazard family a diagnostic belongs to.
+enum class PerfCheck : std::uint8_t {
+  Coalesce,
+  Spill,
+  VecWidth,
+  Reuse,
+  Predication,
+};
+inline constexpr int kNumPerfChecks = 5;
+
+const char* perf_check_name(PerfCheck c);
+
+/// One finding: which hazard, where, and why.  All perf diagnostics are
+/// warnings (a slow kernel is legal); `ok()` on the report stays true so a
+/// clean-but-naive catalog never fails enforcement.
+struct PerfDiag {
+  PerfCheck check = PerfCheck::Coalesce;
+  Severity severity = Severity::Warning;
+  int inst = -1;  ///< instruction index in the program; -1 = program-level
+  std::string message;
+
+  /// Stable one-line rendering: "warning[coalesce] inst 12: <message>".
+  std::string to_string() const;
+};
+
+/// Launch attributes the static cost model consumes, mirroring the fields
+/// model::Launcher sets on simt::Kernel (minus data) plus the interior
+/// domain.  Buildable from a Platform + lowering result without executing.
+struct KernelAttrs {
+  Vec3 domain{};            ///< interior extents; {0,0,0} => blocks * tile
+  int read_streams = 1;
+  double bw_derate = 1.0;
+  bool streaming_stores = true;       ///< false => stores RMW-fill from HBM
+  bool bypass_l2_unaligned_vloads = false;  ///< MI250X/HIP lowering quirk
+  int regs_used = 0;        ///< registers per lane after allocation
+  int reg_budget = 0;       ///< platform register budget per lane
+};
+
+/// Static per-launch cost estimate.
+struct PerfEstimate {
+  /// Register-file<->L1 sector traffic over the whole launch, matching
+  /// memsim's l1_total() accounting (loads + stores + spill scratch).
+  double l1_bytes = 0;
+  /// True when every access's sector phase is block-invariant (all block
+  /// strides are sector-multiples): l1_bytes is then EXACT, not a model.
+  bool exact_sectors = false;
+  std::uint64_t transactions_per_block = 0;  ///< L1 sector transactions
+  double spill_bytes = 0;   ///< scratch portion of l1_bytes
+
+  /// Modelled HBM bytes: compulsory footprints + capacity re-fetch +
+  /// page-locality overhead + RMW fills + L2-bypass traffic.
+  double hbm_bytes = 0;
+  /// Bandwidth-bound time estimate: hbm_bytes over the achieved-bandwidth
+  /// model (mirrors the simulator's t_hbm term).
+  double est_seconds = 0;
+
+  std::uint64_t flops = 0;  ///< whole-launch FLOPs
+  int spill_slots = 0;      ///< exact (from the program)
+};
+
+/// Aggregate pass statistics (accumulable across configurations).  Counts
+/// include diagnostics suppressed by the per-family cap.
+struct PerfStats {
+  long programs = 0;
+  long insts = 0;
+  long warnings = 0;
+  long errors = 0;
+  long by_check[kNumPerfChecks] = {0, 0, 0, 0, 0};
+
+  PerfStats& operator+=(const PerfStats& o);
+};
+
+/// Result of one brickperf run.  At most kMaxDiagsPerCheck diagnostics are
+/// materialised per family (naive lowerings reload hundreds of taps); the
+/// full counts are always in stats.by_check, and a summary diagnostic
+/// reports the suppression.
+struct PerfReport {
+  std::vector<PerfDiag> diags;
+  PerfStats stats;
+  PerfEstimate est;
+
+  bool ok() const { return stats.errors == 0; }
+  bool clean() const { return diags.empty(); }
+  /// All diagnostics, one per line (empty string when clean).
+  std::string to_string() const;
+};
+
+inline constexpr int kMaxDiagsPerCheck = 8;
+
+/// Statically analyses `prog` against a launch geometry and architecture:
+/// derives per-warp transaction counts, register pressure, vector-width
+/// match, missed reuse and predication overhead, plus the PerfEstimate.
+/// Purely symbolic -- nothing is executed.
+PerfReport analyze(const ir::Program& prog, const LaunchGeom& geom,
+                   const arch::GpuArch& arch, const KernelAttrs& attrs);
+
+/// Declared agreement band between the static estimate and the simulator's
+/// measured counters (the `bricksim lint` gate).
+struct DriftTolerance {
+  /// Relative L1-byte tolerance when exact_sectors (should be ~0; kept
+  /// non-zero only for floating-point slack).
+  double l1_exact = 1e-9;
+  /// Relative L1-byte tolerance when the sector phase varies per block.
+  double l1_inexact = 0.25;
+  /// Relative HBM-byte tolerance (the HBM side is a model: capacity and
+  /// replacement effects are approximated).
+  double hbm = 0.35;
+};
+
+/// Static-vs-measured drift for one configuration.
+struct Drift {
+  double l1_rel = 0;        ///< |static - measured| / measured
+  double hbm_rel = 0;
+  bool spill_match = true;  ///< static spill slots == measured (exact)
+  bool exact_sectors = false;
+
+  bool within(const DriftTolerance& tol) const {
+    return spill_match &&
+           l1_rel <= (exact_sectors ? tol.l1_exact : tol.l1_inexact) &&
+           hbm_rel <= tol.hbm;
+  }
+};
+
+/// Joins a static estimate against measured counters (profiler fields).
+Drift compare_measured(const PerfEstimate& est, double measured_l1_bytes,
+                       double measured_hbm_bytes, int measured_spill_slots);
+
+}  // namespace bricksim::analysis

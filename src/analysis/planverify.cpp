@@ -1,0 +1,390 @@
+#include "analysis/planverify.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace bricksim::analysis {
+
+namespace {
+
+using simt::ExecPlan;
+using PKind = ExecPlan::PKind;
+using PlanInst = ExecPlan::PlanInst;
+
+const char* pkind_name(PKind k) {
+  switch (k) {
+    case PKind::LoadArray: return "LoadArray";
+    case PKind::LoadBrick: return "LoadBrick";
+    case PKind::LoadSpill: return "LoadSpill";
+    case PKind::StoreArray: return "StoreArray";
+    case PKind::StoreBrick: return "StoreBrick";
+    case PKind::StoreSpill: return "StoreSpill";
+    case PKind::Align: return "Align";
+    case PKind::AddV: return "AddV";
+    case PKind::MulV: return "MulV";
+    case PKind::FmaV: return "FmaV";
+    case PKind::MulC: return "MulC";
+    case PKind::FmaC: return "FmaC";
+    case PKind::SetC: return "SetC";
+    case PKind::Zero: return "Zero";
+    case PKind::IOp: return "IOp";
+  }
+  return "?";
+}
+
+/// Expected replay opcode of a memory instruction, from MemRef semantics
+/// alone (NOT the decoder's switch).
+PKind mem_kind(const ir::MemRef& m, bool is_store) {
+  switch (m.space) {
+    case ir::Space::Array:
+      return is_store ? PKind::StoreArray : PKind::LoadArray;
+    case ir::Space::Brick:
+      return is_store ? PKind::StoreBrick : PKind::LoadBrick;
+    case ir::Space::Spill:
+      break;
+  }
+  return is_store ? PKind::StoreSpill : PKind::LoadSpill;
+}
+
+/// Expected replay opcode of a functional-mode arithmetic instruction.
+PKind alu_kind(ir::Op op) {
+  switch (op) {
+    case ir::Op::VAddV: return PKind::AddV;
+    case ir::Op::VMulV: return PKind::MulV;
+    case ir::Op::VFmaV: return PKind::FmaV;
+    case ir::Op::VMulC: return PKind::MulC;
+    case ir::Op::VFmaC: return PKind::FmaC;
+    case ir::Op::VSetC: return PKind::SetC;
+    default: return PKind::Zero;
+  }
+}
+
+template <typename T>
+std::string str(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string PlanDiag::to_string() const {
+  std::ostringstream os;
+  os << "plan divergence[" << field << "]";
+  if (src_inst >= 0) os << " src inst " << src_inst;
+  if (plan_inst >= 0) os << (src_inst >= 0 ? " /" : "") << " plan inst "
+                         << plan_inst;
+  os << ": " << message;
+  return os.str();
+}
+
+std::string PlanReport::to_string() const {
+  std::string out;
+  for (const PlanDiag& d : diags) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+PlanReport verify_plan(const simt::ExecPlan& plan,
+                       const simt::Kernel& kernel) {
+  BRICKSIM_REQUIRE(kernel.program != nullptr, "kernel without a program");
+  const ir::Program& prog = *kernel.program;
+  BRICKSIM_REQUIRE(static_cast<int>(kernel.grids.size()) >= prog.num_grids(),
+                   "not enough grid bindings for the program");
+  BRICKSIM_REQUIRE(static_cast<int>(kernel.constants.size()) >=
+                       prog.num_constants(),
+                   "not enough constant values bound");
+
+  PlanReport rep;
+  auto diag = [&rep](int src, int pc, const char* field, std::string msg) {
+    rep.diags.push_back({src, pc, field, std::move(msg)});
+  };
+
+  const int W = prog.vec_width();
+  const bool functional = plan.mode() == simt::ExecMode::Functional;
+
+  // Plan-level invariants.
+  if (plan.vec_width() != W)
+    diag(-1, -1, "vec_width",
+         "expected " + str(W) + ", decoded " + str(plan.vec_width()));
+  if (plan.vec_bytes() != static_cast<std::uint32_t>(W) * kElemBytes)
+    diag(-1, -1, "vec_bytes",
+         "expected " + str(W * kElemBytes) + ", decoded " +
+             str(plan.vec_bytes()));
+  if (plan.num_vregs() != prog.num_vregs())
+    diag(-1, -1, "num_vregs",
+         "expected " + str(prog.num_vregs()) + ", decoded " +
+             str(plan.num_vregs()));
+  if (plan.num_spill_slots() != prog.num_spill_slots())
+    diag(-1, -1, "num_spill_slots",
+         "expected " + str(prog.num_spill_slots()) + ", decoded " +
+             str(plan.num_spill_slots()));
+
+  // Per-grid templates: base, functional pointer, block strides (one block
+  // step per launch axis in elements), brick metadata.
+  if (plan.grids().size() != kernel.grids.size())
+    diag(-1, -1, "grids",
+         "expected " + str(kernel.grids.size()) + " grid templates, decoded " +
+             str(plan.grids().size()));
+  const std::size_t ngrids =
+      std::min(plan.grids().size(), kernel.grids.size());
+  for (std::size_t g = 0; g < ngrids; ++g) {
+    const ExecPlan::GridPlan& gp = plan.grids()[g];
+    const simt::GridBinding& gb = kernel.grids[g];
+    const int src = -1;
+    auto gdiag = [&](const char* field, std::string msg) {
+      diag(src, -1, field, "grid " + str(g) + ": " + std::move(msg));
+    };
+    if (gp.base != gb.device_base)
+      gdiag("base", "expected " + str(gb.device_base) + ", decoded " +
+                        str(gp.base));
+    if (gp.data != gb.data) gdiag("data", "functional pointer diverged");
+    const std::int64_t bi = kernel.tile.i;
+    const std::int64_t bj =
+        static_cast<std::int64_t>(kernel.tile.j) * gb.padded.i;
+    const std::int64_t bk = static_cast<std::int64_t>(kernel.tile.k) *
+                            gb.padded.i * gb.padded.j;
+    if (gp.bi != bi)
+      gdiag("bi", "expected " + str(bi) + ", decoded " + str(gp.bi));
+    if (gp.bj != bj)
+      gdiag("bj", "expected " + str(bj) + ", decoded " + str(gp.bj));
+    if (gp.bk != bk)
+      gdiag("bk", "expected " + str(bk) + ", decoded " + str(gp.bk));
+    if (gp.adjacency != gb.adjacency.data())
+      gdiag("adjacency", "adjacency pointer diverged");
+    if (gp.block_to_brick != gb.block_to_brick.data())
+      gdiag("block_to_brick", "block-to-brick pointer diverged");
+    if (gp.elems_per_brick != gb.elems_per_brick)
+      gdiag("elems_per_brick", "expected " + str(gb.elems_per_brick) +
+                                   ", decoded " + str(gp.elems_per_brick));
+  }
+
+  // Largest per-grid block offset in the launch (monotone in each block
+  // coordinate, so the far corner bounds every block).
+  auto max_block_offset = [&](const simt::GridBinding& gb) {
+    const std::int64_t bi = kernel.tile.i;
+    const std::int64_t bj =
+        static_cast<std::int64_t>(kernel.tile.j) * gb.padded.i;
+    const std::int64_t bk = static_cast<std::int64_t>(kernel.tile.k) *
+                            gb.padded.i * gb.padded.j;
+    return static_cast<std::int64_t>(kernel.blocks.i - 1) * bi +
+           static_cast<std::int64_t>(kernel.blocks.j - 1) * bj +
+           static_cast<std::int64_t>(kernel.blocks.k - 1) * bk;
+  };
+
+  // Walk the source program, re-derive the expected decode of every
+  // instruction that lands in the replay stream, and compare field by
+  // field; CountersOnly ALU work is re-aggregated instead.
+  const std::vector<PlanInst>& stream = plan.insts();
+  std::size_t pc = 0;
+  ExecPlan::AluAggregates alu;
+
+  auto expect = [&](int src, const PlanInst& want) {
+    if (pc >= stream.size()) {
+      diag(src, -1, "stream",
+           "decoded stream ended before this instruction");
+      return;
+    }
+    const PlanInst& got = stream[pc];
+    const int at = static_cast<int>(pc);
+    if (want.kind != got.kind)
+      diag(src, at, "kind",
+           std::string("expected ") + pkind_name(want.kind) + ", decoded " +
+               pkind_name(got.kind));
+    if (want.grid != got.grid)
+      diag(src, at, "grid",
+           "expected " + str(static_cast<int>(want.grid)) + ", decoded " +
+               str(static_cast<int>(got.grid)));
+    if (want.nbr_code != got.nbr_code)
+      diag(src, at, "nbr_code",
+           "expected " + str(static_cast<int>(want.nbr_code)) +
+               ", decoded " + str(static_cast<int>(got.nbr_code)));
+    if (want.bypass_candidate != got.bypass_candidate)
+      diag(src, at, "bypass_candidate",
+           "expected " + str(want.bypass_candidate) + ", decoded " +
+               str(got.bypass_candidate));
+    if (want.shift_or_iops != got.shift_or_iops)
+      diag(src, at, "shift_or_iops",
+           "expected " + str(want.shift_or_iops) + ", decoded " +
+               str(got.shift_or_iops));
+    if (want.dst != got.dst)
+      diag(src, at, "dst",
+           "expected " + str(want.dst) + ", decoded " + str(got.dst));
+    if (want.a != got.a)
+      diag(src, at, "a",
+           "expected " + str(want.a) + ", decoded " + str(got.a));
+    if (want.b != got.b)
+      diag(src, at, "b",
+           "expected " + str(want.b) + ", decoded " + str(got.b));
+    if (want.c != got.c)
+      diag(src, at, "c",
+           "expected " + str(want.c) + ", decoded " + str(got.c));
+    if (want.cv != got.cv)
+      diag(src, at, "cv",
+           "folded constant: expected " + str(want.cv) + ", decoded " +
+               str(got.cv));
+    if (want.idx0 != got.idx0)
+      diag(src, at, "idx0",
+           "expected " + str(want.idx0) + ", decoded " + str(got.idx0));
+    if (want.row_key0 != got.row_key0)
+      diag(src, at, "row_key0",
+           "expected " + str(want.row_key0) + ", decoded " +
+               str(got.row_key0));
+    ++pc;
+    ++rep.insts_verified;
+  };
+
+  const std::vector<ir::Inst>& insts = prog.insts();
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    const ir::Inst& in = insts[i];
+    const int src = static_cast<int>(i);
+    switch (in.op) {
+      case ir::Op::VLoad:
+      case ir::Op::VStore: {
+        const bool is_store = in.op == ir::Op::VStore;
+        const ir::MemRef& m = in.mem;
+        PlanInst want;
+        want.kind = mem_kind(m, is_store);
+        want.grid = static_cast<std::uint8_t>(m.grid);
+        if (is_store)
+          want.a = static_cast<std::uint32_t>(in.a) * W;
+        else
+          want.dst = static_cast<std::uint32_t>(in.dst) * W;
+        if (m.space == ir::Space::Spill) {
+          want.idx0 = static_cast<std::int64_t>(m.slot) * W;
+        } else if (m.space == ir::Space::Array) {
+          const simt::GridBinding& gb =
+              kernel.grids[static_cast<std::size_t>(m.grid)];
+          const Vec3 e0{gb.ghost.i + m.di, gb.ghost.j + m.dj,
+                        gb.ghost.k + m.dk};
+          want.idx0 = linear_index(e0, gb.padded);
+          want.row_key0 = (1ull << 62) |
+                          (static_cast<std::uint64_t>(m.grid) << 56) |
+                          (static_cast<std::uint64_t>(e0.k) << 28) |
+                          static_cast<std::uint64_t>(e0.j);
+          want.bypass_candidate = !is_store && m.vectorized;
+          // Re-prove the whole-launch bounds the decoder hoisted out of
+          // the replay loop.
+          ++rep.bounds_checked;
+          if (want.idx0 < 0)
+            diag(src, static_cast<int>(pc), "bounds",
+                 "array access before the buffer (idx0 " + str(want.idx0) +
+                     ")");
+          else if (gb.data != nullptr &&
+                   want.idx0 + max_block_offset(gb) + W >
+                       static_cast<std::int64_t>(gb.len))
+            diag(src, static_cast<int>(pc), "bounds",
+                 "array access out of bounds at the far-corner block");
+        } else {
+          const simt::GridBinding& gb =
+              kernel.grids[static_cast<std::size_t>(m.grid)];
+          want.nbr_code = static_cast<std::uint8_t>(
+              (m.nbr_dk + 1) * 9 + (m.nbr_dj + 1) * 3 + (m.nbr_di + 1));
+          want.idx0 =
+              (static_cast<std::int64_t>(m.vk) * gb.brick_dims.j + m.vj) *
+                  gb.brick_dims.i +
+              static_cast<std::int64_t>(m.vi) * W;
+        }
+        expect(src, want);
+        break;
+      }
+      case ir::Op::VAlign: {
+        if (functional) {
+          PlanInst want;
+          want.kind = PKind::Align;
+          want.dst = static_cast<std::uint32_t>(in.dst) * W;
+          want.a = static_cast<std::uint32_t>(in.a) * W;
+          want.b = static_cast<std::uint32_t>(in.b) * W;
+          want.shift_or_iops = in.shift;
+          expect(src, want);
+        } else {
+          alu.shuffle_lanes += W * kernel.shuffle_cost_mult;
+          ++alu.warp_insts;
+        }
+        break;
+      }
+      case ir::Op::VAddV:
+      case ir::Op::VMulV:
+      case ir::Op::VMulC:
+      case ir::Op::VFmaV:
+      case ir::Op::VFmaC:
+      case ir::Op::VSetC:
+      case ir::Op::VZero: {
+        if (functional) {
+          PlanInst want;
+          want.kind = alu_kind(in.op);
+          want.dst = static_cast<std::uint32_t>(in.dst) * W;
+          if (in.a >= 0) want.a = static_cast<std::uint32_t>(in.a) * W;
+          if (in.b >= 0) want.b = static_cast<std::uint32_t>(in.b) * W;
+          if (in.c >= 0) want.c = static_cast<std::uint32_t>(in.c) * W;
+          if (in.cidx >= 0)
+            want.cv = kernel.constants[static_cast<std::size_t>(in.cidx)];
+          expect(src, want);
+        } else {
+          alu.fp_lanes += W;
+          ++alu.warp_insts;
+          if (in.op == ir::Op::VAddV || in.op == ir::Op::VMulV ||
+              in.op == ir::Op::VMulC)
+            alu.flops += W;
+          else if (in.op == ir::Op::VFmaV || in.op == ir::Op::VFmaC)
+            alu.flops += 2ull * W;
+        }
+        break;
+      }
+      case ir::Op::IOp: {
+        if (functional) {
+          PlanInst want;
+          want.kind = PKind::IOp;
+          want.shift_or_iops = in.iops;
+          expect(src, want);
+        } else {
+          alu.int_lanes += static_cast<double>(in.iops) * W;
+          alu.warp_insts += in.iops;
+        }
+        break;
+      }
+    }
+  }
+
+  if (pc != stream.size())
+    diag(-1, static_cast<int>(pc), "stream",
+         str(stream.size() - pc) +
+             " trailing decoded instructions with no source instruction");
+
+  if (!functional) {
+    const ExecPlan::AluAggregates& got = plan.alu();
+    if (alu.fp_lanes != got.fp_lanes)
+      diag(-1, -1, "alu.fp_lanes",
+           "expected " + str(alu.fp_lanes) + ", decoded " +
+               str(got.fp_lanes));
+    if (alu.int_lanes != got.int_lanes)
+      diag(-1, -1, "alu.int_lanes",
+           "expected " + str(alu.int_lanes) + ", decoded " +
+               str(got.int_lanes));
+    if (alu.shuffle_lanes != got.shuffle_lanes)
+      diag(-1, -1, "alu.shuffle_lanes",
+           "expected " + str(alu.shuffle_lanes) + ", decoded " +
+               str(got.shuffle_lanes));
+    if (alu.flops != got.flops)
+      diag(-1, -1, "alu.flops",
+           "expected " + str(alu.flops) + ", decoded " + str(got.flops));
+    if (alu.warp_insts != got.warp_insts)
+      diag(-1, -1, "alu.warp_insts",
+           "expected " + str(alu.warp_insts) + ", decoded " +
+               str(got.warp_insts));
+  }
+
+  return rep;
+}
+
+void enforce_plan(const PlanReport& report, const std::string& context) {
+  if (report.ok()) return;
+  throw Error("plan verification failed for " + context + " (" +
+              std::to_string(report.diags.size()) + " divergence(s)):\n" +
+              report.to_string());
+}
+
+}  // namespace bricksim::analysis

@@ -1,0 +1,62 @@
+// planverify: differential verification of the ExecPlan decode.
+//
+// The ExecPlan engine (simt/execplan.h) hoists all kernel-invariant decode
+// work -- pre-scaled register offsets, folded constants, affine array
+// templates, brick adjacency codes, whole-launch bounds checks -- out of
+// the replay loop.  A decode bug would corrupt every block of every launch
+// while remaining plausible enough to survive spot checks; today it is
+// caught only dynamically, by the A/B equivalence suite against the legacy
+// interpreter.  planverify catches it STATICALLY: it abstractly interprets
+// the source ir::Program against the launch binding, re-derives every
+// block-invariant decode product from the MemRef/opcode semantics alone
+// (sharing no code with the decoder), and compares the decoded stream field
+// by field -- kinds, operand offsets, folded constants, affine templates,
+// row keys, adjacency codes, bypass flags, grid strides and launch bounds.
+//
+// Wiring: Machine::set_plan_hook runs a verifier over every freshly decoded
+// plan when installed; model::Launcher::set_verify_plan installs this one,
+// and the harness --verify-plan flag plumbs through to it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simt/execplan.h"
+
+namespace bricksim::analysis {
+
+/// One decode divergence: where and how the plan disagrees with the
+/// program it claims to encode.
+struct PlanDiag {
+  int src_inst = -1;   ///< ir::Program instruction index; -1 = plan-level
+  int plan_inst = -1;  ///< index into the decoded stream; -1 = none
+  std::string field;   ///< decoded field that diverged ("idx0", "kind", ...)
+  std::string message; ///< expected vs decoded values
+
+  /// Stable one-line rendering:
+  /// "plan divergence[idx0] src inst 3 / plan inst 2: <message>".
+  std::string to_string() const;
+};
+
+/// Result of one differential verification.
+struct PlanReport {
+  std::vector<PlanDiag> diags;
+  long insts_verified = 0;   ///< decoded instructions compared
+  long bounds_checked = 0;   ///< whole-launch array bounds re-proved
+
+  bool ok() const { return diags.empty(); }
+  /// All divergences, one per line (empty string when clean).
+  std::string to_string() const;
+};
+
+/// Differentially verifies `plan` against the kernel's source program: the
+/// decoded stream must be exactly the independent re-derivation, instruction
+/// for instruction, including the CountersOnly ALU aggregates and the
+/// per-grid stride/binding templates.  Nothing is executed.
+PlanReport verify_plan(const simt::ExecPlan& plan, const simt::Kernel& kernel);
+
+/// Throws bricksim::Error listing every divergence when the report is not
+/// ok; `context` prefixes the message ("7pt/bricks codegen on A100").
+void enforce_plan(const PlanReport& report, const std::string& context);
+
+}  // namespace bricksim::analysis

@@ -152,6 +152,7 @@ Sweep run_sweep(const SweepConfig& config) {
   model::Launcher launcher(config.domain);
   launcher.set_check_mode(config.check_mode);
   launcher.set_engine(config.engine);
+  launcher.set_verify_plan(config.verify_plan);
   const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
   std::mutex progress_mu;  // progress lines are the only shared sink
 
@@ -238,7 +239,10 @@ std::map<std::string, std::string> sweep_cli_flags(int default_n) {
            "warn (default; print diagnostics), off"},
           {"engine",
            "SIMT execution engine: plan (default; pre-decoded replay), "
-           "interp (legacy interpreter; bit-identical results)"}};
+           "interp (legacy interpreter; bit-identical results)"},
+          {"verify-plan",
+           "differentially verify every decoded ExecPlan against its "
+           "source program before replay (plan engine only)"}};
 }
 
 std::optional<SweepConfig> sweep_config_from_cli(int argc,
@@ -274,6 +278,7 @@ SweepConfig sweep_config_from_cli(const Cli& cli, int default_n) {
       cli.get_choice("engine", {"plan", "interp"}, "plan") == "interp"
           ? simt::Engine::Interp
           : simt::Engine::Plan;
+  config.verify_plan = cli.has("verify-plan");
   return config;
 }
 
@@ -372,7 +377,8 @@ Table make_fig4(const Sweep& sweep) {
         const double gb = static_cast<double>(m->l1_bytes) / 1e9;
         const double rel =
             bricks && bricks->l1_bytes > 0
-                ? static_cast<double>(m->l1_bytes) / bricks->l1_bytes
+                ? static_cast<double>(m->l1_bytes) /
+                      static_cast<double>(bricks->l1_bytes)
                 : 0;
         t.add_row({pf.label(), m->stencil, m->variant, Table::fmt(gb, 2),
                    // The baseline itself failed: a ratio against a hole

@@ -55,6 +55,12 @@ struct SweepConfig {
   /// them (the --resume flag).  Off by default so a stale checkpoint
   /// directory can never surprise a fresh run.
   bool resume = false;
+  /// Differentially verify every decoded ExecPlan against its source
+  /// program before replaying it (the --verify-plan flag; see
+  /// analysis/planverify.h).  A verification gate like --check: it cannot
+  /// affect measurement content, so it is NOT part of the cache identity
+  /// -- cached sweeps replay without re-verifying (CI passes --no-cache).
+  bool verify_plan = false;
 };
 
 /// One isolated per-config failure inside a sweep: the config's identity,

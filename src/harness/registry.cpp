@@ -1,6 +1,7 @@
 #include "harness/registry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "analysis/brickperf.h"
 #include "arch/arch.h"
 #include "common/cli.h"
 #include "common/error.h"
@@ -265,6 +267,114 @@ void emit_check(ExperimentContext& ctx) {
   ctx.table("check_summary", make_check_summary(ctx.sweeps().main(config)));
 }
 
+void emit_lint(ExperimentContext& ctx) {
+  const SweepConfig& config = ctx.config();
+  ctx.out() << "brickperf lint: static performance analysis joined against "
+               "measured counters (domain " << config.domain.i << "^3).\n\n";
+  const Sweep& sweep = ctx.sweeps().main(config);
+  const SweepConfig main = SweepProvider::main_config(config);
+
+  // Re-derive each configuration's post-regalloc program and geometry
+  // without executing anything; correctness checking is the sweep's (and
+  // the `check` experiment's) job, lint only wants the perf pass.
+  model::Launcher launcher(main.domain);
+  launcher.set_check_mode(analysis::CheckMode::Off);
+
+  const analysis::DriftTolerance tol;
+  analysis::PerfStats stats;
+  std::vector<std::string> violations;
+  int joined = 0, holes = 0;
+  Table t({"Platform", "Stencil", "Variant", "L1 est GB", "L1 meas GB",
+           "L1 drift", "HBM est GB", "HBM meas GB", "HBM drift", "Spills",
+           "Diags", "Agree"});
+  for (const auto& pf : main.platforms) {
+    for (const auto& st : main.stencils) {
+      for (const auto variant : main.variants) {
+        const std::string vn = codegen::variant_name(variant);
+        const profiler::Measurement* m =
+            sweep.find(st.name(), vn, pf.label());
+        if (m == nullptr) {
+          // A sweep hole: no measured counters to join against.  Render it
+          // explicitly and leave the drift gate to the configs that ran.
+          ++holes;
+          t.add_row({pf.label(), st.name(), vn, "-", "FAILED", "-", "-",
+                     "FAILED", "-", "-", "-", "-"});
+          continue;
+        }
+        model::PreparedLaunch prep =
+            launcher.prepare(st, variant, pf, main.cg_opts);
+        analysis::KernelAttrs attrs;
+        attrs.domain = main.domain;
+        attrs.read_streams = prep.read_streams;
+        attrs.bw_derate = pf.pm.bw_derate;
+        attrs.streaming_stores = pf.pm.streaming_stores;
+        attrs.bypass_l2_unaligned_vloads = pf.pm.bypass_l2_unaligned_vloads;
+        attrs.regs_used = prep.regs_used;
+        attrs.reg_budget =
+            std::max(8, static_cast<int>(pf.gpu.regs_per_lane *
+                                         pf.pm.reg_budget_fraction));
+        const analysis::PerfReport rep =
+            analysis::analyze(*prep.program, prep.geom, pf.gpu, attrs);
+        stats += rep.stats;
+        const analysis::Drift d = analysis::compare_measured(
+            rep.est, static_cast<double>(m->l1_bytes),
+            static_cast<double>(m->hbm_bytes), m->spill_slots);
+        const bool agree = d.within(tol);
+        ++joined;
+        if (!agree) {
+          std::ostringstream why;
+          why << pf.label() << " " << st.name() << " " << vn << ": L1 "
+              << Table::fmt(d.l1_rel * 100, 2) << "% ("
+              << (d.exact_sectors ? "exact" : "modelled") << ", tol "
+              << Table::fmt((d.exact_sectors ? tol.l1_exact
+                                             : tol.l1_inexact) * 100, 2)
+              << "%), HBM " << Table::fmt(d.hbm_rel * 100, 2) << "% (tol "
+              << Table::fmt(tol.hbm * 100, 2) << "%), spills "
+              << rep.est.spill_slots << "/" << m->spill_slots;
+          violations.push_back(why.str());
+        }
+        t.add_row({pf.label(), st.name(), vn,
+                   Table::fmt(rep.est.l1_bytes / 1e9, 3),
+                   Table::fmt(static_cast<double>(m->l1_bytes) / 1e9, 3),
+                   Table::fmt(d.l1_rel * 100, 2) + "%",
+                   Table::fmt(rep.est.hbm_bytes / 1e9, 3),
+                   Table::fmt(static_cast<double>(m->hbm_bytes) / 1e9, 3),
+                   Table::fmt(d.hbm_rel * 100, 2) + "%",
+                   std::to_string(rep.est.spill_slots) + "/" +
+                       std::to_string(m->spill_slots),
+                   std::to_string(rep.stats.warnings),
+                   agree ? "yes" : "NO"});
+      }
+    }
+  }
+  ctx.table("lint", t);
+
+  ctx.out() << "\nbrickperf: " << stats.programs << " programs, "
+            << stats.insts << " instructions, " << stats.warnings
+            << " warnings (";
+  for (int c = 0; c < analysis::kNumPerfChecks; ++c)
+    ctx.out() << (c > 0 ? ", " : "")
+              << analysis::perf_check_name(static_cast<analysis::PerfCheck>(c))
+              << " " << stats.by_check[c];
+  ctx.out() << ").\n";
+  ctx.out() << joined << " configuration(s) joined against measured "
+               "counters";
+  if (holes > 0) ctx.out() << ", " << holes << " FAILED (sweep holes)";
+  ctx.out() << "; " << (joined - static_cast<int>(violations.size()))
+            << " within declared tolerance.\n";
+
+  // The gate: static model and simulator must agree.  Throwing here makes
+  // the driver mark the experiment failed and exit 3 -- drift is a bug in
+  // one of the two, not a rendering detail.
+  if (!violations.empty()) {
+    std::ostringstream os;
+    os << violations.size()
+       << " configuration(s) drifted outside DriftTolerance:";
+    for (const auto& v : violations) os << "\n  " << v;
+    throw Error(os.str());
+  }
+}
+
 void emit_ablation_codegen(ExperimentContext& ctx) {
   const SweepConfig& config = ctx.config();
 
@@ -512,6 +622,24 @@ void emit_pvc_subgroup(ExperimentContext& ctx) {
 
 }  // namespace
 
+// --- Experiment timings ------------------------------------------------------
+
+json::Value to_json(const ExperimentTiming& t) {
+  json::Value v = json::Value::object();
+  v["experiment"] = t.experiment;
+  v["seconds"] = t.seconds;
+  v["replayed"] = t.replayed;
+  return v;
+}
+
+ExperimentTiming experiment_timing_from_json(const json::Value& v) {
+  ExperimentTiming t;
+  t.experiment = v.at("experiment").as_string();
+  t.seconds = v.at("seconds").as_double();
+  t.replayed = v.at("replayed").as_bool();
+  return t;
+}
+
 // --- Registry ----------------------------------------------------------------
 
 const std::vector<Experiment>& experiment_registry() {
@@ -540,6 +668,8 @@ const std::vector<Experiment>& experiment_registry() {
        "bench_mixbench_roofline", 256, SweepKind::Rooflines, emit_mixbench},
       {"check", "brickcheck rollup over the full sweep",
        "", 256, SweepKind::Main, emit_check},
+      {"lint", "brickperf static cost model vs measured counters",
+       "", 256, SweepKind::Main, emit_lint},
       {"ablation_codegen", "codegen optimisation ablation",
        "bench_ablation_codegen", 256, SweepKind::None, emit_ablation_codegen},
       {"ablation_brickshape", "brick-shape autotuning sweep",
@@ -854,7 +984,9 @@ int driver_main(int argc, const char* const* argv) {
     }
     return false;
   };
+  std::vector<ExperimentTiming> timings;
   for (const auto& name : names) {
+    const auto t0 = std::chrono::steady_clock::now();
     const Experiment& exp = *find_experiment(name);
     SweepConfig config = base;
     if (!explicit_n)
@@ -910,6 +1042,11 @@ int driver_main(int argc, const char* const* argv) {
         store_artifact(art_path, doc, text);
     }
     statuses[name] = status;
+    timings.push_back(
+        {name,
+         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count(),
+         replayed});
     if (config.progress)
       std::cerr << "[bricksim] " << name << (replayed ? " (cached, " : " (")
                 << cfg_fp << ")\n";
@@ -961,6 +1098,17 @@ int driver_main(int argc, const char* const* argv) {
     failures.push_back(fv);
   }
   summary["failures"] = failures;
+  // Per-experiment wall clock (emit or artifact replay, including any
+  // sweep the emitter materialized) -- how the cache's speedup and any
+  // slow experiment are observable from the summary alone.
+  json::Value timings_json = json::Value::array();
+  double wall_seconds = 0;
+  for (const auto& t : timings) {
+    timings_json.push_back(to_json(t));
+    wall_seconds += t.seconds;
+  }
+  summary["timings"] = timings_json;
+  summary["wall_seconds"] = wall_seconds;
   json::Value cache = json::Value::object();
   cache["sweeps_simulated"] = stats.sweeps_simulated;
   cache["sweep_disk_hits"] = stats.sweep_disk_hits;

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/table.h"
 #include "harness/harness.h"
 
@@ -58,6 +59,23 @@ struct CacheStats {
   int shards_written = 0;      ///< resume checkpoints persisted this run
   int shards_resumed = 0;      ///< configs replayed from checkpoint shards
 };
+
+/// Wall-clock timing of one experiment within a driver run, recorded under
+/// run_summary.json's "timings" key.  `seconds` covers emitting (including
+/// any sweep the emitter materialized) or, for `replayed`, the
+/// artifact-cache load -- which is how the cache's speedup is observable
+/// from the summary alone.
+struct ExperimentTiming {
+  std::string experiment;
+  double seconds = 0;
+  bool replayed = false;  ///< served from the artifact cache; no emitter ran
+  friend bool operator==(const ExperimentTiming&, const ExperimentTiming&) =
+      default;
+};
+
+/// Lossless JSON round trip (doubles via shortest-round-trip formatting).
+json::Value to_json(const ExperimentTiming& t);
+ExperimentTiming experiment_timing_from_json(const json::Value& v);
 
 /// Lazily materializes sweeps for experiments: in-process memo first, then
 /// the content-addressed disk cache, then a real run_sweep (persisted for

@@ -92,7 +92,9 @@ struct CheckRollup {
   /// Fraction of checked kernels with no diagnostics at all (1 when none
   /// were checked: no evidence of a problem).
   double clean_fraction() const {
-    return kernels > 0 ? static_cast<double>(clean) / kernels : 1.0;
+    return kernels > 0
+               ? static_cast<double>(clean) / static_cast<double>(kernels)
+               : 1.0;
   }
 
   friend bool operator==(const CheckRollup&, const CheckRollup&) = default;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "analysis/planverify.h"
 #include "brick/brick.h"
 #include "common/error.h"
 #include "common/fault.h"
@@ -10,6 +11,12 @@
 #include "ir/schedule.h"
 
 namespace bricksim::model {
+
+PreparedLaunch::PreparedLaunch() = default;
+PreparedLaunch::PreparedLaunch(PreparedLaunch&&) noexcept = default;
+PreparedLaunch& PreparedLaunch::operator=(PreparedLaunch&&) noexcept =
+    default;
+PreparedLaunch::~PreparedLaunch() = default;
 
 Launcher::Launcher(Vec3 domain) : domain_(domain) {
   BRICKSIM_REQUIRE(domain.i > 0 && domain.j > 0 && domain.k > 0,
@@ -35,18 +42,19 @@ LaunchResult Launcher::run_functional(const dsl::Stencil& stencil,
   return run_impl(stencil, variant, platform, opts, &in, &out);
 }
 
-LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
-                                codegen::Variant variant,
-                                const Platform& platform,
-                                const codegen::Options& opts,
-                                const HostGrid* in, HostGrid* out) const {
-  // The kernel-launch fault site: a seeded plan can fail exactly one
-  // (platform, stencil, variant) config here to exercise the harness's
-  // per-config isolation; free when no plan is armed.
-  if (fault::armed())
-    fault::throw_if(fault::Site::Launch,
-                    platform.label() + " " + stencil.name() + " " +
-                        codegen::variant_name(variant));
+PreparedLaunch Launcher::prepare(const dsl::Stencil& stencil,
+                                 codegen::Variant variant,
+                                 const Platform& platform,
+                                 const codegen::Options& opts) const {
+  return prepare_impl(stencil, variant, platform, opts, nullptr, nullptr);
+}
+
+PreparedLaunch Launcher::prepare_impl(const dsl::Stencil& stencil,
+                                      codegen::Variant variant,
+                                      const Platform& platform,
+                                      const codegen::Options& opts,
+                                      const HostGrid* in,
+                                      HostGrid* out) const {
   const arch::GpuArch& gpu = platform.gpu;
   const ProgModel& pm = platform.pm;
   const int W = gpu.simd_width;
@@ -76,10 +84,13 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
       8, static_cast<int>(gpu.regs_per_lane * pm.reg_budget_fraction));
   ir::RegAllocResult ra = ir::allocate_registers(lowered.program, budget);
 
+  PreparedLaunch prep;
+  prep.program = std::make_unique<ir::Program>(std::move(ra.program));
+
   // 3. Bind data.
   const bool functional = in != nullptr;
-  simt::Kernel kernel;
-  kernel.program = &ra.program;
+  simt::Kernel& kernel = prep.kernel;
+  kernel.program = prep.program.get();
   kernel.tile = {ti, tj, tk};
   kernel.blocks = {domain_.i / ti, domain_.j / tj, domain_.k / tk};
   for (const auto& group : stencil.groups())
@@ -93,36 +104,32 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
 
   simt::DeviceAllocator dev(gpu.l1.line_bytes);
 
-  // Functional scratch that must outlive machine.run():
-  std::vector<bElem> in_copy;
-  std::unique_ptr<brick::BrickDecomp> decomp;
-  std::unique_ptr<brick::BrickedArray> bin, bout;
-
   if (variant == codegen::Variant::BricksCodegen) {
-    decomp = std::make_unique<brick::BrickDecomp>(
+    prep.decomp = std::make_unique<brick::BrickDecomp>(
         domain_, brick::BrickDims{ti, tj, tk}, opts.shuffled_brick_order,
         opts.brick_order_seed);
+    brick::BrickDecomp& decomp = *prep.decomp;
     const std::uint64_t bytes = static_cast<std::uint64_t>(
-        decomp->num_bricks() * decomp->dims().elems() * kElemBytes);
+        decomp.num_bricks() * decomp.dims().elems() * kElemBytes);
     auto make_binding = [&](bElem* data, std::size_t len) {
       simt::GridBinding g;
       g.device_base = dev.allocate(bytes);
-      g.elems_per_brick = decomp->dims().elems();
-      g.adjacency = decomp->adjacency();
-      g.block_to_brick = decomp->block_to_brick();
-      g.brick_dims = decomp->dims().as_vec();
+      g.elems_per_brick = decomp.dims().elems();
+      g.adjacency = decomp.adjacency();
+      g.block_to_brick = decomp.block_to_brick();
+      g.brick_dims = decomp.dims().as_vec();
       g.data = data;
       g.len = len;
       return g;
     };
     if (functional) {
-      bin = std::make_unique<brick::BrickedArray>(*decomp);
-      bout = std::make_unique<brick::BrickedArray>(*decomp);
-      bin->from_host(*in);
+      prep.bin = std::make_unique<brick::BrickedArray>(decomp);
+      prep.bout = std::make_unique<brick::BrickedArray>(decomp);
+      prep.bin->from_host(*in);
       kernel.grids.push_back(
-          make_binding(bin->raw().data(), bin->raw().size()));
+          make_binding(prep.bin->raw().data(), prep.bin->raw().size()));
       kernel.grids.push_back(
-          make_binding(bout->raw().data(), bout->raw().size()));
+          make_binding(prep.bout->raw().data(), prep.bout->raw().size()));
     } else {
       kernel.grids.push_back(make_binding(nullptr, 0));
       kernel.grids.push_back(make_binding(nullptr, 0));
@@ -141,9 +148,9 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
     gi.device_base = dev.allocate(
         static_cast<std::uint64_t>(in_padded.volume()) * kElemBytes);
     if (functional) {
-      in_copy.assign(in->raw().begin(), in->raw().end());
-      gi.data = in_copy.data();
-      gi.len = in_copy.size();
+      prep.in_copy.assign(in->raw().begin(), in->raw().end());
+      gi.data = prep.in_copy.data();
+      gi.len = prep.in_copy.size();
     }
     kernel.grids.push_back(gi);
 
@@ -163,47 +170,85 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
     kernel.grids.push_back(go);
   }
 
-  // 4. Pre-launch static verification of the program that will actually
-  // run (post-regalloc: spill code included) against the real geometry.
-  LaunchResult res;
-  if (check_ != analysis::CheckMode::Off) {
-    analysis::LaunchGeom geom;
-    geom.blocks = kernel.blocks;
-    geom.tile = kernel.tile;
-    geom.require_aligned_vloads = gpu.requires_aligned_vloads;
-    for (const simt::GridBinding& g : kernel.grids) {
-      analysis::GridGeom gg;
-      if (variant == codegen::Variant::BricksCodegen) {
-        gg.layout = ir::Space::Brick;
-        gg.brick_dims = g.brick_dims;
-      } else {
-        gg.layout = ir::Space::Array;
-        gg.padded = g.padded;
-        gg.ghost = g.ghost;
-      }
-      geom.grids.push_back(gg);
+  // 4. The launch geometry, and the pre-launch static verification of the
+  // program that will actually run (post-regalloc: spill code included).
+  analysis::LaunchGeom& geom = prep.geom;
+  geom.blocks = kernel.blocks;
+  geom.tile = kernel.tile;
+  geom.require_aligned_vloads = gpu.requires_aligned_vloads;
+  for (const simt::GridBinding& g : kernel.grids) {
+    analysis::GridGeom gg;
+    if (variant == codegen::Variant::BricksCodegen) {
+      gg.layout = ir::Space::Brick;
+      gg.brick_dims = g.brick_dims;
+    } else {
+      gg.layout = ir::Space::Array;
+      gg.padded = g.padded;
+      gg.ghost = g.ghost;
     }
-    const analysis::Report rep = analysis::check(ra.program, geom);
+    geom.grids.push_back(gg);
+  }
+  if (check_ != analysis::CheckMode::Off) {
+    const analysis::Report rep = analysis::check(*prep.program, geom);
     analysis::enforce(rep, check_,
                       stencil.name() + "/" + codegen::variant_name(variant) +
                           " on " + gpu.name);
-    res.check_stats = rep.stats;
+    prep.check_stats = rep.stats;
   }
 
-  // 5. Execute.
-  simt::Machine machine(gpu);
-  res.report = machine.run(kernel,
+  prep.inst_stats = prep.program->stats();
+  prep.regs_used = ra.regs_used;
+  prep.spill_slots = ra.spill_slots;
+  prep.used_scatter = lowered.used_scatter;
+  prep.read_streams = lowered.read_streams;
+  prep.normalized_flops = stencil.min_flops(domain_);
+  return prep;
+}
+
+LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
+                                codegen::Variant variant,
+                                const Platform& platform,
+                                const codegen::Options& opts,
+                                const HostGrid* in, HostGrid* out) const {
+  // The kernel-launch fault site: a seeded plan can fail exactly one
+  // (platform, stencil, variant) config here to exercise the harness's
+  // per-config isolation; free when no plan is armed.
+  if (fault::armed())
+    fault::throw_if(fault::Site::Launch,
+                    platform.label() + " " + stencil.name() + " " +
+                        codegen::variant_name(variant));
+
+  PreparedLaunch prep =
+      prepare_impl(stencil, variant, platform, opts, in, out);
+  const bool functional = in != nullptr;
+
+  // Execute, optionally gating the decoded plan behind the differential
+  // verifier (Interp has no decode step to verify).
+  simt::Machine machine(platform.gpu);
+  if (verify_plan_ && engine_ == simt::Engine::Plan) {
+    const std::string context = stencil.name() + "/" +
+                                codegen::variant_name(variant) + " on " +
+                                platform.gpu.name;
+    machine.set_plan_hook(
+        [context](const simt::ExecPlan& plan, const simt::Kernel& k) {
+          analysis::enforce_plan(analysis::verify_plan(plan, k), context);
+        });
+  }
+
+  LaunchResult res;
+  res.check_stats = prep.check_stats;
+  res.report = machine.run(prep.kernel,
                            functional ? simt::ExecMode::Functional
                                       : simt::ExecMode::CountersOnly,
                            engine_);
-  if (functional && bout) bout->to_host(*out);
+  if (functional && prep.bout) prep.bout->to_host(*out);
 
-  res.inst_stats = ra.program.stats();
-  res.regs_used = ra.regs_used;
-  res.spill_slots = ra.spill_slots;
-  res.used_scatter = lowered.used_scatter;
-  res.read_streams = lowered.read_streams;
-  res.normalized_flops = stencil.min_flops(domain_);
+  res.inst_stats = prep.inst_stats;
+  res.regs_used = prep.regs_used;
+  res.spill_slots = prep.spill_slots;
+  res.used_scatter = prep.used_scatter;
+  res.read_streams = prep.read_streams;
+  res.normalized_flops = prep.normalized_flops;
   return res;
 }
 

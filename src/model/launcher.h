@@ -10,12 +10,20 @@
 // real values so results can be verified against the scalar reference.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "analysis/brickcheck.h"
 #include "codegen/codegen.h"
 #include "common/grid.h"
 #include "dsl/stencil.h"
 #include "model/progmodel.h"
 #include "simt/machine.h"
+
+namespace bricksim::brick {
+class BrickDecomp;
+class BrickedArray;
+}  // namespace bricksim::brick
 
 namespace bricksim::model {
 
@@ -44,8 +52,42 @@ struct LaunchResult {
   /// Arithmetic intensity from normalised FLOPs and measured HBM bytes.
   double normalized_ai() const {
     const auto bytes = report.traffic.hbm_total();
-    return bytes > 0 ? static_cast<double>(normalized_flops) / bytes : 0.0;
+    return bytes > 0 ? static_cast<double>(normalized_flops) /
+                           static_cast<double>(bytes)
+                     : 0.0;
   }
+};
+
+/// Everything built for one launch short of executing it: the post-regalloc
+/// program, the bound kernel, the launch geometry, and the storage backing
+/// the bindings.  `kernel` points into this struct's owned members (program,
+/// decomposition, host mirrors), which live on the heap -- a PreparedLaunch
+/// is movable without invalidating the kernel.  Produced by
+/// Launcher::prepare(); `bricksim lint` analyses these statically without
+/// ever running them.
+struct PreparedLaunch {
+  std::unique_ptr<ir::Program> program;  ///< post-regalloc program
+  simt::Kernel kernel;
+  analysis::LaunchGeom geom;  ///< always built, even with checks off
+
+  ir::InstStats inst_stats;   ///< per thread block
+  int regs_used = 0;
+  int spill_slots = 0;
+  bool used_scatter = false;
+  int read_streams = 1;
+  long normalized_flops = 0;
+  analysis::CheckStats check_stats;
+
+  // Owned storage backing the kernel's grid bindings.
+  std::vector<bElem> in_copy;
+  std::unique_ptr<brick::BrickDecomp> decomp;
+  std::unique_ptr<brick::BrickedArray> bin, bout;
+
+  // Out of line: the brick types are forward-declared here.
+  PreparedLaunch();
+  PreparedLaunch(PreparedLaunch&&) noexcept;
+  PreparedLaunch& operator=(PreparedLaunch&&) noexcept;
+  ~PreparedLaunch();
 };
 
 class Launcher {
@@ -67,6 +109,20 @@ class Launcher {
   void set_engine(simt::Engine engine) { engine_ = engine; }
   simt::Engine engine() const { return engine_; }
 
+  /// Opt-in differential verification of every decoded ExecPlan against its
+  /// source program (analysis::verify_plan, enforced strictly) before the
+  /// plan replays.  Engine::Plan only; the harness `--verify-plan` flag
+  /// plumbs through here.
+  void set_verify_plan(bool on) { verify_plan_ = on; }
+  bool verify_plan() const { return verify_plan_; }
+
+  /// Builds one configuration end to end WITHOUT executing it: lowering,
+  /// register allocation, counters-only data binding, launch geometry, and
+  /// the pre-launch brickcheck gate (under the current check mode).
+  PreparedLaunch prepare(const dsl::Stencil& stencil, codegen::Variant variant,
+                         const Platform& platform,
+                         const codegen::Options& opts = {}) const;
+
   /// Counters-only execution (no element data; fast, any domain size).
   LaunchResult run(const dsl::Stencil& stencil, codegen::Variant variant,
                    const Platform& platform,
@@ -81,6 +137,11 @@ class Launcher {
                               const codegen::Options& opts = {}) const;
 
  private:
+  PreparedLaunch prepare_impl(const dsl::Stencil& stencil,
+                              codegen::Variant variant,
+                              const Platform& platform,
+                              const codegen::Options& opts, const HostGrid* in,
+                              HostGrid* out) const;
   LaunchResult run_impl(const dsl::Stencil& stencil, codegen::Variant variant,
                         const Platform& platform, const codegen::Options& opts,
                         const HostGrid* in, HostGrid* out) const;
@@ -88,6 +149,7 @@ class Launcher {
   Vec3 domain_;
   analysis::CheckMode check_ = analysis::CheckMode::Warn;
   simt::Engine engine_ = simt::Engine::Plan;
+  bool verify_plan_ = false;
 };
 
 }  // namespace bricksim::model

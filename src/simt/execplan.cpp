@@ -140,8 +140,8 @@ ExecPlan::ExecPlan(const Kernel& kernel, const arch::GpuArch& arch,
           p.shift_or_iops = in.shift;
           insts_.push_back(p);
         } else {
-          alu_shuffle_lanes_ += W_ * kernel.shuffle_cost_mult;
-          ++alu_warp_insts_;
+          alu_.shuffle_lanes += W_ * kernel.shuffle_cost_mult;
+          ++alu_.warp_insts;
         }
         break;
       case ir::Op::VAddV:
@@ -169,13 +169,13 @@ ExecPlan::ExecPlan(const Kernel& kernel, const arch::GpuArch& arch,
           if (in.cidx >= 0) p.cv = kernel.constants[in.cidx];
           insts_.push_back(p);
         } else {
-          alu_fp_lanes_ += W_;
-          ++alu_warp_insts_;
+          alu_.fp_lanes += W_;
+          ++alu_.warp_insts;
           if (in.op == ir::Op::VAddV || in.op == ir::Op::VMulV ||
               in.op == ir::Op::VMulC)
-            alu_flops_ += W_;
+            alu_.flops += W_;
           else if (in.op == ir::Op::VFmaV || in.op == ir::Op::VFmaC)
-            alu_flops_ += 2ull * W_;
+            alu_.flops += 2ull * W_;
         }
         break;
       case ir::Op::IOp:
@@ -185,8 +185,8 @@ ExecPlan::ExecPlan(const Kernel& kernel, const arch::GpuArch& arch,
           p.shift_or_iops = in.iops;
           insts_.push_back(p);
         } else {
-          alu_int_lanes_ += static_cast<double>(in.iops) * W_;
-          alu_warp_insts_ += in.iops;
+          alu_.int_lanes += static_cast<double>(in.iops) * W_;
+          alu_.warp_insts += in.iops;
         }
         break;
     }
@@ -265,11 +265,11 @@ KernelReport ExecPlan::replay(memsim::MemoryHierarchy& hier) const {
                 static_cast<std::uint64_t>(bc.j) * kernel.tile.j;
     if (!functional) {
       detail::CoreUse& cu = cores[s.core];
-      cu.fp_lanes += alu_fp_lanes_;
-      cu.int_lanes += alu_int_lanes_;
-      cu.shuffle_lanes += alu_shuffle_lanes_;
-      rep.flops_executed += alu_flops_;
-      rep.warp_insts += alu_warp_insts_;
+      cu.fp_lanes += alu_.fp_lanes;
+      cu.int_lanes += alu_.int_lanes;
+      cu.shuffle_lanes += alu_.shuffle_lanes;
+      rep.flops_executed += alu_.flops;
+      rep.warp_insts += alu_.warp_insts;
     }
     return true;
   };
@@ -492,7 +492,8 @@ KernelReport ExecPlan::replay(memsim::MemoryHierarchy& hier) const {
         // Single-stream kernels are exempt: a sequential stream keeps its
         // DRAM row open and never pays the switch cost.
         if (kernel.read_streams > 1)
-          hier.charge_page_overhead(s.pages.size() * arch.page_open_bytes);
+          hier.charge_page_overhead(static_cast<double>(s.pages.size()) *
+                                    arch.page_open_bytes);
         ++rep.blocks_run;
         if (!assign(s)) --active;
       }

@@ -78,7 +78,6 @@ class ExecPlan {
   /// aggregates there, exactly like the interpreter's fast path).
   std::size_t num_insts() const { return insts_.size(); }
 
- private:
   /// Replay opcode: ir::Op split by address space so the replay switch
   /// dispatches without re-testing MemRef fields.
   enum class PKind : std::uint8_t {
@@ -127,6 +126,37 @@ class ExecPlan {
     std::int64_t elems_per_brick = 0;
   };
 
+  /// CountersOnly per-block ALU aggregates (identical for every block);
+  /// all zero in Functional mode, where ALU work replays per instruction.
+  struct AluAggregates {
+    double fp_lanes = 0;
+    double int_lanes = 0;
+    double shuffle_lanes = 0;
+    std::uint64_t flops = 0;
+    std::uint64_t warp_insts = 0;
+
+    friend bool operator==(const AluAggregates&, const AluAggregates&) =
+        default;
+  };
+
+  // Decode-product introspection, consumed by analysis::verify_plan (the
+  // --verify-plan differential gate) and the decode-mutation tests.
+  int vec_width() const { return W_; }
+  std::uint32_t vec_bytes() const { return vec_bytes_; }
+  int num_vregs() const { return num_vregs_; }
+  int num_spill_slots() const { return num_spill_slots_; }
+  const std::vector<PlanInst>& insts() const { return insts_; }
+  const std::vector<GridPlan>& grids() const { return grids_; }
+  const AluAggregates& alu() const { return alu_; }
+
+  // Test-only mutable views: the decode-mutation suite corrupts a decoded
+  // plan in place to prove the differential verifier rejects it.  Nothing
+  // in the simulator mutates a plan after construction.
+  std::vector<PlanInst>& mutable_insts() { return insts_; }
+  std::vector<GridPlan>& mutable_grids() { return grids_; }
+  AluAggregates& mutable_alu() { return alu_; }
+
+ private:
   const Kernel* kernel_;
   const arch::GpuArch* arch_;
   ExecMode mode_;
@@ -137,13 +167,7 @@ class ExecPlan {
   int num_spill_slots_ = 0;
   std::vector<PlanInst> insts_;
   std::vector<GridPlan> grids_;
-
-  // CountersOnly per-block ALU aggregates (identical for every block).
-  double alu_fp_lanes_ = 0;
-  double alu_int_lanes_ = 0;
-  double alu_shuffle_lanes_ = 0;
-  std::uint64_t alu_flops_ = 0;
-  std::uint64_t alu_warp_insts_ = 0;
+  AluAggregates alu_;
 };
 
 }  // namespace bricksim::simt

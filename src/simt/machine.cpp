@@ -53,6 +53,7 @@ KernelReport Machine::run(const Kernel& kernel, ExecMode mode,
                           Engine engine) {
   if (engine == Engine::Interp) return run_interp(kernel, mode);
   ExecPlan plan(kernel, arch_, mode);
+  if (plan_hook_) plan_hook_(plan, kernel);
   return plan.replay(hier_);
 }
 
@@ -375,8 +376,9 @@ KernelReport Machine::run_interp(const Kernel& kernel, ExecMode mode) {
         // Single-stream kernels are exempt: a sequential stream keeps its
         // DRAM row open and never pays the switch cost.
         if (kernel.read_streams > 1)
-          hier_.charge_page_overhead(ctx.dram_pages.size() *
-                                     arch_.page_open_bytes);
+          hier_.charge_page_overhead(
+              static_cast<double>(ctx.dram_pages.size()) *
+              arch_.page_open_bytes);
         ++rep.blocks_run;
         if (!assign(ctx)) --active;
       }

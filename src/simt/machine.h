@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -114,7 +115,9 @@ struct KernelReport {
   /// Empirical arithmetic intensity (FLOPs per HBM byte).
   double arithmetic_intensity() const {
     const auto bytes = traffic.hbm_total();
-    return bytes > 0 ? static_cast<double>(flops_executed) / bytes : 0.0;
+    return bytes > 0 ? static_cast<double>(flops_executed) /
+                           static_cast<double>(bytes)
+                     : 0.0;
   }
 
   /// Field-for-field equality (exact on the timing doubles): the ExecPlan
@@ -122,6 +125,8 @@ struct KernelReport {
   /// equivalence tests compare through this.
   friend bool operator==(const KernelReport&, const KernelReport&) = default;
 };
+
+class ExecPlan;
 
 class Machine {
  public:
@@ -134,6 +139,15 @@ class Machine {
   KernelReport run(const Kernel& kernel, ExecMode mode,
                    Engine engine = Engine::Plan);
 
+  /// Post-decode gate: when set, run() hands every freshly decoded ExecPlan
+  /// to the hook before replaying it (Engine::Plan only; Interp has no
+  /// decode step).  The --verify-plan flag installs
+  /// analysis::verify_plan/enforce_plan here -- a std::function so simt
+  /// stays below analysis in the library layering.  A throwing hook aborts
+  /// the launch.
+  using PlanHook = std::function<void(const ExecPlan&, const Kernel&)>;
+  void set_plan_hook(PlanHook hook) { plan_hook_ = std::move(hook); }
+
   const arch::GpuArch& gpu() const { return arch_; }
   const memsim::MemoryHierarchy& hierarchy() const { return hier_; }
 
@@ -142,6 +156,7 @@ class Machine {
 
   arch::GpuArch arch_;
   memsim::MemoryHierarchy hier_;
+  PlanHook plan_hook_;
 };
 
 /// Assigns non-overlapping, line-aligned device address ranges to a sequence

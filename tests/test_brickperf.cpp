@@ -1,0 +1,314 @@
+// Tests for analysis::brickperf, the static performance lint: each seeded
+// hazard program must fire its exact PerfDiag family, and the full paper
+// catalog's static estimates must stay within DriftTolerance of the
+// simulator's measured counters (the contract behind `bricksim lint`).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/brickperf.h"
+#include "arch/arch.h"
+#include "dsl/stencil.h"
+#include "harness/harness.h"
+#include "harness/registry.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+#include "profiler/profiler.h"
+
+namespace bricksim::analysis {
+namespace {
+
+// Match the A100's native SIMD width so the clean baseline has no
+// vecwidth finding; its sector size is 32B, so a 256B warp access ideally
+// costs 8 transactions.
+constexpr int kW = 32;
+
+ir::MemRef aref(int grid, int di, int dj = 0, int dk = 0,
+                bool vectorized = true) {
+  ir::MemRef m;
+  m.grid = grid;
+  m.space = ir::Space::Array;
+  m.di = di;
+  m.dj = dj;
+  m.dk = dk;
+  m.vectorized = vectorized;
+  return m;
+}
+
+ir::MemRef spill_ref(int slot) {
+  ir::MemRef m;
+  m.space = ir::Space::Spill;
+  m.slot = slot;
+  return m;
+}
+
+/// A 2x2x2-block launch over (kW, 4, 4) tiles.  Ghost depth 4 and a
+/// padded.i of 72 keep every interior offset and every block stride a
+/// sector multiple: the transaction counts are exact and the zero-offset
+/// refs are perfectly coalesced.
+LaunchGeom geom() {
+  LaunchGeom g;
+  g.blocks = {2, 2, 2};
+  g.tile = {kW, 4, 4};
+  for (int i = 0; i < 2; ++i) {
+    GridGeom gg;
+    gg.layout = ir::Space::Array;
+    gg.ghost = {4, 4, 4};
+    gg.padded = {2 * kW + 8, 2 * 4 + 8, 2 * 4 + 8};
+    g.grids.push_back(gg);
+  }
+  return g;
+}
+
+KernelAttrs attrs() {
+  KernelAttrs a;
+  a.domain = {2 * kW, 8, 8};  // covered exactly: no predication
+  a.read_streams = 1;
+  a.regs_used = 16;
+  a.reg_budget = 64;
+  return a;
+}
+
+/// Aligned load-store pair: the baseline every seeded hazard perturbs.
+ir::Program clean_program() {
+  ir::Program p(kW);
+  p.store(p.load(aref(0, 0)), aref(1, 0));
+  return p;
+}
+
+long count(const PerfReport& r, PerfCheck c) {
+  return r.stats.by_check[static_cast<int>(c)];
+}
+
+TEST(Brickperf, CleanProgramHasNoDiagnostics) {
+  const ir::Program p = clean_program();
+  const PerfReport r = analyze(p, geom(), arch::make_a100(), attrs());
+  EXPECT_TRUE(r.clean()) << r.to_string();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.stats.programs, 1);
+  EXPECT_EQ(r.stats.warnings, 0);
+  // One 256B load + one 256B store, 8 sectors each, exact for all blocks.
+  EXPECT_TRUE(r.est.exact_sectors);
+  EXPECT_EQ(r.est.transactions_per_block, 16u);
+  EXPECT_EQ(r.est.l1_bytes, 16.0 * 32 * 8);
+  EXPECT_EQ(r.est.spill_slots, 0);
+  EXPECT_GT(r.est.hbm_bytes, 0.0);
+}
+
+TEST(Brickperf, CoalesceMisalignedLoad) {
+  ir::Program p(kW);
+  p.store(p.load(aref(0, 1)), aref(1, 0));  // di=1: phase 8B off a sector
+  const PerfReport r = analyze(p, geom(), arch::make_a100(), attrs());
+  ASSERT_EQ(count(r, PerfCheck::Coalesce), 1) << r.to_string();
+  const auto it = std::find_if(
+      r.diags.begin(), r.diags.end(),
+      [](const PerfDiag& d) { return d.check == PerfCheck::Coalesce; });
+  ASSERT_NE(it, r.diags.end());
+  EXPECT_EQ(it->severity, Severity::Warning);
+  EXPECT_EQ(it->inst, 0);
+  EXPECT_NE(it->message.find("misaligned by 8B"), std::string::npos)
+      << it->message;
+  EXPECT_NE(it->message.find("9 32B transactions per warp (ideal 8)"),
+            std::string::npos)
+      << it->message;
+  // One extra sector on the load only.
+  EXPECT_EQ(r.est.transactions_per_block, 17u);
+  // Perf findings are warnings, never errors.
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Brickperf, CoalesceNotesBypassLowering) {
+  ir::Program p(kW);
+  p.store(p.load(aref(0, 1)), aref(1, 0));
+  KernelAttrs a = attrs();
+  a.bypass_l2_unaligned_vloads = true;
+  const PerfReport r = analyze(p, geom(), arch::make_mi250x_gcd(), a);
+  const auto it = std::find_if(
+      r.diags.begin(), r.diags.end(),
+      [](const PerfDiag& d) { return d.check == PerfCheck::Coalesce; });
+  ASSERT_NE(it, r.diags.end()) << r.to_string();
+  EXPECT_NE(it->message.find("bypass the L2"), std::string::npos)
+      << it->message;
+}
+
+TEST(Brickperf, SpillPressure) {
+  ir::Program p(kW);
+  const int v = p.load(aref(0, 0));
+  p.store(v, spill_ref(0));
+  p.store(p.load(spill_ref(0)), aref(1, 0));
+  p.set_num_spill_slots(1);
+  KernelAttrs a = attrs();
+  a.regs_used = 100;
+  a.reg_budget = 64;
+  const PerfReport r = analyze(p, geom(), arch::make_a100(), a);
+  ASSERT_EQ(count(r, PerfCheck::Spill), 1) << r.to_string();
+  const auto it = std::find_if(
+      r.diags.begin(), r.diags.end(),
+      [](const PerfDiag& d) { return d.check == PerfCheck::Spill; });
+  ASSERT_NE(it, r.diags.end());
+  EXPECT_EQ(it->inst, -1);  // program-level
+  EXPECT_NE(it->message.find("1 spill slot(s)"), std::string::npos)
+      << it->message;
+  EXPECT_NE(it->message.find("100/64"), std::string::npos) << it->message;
+  EXPECT_EQ(r.est.spill_slots, 1);
+  EXPECT_GT(r.est.spill_bytes, 0.0);
+}
+
+TEST(Brickperf, VecWidthMismatch) {
+  ir::Program p(8);  // W=8 on a 32-lane machine: idle lanes
+  p.store(p.load(aref(0, 0)), aref(1, 0));
+  LaunchGeom g = geom();
+  g.tile = {8, 4, 4};
+  for (auto& gg : g.grids) gg.padded = {2 * 8 + 8, 16, 16};
+  KernelAttrs a = attrs();
+  a.domain = {16, 8, 8};
+  const PerfReport r = analyze(p, g, arch::make_a100(), a);
+  ASSERT_EQ(count(r, PerfCheck::VecWidth), 1) << r.to_string();
+  const auto it = std::find_if(
+      r.diags.begin(), r.diags.end(),
+      [](const PerfDiag& d) { return d.check == PerfCheck::VecWidth; });
+  ASSERT_NE(it, r.diags.end());
+  EXPECT_NE(it->message.find("idle lanes"), std::string::npos)
+      << it->message;
+}
+
+TEST(Brickperf, MissedReuseOnReload) {
+  ir::Program p(kW);
+  const int a = p.load(aref(0, 0));
+  const int b = p.load(aref(0, 0));  // same affine address, no store between
+  p.store(p.add(a, b), aref(1, 0));
+  const PerfReport r = analyze(p, geom(), arch::make_a100(), attrs());
+  ASSERT_EQ(count(r, PerfCheck::Reuse), 1) << r.to_string();
+  const auto it = std::find_if(
+      r.diags.begin(), r.diags.end(),
+      [](const PerfDiag& d) { return d.check == PerfCheck::Reuse; });
+  ASSERT_NE(it, r.diags.end());
+  EXPECT_EQ(it->inst, 1);  // the reload, not the first load
+  EXPECT_NE(it->message.find("missed register reuse"), std::string::npos)
+      << it->message;
+}
+
+TEST(Brickperf, StoreToGridClearsReuseWindow) {
+  ir::Program p(kW);
+  const int a = p.load(aref(0, 0));
+  p.store(a, aref(0, 0));  // store to grid 0 invalidates its live loads
+  p.store(p.load(aref(0, 0)), aref(1, 0));
+  const PerfReport r = analyze(p, geom(), arch::make_a100(), attrs());
+  EXPECT_EQ(count(r, PerfCheck::Reuse), 0) << r.to_string();
+}
+
+TEST(Brickperf, PredicatedCornerBlocks) {
+  const ir::Program p = clean_program();
+  KernelAttrs a = attrs();
+  a.domain = {60, 8, 8};  // tile.i=32 does not divide 60: corner block
+  const PerfReport r = analyze(p, geom(), arch::make_a100(), a);
+  ASSERT_EQ(count(r, PerfCheck::Predication), 1) << r.to_string();
+  const auto it = std::find_if(
+      r.diags.begin(), r.diags.end(),
+      [](const PerfDiag& d) { return d.check == PerfCheck::Predication; });
+  ASSERT_NE(it, r.diags.end());
+  EXPECT_NE(it->message.find("predicated off"), std::string::npos)
+      << it->message;
+}
+
+TEST(Brickperf, DiagnosticCapKeepsExactCounts) {
+  ir::Program p(kW);
+  int acc = p.load(aref(0, 0));
+  for (int i = 0; i < kMaxDiagsPerCheck + 3; ++i)
+    acc = p.add(acc, p.load(aref(0, 0)));  // every reload is a reuse miss
+  p.store(acc, aref(1, 0));
+  const PerfReport r = analyze(p, geom(), arch::make_a100(), attrs());
+  EXPECT_EQ(count(r, PerfCheck::Reuse), kMaxDiagsPerCheck + 3);
+  // Materialised: the cap plus one suppression summary.
+  const long materialised = static_cast<long>(std::count_if(
+      r.diags.begin(), r.diags.end(),
+      [](const PerfDiag& d) { return d.check == PerfCheck::Reuse; }));
+  EXPECT_EQ(materialised, kMaxDiagsPerCheck + 1);
+  EXPECT_NE(r.to_string().find("suppressed"), std::string::npos);
+}
+
+TEST(Brickperf, CompareMeasuredDriftGate) {
+  PerfEstimate est;
+  est.l1_bytes = 1000;
+  est.exact_sectors = true;
+  est.hbm_bytes = 1000;
+  est.spill_slots = 0;
+  const DriftTolerance tol;
+
+  Drift d = compare_measured(est, 1000, 1200, 0);
+  EXPECT_EQ(d.l1_rel, 0.0);
+  EXPECT_NEAR(d.hbm_rel, 200.0 / 1200.0, 1e-12);
+  EXPECT_TRUE(d.within(tol));
+
+  // HBM drift beyond the band.
+  d = compare_measured(est, 1000, 2000, 0);
+  EXPECT_FALSE(d.within(tol));
+
+  // Exact sectors leave no L1 slack.
+  d = compare_measured(est, 1001, 1000, 0);
+  EXPECT_FALSE(d.within(tol));
+
+  // Spill counts are exact: any mismatch fails.
+  d = compare_measured(est, 1000, 1000, 2);
+  EXPECT_FALSE(d.spill_match);
+  EXPECT_FALSE(d.within(tol));
+}
+
+// The acceptance gate behind `bricksim lint`: over the full paper sweep,
+// every configuration's static estimate agrees with the simulator's
+// measured counters within the declared tolerance, with exact L1 sector
+// counts and exact spill slots -- and zero false-positive errors.
+TEST(Brickperf, PaperCatalogWithinDriftTolerance) {
+  harness::SweepConfig base;
+  base.domain = {64, 64, 64};
+  base.check_mode = CheckMode::Off;
+  const harness::SweepConfig main = harness::SweepProvider::main_config(base);
+  const harness::Sweep sweep = harness::run_sweep(main);
+  ASSERT_TRUE(sweep.failures.empty());
+
+  model::Launcher launcher(main.domain);
+  launcher.set_check_mode(CheckMode::Off);
+  const DriftTolerance tol;
+  int joined = 0;
+  for (const auto& pf : main.platforms) {
+    for (const auto& st : main.stencils) {
+      for (const auto variant : main.variants) {
+        const std::string vn = codegen::variant_name(variant);
+        const profiler::Measurement* m =
+            sweep.find(st.name(), vn, pf.label());
+        ASSERT_NE(m, nullptr) << pf.label() << " " << st.name() << " " << vn;
+        model::PreparedLaunch prep =
+            launcher.prepare(st, variant, pf, main.cg_opts);
+        KernelAttrs a;
+        a.domain = main.domain;
+        a.read_streams = prep.read_streams;
+        a.bw_derate = pf.pm.bw_derate;
+        a.streaming_stores = pf.pm.streaming_stores;
+        a.bypass_l2_unaligned_vloads = pf.pm.bypass_l2_unaligned_vloads;
+        a.regs_used = prep.regs_used;
+        a.reg_budget =
+            std::max(8, static_cast<int>(pf.gpu.regs_per_lane *
+                                         pf.pm.reg_budget_fraction));
+        const PerfReport rep = analyze(*prep.program, prep.geom, pf.gpu, a);
+        EXPECT_TRUE(rep.ok()) << pf.label() << " " << st.name() << " " << vn;
+        const Drift d = compare_measured(
+            rep.est, static_cast<double>(m->l1_bytes),
+            static_cast<double>(m->hbm_bytes), m->spill_slots);
+        EXPECT_TRUE(d.within(tol))
+            << pf.label() << " " << st.name() << " " << vn << ": L1 "
+            << d.l1_rel * 100 << "% HBM " << d.hbm_rel * 100 << "% spills "
+            << rep.est.spill_slots << "/" << m->spill_slots;
+        EXPECT_TRUE(d.exact_sectors)
+            << pf.label() << " " << st.name() << " " << vn;
+        ++joined;
+      }
+    }
+  }
+  EXPECT_EQ(joined, static_cast<int>(main.platforms.size() *
+                                     main.stencils.size() *
+                                     main.variants.size()));
+}
+
+}  // namespace
+}  // namespace bricksim::analysis

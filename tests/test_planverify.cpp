@@ -1,0 +1,355 @@
+// Tests for analysis::planverify, the ExecPlan differential verifier: a
+// freshly decoded plan for every paper configuration must verify clean,
+// and every seeded decode mutation -- one per decoded field -- must be
+// rejected with a divergence naming that field.
+//
+// Memory-side and plan-level mutations run in CountersOnly mode against
+// real lowered kernels from Launcher::prepare() (whose bindings carry no
+// element data, exactly like the benchmark sweeps).  Compute-side fields
+// (folded constants, arithmetic operands) only enter the replay stream in
+// Functional mode, so those mutations use a small hand-built kernel with
+// backing storage, the same shape test_execplan.cpp uses.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/planverify.h"
+#include "common/error.h"
+#include "common/grid.h"
+#include "dsl/stencil.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+#include "simt/execplan.h"
+#include "simt/machine.h"
+
+namespace bricksim::analysis {
+namespace {
+
+using simt::ExecMode;
+using simt::ExecPlan;
+using PKind = ExecPlan::PKind;
+
+model::Platform platform(const std::string& label) {
+  for (const auto& pf : model::paper_platforms())
+    if (pf.label() == label) return pf;
+  throw Error("unknown platform label: " + label);
+}
+
+/// Prepares a real lowered kernel (counters-only bindings) for one config.
+model::PreparedLaunch prepare(const dsl::Stencil& st, codegen::Variant v,
+                              const model::Platform& pf) {
+  model::Launcher launcher({64, 64, 64});
+  launcher.set_check_mode(CheckMode::Off);
+  return launcher.prepare(st, v, pf, {});
+}
+
+bool has_field(const PlanReport& r, const std::string& field) {
+  for (const auto& d : r.diags)
+    if (d.field == field) return true;
+  return false;
+}
+
+/// Verifies `plan` after `mutate` corrupted it and expects a divergence on
+/// `field`; the pristine plan must have verified clean first.
+template <typename Fn>
+void expect_rejected(ExecPlan& plan, const simt::Kernel& kernel,
+                     const std::string& field, Fn mutate) {
+  ASSERT_TRUE(verify_plan(plan, kernel).ok())
+      << "pristine plan did not verify";
+  mutate(plan);
+  const PlanReport r = verify_plan(plan, kernel);
+  EXPECT_FALSE(r.ok()) << "mutation of '" << field << "' not caught";
+  EXPECT_TRUE(has_field(r, field)) << "expected a '" << field
+                                   << "' divergence, got:\n"
+                                   << r.to_string();
+}
+
+std::size_t first_of(const ExecPlan& plan, PKind kind) {
+  for (std::size_t i = 0; i < plan.insts().size(); ++i)
+    if (plan.insts()[i].kind == kind) return i;
+  throw Error("plan has no instruction of the requested kind");
+}
+
+// --- Array-kernel decode mutations (CountersOnly, real lowered kernel) ------
+
+class PlanVerifyArray : public testing::Test {
+ protected:
+  PlanVerifyArray()
+      : pf_(platform("A100/CUDA")),
+        prep_(prepare(dsl::Stencil::star(1), codegen::Variant::ArrayCodegen,
+                      pf_)),
+        plan_(prep_.kernel, pf_.gpu, ExecMode::CountersOnly) {}
+
+  model::Platform pf_;
+  model::PreparedLaunch prep_;
+  ExecPlan plan_;
+};
+
+TEST_F(PlanVerifyArray, PristinePlanVerifiesClean) {
+  const PlanReport r = verify_plan(plan_, prep_.kernel);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_GT(r.insts_verified, 0);
+  EXPECT_GT(r.bounds_checked, 0);
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedKind) {
+  expect_rejected(plan_, prep_.kernel, "kind", [](ExecPlan& p) {
+    auto& in = p.mutable_insts()[first_of(p, PKind::LoadArray)];
+    in.kind = PKind::StoreArray;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedIdx0) {
+  expect_rejected(plan_, prep_.kernel, "idx0", [](ExecPlan& p) {
+    p.mutable_insts()[first_of(p, PKind::LoadArray)].idx0 += 1;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedRowKey) {
+  expect_rejected(plan_, prep_.kernel, "row_key0", [](ExecPlan& p) {
+    p.mutable_insts()[first_of(p, PKind::LoadArray)].row_key0 ^= 1;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedGridSlot) {
+  expect_rejected(plan_, prep_.kernel, "grid", [](ExecPlan& p) {
+    p.mutable_insts()[first_of(p, PKind::LoadArray)].grid ^= 1;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedDestination) {
+  expect_rejected(plan_, prep_.kernel, "dst", [](ExecPlan& p) {
+    auto& in = p.mutable_insts()[first_of(p, PKind::LoadArray)];
+    in.dst += static_cast<std::uint32_t>(p.vec_width());
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedStoreOperand) {
+  expect_rejected(plan_, prep_.kernel, "a", [](ExecPlan& p) {
+    auto& in = p.mutable_insts()[first_of(p, PKind::StoreArray)];
+    in.a += static_cast<std::uint32_t>(p.vec_width());
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedBypassFlag) {
+  expect_rejected(plan_, prep_.kernel, "bypass_candidate", [](ExecPlan& p) {
+    p.mutable_insts()[first_of(p, PKind::LoadArray)].bypass_candidate ^= true;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsTruncatedStream) {
+  expect_rejected(plan_, prep_.kernel, "stream",
+                  [](ExecPlan& p) { p.mutable_insts().pop_back(); });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedGridStride) {
+  expect_rejected(plan_, prep_.kernel, "bj",
+                  [](ExecPlan& p) { p.mutable_grids()[0].bj += 1; });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedGridBase) {
+  expect_rejected(plan_, prep_.kernel, "base",
+                  [](ExecPlan& p) { p.mutable_grids()[0].base ^= 64; });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedAluAggregates) {
+  // CountersOnly replay costs ALU work from per-block aggregates; a decode
+  // bug there skews every measurement while staying functionally invisible.
+  expect_rejected(plan_, prep_.kernel, "alu.flops",
+                  [](ExecPlan& p) { p.mutable_alu().flops += 1; });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedAluLaneAggregates) {
+  expect_rejected(plan_, prep_.kernel, "alu.fp_lanes",
+                  [](ExecPlan& p) { p.mutable_alu().fp_lanes += 1.0; });
+}
+
+// --- Brick-kernel decode mutations (CountersOnly) ----------------------------
+
+class PlanVerifyBrick : public testing::Test {
+ protected:
+  PlanVerifyBrick()
+      : pf_(platform("A100/CUDA")),
+        prep_(prepare(dsl::Stencil::star(1), codegen::Variant::BricksCodegen,
+                      pf_)),
+        plan_(prep_.kernel, pf_.gpu, ExecMode::CountersOnly) {}
+
+  model::Platform pf_;
+  model::PreparedLaunch prep_;
+  ExecPlan plan_;
+};
+
+TEST_F(PlanVerifyBrick, PristinePlanVerifiesClean) {
+  const PlanReport r = verify_plan(plan_, prep_.kernel);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST_F(PlanVerifyBrick, RejectsMutatedAdjacencyCode) {
+  expect_rejected(plan_, prep_.kernel, "nbr_code", [](ExecPlan& p) {
+    auto& in = p.mutable_insts()[first_of(p, PKind::LoadBrick)];
+    in.nbr_code = in.nbr_code == 13 ? 12 : 13;
+  });
+}
+
+TEST_F(PlanVerifyBrick, RejectsMutatedElemsPerBrick) {
+  expect_rejected(plan_, prep_.kernel, "elems_per_brick",
+                  [](ExecPlan& p) { p.mutable_grids()[0].elems_per_brick += 1; });
+}
+
+TEST_F(PlanVerifyBrick, RejectsMutatedAdjacencyBinding) {
+  expect_rejected(plan_, prep_.kernel, "adjacency",
+                  [](ExecPlan& p) { p.mutable_grids()[0].adjacency = nullptr; });
+}
+
+// --- Functional-mode compute fields (hand-built kernel with storage) ---------
+
+ir::MemRef aref(int grid, int di) {
+  ir::MemRef m;
+  m.grid = grid;
+  m.space = ir::Space::Array;
+  m.di = di;
+  m.vectorized = true;
+  return m;
+}
+
+/// load -> fma with a folded constant -> store: the smallest program whose
+/// Functional-mode stream carries operand offsets and a folded `cv`.
+ir::Program fmac_program() {
+  ir::Program p(8);
+  p.add_constant("c0");
+  const int a = p.load(aref(0, 0));
+  const int b = p.load(aref(0, 8));
+  const int s = p.fma_const(a, b, 0);
+  p.store(s, aref(1, 0));
+  return p;
+}
+
+/// A Functional-mode kernel over real storage (decode requires data
+/// pointers there); same construction as test_execplan.cpp.
+class PlanVerifyFunctional : public testing::Test {
+ protected:
+  PlanVerifyFunctional() : prog_(fmac_program()), dev_(128) {
+    const Vec3 blocks{2, 2, 2};
+    const Vec3 interior{blocks.i * 8, blocks.j * 4, blocks.k * 4};
+    const Vec3 padded{interior.i + 16, interior.j + 16, interior.k + 16};
+    in_.assign(static_cast<std::size_t>(padded.volume()), 1.0);
+    out_.assign(in_.size(), 0.0);
+
+    simt::GridBinding gi;
+    gi.padded = padded;
+    gi.ghost = {8, 8, 8};
+    gi.device_base = dev_.allocate(in_.size() * kElemBytes);
+    gi.data = in_.data();
+    gi.len = in_.size();
+    simt::GridBinding go = gi;
+    go.device_base = dev_.allocate(out_.size() * kElemBytes);
+    go.data = out_.data();
+
+    kernel_.program = &prog_;
+    kernel_.blocks = blocks;
+    kernel_.tile = {8, 4, 4};
+    kernel_.grids = {gi, go};
+    kernel_.constants = {0.5};
+  }
+
+  ExecPlan make_plan() const {
+    return ExecPlan(kernel_, platform("A100/CUDA").gpu,
+                    ExecMode::Functional);
+  }
+
+  ir::Program prog_;
+  simt::DeviceAllocator dev_;
+  std::vector<double> in_, out_;
+  simt::Kernel kernel_;
+};
+
+TEST_F(PlanVerifyFunctional, PristinePlanVerifiesClean) {
+  ExecPlan plan = make_plan();
+  const PlanReport r = verify_plan(plan, kernel_);
+  EXPECT_TRUE(r.ok()) << r.to_string();
+  EXPECT_EQ(r.insts_verified, static_cast<long>(plan.num_insts()));
+}
+
+TEST_F(PlanVerifyFunctional, RejectsMutatedFoldedConstant) {
+  ExecPlan plan = make_plan();
+  expect_rejected(plan, kernel_, "cv", [](ExecPlan& p) {
+    p.mutable_insts()[first_of(p, PKind::FmaC)].cv += 0.5;
+  });
+}
+
+TEST_F(PlanVerifyFunctional, RejectsMutatedComputeOperand) {
+  ExecPlan plan = make_plan();
+  expect_rejected(plan, kernel_, "a", [](ExecPlan& p) {
+    auto& in = p.mutable_insts()[first_of(p, PKind::FmaC)];
+    in.a += static_cast<std::uint32_t>(p.vec_width());
+  });
+}
+
+TEST_F(PlanVerifyFunctional, RejectsMutatedComputeKind) {
+  ExecPlan plan = make_plan();
+  expect_rejected(plan, kernel_, "kind", [](ExecPlan& p) {
+    p.mutable_insts()[first_of(p, PKind::FmaC)].kind = PKind::MulC;
+  });
+}
+
+// --- enforce_plan ------------------------------------------------------------
+
+TEST(PlanVerifyEnforce, ThrowsNamingContextAndField) {
+  const model::Platform pf = platform("A100/CUDA");
+  const model::PreparedLaunch prep =
+      prepare(dsl::Stencil::star(1), codegen::Variant::ArrayCodegen, pf);
+  ExecPlan plan(prep.kernel, pf.gpu, ExecMode::CountersOnly);
+  plan.mutable_insts()[first_of(plan, PKind::LoadArray)].idx0 += 1;
+  const PlanReport r = verify_plan(plan, prep.kernel);
+  ASSERT_FALSE(r.ok());
+  EXPECT_THROW(enforce_plan(r, "7pt/array codegen on A100"), Error);
+  try {
+    enforce_plan(r, "7pt/array codegen on A100");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("7pt/array codegen on A100"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("idx0"), std::string::npos);
+  }
+  EXPECT_NO_THROW(enforce_plan(PlanReport{}, "clean"));
+}
+
+// --- Clean catalog -----------------------------------------------------------
+
+// Every paper configuration's decode verifies clean on every platform: the
+// differential gate (--verify-plan) adds zero false positives.
+TEST(PlanVerifyCatalog, FullCatalogDecodesVerifyClean) {
+  model::Launcher launcher({64, 64, 64});
+  launcher.set_check_mode(CheckMode::Off);
+  long verified = 0;
+  for (const auto& pf : model::paper_platforms()) {
+    for (const auto& st : dsl::Stencil::paper_catalog()) {
+      for (const auto v :
+           {codegen::Variant::Array, codegen::Variant::ArrayCodegen,
+            codegen::Variant::BricksCodegen}) {
+        const model::PreparedLaunch prep = launcher.prepare(st, v, pf, {});
+        ExecPlan plan(prep.kernel, pf.gpu, ExecMode::CountersOnly);
+        const PlanReport r = verify_plan(plan, prep.kernel);
+        EXPECT_TRUE(r.ok()) << pf.label() << " " << st.name() << " "
+                            << codegen::variant_name(v) << "\n"
+                            << r.to_string();
+        verified += r.insts_verified;
+      }
+    }
+  }
+  EXPECT_GT(verified, 0);
+}
+
+// The launcher-level wiring: set_verify_plan(true) installs the hook and a
+// clean catalog config still runs end to end.
+TEST(PlanVerifyCatalog, LauncherVerifyPlanGateRunsClean) {
+  model::Launcher launcher({64, 64, 64});
+  launcher.set_check_mode(CheckMode::Off);
+  launcher.set_verify_plan(true);
+  const model::Platform pf = platform("A100/CUDA");
+  EXPECT_NO_THROW(launcher.run(dsl::Stencil::star(1),
+                               codegen::Variant::BricksCodegen, pf, {}));
+}
+
+}  // namespace
+}  // namespace bricksim::analysis

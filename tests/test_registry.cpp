@@ -16,9 +16,9 @@
 namespace bricksim {
 namespace {
 
-TEST(Registry, SixteenUniquelyNamedExperiments) {
+TEST(Registry, SeventeenUniquelyNamedExperiments) {
   const auto& reg = harness::experiment_registry();
-  EXPECT_EQ(reg.size(), 16u);
+  EXPECT_EQ(reg.size(), 17u);
   std::set<std::string> names, binaries;
   for (const auto& exp : reg) {
     EXPECT_TRUE(names.insert(exp.name).second) << exp.name;

@@ -16,6 +16,7 @@
 #include "common/json.h"
 #include "common/table.h"
 #include "harness/harness.h"
+#include "harness/registry.h"
 #include "harness/sweepcache.h"
 #include "metrics/metrics.h"
 #include "profiler/profiler.h"
@@ -197,6 +198,19 @@ TEST(Serialize, CheckRollupRoundTrip) {
   EXPECT_EQ(metrics::check_rollup_from_json(
                 json::Value::parse(metrics::to_json(r).dump())),
             r);
+}
+
+TEST(Serialize, ExperimentTimingRoundTripIsExact) {
+  const harness::ExperimentTiming t{"fig3", 12.0 + 1.0 / 3.0, true};
+  EXPECT_EQ(harness::experiment_timing_from_json(harness::to_json(t)), t);
+  // And through a full text round trip (dump + parse), still exact.
+  EXPECT_EQ(harness::experiment_timing_from_json(
+                json::Value::parse(harness::to_json(t).dump(2))),
+            t);
+  const harness::ExperimentTiming fresh{"lint", 0.0078125, false};
+  EXPECT_EQ(harness::experiment_timing_from_json(
+                json::Value::parse(harness::to_json(fresh).dump())),
+            fresh);
 }
 
 TEST(Serialize, TableRoundTrip) {
