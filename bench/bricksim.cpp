@@ -7,11 +7,15 @@
 #include <exception>
 #include <iostream>
 
+#include "common/error.h"
 #include "harness/registry.h"
 
 int main(int argc, char** argv) {
   try {
     return bricksim::harness::driver_main(argc, argv);
+  } catch (const bricksim::UsageError& e) {
+    std::cerr << "bricksim: " << e.what() << "\n";
+    return 2;  // usage error, per the Unix convention
   } catch (const std::exception& e) {
     std::cerr << "bricksim: " << e.what() << "\n";
     return 1;

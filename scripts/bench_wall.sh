@@ -35,42 +35,74 @@ cmake --build build-release -j "$JOBS" --target \
 FIG3=build-release/bench/bench_fig3_roofline
 TABLE2=build-release/bench/bench_table2_stencils
 
-# Outputs must be identical across engines and job counts before timing.
-echo "==> A/B output check (plan vs interp, jobs 1 vs $JOBS)" >&2
+# Outputs must be identical across engines, job counts, and shard counts
+# before timing.
+echo "==> A/B output check (plan vs interp, jobs 1 vs $JOBS, sharded)" >&2
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 "$FIG3" --n "$N" --jobs 1 --engine=plan   > "$TMP/plan1"
 "$FIG3" --n "$N" --jobs 1 --engine=interp > "$TMP/interp1"
 "$FIG3" --n "$N" --jobs "$JOBS" --engine=plan > "$TMP/planN"
+"$FIG3" --n "$N" --jobs "$JOBS" --shards "$JOBS" --engine=plan > "$TMP/shardN"
 cmp -s "$TMP/plan1" "$TMP/interp1" || { echo "ENGINE MISMATCH" >&2; exit 1; }
 cmp -s "$TMP/plan1" "$TMP/planN"   || { echo "JOBS MISMATCH" >&2; exit 1; }
+cmp -s "$TMP/plan1" "$TMP/shardN"  || { echo "SHARDS MISMATCH" >&2; exit 1; }
 
-# Median-of-R wall-clock seconds for one command.
-time_cmd() {
-  local times=()
-  for _ in $(seq "$REPS"); do
-    local t0 t1
-    t0=$(date +%s.%N)
-    "$@" > /dev/null
-    t1=$(date +%s.%N)
-    times+=("$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')")
-  done
-  printf '%s\n' "${times[@]}" | sort -n | awk -v r="$REPS" \
+# One timed run, wall-clock seconds on stdout.
+time_once() {
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$@" > /dev/null
+  t1=$(date +%s.%N)
+  echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}'
+}
+
+median() {
+  printf '%s\n' "$@" | sort -n | awk -v r="$#" \
     'NR == int((r + 1) / 2) { print }'
 }
 
+# Timed cells are INTERLEAVED across reps (rep 1 of every configuration,
+# then rep 2 of every configuration, ...) rather than timed cell by cell:
+# on a shared host, load drifts over minutes, and back-to-back medians
+# systematically favour whichever cell happened to run in a quiet window.
+# Interleaving spreads every cell over the same wall-clock span, so the
+# medians are compared under the same conditions.
 rows=()
 run_config() {  # name cmd...
   local name="$1"; shift
-  local engine jobs
+  declare -A samples=()
+  local rep engine jobs
+  for rep in $(seq "$REPS"); do
+    for engine in plan interp; do
+      for jobs in 1 "$JOBS"; do
+        echo "==> timing $name engine=$engine jobs=$jobs (rep $rep/$REPS)" >&2
+        samples["$engine:$jobs"]+="$(time_once "$@" --jobs "$jobs" --engine="$engine") "
+      done
+    done
+    # The sharded cell rides the same interleave: the whole --jobs budget
+    # moved inside each kernel (ExecPlan::replay_sharded) instead of
+    # across configs -- the regime a single huge config or a straggler
+    # tail runs in.  Output already proved identical above.
+    if [[ "$name" == fig3* ]]; then
+      echo "==> timing $name engine=plan jobs=$JOBS shards=$JOBS (rep $rep/$REPS)" >&2
+      samples["sharded"]+="$(time_once "$@" --jobs "$JOBS" --shards "$JOBS" --engine=plan) "
+    fi
+  done
   for engine in plan interp; do
     for jobs in 1 "$JOBS"; do
-      echo "==> timing $name engine=$engine jobs=$jobs" >&2
       local secs
-      secs=$(time_cmd "$@" --jobs "$jobs" --engine="$engine")
+      # shellcheck disable=SC2086  # word splitting of the sample list is intended
+      secs=$(median ${samples["$engine:$jobs"]})
       rows+=("    {\"config\": \"$name\", \"engine\": \"$engine\", \"jobs\": $jobs, \"seconds\": $secs}")
     done
   done
+  if [[ "$name" == fig3* ]]; then
+    local secs
+    # shellcheck disable=SC2086
+    secs=$(median ${samples["sharded"]})
+    rows+=("    {\"config\": \"$name\", \"engine\": \"plan\", \"jobs\": $JOBS, \"shards\": $JOBS, \"seconds\": $secs}")
+  fi
 }
 
 run_config "fig3_n$N" "$FIG3" --n "$N"
@@ -81,7 +113,13 @@ run_config "table2" "$TABLE2"
   echo '  "benchmark": "simulator wall-clock (Release, median of '"$REPS"')",'
   echo '  "host_jobs": '"$JOBS"','
   echo '  "results": ['
-  (IFS=,$'\n'; echo "${rows[*]}")
+  for i in "${!rows[@]}"; do
+    if [[ "$i" -lt $(( ${#rows[@]} - 1 )) ]]; then
+      echo "${rows[$i]},"
+    else
+      echo "${rows[$i]}"
+    fi
+  done
   echo '  ]'
   echo '}'
 } > "$OUT"

@@ -80,13 +80,20 @@ fi
 
 echo "==> [4/9] concurrency verify (TSan)"
 cmake -B build-tsan -S . -DBRICKSIM_SANITIZE="thread"
-cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan
+cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan test_shard bench_fig3_roofline
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan'
+  -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan|Shard'
+# Sharded fig3 smoke under TSan: the intra-kernel replay shards
+# (ExecPlan::replay_sharded) genuinely run concurrently here --
+# BRICKSIM_OVERSUBSCRIBE lifts the effective_jobs hardware clamp so the
+# threads exist even on a 1-core CI box.
+BRICKSIM_OVERSUBSCRIBE=1 ./build-tsan/bench/bench_fig3_roofline \
+  --n 64 --jobs 4 --shards 4 > /dev/null 2> /dev/null
 
-echo "==> [5/9] parallel sweep smoke (fig3 at --jobs 4, both engines)"
+echo "==> [5/9] parallel sweep smoke (fig3 at --jobs 4, both engines + shards)"
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null 2> /dev/null
+./build/bench/bench_fig3_roofline --n 128 --jobs 4 --shards 4 > /dev/null 2> /dev/null
 
 echo "==> [6/9] driver verify (bricksim all cold/warm + legacy byte-diff)"
 CIDIR="$(mktemp -d)"

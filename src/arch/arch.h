@@ -23,6 +23,8 @@ struct CacheParams {
   int line_bytes = 0;       ///< allocation/tag granularity
   int sector_bytes = 0;     ///< transaction granularity (Nsight counts 32B sectors)
   int associativity = 0;    ///< ways per set
+
+  friend bool operator==(const CacheParams&, const CacheParams&) = default;
 };
 
 /// A simulated GPU (one A100, one MI250X GCD, or one PVC stack -- the
@@ -97,6 +99,12 @@ struct GpuArch {
   int max_resident_blocks() const {
     return num_cores * max_resident_blocks_per_core;
   }
+
+  /// Field-for-field equality.  Names alone do not identify an
+  /// architecture -- ablation sweeps vary parameters under one name -- so
+  /// anything caching per-architecture state (e.g. model::Launcher's
+  /// machine reuse) must compare the whole descriptor.
+  friend bool operator==(const GpuArch&, const GpuArch&) = default;
 };
 
 /// NVIDIA A100 (Perlmutter node GPU): 108 SMs, warp 32, 192KB L1/SM,

@@ -17,7 +17,8 @@ Cli::Cli(int argc, const char* const* argv,
       help_ = true;
       continue;
     }
-    BRICKSIM_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    if (arg.rfind("--", 0) != 0)
+      throw UsageError("expected --flag, got: " + arg);
     arg = arg.substr(2);
     std::string name = arg, value;
     if (auto eq = arg.find('='); eq != std::string::npos) {
@@ -30,7 +31,7 @@ Cli::Cli(int argc, const char* const* argv,
       // argv end gets an empty value, which get_long/get_double reject.
       value = argv[++a];
     }
-    BRICKSIM_REQUIRE(known_.count(name) != 0, "unknown flag: --" + name);
+    if (known_.count(name) == 0) throw UsageError("unknown flag: --" + name);
     values_[name] = value;
   }
 }
@@ -50,9 +51,17 @@ long Cli::get_long(const std::string& name, long fallback) const {
   char* end = nullptr;
   errno = 0;
   const long v = std::strtol(s.c_str(), &end, 10);
-  BRICKSIM_REQUIRE(
-      !s.empty() && end == s.c_str() + s.size() && errno == 0,
-      "--" + name + " expects an integer, got: '" + s + "'");
+  if (s.empty() || end != s.c_str() + s.size() || errno != 0)
+    throw UsageError("--" + name + " expects an integer, got: '" + s + "'");
+  return v;
+}
+
+long Cli::get_long_min(const std::string& name, long fallback,
+                       long min) const {
+  const long v = get_long(name, fallback);
+  if (has(name) && v < min)
+    throw UsageError("--" + name + " must be >= " + std::to_string(min) +
+                     ", got: " + std::to_string(v));
   return v;
 }
 
@@ -63,9 +72,8 @@ double Cli::get_double(const std::string& name, double fallback) const {
   char* end = nullptr;
   errno = 0;
   const double v = std::strtod(s.c_str(), &end);
-  BRICKSIM_REQUIRE(
-      !s.empty() && end == s.c_str() + s.size() && errno == 0,
-      "--" + name + " expects a number, got: '" + s + "'");
+  if (s.empty() || end != s.c_str() + s.size() || errno != 0)
+    throw UsageError("--" + name + " expects a number, got: '" + s + "'");
   return v;
 }
 
@@ -78,7 +86,8 @@ std::string Cli::get_choice(const std::string& name,
     if (value == a) return value;
     choices += std::string(choices.empty() ? "" : "|") + a;
   }
-  throw Error("--" + name + " must be one of " + choices + ", got: " + value);
+  throw UsageError("--" + name + " must be one of " + choices +
+                   ", got: " + value);
 }
 
 std::string Cli::help(const std::string& program) const {

@@ -20,10 +20,16 @@ class Cli {
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
   /// Numeric getters return `fallback` when the flag is absent and throw
-  /// bricksim::Error when the value is present but not entirely a number
-  /// (e.g. "--n=abc", "--n=12x", or a value-bearing flag at argv end).
+  /// bricksim::UsageError when the value is present but not entirely a
+  /// number (e.g. "--n=abc", "--n=12x", or a value-bearing flag at argv
+  /// end).
   long get_long(const std::string& name, long fallback) const;
   double get_double(const std::string& name, double fallback) const;
+  /// get_long with a lower bound enforced on explicitly passed values:
+  /// "--jobs=0" and "--jobs=-1" throw UsageError instead of smuggling a
+  /// nonsense worker count into the scheduler.  The fallback is exempt so
+  /// sentinel defaults (0 = auto) keep working.
+  long get_long_min(const std::string& name, long fallback, long min) const;
   /// Like get, but the value (or fallback) must be one of `allowed`;
   /// anything else throws bricksim::Error naming the choices.
   std::string get_choice(const std::string& name,

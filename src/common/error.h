@@ -20,6 +20,15 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A command-line usage error: a malformed flag, an out-of-range value, an
+/// unknown option.  Subclasses Error so existing catch sites keep working;
+/// drivers distinguish it to exit 2 (usage) instead of 1 (hard error),
+/// matching the Unix convention the test suite asserts on.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void raise(const char* kind, const char* expr,
                                const char* file, int line,

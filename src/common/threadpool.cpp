@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <optional>
 
 namespace bricksim {
@@ -157,6 +158,13 @@ std::vector<TaskFailure> parallel_for_collect(
 int default_jobs() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int effective_jobs(int requested) {
+  const int want = requested > 0 ? requested : default_jobs();
+  const char* env = std::getenv("BRICKSIM_OVERSUBSCRIBE");
+  if (env && env[0] == '1' && env[1] == '\0') return want;
+  return std::min(want, default_jobs());
 }
 
 }  // namespace bricksim

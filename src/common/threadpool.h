@@ -7,8 +7,11 @@
 //    output vector and every task writes only its own slot;
 //  * exceptions thrown by tasks must not be lost -- the first one (in task
 //    submission order for parallel_for) is captured and rethrown on wait();
-//  * the pool is a host-side utility only; nothing inside the simulator
-//    (simt, memsim, codegen, model) knows threads exist.
+//  * the pool is a host-side utility; the one simulator-side client is
+//    ExecPlan::replay_sharded, whose two-phase design (private L1 shards,
+//    serially merged L2 event stream) keeps its results bit-identical at
+//    any worker count -- everything else in simt/memsim/codegen/model
+//    remains thread-oblivious.
 #pragma once
 
 #include <condition_variable>
@@ -93,5 +96,20 @@ std::vector<TaskFailure> parallel_for_collect(
 /// The default worker count for `--jobs`: std::thread::hardware_concurrency,
 /// or 1 when the runtime cannot report it.
 int default_jobs();
+
+/// The worker count a scheduler should actually use for a `--jobs`
+/// request: `requested` (or default_jobs() when requested <= 0), clamped
+/// to the hardware concurrency.  On a host with fewer cores than the
+/// requested jobs, oversubscribed workers only time-slice one another --
+/// BENCH_interpreter.json measured fig3@128 *losing* ~5% going from
+/// --jobs=1 to --jobs=4 on a single-core host -- so the clamp is what
+/// makes `--jobs=N` never slower than `--jobs=1` at any N.  Results are
+/// unaffected by construction (the determinism contract above).
+///
+/// Setting BRICKSIM_OVERSUBSCRIBE=1 disables the clamp: the TSan CI leg
+/// runs sweeps with more workers than CI cores precisely to provoke real
+/// interleavings, and tests exercising the contract at --jobs=8 need the
+/// threads to exist.
+int effective_jobs(int requested);
 
 }  // namespace bricksim

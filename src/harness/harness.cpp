@@ -1,5 +1,6 @@
 #include "harness/harness.h"
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 
@@ -70,7 +71,7 @@ std::vector<profiler::Measurement> Sweep::select(
 std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
     const SweepConfig& config, std::vector<FailureRecord>* failures,
     SweepRunStats* stats) {
-  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  const int jobs = effective_jobs(config.jobs);
   std::mutex progress_mu;
   // Mixbench works on a fixed mid-size streaming domain: its counters are
   // linear in the domain, so the derived ceilings are size-independent.
@@ -101,20 +102,36 @@ std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
     }
     pending.push_back(n);
   }
+  // Progress is a completion counter: "k/N" lines where k is incremented
+  // exactly once per task, succeed or fail, so the last line always reads
+  // N/N even on a degraded sweep (the regression test arms fault injection
+  // against exactly this invariant).
+  std::atomic<long> rl_done{0};
+  const long rl_total = static_cast<long>(pending.size());
+  auto rl_progress = [&](const model::Platform& pf, bool ok) {
+    if (!config.progress) return;
+    const long k = rl_done.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(progress_mu);
+    std::cerr << "[sweep] " << k << "/" << rl_total << " mixbench "
+              << pf.label() << (ok ? "" : " FAILED") << "\n";
+  };
   const std::vector<TaskFailure> failed = parallel_for_collect(
       jobs, static_cast<long>(pending.size()), [&](long p) {
         const long n = pending[static_cast<std::size_t>(p)];
         const model::Platform& pf = *rl_platforms[static_cast<std::size_t>(n)];
-        if (config.progress) {
-          std::lock_guard<std::mutex> lock(progress_mu);
-          std::cerr << "[sweep] mixbench " << pf.label() << "\n";
+        try {
+          if (fault::armed())
+            fault::throw_if(fault::Site::Roofline, pf.label());
+          rl_slots[static_cast<std::size_t>(n)] =
+              roofline::mixbench(pf, mix_domain);
+          if (checkpoint)
+            store_roofline_shard(config.checkpoint_dir, config, pf.label(),
+                                 *rl_slots[static_cast<std::size_t>(n)]);
+        } catch (...) {
+          rl_progress(pf, /*ok=*/false);
+          throw;  // parallel_for_collect records the failure
         }
-        if (fault::armed()) fault::throw_if(fault::Site::Roofline, pf.label());
-        rl_slots[static_cast<std::size_t>(n)] =
-            roofline::mixbench(pf, mix_domain);
-        if (checkpoint)
-          store_roofline_shard(config.checkpoint_dir, config, pf.label(),
-                               *rl_slots[static_cast<std::size_t>(n)]);
+        rl_progress(pf, /*ok=*/true);
       });
   if (stats) {
     stats->simulated += static_cast<int>(pending.size());
@@ -146,14 +163,15 @@ Sweep run_sweep(const SweepConfig& config) {
   Sweep sweep;
   sweep.config = config;
   // The launcher is shared const across workers: its only state is the
-  // domain and the check mode, and run() builds everything per call
-  // (lowering, register allocation, a fresh simt::Machine with its own
-  // memsim::MemoryHierarchy), so concurrent runs never share mutable state.
+  // sweep-wide configuration, and run() builds everything per call
+  // (lowering, register allocation, data binding) except the simt::Machine,
+  // which is reused thread-locally -- so concurrent runs never share
+  // mutable state.
   model::Launcher launcher(config.domain);
   launcher.set_check_mode(config.check_mode);
   launcher.set_engine(config.engine);
   launcher.set_verify_plan(config.verify_plan);
-  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  const int jobs = effective_jobs(config.jobs);
   std::mutex progress_mu;  // progress lines are the only shared sink
 
   sweep.rooflines =
@@ -191,24 +209,59 @@ Sweep run_sweep(const SweepConfig& config) {
     pending.push_back(n);
   }
 
+  // Two-level scheduling: split the clamped --jobs budget into `outer`
+  // concurrent configs x `inner` replay shards inside each kernel
+  // (bit-identical either way).  With more pending configs than jobs, all
+  // parallelism goes outer (inner == 1, the classic sweep); with fewer --
+  // a straggler tail, a resumed run with one missing config, a
+  // single-experiment 512^3 launch -- the idle budget moves inside the
+  // kernel instead of oversubscribing.  An explicit --shards pins the
+  // inner width and derives the outer level, never exceeding jobs total
+  // threads when jobs >= shards.
+  int inner = config.shards;
+  if (inner <= 0) {
+    const long npending = static_cast<long>(pending.size());
+    inner = npending > 0
+                ? static_cast<int>(std::max<long>(
+                      1, jobs / std::min<long>(jobs, npending)))
+                : 1;
+  }
+  const int outer = std::max(1, jobs / std::max(1, inner));
+  launcher.set_shards(inner);
+
+  // Completion-counter progress, as in sweep_rooflines: the counter hits
+  // N/N even when configs fail and leave holes.
+  std::atomic<long> done{0};
+  const long total = static_cast<long>(pending.size());
+  auto progress = [&](const Item& it, bool ok) {
+    if (!config.progress) return;
+    const long k = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::lock_guard<std::mutex> lock(progress_mu);
+    std::cerr << "[sweep] " << k << "/" << total << " " << it.pf->label()
+              << " " << it.st->name() << " "
+              << codegen::variant_name(it.variant) << (ok ? "" : " FAILED")
+              << "\n";
+  };
+
   // A throwing config must cost one hole, not the sweep: collect failures
   // instead of failing fast, and checkpoint each completed config so a
   // crashed or degraded run can resume from its shards.
   const std::vector<TaskFailure> failed = parallel_for_collect(
-      jobs, static_cast<long>(pending.size()), [&](long p) {
+      outer, static_cast<long>(pending.size()), [&](long p) {
         const long n = pending[static_cast<std::size_t>(p)];
         const Item& it = items[static_cast<std::size_t>(n)];
-        if (config.progress) {
-          std::lock_guard<std::mutex> lock(progress_mu);
-          std::cerr << "[sweep] " << it.pf->label() << " " << it.st->name()
-                    << " " << codegen::variant_name(it.variant) << "\n";
+        try {
+          sweep.measurements[static_cast<std::size_t>(n)] =
+              profiler::run_and_measure(launcher, *it.st, it.variant, *it.pf,
+                                        config.cg_opts);
+          if (checkpoint)
+            store_shard(config.checkpoint_dir, config, n,
+                        sweep.measurements[static_cast<std::size_t>(n)]);
+        } catch (...) {
+          progress(it, /*ok=*/false);
+          throw;  // parallel_for_collect records the failure
         }
-        sweep.measurements[static_cast<std::size_t>(n)] =
-            profiler::run_and_measure(launcher, *it.st, it.variant, *it.pf,
-                                      config.cg_opts);
-        if (checkpoint)
-          store_shard(config.checkpoint_dir, config, n,
-                      sweep.measurements[static_cast<std::size_t>(n)]);
+        progress(it, /*ok=*/true);
       });
   for (const TaskFailure& f : failed) {
     const Item& it =
@@ -232,6 +285,9 @@ std::map<std::string, std::string> sweep_cli_flags(int default_n) {
           {"jobs",
            "parallel sweep workers (default: hardware concurrency; "
            "results are identical for every value)"},
+          {"shards",
+           "worker threads per kernel replay (default: derived from --jobs "
+           "and the config count; results are identical for every value)"},
           {"progress", "print sweep progress to stderr"},
           {"csv", "emit CSV instead of aligned tables"},
           {"check",
@@ -262,14 +318,17 @@ std::optional<SweepConfig> sweep_config_from_cli(int argc,
 SweepConfig sweep_config_from_cli(const Cli& cli, int default_n) {
   SweepConfig config;
   const long n = cli.get_long("n", default_n);
-  BRICKSIM_REQUIRE(n > 0 && n % 64 == 0,
-                   "--n must be a positive multiple of 64 (tile shapes of "
-                   "all three architectures)");
+  if (n <= 0 || n % 64 != 0)
+    throw UsageError(
+        "--n must be a positive multiple of 64 (tile shapes of all three "
+        "architectures), got: " +
+        std::to_string(n));
   config.domain = {static_cast<int>(n), static_cast<int>(n),
                    static_cast<int>(n)};
-  const long jobs = cli.get_long("jobs", 0);
-  BRICKSIM_REQUIRE(!cli.has("jobs") || jobs >= 1, "--jobs must be >= 1");
-  config.jobs = static_cast<int>(jobs);
+  // Sentinel defaults (0 = auto) are fine; explicit zero/negative values
+  // are usage errors (exit 2), not silently-clamped worker counts.
+  config.jobs = static_cast<int>(cli.get_long_min("jobs", 0, 1));
+  config.shards = static_cast<int>(cli.get_long_min("shards", 0, 1));
   config.progress = cli.has("progress");
   config.csv = cli.has("csv");
   config.check_mode = analysis::parse_check_mode(

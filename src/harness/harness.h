@@ -38,10 +38,21 @@ struct SweepConfig {
   /// Pre-launch brickcheck policy (the --check=strict|warn|off flag).
   analysis::CheckMode check_mode = analysis::CheckMode::Warn;
   /// Worker threads for the sweep (the --jobs=N flag); 0 means
-  /// hardware_concurrency.  Every (stencil, variant, platform) config is
-  /// simulated independently, so the Sweep is bit-identical and ordered
-  /// identically for every job count (see DESIGN.md "Threading model").
+  /// hardware_concurrency, and requests beyond the hardware are clamped
+  /// (effective_jobs) so oversubscription can never make a sweep slower.
+  /// Every (stencil, variant, platform) config is simulated independently,
+  /// so the Sweep is bit-identical and ordered identically for every job
+  /// count (see DESIGN.md "Threading model").
   int jobs = 0;
+  /// Worker threads per kernel replay (the --shards=N flag), the inner
+  /// level of the two-level scheduler: run_sweep splits --jobs into
+  /// `outer` concurrent configs x `shards` threads inside each config's
+  /// kernel (ExecPlan::replay_sharded; bit-identical at any value).  0
+  /// derives the split from --jobs and the pending config count -- wide
+  /// sweeps get outer parallelism, a last straggler or a single huge
+  /// config gets intra-kernel parallelism -- without oversubscribing
+  /// beyond jobs total threads.
+  int shards = 0;
   /// SIMT execution engine (the --engine=plan|interp flag).  Both engines
   /// produce bit-identical measurements; interp is the legacy A/B baseline
   /// kept for one release (see DESIGN.md "Execution engine").

@@ -427,7 +427,7 @@ void emit_ablation_codegen(ExperimentContext& ctx) {
 
   std::vector<std::vector<std::string>> rows(items.size());
   std::mutex progress_mu;
-  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  const int jobs = effective_jobs(config.jobs);
   parallel_for(jobs, static_cast<long>(items.size()), [&](long n) {
     const Item& it = items[static_cast<std::size_t>(n)];
     if (config.progress) {
@@ -476,7 +476,7 @@ void emit_ablation_brickshape(ExperimentContext& ctx) {
 
   std::vector<std::vector<std::string>> rows(pairs.size());
   std::mutex progress_mu;
-  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  const int jobs = effective_jobs(config.jobs);
   parallel_for(jobs, static_cast<long>(pairs.size()), [&](long n) {
     const auto& [pf, st] = pairs[static_cast<std::size_t>(n)];
     if (config.progress) {
@@ -595,7 +595,7 @@ void emit_pvc_subgroup(ExperimentContext& ctx) {
     model::LaunchResult a, b;
   };
   std::vector<Slot> slots(stencils.size());
-  const int jobs = config.jobs > 0 ? config.jobs : default_jobs();
+  const int jobs = effective_jobs(config.jobs);
   parallel_for(jobs, static_cast<long>(stencils.size()), [&](long n) {
     auto& s = slots[static_cast<std::size_t>(n)];
     s.a = launcher.run(stencils[static_cast<std::size_t>(n)],
@@ -922,15 +922,26 @@ int driver_main(int argc, const char* const* argv) {
       "simulate only the remainder";
   known["fault-inject"] =
       "deterministic fault-injection spec (also $BRICKSIM_FAULT_INJECT)";
-  const Cli cli(static_cast<int>(flag_argv.size()), flag_argv.data(),
-                std::move(known));
-  if (cli.help_requested()) {
-    std::cout << usage_text() << "\n"
-              << cli.help(std::string("bricksim ") + command);
-    return 0;
+  // Usage errors (unknown flag, malformed or out-of-range value) exit 2,
+  // the Unix usage-error convention -- distinct from exit 1 (hard error)
+  // and exit 3 (completed with isolated failures).
+  std::optional<Cli> cli_opt;
+  std::optional<SweepConfig> base_opt;
+  try {
+    cli_opt.emplace(static_cast<int>(flag_argv.size()), flag_argv.data(),
+                    std::move(known));
+    if (cli_opt->help_requested()) {
+      std::cout << usage_text() << "\n"
+                << cli_opt->help(std::string("bricksim ") + command);
+      return 0;
+    }
+    base_opt = sweep_config_from_cli(*cli_opt, 256);
+  } catch (const UsageError& e) {
+    std::cerr << "bricksim: " << e.what() << "\n";
+    return 2;
   }
-
-  const SweepConfig base = sweep_config_from_cli(cli, 256);
+  const Cli& cli = *cli_opt;
+  const SweepConfig base = *base_opt;
   const bool explicit_n = cli.has("n");
   const std::string cache_dir =
       cli.has("no-cache") ? "" : default_cache_dir(cli.get("cache-dir", ""));

@@ -48,4 +48,14 @@ void MemoryHierarchy::reset() {
   traffic_ = Traffic{};
 }
 
+L1Shard::L1Shard(const arch::GpuArch& arch, int core0, int core1)
+    : arch_(&arch), core0_(core0) {
+  BRICKSIM_REQUIRE(0 <= core0 && core0 < core1 && core1 <= arch.num_cores,
+                   "bad shard core range");
+  sector_shift_ = pow2_shift(arch.l1.sector_bytes);
+  line_shift_ = pow2_shift(arch.l1.line_bytes);
+  l1_.reserve(static_cast<std::size_t>(core1 - core0));
+  for (int c = core0; c < core1; ++c) l1_.emplace_back(arch.l1);
+}
+
 }  // namespace bricksim::memsim

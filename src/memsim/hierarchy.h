@@ -58,19 +58,23 @@ struct Traffic {
   friend bool operator==(const Traffic&, const Traffic&) = default;
 };
 
+/// Shape of one warp-wide access, used by the SIMT timing model.
+struct AccessShape {
+  int sectors = 0;  ///< transaction granules touched
+  int lines = 0;    ///< cache lines touched
+  /// True when the access reached DRAM (an L2 read miss, a streaming-
+  /// store install of a new line, or an L2 bypass) -- feeds the
+  /// page-locality overhead model (arch::GpuArch::page_open_bytes).
+  bool dram_touch = false;
+};
+
 class MemoryHierarchy {
  public:
   explicit MemoryHierarchy(const arch::GpuArch& arch);
 
-  /// Shape of one warp-wide access, used by the SIMT timing model.
-  struct AccessShape {
-    int sectors = 0;  ///< transaction granules touched
-    int lines = 0;    ///< cache lines touched
-    /// True when the access reached DRAM (an L2 read miss, a streaming-
-    /// store install of a new line, or an L2 bypass) -- feeds the
-    /// page-locality overhead model (arch::GpuArch::page_open_bytes).
-    bool dram_touch = false;
-  };
+  /// Historical nested name; the struct now lives at namespace scope so the
+  /// sharded L1 front-end (L1Shard below) can return it too.
+  using AccessShape = bricksim::memsim::AccessShape;
 
   /// Performs a warp-wide access of `bytes` bytes at byte address `addr`
   /// issued from `core` (selects the L1).  `write` selects store semantics;
@@ -122,19 +126,9 @@ class MemoryHierarchy {
         l1.touch(ln);  // keep a resident line warm
         traffic_.l2_write_bytes += line;
         if (full) {
-          auto r2 = l2_.install_dirty(ln);
-          if (!r2.hit) shape.dram_touch = true;  // will be written to DRAM
-          if (r2.writeback) traffic_.hbm_write_bytes += line;
+          if (replay_l2_store_full(ln)) shape.dram_touch = true;
         } else {
-          auto r2 = l2_.access(ln, /*write=*/true);
-          if (!r2.hit) {
-            traffic_.l2_misses++;
-            traffic_.hbm_read_bytes += line;  // read-modify-write fill
-            shape.dram_touch = true;
-          } else {
-            traffic_.l2_hits++;
-          }
-          if (r2.writeback) traffic_.hbm_write_bytes += line;
+          if (replay_l2_store_partial(ln)) shape.dram_touch = true;
         }
       }
       return shape;
@@ -155,18 +149,57 @@ class MemoryHierarchy {
         shape.dram_touch = true;
         continue;
       }
-      auto r2 = l2_.access(ln, /*write=*/false);
-      if (r2.hit) {
-        traffic_.l2_hits++;
-      } else {
-        traffic_.l2_misses++;
-        traffic_.hbm_read_bytes += line;
-        shape.dram_touch = true;
-      }
-      if (r2.writeback) traffic_.hbm_write_bytes += line;
+      if (replay_l2_load(ln)) shape.dram_touch = true;
     }
     return shape;
   }
+
+  // L2 back-halves of access(), one cache line each.  access() itself runs
+  // through these, and the sharded replay (ExecPlan::replay_sharded) calls
+  // them directly when applying a merged L2 event stream -- so the sharded
+  // and unsharded paths hit the same L2 state machine and counters by
+  // construction.  Each returns whether the line touched DRAM (the
+  // per-access dram_touch is the OR over its lines).
+
+  /// L2 half of an L1-missing, non-bypass load line.
+  bool replay_l2_load(std::uint64_t ln) {
+    const int line = arch_.l1.line_bytes;
+    auto r2 = l2_.access(ln, /*write=*/false);
+    if (r2.hit) {
+      traffic_.l2_hits++;
+    } else {
+      traffic_.l2_misses++;
+      traffic_.hbm_read_bytes += line;
+    }
+    if (r2.writeback) traffic_.hbm_write_bytes += line;
+    return !r2.hit;
+  }
+
+  /// L2 half of a full-line (streaming) store line: install dirty, no fill.
+  bool replay_l2_store_full(std::uint64_t ln) {
+    const int line = arch_.l1.line_bytes;
+    auto r2 = l2_.install_dirty(ln);
+    if (r2.writeback) traffic_.hbm_write_bytes += line;
+    return !r2.hit;  // new line: will be written to DRAM
+  }
+
+  /// L2 half of a partial-line store line: write-allocate (RMW fill).
+  bool replay_l2_store_partial(std::uint64_t ln) {
+    const int line = arch_.l1.line_bytes;
+    auto r2 = l2_.access(ln, /*write=*/true);
+    if (!r2.hit) {
+      traffic_.l2_misses++;
+      traffic_.hbm_read_bytes += line;  // read-modify-write fill
+    } else {
+      traffic_.l2_hits++;
+    }
+    if (r2.writeback) traffic_.hbm_write_bytes += line;
+    return !r2.hit;
+  }
+
+  /// Folds a shard's phase-1 counters (L1 traffic, L2-bound byte counts,
+  /// bypass HBM reads) into this hierarchy's totals.
+  void merge_traffic(const Traffic& t) { traffic_ += t; }
 
   /// Charges page-locality overhead (DRAM row activations / TLB walks) as
   /// extra HBM read traffic; called by the machine once per (block, page).
@@ -222,6 +255,149 @@ class MemoryHierarchy {
   std::vector<SetAssocCache> l1_;
   SetAssocCache l2_;
   Traffic traffic_;
+};
+
+/// What a shard asks the shared L2 to do with one cache line when its event
+/// stream is replayed (phase 2 of ExecPlan::replay_sharded).
+enum class L2Op : std::uint8_t {
+  Load,          ///< L1-missing load line  -> MemoryHierarchy::replay_l2_load
+  StoreFull,     ///< full-line store line  -> replay_l2_store_full
+  StorePartial,  ///< partial store line    -> replay_l2_store_partial
+  PageOnly,      ///< bypass-L2 load line: counters already charged in phase
+                 ///< 1, only the DRAM-page touch remains to record
+};
+
+/// One L2-bound cache-line operation recorded during a shard's private
+/// phase-1 replay.  `order` is the line's position in the unsharded replay's
+/// global schedule; merging all shards' streams by ascending `order` (ties
+/// impossible across shards -- an order key names one block slot, and each
+/// slot belongs to exactly one shard) reproduces the exact L2 access
+/// sequence of the serial replay.
+struct ShardEvent {
+  std::uint64_t order;     ///< global schedule position (wave, round, slot)
+  std::uint64_t line;      ///< cache-line index (addr / line_bytes)
+  std::uint64_t page_key;  ///< DRAM-page key to record if the line touches
+                           ///< DRAM (stream-distinguished, see ExecPlan)
+  std::uint32_t block;     ///< linear block id, selects the page set
+  L2Op op;
+};
+
+/// The per-shard half of the memory hierarchy: private L1s for a contiguous
+/// core range plus a log of L2-bound line operations.  access() performs
+/// exactly the L1 front half of MemoryHierarchy::access() -- same sector /
+/// line split, same L1 state transitions, same counters -- but instead of
+/// walking the shared L2 it appends a ShardEvent per L2-bound line.  L1s
+/// shard cleanly because they are per-core and the replay schedule binds
+/// each core to one shard; the L2 is shared state and is only ever touched
+/// serially, in phase 2, through the merged event stream.
+class L1Shard {
+ public:
+  /// Private L1s for cores [core0, core1) of `arch`.
+  L1Shard(const arch::GpuArch& arch, int core0, int core1);
+
+  /// Mirrors MemoryHierarchy::access() up to the L2 boundary.  `order`,
+  /// `block` and `page_key` tag the emitted events; the returned shape's
+  /// dram_touch is always false (only the shared L2 knows).
+  AccessShape access(int core, std::uint64_t addr, std::uint32_t bytes,
+                     bool write, bool bypass_l2, bool rmw_stores,
+                     std::uint64_t order, std::uint32_t block,
+                     std::uint64_t page_key) {
+    BRICKSIM_ASSERT(core >= core0_ && core < core0_ + static_cast<int>(l1_.size()),
+                    "core id outside shard");
+    BRICKSIM_ASSERT(bytes > 0, "zero-byte access");
+
+    const int sector = arch_->l1.sector_bytes;
+    const int line = arch_->l1.line_bytes;
+    const std::uint64_t first_sector = sector_of(addr);
+    const std::uint64_t last_sector = sector_of(addr + bytes - 1);
+    const std::uint64_t first_line = line_of(addr);
+    const std::uint64_t last_line = line_of(addr + bytes - 1);
+
+    AccessShape shape;
+    shape.sectors = static_cast<int>(last_sector - first_sector + 1);
+    shape.lines = static_cast<int>(last_line - first_line + 1);
+
+    const std::uint64_t sector_bytes =
+        static_cast<std::uint64_t>(shape.sectors) * sector;
+    if (write)
+      traffic_.l1_write_bytes += sector_bytes;
+    else
+      traffic_.l1_read_bytes += sector_bytes;
+
+    SetAssocCache& l1 = l1_[static_cast<std::size_t>(core - core0_)];
+    if (write) {
+      const bool all_full = !rmw_stores &&
+                            addr == first_line * static_cast<std::uint64_t>(line) &&
+                            addr + bytes == (last_line + 1) * static_cast<std::uint64_t>(line);
+      for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
+        const std::uint64_t line_begin = ln * line;
+        const bool full = all_full ||
+                          (!rmw_stores && addr <= line_begin &&
+                           (addr + bytes) >= line_begin + line);
+        l1.touch(ln);
+        traffic_.l2_write_bytes += line;
+        events_.push_back({order, ln, page_key, block,
+                           full ? L2Op::StoreFull : L2Op::StorePartial});
+      }
+      return shape;
+    }
+
+    for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
+      auto r1 = l1.access(ln, /*write=*/false);
+      if (r1.hit) {
+        traffic_.l1_hits++;
+        continue;
+      }
+      traffic_.l1_misses++;
+      traffic_.l2_read_bytes += line;
+      if (bypass_l2) {
+        traffic_.hbm_read_bytes += line;
+        events_.push_back({order, ln, page_key, block, L2Op::PageOnly});
+        continue;
+      }
+      events_.push_back({order, ln, page_key, block, L2Op::Load});
+    }
+    return shape;
+  }
+
+  /// Identical to MemoryHierarchy::scratch_access (pure counters).
+  AccessShape scratch_access(std::uint32_t bytes, bool write) {
+    const int sector = arch_->l1.sector_bytes;
+    const int line = arch_->l1.line_bytes;
+    AccessShape shape;
+    shape.sectors = static_cast<int>((bytes + sector - 1) / sector);
+    shape.lines = static_cast<int>((bytes + line - 1) / line);
+    const std::uint64_t sector_bytes =
+        static_cast<std::uint64_t>(shape.sectors) * sector;
+    if (write)
+      traffic_.l1_write_bytes += sector_bytes;
+    else
+      traffic_.l1_read_bytes += sector_bytes;
+    return shape;
+  }
+
+  const Traffic& traffic() const { return traffic_; }
+  std::vector<ShardEvent>& events() { return events_; }
+
+ private:
+  std::uint64_t sector_of(std::uint64_t addr) const {
+    return sector_shift_ >= 0
+               ? addr >> sector_shift_
+               : addr / static_cast<std::uint64_t>(arch_->l1.sector_bytes);
+  }
+  std::uint64_t line_of(std::uint64_t addr) const {
+    return line_shift_ >= 0
+               ? addr >> line_shift_
+               : addr / static_cast<std::uint64_t>(arch_->l1.line_bytes);
+  }
+
+  const arch::GpuArch* arch_;  ///< borrowed; outlives the shard
+  int core0_ = 0;
+  int sector_shift_ = -1;
+  int line_shift_ = -1;
+  std::vector<SetAssocCache> l1_;
+  Traffic traffic_;
+  std::vector<ShardEvent> events_;
 };
 
 }  // namespace bricksim::memsim

@@ -223,24 +223,34 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
   const bool functional = in != nullptr;
 
   // Execute, optionally gating the decoded plan behind the differential
-  // verifier (Interp has no decode step to verify).
-  simt::Machine machine(platform.gpu);
+  // verifier (Interp has no decode step to verify).  The Machine (and the
+  // megabytes of cache tag state inside its MemoryHierarchy) is reused
+  // across launches on the same worker thread: both engines reset the
+  // hierarchy at kernel entry, so reuse is bit-identical, and a 108-config
+  // sweep stops paying a large allocation + page-fault bill per config.
+  // Keyed by full GpuArch equality, not name: ablation sweeps vary
+  // parameters under one name.
+  thread_local std::unique_ptr<simt::Machine> machine;
+  if (!machine || !(machine->gpu() == platform.gpu))
+    machine = std::make_unique<simt::Machine>(platform.gpu);
   if (verify_plan_ && engine_ == simt::Engine::Plan) {
     const std::string context = stencil.name() + "/" +
                                 codegen::variant_name(variant) + " on " +
                                 platform.gpu.name;
-    machine.set_plan_hook(
+    machine->set_plan_hook(
         [context](const simt::ExecPlan& plan, const simt::Kernel& k) {
           analysis::enforce_plan(analysis::verify_plan(plan, k), context);
         });
+  } else {
+    machine->set_plan_hook(nullptr);  // clear any previous launch's hook
   }
 
   LaunchResult res;
   res.check_stats = prep.check_stats;
-  res.report = machine.run(prep.kernel,
-                           functional ? simt::ExecMode::Functional
-                                      : simt::ExecMode::CountersOnly,
-                           engine_);
+  res.report = machine->run(prep.kernel,
+                            functional ? simt::ExecMode::Functional
+                                       : simt::ExecMode::CountersOnly,
+                            engine_, shards_);
   if (functional && prep.bout) prep.bout->to_host(*out);
 
   res.inst_stats = prep.inst_stats;

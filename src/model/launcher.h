@@ -109,6 +109,14 @@ class Launcher {
   void set_engine(simt::Engine engine) { engine_ = engine; }
   simt::Engine engine() const { return engine_; }
 
+  /// Worker threads one kernel's block-grid replay is sharded across
+  /// (simt::ExecPlan::replay_sharded; Engine::Plan only, and reports stay
+  /// bit-identical at any value).  1 (the default) replays serially.  The
+  /// harness's two-level sweep scheduler plumbs its per-config share of
+  /// --jobs through here.
+  void set_shards(int shards) { shards_ = shards; }
+  int shards() const { return shards_; }
+
   /// Opt-in differential verification of every decoded ExecPlan against its
   /// source program (analysis::verify_plan, enforced strictly) before the
   /// plan replays.  Engine::Plan only; the harness `--verify-plan` flag
@@ -149,6 +157,7 @@ class Launcher {
   Vec3 domain_;
   analysis::CheckMode check_ = analysis::CheckMode::Warn;
   simt::Engine engine_ = simt::Engine::Plan;
+  int shards_ = 1;
   bool verify_plan_ = false;
 };
 

@@ -1,8 +1,10 @@
 #include "simt/execplan.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
+#include "common/threadpool.h"
 #include "simt/issue_model.h"
 
 namespace bricksim::simt {
@@ -502,6 +504,454 @@ KernelReport ExecPlan::replay(memsim::MemoryHierarchy& hier) const {
 
   // Drain dirty output lines: an out-of-place stencil's stores all reach
   // HBM eventually, so end-of-kernel residue is counted as written back.
+  hier.flush_l2();
+  rep.traffic = hier.traffic();
+  detail::finalize_timing(rep, cores, arch, kernel);
+  return rep;
+}
+
+// Sharded replay.  The per-instruction switch below intentionally mirrors
+// replay()'s, with hier.access() swapped for the shard's L1 front-end and
+// dram_touch page inserts deferred to phase 2 (only the shared L2 knows
+// whether a line reaches DRAM).  The two loops are pinned together by the
+// shard-invariance suite in tests/test_shard.cpp, which requires reports
+// bit-identical to replay() across the paper catalog at several shard
+// counts.
+//
+// Schedule facts the decomposition rests on (all properties of replay()'s
+// while loop): every block runs ceil(ninsts / kSlice) rounds, so the
+// resident set refills in lockstep "waves" -- iteration t is (wave, round)
+// = (t / nrounds, t % nrounds) and slot s of wave w runs block w * R + s;
+// and a slot's core is always s % num_cores (when blocks exceed the
+// resident set, R is a multiple of num_cores; otherwise there is a single
+// wave with block id == slot id).  A contiguous core range therefore owns a
+// fixed set of slots for the whole launch, and the global schedule position
+// of (wave, round, slot) is the merge key (wave * nrounds + round) * R +
+// slot.
+KernelReport ExecPlan::replay_sharded(memsim::MemoryHierarchy& hier,
+                                      int shards) const {
+  const Kernel& kernel = *kernel_;
+  const arch::GpuArch& arch = *arch_;
+  const long total_blocks = kernel.blocks.volume();
+  const int resident = static_cast<int>(
+      std::min<long>(arch.max_resident_blocks(), total_blocks));
+  // Cores the schedule actually uses: with fewer blocks than cores, only
+  // cores [0, resident) ever see work -- sharding the idle tail would give
+  // some shards nothing to do.
+  const int used_cores = std::min(resident, arch.num_cores);
+  const int nshards = std::min(shards, used_cores);
+  if (nshards <= 1 ||
+      total_blocks >= static_cast<long>(
+                          std::numeric_limits<std::uint32_t>::max()))
+    return replay(hier);  // ShardEvent::block is 32-bit
+
+  hier.reset();
+  const int W = W_;
+  const bool functional = mode_ == ExecMode::Functional;
+  const double shuffle_lanes_per_align = W * kernel.shuffle_cost_mult;
+  const double l1_sector_bytes = arch.l1.sector_bytes;
+  const bool bypass_loads = kernel.bypass_l2_unaligned_vloads;
+  const bool rmw_stores = !kernel.streaming_stores;
+  const std::size_t ngrids = grids_.size();
+  const std::size_t ninsts = insts_.size();
+  const long R = resident;
+  const long nrounds =
+      ninsts == 0 ? 1 : static_cast<long>((ninsts + kSlice - 1) / kSlice);
+  const long nwaves = (total_blocks + R - 1) / R;
+  const std::size_t reg_elems =
+      functional ? static_cast<std::size_t>(num_vregs_) * W : 0;
+  const std::size_t spill_elems =
+      functional ? static_cast<std::size_t>(num_spill_slots_) * W : 0;
+
+  /// One shard: private L1s + event log, the slots it owns, and partial
+  /// accumulators merged after the last segment.
+  struct ShardState {
+    memsim::L1Shard l1;
+    std::vector<int> slots;              ///< owned slot ids, ascending
+    std::vector<detail::CoreUse> cores;  ///< full-size; only owned rows used
+    std::vector<double> arena;           ///< functional regs+spills per slot
+    std::vector<std::int64_t> goff;      ///< per (slot, grid) block offsets
+    std::vector<std::uint64_t> row_add;  ///< per-slot row-key addend
+    std::uint64_t blocks_run = 0, warp_insts = 0, flops = 0, spill_bytes = 0;
+    ShardState(const arch::GpuArch& a, int c0, int c1)
+        : l1(a, c0, c1), cores(static_cast<std::size_t>(a.num_cores)) {}
+  };
+  std::vector<ShardState> st;
+  st.reserve(static_cast<std::size_t>(nshards));
+  for (int i = 0; i < nshards; ++i) {
+    const int c0 = i * used_cores / nshards;
+    const int c1 = (i + 1) * used_cores / nshards;
+    st.emplace_back(arch, c0, c1);
+    ShardState& sh = st.back();
+    for (int s = 0; s < resident; ++s) {
+      const int core = s % arch.num_cores;
+      if (core >= c0 && core < c1) sh.slots.push_back(s);
+    }
+    sh.arena.assign(sh.slots.size() * (reg_elems + spill_elems), 0.0);
+    sh.goff.resize(sh.slots.size() * ngrids);
+    sh.row_add.resize(sh.slots.size());
+  }
+
+  auto run_shard_segment = [&](ShardState& sh, long w0, long w1) {
+    const PlanInst* const ip = insts_.data();
+    std::vector<double> tmp(static_cast<std::size_t>(W));
+    for (long wave = w0; wave < w1; ++wave) {
+      for (long round = 0; round < nrounds; ++round) {
+        const std::uint64_t okey_base =
+            (static_cast<std::uint64_t>(wave) * nrounds +
+             static_cast<std::uint64_t>(round)) *
+            static_cast<std::uint64_t>(R);
+        const std::size_t pc0 = static_cast<std::size_t>(round) * kSlice;
+        const std::size_t pc_end = std::min(ninsts, pc0 + kSlice);
+        for (std::size_t li = 0; li < sh.slots.size(); ++li) {
+          const int s = sh.slots[li];
+          const long blin = wave * R + s;
+          if (blin >= total_blocks) continue;  // idle slot in the last wave
+          const int core = static_cast<int>(blin % arch.num_cores);
+          detail::CoreUse& cu = sh.cores[static_cast<std::size_t>(core)];
+          std::int64_t* goff = sh.goff.data() + li * ngrids;
+          double* regs =
+              functional ? sh.arena.data() + li * (reg_elems + spill_elems)
+                         : nullptr;
+          double* spills = functional ? regs + reg_elems : nullptr;
+          if (round == 0) {
+            const Vec3 bc = unlinearize(blin, kernel.blocks);
+            for (std::size_t g = 0; g < ngrids; ++g)
+              goff[g] = bc.i * grids_[g].bi + bc.j * grids_[g].bj +
+                        bc.k * grids_[g].bk;
+            sh.row_add[li] =
+                (static_cast<std::uint64_t>(bc.k) * kernel.tile.k << 28) +
+                static_cast<std::uint64_t>(bc.j) * kernel.tile.j;
+            if (!functional) {
+              cu.fp_lanes += alu_.fp_lanes;
+              cu.int_lanes += alu_.int_lanes;
+              cu.shuffle_lanes += alu_.shuffle_lanes;
+              sh.flops += alu_.flops;
+              sh.warp_insts += alu_.warp_insts;
+            }
+          }
+          const std::uint64_t row_add = sh.row_add[li];
+          const std::uint64_t order =
+              okey_base + static_cast<std::uint64_t>(s);
+          const std::uint32_t blk = static_cast<std::uint32_t>(blin);
+          for (std::size_t pc = pc0; pc < pc_end; ++pc) {
+            const PlanInst& in = ip[pc];
+            switch (in.kind) {
+              case PKind::LoadArray: {
+                const GridPlan& g = grids_[in.grid];
+                const std::int64_t idx = in.idx0 + goff[in.grid];
+                const std::uint64_t addr =
+                    g.base + static_cast<std::uint64_t>(idx) * kElemBytes;
+                const bool bypass =
+                    bypass_loads && in.bypass_candidate &&
+                    (vec_mask_ ? (addr & vec_mask_) != 0
+                               : (addr % vec_bytes_) != 0);
+                const auto shape =
+                    sh.l1.access(core, addr, vec_bytes_, false, bypass,
+                                 false, order, blk, in.row_key0 + row_add);
+                cu.mem_insts += shape.lines;
+                cu.l1_bytes += shape.sectors * l1_sector_bytes;
+                cu.serial_cycles += kernel.extra_cycles_per_load;
+                if (functional) {
+                  const double* src = g.data + idx;
+                  std::copy(src, src + W, regs + in.dst);
+                }
+                break;
+              }
+              case PKind::StoreArray: {
+                const GridPlan& g = grids_[in.grid];
+                const std::int64_t idx = in.idx0 + goff[in.grid];
+                const std::uint64_t addr =
+                    g.base + static_cast<std::uint64_t>(idx) * kElemBytes;
+                const auto shape =
+                    sh.l1.access(core, addr, vec_bytes_, true, false,
+                                 rmw_stores, order, blk,
+                                 in.row_key0 + row_add);
+                cu.mem_insts += shape.lines;
+                cu.l1_bytes += shape.sectors * l1_sector_bytes;
+                if (functional) {
+                  const double* src = regs + in.a;
+                  std::copy(src, src + W, g.data + idx);
+                }
+                break;
+              }
+              case PKind::LoadBrick: {
+                const GridPlan& g = grids_[in.grid];
+                std::uint32_t bid =
+                    g.block_to_brick[static_cast<std::size_t>(blin)];
+                if (in.nbr_code != 13)
+                  bid = g.adjacency[static_cast<std::size_t>(bid) * 27 +
+                                    in.nbr_code];
+                const std::int64_t idx =
+                    static_cast<std::int64_t>(bid) * g.elems_per_brick +
+                    in.idx0;
+                const std::uint64_t addr =
+                    g.base + static_cast<std::uint64_t>(idx) * kElemBytes;
+                const auto shape =
+                    sh.l1.access(core, addr, vec_bytes_, false, false,
+                                 false, order, blk, addr >> 12);
+                cu.mem_insts += shape.lines;
+                cu.l1_bytes += shape.sectors * l1_sector_bytes;
+                cu.serial_cycles += kernel.extra_cycles_per_load;
+                if (functional) {
+                  const double* src = g.data + idx;
+                  std::copy(src, src + W, regs + in.dst);
+                }
+                break;
+              }
+              case PKind::StoreBrick: {
+                const GridPlan& g = grids_[in.grid];
+                std::uint32_t bid =
+                    g.block_to_brick[static_cast<std::size_t>(blin)];
+                if (in.nbr_code != 13)
+                  bid = g.adjacency[static_cast<std::size_t>(bid) * 27 +
+                                    in.nbr_code];
+                const std::int64_t idx =
+                    static_cast<std::int64_t>(bid) * g.elems_per_brick +
+                    in.idx0;
+                const std::uint64_t addr =
+                    g.base + static_cast<std::uint64_t>(idx) * kElemBytes;
+                const auto shape =
+                    sh.l1.access(core, addr, vec_bytes_, true, false,
+                                 rmw_stores, order, blk, addr >> 12);
+                cu.mem_insts += shape.lines;
+                cu.l1_bytes += shape.sectors * l1_sector_bytes;
+                if (functional) {
+                  const double* src = regs + in.a;
+                  std::copy(src, src + W, g.data + idx);
+                }
+                break;
+              }
+              case PKind::LoadSpill: {
+                const auto shape = sh.l1.scratch_access(vec_bytes_, false);
+                cu.mem_insts += shape.lines;
+                cu.l1_bytes += shape.sectors * l1_sector_bytes;
+                sh.spill_bytes += vec_bytes_;
+                if (functional) {
+                  const double* src = spills + in.idx0;
+                  std::copy(src, src + W, regs + in.dst);
+                }
+                break;
+              }
+              case PKind::StoreSpill: {
+                const auto shape = sh.l1.scratch_access(vec_bytes_, true);
+                cu.mem_insts += shape.lines;
+                cu.l1_bytes += shape.sectors * l1_sector_bytes;
+                sh.spill_bytes += vec_bytes_;
+                if (functional) {
+                  const double* src = regs + in.a;
+                  std::copy(src, src + W, spills + in.idx0);
+                }
+                break;
+              }
+              case PKind::Align: {
+                cu.shuffle_lanes += shuffle_lanes_per_align;
+                if (functional) {
+                  const double* a = regs + in.a;
+                  const double* b = regs + in.b;
+                  for (int l = 0; l < W; ++l) {
+                    const int sh2 = in.shift_or_iops + l;
+                    tmp[static_cast<std::size_t>(l)] =
+                        sh2 < W ? a[sh2] : b[sh2 - W];
+                  }
+                  std::copy(tmp.begin(), tmp.end(), regs + in.dst);
+                }
+                break;
+              }
+              case PKind::AddV: {
+                cu.fp_lanes += W;
+                sh.flops += W;
+                if (functional) {
+                  const double* a = regs + in.a;
+                  const double* b = regs + in.b;
+                  double* d = regs + in.dst;
+                  for (int l = 0; l < W; ++l) d[l] = a[l] + b[l];
+                }
+                break;
+              }
+              case PKind::MulV: {
+                cu.fp_lanes += W;
+                sh.flops += W;
+                if (functional) {
+                  const double* a = regs + in.a;
+                  const double* b = regs + in.b;
+                  double* d = regs + in.dst;
+                  for (int l = 0; l < W; ++l) d[l] = a[l] * b[l];
+                }
+                break;
+              }
+              case PKind::FmaV: {
+                cu.fp_lanes += W;
+                sh.flops += 2ull * W;
+                if (functional) {
+                  const double* a = regs + in.a;
+                  const double* b = regs + in.b;
+                  const double* c = regs + in.c;
+                  double* d = regs + in.dst;
+                  for (int l = 0; l < W; ++l) d[l] = a[l] * b[l] + c[l];
+                }
+                break;
+              }
+              case PKind::MulC: {
+                cu.fp_lanes += W;
+                sh.flops += W;
+                if (functional) {
+                  const double cv = in.cv;
+                  const double* a = regs + in.a;
+                  double* d = regs + in.dst;
+                  for (int l = 0; l < W; ++l) d[l] = a[l] * cv;
+                }
+                break;
+              }
+              case PKind::FmaC: {
+                cu.fp_lanes += W;
+                sh.flops += 2ull * W;
+                if (functional) {
+                  const double cv = in.cv;
+                  const double* a = regs + in.a;
+                  const double* b = regs + in.b;
+                  double* d = regs + in.dst;
+                  for (int l = 0; l < W; ++l) d[l] = a[l] + b[l] * cv;
+                }
+                break;
+              }
+              case PKind::SetC: {
+                cu.fp_lanes += W;
+                if (functional) {
+                  double* d = regs + in.dst;
+                  std::fill(d, d + W, in.cv);
+                }
+                break;
+              }
+              case PKind::Zero: {
+                cu.fp_lanes += W;
+                if (functional) {
+                  double* d = regs + in.dst;
+                  std::fill(d, d + W, 0.0);
+                }
+                break;
+              }
+              case PKind::IOp: {
+                cu.int_lanes += static_cast<double>(in.shift_or_iops) * W;
+                sh.warp_insts += in.shift_or_iops - 1;  // +1 added below
+                break;
+              }
+            }
+            sh.warp_insts += 1;
+          }
+          if (pc_end >= ninsts) ++sh.blocks_run;
+        }
+      }
+    }
+  };
+
+  // Segment size: bound the buffered event volume (each event is one
+  // L2-bound cache line) so arbitrarily large launches replay in constant
+  // memory.  L1 state, functional arenas, and all accumulators persist
+  // across segments; only the event logs and page sets are per-segment.
+  std::size_t nmem = 0;
+  for (const PlanInst& in : insts_)
+    if (in.kind == PKind::LoadArray || in.kind == PKind::StoreArray ||
+        in.kind == PKind::LoadBrick || in.kind == PKind::StoreBrick)
+      ++nmem;
+  const std::uint64_t lines_bound =
+      vec_bytes_ / static_cast<std::uint32_t>(arch.l1.line_bytes) + 1;
+  const std::uint64_t events_per_wave = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(R) * nmem * lines_bound);
+  constexpr std::uint64_t kEventBudget = 1ull << 21;  // ~64 MB of events
+  const long seg_waves = static_cast<long>(
+      std::max<std::uint64_t>(1, kEventBudget / events_per_wave));
+
+  KernelReport rep;
+  const bool track_pages = kernel.read_streams > 1;
+  std::vector<PageSet> pages;
+  ThreadPool pool(nshards);
+  for (long w0 = 0; w0 < nwaves; w0 += seg_waves) {
+    const long w1 = std::min(nwaves, w0 + seg_waves);
+    // Phase 1: every shard replays its slots against private L1s.
+    for (ShardState& sh : st)
+      pool.submit([&sh, w0, w1, &run_shard_segment] {
+        run_shard_segment(sh, w0, w1);
+      });
+    pool.wait();
+
+    // Phase 2: k-way merge the shards' event logs by schedule order and
+    // walk the shared L2.  Keys are unique across shards (a key names one
+    // slot, and every slot has one owner), so the merged sequence -- and
+    // with it every L2 state transition -- is exactly the serial replay's.
+    const long seg_block0 = w0 * R;
+    if (track_pages) {
+      pages.clear();
+      pages.resize(static_cast<std::size_t>(
+          std::min(total_blocks, w1 * R) - seg_block0));
+    }
+    std::vector<std::size_t> pos(st.size(), 0);
+    for (;;) {
+      int best = -1;
+      std::uint64_t best_key = 0;
+      for (std::size_t i = 0; i < st.size(); ++i) {
+        const auto& ev = st[i].l1.events();
+        if (pos[i] < ev.size() &&
+            (best < 0 || ev[pos[i]].order < best_key)) {
+          best = static_cast<int>(i);
+          best_key = ev[pos[i]].order;
+        }
+      }
+      if (best < 0) break;
+      const auto& ev = st[static_cast<std::size_t>(best)].l1.events();
+      std::size_t& p = pos[static_cast<std::size_t>(best)];
+      while (p < ev.size() && ev[p].order == best_key) {
+        const memsim::ShardEvent& e = ev[p++];
+        bool dram = false;
+        switch (e.op) {
+          case memsim::L2Op::Load:
+            dram = hier.replay_l2_load(e.line);
+            break;
+          case memsim::L2Op::StoreFull:
+            dram = hier.replay_l2_store_full(e.line);
+            break;
+          case memsim::L2Op::StorePartial:
+            dram = hier.replay_l2_store_partial(e.line);
+            break;
+          case memsim::L2Op::PageOnly:
+            dram = true;  // bypass load: counters charged in phase 1
+            break;
+        }
+        if (dram && track_pages)
+          pages[static_cast<std::size_t>(e.block - seg_block0)].insert(
+              e.page_key);
+      }
+    }
+    for (ShardState& sh : st) sh.l1.events().clear();
+    // Page-locality overhead, once per completed block (blocks never span
+    // waves, so per-segment page sets are final).  A pure counter add, so
+    // charging after the merge instead of at block completion is exact.
+    if (track_pages)
+      for (const PageSet& ps : pages)
+        hier.charge_page_overhead(static_cast<double>(ps.size()) *
+                                  arch.page_open_bytes);
+  }
+
+  // Merge: shard-partial counters are disjoint sums of the serial replay's
+  // (each core, block, and instruction has exactly one owner), so straight
+  // addition reproduces the serial totals exactly.
+  std::vector<detail::CoreUse> cores(
+      static_cast<std::size_t>(arch.num_cores));
+  for (const ShardState& sh : st) {
+    hier.merge_traffic(sh.l1.traffic());
+    rep.blocks_run += sh.blocks_run;
+    rep.warp_insts += sh.warp_insts;
+    rep.flops_executed += sh.flops;
+    rep.spill_bytes += sh.spill_bytes;
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      cores[c].fp_lanes += sh.cores[c].fp_lanes;
+      cores[c].int_lanes += sh.cores[c].int_lanes;
+      cores[c].shuffle_lanes += sh.cores[c].shuffle_lanes;
+      cores[c].l1_bytes += sh.cores[c].l1_bytes;
+      cores[c].mem_insts += sh.cores[c].mem_insts;
+      cores[c].serial_cycles += sh.cores[c].serial_cycles;
+    }
+  }
   hier.flush_l2();
   rep.traffic = hier.traffic();
   detail::finalize_timing(rep, cores, arch, kernel);

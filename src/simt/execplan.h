@@ -72,6 +72,24 @@ class ExecPlan {
   /// returns the report.  Bit-identical to Machine's legacy interpreter.
   KernelReport replay(memsim::MemoryHierarchy& hier) const;
 
+  /// replay() with the block grid sharded across `shards` worker threads,
+  /// returning a report bit-identical to replay() at every shard count.
+  ///
+  /// The replay schedule is static: resident slot s always executes on core
+  /// s % num_cores, so partitioning the cores into contiguous ranges also
+  /// partitions the slots (and with them the per-core L1s, issue counters,
+  /// and functional arenas) into independent shards.  Each shard runs the
+  /// usual replay loop against a private memsim::L1Shard (phase 1),
+  /// recording the L2-bound lines it would have sent on as order-tagged
+  /// events; the events are then k-way merged by schedule order and applied
+  /// serially to `hier`'s shared L2 (phase 2), reproducing the exact access
+  /// sequence -- and therefore the exact hit/miss/writeback stream -- of
+  /// the serial replay.  Waves are processed in segments to bound the
+  /// buffered event volume.  `shards <= 1` (after clamping to the number of
+  /// cores the schedule uses) falls back to replay().
+  KernelReport replay_sharded(memsim::MemoryHierarchy& hier,
+                              int shards) const;
+
   ExecMode mode() const { return mode_; }
   /// Replay-stream length: all instructions in Functional mode, memory
   /// instructions only in CountersOnly mode (ALU costs are per-block

@@ -50,11 +50,12 @@ std::uint64_t DeviceAllocator::allocate(std::uint64_t bytes) {
 Machine::Machine(const arch::GpuArch& arch) : arch_(arch), hier_(arch) {}
 
 KernelReport Machine::run(const Kernel& kernel, ExecMode mode,
-                          Engine engine) {
+                          Engine engine, int shards) {
   if (engine == Engine::Interp) return run_interp(kernel, mode);
   ExecPlan plan(kernel, arch_, mode);
   if (plan_hook_) plan_hook_(plan, kernel);
-  return plan.replay(hier_);
+  return shards > 1 ? plan.replay_sharded(hier_, shards)
+                    : plan.replay(hier_);
 }
 
 KernelReport Machine::run_interp(const Kernel& kernel, ExecMode mode) {

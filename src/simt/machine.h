@@ -136,8 +136,11 @@ class Machine {
   /// The default engine decodes the program into an ExecPlan and replays it
   /// per block (see execplan.h); Engine::Interp selects the legacy
   /// interpreter, which re-walks the ir::Program for every block.
+  /// `shards > 1` replays the Plan engine's block grid across that many
+  /// worker threads (ExecPlan::replay_sharded) with a bit-identical
+  /// report; the interpreter has no sharded path and ignores it.
   KernelReport run(const Kernel& kernel, ExecMode mode,
-                   Engine engine = Engine::Plan);
+                   Engine engine = Engine::Plan, int shards = 1);
 
   /// Post-decode gate: when set, run() hands every freshly decoded ExecPlan
   /// to the hook before replaying it (Engine::Plan only; Interp has no

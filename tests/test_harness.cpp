@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/error.h"
+#include "common/fault.h"
 #include "harness/harness.h"
 
 namespace bricksim::harness {
@@ -152,19 +155,25 @@ TEST(HarnessStatic, FindIndexMatchesLinearScan) {
 }
 
 TEST(HarnessStatic, CliConfig) {
-  const char* argv[] = {"bench", "--n", "128", "--progress", "--jobs=3"};
-  const std::optional<SweepConfig> parsed = sweep_config_from_cli(5, argv);
+  const char* argv[] = {"bench", "--n",       "128",       "--progress",
+                        "--jobs=3", "--shards=2"};
+  const std::optional<SweepConfig> parsed = sweep_config_from_cli(6, argv);
   ASSERT_TRUE(parsed.has_value());
   const SweepConfig& c = *parsed;
   EXPECT_EQ(c.domain, (Vec3{128, 128, 128}));
   EXPECT_TRUE(c.progress);
   EXPECT_EQ(c.jobs, 3);
+  EXPECT_EQ(c.shards, 2);
   const char* bad[] = {"bench", "--n", "100"};
-  EXPECT_THROW(sweep_config_from_cli(3, bad), Error);
+  EXPECT_THROW(sweep_config_from_cli(3, bad), UsageError);
   const char* bad_jobs[] = {"bench", "--jobs=0"};
-  EXPECT_THROW(sweep_config_from_cli(2, bad_jobs), Error);
+  EXPECT_THROW(sweep_config_from_cli(2, bad_jobs), UsageError);
+  const char* neg_jobs[] = {"bench", "--jobs=-1"};
+  EXPECT_THROW(sweep_config_from_cli(2, neg_jobs), UsageError);
+  const char* bad_shards[] = {"bench", "--shards=0"};
+  EXPECT_THROW(sweep_config_from_cli(2, bad_shards), UsageError);
   const char* bad_n[] = {"bench", "--n=abc"};
-  EXPECT_THROW(sweep_config_from_cli(2, bad_n), Error);
+  EXPECT_THROW(sweep_config_from_cli(2, bad_n), UsageError);
 }
 
 // --help must be "handled, nothing to run" (nullopt), not a process exit:
@@ -204,6 +213,53 @@ TEST(HarnessParallel, SweepIsDeterministicAcrossJobCounts) {
                         << " differs between --jobs=1 and --jobs=8";
   }
   EXPECT_TRUE(serial.rooflines == parallel.rooflines);
+}
+
+// The --progress contract: "k/N" is a COMPLETION counter, incremented
+// exactly once per task whether it succeeds or fails, so the last line of
+// each stage always reads N/N -- even on a degraded sweep.  (The old
+// pre-announcement style stalled at k < N when a config threw, which is
+// exactly what this regression test arms fault injection against.)
+TEST(HarnessParallel, ProgressCounterReachesNEvenWithFailures) {
+  SweepConfig config;
+  config.domain = {64, 64, 64};
+  config.platforms = {model::paper_platforms().front()};  // A100/CUDA
+  config.stencils = {dsl::Stencil::star(1), dsl::Stencil::cube(1)};
+  config.variants = {codegen::Variant::Array,
+                     codegen::Variant::BricksCodegen};
+  config.jobs = 1;  // deterministic fault hit-counting
+  config.progress = true;
+
+  // Fail the roofline derivation and the second kernel launch.
+  fault::ScopedPlan plan("roofline@1,launch@2");
+  testing::internal::CaptureStderr();
+  const Sweep sweep = run_sweep(config);
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  ASSERT_EQ(sweep.failures.size(), 2u);  // one roofline + one launch hole
+
+  std::vector<std::string> mixbench, configs;
+  std::istringstream lines(err);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.rfind("[sweep] ", 0) != 0) continue;
+    (line.find(" mixbench ") != std::string::npos ? mixbench : configs)
+        .push_back(line);
+  }
+  // Both stages count every task: 1 platform roofline, 2x2 configs.
+  ASSERT_EQ(mixbench.size(), 1u) << err;
+  EXPECT_NE(mixbench[0].find("1/1 mixbench"), std::string::npos) << err;
+  EXPECT_NE(mixbench[0].find(" FAILED"), std::string::npos) << err;
+  ASSERT_EQ(configs.size(), 4u) << err;
+  int failed_lines = 0;
+  for (int k = 0; k < 4; ++k) {
+    // Serial execution: line k carries counter value k+1 of 4.
+    const std::string want =
+        std::to_string(k + 1) + "/4 " + config.platforms[0].label();
+    EXPECT_NE(configs[k].find(want), std::string::npos) << configs[k];
+    failed_lines += configs[k].find(" FAILED") != std::string::npos;
+  }
+  EXPECT_EQ(failed_lines, 1);
+  EXPECT_NE(configs.back().find("4/4 "), std::string::npos) << err;
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 // the multi-level hierarchy's traffic accounting.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "arch/arch.h"
 #include "common/error.h"
 #include "memsim/cache.h"
@@ -319,6 +322,83 @@ TEST(Hierarchy, StoreTouchKeepsResidentLineWarmInL1) {
   const auto before = h.traffic().l1_hits;
   h.access(0, 0, 128, false);
   EXPECT_EQ(h.traffic().l1_hits, before + 1);  // line 0 survived
+}
+
+// L1Shard + replay_l2_* is the two-phase decomposition of access(): a
+// trace replayed through per-core shards, with the logged L2-bound lines
+// merged back in schedule order, must reproduce the serial hierarchy's
+// Traffic counter-for-counter.  (ExecPlan::replay_sharded builds on
+// exactly this; tests/test_shard.cpp pins the end-to-end promise.)
+TEST(L1Shard, TwoShardTraceMatchesSerialHierarchy) {
+  const arch::GpuArch arch = small_arch();  // 2 cores
+  struct Access {
+    int core;
+    std::uint64_t addr;
+    std::uint32_t bytes;
+    bool write, bypass, rmw;
+  };
+  // Aligned/misaligned loads and stores, an L1 hit, cross-core L2 reuse,
+  // a bypass load, an rmw store, and enough lines to force L2 evictions.
+  std::vector<Access> trace;
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::uint64_t b = 0; b < 600; ++b) {
+      trace.push_back({static_cast<int>(b % 2), b * 256, 256,
+                       /*write=*/b % 3 == 0, /*bypass=*/b % 7 == 0,
+                       /*rmw=*/b % 5 == 0});
+      trace.push_back({static_cast<int>((b + 1) % 2), b * 256 + 8, 64,
+                       false, false, false});
+    }
+
+  MemoryHierarchy serial(arch);
+  for (const auto& a : trace)
+    serial.access(a.core, a.addr, a.bytes, a.write, a.bypass, a.rmw);
+  serial.scratch_access(96, true);
+
+  MemoryHierarchy merged(arch);
+  L1Shard s0(arch, 0, 1), s1(arch, 1, 2);
+  for (std::size_t n = 0; n < trace.size(); ++n) {
+    const auto& a = trace[n];
+    (a.core == 0 ? s0 : s1).access(a.core, a.addr, a.bytes, a.write,
+                                   a.bypass, a.rmw, /*order=*/n,
+                                   /*block=*/0, /*page_key=*/a.addr >> 12);
+  }
+  s0.scratch_access(96, true);
+  // k-way merge of the two event streams by ascending order key.
+  const auto &e0 = s0.events(), &e1 = s1.events();
+  std::size_t i = 0, j = 0;
+  while (i < e0.size() || j < e1.size()) {
+    const bool from0 =
+        j == e1.size() || (i < e0.size() && e0[i].order < e1[j].order);
+    const ShardEvent& e = from0 ? e0[i++] : e1[j++];
+    switch (e.op) {
+      case L2Op::Load:
+        merged.replay_l2_load(e.line);
+        break;
+      case L2Op::StoreFull:
+        merged.replay_l2_store_full(e.line);
+        break;
+      case L2Op::StorePartial:
+        merged.replay_l2_store_partial(e.line);
+        break;
+      case L2Op::PageOnly:
+        break;  // bypass counters were charged in phase 1
+    }
+  }
+  merged.merge_traffic(s0.traffic());
+  merged.merge_traffic(s1.traffic());
+  EXPECT_TRUE(merged.traffic() == serial.traffic());
+
+  // And the flush (dirty L2 writeback) agrees too.
+  serial.flush_l2();
+  merged.flush_l2();
+  EXPECT_TRUE(merged.traffic() == serial.traffic());
+}
+
+TEST(L1Shard, RejectsBadCoreRange) {
+  const arch::GpuArch arch = small_arch();
+  EXPECT_THROW(L1Shard(arch, 1, 1), Error);   // empty
+  EXPECT_THROW(L1Shard(arch, -1, 1), Error);  // below zero
+  EXPECT_THROW(L1Shard(arch, 0, 3), Error);   // beyond num_cores
 }
 
 TEST(Traffic, Accumulation) {

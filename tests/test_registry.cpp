@@ -156,6 +156,27 @@ TEST(Driver, RejectsUnknownExperimentAndCommand) {
   EXPECT_THROW(run_driver({"run", "nope", "--no-cache"}), Error);
 }
 
+// Nonsense flag values must be a usage error (exit 2) with a message
+// naming the flag -- never a silent clamp (the old get_long path accepted
+// --jobs=0 and --jobs=-1 and quietly ran serial) and never exit 1.
+TEST(Driver, RejectsNonsenseFlagValuesWithExitTwo) {
+  const std::vector<std::vector<std::string>> bad = {
+      {"run", "table2", "--no-cache", "--jobs=0"},
+      {"run", "table2", "--no-cache", "--jobs=-1"},
+      {"run", "table2", "--no-cache", "--shards=0"},
+      {"run", "table2", "--no-cache", "--jobs=abc"},
+      {"run", "table2", "--no-cache", "--frobnicate=1"},
+  };
+  const std::vector<std::string> needle = {"--jobs", "--jobs", "--shards",
+                                           "--jobs", "frobnicate"};
+  for (std::size_t n = 0; n < bad.size(); ++n) {
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(run_driver(bad[n]), 2) << "case " << n;
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find(needle[n]), std::string::npos) << err;
+  }
+}
+
 TEST(Driver, ListNamesEveryExperiment) {
   testing::internal::CaptureStdout();
   ASSERT_EQ(run_driver({"list"}), 0);

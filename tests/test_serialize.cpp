@@ -11,6 +11,8 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
+#include <string>
 
 #include "common/error.h"
 #include "common/json.h"
@@ -213,6 +215,50 @@ TEST(Serialize, ExperimentTimingRoundTripIsExact) {
             fresh);
 }
 
+// run_summary.json's "wall_seconds" must equal the sum of its per-
+// experiment "timings" entries EXACTLY (same doubles, same left-to-right
+// order) -- including for replayed (artifact-cache hit) experiments, whose
+// timing is the cache load, not an emitter run.  A reader reconciling the
+// two fields must never see them drift.
+TEST(Serialize, RunSummaryWallSecondsIsSumOfTimings) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "timing_invariant";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const auto run = [&](const std::string& out) {
+    const std::string cache = (root / "cache").string();
+    const char* argv[] = {"bricksim",    "run",        "table1",
+                          "table2",      "--out",      out.c_str(),
+                          "--cache-dir", cache.c_str()};
+    testing::internal::CaptureStdout();
+    const int rc = harness::driver_main(8, argv);
+    testing::internal::GetCapturedStdout();
+    return rc;
+  };
+  ASSERT_EQ(run((root / "cold").string()), 0);
+  ASSERT_EQ(run((root / "warm").string()), 0);
+
+  for (const char* which : {"cold", "warm"}) {
+    std::ifstream in(root / which / "run_summary.json");
+    std::ostringstream os;
+    os << in.rdbuf();
+    const json::Value summary = json::Value::parse(os.str());
+    const json::Value& timings = summary.at("timings");
+    double sum = 0;
+    for (std::size_t n = 0; n < timings.size(); ++n) {
+      const harness::ExperimentTiming t =
+          harness::experiment_timing_from_json(timings[n]);
+      EXPECT_GT(t.seconds, 0) << which << " " << t.experiment;
+      // The warm run served both experiments from the artifact cache.
+      EXPECT_EQ(t.replayed, std::string(which) == "warm") << t.experiment;
+      sum += t.seconds;
+    }
+    EXPECT_EQ(timings.size(), 2u) << which;
+    EXPECT_EQ(summary.at("wall_seconds").as_double(), sum) << which;
+  }
+  fs::remove_all(root);
+}
+
 TEST(Serialize, TableRoundTrip) {
   Table t({"a", "b,c"});
   t.add_row({"plain", "with \"quotes\" and,commas"});
@@ -313,6 +359,7 @@ TEST(SweepCache, FingerprintIgnoresPresentationKnobs) {
   const harness::SweepConfig base = small_config();
   harness::SweepConfig c = base;
   c.jobs = 7;
+  c.shards = 5;  // intra-kernel sharding is bit-identical, so cache-neutral
   c.progress = true;
   c.csv = true;
   // Checkpoint/resume are presentation-side too: where shards land (and

@@ -1,0 +1,337 @@
+// Shard-invariance A/B suite for intra-kernel block-grid sharding
+// (ExecPlan::replay_sharded).  The sharded replay promises BIT-IDENTICAL
+// KernelReports to the serial replay at every shard count -- every traffic
+// counter, every page count, every timing double, every functional value --
+// so these tests compare with operator== (exact), never with tolerances:
+//
+//   * machine level: an everything-opcode program across shards {1,2,7,32}
+//     x ExecMode x bypass x rmw x three architectures, against both the
+//     serial plan replay and the legacy interpreter;
+//   * launcher level: the full paper catalog (6 stencils x 3 variants) per
+//     platform at 64^3 through Launcher::set_shards;
+//   * sweep level: run_sweep with explicit --shards and the derived
+//     two-level split, across --jobs 1 vs 8.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/grid.h"
+#include "common/rng.h"
+#include "dsl/stencil.h"
+#include "harness/harness.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+#include "profiler/profiler.h"
+#include "simt/execplan.h"
+#include "simt/machine.h"
+
+namespace bricksim {
+namespace {
+
+using codegen::Variant;
+
+// Shard counts exercised everywhere: 1 (the fallback-to-serial path), an
+// even split, a count that divides nothing evenly, and one beyond any test
+// arch's core count (clamped internally to used_cores).
+constexpr int kShardCounts[] = {1, 2, 7, 32};
+
+// --- Kernel fixture (same shape as test_execplan.cpp) -----------------------
+
+simt::Kernel make_kernel(const ir::Program& prog, Vec3 blocks,
+                         std::vector<double>& in, std::vector<double>& out,
+                         Vec3& padded) {
+  const Vec3 interior{blocks.i * 8, blocks.j * 4, blocks.k * 4};
+  padded = {interior.i + 16, interior.j + 16, interior.k + 16};
+  in.assign(static_cast<std::size_t>(padded.volume()), 0.0);
+  out.assign(static_cast<std::size_t>(padded.volume()), 0.0);
+  SplitMix64 rng(17);
+  for (double& v : in) v = rng.next_double(-1, 1);
+
+  simt::DeviceAllocator dev(128);
+  simt::GridBinding gi;
+  gi.padded = padded;
+  gi.ghost = {8, 8, 8};
+  gi.device_base = dev.allocate(in.size() * kElemBytes);
+  gi.data = in.data();
+  gi.len = in.size();
+  simt::GridBinding go = gi;
+  go.device_base = dev.allocate(out.size() * kElemBytes);
+  go.data = out.data();
+
+  simt::Kernel k;
+  k.program = &prog;
+  k.blocks = blocks;
+  k.tile = {8, 4, 4};
+  k.grids = {gi, go};
+  for (int n = 0; n < prog.num_constants(); ++n)
+    k.constants.push_back(0.5 + n);
+  return k;
+}
+
+ir::MemRef aref(int grid, int di, int dj = 0, int dk = 0) {
+  ir::MemRef m;
+  m.grid = grid;
+  m.space = ir::Space::Array;
+  m.di = di;
+  m.dj = dj;
+  m.dk = dk;
+  m.vectorized = true;
+  return m;
+}
+
+ir::MemRef spill_ref(int slot) {
+  ir::MemRef m;
+  m.space = ir::Space::Spill;
+  m.slot = slot;
+  return m;
+}
+
+/// Every opcode, including a spill round-trip and an unaligned (di=3)
+/// vectorized load (the MI250X L2-bypass candidate), so each ShardEvent
+/// kind (Load, StoreFull, StorePartial, PageOnly) is emitted.
+ir::Program everything_program() {
+  ir::Program p(8);
+  p.add_constant("c0");
+  p.add_constant("c1");
+  const int a = p.load(aref(0, 0));
+  const int b = p.load(aref(0, 3));  // unaligned: bypass candidate
+  const int c = p.load(aref(0, 8));
+  p.store(a, spill_ref(0));
+  const int al = p.align(a, c, 3);
+  const int s1 = p.add(a, b);
+  const int s2 = p.mul(s1, al);
+  const int s3 = p.fma(s2, b, a);
+  const int s4 = p.mul_const(s3, 0);
+  const int s5 = p.fma_const(s4, al, 1);
+  const int sp = p.load(spill_ref(0));
+  const int s6 = p.add(s5, sp);
+  const int k0 = p.set_const(0);
+  const int z = p.zero();
+  const int s7 = p.add(s6, k0);
+  const int s8 = p.add(s7, z);
+  p.int_ops(5);
+  p.store(s8, aref(1, 0));
+  p.set_num_spill_slots(1);
+  return p;
+}
+
+struct EngineRun {
+  simt::KernelReport rep;
+  std::vector<double> out;
+};
+
+EngineRun run_engine(simt::Engine eng, const arch::GpuArch& arch,
+                     simt::ExecMode mode, bool bypass, bool rmw, Vec3 blocks,
+                     int shards) {
+  static const ir::Program prog = everything_program();
+  std::vector<double> in, out;
+  Vec3 padded;
+  simt::Kernel k = make_kernel(prog, blocks, in, out, padded);
+  k.bypass_l2_unaligned_vloads = bypass;
+  k.streaming_stores = !rmw;
+  k.read_streams = 2;  // page tracking on: shard page-set merge is exercised
+  k.shuffle_cost_mult = 1.5;
+  k.extra_cycles_per_load = 2.0;
+  if (mode == simt::ExecMode::CountersOnly)
+    for (auto& g : k.grids) g.data = nullptr;
+  simt::Machine m(arch);
+  return {m.run(k, mode, eng, shards), std::move(out)};
+}
+
+// --- Machine-level invariance -----------------------------------------------
+
+class ShardMachine
+    : public testing::TestWithParam<std::tuple<simt::ExecMode, bool, bool>> {};
+
+TEST_P(ShardMachine, ReportsBitIdenticalAtEveryShardCount) {
+  const auto [mode, bypass, rmw] = GetParam();
+  // {4,4,2} = 32 blocks on a 4-core arch: several waves per replay, so the
+  // wave/round/slot order key and the cross-wave L1 state both matter.
+  const Vec3 blocks{4, 4, 2};
+  for (const arch::GpuArch& base :
+       {arch::make_a100(), arch::make_mi250x_gcd(), arch::make_pvc_stack()}) {
+    arch::GpuArch arch = base;
+    arch.num_cores = 4;
+    const auto serial = run_engine(simt::Engine::Plan, arch, mode, bypass,
+                                   rmw, blocks, /*shards=*/1);
+    const auto interp = run_engine(simt::Engine::Interp, arch, mode, bypass,
+                                   rmw, blocks, /*shards=*/1);
+    EXPECT_TRUE(serial.rep == interp.rep) << arch.name << " (plan vs interp)";
+    for (const int shards : kShardCounts) {
+      const auto sharded = run_engine(simt::Engine::Plan, arch, mode, bypass,
+                                      rmw, blocks, shards);
+      EXPECT_TRUE(sharded.rep == serial.rep)
+          << arch.name << " shards=" << shards;
+      EXPECT_EQ(sharded.out, serial.out) << arch.name << " shards=" << shards;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndQuirks, ShardMachine,
+    testing::Combine(testing::Values(simt::ExecMode::Functional,
+                                     simt::ExecMode::CountersOnly),
+                     testing::Bool(),   // bypass_l2_unaligned_vloads
+                     testing::Bool()),  // rmw stores
+    [](const auto& info) {
+      std::string s = std::get<0>(info.param) == simt::ExecMode::Functional
+                          ? "functional"
+                          : "counters";
+      if (std::get<1>(info.param)) s += "_bypass";
+      if (std::get<2>(info.param)) s += "_rmw";
+      return s;
+    });
+
+TEST(ShardMachine, FullCoreCountAndTinyGrids) {
+  // Unmodified (full-core) architectures, plus grids smaller than the shard
+  // count: a single block, and fewer blocks than cores.  Clamping must
+  // quietly degrade to however many shards have work.
+  for (const arch::GpuArch& arch :
+       {arch::make_a100(), arch::make_mi250x_gcd(), arch::make_pvc_stack()}) {
+    for (const Vec3 blocks : {Vec3{1, 1, 1}, Vec3{2, 1, 1}, Vec3{4, 4, 4}}) {
+      const auto serial =
+          run_engine(simt::Engine::Plan, arch, simt::ExecMode::Functional,
+                     false, false, blocks, /*shards=*/1);
+      for (const int shards : kShardCounts) {
+        const auto sharded =
+            run_engine(simt::Engine::Plan, arch, simt::ExecMode::Functional,
+                       false, false, blocks, shards);
+        EXPECT_TRUE(sharded.rep == serial.rep)
+            << arch.name << " blocks=" << blocks.i << "x" << blocks.j << "x"
+            << blocks.k << " shards=" << shards;
+        EXPECT_EQ(sharded.out, serial.out) << arch.name;
+      }
+    }
+  }
+}
+
+// --- Launcher-level invariance over the paper catalog -----------------------
+
+class ShardCatalog : public testing::TestWithParam<std::string> {};
+
+TEST_P(ShardCatalog, CountersBitIdenticalAcrossCatalog) {
+  // Every (stencil, variant) of this platform at 64^3 through the full
+  // production path (codegen -> regalloc -> binding -> machine), serial vs
+  // each shard count.
+  const auto platforms = model::paper_platforms();
+  const model::Platform* pf = nullptr;
+  for (const auto& p : platforms)
+    if (p.label() == GetParam()) pf = &p;
+  ASSERT_NE(pf, nullptr);
+
+  model::Launcher serial({64, 64, 64});
+  for (const auto& st : dsl::Stencil::paper_catalog()) {
+    for (const auto v :
+         {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen}) {
+      const auto a = serial.run(st, v, *pf);
+      for (const int shards : {2, 7, 32}) {
+        model::Launcher launcher({64, 64, 64});
+        launcher.set_shards(shards);
+        const auto b = launcher.run(st, v, *pf);
+        EXPECT_TRUE(a.report == b.report)
+            << st.name() << " " << codegen::variant_name(v) << " shards="
+            << shards;
+        EXPECT_EQ(a.normalized_flops, b.normalized_flops) << st.name();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPlatforms, ShardCatalog,
+    testing::ValuesIn([] {
+      std::vector<std::string> labels;
+      for (const auto& p : model::paper_platforms())
+        labels.push_back(p.label());
+      return labels;
+    }()),
+    [](const auto& info) {
+      std::string s = info.param;
+      for (char& c : s)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+TEST(ShardCatalog, FunctionalOutputsBitIdentical) {
+  // Sharded functional runs must agree on the output grid values exactly:
+  // out-of-place stencils write disjoint outputs per block, so shard order
+  // cannot change a single bit.
+  const auto st = dsl::Stencil::paper_catalog()[1];  // 13pt star, radius 2
+  const Vec3 ghost{st.radius(), st.radius(), st.radius()};
+  for (const auto& pf : model::paper_platforms()) {
+    const Vec3 domain{2 * pf.gpu.simd_width, 8, 8};
+    for (const auto v :
+         {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen}) {
+      HostGrid in(domain, ghost);
+      SplitMix64 rng(23);
+      in.fill_random(rng);
+      HostGrid out_serial(domain, {0, 0, 0}), out_sharded(domain, {0, 0, 0});
+      model::Launcher serial(domain), sharded(domain);
+      sharded.set_shards(7);
+      const auto a = serial.run_functional(st, v, pf, in, out_serial);
+      const auto b = sharded.run_functional(st, v, pf, in, out_sharded);
+      EXPECT_TRUE(a.report == b.report)
+          << pf.label() << " " << codegen::variant_name(v);
+      for (int k = 0; k < domain.k; ++k)
+        for (int j = 0; j < domain.j; ++j)
+          for (int i = 0; i < domain.i; ++i)
+            ASSERT_EQ(out_serial.at(i, j, k), out_sharded.at(i, j, k))
+                << pf.label() << " " << codegen::variant_name(v) << " (" << i
+                << "," << j << "," << k << ")";
+    }
+  }
+}
+
+// --- Sweep-level invariance (jobs x shards) ---------------------------------
+
+TEST(ShardSweep, SweepBitIdenticalAcrossJobsAndShards) {
+  // The two-level scheduler's core promise: the same SweepConfig produces a
+  // bit-identical, identically ordered Sweep for every (jobs, shards)
+  // split -- explicit --shards, the derived split, and jobs 1 vs 8.
+  // BRICKSIM_OVERSUBSCRIBE lets jobs=8 actually spawn 8 threads on any CI
+  // box (effective_jobs would otherwise clamp to the hardware).
+  setenv("BRICKSIM_OVERSUBSCRIBE", "1", 1);
+  harness::SweepConfig base;
+  base.domain = {64, 64, 64};
+  base.platforms = {model::paper_platforms()[0]};
+  base.check_mode = analysis::CheckMode::Off;
+  base.jobs = 1;
+
+  const harness::Sweep serial = harness::run_sweep(base);
+
+  std::vector<harness::SweepConfig> variants;
+  {
+    harness::SweepConfig c = base;  // explicit intra-kernel split, one lane
+    c.shards = 7;
+    variants.push_back(c);
+  }
+  {
+    harness::SweepConfig c = base;  // outer x inner both > 1
+    c.jobs = 8;
+    c.shards = 2;
+    variants.push_back(c);
+  }
+  {
+    harness::SweepConfig c = base;  // derived split (shards = 0 default)
+    c.jobs = 8;
+    variants.push_back(c);
+  }
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const harness::Sweep sweep = harness::run_sweep(variants[v]);
+    ASSERT_EQ(serial.measurements.size(), sweep.measurements.size());
+    for (std::size_t n = 0; n < serial.measurements.size(); ++n) {
+      EXPECT_TRUE(serial.measurements[n] == sweep.measurements[n])
+          << "variant " << v << " (jobs=" << variants[v].jobs
+          << " shards=" << variants[v].shards
+          << ") slot " << n << ": " << serial.measurements[n].stencil << "/"
+          << serial.measurements[n].variant;
+    }
+    EXPECT_TRUE(serial.rooflines == sweep.rooflines) << "variant " << v;
+    EXPECT_TRUE(sweep.failures.empty()) << "variant " << v;
+  }
+  unsetenv("BRICKSIM_OVERSUBSCRIBE");
+}
+
+}  // namespace
+}  // namespace bricksim

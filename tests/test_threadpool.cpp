@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <vector>
 
@@ -15,6 +16,37 @@ namespace bricksim {
 namespace {
 
 TEST(ThreadPool, DefaultJobsIsPositive) { EXPECT_GE(default_jobs(), 1); }
+
+// effective_jobs is the harness-level clamp that fixed the --jobs=4 >
+// --jobs=1 inversion: requests beyond the hardware are capped at
+// default_jobs() unless BRICKSIM_OVERSUBSCRIBE=1 opts back in (what the
+// TSan CI leg and the jobs-invariance tests rely on).
+TEST(ThreadPool, EffectiveJobsClampsToHardware) {
+  unsetenv("BRICKSIM_OVERSUBSCRIBE");
+  const int hw = default_jobs();
+  EXPECT_EQ(effective_jobs(0), hw);   // 0 means "use the hardware"
+  EXPECT_EQ(effective_jobs(-3), hw);  // negative likewise
+  EXPECT_EQ(effective_jobs(1), 1);
+  EXPECT_EQ(effective_jobs(hw), hw);
+  EXPECT_EQ(effective_jobs(hw + 1), hw);      // oversubscription clamped
+  EXPECT_EQ(effective_jobs(1000 * hw), hw);
+}
+
+TEST(ThreadPool, EffectiveJobsOversubscribeEscapeHatch) {
+  const int hw = default_jobs();
+  setenv("BRICKSIM_OVERSUBSCRIBE", "1", 1);
+  EXPECT_EQ(effective_jobs(hw + 7), hw + 7);
+  EXPECT_EQ(effective_jobs(0), hw);  // still defaults to the hardware
+  // Only the exact value "1" opts in.
+  setenv("BRICKSIM_OVERSUBSCRIBE", "yes", 1);
+  EXPECT_EQ(effective_jobs(hw + 7), hw);
+  setenv("BRICKSIM_OVERSUBSCRIBE", "10", 1);
+  EXPECT_EQ(effective_jobs(hw + 7), hw);
+  setenv("BRICKSIM_OVERSUBSCRIBE", "0", 1);
+  EXPECT_EQ(effective_jobs(hw + 7), hw);
+  unsetenv("BRICKSIM_OVERSUBSCRIBE");
+  EXPECT_EQ(effective_jobs(hw + 7), hw);
+}
 
 TEST(ThreadPool, ClampsToAtLeastOneWorker) {
   ThreadPool pool(0);
