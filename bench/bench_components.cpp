@@ -15,6 +15,7 @@
 #include "memsim/cache.h"
 #include "memsim/hierarchy.h"
 #include "model/launcher.h"
+#include "simt/execplan.h"
 #include "simt/machine.h"
 
 namespace {
@@ -155,5 +156,78 @@ void BM_CountersOnlyKernel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64 * 64 * 64);
 }
 BENCHMARK(BM_CountersOnlyKernel);
+
+// --- Replay-only microbenches (scripts/bench_wall.sh --micro) ---------------
+//
+// The decode step (ExecPlan construction: instruction stream, SoA lanes,
+// block classes, congruence analysis) is hoisted OUT of the timed loop, so
+// these isolate the per-launch replay cost each engine pays.  BENCH_replay.json
+// uses them to separate decode cost from replay cost; Arg(0) is the array
+// codegen layout, Arg(1) the bricks layout (star-2 on A100/CUDA at 64^3).
+
+codegen::Variant micro_variant(std::int64_t arg) {
+  return arg == 0 ? codegen::Variant::ArrayCodegen
+                  : codegen::Variant::BricksCodegen;
+}
+
+model::PreparedLaunch micro_prepare(std::int64_t arg,
+                                    const model::Platform& pf) {
+  model::Launcher launcher({64, 64, 64});
+  launcher.set_check_mode(analysis::CheckMode::Off);
+  return launcher.prepare(dsl::Stencil::star(2), micro_variant(arg), pf);
+}
+
+void BM_PlanDecode(benchmark::State& state) {
+  const model::Platform pf = model::paper_platforms().front();
+  model::PreparedLaunch prep = micro_prepare(state.range(0), pf);
+  for (auto _ : state) {
+    simt::ExecPlan plan(prep.kernel, pf.gpu, simt::ExecMode::CountersOnly);
+    benchmark::DoNotOptimize(plan.soa().kind.size());
+  }
+}
+BENCHMARK(BM_PlanDecode)->Arg(0)->Arg(1);
+
+void BM_PlanReplaySoa(benchmark::State& state) {
+  const model::Platform pf = model::paper_platforms().front();
+  model::PreparedLaunch prep = micro_prepare(state.range(0), pf);
+  const simt::ExecPlan plan(prep.kernel, pf.gpu,
+                            simt::ExecMode::CountersOnly);
+  memsim::MemoryHierarchy hier(pf.gpu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.replay(hier).seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 64);
+}
+BENCHMARK(BM_PlanReplaySoa)->Arg(0)->Arg(1);
+
+void BM_PlanReplayAos(benchmark::State& state) {
+  const model::Platform pf = model::paper_platforms().front();
+  model::PreparedLaunch prep = micro_prepare(state.range(0), pf);
+  const simt::ExecPlan plan(prep.kernel, pf.gpu,
+                            simt::ExecMode::CountersOnly);
+  memsim::MemoryHierarchy hier(pf.gpu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.replay_reference(hier).seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 64);
+}
+BENCHMARK(BM_PlanReplayAos)->Arg(0)->Arg(1);
+
+void BM_InterpReplay(benchmark::State& state) {
+  // The interpreter has no decode step: every launch re-walks the
+  // ir::Program per block, so the whole run IS replay.
+  const model::Platform pf = model::paper_platforms().front();
+  model::PreparedLaunch prep = micro_prepare(state.range(0), pf);
+  simt::Machine machine(pf.gpu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine
+                                 .run(prep.kernel,
+                                      simt::ExecMode::CountersOnly,
+                                      simt::Engine::Interp)
+                                 .seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 64);
+}
+BENCHMARK(BM_InterpReplay)->Arg(0)->Arg(1);
 
 }  // namespace

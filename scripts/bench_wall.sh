@@ -10,6 +10,14 @@
 # from computing something different.
 #
 # Usage: scripts/bench_wall.sh [--n N] [--jobs J] [--reps R] [--out FILE]
+#                              [--micro]
+#
+# --micro additionally runs the replay-only microbenches from
+# bench_components (google-benchmark): the ExecPlan decode is hoisted out of
+# the timed loop, so the per-launch replay cost of each engine (SoA plan
+# replay, AoS reference replay, interpreter) is isolated from decode cost.
+# The results land in a "micro" section of the output JSON
+# (BENCH_replay.json separates decode cost from replay cost this way).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,20 +25,23 @@ N=128
 JOBS="$(nproc 2>/dev/null || echo 4)"
 REPS=3
 OUT=BENCH_interpreter.json
+MICRO=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --n) N="$2"; shift 2 ;;
     --jobs) JOBS="$2"; shift 2 ;;
     --reps) REPS="$2"; shift 2 ;;
     --out) OUT="$2"; shift 2 ;;
+    --micro) MICRO=1; shift ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
 done
 
 echo "==> Release build" >&2
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
-cmake --build build-release -j "$JOBS" --target \
-  bench_fig3_roofline bench_table2_stencils > /dev/null
+TARGETS=(bench_fig3_roofline bench_table2_stencils)
+[[ "$MICRO" == 1 ]] && TARGETS+=(bench_components)
+cmake --build build-release -j "$JOBS" --target "${TARGETS[@]}" > /dev/null
 
 FIG3=build-release/bench/bench_fig3_roofline
 TABLE2=build-release/bench/bench_table2_stencils
@@ -108,6 +119,24 @@ run_config() {  # name cmd...
 run_config "fig3_n$N" "$FIG3" --n "$N"
 run_config "table2" "$TABLE2"
 
+# Replay-only microbenches: decode hoisted out of the timed loop, so these
+# numbers are pure per-launch replay cost (google-benchmark picks the
+# iteration count; /0 = array codegen layout, /1 = bricks layout).
+MICRO_JSON=""
+if [[ "$MICRO" == 1 ]]; then
+  # google-benchmark only emits the median aggregate for >= 2 repetitions.
+  MREPS="$REPS"
+  [[ "$MREPS" -lt 2 ]] && MREPS=2
+  echo "==> replay-only microbenches (decode excluded, median of $MREPS)" >&2
+  build-release/bench/bench_components \
+    --benchmark_filter='BM_PlanDecode|BM_PlanReplaySoa|BM_PlanReplayAos|BM_InterpReplay' \
+    --benchmark_repetitions="$MREPS" --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$TMP/micro.json" 2> /dev/null
+  MICRO_JSON="$(jq '[.benchmarks[] | select(.aggregate_name == "median") |
+    {bench: .run_name, ms_per_launch: ((.real_time / 1e6) * 1000 | round / 1000)}]' \
+    "$TMP/micro.json")"
+fi
+
 {
   echo '{'
   echo '  "benchmark": "simulator wall-clock (Release, median of '"$REPS"')",'
@@ -123,4 +152,9 @@ run_config "table2" "$TABLE2"
   echo '  ]'
   echo '}'
 } > "$OUT"
+if [[ "$MICRO" == 1 ]]; then
+  jq --argjson micro "$MICRO_JSON" '. + {
+    "micro_note": "replay-only per-launch cost, ExecPlan decode excluded (bench_components, star-2 on A100/CUDA at 64^3; /0 = array codegen layout, /1 = bricks layout)",
+    "micro": $micro}' "$OUT" > "$OUT.tmp" && mv "$OUT.tmp" "$OUT"
+fi
 echo "==> wrote $OUT" >&2

@@ -6,15 +6,22 @@
 #                                configuration the benchmarks run in, so
 #                                assert-hidden behaviour differences and
 #                                optimizer-sensitive bugs surface in CI
-#   3. tier-1 verify, sanitized: the same under ASan + UBSan
+#   3. perf smoke, Release:      the fig3@128 A/B gate from bench_wall.sh
+#                                (plan vs interp output byte-identical),
+#                                then a 3-rep median of the plan engine at
+#                                --jobs 1 gated at +10% of the committed
+#                                BENCH_replay.json baseline; skippable on
+#                                slow/noisy hosts via
+#                                BRICKSIM_SKIP_PERF_SMOKE=1
+#   4. tier-1 verify, sanitized: the same under ASan + UBSan
 #                                (BRICKSIM_SANITIZE=address;undefined)
-#   4. concurrency verify, TSan: the threadpool + harness suites (the
+#   5. concurrency verify, TSan: the threadpool + harness suites (the
 #                                parallel sweep executor's determinism and
 #                                data-race contracts) and the engine A/B
 #                                equivalence suite under
 #                                BRICKSIM_SANITIZE=thread
-#   5. parallel sweep smoke:     the fig3 sweep at --jobs > 1, both engines
-#   6. driver verify:            `bricksim all` cold then warm -- the warm
+#   6. parallel sweep smoke:     the fig3 sweep at --jobs > 1, both engines
+#   7. driver verify:            `bricksim all` cold then warm -- the warm
 #                                run must replay entirely from the
 #                                content-addressed cache (zero sweeps
 #                                simulated, zero emitters run, asserted
@@ -22,7 +29,7 @@
 #                                stdout and artifacts; then every legacy
 #                                bench_* binary is diffed byte-for-byte
 #                                against `bricksim run <name>`
-#   7. fault-injection soak:     the driver under ASan with deterministic
+#   8. fault-injection soak:     the driver under ASan with deterministic
 #                                faults armed (--fault-inject /
 #                                BRICKSIM_FAULT_INJECT): a degraded run
 #                                exits 3 with FAILED holes and a named
@@ -33,15 +40,18 @@
 #                                cache entry is quarantined and healed by
 #                                re-simulation, and `bricksim doctor`
 #                                reports/prunes the damage
-#   8. static-analysis verify:   `bricksim lint` under ASan, cold then
+#   9. static-analysis verify:   `bricksim lint` under ASan, cold then
 #                                warm -- the warm run must join brickperf's
 #                                static estimates against cached counters
 #                                without simulating a sweep (asserted from
-#                                run_summary.json); then the ExecPlan
-#                                differential verifier gates every decode
-#                                of the full catalog (--verify-plan
-#                                --no-cache)
-#   9. clang-tidy lint           (scripts/lint.sh; skipped when absent)
+#                                run_summary.json), with the drift verdict
+#                                re-asserted from the lint output against
+#                                the SoA replay path (every row within the
+#                                35% gate, L1 byte-exact); then the
+#                                ExecPlan differential verifier gates
+#                                every decode of the full catalog
+#                                (--verify-plan --no-cache)
+#  10. clang-tidy lint           (scripts/lint.sh; skipped when absent)
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  run only the brickcheck/ir/codegen test subset under the
@@ -53,12 +63,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/9] tier-1 verify (plain)"
+echo "==> [1/10] tier-1 verify (plain)"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/9] tier-1 verify (Release)"
+echo "==> [2/10] tier-1 verify (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -68,7 +78,43 @@ else
   ctest --test-dir build-release --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [3/9] tier-1 verify (ASan + UBSan)"
+echo "==> [3/10] perf smoke (fig3@128 Release: A/B gate + regression vs BENCH_replay.json)"
+if [[ "${BRICKSIM_SKIP_PERF_SMOKE:-0}" == 1 ]]; then
+  echo "    skipped (BRICKSIM_SKIP_PERF_SMOKE=1)"
+else
+  # The A/B gate from bench_wall.sh first: plan and interp must produce
+  # byte-identical sweep output before any timing is trusted -- a speedup
+  # can never come from computing something different.
+  PERFDIR="$(mktemp -d)"
+  FIG3R=./build-release/bench/bench_fig3_roofline
+  "$FIG3R" --n 128 --jobs 1 --engine=plan   > "$PERFDIR/plan"   2> /dev/null
+  "$FIG3R" --n 128 --jobs 1 --engine=interp > "$PERFDIR/interp" 2> /dev/null
+  cmp -s "$PERFDIR/plan" "$PERFDIR/interp" \
+    || { echo "FAIL: fig3 output differs between plan and interp"; exit 1; }
+  # 3-rep median of the plan engine at --jobs 1 against the committed
+  # baseline; >10% slower fails the leg (BRICKSIM_SKIP_PERF_SMOKE=1 for
+  # hosts too noisy to hold a 10% band).
+  baseline="$(jq -r '.results[] | select(.config == "fig3_n128"
+      and .engine == "plan" and .jobs == 1 and (has("shards") | not))
+      | .seconds' BENCH_replay.json)"
+  [[ -n "$baseline" && "$baseline" != null ]] \
+    || { echo "FAIL: no fig3_n128 plan jobs=1 row in BENCH_replay.json"; exit 1; }
+  samples=()
+  for rep in 1 2 3; do
+    t0="$(date +%s.%N)"
+    "$FIG3R" --n 128 --jobs 1 --engine=plan > /dev/null 2> /dev/null
+    t1="$(date +%s.%N)"
+    samples+=("$(awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b - a}')")
+  done
+  med="$(printf '%s\n' "${samples[@]}" | sort -n | sed -n 2p)"
+  echo "    fig3@128 plan jobs=1: ${med}s (baseline ${baseline}s, gate +10%)"
+  awk -v m="$med" -v b="$baseline" 'BEGIN{exit !(m <= b * 1.10)}' \
+    || { echo "FAIL: plan engine regressed >10% vs BENCH_replay.json" \
+         "(${med}s vs baseline ${baseline}s)"; exit 1; }
+  rm -rf "$PERFDIR"
+fi
+
+echo "==> [4/10] tier-1 verify (ASan + UBSan)"
 cmake -B build-asan -S . -DBRICKSIM_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -78,7 +124,7 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [4/9] concurrency verify (TSan)"
+echo "==> [5/10] concurrency verify (TSan)"
 cmake -B build-tsan -S . -DBRICKSIM_SANITIZE="thread"
 cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan test_shard bench_fig3_roofline
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
@@ -90,12 +136,12 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 BRICKSIM_OVERSUBSCRIBE=1 ./build-tsan/bench/bench_fig3_roofline \
   --n 64 --jobs 4 --shards 4 > /dev/null 2> /dev/null
 
-echo "==> [5/9] parallel sweep smoke (fig3 at --jobs 4, both engines + shards)"
+echo "==> [6/10] parallel sweep smoke (fig3 at --jobs 4, both engines + shards)"
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --shards 4 > /dev/null 2> /dev/null
 
-echo "==> [6/9] driver verify (bricksim all cold/warm + legacy byte-diff)"
+echo "==> [7/10] driver verify (bricksim all cold/warm + legacy byte-diff)"
 CIDIR="$(mktemp -d)"
 trap 'rm -rf "$CIDIR"' EXIT
 BRICKSIM=./build/bench/bricksim
@@ -142,7 +188,7 @@ for pair in table1:bench_table1_platforms table2:bench_table2_stencils \
     || { echo "FAIL: $bin stdout differs from bricksim run $name"; exit 1; }
 done
 
-echo "==> [7/9] fault-injection soak (ASan driver)"
+echo "==> [8/10] fault-injection soak (ASan driver)"
 ASAN_BRICKSIM=./build-asan/bench/bricksim
 SOAK="$CIDIR/soak"
 mkdir -p "$SOAK"
@@ -235,11 +281,31 @@ grep -q '\.corrupt' "$SOAK/doctor.out" \
 "$ASAN_BRICKSIM" doctor --cache-dir "$SOAK/cache" > "$SOAK/doctor2.out" \
   || { echo "FAIL: doctor reports damage after prune"; exit 1; }
 
-echo "==> [8/9] static-analysis verify (brickperf drift gate + plan verifier)"
+echo "==> [9/10] static-analysis verify (brickperf drift gate + plan verifier)"
 # Cold: simulates the main sweep, then joins brickperf's static estimates
 # against the measured counters; any drift outside tolerance exits 3.
 "$ASAN_BRICKSIM" run lint --n 64 --out "$CIDIR/lint_cold" \
   --cache-dir "$CIDIR/lint_cache" > /dev/null 2> /dev/null
+
+# The counters the join measures now come from the SoA replay path
+# (batched addends, congruence lumping).  The emitter already threw if any
+# config drifted outside DriftTolerance (L1 exact / HBM 35%); re-assert
+# the verdict from the rendered output so a silently-weakened gate cannot
+# pass: every joined row agrees, and the L1 estimates are still byte-exact.
+LINT_OUT="$CIDIR/lint_cold/lint/output.txt"
+grep -q 'configuration(s) joined against measured counters' "$LINT_OUT" \
+  || { echo "FAIL: lint output records no drift verdict"; exit 1; }
+grep -q '\([0-9][0-9]*\) configuration(s) joined.*; \1 within declared tolerance' \
+  "$LINT_OUT" \
+  || { echo "FAIL: not every lint row is within declared tolerance"; exit 1; }
+if grep -qE 'NO *$' "$LINT_OUT"; then
+  echo "FAIL: a lint row drifted outside the 35% gate"; exit 1
+fi
+awk '/%/ { for (f = 1; f <= NF; ++f) if ($f ~ /%$/) {
+             if ($f != "0.00%") bad = 1; break } } END { exit bad }' \
+  "$LINT_OUT" \
+  || { echo "FAIL: L1 drift is no longer exact under the SoA replay path"; \
+       exit 1; }
 
 # Warm: the same join must replay counters from the cache -- the static
 # analysis itself costs no simulation.
@@ -255,7 +321,7 @@ grep -q '"sweeps_simulated": 0' "$CIDIR/lint_warm/run_summary.json" \
 "$ASAN_BRICKSIM" run fig3 --n 64 --verify-plan --no-cache \
   --out "$CIDIR/verify_plan" > /dev/null 2> /dev/null
 
-echo "==> [9/9] lint"
+echo "==> [10/10] lint"
 scripts/lint.sh
 
 echo "==> CI green"

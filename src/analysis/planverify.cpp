@@ -1,6 +1,10 @@
 #include "analysis/planverify.h"
 
+#include <algorithm>
+#include <numeric>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 
@@ -182,6 +186,20 @@ PlanReport verify_plan(const simt::ExecPlan& plan,
   std::size_t pc = 0;
   ExecPlan::AluAggregates alu;
 
+  // The SoA replay lanes must mirror the stream index-for-index; their
+  // expected values are re-derived from the MemRef semantics below (never
+  // read back from the AoS record the plan holds).
+  const ExecPlan::SoaStream& soa = plan.soa();
+  if (soa.kind.size() != stream.size() || soa.flags.size() != stream.size() ||
+      soa.sel.size() != stream.size() || soa.tmpl.size() != stream.size() ||
+      soa.row_key0.size() != stream.size())
+    diag(-1, -1, "soa.size",
+         "SoA lanes not index-aligned with the decoded stream (" +
+             str(stream.size()) + " instructions)");
+  const bool soa_aligned = soa.kind.size() == stream.size();
+  const std::uint32_t nslots =
+      static_cast<std::uint32_t>(kernel.grids.size()) * 28 + 1;
+
   auto expect = [&](int src, const PlanInst& want) {
     if (pc >= stream.size()) {
       diag(src, -1, "stream",
@@ -233,6 +251,63 @@ PlanReport verify_plan(const simt::ExecPlan& plan,
       diag(src, at, "row_key0",
            "expected " + str(want.row_key0) + ", decoded " +
                str(got.row_key0));
+
+    // SoA lanes at the same index: flags, addend slot, address template and
+    // page-key invariant, each re-derived from `want` and the binding.
+    if (soa_aligned) {
+      std::uint8_t wflags = 0;
+      std::uint32_t wsel = nslots - 1;  // always-zero addend slot
+      std::uint64_t wtmpl = 0;
+      std::uint64_t wrow = 0;
+      switch (want.kind) {
+        case PKind::LoadArray:
+        case PKind::StoreArray:
+          wflags = want.kind == PKind::StoreArray ? ExecPlan::kSoaStore
+                                                  : ExecPlan::kSoaGlobalLoad;
+          if (want.bypass_candidate) wflags |= ExecPlan::kSoaBypassCand;
+          wsel = want.grid;
+          wtmpl = kernel.grids[want.grid].device_base +
+                  static_cast<std::uint64_t>(want.idx0) * kElemBytes;
+          wrow = want.row_key0;
+          break;
+        case PKind::LoadBrick:
+        case PKind::StoreBrick:
+          wflags = ExecPlan::kSoaBrick |
+                   (want.kind == PKind::StoreBrick ? ExecPlan::kSoaStore
+                                                   : ExecPlan::kSoaGlobalLoad);
+          wsel = static_cast<std::uint32_t>(kernel.grids.size()) +
+                 static_cast<std::uint32_t>(want.grid) * 27u + want.nbr_code;
+          wtmpl = kernel.grids[want.grid].device_base +
+                  static_cast<std::uint64_t>(want.idx0) * kElemBytes;
+          break;
+        case PKind::LoadSpill:
+          wflags = ExecPlan::kSoaSpill;
+          break;
+        case PKind::StoreSpill:
+          wflags = ExecPlan::kSoaSpill | ExecPlan::kSoaStore;
+          break;
+        default:
+          break;  // ALU lane: no flags, zero slot, zero template
+      }
+      const std::size_t ai = static_cast<std::size_t>(at);
+      if (soa.kind[ai] != want.kind)
+        diag(src, at, "soa.kind",
+             std::string("expected ") + pkind_name(want.kind) + ", decoded " +
+                 pkind_name(soa.kind[ai]));
+      if (soa.flags[ai] != wflags)
+        diag(src, at, "soa.flags",
+             "expected " + str(static_cast<int>(wflags)) + ", decoded " +
+                 str(static_cast<int>(soa.flags[ai])));
+      if (soa.sel[ai] != wsel)
+        diag(src, at, "soa.sel",
+             "expected " + str(wsel) + ", decoded " + str(soa.sel[ai]));
+      if (soa.tmpl[ai] != wtmpl)
+        diag(src, at, "soa.tmpl",
+             "expected " + str(wtmpl) + ", decoded " + str(soa.tmpl[ai]));
+      if (soa.row_key0[ai] != wrow)
+        diag(src, at, "soa.row_key",
+             "expected " + str(wrow) + ", decoded " + str(soa.row_key0[ai]));
+    }
     ++pc;
     ++rep.insts_verified;
   };
@@ -375,6 +450,136 @@ PlanReport verify_plan(const simt::ExecPlan& plan,
       diag(-1, -1, "alu.warp_insts",
            "expected " + str(alu.warp_insts) + ", decoded " +
                str(got.warp_insts));
+
+    // Block classes and congruence lumping: re-derive both decode products
+    // from the source program, the binding tables and the architecture --
+    // the same inputs the decoder consumed, none of its code.
+    const long total_blocks = kernel.blocks.volume();
+    bool any_mem = false;
+    std::vector<std::uint8_t> array_used(kernel.grids.size(), 0);
+    std::vector<std::uint8_t> brick_used(kernel.grids.size(), 0);
+    std::vector<std::pair<int, int>> brick_codes;  // used (grid, code)
+    for (const ir::Inst& in : insts) {
+      if (in.op != ir::Op::VLoad && in.op != ir::Op::VStore) continue;
+      const ir::MemRef& m = in.mem;
+      if (m.space == ir::Space::Array) {
+        any_mem = true;
+        array_used[static_cast<std::size_t>(m.grid)] = 1;
+      } else if (m.space == ir::Space::Brick) {
+        any_mem = true;
+        brick_used[static_cast<std::size_t>(m.grid)] = 1;
+        const int code =
+            (m.nbr_dk + 1) * 9 + (m.nbr_dj + 1) * 3 + (m.nbr_di + 1);
+        bool seen = false;
+        for (const auto& [g2, c2] : brick_codes)
+          seen |= g2 == m.grid && c2 == code;
+        if (!seen) brick_codes.emplace_back(m.grid, code);
+      }
+    }
+
+    // Corner blocks: adjacency deviates from block 0's canonical delta on
+    // any used off-center code.
+    std::uint64_t corners = 0;
+    bool corner_map_ok = true;
+    if (!brick_codes.empty()) {
+      for (long b = 0; b < total_blocks; ++b) {
+        bool corner = false;
+        for (const auto& [g2, code] : brick_codes) {
+          if (code == 13) continue;
+          const simt::GridBinding& gb =
+              kernel.grids[static_cast<std::size_t>(g2)];
+          const std::uint32_t b0 = gb.block_to_brick[0];
+          const std::int64_t canon =
+              static_cast<std::int64_t>(
+                  gb.adjacency[static_cast<std::size_t>(b0) * 27 +
+                               static_cast<std::size_t>(code)]) -
+              b0;
+          const std::uint32_t bid =
+              gb.block_to_brick[static_cast<std::size_t>(b)];
+          if (static_cast<std::int64_t>(
+                  gb.adjacency[static_cast<std::size_t>(bid) * 27 +
+                               static_cast<std::size_t>(code)]) !=
+              static_cast<std::int64_t>(bid) + canon) {
+            corner = true;
+            break;
+          }
+        }
+        corners += corner ? 1 : 0;
+        corner_map_ok &= plan.block_is_corner(b) == corner;
+      }
+    }
+    if (plan.num_corner_blocks() != corners)
+      diag(-1, -1, "classes.corner",
+           "expected " + str(corners) + " corner blocks, decoded " +
+               str(plan.num_corner_blocks()));
+    else if (!corner_map_ok)
+      diag(-1, -1, "classes.corner_map",
+           "per-block corner classification diverged");
+
+    // Congruence lump width and byte delta (all-or-nothing eligibility).
+    const arch::GpuArch& arch = plan.arch();
+    long want_g = std::gcd(static_cast<long>(kernel.blocks.i),
+                           static_cast<long>(arch.num_cores));
+    want_g = std::gcd(
+        want_g, std::min<long>(arch.max_resident_blocks(), total_blocks));
+    std::int64_t du = 0;
+    bool eligible = want_g >= 2 && any_mem;
+    auto note_delta = [&](std::int64_t d) {
+      if (d <= 0 || (du != 0 && du != d)) eligible = false;
+      else du = d;
+    };
+    for (std::size_t g2 = 0; g2 < kernel.grids.size(); ++g2) {
+      const simt::GridBinding& gb = kernel.grids[g2];
+      if (array_used[g2]) note_delta(kernel.tile.i);
+      if (brick_used[g2]) note_delta(gb.elems_per_brick);
+    }
+    const std::uint64_t du_bytes =
+        static_cast<std::uint64_t>(du > 0 ? du : 0) * kElemBytes;
+    if (eligible &&
+        (du_bytes % static_cast<std::uint64_t>(arch.l1.line_bytes) != 0 ||
+         du_bytes % static_cast<std::uint64_t>(arch.l1.sector_bytes) != 0 ||
+         du_bytes % static_cast<std::uint64_t>(W * kElemBytes) != 0))
+      eligible = false;
+    for (std::size_t g2 = 0; eligible && g2 < kernel.grids.size(); ++g2) {
+      if (!brick_used[g2]) continue;
+      const simt::GridBinding& gb = kernel.grids[g2];
+      for (long b0 = 0; eligible && b0 < total_blocks; b0 += want_g)
+        for (long r = 1; r < want_g; ++r)
+          if (gb.block_to_brick[static_cast<std::size_t>(b0 + r)] !=
+              gb.block_to_brick[static_cast<std::size_t>(b0)] +
+                  static_cast<std::uint32_t>(r)) {
+            eligible = false;
+            break;
+          }
+    }
+    for (const auto& [g2, code] : brick_codes) {
+      if (!eligible) break;
+      if (code == 13) continue;
+      const simt::GridBinding& gb = kernel.grids[static_cast<std::size_t>(g2)];
+      for (long b0 = 0; eligible && b0 < total_blocks; b0 += want_g)
+        for (long r = 1; r < want_g; ++r) {
+          const auto at = [&](long b) {
+            return gb.adjacency[static_cast<std::size_t>(
+                                    gb.block_to_brick[static_cast<std::size_t>(
+                                        b)]) *
+                                    27 +
+                                static_cast<std::size_t>(code)];
+          };
+          if (at(b0 + r) != at(b0) + static_cast<std::uint32_t>(r)) {
+            eligible = false;
+            break;
+          }
+        }
+    }
+    const int exp_g = eligible ? static_cast<int>(want_g) : 1;
+    const std::uint64_t exp_delta = eligible ? du_bytes : 0;
+    if (plan.lump_factor() != exp_g)
+      diag(-1, -1, "lump.G",
+           "expected " + str(exp_g) + ", decoded " + str(plan.lump_factor()));
+    if (plan.lump_delta_bytes() != exp_delta)
+      diag(-1, -1, "lump.delta",
+           "expected " + str(exp_delta) + " bytes, decoded " +
+               str(plan.lump_delta_bytes()));
   }
 
   return rep;

@@ -217,7 +217,11 @@ Sweep run_sweep(const SweepConfig& config) {
   // single-experiment 512^3 launch -- the idle budget moves inside the
   // kernel instead of oversubscribing.  An explicit --shards pins the
   // inner width and derives the outer level, never exceeding jobs total
-  // threads when jobs >= shards.
+  // threads when jobs >= shards.  The pinned width is still subject to
+  // the same oversubscription clamp as --jobs: shard threads beyond the
+  // hardware budget only time-slice, so the k-way merge overhead makes
+  // sharded replay strictly slower than serial (BRICKSIM_OVERSUBSCRIBE=1
+  // lifts the clamp here too, as the invariance tests rely on).
   int inner = config.shards;
   if (inner <= 0) {
     const long npending = static_cast<long>(pending.size());
@@ -225,6 +229,8 @@ Sweep run_sweep(const SweepConfig& config) {
                 ? static_cast<int>(std::max<long>(
                       1, jobs / std::min<long>(jobs, npending)))
                 : 1;
+  } else {
+    inner = effective_jobs(inner);
   }
   const int outer = std::max(1, jobs / std::max(1, inner));
   launcher.set_shards(inner);

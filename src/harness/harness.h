@@ -51,7 +51,10 @@ struct SweepConfig {
   /// derives the split from --jobs and the pending config count -- wide
   /// sweeps get outer parallelism, a last straggler or a single huge
   /// config gets intra-kernel parallelism -- without oversubscribing
-  /// beyond jobs total threads.
+  /// beyond jobs total threads.  Explicit values are clamped to the
+  /// hardware like --jobs (effective_jobs): shard threads beyond the
+  /// physical cores only time-slice and pay the k-way merge overhead,
+  /// so sharded replay would be strictly slower than serial.
   int shards = 0;
   /// SIMT execution engine (the --engine=plan|interp flag).  Both engines
   /// produce bit-identical measurements; interp is the legacy A/B baseline

@@ -38,7 +38,7 @@ SetAssocCache::Result SetAssocCache::fill_evict(std::uint64_t* blk,
     r.wb_line = blk[assoc_ - 1];
     --dirty_count_;
   }
-  std::memmove(blk + 1, blk, (assoc_ - 1) * sizeof(std::uint64_t));
+  for (int k = assoc_ - 1; k > 0; --k) blk[k] = blk[k - 1];
   blk[0] = line;
   mask = ((mask & ~victim_bit) << 1) | (dirty ? 1u : 0u);
   if (dirty) ++dirty_count_;
@@ -51,6 +51,39 @@ std::uint64_t SetAssocCache::reset() {
   for (std::uint64_t s = 0; s < sets_; ++s) state_[s * stride_ + assoc_] = 0;
   dirty_count_ = 0;
   return dirty;
+}
+
+L1Tags::L1Tags(const arch::CacheParams& params) : params_(params) {
+  BRICKSIM_REQUIRE(params.line_bytes > 0, "cache line size must be positive");
+  BRICKSIM_REQUIRE(params.associativity > 0, "associativity must be positive");
+  const std::uint64_t lines = params.capacity_bytes / params.line_bytes;
+  BRICKSIM_REQUIRE(lines >= static_cast<std::uint64_t>(params.associativity),
+                   "cache must hold at least one set");
+  assoc_ = params.associativity;
+  sets_ = lines / assoc_;
+  if ((sets_ & (sets_ - 1)) == 0) sets_mask_ = sets_ - 1;
+  sets_magic_ = ~0ull / sets_ + 1;
+  state_.assign(sets_ * static_cast<std::size_t>(assoc_), kInvalid);
+}
+
+void L1Tags::reset() { std::fill(state_.begin(), state_.end(), kInvalid); }
+
+void L1Tags::shift_copy_from(const L1Tags& other, std::uint64_t line_delta) {
+  BRICKSIM_REQUIRE(sets_ == other.sets_ && assoc_ == other.assoc_,
+                   "shift_copy_from requires identical geometry");
+  // All tags of one source set share (tag mod sets_), so shifted they all
+  // share ((tag + delta) mod sets_): sets move wholesale, recency order
+  // intact, to a destination rotated by (delta mod sets_).
+  const std::uint64_t rot = line_delta % sets_;
+  const std::size_t stride = static_cast<std::size_t>(assoc_);
+  for (std::uint64_t s = 0; s < sets_; ++s) {
+    std::uint64_t d = s + rot;
+    if (d >= sets_) d -= sets_;
+    const std::uint64_t* src = other.state_.data() + s * stride;
+    std::uint64_t* dst = state_.data() + d * stride;
+    for (int w = 0; w < assoc_; ++w)
+      dst[w] = src[w] == kInvalid ? kInvalid : src[w] + line_delta;
+  }
 }
 
 }  // namespace bricksim::memsim

@@ -134,7 +134,7 @@ class SetAssocCache {
     std::uint64_t bit = (mask >> p) & 1u;
     if (p != 0) {
       const std::uint64_t line = blk[p];
-      std::memmove(blk + 1, blk, p * sizeof(std::uint64_t));
+      for (int k = p; k > 0; --k) blk[k] = blk[k - 1];
       blk[0] = line;
       const std::uint64_t low = mask & ((1ull << p) - 1);
       mask = (mask & ~((2ull << p) - 1)) | (low << 1) | bit;
@@ -150,7 +150,7 @@ class SetAssocCache {
   /// dirty mask has no bits at or above e.
   Result fill_empty(std::uint64_t* blk, int e, std::uint64_t line,
                     bool dirty) {
-    std::memmove(blk + 1, blk, e * sizeof(std::uint64_t));
+    for (int k = e; k > 0; --k) blk[k] = blk[k - 1];
     blk[0] = line;
     std::uint64_t& mask = blk[assoc_];
     mask = (mask << 1) | (dirty ? 1u : 0u);
@@ -168,6 +168,110 @@ class SetAssocCache {
   std::uint64_t sets_magic_ = 0;  ///< ~0ull / sets_ + 1 (Lemire fastmod)
   std::uint64_t dirty_count_ = 0;
   std::vector<std::uint64_t> state_;  ///< sets_ * stride_ words (see set_block)
+};
+
+// The GPU L1s are write-through for global data and never call
+// install_dirty, so their dirty bitmask is identically zero and every
+// Result they return has writeback == false.  L1Tags is the same
+// MRU-ordered set-associative structure with the dirty machinery deleted:
+// sets are `assoc` contiguous tag words, a probe is one rolling pass that
+// scans and shifts in the same loop (no memmove call, no bitmask surgery),
+// and access() answers the only question the L1 front-end asks -- hit or
+// not.  State transitions (residency + recency order) are bit-identical to
+// SetAssocCache under a never-dirty workload; tests assert the equivalence.
+class L1Tags {
+ public:
+  explicit L1Tags(const arch::CacheParams& params);
+
+  /// Looks up `line`; on miss allocates it, evicting the LRU way.  Returns
+  /// whether it hit.  Exactly SetAssocCache::access(line, false).hit.
+  bool access(std::uint64_t line) {
+    std::uint64_t* blk = set_block(line);
+    if (blk[0] == line) return true;  // MRU hit: nothing moves
+    std::uint64_t prev = blk[0];
+    for (int w = 1; w < assoc_; ++w) {
+      const std::uint64_t t = blk[w];
+      blk[w] = prev;  // rolling shift: prefix moves down as the scan walks
+      if (t == line) {
+        blk[0] = line;
+        return true;
+      }
+      prev = t;
+      if (t == kInvalid) {  // valid ways are a prefix: fill the first hole
+        blk[0] = line;
+        return false;
+      }
+    }
+    blk[0] = line;  // full set: `prev` (the LRU tag) just fell off the end
+    return false;
+  }
+
+  /// Promotes `line` to MRU if resident (a write-through store touch);
+  /// no state change otherwise.  Exactly SetAssocCache::touch.
+  bool touch(std::uint64_t line) {
+    std::uint64_t* blk = set_block(line);
+    if (blk[0] == line) return true;
+    for (int w = 1; w < assoc_; ++w) {
+      if (blk[w] == line) {
+        for (int k = w; k > 0; --k) blk[k] = blk[k - 1];
+        blk[0] = line;
+        return true;
+      }
+      if (blk[w] == kInvalid) return false;
+    }
+    return false;
+  }
+
+  /// True if the line is currently resident (no state change).
+  bool probe(std::uint64_t line) const {
+    const std::uint64_t* blk = set_block(line);
+    for (int w = 0; w < assoc_; ++w) {
+      if (blk[w] == line) return true;
+      if (blk[w] == kInvalid) return false;
+    }
+    return false;
+  }
+
+  void reset();
+
+  /// Overwrites this cache with `other`'s state, every resident tag shifted
+  /// by `line_delta` (mod 2^64).  Used by the congruence-class replay to
+  /// materialize a lumped core's L1 before it re-enters the general path:
+  /// when every access a core made is `line_delta` away from the accesses
+  /// another core made, its true L1 state is exactly this shifted copy.
+  /// Requires identical geometry, and -- for the per-set copy to land whole
+  /// -- the caller guarantees set_of is a pure modulo (it is: mask or
+  /// Lemire fastmod), so a uniform tag shift rotates sets uniformly.
+  void shift_copy_from(const L1Tags& other, std::uint64_t line_delta);
+
+  int line_bytes() const { return params_.line_bytes; }
+  std::uint64_t num_sets() const { return sets_; }
+  int ways() const { return assoc_; }
+
+ private:
+  static constexpr std::uint64_t kInvalid = ~0ull;
+
+  std::uint64_t set_of(std::uint64_t line) const {
+    if (sets_mask_) return line & sets_mask_;
+    if (line >> 32) return line % sets_;  // fastmod needs a 32-bit operand
+    const std::uint64_t lowbits = sets_magic_ * line;
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(lowbits) * sets_) >> 64);
+  }
+
+  std::uint64_t* set_block(std::uint64_t line) {
+    return state_.data() + set_of(line) * static_cast<std::size_t>(assoc_);
+  }
+  const std::uint64_t* set_block(std::uint64_t line) const {
+    return state_.data() + set_of(line) * static_cast<std::size_t>(assoc_);
+  }
+
+  arch::CacheParams params_;
+  int assoc_ = 0;
+  std::uint64_t sets_ = 0;
+  std::uint64_t sets_mask_ = 0;
+  std::uint64_t sets_magic_ = 0;
+  std::vector<std::uint64_t> state_;  ///< sets_ * assoc_ tag words
 };
 
 }  // namespace bricksim::memsim

@@ -106,7 +106,7 @@ class MemoryHierarchy {
     else
       traffic_.l1_read_bytes += sector_bytes;
 
-    SetAssocCache& l1 = l1_[core];
+    L1Tags& l1 = l1_[core];
     if (write) {
       // Full-line coverage -> streaming store into L2, no fill.  Partial
       // coverage (first/last line of an unaligned span) -> write-allocate.
@@ -136,8 +136,7 @@ class MemoryHierarchy {
 
     // Load path.
     for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
-      auto r1 = l1.access(ln, /*write=*/false);
-      if (r1.hit) {
+      if (l1.access(ln)) {
         traffic_.l1_hits++;
         continue;
       }
@@ -235,6 +234,11 @@ class MemoryHierarchy {
   /// Drops all cached state AND counters (cold caches).
   void reset();
 
+  /// Direct access to one core's L1 tag store.  The congruence-class replay
+  /// (ExecPlan) uses it to materialize a lumped core's L1 as a shifted copy
+  /// of its group leader's before the final partial wave.
+  L1Tags& l1(int core) { return l1_[static_cast<std::size_t>(core)]; }
+
   const arch::GpuArch& gpu() const { return arch_; }
 
  private:
@@ -252,7 +256,7 @@ class MemoryHierarchy {
   arch::GpuArch arch_;
   int sector_shift_ = -1;  ///< log2(sector_bytes), or -1 if not a power of 2
   int line_shift_ = -1;    ///< log2(line_bytes), or -1 if not a power of 2
-  std::vector<SetAssocCache> l1_;
+  std::vector<L1Tags> l1_;
   SetAssocCache l2_;
   Traffic traffic_;
 };
@@ -324,7 +328,7 @@ class L1Shard {
     else
       traffic_.l1_read_bytes += sector_bytes;
 
-    SetAssocCache& l1 = l1_[static_cast<std::size_t>(core - core0_)];
+    L1Tags& l1 = l1_[static_cast<std::size_t>(core - core0_)];
     if (write) {
       const bool all_full = !rmw_stores &&
                             addr == first_line * static_cast<std::uint64_t>(line) &&
@@ -343,8 +347,7 @@ class L1Shard {
     }
 
     for (std::uint64_t ln = first_line; ln <= last_line; ++ln) {
-      auto r1 = l1.access(ln, /*write=*/false);
-      if (r1.hit) {
+      if (l1.access(ln)) {
         traffic_.l1_hits++;
         continue;
       }
@@ -379,6 +382,10 @@ class L1Shard {
   const Traffic& traffic() const { return traffic_; }
   std::vector<ShardEvent>& events() { return events_; }
 
+  /// One core's private L1 (same congruence-materialization use as
+  /// MemoryHierarchy::l1, within this shard's core range).
+  L1Tags& l1(int core) { return l1_[static_cast<std::size_t>(core - core0_)]; }
+
  private:
   std::uint64_t sector_of(std::uint64_t addr) const {
     return sector_shift_ >= 0
@@ -395,7 +402,7 @@ class L1Shard {
   int core0_ = 0;
   int sector_shift_ = -1;
   int line_shift_ = -1;
-  std::vector<SetAssocCache> l1_;
+  std::vector<L1Tags> l1_;
   Traffic traffic_;
   std::vector<ShardEvent> events_;
 };

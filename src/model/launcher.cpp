@@ -241,6 +241,8 @@ LaunchResult Launcher::run_impl(const dsl::Stencil& stencil,
         [context](const simt::ExecPlan& plan, const simt::Kernel& k) {
           analysis::enforce_plan(analysis::verify_plan(plan, k), context);
         });
+  } else if (plan_hook_ && engine_ == simt::Engine::Plan) {
+    machine->set_plan_hook(plan_hook_);
   } else {
     machine->set_plan_hook(nullptr);  // clear any previous launch's hook
   }

@@ -124,6 +124,14 @@ class Launcher {
   void set_verify_plan(bool on) { verify_plan_ = on; }
   bool verify_plan() const { return verify_plan_; }
 
+  /// Observation hook handed every freshly decoded ExecPlan before it
+  /// replays (Engine::Plan only; shares the Machine's single hook slot, so
+  /// set_verify_plan wins when both are set).  The SoA-vs-AoS equivalence
+  /// tests replay production plans through both layouts via this.
+  void set_plan_hook(simt::Machine::PlanHook hook) {
+    plan_hook_ = std::move(hook);
+  }
+
   /// Builds one configuration end to end WITHOUT executing it: lowering,
   /// register allocation, counters-only data binding, launch geometry, and
   /// the pre-launch brickcheck gate (under the current check mode).
@@ -159,6 +167,7 @@ class Launcher {
   simt::Engine engine_ = simt::Engine::Plan;
   int shards_ = 1;
   bool verify_plan_ = false;
+  simt::Machine::PlanHook plan_hook_;
 };
 
 }  // namespace bricksim::model

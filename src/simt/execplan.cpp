@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <numeric>
 
 #include "common/error.h"
 #include "common/threadpool.h"
@@ -21,6 +23,230 @@ Vec3 unlinearize(long b, const Vec3& n) {
 }
 
 constexpr int kSlice = 16;  // instructions per block per scheduling round
+
+/// log2(v) when v is a positive power of two, else -1 (division fallback);
+/// mirrors the memsim hierarchy's address-splitting strategy exactly.
+int pow2_shift(int v) {
+  if (v <= 0 || (v & (v - 1)) != 0) return -1;
+  int s = 0;
+  while ((1 << s) != v) ++s;
+  return s;
+}
+
+/// Address-splitting geometry of the CountersOnly SoA engines, hoisted out
+/// of the per-access path.
+struct Geom {
+  int sector = 0, line = 0;
+  int sshift = -1, lshift = -1;
+  double sector_bytes = 0;          ///< double image for cu.l1_bytes
+  std::uint32_t vb = 0;             ///< warp access width in bytes
+  bool rmw = false;                 ///< !streaming_stores
+  double extra_load_cycles = 0;     ///< kernel.extra_cycles_per_load
+
+  std::uint64_t sector_of(std::uint64_t a) const {
+    return sshift >= 0 ? a >> sshift
+                       : a / static_cast<std::uint64_t>(sector);
+  }
+  std::uint64_t line_of(std::uint64_t a) const {
+    return lshift >= 0 ? a >> lshift : a / static_cast<std::uint64_t>(line);
+  }
+};
+
+Geom make_geom(const arch::GpuArch& arch, const Kernel& kernel,
+               std::uint32_t vec_bytes) {
+  Geom g;
+  g.sector = arch.l1.sector_bytes;
+  g.line = arch.l1.line_bytes;
+  g.sshift = pow2_shift(g.sector);
+  g.lshift = pow2_shift(g.line);
+  g.sector_bytes = g.sector;
+  g.vb = vec_bytes;
+  g.rmw = !kernel.streaming_stores;
+  g.extra_load_cycles = kernel.extra_cycles_per_load;
+  return g;
+}
+
+// One leader window, recorded for replication onto its congruence-group
+// mates: the per-access counter addends (replayed addend-by-addend so the
+// mates' CoreUse accumulation sequences match the serial engine's exactly),
+// the L2-bound line events (shifted per mate), and the window's L1-side
+// traffic sums (all integer counters, so one scaled add per mate is exact).
+
+/// L2-bound line op kinds; kWinBrickKey flags a page key that must be
+/// recomputed from the shifted address (brick keys are addr >> 12 and a
+/// sub-page shift can merge or split pages; array row keys are i-invariant).
+constexpr std::uint8_t kWinLoad = 0, kWinStoreFull = 1, kWinStorePartial = 2,
+                       kWinPageOnly = 3, kWinBrickKey = 4;
+
+struct WinEvent {
+  std::uint64_t line;  ///< L1-line address the L2 must walk
+  std::uint64_t pk;    ///< page key (array) or raw access address (brick)
+  std::uint8_t op;     ///< kWin* | optional kWinBrickKey
+};
+
+struct WinAcc {
+  std::uint8_t lines, sectors, flags;  ///< flags: kSoaGlobalLoad / kSoaSpill
+};
+
+struct WindowScratch {
+  std::vector<WinAcc> acc;
+  std::vector<WinEvent> ev;
+  memsim::Traffic t;           ///< window L1-side traffic sums
+  std::uint64_t insts = 0;     ///< warp instruction count
+  std::uint64_t spills = 0;    ///< spill instruction count
+  void reset() {
+    acc.clear();
+    ev.clear();
+    t = memsim::Traffic{};
+    insts = 0;
+    spills = 0;
+  }
+};
+
+/// Executes insts [pc0, pc_end) of one congruence-group leader against its
+/// private L1, updating the leader's CoreUse inline (identical addend
+/// sequence to the general path) and recording everything a mate needs.
+/// The L1 front half mirrors memsim::MemoryHierarchy::access exactly; the
+/// L2-bound lines go to ws.ev instead of the shared L2.
+void exec_lump_window(const ExecPlan::SoaStream& soa, std::size_t pc0,
+                      std::size_t pc_end, const std::uint64_t* addr,
+                      const std::uint64_t* pkey, const std::uint8_t* byp,
+                      const Geom& g, memsim::L1Tags& l1, detail::CoreUse& cu,
+                      WindowScratch& ws) {
+  ws.reset();
+  for (std::size_t i = pc0; i < pc_end; ++i) {
+    const std::uint8_t f = soa.flags[i];
+    ++ws.insts;
+    if (f & ExecPlan::kSoaSpill) {
+      const int sectors = static_cast<int>((g.vb + g.sector - 1) / g.sector);
+      const int lines = static_cast<int>((g.vb + g.line - 1) / g.line);
+      const std::uint64_t sb =
+          static_cast<std::uint64_t>(sectors) * g.sector;
+      if (f & ExecPlan::kSoaStore)
+        ws.t.l1_write_bytes += sb;
+      else
+        ws.t.l1_read_bytes += sb;
+      cu.mem_insts += lines;
+      cu.l1_bytes += sectors * g.sector_bytes;
+      ++ws.spills;
+      ws.acc.push_back({static_cast<std::uint8_t>(lines),
+                        static_cast<std::uint8_t>(sectors),
+                        ExecPlan::kSoaSpill});
+      continue;
+    }
+    const std::uint64_t a = addr[i];
+    const std::uint64_t fl = g.line_of(a);
+    const std::uint64_t ll = g.line_of(a + g.vb - 1);
+    const int sectors =
+        static_cast<int>(g.sector_of(a + g.vb - 1) - g.sector_of(a) + 1);
+    const int lines = static_cast<int>(ll - fl + 1);
+    const std::uint64_t sb = static_cast<std::uint64_t>(sectors) * g.sector;
+    const std::uint8_t bbit = (f & ExecPlan::kSoaBrick) ? kWinBrickKey : 0;
+    const std::uint64_t pk = (f & ExecPlan::kSoaBrick) ? a : pkey[i];
+    if (f & ExecPlan::kSoaStore) {
+      ws.t.l1_write_bytes += sb;
+      const bool all_full =
+          !g.rmw && a == fl * static_cast<std::uint64_t>(g.line) &&
+          a + g.vb == (ll + 1) * static_cast<std::uint64_t>(g.line);
+      for (std::uint64_t ln = fl; ln <= ll; ++ln) {
+        const std::uint64_t line_begin = ln * g.line;
+        const bool full = all_full ||
+                          (!g.rmw && a <= line_begin &&
+                           a + g.vb >= line_begin + g.line);
+        l1.touch(ln);
+        ws.t.l2_write_bytes += g.line;
+        ws.ev.push_back(
+            {ln, pk,
+             static_cast<std::uint8_t>(
+                 (full ? kWinStoreFull : kWinStorePartial) | bbit)});
+      }
+      cu.mem_insts += lines;
+      cu.l1_bytes += sectors * g.sector_bytes;
+      ws.acc.push_back({static_cast<std::uint8_t>(lines),
+                        static_cast<std::uint8_t>(sectors), 0});
+    } else {
+      ws.t.l1_read_bytes += sb;
+      for (std::uint64_t ln = fl; ln <= ll; ++ln) {
+        if (l1.access(ln)) {
+          ws.t.l1_hits++;
+          continue;
+        }
+        ws.t.l1_misses++;
+        ws.t.l2_read_bytes += g.line;
+        if (byp[i]) {
+          ws.t.hbm_read_bytes += g.line;
+          ws.ev.push_back(
+              {ln, pk, static_cast<std::uint8_t>(kWinPageOnly | bbit)});
+        } else {
+          ws.ev.push_back({ln, pk, static_cast<std::uint8_t>(kWinLoad | bbit)});
+        }
+      }
+      cu.mem_insts += lines;
+      cu.l1_bytes += sectors * g.sector_bytes;
+      cu.serial_cycles += g.extra_load_cycles;
+      ws.acc.push_back({static_cast<std::uint8_t>(lines),
+                        static_cast<std::uint8_t>(sectors),
+                        ExecPlan::kSoaGlobalLoad});
+    }
+  }
+}
+
+/// Replays a recorded window's counter addends onto a mate core, preserving
+/// the exact per-access addition sequence (the repeated-constant fields of
+/// CoreUse are order-insensitive only within a same-constant stream).
+void apply_window_counters(const WindowScratch& ws, const Geom& g,
+                           detail::CoreUse& cu) {
+  for (const WinAcc& a : ws.acc) {
+    cu.mem_insts += a.lines;
+    cu.l1_bytes += a.sectors * g.sector_bytes;
+    if (a.flags & ExecPlan::kSoaGlobalLoad)
+      cu.serial_cycles += g.extra_load_cycles;
+  }
+}
+
+/// Lowers a recorded window event op to the sharded replay's L2 op.
+memsim::L2Op win_to_l2(std::uint8_t op) {
+  switch (op & 3u) {
+    case kWinStoreFull:
+      return memsim::L2Op::StoreFull;
+    case kWinStorePartial:
+      return memsim::L2Op::StorePartial;
+    case kWinPageOnly:
+      return memsim::L2Op::PageOnly;
+    default:
+      return memsim::L2Op::Load;
+  }
+}
+
+/// dst += src * mult.  All Traffic counters are u64, so replicating a
+/// lumped window's L1-side traffic as one scaled add (instead of G separate
+/// adds) is exact and order-free.
+void add_scaled_traffic(memsim::Traffic& dst, const memsim::Traffic& src,
+                        std::uint64_t mult) {
+  dst.l1_read_bytes += src.l1_read_bytes * mult;
+  dst.l1_write_bytes += src.l1_write_bytes * mult;
+  dst.l2_read_bytes += src.l2_read_bytes * mult;
+  dst.l2_write_bytes += src.l2_write_bytes * mult;
+  dst.hbm_read_bytes += src.hbm_read_bytes * mult;
+  dst.hbm_write_bytes += src.hbm_write_bytes * mult;
+  dst.l1_hits += src.l1_hits * mult;
+  dst.l1_misses += src.l1_misses * mult;
+  dst.l2_hits += src.l2_hits * mult;
+  dst.l2_misses += src.l2_misses * mult;
+}
+
+/// The thread pool a sharded replay drains its phase-1 segments through.
+/// Cached per calling thread: the harness's two-level jobs x shards
+/// scheduler calls replay_sharded thousands of times per sweep, and
+/// re-spawning the workers each call was a measurable share of the sharded
+/// overhead that PR 7's bench exposed.  One pool per (harness worker,
+/// shard count) is exactly the transient pool's concurrency, made durable.
+ThreadPool& cached_shard_pool(int threads) {
+  thread_local std::unique_ptr<ThreadPool> pool;
+  if (!pool || pool->jobs() != threads)
+    pool = std::make_unique<ThreadPool>(threads);
+  return *pool;
+}
 
 }  // namespace
 
@@ -193,9 +419,414 @@ ExecPlan::ExecPlan(const Kernel& kernel, const arch::GpuArch& arch,
         break;
     }
   }
+
+  build_soa();
+  if (!functional) analyze_blocks();
+}
+
+void ExecPlan::build_soa() {
+  const std::size_t n = insts_.size();
+  soa_.kind.resize(n);
+  soa_.flags.assign(n, 0);
+  soa_.sel.assign(n, addend_zero_slot());
+  soa_.tmpl.assign(n, 0);
+  soa_.row_key0.assign(n, 0);
+  const std::uint32_t ngrids = static_cast<std::uint32_t>(grids_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const PlanInst& in = insts_[i];
+    soa_.kind[i] = in.kind;
+    std::uint8_t f = 0;
+    switch (in.kind) {
+      case PKind::LoadArray:
+      case PKind::StoreArray:
+        f = in.kind == PKind::StoreArray ? kSoaStore : kSoaGlobalLoad;
+        if (in.bypass_candidate) f |= kSoaBypassCand;
+        soa_.sel[i] = in.grid;
+        soa_.tmpl[i] = grids_[in.grid].base +
+                       static_cast<std::uint64_t>(in.idx0) * kElemBytes;
+        soa_.row_key0[i] = in.row_key0;
+        break;
+      case PKind::LoadBrick:
+      case PKind::StoreBrick: {
+        f = kSoaBrick |
+            (in.kind == PKind::StoreBrick ? kSoaStore : kSoaGlobalLoad);
+        const std::uint32_t slot =
+            ngrids + static_cast<std::uint32_t>(in.grid) * 27 + in.nbr_code;
+        soa_.sel[i] = slot;
+        soa_.tmpl[i] = grids_[in.grid].base +
+                       static_cast<std::uint64_t>(in.idx0) * kElemBytes;
+        bool seen = false;
+        for (const BrickSel& bs : brick_sels_) seen |= bs.sel == slot;
+        if (!seen) brick_sels_.push_back({in.grid, in.nbr_code, slot});
+        break;
+      }
+      case PKind::LoadSpill:
+        f = kSoaSpill;
+        break;
+      case PKind::StoreSpill:
+        f = kSoaSpill | kSoaStore;
+        break;
+      default:
+        break;  // Functional-only ALU lanes: no flags, zero addend slot
+    }
+    soa_.flags[i] = f;
+  }
+}
+
+void ExecPlan::analyze_blocks() {
+  const Kernel& kernel = *kernel_;
+  const long total_blocks = kernel.blocks.volume();
+  const std::size_t ngrids = grids_.size();
+
+  // Corner classification (brick launches): the canonical adjacency delta of
+  // each used (grid, code) comes from block 0; a block whose adjacency
+  // deviates on any used code resolves brick ids through the general gather.
+  if (!brick_sels_.empty()) {
+    canon_.assign(ngrids * 27, 0);
+    for (const BrickSel& bs : brick_sels_) {
+      const GridPlan& gp = grids_[bs.grid];
+      const std::uint32_t bid0 = gp.block_to_brick[0];
+      const std::uint32_t nb =
+          bs.code == 13
+              ? bid0
+              : gp.adjacency[static_cast<std::size_t>(bid0) * 27 + bs.code];
+      canon_[static_cast<std::size_t>(bs.grid) * 27 + bs.code] =
+          static_cast<std::int64_t>(nb) - static_cast<std::int64_t>(bid0);
+    }
+    corner_.assign(static_cast<std::size_t>((total_blocks + 7) / 8), 0);
+    for (long b = 0; b < total_blocks; ++b) {
+      for (const BrickSel& bs : brick_sels_) {
+        if (bs.code == 13) continue;
+        const GridPlan& gp = grids_[bs.grid];
+        const std::uint32_t bid =
+            gp.block_to_brick[static_cast<std::size_t>(b)];
+        if (static_cast<std::int64_t>(
+                gp.adjacency[static_cast<std::size_t>(bid) * 27 + bs.code]) !=
+            static_cast<std::int64_t>(bid) +
+                canon_[static_cast<std::size_t>(bs.grid) * 27 + bs.code]) {
+          corner_[static_cast<std::size_t>(b) >> 3] |=
+              static_cast<std::uint8_t>(1u << (b & 7));
+          ++num_corner_;
+          break;
+        }
+      }
+    }
+    if (num_corner_ == 0) corner_.clear();
+  }
+
+  // Congruence-lump eligibility (all-or-nothing for the launch).  G divides
+  // blocks.i, num_cores, and the resident-set size, so groups of G
+  // consecutive block ids are G-aligned, share (j, k), never straddle a
+  // wave or a G-aligned shard boundary, and land on cores c0 .. c0+G-1 with
+  // c0 % G == 0 -- making leader cores a kernel-invariant set and keeping
+  // every mate L1 an unconsulted shifted image of its leader's.
+  long g = std::gcd(static_cast<long>(kernel.blocks.i),
+                    static_cast<long>(arch_->num_cores));
+  g = std::gcd(g, std::min<long>(arch_->max_resident_blocks(), total_blocks));
+  if (g < 2) return;
+
+  // Every referenced grid must step by the same byte delta per +1 block
+  // along i, and the delta must preserve sector/line/vector alignment so
+  // access shapes and the bypass predicate are shift-invariant.
+  bool any_mem = false;
+  std::int64_t du = 0;
+  bool uniform = true;
+  std::vector<std::uint8_t> array_used(ngrids, 0), brick_used(ngrids, 0);
+  for (const PlanInst& in : insts_) {
+    if (in.kind == PKind::LoadArray || in.kind == PKind::StoreArray) {
+      any_mem = true;
+      array_used[in.grid] = 1;
+    } else if (in.kind == PKind::LoadBrick || in.kind == PKind::StoreBrick) {
+      any_mem = true;
+      brick_used[in.grid] = 1;
+    }
+  }
+  auto note_delta = [&](std::int64_t d) {
+    if (d <= 0)
+      uniform = false;
+    else if (du == 0)
+      du = d;
+    else if (du != d)
+      uniform = false;
+  };
+  for (std::size_t gi = 0; gi < ngrids; ++gi) {
+    if (array_used[gi]) note_delta(grids_[gi].bi);
+    if (brick_used[gi]) note_delta(grids_[gi].elems_per_brick);
+  }
+  if (!any_mem || !uniform || du == 0) return;
+
+  const std::uint64_t du_bytes = static_cast<std::uint64_t>(du) * kElemBytes;
+  if (du_bytes % static_cast<std::uint64_t>(arch_->l1.line_bytes) != 0 ||
+      du_bytes % static_cast<std::uint64_t>(arch_->l1.sector_bytes) != 0)
+    return;
+  if (vec_mask_ ? (du_bytes & vec_mask_) != 0 : du_bytes % vec_bytes_ != 0)
+    return;
+
+  // Brick launches: a +1 block step must shift brick ids and every used
+  // adjacency uniformly within each group (shuffled decompositions fail).
+  for (std::size_t gi = 0; gi < ngrids; ++gi) {
+    if (!brick_used[gi]) continue;
+    const GridPlan& gp = grids_[gi];
+    for (long b0 = 0; b0 < total_blocks; b0 += g) {
+      const std::uint32_t base =
+          gp.block_to_brick[static_cast<std::size_t>(b0)];
+      for (long r = 1; r < g; ++r)
+        if (gp.block_to_brick[static_cast<std::size_t>(b0 + r)] !=
+            base + static_cast<std::uint32_t>(r))
+          return;
+    }
+  }
+  for (const BrickSel& bs : brick_sels_) {
+    if (bs.code == 13) continue;
+    const GridPlan& gp = grids_[bs.grid];
+    for (long b0 = 0; b0 < total_blocks; b0 += g) {
+      const std::uint32_t base =
+          gp.adjacency[static_cast<std::size_t>(
+                           gp.block_to_brick[static_cast<std::size_t>(b0)]) *
+                           27 +
+                       bs.code];
+      for (long r = 1; r < g; ++r)
+        if (gp.adjacency[static_cast<std::size_t>(
+                             gp.block_to_brick[static_cast<std::size_t>(
+                                 b0 + r)]) *
+                             27 +
+                         bs.code] != base + static_cast<std::uint32_t>(r))
+          return;
+    }
+  }
+
+  lump_G_ = static_cast<int>(g);
+  lump_delta_bytes_ = du_bytes;
+}
+
+void ExecPlan::fill_block_addresses(long blin, std::uint64_t* arow,
+                                    std::uint64_t* prow, std::uint8_t* brow,
+                                    std::uint64_t* addend) const {
+  const Kernel& kernel = *kernel_;
+  const Vec3 bc = unlinearize(blin, kernel.blocks);
+  const std::size_t ngrids = grids_.size();
+  for (std::size_t g = 0; g < ngrids; ++g)
+    addend[g] = static_cast<std::uint64_t>(bc.i * grids_[g].bi +
+                                           bc.j * grids_[g].bj +
+                                           bc.k * grids_[g].bk) *
+                kElemBytes;
+  const bool corner = block_is_corner(blin);
+  for (const BrickSel& bs : brick_sels_) {
+    const GridPlan& gp = grids_[bs.grid];
+    const std::uint32_t bid0 =
+        gp.block_to_brick[static_cast<std::size_t>(blin)];
+    std::uint32_t bid;
+    if (corner)
+      bid = bs.code == 13
+                ? bid0
+                : gp.adjacency[static_cast<std::size_t>(bid0) * 27 + bs.code];
+    else
+      bid = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(bid0) +
+          canon_[static_cast<std::size_t>(bs.grid) * 27 + bs.code]);
+    addend[bs.sel] = static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(bid) * gp.elems_per_brick) *
+                     kElemBytes;
+  }
+  addend[addend_zero_slot()] = 0;
+  const std::uint64_t row_add =
+      (static_cast<std::uint64_t>(bc.k) * kernel.tile.k << 28) +
+      static_cast<std::uint64_t>(bc.j) * kernel.tile.j;
+  const std::size_t n = insts_.size();
+  const bool bypass_loads = kernel.bypass_l2_unaligned_vloads;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = soa_.tmpl[i] + addend[soa_.sel[i]];
+    const std::uint8_t f = soa_.flags[i];
+    arow[i] = a;
+    prow[i] = (f & kSoaBrick) ? a >> 12 : soa_.row_key0[i] + row_add;
+    brow[i] = static_cast<std::uint8_t>(
+        bypass_loads && (f & kSoaBypassCand) &&
+        (vec_mask_ ? (a & vec_mask_) != 0 : (a % vec_bytes_) != 0));
+  }
 }
 
 KernelReport ExecPlan::replay(memsim::MemoryHierarchy& hier) const {
+  return mode_ == ExecMode::CountersOnly ? replay_counters(hier)
+                                         : replay_reference(hier);
+}
+
+// The SoA CountersOnly engine.  Same schedule as replay_reference (waves of
+// R resident blocks, kSlice-instruction round-robin windows, ascending slot
+// order), restructured around the decoded SoA lanes:
+//
+//  * batched address generation -- at wave start one pass per block
+//    materializes every instruction's address / page key / bypass flag into
+//    flat arena rows (fill_block_addresses), so the replay windows stream
+//    pre-resolved addresses into the hierarchy with no per-access address
+//    arithmetic or PlanInst pointer chasing;
+//  * congruence lumping (lump_factor() > 1) -- only group leaders execute
+//    against an L1; each window's counter addends, L1 traffic, and L2-bound
+//    line events are recorded once and replicated onto the G-1 mates (events
+//    shifted by r * lump_delta_bytes, applied to the shared L2 in exact slot
+//    order), so the L1 probe work -- the dominant replay cost -- drops by
+//    the group factor while every counter stays bit-identical.
+//
+// tests/test_execplan.cpp pins this engine to replay_reference() across the
+// paper catalog; tests/test_shard.cpp pins the sharded variant.
+KernelReport ExecPlan::replay_counters(memsim::MemoryHierarchy& hier) const {
+  const Kernel& kernel = *kernel_;
+  const arch::GpuArch& arch = *arch_;
+  hier.reset();
+
+  const long total_blocks = kernel.blocks.volume();
+  const long R = std::min<long>(arch.max_resident_blocks(), total_blocks);
+  const int C = arch.num_cores;
+  const bool rmw_stores = !kernel.streaming_stores;
+  const bool track_pages = kernel.read_streams > 1;
+  const std::size_t ninsts = insts_.size();
+  const Geom geom = make_geom(arch, kernel, vec_bytes_);
+  const long G = lump_G_;
+  const bool lump = G > 1;
+  const std::uint64_t dbytes = lump_delta_bytes_;
+  const std::uint64_t dlines =
+      lump ? dbytes / static_cast<std::uint64_t>(geom.line) : 0;
+  const long nrounds =
+      ninsts == 0 ? 1 : static_cast<long>((ninsts + kSlice - 1) / kSlice);
+  const long nwaves = (total_blocks + R - 1) / R;
+
+  KernelReport rep;
+  std::vector<detail::CoreUse> cores(static_cast<std::size_t>(C));
+  memsim::Traffic lump_t;  // L1-side traffic of lumped windows
+
+  std::vector<std::uint64_t> addr(static_cast<std::size_t>(R) * ninsts);
+  std::vector<std::uint64_t> pkey(static_cast<std::size_t>(R) * ninsts);
+  std::vector<std::uint8_t> byp(static_cast<std::size_t>(R) * ninsts);
+  std::vector<std::uint64_t> addend(addend_slots());
+  std::vector<PageSet> pages(static_cast<std::size_t>(R));
+  WindowScratch ws;
+
+  for (long wave = 0; wave < nwaves; ++wave) {
+    const long nslots = std::min(R, total_blocks - wave * R);
+    // Wave start: per-block ALU aggregates, then batched addresses (lumped
+    // launches materialize leader rows only -- mates reuse them shifted).
+    for (long s = 0; s < nslots; ++s) {
+      const long blin = wave * R + s;
+      detail::CoreUse& cu = cores[static_cast<std::size_t>(blin % C)];
+      cu.fp_lanes += alu_.fp_lanes;
+      cu.int_lanes += alu_.int_lanes;
+      cu.shuffle_lanes += alu_.shuffle_lanes;
+      rep.flops_executed += alu_.flops;
+      rep.warp_insts += alu_.warp_insts;
+      if (lump && (s % G) != 0) continue;
+      fill_block_addresses(blin,
+                           addr.data() + static_cast<std::size_t>(s) * ninsts,
+                           pkey.data() + static_cast<std::size_t>(s) * ninsts,
+                           byp.data() + static_cast<std::size_t>(s) * ninsts,
+                           addend.data());
+    }
+    for (long round = 0; round < nrounds; ++round) {
+      const std::size_t pc0 = static_cast<std::size_t>(round) * kSlice;
+      const std::size_t pc_end = std::min(ninsts, pc0 + kSlice);
+      const bool completes = pc_end >= ninsts;
+      for (long s = 0; s < nslots; ++s) {
+        const long blin = wave * R + s;
+        const int core = static_cast<int>(blin % C);
+        if (!lump) {
+          detail::CoreUse& cu = cores[static_cast<std::size_t>(core)];
+          const std::uint64_t* arow =
+              addr.data() + static_cast<std::size_t>(s) * ninsts;
+          const std::uint64_t* prow =
+              pkey.data() + static_cast<std::size_t>(s) * ninsts;
+          const std::uint8_t* brow =
+              byp.data() + static_cast<std::size_t>(s) * ninsts;
+          PageSet& ps = pages[static_cast<std::size_t>(s)];
+          for (std::size_t i = pc0; i < pc_end; ++i) {
+            const std::uint8_t f = soa_.flags[i];
+            const bool store = (f & kSoaStore) != 0;
+            if (f & kSoaSpill) {
+              const auto shape = hier.scratch_access(vec_bytes_, store);
+              cu.mem_insts += shape.lines;
+              cu.l1_bytes += shape.sectors * geom.sector_bytes;
+              rep.spill_bytes += vec_bytes_;
+              continue;
+            }
+            const auto shape =
+                hier.access(core, arow[i], vec_bytes_, store,
+                            store ? false : brow[i] != 0,
+                            store ? rmw_stores : false);
+            cu.mem_insts += shape.lines;
+            cu.l1_bytes += shape.sectors * geom.sector_bytes;
+            if (!store) cu.serial_cycles += geom.extra_load_cycles;
+            if (shape.dram_touch && track_pages) ps.insert(prow[i]);
+          }
+          rep.warp_insts += pc_end - pc0;
+          if (completes) {
+            if (track_pages)
+              hier.charge_page_overhead(static_cast<double>(ps.size()) *
+                                        arch.page_open_bytes);
+            ++rep.blocks_run;
+            ps.clear();
+          }
+        } else if ((s % G) == 0) {
+          exec_lump_window(soa_, pc0, pc_end,
+                           addr.data() + static_cast<std::size_t>(s) * ninsts,
+                           pkey.data() + static_cast<std::size_t>(s) * ninsts,
+                           byp.data() + static_cast<std::size_t>(s) * ninsts,
+                           geom, hier.l1(core),
+                           cores[static_cast<std::size_t>(core)], ws);
+          for (long r = 1; r < G; ++r)
+            apply_window_counters(ws, geom,
+                                  cores[static_cast<std::size_t>(core + r)]);
+          rep.warp_insts += ws.insts * static_cast<std::uint64_t>(G);
+          rep.spill_bytes += ws.spills * vec_bytes_ *
+                             static_cast<std::uint64_t>(G);
+          add_scaled_traffic(lump_t, ws.t, static_cast<std::uint64_t>(G));
+          // Apply the group's L2 events in exact slot order: leader first,
+          // then each mate's stream shifted by its rank.
+          for (long r = 0; r < G; ++r) {
+            const std::uint64_t dl = static_cast<std::uint64_t>(r) * dlines;
+            const std::uint64_t db = static_cast<std::uint64_t>(r) * dbytes;
+            PageSet& ps = pages[static_cast<std::size_t>(s + r)];
+            for (const WinEvent& e : ws.ev) {
+              const std::uint64_t ln = e.line + dl;
+              bool dram = false;
+              switch (e.op & 3u) {
+                case kWinLoad:
+                  dram = hier.replay_l2_load(ln);
+                  break;
+                case kWinStoreFull:
+                  dram = hier.replay_l2_store_full(ln);
+                  break;
+                case kWinStorePartial:
+                  dram = hier.replay_l2_store_partial(ln);
+                  break;
+                default:  // kWinPageOnly: bypass load, counters in phase 1
+                  dram = true;
+                  break;
+              }
+              if (dram && track_pages)
+                ps.insert((e.op & kWinBrickKey) ? (e.pk + db) >> 12 : e.pk);
+            }
+          }
+          if (completes) {
+            for (long r = 0; r < G; ++r) {
+              PageSet& ps = pages[static_cast<std::size_t>(s + r)];
+              if (track_pages)
+                hier.charge_page_overhead(static_cast<double>(ps.size()) *
+                                          arch.page_open_bytes);
+              ++rep.blocks_run;
+              ps.clear();
+            }
+          }
+        }
+        // Lumped mates: everything was applied at their leader's turn.
+      }
+    }
+  }
+
+  hier.merge_traffic(lump_t);
+  hier.flush_l2();
+  rep.traffic = hier.traffic();
+  detail::finalize_timing(rep, cores, arch, kernel);
+  return rep;
+}
+
+KernelReport ExecPlan::replay_reference(memsim::MemoryHierarchy& hier) const {
   const Kernel& kernel = *kernel_;
   const arch::GpuArch& arch = *arch_;
   hier.reset();
@@ -544,7 +1175,19 @@ KernelReport ExecPlan::replay_sharded(memsim::MemoryHierarchy& hier,
       total_blocks >= static_cast<long>(
                           std::numeric_limits<std::uint32_t>::max()))
     return replay(hier);  // ShardEvent::block is 32-bit
+  if (mode_ == ExecMode::CountersOnly)
+    return replay_counters_sharded(hier, nshards, used_cores);
+  return replay_sharded_reference(hier, nshards, used_cores);
+}
 
+KernelReport ExecPlan::replay_sharded_reference(memsim::MemoryHierarchy& hier,
+                                                int nshards,
+                                                int used_cores) const {
+  const Kernel& kernel = *kernel_;
+  const arch::GpuArch& arch = *arch_;
+  const long total_blocks = kernel.blocks.volume();
+  const int resident = static_cast<int>(
+      std::min<long>(arch.max_resident_blocks(), total_blocks));
   hier.reset();
   const int W = W_;
   const bool functional = mode_ == ExecMode::Functional;
@@ -865,14 +1508,20 @@ KernelReport ExecPlan::replay_sharded(memsim::MemoryHierarchy& hier,
   KernelReport rep;
   const bool track_pages = kernel.read_streams > 1;
   std::vector<PageSet> pages;
-  ThreadPool pool(nshards);
+  // Shard 0 runs inline on the calling thread; the cached pool supplies the
+  // other nshards - 1 workers.  Same concurrency as the old per-call
+  // ThreadPool(nshards), without respawning threads on every launch.
+  ThreadPool& pool = cached_shard_pool(nshards - 1);
   for (long w0 = 0; w0 < nwaves; w0 += seg_waves) {
     const long w1 = std::min(nwaves, w0 + seg_waves);
     // Phase 1: every shard replays its slots against private L1s.
-    for (ShardState& sh : st)
+    for (std::size_t i = 1; i < st.size(); ++i) {
+      ShardState& sh = st[i];
       pool.submit([&sh, w0, w1, &run_shard_segment] {
         run_shard_segment(sh, w0, w1);
       });
+    }
+    run_shard_segment(st[0], w0, w1);
     pool.wait();
 
     // Phase 2: k-way merge the shards' event logs by schedule order and
@@ -880,10 +1529,13 @@ KernelReport ExecPlan::replay_sharded(memsim::MemoryHierarchy& hier,
     // slot, and every slot has one owner), so the merged sequence -- and
     // with it every L2 state transition -- is exactly the serial replay's.
     const long seg_block0 = w0 * R;
+    const std::size_t seg_blocks = static_cast<std::size_t>(
+        std::min(total_blocks, w1 * R) - seg_block0);
     if (track_pages) {
-      pages.clear();
-      pages.resize(static_cast<std::size_t>(
-          std::min(total_blocks, w1 * R) - seg_block0));
+      // Reuse the page sets (and their heap buffers) across segments; only
+      // entries below the segment's block count are read.
+      if (pages.size() < seg_blocks) pages.resize(seg_blocks);
+      for (std::size_t i = 0; i < seg_blocks; ++i) pages[i].clear();
     }
     std::vector<std::size_t> pos(st.size(), 0);
     for (;;) {
@@ -927,8 +1579,8 @@ KernelReport ExecPlan::replay_sharded(memsim::MemoryHierarchy& hier,
     // waves, so per-segment page sets are final).  A pure counter add, so
     // charging after the merge instead of at block completion is exact.
     if (track_pages)
-      for (const PageSet& ps : pages)
-        hier.charge_page_overhead(static_cast<double>(ps.size()) *
+      for (std::size_t i = 0; i < seg_blocks; ++i)
+        hier.charge_page_overhead(static_cast<double>(pages[i].size()) *
                                   arch.page_open_bytes);
   }
 
@@ -939,6 +1591,265 @@ KernelReport ExecPlan::replay_sharded(memsim::MemoryHierarchy& hier,
       static_cast<std::size_t>(arch.num_cores));
   for (const ShardState& sh : st) {
     hier.merge_traffic(sh.l1.traffic());
+    rep.blocks_run += sh.blocks_run;
+    rep.warp_insts += sh.warp_insts;
+    rep.flops_executed += sh.flops;
+    rep.spill_bytes += sh.spill_bytes;
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      cores[c].fp_lanes += sh.cores[c].fp_lanes;
+      cores[c].int_lanes += sh.cores[c].int_lanes;
+      cores[c].shuffle_lanes += sh.cores[c].shuffle_lanes;
+      cores[c].l1_bytes += sh.cores[c].l1_bytes;
+      cores[c].mem_insts += sh.cores[c].mem_insts;
+      cores[c].serial_cycles += sh.cores[c].serial_cycles;
+    }
+  }
+  hier.flush_l2();
+  rep.traffic = hier.traffic();
+  detail::finalize_timing(rep, cores, arch, kernel);
+  return rep;
+}
+
+// The SoA CountersOnly sharded engine: replay_counters() restructured into
+// the two-phase scheme of replay_sharded_reference().  Lumped groups never
+// straddle a shard (boundaries are G-aligned), so a group leader appends
+// its mates' shifted L2 events -- with final page keys -- directly into its
+// shard's log, and phase 2 is byte-for-byte the reference merge.
+KernelReport ExecPlan::replay_counters_sharded(memsim::MemoryHierarchy& hier,
+                                               int nshards,
+                                               int used_cores) const {
+  const Kernel& kernel = *kernel_;
+  const arch::GpuArch& arch = *arch_;
+  const long total_blocks = kernel.blocks.volume();
+  const long R = std::min<long>(arch.max_resident_blocks(), total_blocks);
+  const int C = arch.num_cores;
+  const long G = lump_G_;
+  const bool lump = G > 1;
+  if (lump) {
+    // G divides both num_cores and R, hence used_cores = min of multiples.
+    nshards = std::min(nshards, used_cores / static_cast<int>(G));
+    if (nshards <= 1) return replay_counters(hier);
+  }
+
+  hier.reset();
+  const bool rmw_stores = !kernel.streaming_stores;
+  const bool track_pages = kernel.read_streams > 1;
+  const std::size_t ninsts = insts_.size();
+  const Geom geom = make_geom(arch, kernel, vec_bytes_);
+  const std::uint64_t dbytes = lump_delta_bytes_;
+  const std::uint64_t dlines =
+      lump ? dbytes / static_cast<std::uint64_t>(geom.line) : 0;
+  const long nrounds =
+      ninsts == 0 ? 1 : static_cast<long>((ninsts + kSlice - 1) / kSlice);
+  const long nwaves = (total_blocks + R - 1) / R;
+
+  struct CShard {
+    memsim::L1Shard l1;
+    memsim::Traffic lt;                  ///< lumped windows' L1-side traffic
+    std::vector<int> slots;              ///< owned slot ids, ascending
+    std::vector<detail::CoreUse> cores;  ///< full-size; only owned rows used
+    std::vector<std::uint64_t> addr, pkey, addend;
+    std::vector<std::uint8_t> byp;
+    WindowScratch ws;
+    std::uint64_t blocks_run = 0, warp_insts = 0, flops = 0, spill_bytes = 0;
+    CShard(const arch::GpuArch& a, int c0, int c1)
+        : l1(a, c0, c1), cores(static_cast<std::size_t>(a.num_cores)) {}
+  };
+  std::vector<CShard> st;
+  st.reserve(static_cast<std::size_t>(nshards));
+  const int align = lump ? static_cast<int>(G) : 1;
+  const int units = used_cores / align;
+  for (int i = 0; i < nshards; ++i) {
+    const int c0 = i * units / nshards * align;
+    const int c1 = (i + 1) * units / nshards * align;
+    st.emplace_back(arch, c0, c1);
+    CShard& sh = st.back();
+    for (int s = 0; s < static_cast<int>(R); ++s) {
+      const int core = s % C;
+      if (core >= c0 && core < c1) sh.slots.push_back(s);
+    }
+    sh.addr.resize(sh.slots.size() * ninsts);
+    sh.pkey.resize(sh.slots.size() * ninsts);
+    sh.byp.resize(sh.slots.size() * ninsts);
+    sh.addend.resize(addend_slots());
+  }
+
+  auto run_shard_segment = [&](CShard& sh, long w0, long w1) {
+    for (long wave = w0; wave < w1; ++wave) {
+      const long nslots = std::min(R, total_blocks - wave * R);
+      for (std::size_t li = 0; li < sh.slots.size(); ++li) {
+        const int s = sh.slots[li];
+        if (s >= nslots) break;  // slots ascend; the tail idles this wave
+        const long blin = wave * R + s;
+        detail::CoreUse& cu = sh.cores[static_cast<std::size_t>(blin % C)];
+        cu.fp_lanes += alu_.fp_lanes;
+        cu.int_lanes += alu_.int_lanes;
+        cu.shuffle_lanes += alu_.shuffle_lanes;
+        sh.flops += alu_.flops;
+        sh.warp_insts += alu_.warp_insts;
+        if (lump && (s % G) != 0) continue;
+        fill_block_addresses(blin, sh.addr.data() + li * ninsts,
+                             sh.pkey.data() + li * ninsts,
+                             sh.byp.data() + li * ninsts, sh.addend.data());
+      }
+      for (long round = 0; round < nrounds; ++round) {
+        const std::uint64_t okey_base =
+            (static_cast<std::uint64_t>(wave) * nrounds +
+             static_cast<std::uint64_t>(round)) *
+            static_cast<std::uint64_t>(R);
+        const std::size_t pc0 = static_cast<std::size_t>(round) * kSlice;
+        const std::size_t pc_end = std::min(ninsts, pc0 + kSlice);
+        const bool completes = pc_end >= ninsts;
+        for (std::size_t li = 0; li < sh.slots.size(); ++li) {
+          const int s = sh.slots[li];
+          if (s >= nslots) break;
+          const long blin = wave * R + s;
+          const int core = static_cast<int>(blin % C);
+          const std::uint64_t order =
+              okey_base + static_cast<std::uint64_t>(s);
+          if (!lump) {
+            detail::CoreUse& cu = sh.cores[static_cast<std::size_t>(core)];
+            const std::uint64_t* arow = sh.addr.data() + li * ninsts;
+            const std::uint64_t* prow = sh.pkey.data() + li * ninsts;
+            const std::uint8_t* brow = sh.byp.data() + li * ninsts;
+            const std::uint32_t blk = static_cast<std::uint32_t>(blin);
+            for (std::size_t i = pc0; i < pc_end; ++i) {
+              const std::uint8_t f = soa_.flags[i];
+              const bool store = (f & kSoaStore) != 0;
+              if (f & kSoaSpill) {
+                const auto shape = sh.l1.scratch_access(vec_bytes_, store);
+                cu.mem_insts += shape.lines;
+                cu.l1_bytes += shape.sectors * geom.sector_bytes;
+                sh.spill_bytes += vec_bytes_;
+                continue;
+              }
+              const auto shape =
+                  sh.l1.access(core, arow[i], vec_bytes_, store,
+                               store ? false : brow[i] != 0,
+                               store ? rmw_stores : false, order, blk,
+                               prow[i]);
+              cu.mem_insts += shape.lines;
+              cu.l1_bytes += shape.sectors * geom.sector_bytes;
+              if (!store) cu.serial_cycles += geom.extra_load_cycles;
+            }
+            sh.warp_insts += pc_end - pc0;
+            if (completes) ++sh.blocks_run;
+          } else if ((s % G) == 0) {
+            exec_lump_window(soa_, pc0, pc_end,
+                             sh.addr.data() + li * ninsts,
+                             sh.pkey.data() + li * ninsts,
+                             sh.byp.data() + li * ninsts, geom,
+                             sh.l1.l1(core),
+                             sh.cores[static_cast<std::size_t>(core)], sh.ws);
+            for (long r = 1; r < G; ++r)
+              apply_window_counters(
+                  sh.ws, geom, sh.cores[static_cast<std::size_t>(core + r)]);
+            sh.warp_insts += sh.ws.insts * static_cast<std::uint64_t>(G);
+            sh.spill_bytes +=
+                sh.ws.spills * vec_bytes_ * static_cast<std::uint64_t>(G);
+            add_scaled_traffic(sh.lt, sh.ws.t,
+                               static_cast<std::uint64_t>(G));
+            auto& log = sh.l1.events();
+            for (long r = 0; r < G; ++r) {
+              const std::uint64_t dl = static_cast<std::uint64_t>(r) * dlines;
+              const std::uint64_t db = static_cast<std::uint64_t>(r) * dbytes;
+              const std::uint32_t blk = static_cast<std::uint32_t>(blin + r);
+              for (const WinEvent& e : sh.ws.ev)
+                log.push_back(
+                    {order + static_cast<std::uint64_t>(r), e.line + dl,
+                     (e.op & kWinBrickKey) ? (e.pk + db) >> 12 : e.pk, blk,
+                     win_to_l2(e.op)});
+            }
+            if (completes) sh.blocks_run += static_cast<std::uint64_t>(G);
+          }
+          // Lumped mates: applied at their leader's turn, nothing to do.
+        }
+      }
+    }
+  };
+
+  std::size_t nmem = 0;
+  for (const PlanInst& in : insts_)
+    if (in.kind == PKind::LoadArray || in.kind == PKind::StoreArray ||
+        in.kind == PKind::LoadBrick || in.kind == PKind::StoreBrick)
+      ++nmem;
+  const std::uint64_t lines_bound =
+      vec_bytes_ / static_cast<std::uint32_t>(arch.l1.line_bytes) + 1;
+  const std::uint64_t events_per_wave = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(R) * nmem * lines_bound);
+  constexpr std::uint64_t kEventBudget = 1ull << 21;  // ~64 MB of events
+  const long seg_waves = static_cast<long>(
+      std::max<std::uint64_t>(1, kEventBudget / events_per_wave));
+
+  KernelReport rep;
+  std::vector<PageSet> pages;
+  ThreadPool& pool = cached_shard_pool(nshards - 1);
+  for (long w0 = 0; w0 < nwaves; w0 += seg_waves) {
+    const long w1 = std::min(nwaves, w0 + seg_waves);
+    for (std::size_t i = 1; i < st.size(); ++i) {
+      CShard& sh = st[i];
+      pool.submit([&sh, w0, w1, &run_shard_segment] {
+        run_shard_segment(sh, w0, w1);
+      });
+    }
+    run_shard_segment(st[0], w0, w1);
+    pool.wait();
+
+    const long seg_block0 = w0 * R;
+    const std::size_t seg_blocks = static_cast<std::size_t>(
+        std::min(total_blocks, w1 * R) - seg_block0);
+    if (track_pages) {
+      if (pages.size() < seg_blocks) pages.resize(seg_blocks);
+      for (std::size_t i = 0; i < seg_blocks; ++i) pages[i].clear();
+    }
+    std::vector<std::size_t> pos(st.size(), 0);
+    for (;;) {
+      int best = -1;
+      std::uint64_t best_key = 0;
+      for (std::size_t i = 0; i < st.size(); ++i) {
+        const auto& ev = st[i].l1.events();
+        if (pos[i] < ev.size() &&
+            (best < 0 || ev[pos[i]].order < best_key)) {
+          best = static_cast<int>(i);
+          best_key = ev[pos[i]].order;
+        }
+      }
+      if (best < 0) break;
+      const auto& ev = st[static_cast<std::size_t>(best)].l1.events();
+      std::size_t& p = pos[static_cast<std::size_t>(best)];
+      while (p < ev.size() && ev[p].order == best_key) {
+        const memsim::ShardEvent& e = ev[p++];
+        bool dram = false;
+        switch (e.op) {
+          case memsim::L2Op::Load:
+            dram = hier.replay_l2_load(e.line);
+            break;
+          case memsim::L2Op::StoreFull:
+            dram = hier.replay_l2_store_full(e.line);
+            break;
+          case memsim::L2Op::StorePartial:
+            dram = hier.replay_l2_store_partial(e.line);
+            break;
+          case memsim::L2Op::PageOnly:
+            dram = true;  // bypass load: counters charged in phase 1
+            break;
+        }
+        if (dram && track_pages)
+          pages[static_cast<std::size_t>(e.block - seg_block0)].insert(
+              e.page_key);
+      }
+    }
+    for (CShard& sh : st) sh.l1.events().clear();
+    if (track_pages)
+      for (std::size_t i = 0; i < seg_blocks; ++i)
+        hier.charge_page_overhead(static_cast<double>(pages[i].size()) *
+                                  arch.page_open_bytes);
+  }
+
+  std::vector<detail::CoreUse> cores(static_cast<std::size_t>(C));
+  for (const CShard& sh : st) {
+    hier.merge_traffic(sh.l1.traffic());
+    hier.merge_traffic(sh.lt);
     rep.blocks_run += sh.blocks_run;
     rep.warp_insts += sh.warp_insts;
     rep.flops_executed += sh.flops;

@@ -70,7 +70,16 @@ class ExecPlan {
 
   /// Runs every block of the launch against `hier` (cold caches) and
   /// returns the report.  Bit-identical to Machine's legacy interpreter.
+  /// Dispatches CountersOnly plans to the SoA engine (batched address
+  /// generation + congruence-class lumping, see replay notes below) and
+  /// Functional plans to the reference AoS engine.
   KernelReport replay(memsim::MemoryHierarchy& hier) const;
+
+  /// The original AoS replay loop, kept as the Functional engine and as the
+  /// reference the SoA engine is differentially tested against (the
+  /// SoA-vs-AoS bit-equality suite in tests/test_execplan.cpp).  Works in
+  /// both modes; report bit-identical to replay() by construction.
+  KernelReport replay_reference(memsim::MemoryHierarchy& hier) const;
 
   /// replay() with the block grid sharded across `shards` worker threads,
   /// returning a report bit-identical to replay() at every shard count.
@@ -91,6 +100,9 @@ class ExecPlan {
                               int shards) const;
 
   ExecMode mode() const { return mode_; }
+  /// The architecture this plan was decoded for (verify_plan re-derives the
+  /// congruence-lump eligibility from it).
+  const arch::GpuArch& arch() const { return *arch_; }
   /// Replay-stream length: all instructions in Functional mode, memory
   /// instructions only in CountersOnly mode (ALU costs are per-block
   /// aggregates there, exactly like the interpreter's fast path).
@@ -157,6 +169,86 @@ class ExecPlan {
         default;
   };
 
+  // --- Structure-of-arrays replay lanes -------------------------------
+  //
+  // The CountersOnly replay hot path runs over these parallel arrays
+  // instead of the 56-byte PlanInst records: one u8 lane for dispatch
+  // flags, one u32 lane selecting a per-block address addend, and one u64
+  // lane holding the block-invariant part of the byte address (grid base +
+  // pre-scaled invariant index).  Per block, addresses materialize in one
+  // pass: addr[i] = tmpl[i] + addend[sel[i]], where the addend table is
+  // rebuilt per block (array grids: block offset in bytes; brick grids:
+  // resolved brick base in bytes, one entry per (grid, adjacency code)).
+
+  /// Flag bits of SoaStream::flags.
+  static constexpr std::uint8_t kSoaStore = 1;        ///< store semantics
+  static constexpr std::uint8_t kSoaBrick = 2;        ///< brick page keys
+  static constexpr std::uint8_t kSoaSpill = 4;        ///< scratch access
+  static constexpr std::uint8_t kSoaBypassCand = 8;   ///< L2-bypass candidate
+  static constexpr std::uint8_t kSoaGlobalLoad = 16;  ///< load latency charge
+
+  /// The SoA mirror of insts_ (same length, index-aligned).  ALU lanes
+  /// (Functional-mode plans only) carry zeroed address fields and the
+  /// zero addend slot.
+  struct SoaStream {
+    std::vector<PKind> kind;
+    std::vector<std::uint8_t> flags;
+    std::vector<std::uint32_t> sel;       ///< per-block addend slot
+    std::vector<std::uint64_t> tmpl;      ///< base + idx0 * 8 (bytes)
+    std::vector<std::uint64_t> row_key0;  ///< array page-key invariant part
+  };
+
+  /// One brick addend-table entry to resolve per block: addend[sel] =
+  /// brick_base_bytes(adjacent brick of `grid` via `code`).
+  struct BrickSel {
+    std::uint8_t grid = 0;
+    std::uint8_t code = 13;
+    std::uint32_t sel = 0;
+  };
+
+  /// Addend-table layout: [0, ngrids) array block offsets, then 27 slots
+  /// per grid for brick (grid, code) bases, then one always-zero slot.
+  std::uint32_t addend_slots() const {
+    return static_cast<std::uint32_t>(grids_.size()) * 28 + 1;
+  }
+  std::uint32_t addend_zero_slot() const { return addend_slots() - 1; }
+
+  const SoaStream& soa() const { return soa_; }
+  const std::vector<BrickSel>& brick_sels() const { return brick_sels_; }
+
+  // --- Block classes and congruence lumping ---------------------------
+  //
+  // Decode partitions the static block grid into interior blocks (brick
+  // adjacency matches the uniform affine template derived from block 0;
+  // array-only launches are all-interior) and corner blocks (shuffled or
+  // boundary-irregular adjacency), and -- in CountersOnly mode -- detects
+  // when whole groups of G consecutive blocks produce memory-event
+  // sequences congruent up to a base-address shift of r * lump_delta_bytes
+  // for group member r.  Eligible launches replay one leader per group;
+  // the G-1 mates reuse the leader's window (shifted L2 events, replayed
+  // per-core counter addends).  lump_factor() == 1 means every block takes
+  // the general path.
+
+  /// Congruence group width G (1 = lumping disabled for this plan).
+  int lump_factor() const { return lump_G_; }
+  /// Byte shift between adjacent group members' access streams.
+  std::uint64_t lump_delta_bytes() const { return lump_delta_bytes_; }
+  /// Blocks whose brick adjacency deviates from the affine template.
+  std::uint64_t num_corner_blocks() const { return num_corner_; }
+  /// True when block `blin` is a corner block (general addend resolution).
+  bool block_is_corner(long blin) const {
+    return !corner_.empty() &&
+           (corner_[static_cast<std::size_t>(blin) >> 3] &
+            (1u << (blin & 7))) != 0;
+  }
+  /// Canonical brick-id delta of adjacency `code` on `grid` (interior
+  /// blocks satisfy adj[bid * 27 + code] == bid + canon).
+  std::int64_t canon_delta(int grid, int code) const {
+    return canon_.empty() ? 0
+                          : canon_[static_cast<std::size_t>(grid) * 27 +
+                                   static_cast<std::size_t>(code)];
+  }
+
   // Decode-product introspection, consumed by analysis::verify_plan (the
   // --verify-plan differential gate) and the decode-mutation tests.
   int vec_width() const { return W_; }
@@ -173,8 +265,31 @@ class ExecPlan {
   std::vector<PlanInst>& mutable_insts() { return insts_; }
   std::vector<GridPlan>& mutable_grids() { return grids_; }
   AluAggregates& mutable_alu() { return alu_; }
+  SoaStream& mutable_soa() { return soa_; }
+  int& mutable_lump_factor() { return lump_G_; }
+  std::uint64_t& mutable_lump_delta_bytes() { return lump_delta_bytes_; }
 
  private:
+  /// Builds the SoA lanes from the freshly decoded insts_.
+  void build_soa();
+  /// Corner classification + congruence-lump eligibility (CountersOnly).
+  void analyze_blocks();
+  /// Batched address generation: materializes block `blin`'s address,
+  /// page-key, and bypass lanes (one entry per instruction) into the given
+  /// arena rows, via the per-block addend table (scratch, addend_slots()
+  /// entries).
+  void fill_block_addresses(long blin, std::uint64_t* arow,
+                            std::uint64_t* prow, std::uint8_t* brow,
+                            std::uint64_t* addend) const;
+
+  /// The SoA CountersOnly engines (serial and sharded).
+  KernelReport replay_counters(memsim::MemoryHierarchy& hier) const;
+  KernelReport replay_counters_sharded(memsim::MemoryHierarchy& hier,
+                                       int nshards, int used_cores) const;
+  /// The reference sharded loop (Functional engine).
+  KernelReport replay_sharded_reference(memsim::MemoryHierarchy& hier,
+                                        int nshards, int used_cores) const;
+
   const Kernel* kernel_;
   const arch::GpuArch* arch_;
   ExecMode mode_;
@@ -186,6 +301,14 @@ class ExecPlan {
   std::vector<PlanInst> insts_;
   std::vector<GridPlan> grids_;
   AluAggregates alu_;
+
+  SoaStream soa_;
+  std::vector<BrickSel> brick_sels_;   ///< used (grid, code) addend entries
+  std::vector<std::int64_t> canon_;    ///< ngrids * 27 affine deltas
+  std::vector<std::uint8_t> corner_;   ///< per-block bitmap; empty = none
+  std::uint64_t num_corner_ = 0;
+  int lump_G_ = 1;
+  std::uint64_t lump_delta_bytes_ = 0;
 };
 
 }  // namespace bricksim::simt

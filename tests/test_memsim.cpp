@@ -401,6 +401,92 @@ TEST(L1Shard, RejectsBadCoreRange) {
   EXPECT_THROW(L1Shard(arch, 0, 3), Error);   // beyond num_cores
 }
 
+// --- L1Tags (the dirty-free L1 tag store of the SoA replay engine) ----------
+
+TEST(L1Tags, MatchesSetAssocCacheOnNeverDirtyWorkload) {
+  // L1Tags promises bit-identical residency and recency transitions to
+  // SetAssocCache under the GPU L1's never-dirty workload (loads + touch).
+  // Drive both with the same pseudo-random op stream over a small set count
+  // (and a non-power-of-two one, covering the fastmod index) and compare
+  // every returned hit/miss.
+  for (const int lines : {16, 24}) {  // 4 sets and 6 sets at assoc 4
+    SetAssocCache ref(tiny_cache(lines, 4));
+    L1Tags tags(tiny_cache(lines, 4));
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    auto next = [&x] {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      return x;
+    };
+    for (int n = 0; n < 4000; ++n) {
+      const std::uint64_t line = next() % 96;  // ~4x capacity: evictions
+      switch (next() % 3) {
+        case 0:
+          EXPECT_EQ(tags.access(line), ref.access(line, false).hit) << n;
+          break;
+        case 1:
+          EXPECT_EQ(tags.touch(line), ref.touch(line)) << n;
+          break;
+        default:
+          EXPECT_EQ(tags.probe(line), ref.probe(line)) << n;
+          break;
+      }
+    }
+    EXPECT_EQ(ref.dirty_lines(), 0u);  // the workload really was dirty-free
+  }
+}
+
+TEST(L1Tags, ShiftCopyFromReproducesShiftedHistory) {
+  // shift_copy_from(A, d) must equal the cache state after replaying A's
+  // entire access history shifted by d -- the exact property the congruence
+  // lumping relies on when a mate core re-enters the general path.  Cover a
+  // power-of-two and a non-power-of-two set count, and a delta that is not
+  // a multiple of the set count.
+  for (const int lines : {16, 24}) {
+    for (const std::uint64_t delta : {1ull, 7ull, 1000003ull}) {
+      L1Tags a(tiny_cache(lines, 4));
+      L1Tags b(tiny_cache(lines, 4));
+      std::uint64_t x = 0x2545f4914f6cdd1dull;
+      auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+      };
+      for (int n = 0; n < 2000; ++n) {
+        const std::uint64_t line = next() % 80;
+        a.access(line);
+        b.access(line + delta);
+      }
+      L1Tags c(tiny_cache(lines, 4));
+      c.shift_copy_from(a, delta);
+      // Identical state: every further access must hit/miss identically,
+      // including the evictions the shared recency order now drives.
+      for (int n = 0; n < 2000; ++n) {
+        const std::uint64_t line = next() % 160;
+        EXPECT_EQ(c.access(line + delta), b.access(line + delta)) << n;
+        EXPECT_EQ(c.probe(line), b.probe(line)) << n;
+      }
+    }
+  }
+}
+
+TEST(L1Tags, ResetClearsResidency) {
+  L1Tags tags(tiny_cache(16, 4));
+  EXPECT_FALSE(tags.access(5));
+  EXPECT_TRUE(tags.access(5));
+  tags.reset();
+  EXPECT_FALSE(tags.probe(5));
+  EXPECT_FALSE(tags.access(5));
+}
+
+TEST(L1Tags, ShiftCopyFromRejectsMismatchedGeometry) {
+  L1Tags a(tiny_cache(16, 4));
+  L1Tags b(tiny_cache(32, 4));
+  EXPECT_THROW(b.shift_copy_from(a, 1), Error);
+}
+
 TEST(Traffic, Accumulation) {
   Traffic a, b;
   a.hbm_read_bytes = 10;

@@ -138,6 +138,53 @@ TEST_F(PlanVerifyArray, RejectsMutatedBypassFlag) {
   });
 }
 
+TEST_F(PlanVerifyArray, RejectsMutatedSoaKindLane) {
+  expect_rejected(plan_, prep_.kernel, "soa.kind", [](ExecPlan& p) {
+    p.mutable_soa().kind[first_of(p, PKind::LoadArray)] = PKind::StoreArray;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedSoaFlagsLane) {
+  expect_rejected(plan_, prep_.kernel, "soa.flags", [](ExecPlan& p) {
+    p.mutable_soa().flags[first_of(p, PKind::LoadArray)] ^=
+        ExecPlan::kSoaBypassCand;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedSoaAddendSlot) {
+  expect_rejected(plan_, prep_.kernel, "soa.sel", [](ExecPlan& p) {
+    p.mutable_soa().sel[first_of(p, PKind::LoadArray)] += 1;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedSoaAddressTemplate) {
+  expect_rejected(plan_, prep_.kernel, "soa.tmpl", [](ExecPlan& p) {
+    p.mutable_soa().tmpl[first_of(p, PKind::LoadArray)] += kElemBytes;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedSoaRowKeyLane) {
+  expect_rejected(plan_, prep_.kernel, "soa.row_key", [](ExecPlan& p) {
+    p.mutable_soa().row_key0[first_of(p, PKind::LoadArray)] ^= 1;
+  });
+}
+
+TEST_F(PlanVerifyArray, RejectsTruncatedSoaLanes) {
+  expect_rejected(plan_, prep_.kernel, "soa.size",
+                  [](ExecPlan& p) { p.mutable_soa().kind.pop_back(); });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedLumpFactor) {
+  expect_rejected(plan_, prep_.kernel, "lump.G",
+                  [](ExecPlan& p) { p.mutable_lump_factor() += 1; });
+}
+
+TEST_F(PlanVerifyArray, RejectsMutatedLumpDelta) {
+  expect_rejected(plan_, prep_.kernel, "lump.delta", [](ExecPlan& p) {
+    p.mutable_lump_delta_bytes() += kElemBytes;
+  });
+}
+
 TEST_F(PlanVerifyArray, RejectsTruncatedStream) {
   expect_rejected(plan_, prep_.kernel, "stream",
                   [](ExecPlan& p) { p.mutable_insts().pop_back(); });
@@ -200,6 +247,19 @@ TEST_F(PlanVerifyBrick, RejectsMutatedElemsPerBrick) {
 TEST_F(PlanVerifyBrick, RejectsMutatedAdjacencyBinding) {
   expect_rejected(plan_, prep_.kernel, "adjacency",
                   [](ExecPlan& p) { p.mutable_grids()[0].adjacency = nullptr; });
+}
+
+TEST_F(PlanVerifyBrick, RejectsMutatedBrickSoaAddendSlot) {
+  // The brick addend slot encodes (grid, adjacency code); a wrong slot
+  // resolves a different neighbour per block.
+  expect_rejected(plan_, prep_.kernel, "soa.sel", [](ExecPlan& p) {
+    p.mutable_soa().sel[first_of(p, PKind::LoadBrick)] += 1;
+  });
+}
+
+TEST_F(PlanVerifyBrick, RejectsMutatedLumpFactor) {
+  expect_rejected(plan_, prep_.kernel, "lump.G",
+                  [](ExecPlan& p) { p.mutable_lump_factor() += 1; });
 }
 
 // --- Functional-mode compute fields (hand-built kernel with storage) ---------

@@ -1,0 +1,261 @@
+// SoA-vs-AoS equivalence suite for the structure-of-arrays replay engine
+// (ExecPlan::replay_counters and its sharded variant, PR "SoA replay
+// engine").  The SoA layout, the batched address generation, the block-class
+// specialization, and the congruence-class lumping are all pure replay-speed
+// optimizations: every KernelReport must be BIT-IDENTICAL to the reference
+// AoS replay (ExecPlan::replay_reference), so every comparison here uses
+// operator== (exact), never tolerances:
+//
+//   * catalog level: every (stencil, variant) of every paper platform, both
+//     ExecModes, shards {1, 2, 7, 32}, replayed through both layouts via the
+//     Launcher plan hook (production decode products, not fixtures);
+//   * congruence level: a uniform array launch must lump (lump_factor > 1)
+//     and stay bit-identical; a prime block count and a shuffled
+//     (corner-heavy) brick decomposition must take the general path
+//     (lump_factor == 1) and stay bit-identical.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/grid.h"
+#include "common/rng.h"
+#include "dsl/stencil.h"
+#include "memsim/hierarchy.h"
+#include "model/launcher.h"
+#include "model/progmodel.h"
+#include "simt/execplan.h"
+#include "simt/machine.h"
+
+namespace bricksim {
+namespace {
+
+using codegen::Variant;
+
+constexpr int kShardCounts[] = {1, 2, 7, 32};
+
+/// Replays `plan` through the reference AoS layout and through the SoA
+/// engines (serial and every shard count) on a private hierarchy, and
+/// asserts bit-identical reports.  Returns the reference report.
+simt::KernelReport expect_layouts_agree(const simt::ExecPlan& plan,
+                                        const std::string& what) {
+  memsim::MemoryHierarchy hier(plan.arch());
+  const simt::KernelReport ref = plan.replay_reference(hier);
+  const simt::KernelReport soa = plan.replay(hier);
+  EXPECT_TRUE(soa == ref) << what << " (SoA serial vs AoS reference)";
+  for (const int shards : kShardCounts) {
+    const simt::KernelReport sh = plan.replay_sharded(hier, shards);
+    EXPECT_TRUE(sh == ref) << what << " (SoA shards=" << shards
+                           << " vs AoS reference)";
+  }
+  return ref;
+}
+
+// --- Catalog-level equivalence through the production decode ----------------
+
+class SoaCatalog : public testing::TestWithParam<std::string> {};
+
+TEST_P(SoaCatalog, ReportsBitIdenticalAcrossLayoutsAndShards) {
+  const auto platforms = model::paper_platforms();
+  const model::Platform* pf = nullptr;
+  for (const auto& p : platforms)
+    if (p.label() == GetParam()) pf = &p;
+  ASSERT_NE(pf, nullptr);
+
+  // Counters-only on a 128x64x64 domain: at least two blocks along i on
+  // every platform (MI250X tiles are 64 elements wide), so the lumped fast
+  // path, the batch address generation and the block classes are all live.
+  long lumped = 0;
+  model::Launcher launcher({128, 64, 64});
+  launcher.set_check_mode(analysis::CheckMode::Off);
+  launcher.set_plan_hook(
+      [&lumped](const simt::ExecPlan& plan, const simt::Kernel&) {
+        lumped += plan.lump_factor() > 1 ? 1 : 0;
+        expect_layouts_agree(plan, "counters 64^3");
+      });
+  for (const auto& st : dsl::Stencil::paper_catalog())
+    for (const auto v :
+         {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen})
+      launcher.run(st, v, *pf);
+  // The catalog at 64^3 must actually exercise the lumped fast path
+  // somewhere, or the equivalence above proves less than it claims.
+  EXPECT_GT(lumped, 0) << "no catalog config lumped on " << pf->label();
+
+  // Functional on a small domain: replay() dispatches to the reference
+  // engine, and the sharded replay must agree while writing real data.
+  const auto st = dsl::Stencil::paper_catalog()[1];  // 13pt star, radius 2
+  const Vec3 domain{2 * pf->gpu.simd_width, 8, 8};
+  HostGrid in(domain, {st.radius(), st.radius(), st.radius()});
+  SplitMix64 rng(23);
+  in.fill_random(rng);
+  HostGrid out(domain, {0, 0, 0});
+  model::Launcher flauncher(domain);
+  flauncher.set_check_mode(analysis::CheckMode::Off);
+  flauncher.set_plan_hook(
+      [](const simt::ExecPlan& plan, const simt::Kernel&) {
+        expect_layouts_agree(plan, "functional");
+      });
+  for (const auto v :
+       {Variant::Array, Variant::ArrayCodegen, Variant::BricksCodegen})
+    flauncher.run_functional(st, v, *pf, in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperPlatforms, SoaCatalog,
+    testing::ValuesIn([] {
+      std::vector<std::string> labels;
+      for (const auto& p : model::paper_platforms())
+        labels.push_back(p.label());
+      return labels;
+    }()),
+    [](const auto& info) {
+      std::string s = info.param;
+      for (char& c : s)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+// --- Congruence-class lumping (fixture-level) -------------------------------
+
+simt::Kernel make_kernel(const ir::Program& prog, Vec3 blocks,
+                         std::vector<double>& in, std::vector<double>& out,
+                         Vec3& padded) {
+  const Vec3 interior{blocks.i * 8, blocks.j * 4, blocks.k * 4};
+  padded = {interior.i + 16, interior.j + 16, interior.k + 16};
+  in.assign(static_cast<std::size_t>(padded.volume()), 0.0);
+  out.assign(static_cast<std::size_t>(padded.volume()), 0.0);
+
+  simt::DeviceAllocator dev(128);
+  simt::GridBinding gi;
+  gi.padded = padded;
+  gi.ghost = {8, 8, 8};
+  gi.device_base = dev.allocate(in.size() * kElemBytes);
+  simt::GridBinding go = gi;
+  go.device_base = dev.allocate(out.size() * kElemBytes);
+
+  simt::Kernel k;
+  k.program = &prog;
+  k.blocks = blocks;
+  k.tile = {8, 4, 4};
+  k.grids = {gi, go};  // counters-only: no functional backing store
+  for (int n = 0; n < prog.num_constants(); ++n)
+    k.constants.push_back(0.5 + n);
+  return k;
+}
+
+ir::MemRef aref(int grid, int di, int dj = 0, int dk = 0) {
+  ir::MemRef m;
+  m.grid = grid;
+  m.space = ir::Space::Array;
+  m.di = di;
+  m.dj = dj;
+  m.dk = dk;
+  m.vectorized = true;
+  return m;
+}
+
+/// A small array program with loads at several offsets, a spill round trip
+/// and a store: everything the congruence window has to replicate per mate.
+ir::Program array_program() {
+  ir::Program p(8);
+  p.add_constant("c0");
+  const int a = p.load(aref(0, 0));
+  const int b = p.load(aref(0, 3));  // unaligned: bypass candidate
+  const int c = p.load(aref(0, 8));
+  ir::MemRef sp;
+  sp.space = ir::Space::Spill;
+  sp.slot = 0;
+  p.store(a, sp);
+  const int s1 = p.add(a, b);
+  const int s2 = p.fma(s1, c, a);
+  const int s3 = p.add(s2, p.load(sp));
+  p.store(s3, aref(1, 0));
+  p.set_num_spill_slots(1);
+  return p;
+}
+
+/// MI250X geometry (64-byte L1 lines and sectors) makes the fixture's
+/// 64-byte block-i delta lump-eligible; 4 cores so G = gcd(blocks.i, 4, R).
+arch::GpuArch lump_arch() {
+  arch::GpuArch a = arch::make_mi250x_gcd();
+  a.num_cores = 4;
+  return a;
+}
+
+TEST(SoaCongruence, UniformArrayDomainLumps) {
+  static const ir::Program prog = array_program();
+  std::vector<double> in, out;
+  Vec3 padded;
+  const arch::GpuArch arch = lump_arch();
+  simt::Kernel k = make_kernel(prog, {4, 4, 2}, in, out, padded);
+  k.read_streams = 2;
+  k.extra_cycles_per_load = 2.0;
+  const simt::ExecPlan plan(k, arch, simt::ExecMode::CountersOnly);
+  EXPECT_EQ(plan.lump_factor(), 4);  // gcd(blocks.i=4, cores=4, resident)
+  EXPECT_EQ(plan.lump_delta_bytes(), 8u * kElemBytes);  // tile.i elements
+  EXPECT_EQ(plan.num_corner_blocks(), 0u);  // array launches are all-interior
+  expect_layouts_agree(plan, "uniform array domain");
+}
+
+TEST(SoaCongruence, PrimeBlockCountTakesGeneralPath) {
+  static const ir::Program prog = array_program();
+  std::vector<double> in, out;
+  Vec3 padded;
+  const arch::GpuArch arch = lump_arch();
+  simt::Kernel k = make_kernel(prog, {3, 2, 2}, in, out, padded);
+  const simt::ExecPlan plan(k, arch, simt::ExecMode::CountersOnly);
+  EXPECT_EQ(plan.lump_factor(), 1);  // gcd(3, 4) == 1: nothing to lump
+  expect_layouts_agree(plan, "prime block count");
+}
+
+TEST(SoaCongruence, MisalignedDeltaTakesGeneralPath) {
+  // A100 L1 lines are 128 bytes; the fixture's 64-byte block-i delta breaks
+  // line congruence, so lumping must disarm even though gcd would allow it.
+  static const ir::Program prog = array_program();
+  std::vector<double> in, out;
+  Vec3 padded;
+  arch::GpuArch arch = arch::make_a100();
+  arch.num_cores = 4;
+  simt::Kernel k = make_kernel(prog, {4, 4, 2}, in, out, padded);
+  const simt::ExecPlan plan(k, arch, simt::ExecMode::CountersOnly);
+  EXPECT_EQ(plan.lump_factor(), 1);
+  expect_layouts_agree(plan, "misaligned delta");
+}
+
+TEST(SoaCongruence, ShuffledBricksAreCornersAndTakeGeneralPath) {
+  // The same bricks config decoded twice: the natural decomposition lumps
+  // with zero corner blocks; the shuffled decomposition (a deterministic
+  // permutation of brick storage order, so no two blocks' event streams are
+  // congruent) must classify corners and fall back to the general path --
+  // and both must stay bit-identical to the AoS reference.
+  const model::Platform pf = model::paper_platforms().front();
+  const dsl::Stencil st = dsl::Stencil::paper_catalog().front();
+
+  int lump_natural = -1, lump_shuffled = -1;
+  std::uint64_t corners_natural = 0, corners_shuffled = 0;
+
+  model::Launcher launcher({64, 64, 64});
+  launcher.set_check_mode(analysis::CheckMode::Off);
+  launcher.set_plan_hook([&](const simt::ExecPlan& plan, const simt::Kernel&) {
+    lump_natural = plan.lump_factor();
+    corners_natural = plan.num_corner_blocks();
+    expect_layouts_agree(plan, "natural bricks");
+  });
+  launcher.run(st, Variant::BricksCodegen, pf);
+
+  codegen::Options opts;
+  opts.shuffled_brick_order = true;
+  launcher.set_plan_hook([&](const simt::ExecPlan& plan, const simt::Kernel&) {
+    lump_shuffled = plan.lump_factor();
+    corners_shuffled = plan.num_corner_blocks();
+    expect_layouts_agree(plan, "shuffled bricks");
+  });
+  launcher.run(st, Variant::BricksCodegen, pf, opts);
+
+  EXPECT_GT(lump_natural, 1) << "natural decomposition should lump";
+  EXPECT_EQ(corners_natural, 0u);
+  EXPECT_EQ(lump_shuffled, 1) << "shuffled decomposition must not lump";
+  EXPECT_GT(corners_shuffled, 0u) << "shuffled adjacency must yield corners";
+}
+
+}  // namespace
+}  // namespace bricksim
