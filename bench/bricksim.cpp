@@ -1,17 +1,36 @@
-// The one experiment driver: `bricksim list | run <name...> | all`.
+// The one experiment driver: `bricksim list | run <name...> | all`, plus
+// the service triplet `serve | query | loadtest` (serve/server.h).
 //
 // Every paper table/figure is a registered experiment (harness/registry.h);
 // the driver materializes each experiment's sweep at most once per
 // fingerprint through the content-addressed cache and writes structured
 // artifacts (output.txt, tables.json, run_summary.json) under --out.
+// The service commands dispatch here (not in driver_main) because they
+// live one library above it: bricksim_serve links bricksim_harness, never
+// the reverse.
+#include <cstring>
 #include <exception>
 #include <iostream>
+#include <vector>
 
 #include "common/error.h"
 #include "harness/registry.h"
+#include "serve/server.h"
 
 int main(int argc, char** argv) {
   try {
+    if (argc > 1) {
+      // The service argv drops the command word, keeping argv[0] for help.
+      std::vector<const char*> rest{argv[0]};
+      for (int a = 2; a < argc; ++a) rest.push_back(argv[a]);
+      const int n = static_cast<int>(rest.size());
+      if (std::strcmp(argv[1], "serve") == 0)
+        return bricksim::serve::serve_main(n, rest.data());
+      if (std::strcmp(argv[1], "query") == 0)
+        return bricksim::serve::query_main(n, rest.data());
+      if (std::strcmp(argv[1], "loadtest") == 0)
+        return bricksim::serve::loadtest_main(n, rest.data());
+    }
     return bricksim::harness::driver_main(argc, argv);
   } catch (const bricksim::UsageError& e) {
     std::cerr << "bricksim: " << e.what() << "\n";

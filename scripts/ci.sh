@@ -63,12 +63,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/10] tier-1 verify (plain)"
+echo "==> [1/11] tier-1 verify (plain)"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/10] tier-1 verify (Release)"
+echo "==> [2/11] tier-1 verify (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -78,7 +78,7 @@ else
   ctest --test-dir build-release --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [3/10] perf smoke (fig3@128 Release: A/B gate + regression vs BENCH_replay.json)"
+echo "==> [3/11] perf smoke (fig3@128 Release: A/B gate + regression vs BENCH_replay.json)"
 if [[ "${BRICKSIM_SKIP_PERF_SMOKE:-0}" == 1 ]]; then
   echo "    skipped (BRICKSIM_SKIP_PERF_SMOKE=1)"
 else
@@ -114,7 +114,7 @@ else
   rm -rf "$PERFDIR"
 fi
 
-echo "==> [4/10] tier-1 verify (ASan + UBSan)"
+echo "==> [4/11] tier-1 verify (ASan + UBSan)"
 cmake -B build-asan -S . -DBRICKSIM_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -124,11 +124,11 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [5/10] concurrency verify (TSan)"
+echo "==> [5/11] concurrency verify (TSan)"
 cmake -B build-tsan -S . -DBRICKSIM_SANITIZE="thread"
-cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan test_shard bench_fig3_roofline
+cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan test_shard test_broker test_serve bench_fig3_roofline
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan|Shard'
+  -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan|Shard|Broker|Serve|Framing'
 # Sharded fig3 smoke under TSan: the intra-kernel replay shards
 # (ExecPlan::replay_sharded) genuinely run concurrently here --
 # BRICKSIM_OVERSUBSCRIBE lifts the effective_jobs hardware clamp so the
@@ -136,12 +136,12 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 BRICKSIM_OVERSUBSCRIBE=1 ./build-tsan/bench/bench_fig3_roofline \
   --n 64 --jobs 4 --shards 4 > /dev/null 2> /dev/null
 
-echo "==> [6/10] parallel sweep smoke (fig3 at --jobs 4, both engines + shards)"
+echo "==> [6/11] parallel sweep smoke (fig3 at --jobs 4, both engines + shards)"
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --shards 4 > /dev/null 2> /dev/null
 
-echo "==> [7/10] driver verify (bricksim all cold/warm + legacy byte-diff)"
+echo "==> [7/11] driver verify (bricksim all cold/warm + legacy byte-diff)"
 CIDIR="$(mktemp -d)"
 trap 'rm -rf "$CIDIR"' EXIT
 BRICKSIM=./build/bench/bricksim
@@ -188,7 +188,7 @@ for pair in table1:bench_table1_platforms table2:bench_table2_stencils \
     || { echo "FAIL: $bin stdout differs from bricksim run $name"; exit 1; }
 done
 
-echo "==> [8/10] fault-injection soak (ASan driver)"
+echo "==> [8/11] fault-injection soak (ASan driver)"
 ASAN_BRICKSIM=./build-asan/bench/bricksim
 SOAK="$CIDIR/soak"
 mkdir -p "$SOAK"
@@ -281,7 +281,7 @@ grep -q '\.corrupt' "$SOAK/doctor.out" \
 "$ASAN_BRICKSIM" doctor --cache-dir "$SOAK/cache" > "$SOAK/doctor2.out" \
   || { echo "FAIL: doctor reports damage after prune"; exit 1; }
 
-echo "==> [9/10] static-analysis verify (brickperf drift gate + plan verifier)"
+echo "==> [9/11] static-analysis verify (brickperf drift gate + plan verifier)"
 # Cold: simulates the main sweep, then joins brickperf's static estimates
 # against the measured counters; any drift outside tolerance exits 3.
 "$ASAN_BRICKSIM" run lint --n 64 --out "$CIDIR/lint_cold" \
@@ -321,7 +321,88 @@ grep -q '"sweeps_simulated": 0' "$CIDIR/lint_warm/run_summary.json" \
 "$ASAN_BRICKSIM" run fig3 --n 64 --verify-plan --no-cache \
   --out "$CIDIR/verify_plan" > /dev/null 2> /dev/null
 
-echo "==> [10/10] lint"
+echo "==> [10/11] service verify (bricksim serve + mixed-load storm + graceful shutdown)"
+SRV="$CIDIR/serve"
+mkdir -p "$SRV"
+
+# The daemon, with fault injection armed: the first simulated config
+# fails, so a degraded sweep flows through the broker like a healthy one
+# (served, memoized, counted) -- the storm below must still come back
+# clean at the protocol level.
+BRICKSIM_FAULT_INJECT='launch@1' "$BRICKSIM" serve --socket "$SRV/s.sock" \
+  --cache-dir "$SRV/cache" 2> "$SRV/serve.stderr" &
+SRV_PID=$!
+for _ in $(seq 100); do [[ -S "$SRV/s.sock" ]] && break; sleep 0.1; done
+[[ -S "$SRV/s.sock" ]] \
+  || { echo "FAIL: serve never created its socket"; exit 1; }
+"$BRICKSIM" query healthz --socket "$SRV/s.sock" | grep -q '"serving"' \
+  || { echo "FAIL: healthz did not report serving"; exit 1; }
+
+# Mixed hot/cold storm: 2000 requests over 16 connections, three distinct
+# fingerprints (hot 64^3, cold 128^3/192^3), spread priorities.  Exit 0
+# means every reply was ok and nothing failed or was rejected.
+"$BRICKSIM" loadtest --socket "$SRV/s.sock" --requests 2000 --threads 16 \
+  --kind cpu --hot-n 64 --cold-ns 128,192 --cold-every 7 \
+  --priority-spread > "$SRV/loadtest.json" \
+  || { echo "FAIL: loadtest reported failures"; cat "$SRV/loadtest.json"; \
+       exit 1; }
+
+# Counter contract after the storm: the admission invariant holds, the
+# three fingerprints cost exactly three simulations (single-flight: every
+# other cold arrival coalesced), warm hits never touched the pool
+# (enqueued == cold_misses), and nothing expired, failed, or was rejected.
+"$BRICKSIM" query counters --socket "$SRV/s.sock" > "$SRV/counters.json"
+jq -e '.counters |
+    .requests == 2000
+    and .requests == .warm_memo + .coalesced + .cold_misses + .rejected
+    and .cold_misses == .warm_disk + .simulated + .expired + .failed
+    and .simulated == 3
+    and .enqueued == .cold_misses
+    and .expired == 0 and .failed == 0 and .rejected == 0
+    and .inflight == 0' "$SRV/counters.json" > /dev/null \
+  || { echo "FAIL: broker counters violate the contract"; \
+       cat "$SRV/counters.json"; exit 1; }
+grep -q 'fault injection armed' "$SRV/serve.stderr" \
+  || { echo "FAIL: serve did not note the armed fault plan"; exit 1; }
+
+# Graceful drain on SIGTERM: exit 0, a drain note, and no stale socket.
+kill -TERM "$SRV_PID"
+rc=0
+wait "$SRV_PID" || rc=$?
+[[ "$rc" == 0 ]] \
+  || { echo "FAIL: serve exited $rc on SIGTERM, expected a clean drain"; \
+       exit 1; }
+grep -q 'drained cleanly' "$SRV/serve.stderr" \
+  || { echo "FAIL: serve printed no drain summary"; exit 1; }
+[[ ! -S "$SRV/s.sock" ]] \
+  || { echo "FAIL: serve left its socket behind"; exit 1; }
+
+# Driver-side graceful shutdown: SIGINT mid-sweep must exit 128+SIGINT
+# (130), mark the run interrupted, and leave resumable checkpoint shards
+# -- and a --resume rerun completes from them instead of starting over.
+INT="$CIDIR/interrupt"
+mkdir -p "$INT"
+rc=0
+"$BRICKSIM" run cpu_crossplatform --n 256 --jobs 2 --out "$INT/cut" \
+  --cache-dir "$INT/cache" > /dev/null 2> /dev/null &
+RUN_PID=$!
+sleep 0.5
+kill -INT "$RUN_PID"
+wait "$RUN_PID" || rc=$?
+[[ "$rc" == 130 ]] \
+  || { echo "FAIL: interrupted run exited $rc, expected 130"; exit 1; }
+grep -q '"interrupted": true' "$INT/cut/run_summary.json" \
+  || { echo "FAIL: run_summary.json not marked interrupted"; exit 1; }
+ls "$INT/cache"/*/shard-*.json > /dev/null 2>&1 \
+  || { echo "FAIL: interrupted run left no checkpoint shards"; exit 1; }
+"$BRICKSIM" run cpu_crossplatform --n 256 --jobs 2 --out "$INT/resumed" \
+  --cache-dir "$INT/cache" --resume > /dev/null 2> /dev/null \
+  || { echo "FAIL: resume after interrupt did not complete"; exit 1; }
+jq -e '.cache.shards_resumed > 0' "$INT/resumed/run_summary.json" \
+  > /dev/null \
+  || { echo "FAIL: resume after interrupt replayed no shards"; exit 1; }
+
+echo "==> [11/11] lint"
 scripts/lint.sh
 
 echo "==> CI green"

@@ -29,6 +29,16 @@ class UsageError : public Error {
   explicit UsageError(const std::string& what) : Error(what) {}
 };
 
+/// A cooperative shutdown (SIGINT/SIGTERM) observed mid-run: the work was
+/// neither completed nor failed -- it was deliberately cut short with its
+/// resume shards intact.  Subclasses Error so generic catch sites keep
+/// working; the driver distinguishes it to exit 128+signo instead of
+/// marking experiments failed (common/shutdown.h).
+class Interrupted : public Error {
+ public:
+  explicit Interrupted(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void raise(const char* kind, const char* expr,
                                const char* file, int line,

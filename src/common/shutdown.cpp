@@ -1,0 +1,84 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace bricksim {
+
+namespace {
+
+std::atomic<bool> g_requested{false};
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_installed{false};
+int g_pipe[2] = {-1, -1};
+
+extern "C" void bricksim_shutdown_handler(int signo) {
+  // Async-signal-safe: an atomic store and one pipe write, nothing else.
+  int expected = 0;
+  g_signal.compare_exchange_strong(expected, signo);
+  g_requested.store(true);
+  if (g_pipe[1] >= 0) {
+    const char byte = 1;
+    // A full pipe just means a wakeup is already pending.
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+  }
+}
+
+}  // namespace
+
+void install_shutdown_handler() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  if (::pipe(g_pipe) != 0) {
+    g_pipe[0] = g_pipe[1] = -1;
+  } else {
+    // Non-blocking both ways: the handler must never block on a full
+    // pipe, and reset_shutdown_for_tests drains without hanging.
+    ::fcntl(g_pipe[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(g_pipe[1], F_SETFL, O_NONBLOCK);
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = bricksim_shutdown_handler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: blocking reads (the server's accept/recv) must return
+  // EINTR so the drain starts promptly.
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+const std::atomic<bool>& shutdown_flag() { return g_requested; }
+
+bool shutdown_requested() { return g_requested.load(); }
+
+int shutdown_signal() { return g_signal.load(); }
+
+int shutdown_exit_code() {
+  const int s = g_signal.load();
+  return s == 0 ? 0 : 128 + s;
+}
+
+int shutdown_fd() { return g_pipe[0]; }
+
+void request_shutdown(int signo) {
+  int expected = 0;
+  g_signal.compare_exchange_strong(expected, signo);
+  g_requested.store(true);
+  if (g_pipe[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+  }
+}
+
+void reset_shutdown_for_tests() {
+  g_requested.store(false);
+  g_signal.store(0);
+  if (g_pipe[0] >= 0) {
+    char buf[64];
+    while (::read(g_pipe[0], buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+}  // namespace bricksim

@@ -1,0 +1,58 @@
+// Cooperative shutdown: one process-wide flag set from SIGINT/SIGTERM.
+//
+// Two clients with different drain semantics share this module:
+//
+//  * The CLI driver (`bricksim run|all`) installs the handler and threads
+//    the flag into every sweep as a cancellation token
+//    (SweepConfig::cancel): workers finish the config they are on --
+//    which checkpoints it as a resume shard -- and simply stop claiming
+//    new ones.  The partial run is never stored as a full cache entry,
+//    its shards stay on disk for `--resume`, and the driver exits with
+//    the conventional 128+signo code (130 for SIGINT, 143 for SIGTERM)
+//    instead of dying mid-write and leaving a torn run directory.
+//
+//  * `bricksim serve` installs the handler but does NOT cancel sweeps:
+//    a service drains -- it stops accepting work, lets every in-flight
+//    sweep complete and reply, then exits 0.  The server waits on
+//    shutdown_fd() (a self-pipe) from its poll loop rather than
+//    spinning on the flag.
+//
+// The handler is async-signal-safe: it stores the signal number in an
+// atomic and writes one byte to a pipe, nothing else.
+#pragma once
+
+#include <atomic>
+
+namespace bricksim {
+
+/// Installs the SIGINT/SIGTERM handler (idempotent; first call wins).
+void install_shutdown_handler();
+
+/// The cancellation flag the handler trips.  Stable address for the
+/// lifetime of the process, so it can be wired into SweepConfig::cancel.
+const std::atomic<bool>& shutdown_flag();
+
+/// True once a shutdown signal (or a test request) has been received.
+bool shutdown_requested();
+
+/// The signal that tripped the flag (0 when none).
+int shutdown_signal();
+
+/// The conventional exit code for the received signal: 128 + signo
+/// (130 for SIGINT, 143 for SIGTERM); 0 when no signal arrived.
+int shutdown_exit_code();
+
+/// Read end of the self-pipe the handler writes to; poll()-able by a
+/// server loop.  Valid after install_shutdown_handler().
+int shutdown_fd();
+
+/// Trips the flag as if `signo` had been delivered (tests, and the
+/// server's `shutdown` protocol op, which must drain exactly like
+/// SIGTERM without involving a real signal).
+void request_shutdown(int signo);
+
+/// Clears the flag and drains the pipe so one test cannot poison the
+/// next.  Test-only: real shutdowns are one-way.
+void reset_shutdown_for_tests();
+
+}  // namespace bricksim

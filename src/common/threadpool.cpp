@@ -25,9 +25,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submit(0, std::move(task));
+}
+
+void ThreadPool::submit(int priority, std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    queue_.emplace(std::make_pair(-priority, seq_++), std::move(task));
     ++in_flight_;
   }
   task_ready_.notify_one();
@@ -51,8 +55,9 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
+      const auto it = queue_.begin();
+      task = std::move(it->second);
+      queue_.erase(it);
     }
     std::exception_ptr err;
     try {

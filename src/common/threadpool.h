@@ -15,21 +15,31 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace bricksim {
 
-/// A fixed-size pool of worker threads draining one task queue.
+/// A fixed-size pool of worker threads draining one priority-ordered task
+/// queue.
 ///
-/// Tasks are `void()` closures; submission order is the order workers pick
-/// them up, but completion order is unspecified.  `wait()` blocks until the
-/// queue is empty and every worker is idle, then rethrows the first task
-/// exception (if any).  The destructor waits for queued tasks and joins.
+/// Tasks are `void()` closures.  Workers always pick the queued task with
+/// the highest priority; ties break in submission order (FIFO), so the
+/// default priority 0 preserves the classic queue behaviour exactly.
+/// Completion order is unspecified.  `wait()` blocks until the queue is
+/// empty and every worker is idle, then rethrows the first task exception
+/// (if any).  The destructor waits for queued tasks and joins.
+///
+/// The priority hook exists for the SweepBroker (serve/broker.h), which
+/// schedules cold sweep requests by client-supplied priority; the sweep
+/// executor's parallel_for/parallel_for_collect keep submitting at the
+/// default priority and are unaffected.
 class ThreadPool {
  public:
   /// Spawns `jobs` workers (clamped to at least 1).
@@ -41,8 +51,13 @@ class ThreadPool {
 
   int jobs() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task.  Must not be called concurrently with wait().
+  /// Enqueues a task at the default priority 0.  Must not be called
+  /// concurrently with wait().
   void submit(std::function<void()> task);
+
+  /// Enqueues a task; higher `priority` runs first, equal priorities run
+  /// in submission order.
+  void submit(int priority, std::function<void()> task);
 
   /// Blocks until all submitted tasks have finished.  If any task threw,
   /// rethrows the first captured exception (clearing it for reuse).
@@ -54,7 +69,10 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
+  /// Key is (-priority, submission sequence): begin() is always the
+  /// highest-priority, earliest-submitted task.
+  std::map<std::pair<int, std::uint64_t>, std::function<void()>> queue_;
+  std::uint64_t seq_ = 0;
   std::vector<std::thread> workers_;
   long in_flight_ = 0;  ///< queued + currently running tasks
   bool stop_ = false;

@@ -1,5 +1,7 @@
 #include "harness/cachefile.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -109,7 +111,16 @@ CacheFileRead read_cache_file(const std::string& path) {
 }
 
 bool write_cache_file(const std::string& path, const std::string& body) {
-  const std::string tmp = path + ".tmp";
+  // The tmp name is unique per process AND per call: two threads (broker
+  // workers racing a CLI run) or two processes simulating the same
+  // fingerprint concurrently must both succeed -- each writes its own tmp
+  // image and the renames serialize on the final path, the loser's
+  // (identical, content-addressed) result atomically replacing the
+  // winner's.  A shared "<path>.tmp" would interleave the two writers'
+  // bytes and quarantine a perfectly healthy store as corrupt.
+  static std::atomic<unsigned long> tmp_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                          "." + std::to_string(tmp_seq.fetch_add(1));
   try {
     const std::filesystem::path parent =
         std::filesystem::path(path).parent_path();

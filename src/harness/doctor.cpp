@@ -21,7 +21,11 @@ std::string classify_kind(const fs::path& p) {
   const std::string name = p.filename().string();
   if (name.size() > 8 && name.rfind(".corrupt") == name.size() - 8)
     return "quarantined";
-  if (name.size() > 4 && name.rfind(".tmp") == name.size() - 4) return "tmp";
+  // Tmp images carry a unique ".tmp.<pid>.<seq>" suffix (cachefile.cpp);
+  // the bare ".tmp" form is what pre-fix writers left behind.
+  if ((name.size() > 4 && name.rfind(".tmp") == name.size() - 4) ||
+      name.find(".tmp.") != std::string::npos)
+    return "tmp";
   if (p.extension() != ".json") return "";
   if (name.rfind("sweep-", 0) == 0) return "sweep";
   if (name.rfind("artifact-", 0) == 0) return "artifact";

@@ -115,8 +115,18 @@ std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
     std::cerr << "[sweep] " << k << "/" << rl_total << " mixbench "
               << pf.label() << (ok ? "" : " FAILED") << "\n";
   };
+  // Cancellation is cooperative and config-granular: a tripped token stops
+  // workers from *claiming* new platforms (each skip is a hole with no
+  // FailureRecord -- the run was cut short, nothing failed), while the
+  // platform a worker is on completes and checkpoints normally.
+  std::atomic<int> rl_skipped{0};
   const std::vector<TaskFailure> failed = parallel_for_collect(
       jobs, static_cast<long>(pending.size()), [&](long p) {
+        if (config.cancel &&
+            config.cancel->load(std::memory_order_relaxed)) {
+          rl_skipped.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
         const long n = pending[static_cast<std::size_t>(p)];
         const model::Platform& pf = *rl_platforms[static_cast<std::size_t>(n)];
         try {
@@ -134,10 +144,12 @@ std::map<std::string, roofline::EmpiricalRoofline> sweep_rooflines(
         rl_progress(pf, /*ok=*/true);
       });
   if (stats) {
-    stats->simulated += static_cast<int>(pending.size());
+    const int skipped = rl_skipped.load();
+    stats->simulated += static_cast<int>(pending.size()) - skipped;
+    stats->skipped += skipped;
     if (checkpoint)
-      stats->checkpointed +=
-          static_cast<int>(pending.size()) - static_cast<int>(failed.size());
+      stats->checkpointed += static_cast<int>(pending.size()) - skipped -
+                             static_cast<int>(failed.size());
   }
   if (!failed.empty() && failures == nullptr)
     throw Error("roofline derivation failed for " +
@@ -252,8 +264,18 @@ Sweep run_sweep(const SweepConfig& config) {
   // A throwing config must cost one hole, not the sweep: collect failures
   // instead of failing fast, and checkpoint each completed config so a
   // crashed or degraded run can resume from its shards.
+  // As in sweep_rooflines: a tripped cancellation token makes workers stop
+  // claiming new configs (skips leave holes, not FailureRecords), while
+  // in-flight configs complete and checkpoint -- so an interrupted run is
+  // always resumable from its shards.
+  std::atomic<int> skipped{0};
   const std::vector<TaskFailure> failed = parallel_for_collect(
       outer, static_cast<long>(pending.size()), [&](long p) {
+        if (config.cancel &&
+            config.cancel->load(std::memory_order_relaxed)) {
+          skipped.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
         const long n = pending[static_cast<std::size_t>(p)];
         const Item& it = items[static_cast<std::size_t>(n)];
         try {
@@ -277,10 +299,14 @@ Sweep run_sweep(const SweepConfig& config) {
                               codegen::variant_name(it.variant), "launch",
                               f.what});
   }
-  sweep.run_stats.simulated += static_cast<int>(pending.size());
+  const int nskipped = skipped.load();
+  sweep.run_stats.simulated +=
+      static_cast<int>(pending.size()) - nskipped;
+  sweep.run_stats.skipped += nskipped;
   if (checkpoint)
-    sweep.run_stats.checkpointed +=
-        static_cast<int>(pending.size()) - static_cast<int>(failed.size());
+    sweep.run_stats.checkpointed += static_cast<int>(pending.size()) -
+                                    nskipped -
+                                    static_cast<int>(failed.size());
   sweep.build_index();
   return sweep;
 }

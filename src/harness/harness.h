@@ -7,6 +7,7 @@
 // for its experiment; see DESIGN.md's per-experiment index.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <string>
@@ -75,6 +76,13 @@ struct SweepConfig {
   /// affect measurement content, so it is NOT part of the cache identity
   /// -- cached sweeps replay without re-verifying (CI passes --no-cache).
   bool verify_plan = false;
+  /// Cooperative cancellation token (common/shutdown.h): when set and
+  /// tripped, workers finish the config they are on (which checkpoints it
+  /// as a resume shard) and stop claiming new ones; the skipped count
+  /// lands in run_stats.skipped.  A plain observation knob like
+  /// checkpoint_dir: NOT part of the cache identity -- an interrupted
+  /// sweep is never stored as a full entry in the first place.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// One isolated per-config failure inside a sweep: the config's identity,
@@ -92,12 +100,13 @@ struct FailureRecord {
       default;
 };
 
-/// What run_sweep actually did, for observability: resumed + simulated ==
-/// total configs (failures count as simulated attempts).
+/// What run_sweep actually did, for observability: resumed + simulated +
+/// skipped == total configs (failures count as simulated attempts).
 struct SweepRunStats {
   int simulated = 0;     ///< configs actually executed this run
   int resumed = 0;       ///< configs replayed from checkpoint shards
   int checkpointed = 0;  ///< shards written this run
+  int skipped = 0;       ///< configs abandoned by a cancellation request
 };
 
 /// Prints `t` aligned or as CSV depending on the sweep config.

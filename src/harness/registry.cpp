@@ -15,17 +15,35 @@
 #include "common/error.h"
 #include "common/fault.h"
 #include "common/threadpool.h"
+#include "common/shutdown.h"
 #include "harness/autotune.h"
 #include "harness/cachefile.h"
 #include "harness/doctor.h"
 #include "harness/sweepcache.h"
+#include "serve/broker.h"
 
 namespace bricksim::harness {
+
+const char* sweep_kind_name(SweepKind kind) {
+  switch (kind) {
+    case SweepKind::None: return "none";
+    case SweepKind::Main: return "main";
+    case SweepKind::Rooflines: return "rooflines";
+    case SweepKind::Cpu: return "cpu";
+  }
+  return "unknown";
+}
 
 // --- SweepProvider -----------------------------------------------------------
 
 SweepProvider::SweepProvider(std::string cache_dir, bool resume)
-    : cache_dir_(std::move(cache_dir)), resume_(resume) {}
+    : SweepProvider(std::make_shared<serve::SweepBroker>(
+          serve::SweepBroker::Options{std::move(cache_dir), resume, 0})) {}
+
+SweepProvider::SweepProvider(std::shared_ptr<serve::SweepBroker> broker)
+    : broker_(std::move(broker)),
+      cache_dir_(broker_->cache_dir()),
+      resume_(broker_->resume()) {}
 
 bool SweepProvider::has_failures(const SweepConfig& config) const {
   return std::find(degraded_fps_.begin(), degraded_fps_.end(),
@@ -52,41 +70,51 @@ SweepConfig SweepProvider::cpu_config(const SweepConfig& base) {
   return config;
 }
 
+void SweepProvider::record_failures(const Sweep& sweep,
+                                    const std::string& fp) {
+  if (sweep.failures.empty()) return;
+  if (std::find(degraded_fps_.begin(), degraded_fps_.end(), fp) !=
+      degraded_fps_.end())
+    return;
+  degraded_fps_.push_back(fp);
+  failures_.insert(failures_.end(), sweep.failures.begin(),
+                   sweep.failures.end());
+}
+
 const Sweep& SweepProvider::get(const SweepConfig& config) {
-  const std::string fp = fingerprint(config);
-  if (const auto it = memo_.find(fp); it != memo_.end()) {
-    ++stats_.sweep_memo_hits;
-    return it->second;
-  }
-  if (!cache_dir_.empty()) {
-    if (auto sweep = load_cached_sweep(cache_dir_, config)) {
+  // The broker resolves memo -> disk -> inline run_sweep on this thread
+  // (serve/broker.h); the provider's job is translating the response into
+  // the driver-facing CacheStats and failure record.
+  const serve::SweepResponse resp = broker_->request(config);
+  switch (resp.status) {
+    case serve::RequestStatus::WarmMemo:
+    case serve::RequestStatus::Coalesced:
+      ++stats_.sweep_memo_hits;
+      break;
+    case serve::RequestStatus::WarmDisk:
       ++stats_.sweep_disk_hits;
-      return memo_.emplace(fp, std::move(*sweep)).first->second;
+      break;
+    case serve::RequestStatus::Simulated: {
+      ++stats_.sweeps_simulated;
+      const SweepRunStats& rs = resp.sweep->run_stats;
+      stats_.configs_simulated += rs.simulated;
+      stats_.shards_written += rs.checkpointed;
+      stats_.shards_resumed += rs.resumed;
+      if (rs.skipped > 0)
+        throw Interrupted(
+            "sweep " + resp.fingerprint + " interrupted by shutdown (" +
+            std::to_string(rs.skipped) +
+            " configs skipped; completed work is checkpointed, rerun with "
+            "--resume)");
+      break;
     }
+    default:
+      throw Error("sweep request " + resp.fingerprint + " " +
+                  serve::request_status_name(resp.status) +
+                  (resp.error.empty() ? "" : ": " + resp.error));
   }
-  // Checkpoint/resume are presentation knobs layered on top of the
-  // identity-carrying config, so they are set here, not by callers.
-  SweepConfig run_cfg = config;
-  if (!cache_dir_.empty()) {
-    run_cfg.checkpoint_dir = cache_dir_;
-    run_cfg.resume = resume_;
-  }
-  Sweep sweep = run_sweep(run_cfg);
-  ++stats_.sweeps_simulated;
-  stats_.configs_simulated += sweep.run_stats.simulated;
-  stats_.shards_written += sweep.run_stats.checkpointed;
-  stats_.shards_resumed += sweep.run_stats.resumed;
-  if (!sweep.failures.empty()) {
-    // A degraded sweep is never stored as a full entry -- its holes would
-    // outlive the fault -- but its good shards stay on disk for --resume.
-    degraded_fps_.push_back(fp);
-    failures_.insert(failures_.end(), sweep.failures.begin(),
-                     sweep.failures.end());
-  } else if (!cache_dir_.empty()) {
-    store_cached_sweep(cache_dir_, sweep);
-    clear_shards(cache_dir_, config);
-  }
-  return memo_.emplace(fp, std::move(sweep)).first->second;
+  record_failures(*resp.sweep, resp.fingerprint);
+  return *resp.sweep;
 }
 
 const Sweep& SweepProvider::main(const SweepConfig& config) {
@@ -99,18 +127,24 @@ const Sweep& SweepProvider::cpu(const SweepConfig& config) {
 
 const std::map<std::string, roofline::EmpiricalRoofline>&
 SweepProvider::rooflines(const SweepConfig& config) {
+  // Rooflines stay provider-local (the broker's unit of work is a whole
+  // sweep): probe the broker's memo and disk cache first -- preserving the
+  // legacy counter ordering memo -> rooflines memo -> disk -> compute --
+  // and only compute the (comparatively cheap) rooflines when the full
+  // sweep is nowhere to be found.
   const SweepConfig main = main_config(config);
   const std::string fp = fingerprint(main);
-  if (const auto it = memo_.find(fp); it != memo_.end()) {
+  if (auto sweep = broker_->peek_memo(main)) {
     ++stats_.sweep_memo_hits;
-    return it->second.rooflines;
+    record_failures(*sweep, fp);
+    return sweep->rooflines;
   }
   if (const auto it = rooflines_memo_.find(fp); it != rooflines_memo_.end())
     return it->second;
   if (!cache_dir_.empty()) {
-    if (auto sweep = load_cached_sweep(cache_dir_, main)) {
+    if (auto sweep = broker_->load_disk(main)) {
       ++stats_.sweep_disk_hits;
-      return memo_.emplace(fp, std::move(*sweep)).first->second.rooflines;
+      return sweep->rooflines;
     }
   }
   ++stats_.rooflines_computed;
@@ -125,6 +159,12 @@ SweepProvider::rooflines(const SweepConfig& config) {
   stats_.configs_simulated += rstats.simulated;
   stats_.shards_written += rstats.checkpointed;
   stats_.shards_resumed += rstats.resumed;
+  if (rstats.skipped > 0)
+    throw Interrupted(
+        "roofline derivation " + fp + " interrupted by shutdown (" +
+        std::to_string(rstats.skipped) +
+        " platforms skipped; completed work is checkpointed, rerun with "
+        "--resume)");
   if (!fails.empty()) {
     degraded_fps_.push_back(fp);
     failures_.insert(failures_.end(), fails.begin(), fails.end());
@@ -728,9 +768,13 @@ std::string usage_text() {
      << "usage: bricksim <command> [experiment...] [--flag value]...\n"
      << "\n"
      << "commands:\n"
-     << "  list           list the registered experiments\n"
+     << "  list [--json]  list the registered experiments (--json emits a\n"
+     << "                 machine-readable array)\n"
      << "  run <name...>  run the named experiments\n"
      << "  all            run every registered experiment\n"
+     << "  serve          long-running sweep service over a local socket\n"
+     << "                 (see `bricksim serve --help`; query/loadtest are\n"
+     << "                 its client commands)\n"
      << "  doctor         scan the cache for stale/corrupt entries\n"
      << "                 (--prune repairs: quarantines corrupt entries,\n"
      << "                 deletes stale and quarantined ones)\n"
@@ -753,7 +797,10 @@ std::string usage_text() {
      << "\n"
      << "A run whose sweep had isolated per-config failures still writes\n"
      << "every artifact it can (failed cells render as FAILED) and exits 3;\n"
-     << "run_summary.json names each failure.\n"
+     << "run_summary.json names each failure.  SIGINT/SIGTERM during a run\n"
+     << "drains cooperatively: in-progress configs finish and checkpoint,\n"
+     << "the rest are skipped, and the driver exits 128+signo with resume\n"
+     << "shards intact (`--resume` picks up where it stopped).\n"
      << "\n"
      << "Without --n each experiment uses its own default domain (see\n"
      << "`bricksim list`).  Experiment stdout is byte-identical to the\n"
@@ -764,18 +811,32 @@ std::string usage_text() {
 void run_list(std::ostream& os) {
   Table t({"Experiment", "Sweep", "Default n", "Deprecated alias", "Title"});
   for (const auto& exp : experiment_registry()) {
-    const char* kind = "-";
-    switch (exp.sweep) {
-      case SweepKind::None: kind = "-"; break;
-      case SweepKind::Main: kind = "main"; break;
-      case SweepKind::Rooflines: kind = "rooflines"; break;
-      case SweepKind::Cpu: kind = "cpu"; break;
-    }
+    // The aligned table renders SweepKind::None as "-" (historical); the
+    // JSON listing uses the stable sweep_kind_name spelling.
+    const char* kind =
+        exp.sweep == SweepKind::None ? "-" : sweep_kind_name(exp.sweep);
     t.add_row({exp.name, kind, std::to_string(exp.default_n),
                exp.legacy_binary.empty() ? "-" : exp.legacy_binary,
                exp.title});
   }
   t.print(os);
+}
+
+/// `bricksim list --json`: the machine-readable registry listing the serve
+/// clients and scripts consume -- one object per experiment, in emission
+/// order, mirroring the aligned table's content.
+void run_list_json(std::ostream& os) {
+  json::Value arr = json::Value::array();
+  for (const auto& exp : experiment_registry()) {
+    json::Value v = json::Value::object();
+    v["name"] = exp.name;
+    v["sweep"] = sweep_kind_name(exp.sweep);
+    v["default_n"] = exp.default_n;
+    v["legacy_alias"] = exp.legacy_binary;
+    v["title"] = exp.title;
+    arr.push_back(v);
+  }
+  os << arr.dump(1) << "\n";
 }
 
 void write_text_file(const std::filesystem::path& path,
@@ -870,7 +931,20 @@ int driver_main(int argc, const char* const* argv) {
     return 0;
   }
   if (command == "list") {
-    run_list(std::cout);
+    bool json_out = false;
+    for (std::size_t a = 1; a < args.size(); ++a) {
+      if (args[a] == "--json") {
+        json_out = true;
+      } else {
+        std::cerr << "bricksim: list takes only --json, got '" << args[a]
+                  << "'\n";
+        return 2;
+      }
+    }
+    if (json_out)
+      run_list_json(std::cout);
+    else
+      run_list(std::cout);
     return 0;
   }
   if (command == "doctor") {
@@ -941,7 +1015,13 @@ int driver_main(int argc, const char* const* argv) {
     return 2;
   }
   const Cli& cli = *cli_opt;
-  const SweepConfig base = *base_opt;
+  SweepConfig base = *base_opt;
+  // Cooperative shutdown: SIGINT/SIGTERM trip a flag the sweep workers
+  // poll between configs (common/shutdown.h).  In-progress configs finish
+  // and checkpoint; the driver then writes what it has and exits
+  // 128+signo, leaving resume shards for `--resume`.
+  install_shutdown_handler();
+  base.cancel = &shutdown_flag();
   const bool explicit_n = cli.has("n");
   const std::string cache_dir =
       cli.has("no-cache") ? "" : default_cache_dir(cli.get("cache-dir", ""));
@@ -996,6 +1076,7 @@ int driver_main(int argc, const char* const* argv) {
     return false;
   };
   std::vector<ExperimentTiming> timings;
+  bool interrupted = false;
   for (const auto& name : names) {
     const auto t0 = std::chrono::steady_clock::now();
     const Experiment& exp = *find_experiment(name);
@@ -1034,6 +1115,15 @@ int driver_main(int argc, const char* const* argv) {
         if (fault::armed()) fault::throw_if(fault::Site::Emit, name);
         exp.emit(ctx);
         text = oss.str();
+      } catch (const Interrupted& e) {
+        // Not a failure: the run was deliberately cut short.  Keep the
+        // partial text for diagnosis, skip the remaining experiments, and
+        // exit 128+signo after the summary lands.
+        status = "interrupted";
+        interrupted = true;
+        text = oss.str() + "\n[experiment " + name + " interrupted: " +
+               e.what() + "]\n";
+        std::cerr << "bricksim: " << e.what() << "\n";
       } catch (const std::exception& e) {
         // An emitter failure costs this experiment, not the run: keep the
         // partial text, mark it, and carry on to the next experiment.
@@ -1068,6 +1158,7 @@ int driver_main(int argc, const char* const* argv) {
     std::filesystem::create_directories(exp_dir);
     write_text_file(exp_dir / "output.txt", text);
     write_text_file(exp_dir / "tables.json", doc.dump(1) + "\n");
+    if (interrupted) break;
   }
 
   const CacheStats& stats = provider.stats();
@@ -1084,6 +1175,7 @@ int driver_main(int argc, const char* const* argv) {
   summary["cache_dir"] = cache_dir;  // empty when caching is disabled
   summary["config_fingerprints"] = fps;
   summary["experiment_status"] = statuses;
+  summary["interrupted"] = interrupted;
   // Every isolated failure, sweep-level (per-config identity) then
   // emitter-level, so a degraded run is fully diagnosable from the
   // summary alone.
@@ -1137,7 +1229,10 @@ int driver_main(int argc, const char* const* argv) {
   write_text_file(std::filesystem::path(out_dir) / "run_summary.json",
                   summary.dump(1) + "\n");
   // 0 = clean; 3 = completed with isolated failures (artifacts written,
-  // summary names each one).  Hard errors still throw out of main as 1.
+  // summary names each one); 128+signo = interrupted by SIGINT/SIGTERM
+  // with resume shards intact.  Hard errors still throw out of main as 1.
+  if (interrupted)
+    return shutdown_exit_code() != 0 ? shutdown_exit_code() : 130;
   return failures.size() == 0 ? 0 : 3;
 }
 

@@ -30,6 +30,7 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +38,10 @@
 #include "common/json.h"
 #include "common/table.h"
 #include "harness/harness.h"
+
+namespace bricksim::serve {
+class SweepBroker;
+}
 
 namespace bricksim::harness {
 
@@ -47,6 +52,10 @@ enum class SweepKind {
   Rooflines,  ///< only the per-platform mixbench rooflines of the main sweep
   Cpu,        ///< the CPU-extension sweep (SKX, KNL, A100/CUDA; bricks only)
 };
+
+/// Stable machine-readable name ("none", "main", "rooflines", "cpu"), as
+/// used by `bricksim list --json` and the serve protocol.
+const char* sweep_kind_name(SweepKind kind);
 
 struct CacheStats {
   int sweeps_simulated = 0;    ///< full sweeps that ran the simulator
@@ -77,16 +86,24 @@ struct ExperimentTiming {
 json::Value to_json(const ExperimentTiming& t);
 ExperimentTiming experiment_timing_from_json(const json::Value& v);
 
-/// Lazily materializes sweeps for experiments: in-process memo first, then
-/// the content-addressed disk cache, then a real run_sweep (persisted for
-/// next time).  One provider serves a whole driver invocation, so every
-/// experiment of `bricksim all` shares one main sweep.
+/// Lazily materializes sweeps for experiments through a SweepBroker
+/// (serve/broker.h): broker memo first, then the content-addressed disk
+/// cache, then a real run_sweep (persisted for next time).  The provider
+/// is a thin per-invocation client that keeps the driver-facing CacheStats
+/// and failure bookkeeping; the broker owns the sweeps.  One provider
+/// serves a whole driver invocation, so every experiment of `bricksim all`
+/// shares one main sweep -- and providers sharing one broker (the serve
+/// daemon creates one per request) share every materialized sweep.
 class SweepProvider {
  public:
-  /// `cache_dir` empty disables persistence (legacy shims, --no-cache).
-  /// With `resume`, sweeps replay valid checkpoint shards from an earlier
-  /// interrupted run before simulating the remainder (--resume).
+  /// Convenience: owns a private broker.  `cache_dir` empty disables
+  /// persistence (legacy shims, --no-cache).  With `resume`, sweeps replay
+  /// valid checkpoint shards from an earlier interrupted run before
+  /// simulating the remainder (--resume).
   explicit SweepProvider(std::string cache_dir, bool resume = false);
+
+  /// Client of a shared broker (the serve daemon's mode).
+  explicit SweepProvider(std::shared_ptr<serve::SweepBroker> broker);
 
   /// The full paper sweep at `config`'s domain/engine/check settings
   /// (platforms/stencils/variants forced to the paper defaults).
@@ -103,6 +120,9 @@ class SweepProvider {
 
   CacheStats& stats() { return stats_; }
   const std::string& cache_dir() const { return cache_dir_; }
+  const std::shared_ptr<serve::SweepBroker>& broker() const {
+    return broker_;
+  }
 
   /// Every per-config failure isolated by sweeps this provider ran, in
   /// run order.  Non-empty means the run is degraded: the driver exits 3
@@ -123,9 +143,14 @@ class SweepProvider {
  private:
   const Sweep& get(const SweepConfig& config);
 
+  /// Folds `sweep`'s isolated failures into this provider's record, once
+  /// per fingerprint -- so a degraded sweep served warm (by this provider
+  /// or any other broker client) is reported exactly once per provider.
+  void record_failures(const Sweep& sweep, const std::string& fp);
+
+  std::shared_ptr<serve::SweepBroker> broker_;
   std::string cache_dir_;
   bool resume_ = false;
-  std::map<std::string, Sweep> memo_;  ///< fingerprint -> sweep
   std::map<std::string, std::map<std::string, roofline::EmpiricalRoofline>>
       rooflines_memo_;  ///< main fingerprint -> rooflines only
   CacheStats stats_;

@@ -1,0 +1,270 @@
+#include "serve/broker.h"
+
+#include "common/error.h"
+#include "common/threadpool.h"
+#include "harness/sweepcache.h"
+
+namespace bricksim::serve {
+
+const char* request_status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::WarmMemo: return "warm_memo";
+    case RequestStatus::WarmDisk: return "warm_disk";
+    case RequestStatus::Simulated: return "simulated";
+    case RequestStatus::Coalesced: return "coalesced";
+    case RequestStatus::Queued: return "queued";
+    case RequestStatus::Expired: return "expired";
+    case RequestStatus::Failed: return "failed";
+    case RequestStatus::Rejected: return "rejected";
+  }
+  return "unknown";
+}
+
+SweepBroker::SweepBroker(Options opts) : opts_(std::move(opts)) {}
+
+SweepBroker::~SweepBroker() { drain(); }
+
+void SweepBroker::set_pre_run_hook(
+    std::function<void(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pre_run_hook_ = std::move(hook);
+}
+
+std::shared_ptr<const harness::Sweep> SweepBroker::peek_memo(
+    const harness::SweepConfig& config) {
+  const std::string fp = harness::fingerprint(config);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = memo_.find(fp);
+  return it != memo_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const harness::Sweep> SweepBroker::load_disk(
+    const harness::SweepConfig& config) {
+  if (opts_.cache_dir.empty()) return nullptr;
+  auto sweep = harness::load_cached_sweep(opts_.cache_dir, config);
+  if (!sweep) return nullptr;
+  auto shared =
+      std::make_shared<const harness::Sweep>(std::move(*sweep));
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keep the first copy if someone memoized concurrently (identical
+  // content either way -- the cache is content-addressed).
+  return memo_.emplace(harness::fingerprint(config), shared).first->second;
+}
+
+void SweepBroker::finish(const std::string& fp,
+                         const std::shared_ptr<InFlight>& fl,
+                         SweepResponse resp) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Memoize every materialized sweep -- including degraded ones, which
+    // the legacy provider also memoized (their failures are re-reported
+    // per consumer, never re-simulated within one process) -- EXCEPT a
+    // sweep cut short by a cancellation token: its holes are not results,
+    // and memoizing them would poison every later request.
+    if (resp.sweep && resp.sweep->run_stats.skipped == 0)
+      memo_.emplace(fp, resp.sweep);
+    switch (resp.status) {
+      case RequestStatus::WarmDisk: ++counters_.warm_disk; break;
+      case RequestStatus::Simulated: ++counters_.simulated; break;
+      case RequestStatus::Expired: ++counters_.expired; break;
+      case RequestStatus::Failed: ++counters_.failed; break;
+      default: break;
+    }
+    inflight_.erase(fp);
+  }
+  idle_.notify_all();
+  fl->promise.set_value(std::move(resp));
+}
+
+void SweepBroker::run_leader(const std::string& fp,
+                             const harness::SweepConfig& config,
+                             const std::shared_ptr<InFlight>& fl) {
+  SweepResponse resp;
+  resp.fingerprint = fp;
+  try {
+    // Disk before simulation, exactly as the legacy provider resolved.
+    if (!opts_.cache_dir.empty()) {
+      if (auto sweep = harness::load_cached_sweep(opts_.cache_dir, config)) {
+        resp.status = RequestStatus::WarmDisk;
+        resp.sweep =
+            std::make_shared<const harness::Sweep>(std::move(*sweep));
+        finish(fp, fl, std::move(resp));
+        return;
+      }
+    }
+    std::function<void(const std::string&)> hook;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      hook = pre_run_hook_;
+    }
+    if (hook) hook(fp);
+    // Checkpoint/resume are presentation knobs layered on top of the
+    // identity-carrying config, so they are set here, not by callers.
+    harness::SweepConfig run_cfg = config;
+    if (!opts_.cache_dir.empty()) {
+      run_cfg.checkpoint_dir = opts_.cache_dir;
+      run_cfg.resume = opts_.resume;
+    }
+    harness::Sweep sweep = harness::run_sweep(run_cfg);
+    if (sweep.run_stats.skipped == 0 && sweep.failures.empty() &&
+        !opts_.cache_dir.empty()) {
+      // A degraded sweep is never stored as a full entry -- its holes
+      // would outlive the fault -- but its good shards stay on disk for
+      // --resume.  An interrupted (skipped > 0) sweep likewise keeps only
+      // its shards.
+      harness::store_cached_sweep(opts_.cache_dir, sweep);
+      harness::clear_shards(opts_.cache_dir, config);
+    }
+    resp.status = RequestStatus::Simulated;
+    resp.sweep = std::make_shared<const harness::Sweep>(std::move(sweep));
+  } catch (const std::exception& e) {
+    resp.status = RequestStatus::Failed;
+    resp.sweep = nullptr;
+    resp.error = e.what();
+  }
+  finish(fp, fl, std::move(resp));
+}
+
+SweepResponse SweepBroker::request(const harness::SweepConfig& config) {
+  const std::string fp = harness::fingerprint(config);
+  std::shared_ptr<InFlight> fl;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests;
+    if (draining_) {
+      ++counters_.rejected;
+      SweepResponse resp;
+      resp.status = RequestStatus::Rejected;
+      resp.fingerprint = fp;
+      resp.error = "broker is draining";
+      return resp;
+    }
+    if (const auto it = memo_.find(fp); it != memo_.end()) {
+      ++counters_.warm_memo;
+      SweepResponse resp;
+      resp.status = RequestStatus::WarmMemo;
+      resp.fingerprint = fp;
+      resp.sweep = it->second;
+      return resp;
+    }
+    if (const auto it = inflight_.find(fp); it != inflight_.end()) {
+      ++counters_.coalesced;
+      fl = it->second;
+    } else {
+      ++counters_.cold_misses;
+      fl = std::make_shared<InFlight>();
+      fl->future = fl->promise.get_future().share();
+      inflight_.emplace(fp, fl);
+      leader = true;
+    }
+  }
+  if (leader) {
+    // Inline on the calling thread: the CLI cold path is byte-identical
+    // to the pre-broker SweepProvider::get() by construction.
+    run_leader(fp, config, fl);
+    return fl->future.get();
+  }
+  SweepResponse resp = fl->future.get();
+  resp.status = RequestStatus::Coalesced;
+  return resp;
+}
+
+Ticket SweepBroker::submit(
+    const harness::SweepConfig& config, int priority,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  const std::string fp = harness::fingerprint(config);
+  Ticket ticket;
+  std::shared_ptr<InFlight> fl;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests;
+    if (draining_) {
+      ++counters_.rejected;
+      std::promise<SweepResponse> p;
+      SweepResponse resp;
+      resp.status = RequestStatus::Rejected;
+      resp.fingerprint = fp;
+      resp.error = "broker is draining";
+      p.set_value(std::move(resp));
+      ticket.admission = RequestStatus::Rejected;
+      ticket.result = p.get_future().share();
+      return ticket;
+    }
+    if (const auto it = memo_.find(fp); it != memo_.end()) {
+      // Warm requests never touch the ThreadPool: completed right here.
+      ++counters_.warm_memo;
+      std::promise<SweepResponse> p;
+      SweepResponse resp;
+      resp.status = RequestStatus::WarmMemo;
+      resp.fingerprint = fp;
+      resp.sweep = it->second;
+      p.set_value(std::move(resp));
+      ticket.admission = RequestStatus::WarmMemo;
+      ticket.result = p.get_future().share();
+      return ticket;
+    }
+    if (const auto it = inflight_.find(fp); it != inflight_.end()) {
+      ++counters_.coalesced;
+      // A follower can only ever RELAX the leader's deadline: the
+      // in-flight entry expires at the max over all attached requests,
+      // where "no deadline" is the maximum (unbounded).
+      if (it->second->deadline) {
+        if (!deadline)
+          it->second->deadline.reset();
+        else if (*deadline > *it->second->deadline)
+          it->second->deadline = deadline;
+      }
+      ticket.admission = RequestStatus::Coalesced;
+      ticket.result = it->second->future;
+      return ticket;
+    }
+    ++counters_.cold_misses;
+    ++counters_.enqueued;
+    fl = std::make_shared<InFlight>();
+    fl->future = fl->promise.get_future().share();
+    fl->deadline = deadline;
+    inflight_.emplace(fp, fl);
+    if (!pool_) {
+      const int workers =
+          opts_.workers > 0 ? opts_.workers : default_jobs();
+      pool_ = std::make_unique<ThreadPool>(workers);
+    }
+    ticket.admission = RequestStatus::Queued;
+    ticket.result = fl->future;
+    pool_->submit(priority, [this, fp, config, fl] {
+      std::optional<std::chrono::steady_clock::time_point> dl;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        dl = fl->deadline;  // max over every request attached so far
+      }
+      if (dl && std::chrono::steady_clock::now() > *dl) {
+        // Expired while queued: fail fast without occupying the worker.
+        // (A deadline never cancels a simulation already running.)
+        SweepResponse resp;
+        resp.status = RequestStatus::Expired;
+        resp.fingerprint = fp;
+        resp.error = "deadline expired while queued";
+        finish(fp, fl, std::move(resp));
+        return;
+      }
+      run_leader(fp, config, fl);
+    });
+  }
+  return ticket;
+}
+
+void SweepBroker::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  idle_.wait(lock, [this] { return inflight_.empty(); });
+}
+
+BrokerCounters SweepBroker::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BrokerCounters c = counters_;
+  c.inflight = static_cast<long>(inflight_.size());
+  return c;
+}
+
+}  // namespace bricksim::serve

@@ -1,0 +1,204 @@
+// SweepBroker: the one front door to sweep materialization.
+//
+// Everything that wants a Sweep -- the `bricksim run`/`all` CLI paths (via
+// SweepProvider, which is now a thin stats-keeping client), the `bricksim
+// serve` daemon, and the load-test harness -- goes through a broker.  The
+// broker owns the three-level resolution the provider used to inline:
+//
+//   1. in-process memo        (warm; never touches any thread pool)
+//   2. content-addressed disk cache (harness/sweepcache.h)
+//   3. a real run_sweep, persisted for next time
+//
+// plus the two behaviours a long-running server needs on top:
+//
+//   * single-flight deduplication: concurrent identical requests (same
+//     config_identity fingerprint) coalesce onto ONE in-flight simulation;
+//     followers share the leader's result instead of re-simulating.
+//   * an admission queue: cold misses from submit() land on a
+//     priority-ordered ThreadPool (common/threadpool.h) with an optional
+//     per-request deadline -- a request whose deadline passes while still
+//     queued fails fast with RequestStatus::Expired instead of occupying a
+//     worker.
+//
+// The synchronous request() used by the CLI deliberately runs a cold miss
+// INLINE on the caller's thread -- no pool, no handoff -- so `bricksim
+// run`/`all` execute exactly the same code on exactly the same thread as
+// the pre-broker SweepProvider::get() and their artifacts stay
+// byte-identical by construction (tests/test_broker.cpp holds the proof).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "harness/harness.h"
+
+namespace bricksim {
+class ThreadPool;
+}
+
+namespace bricksim::serve {
+
+/// How a request was (or will be) satisfied.  Terminal statuses land in
+/// SweepResponse; Queued/Coalesced additionally appear as the *admission*
+/// verdict of an async submit() (Ticket::admission) whose terminal status
+/// is still in the future.
+enum class RequestStatus {
+  WarmMemo,   ///< served from the in-process memo; no pool, no disk
+  WarmDisk,   ///< leader replayed the persisted cache entry
+  Simulated,  ///< leader ran the simulator
+  Coalesced,  ///< attached to an identical in-flight request (admission)
+  Queued,     ///< admitted cold onto the pool (admission only)
+  Expired,    ///< deadline passed before a worker dequeued the request
+  Failed,     ///< the simulation threw; `error` carries the text
+  Rejected,   ///< broker is draining; no new work admitted
+};
+
+/// Human-readable status name ("warm_memo", "simulated", ...), as it
+/// appears in server counter/response JSON.
+const char* request_status_name(RequestStatus s);
+
+/// The terminal answer to one sweep request.  `sweep` is shared with the
+/// broker's memo (and any coalesced followers); it is null exactly when
+/// `status` is Expired/Failed/Rejected.
+struct SweepResponse {
+  RequestStatus status = RequestStatus::Rejected;
+  std::shared_ptr<const harness::Sweep> sweep;
+  std::string fingerprint;
+  std::string error;  ///< exception text when status == Failed
+};
+
+/// Admission receipt of an async submit().  `admission` says what happened
+/// at the door (WarmMemo: `result` is already ready; Coalesced: attached
+/// to the in-flight leader; Queued: a new leader was enqueued; Rejected:
+/// draining, `result` is ready and Rejected).  `result` always becomes a
+/// terminal SweepResponse.
+struct Ticket {
+  RequestStatus admission = RequestStatus::Rejected;
+  std::shared_future<SweepResponse> result;
+};
+
+/// Monotonic broker counters, exposed by `bricksim serve` under the
+/// `counters` op and asserted by the CI load test.  Invariant:
+///   requests == warm_memo + coalesced + cold_misses + rejected
+/// and every cold miss resolves to exactly one of warm_disk / simulated /
+/// expired / failed.  enqueued counts the cold misses that went through
+/// the ThreadPool (async submits only) -- warm requests never touch it.
+struct BrokerCounters {
+  long requests = 0;
+  long warm_memo = 0;
+  long warm_disk = 0;
+  long cold_misses = 0;
+  long coalesced = 0;
+  long enqueued = 0;
+  long simulated = 0;
+  long expired = 0;
+  long failed = 0;
+  long rejected = 0;
+  long inflight = 0;  ///< gauge: leaders currently queued or running
+};
+
+class SweepBroker {
+ public:
+  struct Options {
+    /// Empty disables persistence (legacy shims, --no-cache), exactly as
+    /// SweepProvider's empty cache_dir did.
+    std::string cache_dir;
+    /// Replay checkpoint shards of an interrupted run before simulating.
+    bool resume = false;
+    /// Worker threads of the async admission pool (0 = hardware
+    /// concurrency).  The pool is created lazily on the first async cold
+    /// miss, so a CLI-only broker never spawns a thread.
+    int workers = 0;
+  };
+
+  explicit SweepBroker(Options opts);
+  ~SweepBroker();  ///< drains: blocks until every in-flight leader resolved
+
+  SweepBroker(const SweepBroker&) = delete;
+  SweepBroker& operator=(const SweepBroker&) = delete;
+
+  /// Synchronous resolution for the CLI: memo -> disk -> inline run_sweep
+  /// on the calling thread.  If an identical request is already in flight
+  /// (only possible with concurrent submitters), waits for it and returns
+  /// its result with status Coalesced.
+  SweepResponse request(const harness::SweepConfig& config);
+
+  /// Asynchronous resolution for the server: memo hits complete
+  /// immediately (never enqueued), identical in-flight requests coalesce,
+  /// cold misses enqueue on the priority pool.  Higher `priority` runs
+  /// first; equal priorities FIFO.  A request still queued past `deadline`
+  /// resolves to Expired without simulating; a deadline never cancels a
+  /// simulation already running (followers extend the leader's deadline to
+  /// the max over all attached requests).
+  Ticket submit(const harness::SweepConfig& config, int priority = 0,
+                std::optional<std::chrono::steady_clock::time_point> deadline =
+                    std::nullopt);
+
+  /// Memo-only probe (no counters, no disk, no simulation): the
+  /// SweepProvider rooflines fast path uses these to preserve its exact
+  /// legacy counter ordering (memo -> rooflines memo -> disk -> compute).
+  std::shared_ptr<const harness::Sweep> peek_memo(
+      const harness::SweepConfig& config);
+
+  /// Disk-only probe: loads + memoizes the persisted entry, or null on a
+  /// miss.  Never simulates; no counters.
+  std::shared_ptr<const harness::Sweep> load_disk(
+      const harness::SweepConfig& config);
+
+  /// Stops admitting (further requests are Rejected) and blocks until
+  /// every in-flight leader has resolved.  In-flight sweeps COMPLETE --
+  /// drain never cancels work, so a served client always gets a terminal
+  /// answer.  Idempotent.
+  void drain();
+
+  /// Counter snapshot (consistent under one lock).
+  BrokerCounters counters() const;
+
+  const std::string& cache_dir() const { return opts_.cache_dir; }
+  bool resume() const { return opts_.resume; }
+
+  /// Test hook: runs on the leader thread immediately before run_sweep,
+  /// with the fingerprint about to be simulated.  Lets tests count real
+  /// simulations and park leaders to provoke coalescing/priority/deadline
+  /// windows.  Not for production use.
+  void set_pre_run_hook(std::function<void(const std::string&)> hook);
+
+ private:
+  struct InFlight {
+    std::promise<SweepResponse> promise;
+    std::shared_future<SweepResponse> future;
+    /// Latest deadline over every attached request; unset = unbounded.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  /// The leader's cold-miss body: disk -> run_sweep -> persist -> memo.
+  /// Runs with mu_ NOT held; publishes the response and erases the
+  /// in-flight entry.
+  void run_leader(const std::string& fp, const harness::SweepConfig& config,
+                  const std::shared_ptr<InFlight>& fl);
+
+  /// Publishes `resp` as fp's terminal answer: memoizes (unless the sweep
+  /// was cut short by cancellation), erases the in-flight entry, bumps the
+  /// terminal counter, fulfils the promise.
+  void finish(const std::string& fp, const std::shared_ptr<InFlight>& fl,
+              SweepResponse resp);
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_;  ///< signalled when an in-flight resolves
+  std::map<std::string, std::shared_ptr<const harness::Sweep>> memo_;
+  std::map<std::string, std::shared_ptr<InFlight>> inflight_;
+  BrokerCounters counters_;
+  bool draining_ = false;
+  std::unique_ptr<ThreadPool> pool_;  ///< lazily created on first enqueue
+  std::function<void(const std::string&)> pre_run_hook_;
+};
+
+}  // namespace bricksim::serve

@@ -1,0 +1,658 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/fault.h"
+#include "common/shutdown.h"
+#include "harness/registry.h"
+#include "harness/sweepcache.h"
+
+namespace bricksim::serve {
+
+namespace {
+
+/// Sanity cap on one frame: no legitimate request or reply is near this.
+constexpr std::uint32_t kMaxFrame = 64u << 20;
+
+/// Per-server stop pipe so tests can run several servers without sharing
+/// the process-wide shutdown flag; the global shutdown_fd() is ALSO
+/// honoured when installed (serve_main's SIGINT/SIGTERM path).
+struct StopPipe {
+  int fds[2] = {-1, -1};
+  StopPipe() {
+    if (::pipe(fds) != 0) throw Error("cannot create stop pipe");
+  }
+  ~StopPipe() {
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  void trip() {
+    const char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(fds[1], &b, 1);
+  }
+  int read_fd() const { return fds[0]; }
+};
+
+ssize_t send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return n;
+    sent += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(sent);
+}
+
+/// Reads exactly `len` bytes; false on EOF/error before they all arrive.
+bool recv_all(int fd, char* out, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, out + got, len - got, 0);
+    if (n <= 0) return false;
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+json::Value error_reply(const std::string& what) {
+  json::Value v = json::Value::object();
+  v["ok"] = false;
+  v["error"] = what;
+  return v;
+}
+
+json::Value counters_to_json(const BrokerCounters& c) {
+  json::Value v = json::Value::object();
+  v["requests"] = c.requests;
+  v["warm_memo"] = c.warm_memo;
+  v["warm_disk"] = c.warm_disk;
+  v["cold_misses"] = c.cold_misses;
+  v["coalesced"] = c.coalesced;
+  v["enqueued"] = c.enqueued;
+  v["simulated"] = c.simulated;
+  v["expired"] = c.expired;
+  v["failed"] = c.failed;
+  v["rejected"] = c.rejected;
+  v["inflight"] = c.inflight;
+  return v;
+}
+
+/// The registry listing, byte-compatible with `bricksim list --json`.
+json::Value registry_json() {
+  json::Value arr = json::Value::array();
+  for (const auto& exp : harness::experiment_registry()) {
+    json::Value v = json::Value::object();
+    v["name"] = exp.name;
+    v["sweep"] = harness::sweep_kind_name(exp.sweep);
+    v["default_n"] = exp.default_n;
+    v["legacy_alias"] = exp.legacy_binary;
+    v["title"] = exp.title;
+    arr.push_back(v);
+  }
+  return arr;
+}
+
+/// Builds the sweep config of a protocol request: a driver-default base at
+/// domain n, normalized through the same main/cpu derivation the CLI uses
+/// -- so a served sweep and `bricksim run` share fingerprints (and
+/// therefore cache entries) by construction.
+harness::SweepConfig request_config(const std::string& kind, long n) {
+  BRICKSIM_REQUIRE(n > 0 && n % 64 == 0,
+                   "sweep op: n must be a positive multiple of 64, got " +
+                       std::to_string(n));
+  harness::SweepConfig base;
+  base.domain = {static_cast<int>(n), static_cast<int>(n),
+                 static_cast<int>(n)};
+  if (kind == "main") return harness::SweepProvider::main_config(base);
+  if (kind == "cpu") return harness::SweepProvider::cpu_config(base);
+  throw Error("sweep op: unknown kind '" + kind + "' (main|cpu)");
+}
+
+}  // namespace
+
+// --- Framing -----------------------------------------------------------------
+
+void write_frame(int fd, const std::string& payload) {
+  BRICKSIM_REQUIRE(payload.size() < kMaxFrame, "frame too large");
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  const char prefix[4] = {static_cast<char>(len >> 24),
+                          static_cast<char>(len >> 16),
+                          static_cast<char>(len >> 8),
+                          static_cast<char>(len)};
+  if (send_all(fd, prefix, 4) <= 0 ||
+      (len > 0 && send_all(fd, payload.data(), len) <= 0))
+    throw Error("frame write failed (peer closed?)");
+}
+
+std::optional<std::string> read_frame(int fd, int abort_fd) {
+  // Wait for the first prefix byte, also watching abort_fd: an idle
+  // connection unblocks the moment a drain begins.  Once a frame has
+  // started arriving it is read to completion regardless -- a request
+  // racing the drain still gets a well-formed reply (typically Rejected).
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    fds[1] = {abort_fd, POLLIN, 0};
+    const int nfds = abort_fd >= 0 ? 2 : 1;
+    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw Error("poll failed on connection");
+    }
+    if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) break;
+    if (nfds == 2 && (fds[1].revents & POLLIN)) return std::nullopt;
+  }
+  char prefix[4];
+  {
+    // Distinguish clean EOF (no frame) from a torn prefix.
+    const ssize_t n = ::recv(fd, prefix, 4, MSG_WAITALL);
+    if (n == 0) return std::nullopt;
+    if (n != 4) throw Error("truncated frame prefix");
+  }
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]));
+  BRICKSIM_REQUIRE(len < kMaxFrame,
+                   "frame prefix " + std::to_string(len) +
+                       " exceeds the sanity cap");
+  std::string payload(len, '\0');
+  if (len > 0 && !recv_all(fd, payload.data(), len))
+    throw Error("truncated frame payload");
+  return payload;
+}
+
+int connect_client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  BRICKSIM_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
+                   "socket path too long for AF_UNIX: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  BRICKSIM_REQUIRE(fd >= 0, "cannot create client socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    throw Error("cannot connect to " + socket_path +
+                " (is `bricksim serve` running?)");
+  }
+  return fd;
+}
+
+json::Value client_call(const std::string& socket_path,
+                        const json::Value& request) {
+  const int fd = connect_client(socket_path);
+  try {
+    write_frame(fd, request.dump());
+    const auto reply = read_frame(fd);
+    BRICKSIM_REQUIRE(reply.has_value(),
+                     "server closed the connection without a reply");
+    ::close(fd);
+    return json::Value::parse(*reply);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+}
+
+std::string default_socket_path(const std::string& flag_value) {
+  if (!flag_value.empty()) return flag_value;
+  if (const char* env = std::getenv("BRICKSIM_SOCKET");
+      env != nullptr && env[0] != '\0')
+    return env;
+  return "results/bricksim.sock";
+}
+
+// --- Server ------------------------------------------------------------------
+
+struct ServerImpl {
+  StopPipe stop;
+  std::atomic<bool> stopping{false};
+};
+
+namespace {
+/// One StopPipe per Server, stored out-of-line so server.h stays free of
+/// platform includes.
+std::mutex g_impl_mu;
+std::map<const Server*, std::shared_ptr<ServerImpl>> g_impls;
+
+std::shared_ptr<ServerImpl> impl_of(const Server* s) {
+  std::lock_guard<std::mutex> lock(g_impl_mu);
+  auto& slot = g_impls[s];
+  if (!slot) slot = std::make_shared<ServerImpl>();
+  return slot;
+}
+
+void drop_impl(const Server* s) {
+  std::lock_guard<std::mutex> lock(g_impl_mu);
+  g_impls.erase(s);
+}
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  opts_.socket_path = default_socket_path(opts_.socket_path);
+  broker_ = std::make_shared<SweepBroker>(
+      SweepBroker::Options{opts_.cache_dir, opts_.resume, opts_.workers});
+  impl_of(this);  // allocate the stop pipe up front
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    std::error_code ec;
+    std::filesystem::remove(opts_.socket_path, ec);
+  }
+  for (auto& t : connections_)
+    if (t.joinable()) t.join();
+  drop_impl(this);
+}
+
+void Server::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  BRICKSIM_REQUIRE(opts_.socket_path.size() < sizeof(addr.sun_path),
+                   "socket path too long for AF_UNIX: " + opts_.socket_path);
+  std::memcpy(addr.sun_path, opts_.socket_path.c_str(),
+              opts_.socket_path.size() + 1);
+  const std::filesystem::path parent =
+      std::filesystem::path(opts_.socket_path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  // A stale socket file from a crashed server would make bind fail; a
+  // LIVE server on the same path is lost either way, so takeover is the
+  // useful behaviour.
+  std::error_code ec;
+  std::filesystem::remove(opts_.socket_path, ec);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  BRICKSIM_REQUIRE(listen_fd_ >= 0, "cannot create listen socket");
+  BRICKSIM_REQUIRE(::bind(listen_fd_,
+                          reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "cannot bind " + opts_.socket_path);
+  BRICKSIM_REQUIRE(::listen(listen_fd_, 128) == 0,
+                   "cannot listen on " + opts_.socket_path);
+}
+
+void Server::stop() {
+  const auto impl = impl_of(this);
+  impl->stopping.store(true);
+  impl->stop.trip();
+}
+
+json::Value Server::handle_request(const json::Value& req) {
+  const std::string op =
+      req.contains("op") ? req.at("op").as_string() : "";
+  json::Value reply = json::Value::object();
+  if (op == "healthz") {
+    const BrokerCounters c = broker_->counters();
+    reply["ok"] = true;
+    reply["status"] =
+        impl_of(this)->stopping.load() ? "draining" : "serving";
+    reply["inflight"] = c.inflight;
+    return reply;
+  }
+  if (op == "counters") {
+    reply["ok"] = true;
+    reply["counters"] = counters_to_json(broker_->counters());
+    return reply;
+  }
+  if (op == "list") {
+    reply["ok"] = true;
+    reply["experiments"] = registry_json();
+    return reply;
+  }
+  if (op == "shutdown") {
+    stop();
+    reply["ok"] = true;
+    reply["draining"] = true;
+    return reply;
+  }
+  if (op == "sweep") {
+    const std::string kind =
+        req.contains("kind") ? req.at("kind").as_string() : "main";
+    const long n = req.contains("n") ? req.at("n").as_long() : 256;
+    const int priority =
+        req.contains("priority")
+            ? static_cast<int>(req.at("priority").as_long())
+            : 0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (req.contains("deadline_ms")) {
+      const long ms = req.at("deadline_ms").as_long();
+      if (ms > 0)
+        deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(ms);
+    }
+    const harness::SweepConfig config = request_config(kind, n);
+    const Ticket ticket = broker_->submit(config, priority, deadline);
+    const SweepResponse resp = ticket.result.get();
+    reply["ok"] = true;
+    reply["admission"] = request_status_name(ticket.admission);
+    reply["status"] = request_status_name(resp.status);
+    reply["fingerprint"] = resp.fingerprint;
+    reply["measurements"] =
+        resp.sweep ? static_cast<long>(resp.sweep->measurements.size()) : 0L;
+    reply["failures"] =
+        resp.sweep ? static_cast<long>(resp.sweep->failures.size()) : 0L;
+    if (!resp.error.empty()) reply["error"] = resp.error;
+    return reply;
+  }
+  if (op == "experiment") {
+    BRICKSIM_REQUIRE(req.contains("name"),
+                     "experiment op: missing 'name'");
+    const std::string name = req.at("name").as_string();
+    const harness::Experiment* exp = harness::find_experiment(name);
+    if (exp == nullptr)
+      return error_reply("unknown experiment: " + name +
+                         " (see the list op)");
+    const long n =
+        req.contains("n") ? req.at("n").as_long() : exp->default_n;
+    BRICKSIM_REQUIRE(n > 0 && n % 64 == 0,
+                     "experiment op: n must be a positive multiple of 64, "
+                     "got " + std::to_string(n));
+    harness::SweepConfig config;
+    config.domain = {static_cast<int>(n), static_cast<int>(n),
+                     static_cast<int>(n)};
+    // A provider per request, all sharing this server's broker: requests
+    // share every materialized sweep, while failure accounting stays
+    // per-request (each client is told about the holes in ITS tables).
+    harness::SweepProvider provider(broker_);
+    std::ostringstream oss;
+    harness::ExperimentContext ctx(config, &provider, &oss);
+    std::string status = "ok";
+    std::string error;
+    try {
+      exp->emit(ctx);
+    } catch (const std::exception& e) {
+      status = "failed";
+      error = e.what();
+    }
+    if (status == "ok" && !provider.all_failures().empty())
+      status = "degraded";
+    reply["ok"] = true;
+    reply["status"] = status;
+    reply["output"] = oss.str();
+    reply["failures"] =
+        static_cast<long>(provider.all_failures().size());
+    if (!error.empty()) reply["error"] = error;
+    return reply;
+  }
+  return error_reply("unknown op '" + op +
+                     "' (healthz|counters|list|sweep|experiment|shutdown)");
+}
+
+void Server::handle_connection(int fd) {
+  const auto impl = impl_of(this);
+  try {
+    for (;;) {
+      const auto frame = read_frame(fd, impl->stop.read_fd());
+      if (!frame) break;  // EOF or drain while idle
+      json::Value reply;
+      try {
+        reply = handle_request(json::Value::parse(*frame));
+      } catch (const std::exception& e) {
+        reply = error_reply(e.what());
+      }
+      write_frame(fd, reply.dump());
+    }
+  } catch (const std::exception&) {
+    // A torn frame or a peer that vanished mid-reply costs this
+    // connection, never the server.
+  }
+  ::close(fd);
+}
+
+void Server::run() {
+  BRICKSIM_REQUIRE(listen_fd_ >= 0, "Server::run before start()");
+  const auto impl = impl_of(this);
+  const int global_fd = shutdown_fd();  // -1 when no handler installed
+  while (!impl->stopping.load()) {
+    pollfd fds[3];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {impl->stop.read_fd(), POLLIN, 0};
+    fds[2] = {global_fd, POLLIN, 0};
+    const int nfds = global_fd >= 0 ? 3 : 2;
+    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw Error("poll failed on listen socket");
+    }
+    if ((fds[1].revents & POLLIN) ||
+        (nfds == 3 && (fds[2].revents & POLLIN)))
+      break;
+    if (fds[0].revents & POLLIN) {
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) continue;
+      connections_.emplace_back([this, conn] { handle_connection(conn); });
+    }
+  }
+  // Graceful drain: stop accepting, unblock idle connections, let every
+  // in-flight request complete and reply, then quiesce the broker.
+  stop();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::error_code ec;
+  std::filesystem::remove(opts_.socket_path, ec);
+  for (auto& t : connections_)
+    if (t.joinable()) t.join();
+  connections_.clear();
+  broker_->drain();
+}
+
+// --- CLI entry points --------------------------------------------------------
+
+int serve_main(int argc, const char* const* argv) {
+  const Cli cli(
+      argc, argv,
+      {{"socket",
+        "AF_UNIX socket path (default $BRICKSIM_SOCKET or "
+        "results/bricksim.sock)"},
+       {"cache-dir",
+        "sweep cache directory (default $BRICKSIM_CACHE_DIR or "
+        "results/cache)"},
+       {"no-cache", "disable reading and writing the sweep cache"},
+       {"resume", "replay checkpoint shards on cold misses"},
+       {"workers",
+        "broker worker threads for cold sweeps (default: hardware "
+        "concurrency)"}});
+  if (cli.help_requested()) {
+    std::cout << cli.help("bricksim serve");
+    return 0;
+  }
+  ServerOptions opts;
+  opts.socket_path = default_socket_path(cli.get("socket", ""));
+  opts.cache_dir = cli.has("no-cache")
+                       ? ""
+                       : harness::default_cache_dir(cli.get("cache-dir", ""));
+  opts.resume = cli.has("resume");
+  opts.workers = static_cast<int>(cli.get_long_min("workers", 0, 1));
+
+  // Fault injection from the environment, exactly like the driver: the
+  // serve CI leg arms it to prove degraded sweeps are served, counted and
+  // drained like healthy ones.
+  std::optional<fault::ScopedPlan> fault_plan;
+  if (const char* env = std::getenv("BRICKSIM_FAULT_INJECT");
+      env != nullptr && env[0] != '\0') {
+    std::cerr << "bricksim serve: note: fault injection armed from "
+                 "BRICKSIM_FAULT_INJECT (" << env << ")\n";
+    fault_plan.emplace(fault::FaultPlan::parse(env));
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+  install_shutdown_handler();
+  Server server(opts);
+  server.start();
+  std::cerr << "bricksim serve: listening on " << server.socket_path()
+            << (opts.cache_dir.empty() ? " (cache disabled)"
+                                       : " (cache " + opts.cache_dir + ")")
+            << "\n";
+  server.run();
+  const BrokerCounters c = server.broker().counters();
+  std::cerr << "bricksim serve: drained cleanly (" << c.requests
+            << " requests: " << c.warm_memo << " warm, " << c.simulated
+            << " simulated, " << c.coalesced << " coalesced, " << c.expired
+            << " expired, " << c.failed << " failed)\n";
+  return 0;
+}
+
+int query_main(int argc, const char* const* argv) {
+  std::vector<const char*> flag_argv{argv[0]};
+  std::string op;
+  for (int a = 1; a < argc; ++a) {
+    if (op.empty() && std::string(argv[a]).rfind("--", 0) != 0)
+      op = argv[a];
+    else
+      flag_argv.push_back(argv[a]);
+  }
+  const Cli cli(static_cast<int>(flag_argv.size()), flag_argv.data(),
+                {{"socket", "server socket path (default $BRICKSIM_SOCKET "
+                            "or results/bricksim.sock)"},
+                 {"kind", "sweep kind: main|cpu (sweep op; default main)"},
+                 {"n", "cubic domain extent (sweep/experiment ops)"},
+                 {"name", "experiment name (experiment op)"},
+                 {"priority",
+                  "scheduling priority, higher runs first (sweep op)"},
+                 {"deadline-ms",
+                  "fail fast if still queued after this long (sweep op)"}});
+  if (cli.help_requested() || op.empty()) {
+    std::cout << "usage: bricksim query [--socket P] "
+                 "<healthz|counters|list|sweep|experiment|shutdown> "
+                 "[--kind K] [--n N] [--name E] [--priority P] "
+                 "[--deadline-ms MS]\n\n"
+              << cli.help("bricksim query");
+    return op.empty() && !cli.help_requested() ? 2 : 0;
+  }
+  json::Value req = json::Value::object();
+  req["op"] = op;
+  if (cli.has("kind")) req["kind"] = cli.get("kind", "main");
+  if (cli.has("n")) req["n"] = cli.get_long("n", 256);
+  if (cli.has("name")) req["name"] = cli.get("name", "");
+  if (cli.has("priority")) req["priority"] = cli.get_long("priority", 0);
+  if (cli.has("deadline-ms"))
+    req["deadline_ms"] = cli.get_long("deadline-ms", 0);
+  const json::Value reply =
+      client_call(default_socket_path(cli.get("socket", "")), req);
+  std::cout << reply.dump(1) << "\n";
+  return reply.contains("ok") && reply.at("ok").as_bool() ? 0 : 1;
+}
+
+int loadtest_main(int argc, const char* const* argv) {
+  const Cli cli(
+      argc, argv,
+      {{"socket", "server socket path (default $BRICKSIM_SOCKET or "
+                  "results/bricksim.sock)"},
+       {"requests", "total requests across all threads (default 200)"},
+       {"threads", "concurrent client connections (default 8)"},
+       {"kind", "sweep kind to request: main|cpu (default cpu)"},
+       {"hot-n", "domain of the hot (repeated) config (default 64)"},
+       {"cold-ns",
+        "comma-separated cold domains cycled through (default 128,192)"},
+       {"cold-every",
+        "every k-th request is cold (default 7; 0 disables cold)"},
+       {"priority-spread",
+        "cycle priorities 0..2 instead of all-default"},
+       {"deadline-ms",
+        "per-request deadline (default none)"}});
+  if (cli.help_requested()) {
+    std::cout << cli.help("bricksim loadtest");
+    return 0;
+  }
+  const std::string socket_path =
+      default_socket_path(cli.get("socket", ""));
+  const long requests = cli.get_long_min("requests", 200, 1);
+  const long threads = cli.get_long_min("threads", 8, 1);
+  const std::string kind =
+      cli.get_choice("kind", {"main", "cpu"}, "cpu");
+  const long hot_n = cli.get_long_min("hot-n", 64, 64);
+  const long cold_every = cli.get_long("cold-every", 7);
+  const long deadline_ms = cli.get_long("deadline-ms", 0);
+  const bool spread = cli.has("priority-spread");
+  std::vector<long> cold_ns;
+  {
+    std::istringstream ss(cli.get("cold-ns", "128,192"));
+    std::string tok;
+    while (std::getline(ss, tok, ','))
+      if (!tok.empty()) cold_ns.push_back(std::stol(tok));
+    if (cold_ns.empty()) cold_ns.push_back(hot_n);
+  }
+
+  std::mutex tally_mu;
+  std::map<std::string, long> by_status;
+  std::map<std::string, long> by_admission;
+  long protocol_errors = 0;
+  std::vector<std::thread> workers;
+  for (long t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      try {
+        const int fd = connect_client(socket_path);
+        const long per = requests / threads + (t < requests % threads);
+        for (long i = 0; i < per; ++i) {
+          const long g = t * (requests / threads + 1) + i;
+          const bool cold = cold_every > 0 && g % cold_every == 0;
+          json::Value req = json::Value::object();
+          req["op"] = "sweep";
+          req["kind"] = kind;
+          req["n"] = cold ? cold_ns[static_cast<std::size_t>(
+                                (g / cold_every) %
+                                static_cast<long>(cold_ns.size()))]
+                          : hot_n;
+          if (spread) req["priority"] = g % 3;
+          if (deadline_ms > 0) req["deadline_ms"] = deadline_ms;
+          write_frame(fd, req.dump());
+          const auto raw = read_frame(fd);
+          if (!raw) throw Error("server closed mid-run");
+          const json::Value reply = json::Value::parse(*raw);
+          std::lock_guard<std::mutex> lock(tally_mu);
+          if (!reply.contains("ok") || !reply.at("ok").as_bool()) {
+            ++protocol_errors;
+            continue;
+          }
+          ++by_status[reply.at("status").as_string()];
+          ++by_admission[reply.at("admission").as_string()];
+        }
+        ::close(fd);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(tally_mu);
+        ++protocol_errors;
+        std::cerr << "bricksim loadtest: thread " << t << ": " << e.what()
+                  << "\n";
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  json::Value out = json::Value::object();
+  out["requests"] = requests;
+  out["threads"] = threads;
+  out["protocol_errors"] = protocol_errors;
+  json::Value st = json::Value::object();
+  for (const auto& [k, v] : by_status) st[k] = v;
+  out["by_status"] = st;
+  json::Value ad = json::Value::object();
+  for (const auto& [k, v] : by_admission) ad[k] = v;
+  out["by_admission"] = ad;
+  std::cout << out.dump(1) << "\n";
+  const long bad =
+      protocol_errors + by_status["failed"] + by_status["rejected"];
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace bricksim::serve

@@ -1,0 +1,122 @@
+// `bricksim serve`: the SweepBroker behind a local socket.
+//
+// A long-running daemon speaking a minimal framed-JSON protocol over an
+// AF_UNIX stream socket: every message is a 4-byte big-endian length
+// prefix followed by one JSON document (common/json).  One request frame
+// yields exactly one reply frame; a connection carries any number of
+// request/reply pairs sequentially.
+//
+// Requests are objects with an "op" key:
+//
+//   {"op":"healthz"}                 -> {"ok":true,"status":"serving",
+//                                        "inflight":0}
+//   {"op":"counters"}                -> {"ok":true,"counters":{...}}
+//                                       (BrokerCounters, serve/broker.h)
+//   {"op":"list"}                    -> {"ok":true,"experiments":[...]}
+//                                       (same content as
+//                                        `bricksim list --json`)
+//   {"op":"sweep","kind":"main",     -> {"ok":true,"status":"simulated",
+//    "n":256,"priority":0,               "admission":"queued",
+//    "deadline_ms":5000}                 "fingerprint":"...",
+//                                        "measurements":90,"failures":0}
+//   {"op":"experiment","name":"fig3",-> {"ok":true,"status":"ok",
+//    "n":256}                            "output":"...","failures":0}
+//   {"op":"shutdown"}                -> {"ok":true,"draining":true}
+//
+// Errors reply {"ok":false,"error":"..."} and keep the connection open.
+//
+// Shutdown -- the op, SIGINT or SIGTERM (common/shutdown.h) -- drains
+// gracefully: the listener closes, every in-flight sweep COMPLETES and its
+// clients get their replies (sweeps are never cancelled server-side), then
+// run() returns.  New requests racing the drain are rejected.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "serve/broker.h"
+
+namespace bricksim::serve {
+
+struct ServerOptions {
+  std::string socket_path;  ///< AF_UNIX path (unlinked on clean exit)
+  std::string cache_dir;    ///< "" disables sweep persistence
+  bool resume = false;      ///< replay checkpoint shards on cold misses
+  int workers = 0;          ///< broker pool width (0 = hardware)
+};
+
+/// The embeddable server: `bricksim serve` wraps it in serve_main, tests
+/// run it on a thread and speak the protocol through client_call.
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens (throws bricksim::Error on failure).  Separate
+  /// from run() so a test can start a client the moment the socket exists.
+  void start();
+
+  /// Serves until a shutdown is requested (the op, a signal, or stop()),
+  /// then drains and returns.  Call start() first.
+  void run();
+
+  /// Requests a drain from another thread, exactly like the shutdown op.
+  void stop();
+
+  const std::string& socket_path() const { return opts_.socket_path; }
+  SweepBroker& broker() { return *broker_; }
+
+ private:
+  void handle_connection(int fd);
+  json::Value handle_request(const json::Value& req);
+
+  ServerOptions opts_;
+  std::shared_ptr<SweepBroker> broker_;
+  int listen_fd_ = -1;
+  std::vector<std::thread> connections_;
+};
+
+// --- Framing + client helpers (shared by server, clients, and tests) --------
+
+/// Writes one frame (4-byte big-endian length + payload).  Throws
+/// bricksim::Error on a short write or closed peer.
+void write_frame(int fd, const std::string& payload);
+
+/// Reads one frame; nullopt on clean EOF before a prefix byte, or when
+/// `abort_fd` (e.g. shutdown_fd()) becomes readable while idle.  Throws on
+/// truncated frames and oversized prefixes.
+std::optional<std::string> read_frame(int fd, int abort_fd = -1);
+
+/// Connects to `socket_path`, sends `request`, returns the reply.  One
+/// round trip per call; throws bricksim::Error on connect/protocol errors.
+json::Value client_call(const std::string& socket_path,
+                        const json::Value& request);
+
+/// Default socket path: $BRICKSIM_SOCKET or "results/bricksim.sock".
+std::string default_socket_path(const std::string& flag_value = "");
+
+/// `bricksim serve [--socket P] [--cache-dir D] [--no-cache] [--resume]
+/// [--workers N]`: runs a Server until SIGINT/SIGTERM or a shutdown op;
+/// exits 0 after a clean drain.
+int serve_main(int argc, const char* const* argv);
+
+/// `bricksim query [--socket P] <op> [--n N] [--kind K] [--name E]
+/// [--priority P] [--deadline-ms MS]`: one protocol round trip, reply JSON
+/// on stdout; exits 0 when the reply carries "ok": true.
+int query_main(int argc, const char* const* argv);
+
+/// `bricksim loadtest [--socket P] [--requests N] [--threads T] [--kind K]
+/// [--hot-n N] [--cold-ns CSV] [--cold-every K] [--priority-spread]
+/// [--deadline-ms MS]`: drives a mixed hot/cold request storm and prints a
+/// JSON tally; exits 0 when every reply was ok and nothing failed or was
+/// rejected.
+int loadtest_main(int argc, const char* const* argv);
+
+}  // namespace bricksim::serve

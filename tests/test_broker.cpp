@@ -1,0 +1,434 @@
+// SweepBroker (serve/broker.h): warm hits bypass the pool, single-flight
+// deduplication, priority ordering, deadline expiry, drain semantics, the
+// counter invariant, and the load-bearing guarantee of the whole refactor:
+// a sweep resolved through the broker is bit-identical to a direct
+// run_sweep at every --jobs x --shards combination.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "harness/harness.h"
+#include "harness/sweepcache.h"
+#include "serve/broker.h"
+
+namespace bricksim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using harness::Sweep;
+using harness::SweepConfig;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// One platform, serial, at 64^3: cheap enough to simulate many times.
+/// `stencil_radius` selects distinct fingerprints within one test.
+SweepConfig small_config(int stencil_radius = 1) {
+  SweepConfig config;
+  config.domain = {64, 64, 64};
+  config.platforms = {model::paper_platforms().front()};
+  config.stencils = {dsl::Stencil::star(stencil_radius)};
+  config.variants = {codegen::Variant::Array};
+  config.jobs = 1;
+  return config;
+}
+
+std::string dump(const Sweep& sweep) {
+  return harness::sweep_to_json(sweep).dump();
+}
+
+/// A gate the pre_run_hook parks leaders on, so tests can build up a
+/// queue / attach followers while a simulation is provably in flight.
+class Gate {
+ public:
+  void open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+long invariant_lhs(const BrokerCounters& c) { return c.requests; }
+long invariant_rhs(const BrokerCounters& c) {
+  return c.warm_memo + c.coalesced + c.cold_misses + c.rejected;
+}
+
+TEST(Broker, WarmHitsNeverTouchThePool) {
+  SweepBroker broker({"", false, 2});
+  const SweepConfig config = small_config();
+
+  const SweepResponse cold = broker.request(config);
+  ASSERT_EQ(cold.status, RequestStatus::Simulated);
+  ASSERT_NE(cold.sweep, nullptr);
+  EXPECT_EQ(cold.fingerprint, harness::fingerprint(config));
+
+  const SweepResponse warm = broker.request(config);
+  EXPECT_EQ(warm.status, RequestStatus::WarmMemo);
+  EXPECT_EQ(warm.sweep, cold.sweep);  // shared, not copied
+
+  // The async path serves warm hits synchronously too: the ticket is
+  // already terminal and nothing was ever enqueued.
+  const Ticket ticket = broker.submit(config);
+  EXPECT_EQ(ticket.admission, RequestStatus::WarmMemo);
+  EXPECT_EQ(ticket.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(ticket.result.get().sweep, cold.sweep);
+
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(c.requests, 3);
+  EXPECT_EQ(c.cold_misses, 1);
+  EXPECT_EQ(c.warm_memo, 2);
+  EXPECT_EQ(c.enqueued, 0);  // the sync cold miss ran inline
+  EXPECT_EQ(c.simulated, 1);
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
+}
+
+TEST(Broker, SingleFlightColdStorm) {
+  // N identical cold submits while the leader is parked: exactly one
+  // simulation, every follower Coalesced onto the same shared sweep.
+  constexpr int kFollowers = 15;
+  SweepBroker broker({"", false, 4});
+  Gate gate;
+  std::atomic<int> simulations{0};
+  broker.set_pre_run_hook([&](const std::string&) {
+    simulations.fetch_add(1);
+    gate.wait();
+  });
+
+  const SweepConfig config = small_config();
+  std::vector<Ticket> tickets;
+  tickets.push_back(broker.submit(config));
+  EXPECT_EQ(tickets[0].admission, RequestStatus::Queued);
+  // The leader may not have been dequeued yet; followers coalesce either
+  // onto the queued entry or the running one -- both count.
+  for (int i = 0; i < kFollowers; ++i) {
+    tickets.push_back(broker.submit(config));
+    EXPECT_EQ(tickets.back().admission, RequestStatus::Coalesced) << i;
+  }
+  gate.open();
+
+  std::shared_ptr<const Sweep> shared;
+  for (auto& t : tickets) {
+    const SweepResponse resp = t.result.get();
+    EXPECT_EQ(resp.status, RequestStatus::Simulated);
+    ASSERT_NE(resp.sweep, nullptr);
+    if (!shared) shared = resp.sweep;
+    EXPECT_EQ(resp.sweep, shared);
+  }
+  EXPECT_EQ(simulations.load(), 1);
+
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(c.requests, 1 + kFollowers);
+  EXPECT_EQ(c.cold_misses, 1);
+  EXPECT_EQ(c.coalesced, kFollowers);
+  EXPECT_EQ(c.enqueued, 1);
+  EXPECT_EQ(c.simulated, 1);
+  EXPECT_EQ(c.inflight, 0);
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
+}
+
+TEST(Broker, ConcurrentSyncRequestsSimulateOnce) {
+  SweepBroker broker({"", false, 0});
+  std::atomic<int> simulations{0};
+  broker.set_pre_run_hook([&](const std::string&) {
+    simulations.fetch_add(1);
+    // Hold the leader long enough that the other threads provably arrive
+    // while it is in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+
+  const SweepConfig config = small_config();
+  std::mutex mu;
+  std::vector<SweepResponse> responses;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i)
+    threads.emplace_back([&] {
+      SweepResponse r = broker.request(config);
+      std::lock_guard<std::mutex> lock(mu);
+      responses.push_back(std::move(r));
+    });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(simulations.load(), 1);
+  ASSERT_EQ(responses.size(), 8u);
+  for (const auto& r : responses) {
+    ASSERT_NE(r.sweep, nullptr);
+    EXPECT_EQ(r.sweep, responses.front().sweep);
+    EXPECT_TRUE(r.status == RequestStatus::Simulated ||
+                r.status == RequestStatus::Coalesced ||
+                r.status == RequestStatus::WarmMemo)
+        << request_status_name(r.status);
+  }
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
+}
+
+TEST(Broker, PriorityOrdersTheColdQueue) {
+  // One worker, parked on a blocker; three distinct cold configs queued at
+  // priorities 0/2/1 must run 2, 1, 0.
+  SweepBroker broker({"", false, 1});
+  Gate gate;
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  broker.set_pre_run_hook([&](const std::string& fp) {
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      order.push_back(fp);
+    }
+    gate.wait();
+  });
+
+  const SweepConfig blocker = small_config(1);
+  const SweepConfig lo = small_config(2);
+  const SweepConfig hi = small_config(3);
+  const SweepConfig mid = small_config(4);
+
+  const Ticket t0 = broker.submit(blocker);
+  // Wait until the blocker is actually running so the rest truly queue.
+  while (true) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    if (!order.empty()) break;
+  }
+  const Ticket t_lo = broker.submit(lo, 0);
+  const Ticket t_hi = broker.submit(hi, 2);
+  const Ticket t_mid = broker.submit(mid, 1);
+  gate.open();
+  t0.result.wait();
+  t_lo.result.wait();
+  t_hi.result.wait();
+  t_mid.result.wait();
+
+  std::lock_guard<std::mutex> lock(order_mu);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], harness::fingerprint(blocker));
+  EXPECT_EQ(order[1], harness::fingerprint(hi));
+  EXPECT_EQ(order[2], harness::fingerprint(mid));
+  EXPECT_EQ(order[3], harness::fingerprint(lo));
+}
+
+TEST(Broker, DeadlineExpiresWhileQueued) {
+  SweepBroker broker({"", false, 1});
+  Gate gate;
+  std::atomic<int> started{0};
+  broker.set_pre_run_hook([&](const std::string&) {
+    started.fetch_add(1);
+    gate.wait();
+  });
+
+  const Ticket blocker = broker.submit(small_config(1));
+  while (started.load() == 0) std::this_thread::yield();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  const Ticket doomed = broker.submit(small_config(2), 0, deadline);
+  EXPECT_EQ(doomed.admission, RequestStatus::Queued);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.open();
+
+  const SweepResponse resp = doomed.result.get();
+  EXPECT_EQ(resp.status, RequestStatus::Expired);
+  EXPECT_EQ(resp.sweep, nullptr);
+  blocker.result.wait();
+  EXPECT_EQ(started.load(), 1);  // the doomed request never simulated
+
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(c.expired, 1);
+  EXPECT_EQ(c.simulated, 1);
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
+}
+
+TEST(Broker, FollowerWithoutDeadlineUnboundsTheLeader) {
+  SweepBroker broker({"", false, 1});
+  Gate gate;
+  std::atomic<int> started{0};
+  broker.set_pre_run_hook([&](const std::string&) {
+    started.fetch_add(1);
+    gate.wait();
+  });
+
+  const Ticket blocker = broker.submit(small_config(1));
+  while (started.load() == 0) std::this_thread::yield();
+
+  const auto tight =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  const Ticket leader = broker.submit(small_config(2), 0, tight);
+  // A follower that is happy to wait forever relaxes the deadline: the
+  // merged deadline is the max over attached requests, and "none" wins.
+  const Ticket follower = broker.submit(small_config(2));
+  EXPECT_EQ(follower.admission, RequestStatus::Coalesced);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  gate.open();
+
+  EXPECT_EQ(leader.result.get().status, RequestStatus::Simulated);
+  EXPECT_EQ(follower.result.get().status, RequestStatus::Simulated);
+  blocker.result.wait();
+}
+
+TEST(Broker, DrainRejectsNewWorkAndWaitsForInFlight) {
+  SweepBroker broker({"", false, 2});
+  Gate gate;
+  std::atomic<int> started{0};
+  broker.set_pre_run_hook([&](const std::string&) {
+    started.fetch_add(1);
+    gate.wait();
+  });
+  const Ticket inflight = broker.submit(small_config(1));
+  while (started.load() == 0) std::this_thread::yield();
+
+  std::atomic<bool> drained{false};
+  std::thread drainer([&] {
+    broker.drain();
+    drained.store(true);
+  });
+  // Drain must not complete while the leader is parked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(drained.load());
+
+  const Ticket late = broker.submit(small_config(2));
+  EXPECT_EQ(late.admission, RequestStatus::Rejected);
+  EXPECT_EQ(late.result.get().status, RequestStatus::Rejected);
+  EXPECT_EQ(broker.request(small_config(3)).status,
+            RequestStatus::Rejected);
+
+  gate.open();
+  drainer.join();
+  EXPECT_TRUE(drained.load());
+  // The in-flight leader completed rather than being cancelled.
+  EXPECT_EQ(inflight.result.get().status, RequestStatus::Simulated);
+
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(c.rejected, 2);
+  EXPECT_EQ(c.inflight, 0);
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
+}
+
+TEST(Broker, BitIdenticalToDirectRunSweepAcrossJobsAndShards) {
+  // The acceptance criterion of the refactor: broker-resolved sweeps match
+  // a direct run_sweep byte-for-byte at every jobs x shards combination,
+  // through both the sync (CLI) and async (server) paths.
+  SweepConfig base = small_config();
+  base.stencils = {dsl::Stencil::star(1), dsl::Stencil::cube(1)};
+  base.variants = {codegen::Variant::Array, codegen::Variant::BricksCodegen};
+  const std::string baseline = dump(harness::run_sweep(base));
+
+  for (const int jobs : {1, 2}) {
+    for (const int shards : {0, 2}) {
+      SweepConfig config = base;
+      config.jobs = jobs;
+      config.shards = shards;
+      // jobs/shards are presentation knobs: identical fingerprint, so a
+      // shared broker would serve the first result warm.  Fresh brokers
+      // force every combination to actually simulate.
+      SweepBroker sync_broker({"", false, 1});
+      const SweepResponse sync = sync_broker.request(config);
+      ASSERT_EQ(sync.status, RequestStatus::Simulated);
+      EXPECT_EQ(dump(*sync.sweep), baseline)
+          << "sync jobs=" << jobs << " shards=" << shards;
+
+      SweepBroker async_broker({"", false, 1});
+      const SweepResponse via_pool =
+          async_broker.submit(config).result.get();
+      ASSERT_EQ(via_pool.status, RequestStatus::Simulated);
+      EXPECT_EQ(dump(*via_pool.sweep), baseline)
+          << "async jobs=" << jobs << " shards=" << shards;
+    }
+  }
+}
+
+TEST(Broker, ColdMissPersistsAndSecondBrokerReplaysFromDisk) {
+  const fs::path dir = fresh_dir("broker_disk");
+  const SweepConfig config = small_config();
+  {
+    SweepBroker broker({dir.string(), false, 0});
+    ASSERT_EQ(broker.request(config).status, RequestStatus::Simulated);
+  }
+  SweepBroker broker({dir.string(), false, 0});
+  const SweepResponse warm = broker.request(config);
+  EXPECT_EQ(warm.status, RequestStatus::WarmDisk);
+  ASSERT_NE(warm.sweep, nullptr);
+  // And the disk hit memoizes: the next request is warm in process.
+  EXPECT_EQ(broker.request(config).status, RequestStatus::WarmMemo);
+
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(c.warm_disk, 1);
+  EXPECT_EQ(c.simulated, 0);
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
+}
+
+TEST(Broker, DegradedSweepIsMemoizedButNeverPersisted) {
+  const fs::path dir = fresh_dir("broker_degraded");
+  const SweepConfig config = small_config();
+  SweepBroker broker({dir.string(), false, 0});
+  {
+    fault::ScopedPlan plan("launch@1");
+    const SweepResponse resp = broker.request(config);
+    ASSERT_EQ(resp.status, RequestStatus::Simulated);
+    ASSERT_NE(resp.sweep, nullptr);
+    ASSERT_FALSE(resp.sweep->failures.empty());
+  }
+  // Served warm in-process (matching the old provider memo semantics)...
+  EXPECT_EQ(broker.request(config).status, RequestStatus::WarmMemo);
+  // ...but a fresh broker gets no full cache entry: degraded sweeps are
+  // never persisted, so the healthy rerun below really simulates.
+  SweepBroker fresh({dir.string(), false, 0});
+  const SweepResponse healthy = fresh.request(config);
+  EXPECT_EQ(healthy.status, RequestStatus::Simulated);
+  EXPECT_TRUE(healthy.sweep->failures.empty());
+}
+
+TEST(Broker, MixedStormCountersAddUp) {
+  // A miniature of the CI load test, in process: several threads hammer a
+  // hot config with occasional colds; afterwards the counter invariant
+  // holds exactly and nothing is left in flight.
+  const fs::path dir = fresh_dir("broker_storm");
+  SweepBroker broker({dir.string(), false, 4});
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 40;
+  std::atomic<long> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int g = t * kPerThread + i;
+        const SweepConfig config = small_config(g % 7 == 0 ? 2 + g % 3 : 1);
+        const SweepResponse resp =
+            broker.submit(config, g % 3).result.get();
+        if (resp.sweep != nullptr) ok.fetch_add(1);
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(c.requests, kThreads * kPerThread);
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
+  EXPECT_EQ(c.cold_misses, c.warm_disk + c.simulated + c.expired + c.failed);
+  EXPECT_EQ(c.simulated, 4);  // radii 1,2,3,4: one leader each
+  EXPECT_EQ(c.expired, 0);
+  EXPECT_EQ(c.failed, 0);
+  EXPECT_EQ(c.rejected, 0);
+  EXPECT_EQ(c.inflight, 0);
+}
+
+}  // namespace
+}  // namespace bricksim::serve

@@ -3,6 +3,7 @@
 // a warm run byte-identically without executing any emitter.
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -10,6 +11,7 @@
 
 #include "common/error.h"
 #include "common/json.h"
+#include "common/shutdown.h"
 #include "harness/registry.h"
 #include "harness/sweepcache.h"
 
@@ -183,6 +185,55 @@ TEST(Driver, ListNamesEveryExperiment) {
   const std::string out = testing::internal::GetCapturedStdout();
   for (const auto& exp : harness::experiment_registry())
     EXPECT_NE(out.find(exp.name), std::string::npos) << exp.name;
+}
+
+TEST(Driver, ListJsonIsMachineReadableAndComplete) {
+  testing::internal::CaptureStdout();
+  ASSERT_EQ(run_driver({"list", "--json"}), 0);
+  const json::Value listing =
+      json::Value::parse(testing::internal::GetCapturedStdout());
+  const auto& reg = harness::experiment_registry();
+  ASSERT_TRUE(listing.is_array());
+  ASSERT_EQ(listing.size(), reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    EXPECT_EQ(listing[i].at("name").as_string(), reg[i].name);
+    EXPECT_EQ(listing[i].at("sweep").as_string(),
+              harness::sweep_kind_name(reg[i].sweep));
+    EXPECT_EQ(listing[i].at("default_n").as_long(), reg[i].default_n);
+    EXPECT_EQ(listing[i].at("legacy_alias").as_string(), reg[i].legacy_binary);
+    EXPECT_EQ(listing[i].at("title").as_string(), reg[i].title);
+  }
+}
+
+TEST(Driver, ListRejectsUnknownArguments) {
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(run_driver({"list", "--jsn"}), 2);
+  testing::internal::GetCapturedStdout();
+}
+
+TEST(Driver, ShutdownMidRunExits128PlusSignoAndMarksTheSummary) {
+  // A shutdown request arriving before the sweep claims any config makes
+  // every worker skip: the provider reports the sweep interrupted, the
+  // driver still writes its artifacts, and the exit code is 128 + signo.
+  const std::filesystem::path root =
+      std::filesystem::path(testing::TempDir()) / "bricksim_interrupt_test";
+  std::filesystem::remove_all(root);
+  request_shutdown(SIGTERM);
+  testing::internal::CaptureStdout();
+  const int rc = run_driver({"run", "cpu_crossplatform", "--n", "64",
+                             "--out", (root / "out").string(),
+                             "--cache-dir", (root / "cache").string()});
+  testing::internal::GetCapturedStdout();
+  reset_shutdown_for_tests();
+  EXPECT_EQ(rc, 128 + SIGTERM);
+
+  const json::Value summary =
+      json::Value::parse(slurp(root / "out" / "run_summary.json"));
+  EXPECT_TRUE(summary.at("interrupted").as_bool());
+  EXPECT_EQ(summary.at("experiment_status").at("cpu_crossplatform")
+                .as_string(),
+            "interrupted");
+  EXPECT_EQ(summary.at("cache").at("configs_simulated").as_long(), 0);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.h"
@@ -622,6 +623,49 @@ TEST(DriverFault, DoctorCommandReportsEmptyCache) {
   EXPECT_EQ(run_driver({"doctor", "--cache-dir", dir.string()}), 0);
   EXPECT_NE(testing::internal::GetCapturedStdout().find("empty cache"),
             std::string::npos);
+}
+
+// Regression for the concurrent-store race: two writers persisting the
+// same fingerprint used to share one "<path>.tmp" staging file, so an
+// interleaved write+rename could publish a torn entry (caught only later
+// by the checksum) or fail outright.  Staging names are now unique per
+// writer; concurrent stores must always leave one valid entry and no
+// stray staging files.
+TEST(CacheFile, ConcurrentStoresOfOneEntryNeverTearIt) {
+  const fs::path dir = fresh_dir("bricksim_concurrent_store");
+  const SweepConfig config = small_config();
+  const Sweep sweep = run_sweep(config);
+  constexpr int kWriters = 8;
+  constexpr int kRounds = 20;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r)
+        store_cached_sweep(dir.string(), sweep);
+    });
+  for (auto& t : writers) t.join();
+
+  // Exactly one published entry, readable and equal to what was stored.
+  const std::optional<Sweep> loaded = load_cached_sweep(dir.string(), config);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(dump(*loaded), dump(sweep));
+  int entries = 0, stray = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.find(".tmp") != std::string::npos)
+      ++stray;
+    else
+      ++entries;
+  }
+  EXPECT_EQ(entries, 1);
+  EXPECT_EQ(stray, 0);
+  // And doctor agrees the cache is healthy.
+  const DoctorReport report = doctor_scan(dir.string(), false);
+  EXPECT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.ok, 1);
+  EXPECT_EQ(report.stale, 0);
+  EXPECT_EQ(report.corrupt, 0);
+  EXPECT_EQ(report.quarantined, 0);
 }
 
 }  // namespace

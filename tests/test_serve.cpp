@@ -1,0 +1,235 @@
+// `bricksim serve` (serve/server.h): frame codec round trips, the
+// socket protocol end to end against an in-process Server, warm/cold
+// accounting over the wire, graceful drain via the shutdown op, and the
+// loadtest client driving a real mixed storm.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "harness/registry.h"
+#include "serve/server.h"
+
+namespace bricksim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Framing, RoundTripsPayloads) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const std::vector<std::string> payloads = {
+      "", "{}", std::string("x"), std::string(100000, 'y')};
+  for (const auto& p : payloads) {
+    std::thread writer([&] { write_frame(sp[0], p); });
+    const auto got = read_frame(sp[1]);
+    writer.join();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, p);
+  }
+  ::close(sp[0]);
+  // Peer closed before any prefix byte: clean EOF, not an error.
+  EXPECT_EQ(read_frame(sp[1]), std::nullopt);
+  ::close(sp[1]);
+}
+
+TEST(Framing, AbortFdUnblocksIdleReader) {
+  int sp[2], ab[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  ASSERT_EQ(::pipe(ab), 0);
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const char b = 1;
+    ASSERT_EQ(::write(ab[1], &b, 1), 1);
+  });
+  // No data ever arrives; the abort fd must unblock the idle read.
+  EXPECT_EQ(read_frame(sp[1], ab[0]), std::nullopt);
+  aborter.join();
+  for (const int fd : {sp[0], sp[1], ab[0], ab[1]}) ::close(fd);
+}
+
+TEST(Framing, TruncatedPayloadThrows) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  // Prefix promises 100 bytes; only 3 arrive before EOF.
+  const char prefix[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::send(sp[0], prefix, 4, 0), 4);
+  ASSERT_EQ(::send(sp[0], "abc", 3, 0), 3);
+  ::close(sp[0]);
+  EXPECT_THROW(read_frame(sp[1]), Error);
+  ::close(sp[1]);
+}
+
+/// An in-process server on a fresh socket + cache, drained on destruction.
+class ServerFixture {
+ public:
+  explicit ServerFixture(const std::string& name) {
+    const fs::path root = fs::path(testing::TempDir()) / name;
+    fs::remove_all(root);
+    fs::create_directories(root);
+    ServerOptions opts;
+    opts.socket_path = (root / "s.sock").string();
+    opts.cache_dir = (root / "cache").string();
+    opts.workers = 2;
+    server_ = std::make_unique<Server>(opts);
+    server_->start();
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~ServerFixture() {
+    if (thread_.joinable()) {
+      server_->stop();
+      thread_.join();
+    }
+  }
+
+  json::Value call(const json::Value& req) {
+    return client_call(server_->socket_path(), req);
+  }
+  json::Value op(const std::string& name) {
+    json::Value req = json::Value::object();
+    req["op"] = name;
+    return call(req);
+  }
+  Server& server() { return *server_; }
+  void join() { thread_.join(); }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+TEST(Serve, HealthzCountersAndList) {
+  ServerFixture fx("serve_basic");
+  const json::Value health = fx.op("healthz");
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_EQ(health.at("status").as_string(), "serving");
+  EXPECT_EQ(health.at("inflight").as_long(), 0);
+
+  const json::Value counters = fx.op("counters");
+  ASSERT_TRUE(counters.at("ok").as_bool());
+  EXPECT_EQ(counters.at("counters").at("requests").as_long(), 0);
+
+  const json::Value list = fx.op("list");
+  ASSERT_TRUE(list.at("ok").as_bool());
+  const json::Value& exps = list.at("experiments");
+  ASSERT_EQ(exps.size(), harness::experiment_registry().size());
+  EXPECT_EQ(exps[0].at("name").as_string(),
+            harness::experiment_registry().front().name);
+  EXPECT_TRUE(exps[0].contains("sweep"));
+  EXPECT_TRUE(exps[0].contains("default_n"));
+}
+
+TEST(Serve, SweepColdThenWarmOverTheWire) {
+  ServerFixture fx("serve_sweep");
+  json::Value req = json::Value::object();
+  req["op"] = "sweep";
+  req["kind"] = "cpu";
+  req["n"] = 64;
+
+  const json::Value cold = fx.call(req);
+  ASSERT_TRUE(cold.at("ok").as_bool());
+  EXPECT_EQ(cold.at("status").as_string(), "simulated");
+  EXPECT_GT(cold.at("measurements").as_long(), 0);
+  EXPECT_FALSE(cold.at("fingerprint").as_string().empty());
+
+  const json::Value warm = fx.call(req);
+  EXPECT_EQ(warm.at("status").as_string(), "warm_memo");
+  EXPECT_EQ(warm.at("admission").as_string(), "warm_memo");
+  EXPECT_EQ(warm.at("fingerprint").as_string(),
+            cold.at("fingerprint").as_string());
+  EXPECT_EQ(warm.at("measurements").as_long(),
+            cold.at("measurements").as_long());
+
+  const json::Value counters = fx.op("counters").at("counters");
+  EXPECT_EQ(counters.at("cold_misses").as_long(), 1);
+  EXPECT_EQ(counters.at("warm_memo").as_long(), 1);
+  EXPECT_EQ(counters.at("enqueued").as_long(), 1);
+}
+
+TEST(Serve, MalformedRequestsKeepTheConnectionOpen) {
+  ServerFixture fx("serve_errors");
+  const json::Value bad_op = fx.op("frobnicate");
+  EXPECT_FALSE(bad_op.at("ok").as_bool());
+  EXPECT_NE(bad_op.at("error").as_string().find("unknown op"),
+            std::string::npos);
+
+  json::Value bad_n = json::Value::object();
+  bad_n["op"] = "sweep";
+  bad_n["n"] = 63;
+  const json::Value reply = fx.call(bad_n);
+  EXPECT_FALSE(reply.at("ok").as_bool());
+  EXPECT_NE(reply.at("error").as_string().find("multiple of 64"),
+            std::string::npos);
+
+  // The server survived both: a well-formed request still works.
+  EXPECT_TRUE(fx.op("healthz").at("ok").as_bool());
+}
+
+TEST(Serve, ExperimentOpRunsAnEmitter) {
+  ServerFixture fx("serve_experiment");
+  json::Value req = json::Value::object();
+  req["op"] = "experiment";
+  req["name"] = "table2";  // static: no sweep, instant
+  const json::Value reply = fx.call(req);
+  ASSERT_TRUE(reply.at("ok").as_bool());
+  EXPECT_EQ(reply.at("status").as_string(), "ok");
+  EXPECT_NE(reply.at("output").as_string().find("Table 2"),
+            std::string::npos);
+  EXPECT_EQ(reply.at("failures").as_long(), 0);
+
+  json::Value unknown = json::Value::object();
+  unknown["op"] = "experiment";
+  unknown["name"] = "nope";
+  EXPECT_FALSE(fx.call(unknown).at("ok").as_bool());
+}
+
+TEST(Serve, ShutdownOpDrainsAndUnlinksTheSocket) {
+  ServerFixture fx("serve_shutdown");
+  const std::string socket_path = fx.server().socket_path();
+  ASSERT_TRUE(fs::exists(socket_path));
+  const json::Value reply = fx.op("shutdown");
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_TRUE(reply.at("draining").as_bool());
+  fx.join();  // run() returns after the drain
+  EXPECT_FALSE(fs::exists(socket_path));
+}
+
+TEST(Serve, LoadtestClientDrivesAMixedStorm) {
+  ServerFixture fx("serve_loadtest");
+  const std::string socket_flag = "--socket=" + fx.server().socket_path();
+  const std::vector<const char*> argv = {
+      "bricksim",       socket_flag.c_str(), "--requests=60",
+      "--threads=6",    "--kind=cpu",        "--hot-n=64",
+      "--cold-ns=128",  "--cold-every=10"};
+  testing::internal::CaptureStdout();
+  const int rc =
+      loadtest_main(static_cast<int>(argv.size()), argv.data());
+  const json::Value tally =
+      json::Value::parse(testing::internal::GetCapturedStdout());
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(tally.at("protocol_errors").as_long(), 0);
+
+  const json::Value counters = fx.op("counters").at("counters");
+  EXPECT_EQ(counters.at("requests").as_long(), 60);
+  // Two fingerprints (hot 64^3, cold 128^3): at most two simulations, and
+  // every warm hit stayed off the pool.
+  EXPECT_EQ(counters.at("simulated").as_long(), 2);
+  EXPECT_EQ(counters.at("enqueued").as_long(),
+            counters.at("cold_misses").as_long());
+  EXPECT_EQ(counters.at("requests").as_long(),
+            counters.at("warm_memo").as_long() +
+                counters.at("coalesced").as_long() +
+                counters.at("cold_misses").as_long() +
+                counters.at("rejected").as_long());
+}
+
+}  // namespace
+}  // namespace bricksim::serve

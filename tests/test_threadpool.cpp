@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -185,6 +187,67 @@ TEST(ParallelFor, RethrowsLowestFailingIndex) {
         EXPECT_NE(std::string(e.what()).find("boom at "), std::string::npos);
     }
   }
+}
+
+// The priority overload underneath the SweepBroker's admission queue:
+// higher priority dequeues first, ties dequeue FIFO, and the default
+// overload is exactly priority 0.
+TEST(ThreadPool, PriorityOrdersPendingTasks) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::vector<int> order;
+  // Park the single worker so everything below genuinely queues.
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  });
+  auto record = [&](int id) {
+    return [&, id] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(id);
+    };
+  };
+  pool.submit(0, record(1));
+  pool.submit(2, record(2));
+  pool.submit(1, record(3));
+  pool.submit(2, record(4));  // same priority as 2: FIFO behind it
+  pool.submit(record(5));     // default overload == priority 0, after 1
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  pool.wait();
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 3, 1, 5}));
+}
+
+TEST(ThreadPool, NegativePriorityRunsLast) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gate_open = false;
+  std::vector<int> order;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gate_open; });
+  });
+  pool.submit(-5, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(-5);
+  });
+  pool.submit(0, [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(0);
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gate_open = true;
+  }
+  cv.notify_all();
+  pool.wait();
+  EXPECT_EQ(order, (std::vector<int>{0, -5}));
 }
 
 }  // namespace
