@@ -51,7 +51,25 @@
 #                                ExecPlan differential verifier gates
 #                                every decode of the full catalog
 #                                (--verify-plan --no-cache)
-#  10. clang-tidy lint           (scripts/lint.sh; skipped when absent)
+#  10. service verify:           `bricksim serve` under an armed fault
+#                                plan takes a 2000-request mixed-load
+#                                storm, the broker counters must satisfy
+#                                the admission invariant afterwards, and
+#                                SIGTERM drains cleanly; then the driver
+#                                survives SIGINT mid-sweep and resumes
+#                                from its checkpoint shards
+#  11. overload soak:            two daemons share one cache dir; a storm
+#                                at 4x the admission limit with
+#                                --memo-bytes at ~1/10 the working set and
+#                                a connection-drop fault armed must shed
+#                                (never hang), keep memo bytes <= budget,
+#                                and simulate each fingerprint exactly
+#                                once; then one daemon is SIGKILLed
+#                                mid-sweep and the peer must steal the
+#                                stale lease, adopt the shards, and
+#                                produce artifacts byte-identical to a
+#                                clean single-daemon cold run
+#  12. clang-tidy lint           (scripts/lint.sh; skipped when absent)
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast  run only the brickcheck/ir/codegen test subset under the
@@ -63,12 +81,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/11] tier-1 verify (plain)"
+echo "==> [1/12] tier-1 verify (plain)"
 cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [2/11] tier-1 verify (Release)"
+echo "==> [2/12] tier-1 verify (Release)"
 cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-release -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -78,7 +96,7 @@ else
   ctest --test-dir build-release --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [3/11] perf smoke (fig3@128 Release: A/B gate + regression vs BENCH_replay.json)"
+echo "==> [3/12] perf smoke (fig3@128 Release: A/B gate + regression vs BENCH_replay.json)"
 if [[ "${BRICKSIM_SKIP_PERF_SMOKE:-0}" == 1 ]]; then
   echo "    skipped (BRICKSIM_SKIP_PERF_SMOKE=1)"
 else
@@ -114,7 +132,7 @@ else
   rm -rf "$PERFDIR"
 fi
 
-echo "==> [4/11] tier-1 verify (ASan + UBSan)"
+echo "==> [4/12] tier-1 verify (ASan + UBSan)"
 cmake -B build-asan -S . -DBRICKSIM_SANITIZE="address;undefined"
 cmake --build build-asan -j "$JOBS"
 if [[ "$FAST" == 1 ]]; then
@@ -124,11 +142,11 @@ else
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 fi
 
-echo "==> [5/11] concurrency verify (TSan)"
+echo "==> [5/12] concurrency verify (TSan)"
 cmake -B build-tsan -S . -DBRICKSIM_SANITIZE="thread"
-cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan test_shard test_broker test_serve bench_fig3_roofline
+cmake --build build-tsan -j "$JOBS" --target test_threadpool test_harness test_execplan test_shard test_broker test_serve test_lease test_fuzz_protocol bench_fig3_roofline
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan|Shard|Broker|Serve|Framing'
+  -R 'ThreadPool|ParallelFor|HarnessParallel|HarnessTest|ExecPlan|Shard|Broker|Serve|Framing|Lease|FuzzProtocol'
 # Sharded fig3 smoke under TSan: the intra-kernel replay shards
 # (ExecPlan::replay_sharded) genuinely run concurrently here --
 # BRICKSIM_OVERSUBSCRIBE lifts the effective_jobs hardware clamp so the
@@ -136,12 +154,12 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 BRICKSIM_OVERSUBSCRIBE=1 ./build-tsan/bench/bench_fig3_roofline \
   --n 64 --jobs 4 --shards 4 > /dev/null 2> /dev/null
 
-echo "==> [6/11] parallel sweep smoke (fig3 at --jobs 4, both engines + shards)"
+echo "==> [6/12] parallel sweep smoke (fig3 at --jobs 4, both engines + shards)"
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=plan > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --engine=interp > /dev/null 2> /dev/null
 ./build/bench/bench_fig3_roofline --n 128 --jobs 4 --shards 4 > /dev/null 2> /dev/null
 
-echo "==> [7/11] driver verify (bricksim all cold/warm + legacy byte-diff)"
+echo "==> [7/12] driver verify (bricksim all cold/warm + legacy byte-diff)"
 CIDIR="$(mktemp -d)"
 trap 'rm -rf "$CIDIR"' EXIT
 BRICKSIM=./build/bench/bricksim
@@ -188,7 +206,7 @@ for pair in table1:bench_table1_platforms table2:bench_table2_stencils \
     || { echo "FAIL: $bin stdout differs from bricksim run $name"; exit 1; }
 done
 
-echo "==> [8/11] fault-injection soak (ASan driver)"
+echo "==> [8/12] fault-injection soak (ASan driver)"
 ASAN_BRICKSIM=./build-asan/bench/bricksim
 SOAK="$CIDIR/soak"
 mkdir -p "$SOAK"
@@ -281,7 +299,7 @@ grep -q '\.corrupt' "$SOAK/doctor.out" \
 "$ASAN_BRICKSIM" doctor --cache-dir "$SOAK/cache" > "$SOAK/doctor2.out" \
   || { echo "FAIL: doctor reports damage after prune"; exit 1; }
 
-echo "==> [9/11] static-analysis verify (brickperf drift gate + plan verifier)"
+echo "==> [9/12] static-analysis verify (brickperf drift gate + plan verifier)"
 # Cold: simulates the main sweep, then joins brickperf's static estimates
 # against the measured counters; any drift outside tolerance exits 3.
 "$ASAN_BRICKSIM" run lint --n 64 --out "$CIDIR/lint_cold" \
@@ -321,7 +339,7 @@ grep -q '"sweeps_simulated": 0' "$CIDIR/lint_warm/run_summary.json" \
 "$ASAN_BRICKSIM" run fig3 --n 64 --verify-plan --no-cache \
   --out "$CIDIR/verify_plan" > /dev/null 2> /dev/null
 
-echo "==> [10/11] service verify (bricksim serve + mixed-load storm + graceful shutdown)"
+echo "==> [10/12] service verify (bricksim serve + mixed-load storm + graceful shutdown)"
 SRV="$CIDIR/serve"
 mkdir -p "$SRV"
 
@@ -355,10 +373,12 @@ for _ in $(seq 100); do [[ -S "$SRV/s.sock" ]] && break; sleep 0.1; done
 jq -e '.counters |
     .requests == 2000
     and .requests == .warm_memo + .coalesced + .cold_misses + .rejected
+                     + .overloaded
     and .cold_misses == .warm_disk + .simulated + .expired + .failed
     and .simulated == 3
     and .enqueued == .cold_misses
     and .expired == 0 and .failed == 0 and .rejected == 0
+    and .overloaded == 0 and .memo_evictions == 0
     and .inflight == 0' "$SRV/counters.json" > /dev/null \
   || { echo "FAIL: broker counters violate the contract"; \
        cat "$SRV/counters.json"; exit 1; }
@@ -402,7 +422,140 @@ jq -e '.cache.shards_resumed > 0' "$INT/resumed/run_summary.json" \
   > /dev/null \
   || { echo "FAIL: resume after interrupt replayed no shards"; exit 1; }
 
-echo "==> [11/11] lint"
+echo "==> [11/12] overload soak (two daemons, one cache: shed + evict + SIGKILL lease takeover)"
+OVL="$CIDIR/overload"
+mkdir -p "$OVL"
+
+# Reference: the contested cold sweep from a pristine single-daemon run,
+# for byte-level comparison after the lease takeover -- plus one hot-storm
+# entry whose size calibrates the memo budget below.
+"$BRICKSIM" serve --socket "$OVL/ref.sock" --cache-dir "$OVL/ref_cache" \
+  2> /dev/null &
+REF_PID=$!
+for _ in $(seq 100); do [[ -S "$OVL/ref.sock" ]] && break; sleep 0.1; done
+"$BRICKSIM" query sweep --kind cpu --n 320 --socket "$OVL/ref.sock" \
+  > "$OVL/ref_sweep.json"
+FP="$(jq -r '.fingerprint' "$OVL/ref_sweep.json")"
+"$BRICKSIM" query sweep --kind cpu --n 64 --socket "$OVL/ref.sock" \
+  > "$OVL/ref_hot.json"
+HOT_FP="$(jq -r '.fingerprint' "$OVL/ref_hot.json")"
+kill -TERM "$REF_PID"
+wait "$REF_PID"
+
+# The memo budget: half of one entry, i.e. ~1/10 of the five-fingerprint
+# working set the storm touches.  Every insert must therefore evict, the
+# byte bound must hold as an invariant, and every warm hit is forced
+# through the disk-cache fallback -- while results stay exact.
+HOT_BYTES="$(stat -c %s "$OVL/ref_cache/sweep-$HOT_FP.json")"
+BUDGET=$(( HOT_BYTES / 2 ))
+[[ "$BUDGET" -ge 1 ]] || BUDGET=1
+
+# Two daemons over ONE cache dir (and therefore one lease namespace).
+# Daemon A takes the storm with a connection-drop fault armed; its
+# admission bound is 1 queued cold leader, and the storm's four
+# fingerprints (one hot + three cold -- with the memo this tight even
+# hot hits arrive as disk-reading cold-miss leaders) all contend for it:
+# a storm at 4x the limit, so it MUST shed.  The contested n=320 sweep
+# is deliberately NOT in the storm set -- it has to still be cold for
+# the SIGKILL takeover below.
+BRICKSIM_FAULT_INJECT='conn.drop@5' \
+  "$BRICKSIM" serve --socket "$OVL/a.sock" --cache-dir "$OVL/cache" \
+  --workers 2 --max-queue 1 --memo-bytes "$BUDGET" --lease-ttl-ms 1500 \
+  2> "$OVL/a.stderr" &
+A_PID=$!
+"$BRICKSIM" serve --socket "$OVL/b.sock" --cache-dir "$OVL/cache" \
+  --workers 2 --max-queue 1 --memo-bytes "$BUDGET" --lease-ttl-ms 1500 \
+  2> "$OVL/b.stderr" &
+B_PID=$!
+for _ in $(seq 100); do
+  [[ -S "$OVL/a.sock" && -S "$OVL/b.sock" ]] && break; sleep 0.1
+done
+[[ -S "$OVL/a.sock" && -S "$OVL/b.sock" ]] \
+  || { echo "FAIL: overload-soak daemons never bound their sockets"; exit 1; }
+
+# The storm: every client must end in success -- shed and dropped requests
+# retry with backoff until they land; nothing may hang or give up.
+"$BRICKSIM" loadtest --socket "$OVL/a.sock" --requests 200 --threads 8 \
+  --kind cpu --hot-n 64 --cold-ns 128,192,256 --cold-every 3 \
+  --retries 30 > "$OVL/loadtest.json" \
+  || { echo "FAIL: overload-soak loadtest reported failures"; \
+       cat "$OVL/loadtest.json"; exit 1; }
+jq -e '.succeeded == 200 and .gave_up == 0 and .protocol_errors == 0
+    and .shed >= 1 and .retried >= 1' "$OVL/loadtest.json" > /dev/null \
+  || { echo "FAIL: storm tally shows no shed/retry convergence"; \
+       cat "$OVL/loadtest.json"; exit 1; }
+
+# Counter contract on the stormed daemon: the admission invariant holds
+# with shedding in play, memory stayed bounded (memo bytes <= budget with
+# evictions actually exercised), and each of the 4 fingerprints cost
+# exactly one simulation -- shed retries and drop-forced resends never
+# duplicated work.
+"$BRICKSIM" query counters --socket "$OVL/a.sock" > "$OVL/a_counters.json"
+jq -e --argjson budget "$BUDGET" '.counters |
+    .requests == .warm_memo + .coalesced + .cold_misses + .rejected
+                 + .overloaded
+    and .overloaded >= 1
+    and .memo_evictions >= 1
+    and .memo_bytes <= $budget
+    and .simulated == 4
+    and .expired == 0 and .failed == 0 and .rejected == 0
+    and .inflight == 0' "$OVL/a_counters.json" > /dev/null \
+  || { echo "FAIL: stormed daemon counters violate the overload contract"; \
+       cat "$OVL/a_counters.json"; exit 1; }
+
+# SIGKILL mid-sweep: start the contested cold sweep on daemon A, wait
+# until its leader provably holds the lease, then kill -9 the daemon --
+# no drain, no release, exactly what a crashed host leaves behind.
+"$BRICKSIM" query sweep --kind cpu --n 320 --socket "$OVL/a.sock" \
+  > /dev/null 2> /dev/null &
+Q_PID=$!
+for _ in $(seq 200); do
+  [[ -e "$OVL/cache/lease-$FP.json" ]] && break; sleep 0.05
+done
+[[ -e "$OVL/cache/lease-$FP.json" ]] \
+  || { echo "FAIL: contested sweep never took its lease"; exit 1; }
+kill -9 "$A_PID"
+wait "$Q_PID" 2> /dev/null || true
+wait "$A_PID" 2> /dev/null || true
+[[ ! -e "$OVL/cache/sweep-$FP.json" ]] \
+  || { echo "FAIL: daemon A finished before the SIGKILL landed"; exit 1; }
+
+# Peer takeover: daemon B must expire the corpse's stale lease (its
+# heartbeats stopped at the SIGKILL), adopt the checkpoint shards, finish
+# the sweep once, and release the lease.
+"$BRICKSIM" query sweep --kind cpu --n 320 --socket "$OVL/b.sock" \
+  > "$OVL/b_sweep.json"
+jq -e '.ok == true and .status == "simulated"' "$OVL/b_sweep.json" \
+  > /dev/null \
+  || { echo "FAIL: peer did not complete the dead daemon's sweep"; \
+       cat "$OVL/b_sweep.json"; exit 1; }
+"$BRICKSIM" query counters --socket "$OVL/b.sock" > "$OVL/b_counters.json"
+jq -e '.counters | .lease_steals == 1 and .simulated == 1' \
+  "$OVL/b_counters.json" > /dev/null \
+  || { echo "FAIL: peer counters record no lease steal"; \
+       cat "$OVL/b_counters.json"; exit 1; }
+[[ ! -e "$OVL/cache/lease-$FP.json" ]] \
+  || { echo "FAIL: stolen lease was not released after the store"; exit 1; }
+
+# The takeover artifact is byte-identical to the pristine single-daemon
+# run: crash + adoption changed nothing about the result.
+cmp "$OVL/cache/sweep-$FP.json" "$OVL/ref_cache/sweep-$FP.json" \
+  || { echo "FAIL: takeover sweep differs from the clean reference"; \
+       exit 1; }
+
+# Doctor over the survivor's cache: any stale leases are reported and
+# pruned, and what the crash left behind is NOT corruption (exit 0).
+"$BRICKSIM" doctor --cache-dir "$OVL/cache" --prune > "$OVL/doctor.out" \
+  || { echo "FAIL: doctor flags the post-crash cache as corrupt"; \
+       cat "$OVL/doctor.out"; exit 1; }
+
+kill -TERM "$B_PID"
+rc=0
+wait "$B_PID" || rc=$?
+[[ "$rc" == 0 ]] \
+  || { echo "FAIL: surviving daemon exited $rc on SIGTERM"; exit 1; }
+
+echo "==> [12/12] lint"
 scripts/lint.sh
 
 echo "==> CI green"

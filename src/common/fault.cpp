@@ -11,6 +11,7 @@ namespace {
 constexpr const char* kSiteNames[kNumSites] = {
     "cache.write.torn", "cache.write.rename", "cache.read.short",
     "cache.read.corrupt", "roofline", "launch", "emit",
+    "lease.steal", "conn.drop", "client.slow",
 };
 
 struct Injector {

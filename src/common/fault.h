@@ -28,6 +28,12 @@
 //   roofline            the mixbench roofline derivation throws
 //   launch              the kernel launch throws bricksim::Error
 //   emit                the experiment emitter throws bricksim::Error
+//   lease.steal         a live sweep lease is treated as stale and stolen
+//                       (harness/lease.h; context is the fingerprint)
+//   conn.drop           the server drops the connection instead of replying
+//                       (serve/server.cpp; exercises client retry)
+//   client.slow         a protocol client stalls before sending its request
+//                       (serve loadtest; exercises the idle reaper)
 #pragma once
 
 #include <atomic>
@@ -47,8 +53,11 @@ enum class Site : int {
   Roofline,
   Launch,
   Emit,
+  LeaseSteal,
+  ConnDrop,
+  ClientSlow,
 };
-inline constexpr int kNumSites = 7;
+inline constexpr int kNumSites = 10;
 
 /// "cache.write.torn", "launch", ... (the spec spelling).
 const char* site_name(Site site);

@@ -8,6 +8,7 @@
 #include "common/json.h"
 #include "common/table.h"
 #include "harness/cachefile.h"
+#include "harness/lease.h"
 #include "harness/sweepcache.h"
 
 namespace bricksim::harness {
@@ -31,6 +32,7 @@ std::string classify_kind(const fs::path& p) {
   if (name.rfind("artifact-", 0) == 0) return "artifact";
   if (name.rfind("shard-", 0) == 0) return "shard";
   if (name.rfind("roofline-", 0) == 0) return "roofline";
+  if (name.rfind("lease-", 0) == 0) return "lease";
   return "";
 }
 
@@ -117,6 +119,22 @@ DoctorReport doctor_scan(const std::string& dir, bool prune) {
     } else if (e.kind == "tmp") {
       e.status = "stale";
       e.detail = "interrupted write, never renamed into place";
+    } else if (e.kind == "lease") {
+      // Leases are plain JSON (harness/lease.h), not checksum-framed, so
+      // never feed them to verify_entry.  A live lease is a healthy
+      // daemon's claim -- report it and leave it alone even under
+      // --prune; a stale or unreadable one is a dead daemon's litter.
+      const auto info = read_lease(p.string());
+      if (info && !info->stale) {
+        e.status = "ok";
+        e.detail = "live sweep lease held by " + info->owner;
+      } else {
+        e.status = "stale";
+        e.detail = info ? "lease expired " +
+                              std::to_string(info->age_ms - info->ttl_ms) +
+                              "ms ago (owner " + info->owner + " presumed dead)"
+                        : "unreadable lease record";
+      }
     } else {
       std::tie(e.status, e.detail) = verify_entry(p, e.kind);
     }

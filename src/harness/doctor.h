@@ -8,6 +8,13 @@
 // With prune it quarantines the corrupt entries and deletes the stale
 // and quarantined ones, leaving a cache where every remaining file is
 // either healthy or foreign.
+//
+// Sweep lease files (lease-<fp>.json, harness/lease.h) are plain JSON
+// rather than checksum-framed: a LIVE lease reports ok (held by its
+// owner) and is never touched, even under prune; a stale or unreadable
+// one -- a dead daemon's litter -- reports stale and is pruned.  Leases
+// never contribute to the corrupt count, so doctor still exits 3 only on
+// real cache corruption.
 #pragma once
 
 #include <iosfwd>
@@ -18,7 +25,7 @@ namespace bricksim::harness {
 
 struct DoctorEntry {
   std::string path;    ///< relative to the scanned directory
-  std::string kind;    ///< sweep | artifact | shard | roofline | tmp | other
+  std::string kind;    ///< sweep | artifact | shard | roofline | lease | tmp | other
   std::string status;  ///< ok | stale | corrupt | quarantined | ignored
   std::string detail;  ///< damage description, "" when healthy
 };

@@ -1,0 +1,186 @@
+#include "harness/lease.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "common/fault.h"
+#include "common/json.h"
+
+namespace bricksim::harness {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+long wall_ms() {
+  return static_cast<long>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// "host:pid:token" -- unique per SweepLease instance, so two leases in
+/// one process (or one test) never mistake each other for themselves.
+std::string make_owner_id() {
+  static std::atomic<unsigned long> seq{0};
+  char host[256] = "unknown";
+  if (::gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+  std::random_device rd;
+  const unsigned long token =
+      (static_cast<unsigned long>(rd()) << 20) ^ seq.fetch_add(1);
+  return std::string(host[0] ? host : "unknown") + ":" +
+         std::to_string(::getpid()) + ":" + std::to_string(token);
+}
+
+}  // namespace
+
+std::string lease_path(const std::string& dir, const std::string& fp) {
+  return dir + "/lease-" + fp + ".json";
+}
+
+std::optional<LeaseInfo> read_lease(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  LeaseInfo info;
+  try {
+    const json::Value v = json::Value::parse(text);
+    if (v.at("schema").as_long() != kLeaseSchema) return std::nullopt;
+    info.owner = v.at("owner").as_string();
+    info.fingerprint = v.at("fingerprint").as_string();
+    info.ttl_ms = v.at("ttl_ms").as_long();
+    info.age_ms = wall_ms() - v.at("heartbeat_ms").as_long();
+  } catch (const std::exception&) {
+    return std::nullopt;  // mid-write or damaged: callers treat as stale
+  }
+  if (info.age_ms < 0) info.age_ms = 0;  // peer's clock marginally ahead
+  info.stale = info.age_ms > info.ttl_ms;
+  return info;
+}
+
+SweepLease::SweepLease(std::string dir, std::string fp, long ttl_ms)
+    : dir_(std::move(dir)),
+      fp_(std::move(fp)),
+      path_(lease_path(dir_, fp_)),
+      owner_(make_owner_id()),
+      ttl_ms_(ttl_ms) {}
+
+SweepLease::~SweepLease() { release(); }
+
+bool SweepLease::write_record() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  json::Value v = json::Value::object();
+  v["schema"] = kLeaseSchema;
+  v["owner"] = owner_;
+  v["fingerprint"] = fp_;
+  v["ttl_ms"] = ttl_ms_;
+  v["heartbeat_ms"] = wall_ms();
+  // The ".tmp.<pid>.<token>" image is never observed as a lease; doctor
+  // classifies strays from a crash here as prunable tmp files.
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(::getpid()) + "." + owner_;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << v.dump() << "\n";
+    if (!out.flush()) {
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp, path_, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+SweepLease::Outcome SweepLease::try_acquire() {
+  if (owned_) return Outcome::Acquired;
+  bool steal = false;
+  if (const auto info = read_lease(path_)) {
+    steal = info->stale;
+    if (!steal && fault::armed() &&
+        fault::fire(fault::Site::LeaseSteal, fp_))
+      steal = true;  // deterministic takeover for tests/CI
+    if (!steal) return Outcome::Held;
+  } else {
+    // Absent (or unreadable -- a healthy owner re-stamps a readable
+    // record within one heartbeat, so give it one ttl via the file's
+    // existence check): absent means claimable; present-but-unreadable
+    // is claimed like a stale lease.
+    std::error_code ec;
+    steal = fs::exists(path_, ec);
+  }
+  // Claim: rename our record onto the path, then read back.  Whoever the
+  // file names owns the lease; a concurrent claimant that renamed after
+  // us wins and we report Held.
+  if (!write_record()) return Outcome::Held;
+  const auto now_holds = read_lease(path_);
+  if (!now_holds || now_holds->owner != owner_) return Outcome::Held;
+  owned_ = true;
+  return steal ? Outcome::Stolen : Outcome::Acquired;
+}
+
+bool SweepLease::heartbeat() {
+  if (!owned_) return false;
+  const auto info = read_lease(path_);
+  if (!info || info->owner != owner_) {
+    owned_ = false;  // stolen from under us; never cancel the sweep
+    return false;
+  }
+  return write_record();
+}
+
+void SweepLease::release() {
+  if (!owned_) return;
+  owned_ = false;
+  const auto info = read_lease(path_);
+  if (info && info->owner == owner_) {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+}
+
+LeaseHeartbeat::LeaseHeartbeat(SweepLease& lease) : lease_(lease) {
+  // ttl/3 leaves two missed beats of margin before a peer may steal.
+  const auto beat =
+      std::chrono::milliseconds(std::max<long>(10, lease_.ttl_ms() / 3));
+  thread_ = std::thread([this, beat] {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock, beat, [this] { return stop_; })) return;
+      lock.unlock();
+      const bool ok = lease_.heartbeat();
+      lock.lock();
+      if (!ok) {
+        ousted_ = true;
+        return;
+      }
+    }
+  });
+}
+
+LeaseHeartbeat::~LeaseHeartbeat() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool LeaseHeartbeat::ousted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ousted_;
+}
+
+}  // namespace bricksim::harness

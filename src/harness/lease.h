@@ -1,0 +1,124 @@
+// Cross-process sweep leases: at most one daemon simulates a cold sweep.
+//
+// Single-flight (serve/broker.h) dedupes identical cold requests across
+// threads of ONE process; this module extends that to a fleet of daemons
+// sharing a cache directory.  Before a leader simulates fingerprint <fp>
+// it claims `lease-<fp>.json` in the cache dir -- right beside the
+// `shards-<fp>/` checkpoint directory the run writes.  A second daemon
+// hitting the same cold miss finds the lease held, and polls the disk
+// cache until the owner's completed sweep lands (or the lease frees).
+//
+// Crash tolerance is heartbeat-based: the owner refreshes the lease's
+// timestamp every ttl/3 (LeaseHeartbeat).  A daemon SIGKILLed mid-sweep
+// stops heartbeating, its lease goes stale after `ttl_ms`, and the next
+// contender STEALS it -- adopting the dead owner's resume shards, so the
+// fleet completes the sweep instead of restarting it (PR 5's single-
+// process crash safety, extended across processes).
+//
+// The claim protocol needs no file locks: acquisition atomically renames
+// a privately written record onto the lease path, then reads it back --
+// whoever the file names after the dust settles owns the lease; everyone
+// else lost the race and re-polls.  A live owner that IS ousted this way
+// (only possible through the `lease.steal` fault site or a wildly
+// mis-set ttl) discovers it on its next heartbeat; it never cancels its
+// running sweep -- results are bit-identical and the store is
+// concurrent-safe, so the worst case of a wrong steal is one duplicated
+// simulation, never corruption.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace bricksim::harness {
+
+/// Bump when the lease record layout changes; foreign-schema leases read
+/// as stale (safe: worst case is one duplicated simulation).
+inline constexpr int kLeaseSchema = 1;
+
+/// A decoded lease record, classified against the reader's clock.
+struct LeaseInfo {
+  std::string owner;   ///< "host:pid:token" of the claimant
+  std::string fingerprint;
+  long ttl_ms = 0;     ///< staleness horizon the owner promised to beat
+  long age_ms = 0;     ///< now - last heartbeat (clamped to >= 0)
+  bool stale = false;  ///< age_ms > ttl_ms: the owner is presumed dead
+};
+
+/// `dir`/lease-`fp`.json -- beside the `shards-<fp>/` checkpoint dir.
+std::string lease_path(const std::string& dir, const std::string& fp);
+
+/// Reads and classifies the lease at `path`; nullopt when absent or
+/// unreadable (mid-write or damaged -- callers treat that as stale, since
+/// a healthy owner re-renames a complete record within one heartbeat).
+std::optional<LeaseInfo> read_lease(const std::string& path);
+
+class SweepLease {
+ public:
+  enum class Outcome {
+    Acquired,  ///< no lease (or a released one): we own it now
+    Stolen,    ///< a stale lease was expired and taken over
+    Held,      ///< a live peer owns it; poll the disk cache and retry
+  };
+
+  /// `ttl_ms` must comfortably exceed the heartbeat interval (ttl/3).
+  SweepLease(std::string dir, std::string fp, long ttl_ms);
+  ~SweepLease();  ///< releases if still owned
+
+  SweepLease(const SweepLease&) = delete;
+  SweepLease& operator=(const SweepLease&) = delete;
+
+  /// One non-blocking claim attempt (see the protocol note above).  The
+  /// `lease.steal` fault site deterministically treats a live peer's
+  /// lease as stale (context: the fingerprint).
+  Outcome try_acquire();
+
+  /// Re-stamps the record with a fresh timestamp.  Returns false when the
+  /// lease no longer names us (stolen): the caller keeps running -- a
+  /// steal never cancels work -- but stops heartbeating.
+  bool heartbeat();
+
+  /// Unlinks the lease if it still names us.  Idempotent.
+  void release();
+
+  bool owned() const { return owned_; }
+  long ttl_ms() const { return ttl_ms_; }
+  const std::string& owner_id() const { return owner_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  bool write_record();  ///< atomic tmp+rename of our record; false on I/O error
+
+  std::string dir_;
+  std::string fp_;
+  std::string path_;
+  std::string owner_;
+  long ttl_ms_;
+  bool owned_ = false;
+};
+
+/// RAII heartbeat: refreshes `lease` every ttl/3 on a background thread
+/// until destroyed (or until a heartbeat discovers the lease was stolen).
+class LeaseHeartbeat {
+ public:
+  explicit LeaseHeartbeat(SweepLease& lease);
+  ~LeaseHeartbeat();
+
+  LeaseHeartbeat(const LeaseHeartbeat&) = delete;
+  LeaseHeartbeat& operator=(const LeaseHeartbeat&) = delete;
+
+  /// True when a heartbeat found the lease no longer ours.
+  bool ousted() const;
+
+ private:
+  SweepLease& lease_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool ousted_ = false;
+  std::thread thread_;
+};
+
+}  // namespace bricksim::harness

@@ -1224,6 +1224,17 @@ int driver_main(int argc, const char* const* argv) {
   cache["shards_resumed"] = stats.shards_resumed;
   cache["entries_quarantined"] =
       static_cast<long>(quarantine_count() - quarantined_before);
+  // Broker-side service gauges: memo-pressure counters and request-latency
+  // percentiles (serve/broker.h).  Zero under the CLI's default unlimited
+  // memo, but populated the same way `bricksim serve`'s counters op is.
+  {
+    const serve::BrokerCounters bc = provider.broker()->counters();
+    cache["memo_evictions"] = bc.memo_evictions;
+    cache["memo_readmissions"] = bc.memo_readmissions;
+    cache["p50_ms"] = bc.p50_ms;
+    cache["p95_ms"] = bc.p95_ms;
+    cache["p99_ms"] = bc.p99_ms;
+  }
   summary["cache"] = cache;
   std::filesystem::create_directories(out_dir);
   write_text_file(std::filesystem::path(out_dir) / "run_summary.json",

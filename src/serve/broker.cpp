@@ -1,10 +1,41 @@
 #include "serve/broker.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/error.h"
 #include "common/threadpool.h"
+#include "harness/lease.h"
 #include "harness/sweepcache.h"
 
 namespace bricksim::serve {
+
+namespace {
+
+/// Sliding-window capacity of the latency ring: enough for stable p99 at
+/// storm sizes, small enough that a counters() snapshot stays cheap.
+constexpr std::size_t kLatencyWindow = 4096;
+
+double elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The memo charges an entry its serialized size -- the same bytes the
+/// disk cache would store, so `--memo-bytes` budgets real footprint.
+std::size_t sweep_memo_cost(const harness::Sweep& sweep) {
+  return harness::sweep_to_json(sweep).dump().size();
+}
+
+double percentile(std::vector<double>& sorted_scratch, double p) {
+  if (sorted_scratch.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_scratch.size() - 1) / 100.0 + 0.5);
+  return sorted_scratch[std::min(idx, sorted_scratch.size() - 1)];
+}
+
+}  // namespace
 
 const char* request_status_name(RequestStatus s) {
   switch (s) {
@@ -16,6 +47,7 @@ const char* request_status_name(RequestStatus s) {
     case RequestStatus::Expired: return "expired";
     case RequestStatus::Failed: return "failed";
     case RequestStatus::Rejected: return "rejected";
+    case RequestStatus::Overloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -35,7 +67,9 @@ std::shared_ptr<const harness::Sweep> SweepBroker::peek_memo(
   const std::string fp = harness::fingerprint(config);
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = memo_.find(fp);
-  return it != memo_.end() ? it->second : nullptr;
+  if (it == memo_.end()) return nullptr;
+  memo_touch_locked(fp);
+  return it->second.sweep;
 }
 
 std::shared_ptr<const harness::Sweep> SweepBroker::load_disk(
@@ -43,33 +77,102 @@ std::shared_ptr<const harness::Sweep> SweepBroker::load_disk(
   if (opts_.cache_dir.empty()) return nullptr;
   auto sweep = harness::load_cached_sweep(opts_.cache_dir, config);
   if (!sweep) return nullptr;
+  const std::size_t bytes = sweep_memo_cost(*sweep);
   auto shared =
       std::make_shared<const harness::Sweep>(std::move(*sweep));
   std::lock_guard<std::mutex> lock(mu_);
   // Keep the first copy if someone memoized concurrently (identical
   // content either way -- the cache is content-addressed).
-  return memo_.emplace(harness::fingerprint(config), shared).first->second;
+  return memo_insert_locked(harness::fingerprint(config), std::move(shared),
+                            bytes);
+}
+
+std::shared_ptr<const harness::Sweep> SweepBroker::memo_insert_locked(
+    const std::string& fp, std::shared_ptr<const harness::Sweep> sweep,
+    std::size_t bytes) {
+  if (const auto it = memo_.find(fp); it != memo_.end()) {
+    memo_touch_locked(fp);
+    return it->second.sweep;
+  }
+  lru_.push_front(fp);
+  MemoEntry entry{std::move(sweep), bytes, lru_.begin()};
+  auto kept = entry.sweep;
+  memo_.emplace(fp, std::move(entry));
+  memo_bytes_ += bytes;
+  if (evicted_fps_.erase(fp) > 0) ++counters_.memo_readmissions;
+  // Evict LRU-first until the budget holds.  The bound is hard: a single
+  // entry bigger than the whole budget evicts itself immediately (it is
+  // still returned to the caller, and the DISK cache still has it), so
+  // memo_bytes <= memo_bytes budget is an invariant, not a goal.
+  while (opts_.memo_bytes > 0 && memo_bytes_ > opts_.memo_bytes &&
+         !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    const auto vit = memo_.find(victim);
+    memo_bytes_ -= vit->second.bytes;
+    memo_.erase(vit);
+    evicted_fps_.insert(victim);
+    ++counters_.memo_evictions;
+  }
+  // The readmission ledger must not become its own unbounded memo: under
+  // truly arbitrary traffic, forget the oldest distinctions wholesale
+  // (readmission counts go conservative, memory stays bounded).
+  if (evicted_fps_.size() > 65536) evicted_fps_.clear();
+  return kept;
+}
+
+void SweepBroker::memo_touch_locked(const std::string& fp) {
+  const auto it = memo_.find(fp);
+  if (it == memo_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+void SweepBroker::record_latency_locked(
+    std::chrono::steady_clock::time_point start) {
+  const double ms = elapsed_ms(start);
+  if (latencies_ms_.size() < kLatencyWindow) {
+    latencies_ms_.push_back(ms);
+  } else {
+    latencies_ms_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+long SweepBroker::estimated_queue_wait_locked() const {
+  if (cold_runs_ == 0) return 0;
+  const int workers = opts_.workers > 0 ? opts_.workers : default_jobs();
+  const double avg = cold_ms_total_ / static_cast<double>(cold_runs_);
+  return static_cast<long>(avg * static_cast<double>(queued_) /
+                           static_cast<double>(std::max(1, workers)));
 }
 
 void SweepBroker::finish(const std::string& fp,
                          const std::shared_ptr<InFlight>& fl,
                          SweepResponse resp) {
+  // Memoize every materialized sweep -- including degraded ones, which
+  // the legacy provider also memoized (their failures are re-reported
+  // per consumer, never re-simulated within one process) -- EXCEPT a
+  // sweep cut short by a cancellation token: its holes are not results,
+  // and memoizing them would poison every later request.
+  const bool memoize = resp.sweep && resp.sweep->run_stats.skipped == 0;
+  // Serialization is the entry's byte cost; computed outside the lock.
+  const std::size_t bytes = memoize ? sweep_memo_cost(*resp.sweep) : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Memoize every materialized sweep -- including degraded ones, which
-    // the legacy provider also memoized (their failures are re-reported
-    // per consumer, never re-simulated within one process) -- EXCEPT a
-    // sweep cut short by a cancellation token: its holes are not results,
-    // and memoizing them would poison every later request.
-    if (resp.sweep && resp.sweep->run_stats.skipped == 0)
-      memo_.emplace(fp, resp.sweep);
+    if (memoize) resp.sweep = memo_insert_locked(fp, resp.sweep, bytes);
     switch (resp.status) {
       case RequestStatus::WarmDisk: ++counters_.warm_disk; break;
-      case RequestStatus::Simulated: ++counters_.simulated; break;
+      case RequestStatus::Simulated:
+        ++counters_.simulated;
+        // Leader span feeds the admission controller's wait estimate.
+        cold_ms_total_ += elapsed_ms(fl->arrival);
+        ++cold_runs_;
+        break;
       case RequestStatus::Expired: ++counters_.expired; break;
       case RequestStatus::Failed: ++counters_.failed; break;
       default: break;
     }
+    record_latency_locked(fl->arrival);
     inflight_.erase(fp);
   }
   idle_.notify_all();
@@ -92,6 +195,55 @@ void SweepBroker::run_leader(const std::string& fp,
         return;
       }
     }
+    // Cross-process lease (harness/lease.h): claim lease-<fp>.json before
+    // simulating.  Held by a live peer -> poll the disk cache (the peer's
+    // completed sweep lands there, or its lease frees/goes stale); stale
+    // -> steal and ADOPT the dead owner's resume shards.
+    std::optional<harness::SweepLease> lease;
+    bool stolen = false;
+    if (!opts_.cache_dir.empty() && opts_.lease_ttl_ms > 0) {
+      lease.emplace(opts_.cache_dir, fp, opts_.lease_ttl_ms);
+      const auto poll = std::chrono::milliseconds(
+          std::clamp<long>(opts_.lease_ttl_ms / 4, 10, 250));
+      bool counted_wait = false;
+      for (;;) {
+        const auto outcome = lease->try_acquire();
+        if (outcome == harness::SweepLease::Outcome::Acquired) break;
+        if (outcome == harness::SweepLease::Outcome::Stolen) {
+          stolen = true;
+          break;
+        }
+        if (!counted_wait) {
+          counted_wait = true;
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.lease_waits;
+        }
+        std::this_thread::sleep_for(poll);
+        if (auto sweep =
+                harness::load_cached_sweep(opts_.cache_dir, config)) {
+          resp.status = RequestStatus::WarmDisk;
+          resp.sweep =
+              std::make_shared<const harness::Sweep>(std::move(*sweep));
+          finish(fp, fl, std::move(resp));
+          return;
+        }
+      }
+      if (stolen) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.lease_steals;
+      }
+      // Re-check the disk AFTER winning the lease: the previous owner
+      // stores its entry before releasing, so this closes the window
+      // between our cold miss and the claim.
+      if (auto sweep = harness::load_cached_sweep(opts_.cache_dir, config)) {
+        lease->release();
+        resp.status = RequestStatus::WarmDisk;
+        resp.sweep =
+            std::make_shared<const harness::Sweep>(std::move(*sweep));
+        finish(fp, fl, std::move(resp));
+        return;
+      }
+    }
     std::function<void(const std::string&)> hook;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -105,6 +257,13 @@ void SweepBroker::run_leader(const std::string& fp,
       run_cfg.checkpoint_dir = opts_.cache_dir;
       run_cfg.resume = opts_.resume;
     }
+    // A stolen lease means a peer died mid-sweep: its checkpoint shards
+    // are exactly why we steal instead of restart.
+    if (stolen) run_cfg.resume = true;
+    // Heartbeat while simulating, so a long sweep's lease never goes
+    // stale under a live owner.
+    std::optional<harness::LeaseHeartbeat> heartbeat;
+    if (lease && lease->owned()) heartbeat.emplace(*lease);
     harness::Sweep sweep = harness::run_sweep(run_cfg);
     if (sweep.run_stats.skipped == 0 && sweep.failures.empty() &&
         !opts_.cache_dir.empty()) {
@@ -115,6 +274,10 @@ void SweepBroker::run_leader(const std::string& fp,
       harness::store_cached_sweep(opts_.cache_dir, sweep);
       harness::clear_shards(opts_.cache_dir, config);
     }
+    // Store BEFORE releasing the lease: a polling peer that wins the
+    // freed lease re-checks the disk and finds the entry.
+    heartbeat.reset();
+    if (lease) lease->release();
     resp.status = RequestStatus::Simulated;
     resp.sweep = std::make_shared<const harness::Sweep>(std::move(sweep));
   } catch (const std::exception& e) {
@@ -127,6 +290,7 @@ void SweepBroker::run_leader(const std::string& fp,
 
 SweepResponse SweepBroker::request(const harness::SweepConfig& config) {
   const std::string fp = harness::fingerprint(config);
+  const auto arrival = std::chrono::steady_clock::now();
   std::shared_ptr<InFlight> fl;
   bool leader = false;
   {
@@ -134,6 +298,7 @@ SweepResponse SweepBroker::request(const harness::SweepConfig& config) {
     ++counters_.requests;
     if (draining_) {
       ++counters_.rejected;
+      record_latency_locked(arrival);
       SweepResponse resp;
       resp.status = RequestStatus::Rejected;
       resp.fingerprint = fp;
@@ -142,10 +307,12 @@ SweepResponse SweepBroker::request(const harness::SweepConfig& config) {
     }
     if (const auto it = memo_.find(fp); it != memo_.end()) {
       ++counters_.warm_memo;
+      memo_touch_locked(fp);
+      record_latency_locked(arrival);
       SweepResponse resp;
       resp.status = RequestStatus::WarmMemo;
       resp.fingerprint = fp;
-      resp.sweep = it->second;
+      resp.sweep = it->second.sweep;
       return resp;
     }
     if (const auto it = inflight_.find(fp); it != inflight_.end()) {
@@ -155,6 +322,7 @@ SweepResponse SweepBroker::request(const harness::SweepConfig& config) {
       ++counters_.cold_misses;
       fl = std::make_shared<InFlight>();
       fl->future = fl->promise.get_future().share();
+      fl->arrival = arrival;
       inflight_.emplace(fp, fl);
       leader = true;
     }
@@ -174,6 +342,7 @@ Ticket SweepBroker::submit(
     const harness::SweepConfig& config, int priority,
     std::optional<std::chrono::steady_clock::time_point> deadline) {
   const std::string fp = harness::fingerprint(config);
+  const auto arrival = std::chrono::steady_clock::now();
   Ticket ticket;
   std::shared_ptr<InFlight> fl;
   {
@@ -181,6 +350,7 @@ Ticket SweepBroker::submit(
     ++counters_.requests;
     if (draining_) {
       ++counters_.rejected;
+      record_latency_locked(arrival);
       std::promise<SweepResponse> p;
       SweepResponse resp;
       resp.status = RequestStatus::Rejected;
@@ -194,11 +364,13 @@ Ticket SweepBroker::submit(
     if (const auto it = memo_.find(fp); it != memo_.end()) {
       // Warm requests never touch the ThreadPool: completed right here.
       ++counters_.warm_memo;
+      memo_touch_locked(fp);
+      record_latency_locked(arrival);
       std::promise<SweepResponse> p;
       SweepResponse resp;
       resp.status = RequestStatus::WarmMemo;
       resp.fingerprint = fp;
-      resp.sweep = it->second;
+      resp.sweep = it->second.sweep;
       p.set_value(std::move(resp));
       ticket.admission = RequestStatus::WarmMemo;
       ticket.result = p.get_future().share();
@@ -219,11 +391,41 @@ Ticket SweepBroker::submit(
       ticket.result = it->second->future;
       return ticket;
     }
+    // Admission control: a NEW leader past the queue bound -- or one
+    // whose deadline the backlog provably cannot meet -- is shed at the
+    // door with a retry hint, instead of queueing forever.  Warm hits
+    // and coalesced followers above are never shed.
+    if (opts_.max_queue > 0) {
+      const long wait_ms = estimated_queue_wait_locked();
+      bool shed = queued_ >= opts_.max_queue;
+      if (!shed && deadline && cold_runs_ > 0 &&
+          arrival + std::chrono::milliseconds(wait_ms) > *deadline)
+        shed = true;  // would only expire in the queue: reject fast
+      if (shed) {
+        ++counters_.overloaded;
+        record_latency_locked(arrival);
+        std::promise<SweepResponse> p;
+        SweepResponse resp;
+        resp.status = RequestStatus::Overloaded;
+        resp.fingerprint = fp;
+        resp.error = "cold-miss queue is full";
+        resp.retry_after_ms =
+            wait_ms > 0 ? std::min<long>(wait_ms, 60000)
+                        : 100 * static_cast<long>(queued_ + 1);
+        if (resp.retry_after_ms < 50) resp.retry_after_ms = 50;
+        p.set_value(std::move(resp));
+        ticket.admission = RequestStatus::Overloaded;
+        ticket.result = p.get_future().share();
+        return ticket;
+      }
+    }
     ++counters_.cold_misses;
     ++counters_.enqueued;
+    ++queued_;
     fl = std::make_shared<InFlight>();
     fl->future = fl->promise.get_future().share();
     fl->deadline = deadline;
+    fl->arrival = arrival;
     inflight_.emplace(fp, fl);
     if (!pool_) {
       const int workers =
@@ -236,6 +438,7 @@ Ticket SweepBroker::submit(
       std::optional<std::chrono::steady_clock::time_point> dl;
       {
         std::lock_guard<std::mutex> lock(mu_);
+        --queued_;  // a worker picked us up; we no longer occupy the queue
         dl = fl->deadline;  // max over every request attached so far
       }
       if (dl && std::chrono::steady_clock::now() > *dl) {
@@ -264,6 +467,16 @@ BrokerCounters SweepBroker::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   BrokerCounters c = counters_;
   c.inflight = static_cast<long>(inflight_.size());
+  c.queued = queued_;
+  c.memo_entries = static_cast<long>(memo_.size());
+  c.memo_bytes = static_cast<long>(memo_bytes_);
+  if (!latencies_ms_.empty()) {
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    c.p50_ms = percentile(sorted, 0.50);
+    c.p95_ms = percentile(sorted, 0.95);
+    c.p99_ms = percentile(sorted, 0.99);
+  }
   return c;
 }
 

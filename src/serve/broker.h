@@ -29,13 +29,17 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "harness/harness.h"
 
@@ -58,6 +62,7 @@ enum class RequestStatus {
   Expired,    ///< deadline passed before a worker dequeued the request
   Failed,     ///< the simulation threw; `error` carries the text
   Rejected,   ///< broker is draining; no new work admitted
+  Overloaded, ///< cold queue full or deadline unmeetable; retry later
 };
 
 /// Human-readable status name ("warm_memo", "simulated", ...), as it
@@ -72,6 +77,9 @@ struct SweepResponse {
   std::shared_ptr<const harness::Sweep> sweep;
   std::string fingerprint;
   std::string error;  ///< exception text when status == Failed
+  /// Backoff hint for Overloaded responses (how long until a worker is
+  /// plausibly free, from queue depth x recent cold duration); 0 otherwise.
+  long retry_after_ms = 0;
 };
 
 /// Admission receipt of an async submit().  `admission` says what happened
@@ -86,7 +94,7 @@ struct Ticket {
 
 /// Monotonic broker counters, exposed by `bricksim serve` under the
 /// `counters` op and asserted by the CI load test.  Invariant:
-///   requests == warm_memo + coalesced + cold_misses + rejected
+///   requests == warm_memo + coalesced + cold_misses + rejected + overloaded
 /// and every cold miss resolves to exactly one of warm_disk / simulated /
 /// expired / failed.  enqueued counts the cold misses that went through
 /// the ThreadPool (async submits only) -- warm requests never touch it.
@@ -101,7 +109,21 @@ struct BrokerCounters {
   long expired = 0;
   long failed = 0;
   long rejected = 0;
-  long inflight = 0;  ///< gauge: leaders currently queued or running
+  long overloaded = 0;         ///< shed at the door (queue full / unmeetable)
+  long memo_evictions = 0;     ///< entries evicted to honor memo_bytes
+  long memo_readmissions = 0;  ///< evicted fingerprints memoized again
+  long lease_waits = 0;        ///< cold misses that found a peer's live lease
+  long lease_steals = 0;       ///< stale leases expired and taken over
+  long inflight = 0;     ///< gauge: leaders currently queued or running
+  long queued = 0;       ///< gauge: leaders enqueued but not yet running
+  long memo_entries = 0; ///< gauge: sweeps currently memoized
+  long memo_bytes = 0;   ///< gauge: serialized bytes memoized (<= budget)
+  /// Request-latency percentiles over a sliding window of broker-side
+  /// resolution times (arrival to terminal status), in milliseconds.
+  /// Gauges; 0 before any request resolved.
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
 };
 
 class SweepBroker {
@@ -116,6 +138,28 @@ class SweepBroker {
     /// concurrency).  The pool is created lazily on the first async cold
     /// miss, so a CLI-only broker never spawns a thread.
     int workers = 0;
+    /// Byte budget for the in-process memo (0 = unlimited, the legacy
+    /// behaviour).  Cost is the entry's serialized size -- the same bytes
+    /// the disk cache stores -- and eviction is LRU.  Evicted entries are
+    /// not lost: they fall back to the disk cache (counted as
+    /// memo_readmissions when they return).  The budget is a hard bound:
+    /// an entry larger than the whole budget is never memoized.
+    std::size_t memo_bytes = 0;
+    /// Admission bound on the async cold-miss queue (0 = unlimited).
+    /// submit() calls that would queue a NEW leader past this depth -- or
+    /// whose deadline the current queue provably cannot meet -- resolve
+    /// immediately to Overloaded with a retry_after_ms hint instead of
+    /// queueing forever.  Warm hits and coalesced followers are never
+    /// shed.  The synchronous request() path is exempt: the CLI runs its
+    /// own cold misses inline and has nobody to shed for.
+    int max_queue = 0;
+    /// Cross-process sweep lease TTL (0 = leases disabled).  With a
+    /// cache_dir and a positive TTL, a cold leader claims
+    /// lease-<fp>.json (harness/lease.h) before simulating: a second
+    /// daemon on the same cache dir polls the disk cache instead of
+    /// duplicating the run, and a daemon SIGKILLed mid-sweep has its
+    /// stale lease stolen and its resume shards adopted by a peer.
+    long lease_ttl_ms = 0;
   };
 
   explicit SweepBroker(Options opts);
@@ -176,26 +220,62 @@ class SweepBroker {
     std::shared_future<SweepResponse> future;
     /// Latest deadline over every attached request; unset = unbounded.
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// When the leader was admitted; finish() records the span as one
+    /// latency sample and (for simulated leaders) a cold-duration sample.
+    std::chrono::steady_clock::time_point arrival;
   };
 
-  /// The leader's cold-miss body: disk -> run_sweep -> persist -> memo.
-  /// Runs with mu_ NOT held; publishes the response and erases the
+  struct MemoEntry {
+    std::shared_ptr<const harness::Sweep> sweep;
+    std::size_t bytes = 0;
+    std::list<std::string>::iterator lru_it;  ///< position in lru_
+  };
+
+  /// The leader's cold-miss body: disk -> lease -> run_sweep -> persist ->
+  /// memo.  Runs with mu_ NOT held; publishes the response and erases the
   /// in-flight entry.
   void run_leader(const std::string& fp, const harness::SweepConfig& config,
                   const std::shared_ptr<InFlight>& fl);
 
   /// Publishes `resp` as fp's terminal answer: memoizes (unless the sweep
   /// was cut short by cancellation), erases the in-flight entry, bumps the
-  /// terminal counter, fulfils the promise.
+  /// terminal counter, records latency, fulfils the promise.
   void finish(const std::string& fp, const std::shared_ptr<InFlight>& fl,
               SweepResponse resp);
+
+  /// Memoizes under mu_ (LRU head), then evicts from the tail until the
+  /// byte budget holds.  `bytes` is the entry's serialized size, computed
+  /// by the caller OUTSIDE the lock.  Returns the memoized sweep (the
+  /// incumbent when fp was already present).
+  std::shared_ptr<const harness::Sweep> memo_insert_locked(
+      const std::string& fp, std::shared_ptr<const harness::Sweep> sweep,
+      std::size_t bytes);
+
+  /// Moves fp to the LRU head (warm hits keep hot entries resident).
+  void memo_touch_locked(const std::string& fp);
+
+  /// One latency sample into the sliding window (under mu_).
+  void record_latency_locked(std::chrono::steady_clock::time_point start);
+
+  /// Estimated ms until a new leader would reach a worker, from queue
+  /// depth x average cold duration / pool width (under mu_).  0 before
+  /// any cold leader has resolved.
+  long estimated_queue_wait_locked() const;
 
   Options opts_;
   mutable std::mutex mu_;
   std::condition_variable idle_;  ///< signalled when an in-flight resolves
-  std::map<std::string, std::shared_ptr<const harness::Sweep>> memo_;
+  std::map<std::string, MemoEntry> memo_;
+  std::list<std::string> lru_;  ///< front = most recently used fingerprint
+  std::size_t memo_bytes_ = 0;  ///< sum of memo_ entry costs
+  std::set<std::string> evicted_fps_;  ///< for the readmission counter
   std::map<std::string, std::shared_ptr<InFlight>> inflight_;
+  int queued_ = 0;  ///< leaders handed to the pool, not yet running
   BrokerCounters counters_;
+  std::vector<double> latencies_ms_;  ///< sliding window (ring buffer)
+  std::size_t latency_next_ = 0;
+  double cold_ms_total_ = 0;  ///< sum of simulated-leader spans
+  long cold_runs_ = 0;
   bool draining_ = false;
   std::unique_ptr<ThreadPool> pool_;  ///< lazily created on first enqueue
   std::function<void(const std::string&)> pre_run_hook_;

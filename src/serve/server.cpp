@@ -2,10 +2,13 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +16,7 @@
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <random>
 #include <sstream>
 
 #include "common/cli.h"
@@ -48,25 +52,46 @@ struct StopPipe {
   int read_fd() const { return fds[0]; }
 };
 
-ssize_t send_all(int fd, const char* data, std::size_t len) {
+/// Writes exactly `len` bytes, resuming across EINTR and partial sends (a
+/// full socket buffer legitimately accepts fewer bytes than asked).
+/// Returns false on a closed peer, write timeout (SO_SNDTIMEO ->
+/// EAGAIN), or hard error.
+bool send_all(int fd, const char* data, std::size_t len) {
   std::size_t sent = 0;
   while (sent < len) {
     const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-    if (n <= 0) return n;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
-  return static_cast<ssize_t>(sent);
+  return true;
 }
 
-/// Reads exactly `len` bytes; false on EOF/error before they all arrive.
-bool recv_all(int fd, char* out, std::size_t len) {
+/// Reads exactly `len` bytes, resuming across EINTR and partial reads.
+/// Returns the bytes actually received: `len` on success, 0 on EOF before
+/// the first byte (a clean close), anything between on a torn stream or
+/// read timeout (SO_RCVTIMEO -> EAGAIN).
+std::size_t recv_fully(int fd, char* out, std::size_t len) {
   std::size_t got = 0;
   while (got < len) {
     const ssize_t n = ::recv(fd, out + got, len - got, 0);
-    if (n <= 0) return false;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
     got += static_cast<std::size_t>(n);
   }
-  return true;
+  return got;
+}
+
+/// Client-side capped jittered exponential backoff: attempt 0 waits
+/// ~50 ms, doubling up to ~3.2 s, floored at the server's retry_after_ms
+/// hint when it gave one, capped at 5 s, then jittered to [x/2, 3x/2) so
+/// a storm of shed clients does not re-arrive in lockstep.
+long backoff_delay_ms(int attempt, long retry_after_ms, std::mt19937& rng) {
+  const long expo = 50L << std::min(attempt, 6);
+  long base = std::max(retry_after_ms, expo);
+  if (base > 5000) base = 5000;
+  std::uniform_int_distribution<long> jitter(base / 2, base + base / 2);
+  return jitter(rng);
 }
 
 json::Value error_reply(const std::string& what) {
@@ -88,7 +113,18 @@ json::Value counters_to_json(const BrokerCounters& c) {
   v["expired"] = c.expired;
   v["failed"] = c.failed;
   v["rejected"] = c.rejected;
+  v["overloaded"] = c.overloaded;
+  v["memo_evictions"] = c.memo_evictions;
+  v["memo_readmissions"] = c.memo_readmissions;
+  v["lease_waits"] = c.lease_waits;
+  v["lease_steals"] = c.lease_steals;
   v["inflight"] = c.inflight;
+  v["queued"] = c.queued;
+  v["memo_entries"] = c.memo_entries;
+  v["memo_bytes"] = c.memo_bytes;
+  v["p50_ms"] = c.p50_ms;
+  v["p95_ms"] = c.p95_ms;
+  v["p99_ms"] = c.p99_ms;
   return v;
 }
 
@@ -134,12 +170,15 @@ void write_frame(int fd, const std::string& payload) {
                           static_cast<char>(len >> 16),
                           static_cast<char>(len >> 8),
                           static_cast<char>(len)};
-  if (send_all(fd, prefix, 4) <= 0 ||
-      (len > 0 && send_all(fd, payload.data(), len) <= 0))
-    throw Error("frame write failed (peer closed?)");
+  if (!send_all(fd, prefix, 4) ||
+      (len > 0 && !send_all(fd, payload.data(), len)))
+    throw Error("frame write failed (peer closed or write timed out)");
 }
 
-std::optional<std::string> read_frame(int fd, int abort_fd) {
+std::optional<std::string> read_frame(int fd, int abort_fd,
+                                      long idle_timeout_ms,
+                                      std::size_t max_frame) {
+  const std::size_t cap = max_frame > 0 ? max_frame : kMaxFrame;
   // Wait for the first prefix byte, also watching abort_fd: an idle
   // connection unblocks the moment a drain begins.  Once a frame has
   // started arriving it is read to completion regardless -- a request
@@ -149,18 +188,22 @@ std::optional<std::string> read_frame(int fd, int abort_fd) {
     fds[0] = {fd, POLLIN, 0};
     fds[1] = {abort_fd, POLLIN, 0};
     const int nfds = abort_fd >= 0 ? 2 : 1;
-    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), -1);
+    const int timeout =
+        idle_timeout_ms > 0 ? static_cast<int>(idle_timeout_ms) : -1;
+    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), timeout);
     if (rc < 0) {
       if (errno == EINTR) continue;
       throw Error("poll failed on connection");
     }
+    if (rc == 0) return std::nullopt;  // idle past the reaper horizon
     if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) break;
     if (nfds == 2 && (fds[1].revents & POLLIN)) return std::nullopt;
   }
   char prefix[4];
   {
-    // Distinguish clean EOF (no frame) from a torn prefix.
-    const ssize_t n = ::recv(fd, prefix, 4, MSG_WAITALL);
+    // Distinguish clean EOF (no frame) from a torn prefix.  MSG_WAITALL
+    // would be tempting but can legally short-read on a signal; loop.
+    const std::size_t n = recv_fully(fd, prefix, 4);
     if (n == 0) return std::nullopt;
     if (n != 4) throw Error("truncated frame prefix");
   }
@@ -172,11 +215,12 @@ std::optional<std::string> read_frame(int fd, int abort_fd) {
       (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
        << 8) |
       static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]));
-  BRICKSIM_REQUIRE(len < kMaxFrame,
-                   "frame prefix " + std::to_string(len) +
-                       " exceeds the sanity cap");
+  if (len >= cap)
+    throw FrameTooLarge("frame prefix " + std::to_string(len) +
+                        " exceeds the " + std::to_string(cap) +
+                        "-byte cap");
   std::string payload(len, '\0');
-  if (len > 0 && !recv_all(fd, payload.data(), len))
+  if (len > 0 && recv_fully(fd, payload.data(), len) != len)
     throw Error("truncated frame payload");
   return payload;
 }
@@ -227,6 +271,10 @@ std::string default_socket_path(const std::string& flag_value) {
 struct ServerImpl {
   StopPipe stop;
   std::atomic<bool> stopping{false};
+  /// Connection threads that have finished and await a join; the accept
+  /// loop reaps them so connections_ tracks live connections only.
+  std::mutex reap_mu;
+  std::vector<unsigned long> finished;
 };
 
 namespace {
@@ -250,8 +298,14 @@ void drop_impl(const Server* s) {
 
 Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
   opts_.socket_path = default_socket_path(opts_.socket_path);
-  broker_ = std::make_shared<SweepBroker>(
-      SweepBroker::Options{opts_.cache_dir, opts_.resume, opts_.workers});
+  SweepBroker::Options bopts;
+  bopts.cache_dir = opts_.cache_dir;
+  bopts.resume = opts_.resume;
+  bopts.workers = opts_.workers;
+  bopts.memo_bytes = opts_.memo_bytes;
+  bopts.max_queue = opts_.max_queue;
+  bopts.lease_ttl_ms = opts_.lease_ttl_ms;
+  broker_ = std::make_shared<SweepBroker>(std::move(bopts));
   impl_of(this);  // allocate the stop pipe up front
 }
 
@@ -261,7 +315,7 @@ Server::~Server() {
     std::error_code ec;
     std::filesystem::remove(opts_.socket_path, ec);
   }
-  for (auto& t : connections_)
+  for (auto& [id, t] : connections_)
     if (t.joinable()) t.join();
   drop_impl(this);
 }
@@ -352,6 +406,7 @@ json::Value Server::handle_request(const json::Value& req) {
         resp.sweep ? static_cast<long>(resp.sweep->measurements.size()) : 0L;
     reply["failures"] =
         resp.sweep ? static_cast<long>(resp.sweep->failures.size()) : 0L;
+    if (resp.retry_after_ms > 0) reply["retry_after_ms"] = resp.retry_after_ms;
     if (!resp.error.empty()) reply["error"] = resp.error;
     return reply;
   }
@@ -399,18 +454,40 @@ json::Value Server::handle_request(const json::Value& req) {
                      "' (healthz|counters|list|sweep|experiment|shutdown)");
 }
 
-void Server::handle_connection(int fd) {
+void Server::handle_connection(int fd, unsigned long id) {
   const auto impl = impl_of(this);
+  if (opts_.io_timeout_ms > 0) {
+    // A peer stalling mid-frame (read) or not draining its replies
+    // (write) loses the connection after this long; a server thread is
+    // never parked forever on one socket.
+    timeval tv{};
+    tv.tv_sec = opts_.io_timeout_ms / 1000;
+    tv.tv_usec = (opts_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   try {
     for (;;) {
-      const auto frame = read_frame(fd, impl->stop.read_fd());
-      if (!frame) break;  // EOF or drain while idle
+      std::optional<std::string> frame;
+      try {
+        frame = read_frame(fd, impl->stop.read_fd(), opts_.idle_timeout_ms,
+                           opts_.max_frame_bytes);
+      } catch (const FrameTooLarge& e) {
+        // The stream cannot be resynchronized past an oversized (or
+        // garbage) prefix, but the client still deserves a diagnosis:
+        // one clean error reply, then the connection closes.
+        write_frame(fd, error_reply(e.what()).dump());
+        break;
+      }
+      if (!frame) break;  // EOF, idle past the reaper horizon, or drain
       json::Value reply;
       try {
         reply = handle_request(json::Value::parse(*frame));
       } catch (const std::exception& e) {
         reply = error_reply(e.what());
       }
+      if (fault::armed() && fault::fire(fault::Site::ConnDrop))
+        break;  // drop instead of replying: exercises client retry
       write_frame(fd, reply.dump());
     }
   } catch (const std::exception&) {
@@ -418,6 +495,25 @@ void Server::handle_connection(int fd) {
     // connection, never the server.
   }
   ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(impl->reap_mu);
+    impl->finished.push_back(id);
+  }
+}
+
+void Server::reap_finished() {
+  const auto impl = impl_of(this);
+  std::vector<unsigned long> done;
+  {
+    std::lock_guard<std::mutex> lock(impl->reap_mu);
+    done.swap(impl->finished);
+  }
+  for (const unsigned long id : done) {
+    if (const auto it = connections_.find(id); it != connections_.end()) {
+      if (it->second.joinable()) it->second.join();
+      connections_.erase(it);
+    }
+  }
 }
 
 void Server::run() {
@@ -441,7 +537,24 @@ void Server::run() {
     if (fds[0].revents & POLLIN) {
       const int conn = ::accept(listen_fd_, nullptr, nullptr);
       if (conn < 0) continue;
-      connections_.emplace_back([this, conn] { handle_connection(conn); });
+      reap_finished();
+      if (opts_.max_conns > 0 &&
+          connections_.size() >= static_cast<std::size_t>(opts_.max_conns)) {
+        // Over the cap: one clean refusal, then close.  A best-effort
+        // write -- a peer that already vanished loses nothing.
+        try {
+          write_frame(conn, error_reply("connection limit reached (" +
+                                        std::to_string(opts_.max_conns) +
+                                        "); retry later")
+                                .dump());
+        } catch (const std::exception&) {
+        }
+        ::close(conn);
+        continue;
+      }
+      const unsigned long id = next_conn_id_++;
+      connections_.emplace(
+          id, std::thread([this, conn, id] { handle_connection(conn, id); }));
     }
   }
   // Graceful drain: stop accepting, unblock idle connections, let every
@@ -451,7 +564,7 @@ void Server::run() {
   listen_fd_ = -1;
   std::error_code ec;
   std::filesystem::remove(opts_.socket_path, ec);
-  for (auto& t : connections_)
+  for (auto& [id, t] : connections_)
     if (t.joinable()) t.join();
   connections_.clear();
   broker_->drain();
@@ -472,7 +585,27 @@ int serve_main(int argc, const char* const* argv) {
        {"resume", "replay checkpoint shards on cold misses"},
        {"workers",
         "broker worker threads for cold sweeps (default: hardware "
-        "concurrency)"}});
+        "concurrency)"},
+       {"memo-bytes",
+        "in-process memo byte budget, LRU-evicted to the disk cache "
+        "(default 0 = unlimited)"},
+       {"max-queue",
+        "cold-miss admission bound; past it sweeps reply 'overloaded' "
+        "with a retry hint (default 0 = unlimited)"},
+       {"lease-ttl-ms",
+        "cross-process sweep lease TTL; daemons sharing a cache dir "
+        "dedupe cold sweeps and adopt a dead peer's shards "
+        "(default 10000; 0 disables)"},
+       {"io-timeout-ms",
+        "per-connection socket read/write timeout (default 30000; 0 "
+        "disables)"},
+       {"idle-timeout-ms",
+        "close connections idle this long (default 0 = never)"},
+       {"max-conns",
+        "concurrent connection cap; excess connections get one error "
+        "reply (default 0 = unlimited)"},
+       {"max-frame-bytes",
+        "per-frame protocol cap (default 67108864)"}});
   if (cli.help_requested()) {
     std::cout << cli.help("bricksim serve");
     return 0;
@@ -484,6 +617,15 @@ int serve_main(int argc, const char* const* argv) {
                        : harness::default_cache_dir(cli.get("cache-dir", ""));
   opts.resume = cli.has("resume");
   opts.workers = static_cast<int>(cli.get_long_min("workers", 0, 1));
+  opts.memo_bytes =
+      static_cast<std::size_t>(cli.get_long_min("memo-bytes", 0, 0));
+  opts.max_queue = static_cast<int>(cli.get_long_min("max-queue", 0, 0));
+  opts.lease_ttl_ms = cli.get_long_min("lease-ttl-ms", 10000, 0);
+  opts.io_timeout_ms = cli.get_long_min("io-timeout-ms", 30000, 0);
+  opts.idle_timeout_ms = cli.get_long_min("idle-timeout-ms", 0, 0);
+  opts.max_conns = static_cast<int>(cli.get_long_min("max-conns", 0, 0));
+  opts.max_frame_bytes =
+      static_cast<std::size_t>(cli.get_long_min("max-frame-bytes", 0, 0));
 
   // Fault injection from the environment, exactly like the driver: the
   // serve CI leg arms it to prove degraded sweeps are served, counted and
@@ -509,7 +651,8 @@ int serve_main(int argc, const char* const* argv) {
   std::cerr << "bricksim serve: drained cleanly (" << c.requests
             << " requests: " << c.warm_memo << " warm, " << c.simulated
             << " simulated, " << c.coalesced << " coalesced, " << c.expired
-            << " expired, " << c.failed << " failed)\n";
+            << " expired, " << c.failed << " failed, " << c.overloaded
+            << " shed)\n";
   return 0;
 }
 
@@ -531,12 +674,15 @@ int query_main(int argc, const char* const* argv) {
                  {"priority",
                   "scheduling priority, higher runs first (sweep op)"},
                  {"deadline-ms",
-                  "fail fast if still queued after this long (sweep op)"}});
+                  "fail fast if still queued after this long (sweep op)"},
+                 {"retries",
+                  "retry overloaded replies and dropped connections this "
+                  "many times with capped jittered backoff (default 4)"}});
   if (cli.help_requested() || op.empty()) {
     std::cout << "usage: bricksim query [--socket P] "
                  "<healthz|counters|list|sweep|experiment|shutdown> "
                  "[--kind K] [--n N] [--name E] [--priority P] "
-                 "[--deadline-ms MS]\n\n"
+                 "[--deadline-ms MS] [--retries N]\n\n"
               << cli.help("bricksim query");
     return op.empty() && !cli.help_requested() ? 2 : 0;
   }
@@ -548,10 +694,40 @@ int query_main(int argc, const char* const* argv) {
   if (cli.has("priority")) req["priority"] = cli.get_long("priority", 0);
   if (cli.has("deadline-ms"))
     req["deadline_ms"] = cli.get_long("deadline-ms", 0);
-  const json::Value reply =
-      client_call(default_socket_path(cli.get("socket", "")), req);
+  const long retries = cli.get_long_min("retries", 4, 0);
+  const std::string socket_path =
+      default_socket_path(cli.get("socket", ""));
+  std::mt19937 rng(std::random_device{}());
+  json::Value reply;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      reply = client_call(socket_path, req);
+    } catch (const Error& e) {
+      // A dropped connection (server restarted, conn.drop fault) is worth
+      // retrying; "cannot connect" means nobody is listening -- fail now.
+      const std::string what = e.what();
+      if (attempt >= retries ||
+          what.find("cannot connect") != std::string::npos)
+        throw;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_delay_ms(attempt, 0, rng)));
+      continue;
+    }
+    const bool overloaded = reply.contains("status") &&
+                            reply.at("status").as_string() == "overloaded";
+    if (!overloaded || attempt >= retries) break;
+    const long hint = reply.contains("retry_after_ms")
+                          ? reply.at("retry_after_ms").as_long()
+                          : 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_delay_ms(attempt, hint, rng)));
+  }
   std::cout << reply.dump(1) << "\n";
-  return reply.contains("ok") && reply.at("ok").as_bool() ? 0 : 1;
+  const bool ok = reply.contains("ok") && reply.at("ok").as_bool();
+  const bool still_overloaded =
+      reply.contains("status") &&
+      reply.at("status").as_string() == "overloaded";
+  return ok && !still_overloaded ? 0 : 1;
 }
 
 int loadtest_main(int argc, const char* const* argv) {
@@ -570,7 +746,10 @@ int loadtest_main(int argc, const char* const* argv) {
        {"priority-spread",
         "cycle priorities 0..2 instead of all-default"},
        {"deadline-ms",
-        "per-request deadline (default none)"}});
+        "per-request deadline (default none)"},
+       {"retries",
+        "retries per request on overload/drop, with capped jittered "
+        "backoff honouring retry_after_ms (default 8)"}});
   if (cli.help_requested()) {
     std::cout << cli.help("bricksim loadtest");
     return 0;
@@ -584,6 +763,7 @@ int loadtest_main(int argc, const char* const* argv) {
   const long hot_n = cli.get_long_min("hot-n", 64, 64);
   const long cold_every = cli.get_long("cold-every", 7);
   const long deadline_ms = cli.get_long("deadline-ms", 0);
+  const long retries = cli.get_long_min("retries", 8, 0);
   const bool spread = cli.has("priority-spread");
   std::vector<long> cold_ns;
   {
@@ -597,52 +777,129 @@ int loadtest_main(int argc, const char* const* argv) {
   std::mutex tally_mu;
   std::map<std::string, long> by_status;
   std::map<std::string, long> by_admission;
-  long protocol_errors = 0;
+  long protocol_errors = 0;  ///< requests lost even after every retry
+  long shed = 0;             ///< overloaded replies observed
+  long retried = 0;          ///< retry attempts (overload backoff + reconnects)
+  long succeeded = 0;        ///< requests that got a usable terminal status
+  long gave_up = 0;          ///< still overloaded after the last retry
+  std::vector<double> latencies_ms;  ///< first attempt -> final reply
   std::vector<std::thread> workers;
   for (long t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      try {
-        const int fd = connect_client(socket_path);
-        const long per = requests / threads + (t < requests % threads);
-        for (long i = 0; i < per; ++i) {
-          const long g = t * (requests / threads + 1) + i;
-          const bool cold = cold_every > 0 && g % cold_every == 0;
-          json::Value req = json::Value::object();
-          req["op"] = "sweep";
-          req["kind"] = kind;
-          req["n"] = cold ? cold_ns[static_cast<std::size_t>(
-                                (g / cold_every) %
-                                static_cast<long>(cold_ns.size()))]
-                          : hot_n;
-          if (spread) req["priority"] = g % 3;
-          if (deadline_ms > 0) req["deadline_ms"] = deadline_ms;
-          write_frame(fd, req.dump());
-          const auto raw = read_frame(fd);
-          if (!raw) throw Error("server closed mid-run");
-          const json::Value reply = json::Value::parse(*raw);
-          std::lock_guard<std::mutex> lock(tally_mu);
-          if (!reply.contains("ok") || !reply.at("ok").as_bool()) {
-            ++protocol_errors;
-            continue;
+      std::mt19937 rng(std::random_device{}() +
+                       static_cast<unsigned long>(t) * 0x9e3779b9UL);
+      int fd = -1;
+      const long per = requests / threads + (t < requests % threads);
+      for (long i = 0; i < per; ++i) {
+        const long g = t * (requests / threads + 1) + i;
+        const bool cold = cold_every > 0 && g % cold_every == 0;
+        json::Value req = json::Value::object();
+        req["op"] = "sweep";
+        req["kind"] = kind;
+        req["n"] = cold ? cold_ns[static_cast<std::size_t>(
+                              (g / cold_every) %
+                              static_cast<long>(cold_ns.size()))]
+                        : hot_n;
+        if (spread) req["priority"] = g % 3;
+        if (deadline_ms > 0) req["deadline_ms"] = deadline_ms;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int attempt = 0; attempt <= retries; ++attempt) {
+          try {
+            if (fd < 0) fd = connect_client(socket_path);
+            if (fault::armed() && fault::fire(fault::Site::ClientSlow))
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(250));  // idle-reaper bait
+            write_frame(fd, req.dump());
+            const auto raw = read_frame(fd);
+            if (!raw) throw Error("server closed mid-run");
+            const json::Value reply = json::Value::parse(*raw);
+            if (!reply.contains("ok") || !reply.at("ok").as_bool()) {
+              // e.g. the connection-limit refusal: the server closes this
+              // connection after it, so retry on a fresh one.
+              ::close(fd);
+              fd = -1;
+              throw Error(reply.contains("error")
+                              ? reply.at("error").as_string()
+                              : "error reply");
+            }
+            const std::string status = reply.at("status").as_string();
+            if (status == "overloaded") {
+              const long hint = reply.contains("retry_after_ms")
+                                    ? reply.at("retry_after_ms").as_long()
+                                    : 0;
+              bool final_shed = false;
+              {
+                std::lock_guard<std::mutex> lock(tally_mu);
+                ++shed;
+                if (attempt >= retries) {
+                  ++gave_up;
+                  ++by_status[status];
+                  final_shed = true;
+                } else {
+                  ++retried;
+                }
+              }
+              if (final_shed) break;
+              std::this_thread::sleep_for(std::chrono::milliseconds(
+                  backoff_delay_ms(attempt, hint, rng)));
+              continue;
+            }
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            std::lock_guard<std::mutex> lock(tally_mu);
+            latencies_ms.push_back(ms);
+            ++by_status[status];
+            ++by_admission[reply.at("admission").as_string()];
+            if (status != "failed" && status != "rejected") ++succeeded;
+            break;
+          } catch (const std::exception& e) {
+            if (fd >= 0) {
+              ::close(fd);
+              fd = -1;
+            }
+            {
+              std::lock_guard<std::mutex> lock(tally_mu);
+              if (attempt >= retries) {
+                ++protocol_errors;
+                std::cerr << "bricksim loadtest: thread " << t << ": "
+                          << e.what() << "\n";
+                break;
+              }
+              ++retried;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                backoff_delay_ms(attempt, 0, rng)));
           }
-          ++by_status[reply.at("status").as_string()];
-          ++by_admission[reply.at("admission").as_string()];
         }
-        ::close(fd);
-      } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(tally_mu);
-        ++protocol_errors;
-        std::cerr << "bricksim loadtest: thread " << t << ": " << e.what()
-                  << "\n";
       }
+      if (fd >= 0) ::close(fd);
     });
   }
   for (auto& w : workers) w.join();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto pct = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(latencies_ms.size()) + 0.999999);
+    if (rank < 1) rank = 1;
+    if (rank > latencies_ms.size()) rank = latencies_ms.size();
+    return latencies_ms[rank - 1];
+  };
 
   json::Value out = json::Value::object();
   out["requests"] = requests;
   out["threads"] = threads;
   out["protocol_errors"] = protocol_errors;
+  out["shed"] = shed;
+  out["retried"] = retried;
+  out["succeeded"] = succeeded;
+  out["gave_up"] = gave_up;
+  out["p50_ms"] = pct(0.50);
+  out["p95_ms"] = pct(0.95);
+  out["p99_ms"] = pct(0.99);
   json::Value st = json::Value::object();
   for (const auto& [k, v] : by_status) st[k] = v;
   out["by_status"] = st;
@@ -650,8 +907,8 @@ int loadtest_main(int argc, const char* const* argv) {
   for (const auto& [k, v] : by_admission) ad[k] = v;
   out["by_admission"] = ad;
   std::cout << out.dump(1) << "\n";
-  const long bad =
-      protocol_errors + by_status["failed"] + by_status["rejected"];
+  const long bad = protocol_errors + gave_up + by_status["failed"] +
+                   by_status["rejected"];
   return bad == 0 ? 0 : 1;
 }
 

@@ -23,7 +23,14 @@
 //    "n":256}                            "output":"...","failures":0}
 //   {"op":"shutdown"}                -> {"ok":true,"draining":true}
 //
-// Errors reply {"ok":false,"error":"..."} and keep the connection open.
+// Errors reply {"ok":false,"error":"..."} and keep the connection open --
+// with two exceptions that close it after the reply, because the byte
+// stream cannot be resynchronized: an oversized length prefix (which is
+// also what garbage bytes decode to) and a read/idle timeout.  A malformed
+// frame NEVER crashes or hangs the server; at worst it costs the client
+// its connection.  An overloaded broker (serve/broker.h admission control)
+// replies {"ok":true,"status":"overloaded","retry_after_ms":...} -- the
+// client should back off and retry (bricksim query/loadtest do).
 //
 // Shutdown -- the op, SIGINT or SIGTERM (common/shutdown.h) -- drains
 // gracefully: the listener closes, every in-flight sweep COMPLETES and its
@@ -31,12 +38,15 @@
 // run() returns.  New requests racing the drain are rejected.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/error.h"
 #include "common/json.h"
 #include "serve/broker.h"
 
@@ -47,6 +57,33 @@ struct ServerOptions {
   std::string cache_dir;    ///< "" disables sweep persistence
   bool resume = false;      ///< replay checkpoint shards on cold misses
   int workers = 0;          ///< broker pool width (0 = hardware)
+  /// Broker memo byte budget (0 = unlimited; see SweepBroker::Options).
+  std::size_t memo_bytes = 0;
+  /// Broker admission bound on queued cold misses (0 = unlimited); past
+  /// it, sweep ops reply status "overloaded" with a retry_after_ms hint.
+  int max_queue = 0;
+  /// Cross-process sweep lease TTL in ms (0 = leases disabled).
+  long lease_ttl_ms = 0;
+  /// Per-connection socket read/write timeout in ms (0 = none).  A peer
+  /// that stalls mid-frame for longer loses the connection, never hangs a
+  /// server thread forever.
+  long io_timeout_ms = 0;
+  /// Idle reaper: a connection with no request for this long is closed
+  /// (0 = never).  Keeps abandoned clients from pinning threads.
+  long idle_timeout_ms = 0;
+  /// Concurrent connection cap (0 = unlimited).  Connections past the cap
+  /// get one {"ok":false,"error":...} reply and are closed.
+  int max_conns = 0;
+  /// Per-frame byte cap (0 = the 64 MiB default).  An oversized prefix
+  /// gets a clean error reply, then the connection closes.
+  std::size_t max_frame_bytes = 0;
+};
+
+/// Thrown by read_frame when a length prefix exceeds the frame cap: the
+/// stream cannot be resynchronized, but the server can still send one
+/// clean error reply before closing (tests/test_fuzz_protocol.cpp).
+struct FrameTooLarge : Error {
+  using Error::Error;
 };
 
 /// The embeddable server: `bricksim serve` wraps it in serve_main, tests
@@ -74,25 +111,41 @@ class Server {
   SweepBroker& broker() { return *broker_; }
 
  private:
-  void handle_connection(int fd);
+  void handle_connection(int fd, unsigned long id);
   json::Value handle_request(const json::Value& req);
+  void reap_finished();  ///< joins connection threads that have exited
 
   ServerOptions opts_;
   std::shared_ptr<SweepBroker> broker_;
   int listen_fd_ = -1;
-  std::vector<std::thread> connections_;
+  /// Live connection threads by id; finished ones are reaped (joined and
+  /// erased) from the accept loop, so a long-lived server's thread count
+  /// tracks LIVE connections instead of growing monotonically.
+  std::map<unsigned long, std::thread> connections_;
+  unsigned long next_conn_id_ = 0;
 };
 
 // --- Framing + client helpers (shared by server, clients, and tests) --------
 
-/// Writes one frame (4-byte big-endian length + payload).  Throws
-/// bricksim::Error on a short write or closed peer.
+/// Writes one frame (4-byte big-endian length + payload).  Handles EINTR
+/// and partial writes (a full-buffer send() that accepts fewer bytes than
+/// asked resumes where it left off).  Throws bricksim::Error on a closed
+/// peer or write timeout.
 void write_frame(int fd, const std::string& payload);
 
-/// Reads one frame; nullopt on clean EOF before a prefix byte, or when
-/// `abort_fd` (e.g. shutdown_fd()) becomes readable while idle.  Throws on
-/// truncated frames and oversized prefixes.
-std::optional<std::string> read_frame(int fd, int abort_fd = -1);
+/// Reads one frame; nullopt on clean EOF before a prefix byte, when
+/// `abort_fd` (e.g. shutdown_fd()) becomes readable while idle, or when no
+/// prefix byte arrives within `idle_timeout_ms` (0 = wait forever).
+/// Handles EINTR and partial reads.  Throws bricksim::Error on truncated
+/// frames and FrameTooLarge when the prefix exceeds `max_frame` (0 = the
+/// 64 MiB default).
+std::optional<std::string> read_frame(int fd, int abort_fd = -1,
+                                      long idle_timeout_ms = 0,
+                                      std::size_t max_frame = 0);
+
+/// Connects an AF_UNIX stream client to `socket_path` and returns the fd
+/// (caller closes).  Throws bricksim::Error when nobody is listening.
+int connect_client(const std::string& socket_path);
 
 /// Connects to `socket_path`, sends `request`, returns the reply.  One
 /// round trip per call; throws bricksim::Error on connect/protocol errors.
@@ -103,20 +156,26 @@ json::Value client_call(const std::string& socket_path,
 std::string default_socket_path(const std::string& flag_value = "");
 
 /// `bricksim serve [--socket P] [--cache-dir D] [--no-cache] [--resume]
-/// [--workers N]`: runs a Server until SIGINT/SIGTERM or a shutdown op;
-/// exits 0 after a clean drain.
+/// [--workers N] [--memo-bytes B] [--max-queue N] [--lease-ttl-ms MS]
+/// [--io-timeout-ms MS] [--idle-timeout-ms MS] [--max-conns N]
+/// [--max-frame-bytes B]`: runs a Server until SIGINT/SIGTERM or a
+/// shutdown op; exits 0 after a clean drain.
 int serve_main(int argc, const char* const* argv);
 
 /// `bricksim query [--socket P] <op> [--n N] [--kind K] [--name E]
-/// [--priority P] [--deadline-ms MS]`: one protocol round trip, reply JSON
-/// on stdout; exits 0 when the reply carries "ok": true.
+/// [--priority P] [--deadline-ms MS] [--retries N]`: one protocol round
+/// trip (retrying overloaded replies with capped jittered exponential
+/// backoff honouring retry_after_ms), reply JSON on stdout; exits 0 when
+/// the reply carries "ok": true.
 int query_main(int argc, const char* const* argv);
 
 /// `bricksim loadtest [--socket P] [--requests N] [--threads T] [--kind K]
 /// [--hot-n N] [--cold-ns CSV] [--cold-every K] [--priority-spread]
-/// [--deadline-ms MS]`: drives a mixed hot/cold request storm and prints a
-/// JSON tally; exits 0 when every reply was ok and nothing failed or was
-/// rejected.
+/// [--deadline-ms MS] [--retries N]`: drives a mixed hot/cold request
+/// storm -- overloaded replies are retried with capped jittered
+/// exponential backoff honouring retry_after_ms -- and prints a JSON tally
+/// with shed/retried/succeeded counts and client-side p50/p95/p99 latency;
+/// exits 0 when every request eventually succeeded.
 int loadtest_main(int argc, const char* const* argv);
 
 }  // namespace bricksim::serve

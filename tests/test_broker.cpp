@@ -5,6 +5,7 @@
 // run_sweep at every --jobs x --shards combination.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -70,7 +71,8 @@ class Gate {
 
 long invariant_lhs(const BrokerCounters& c) { return c.requests; }
 long invariant_rhs(const BrokerCounters& c) {
-  return c.warm_memo + c.coalesced + c.cold_misses + c.rejected;
+  return c.warm_memo + c.coalesced + c.cold_misses + c.rejected +
+         c.overloaded;
 }
 
 TEST(Broker, WarmHitsNeverTouchThePool) {
@@ -394,6 +396,143 @@ TEST(Broker, DegradedSweepIsMemoizedButNeverPersisted) {
   const SweepResponse healthy = fresh.request(config);
   EXPECT_EQ(healthy.status, RequestStatus::Simulated);
   EXPECT_TRUE(healthy.sweep->failures.empty());
+}
+
+TEST(Broker, MemoBudgetEvictsToLruAndFallsBackToDisk) {
+  // Learn the serialized cost of two distinct sweeps with an unbounded
+  // broker, then rerun with a budget that fits either alone but not both:
+  // the LRU tail is evicted, the byte gauge never exceeds the budget, and
+  // an evicted entry comes back bit-identical from the disk cache.
+  const fs::path dir = fresh_dir("broker_evict");
+  const SweepConfig a = small_config(1);
+  const SweepConfig b = small_config(2);
+  std::string dump_a;
+  std::size_t total_bytes = 0;
+  {
+    SweepBroker::Options o;
+    o.cache_dir = dir.string();
+    SweepBroker unbounded(o);
+    const SweepResponse ra = unbounded.request(a);
+    ASSERT_EQ(ra.status, RequestStatus::Simulated);
+    dump_a = dump(*ra.sweep);
+    ASSERT_EQ(unbounded.request(b).status, RequestStatus::Simulated);
+    const BrokerCounters c = unbounded.counters();
+    ASSERT_EQ(c.memo_entries, 2);
+    ASSERT_EQ(c.memo_evictions, 0);
+    total_bytes = static_cast<std::size_t>(c.memo_bytes);
+    ASSERT_GT(total_bytes, 2u);
+  }
+
+  SweepBroker::Options o;
+  o.cache_dir = dir.string();
+  o.memo_bytes = total_bytes - 1;  // either entry fits; both cannot
+  SweepBroker broker(o);
+  EXPECT_EQ(broker.request(a).status, RequestStatus::WarmDisk);
+  EXPECT_EQ(broker.request(b).status, RequestStatus::WarmDisk);  // evicts a
+  {
+    const BrokerCounters c = broker.counters();
+    EXPECT_EQ(c.memo_evictions, 1);
+    EXPECT_EQ(c.memo_entries, 1);
+    EXPECT_LE(static_cast<std::size_t>(c.memo_bytes), o.memo_bytes);
+  }
+  // The evicted entry is not lost: it replays from disk, bit-identical,
+  // and its return is counted as a readmission (which evicts b in turn).
+  const SweepResponse back = broker.request(a);
+  EXPECT_EQ(back.status, RequestStatus::WarmDisk);
+  ASSERT_NE(back.sweep, nullptr);
+  EXPECT_EQ(dump(*back.sweep), dump_a);
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(c.memo_readmissions, 1);
+  EXPECT_EQ(c.memo_evictions, 2);
+  EXPECT_LE(static_cast<std::size_t>(c.memo_bytes), o.memo_bytes);
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
+}
+
+TEST(Broker, WarmHitsKeepHotEntriesResidentUnderPressure) {
+  // LRU, not FIFO: touching the older entry before inserting a third must
+  // evict the untouched one.
+  const fs::path dir = fresh_dir("broker_lru");
+  const SweepConfig a = small_config(1);
+  const SweepConfig b = small_config(2);
+  const SweepConfig c3 = small_config(3);
+  std::size_t budget = 0;
+  {
+    SweepBroker::Options o;
+    o.cache_dir = dir.string();
+    SweepBroker unbounded(o);
+    ASSERT_EQ(unbounded.request(a).status, RequestStatus::Simulated);
+    const auto bytes_a =
+        static_cast<std::size_t>(unbounded.counters().memo_bytes);
+    ASSERT_EQ(unbounded.request(b).status, RequestStatus::Simulated);
+    const auto bytes_ab =
+        static_cast<std::size_t>(unbounded.counters().memo_bytes);
+    ASSERT_EQ(unbounded.request(c3).status, RequestStatus::Simulated);
+    const auto bytes_abc =
+        static_cast<std::size_t>(unbounded.counters().memo_bytes);
+    // Big enough for {a,b} and for {a,c3}, too small for all three.
+    budget = std::max(bytes_ab, bytes_a + (bytes_abc - bytes_ab));
+    ASSERT_LT(budget, bytes_abc);
+  }
+  SweepBroker::Options o;
+  o.cache_dir = dir.string();
+  o.memo_bytes = budget;
+  SweepBroker broker(o);
+  ASSERT_EQ(broker.request(a).status, RequestStatus::WarmDisk);
+  ASSERT_EQ(broker.request(b).status, RequestStatus::WarmDisk);
+  ASSERT_EQ(broker.request(a).status, RequestStatus::WarmMemo);  // touch a
+  ASSERT_EQ(broker.request(c3).status, RequestStatus::WarmDisk);  // evicts b
+  EXPECT_EQ(broker.request(a).status, RequestStatus::WarmMemo);
+  EXPECT_EQ(broker.request(b).status, RequestStatus::WarmDisk);  // was evicted
+}
+
+TEST(Broker, AdmissionControlShedsNewLeadersPastTheQueueBound) {
+  SweepBroker::Options o;
+  o.workers = 1;
+  o.max_queue = 1;
+  SweepBroker broker(o);
+  Gate gate;
+  std::atomic<int> started{0};
+  broker.set_pre_run_hook([&](const std::string&) {
+    started.fetch_add(1);
+    gate.wait();
+  });
+
+  // Leader 1 occupies the only worker; leader 2 fills the queue.
+  const Ticket running = broker.submit(small_config(1));
+  while (started.load() == 0) std::this_thread::yield();
+  const Ticket queued = broker.submit(small_config(2));
+  EXPECT_EQ(queued.admission, RequestStatus::Queued);
+
+  // A THIRD distinct cold is past the bound: shed at the door, terminal
+  // immediately, with a positive retry hint.
+  const Ticket shed = broker.submit(small_config(3));
+  EXPECT_EQ(shed.admission, RequestStatus::Overloaded);
+  ASSERT_EQ(shed.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const SweepResponse resp = shed.result.get();
+  EXPECT_EQ(resp.status, RequestStatus::Overloaded);
+  EXPECT_EQ(resp.sweep, nullptr);
+  EXPECT_GT(resp.retry_after_ms, 0);
+
+  // Warm hits and coalesced followers are never shed.
+  const Ticket follower = broker.submit(small_config(2));
+  EXPECT_EQ(follower.admission, RequestStatus::Coalesced);
+
+  gate.open();
+  running.result.wait();
+  queued.result.wait();
+  follower.result.wait();
+
+  // Capacity is back: the shed config is admitted on retry.
+  const SweepResponse retried = broker.submit(small_config(3)).result.get();
+  EXPECT_EQ(retried.status, RequestStatus::Simulated);
+
+  const BrokerCounters c = broker.counters();
+  EXPECT_EQ(c.overloaded, 1);
+  EXPECT_EQ(c.queued, 0);
+  EXPECT_GT(c.p50_ms, 0.0);
+  EXPECT_GE(c.p99_ms, c.p50_ms);
+  EXPECT_EQ(invariant_lhs(c), invariant_rhs(c));
 }
 
 TEST(Broker, MixedStormCountersAddUp) {

@@ -1,0 +1,245 @@
+// Protocol hardening (serve/server.h): random/truncated/oversized frames
+// thrown at a LIVE server socket must never crash or hang it; oversized
+// prefixes get one clean error reply; partial writes and chunked reads
+// through the framed transport reassemble exactly (the short-write
+// regression); the connection limit refuses politely; the idle reaper
+// closes silent connections.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "serve/server.h"
+
+namespace bricksim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// An in-process hardened server: tight frame cap, I/O timeouts, and a
+/// connection limit, so every abuse path in this file is reachable fast.
+class HardenedServer {
+ public:
+  explicit HardenedServer(const std::string& name, long idle_timeout_ms = 0,
+                          int max_conns = 0) {
+    const fs::path root = fs::path(testing::TempDir()) / name;
+    fs::remove_all(root);
+    fs::create_directories(root);
+    ServerOptions opts;
+    opts.socket_path = (root / "s.sock").string();
+    opts.cache_dir = (root / "cache").string();
+    opts.workers = 2;
+    opts.io_timeout_ms = 2000;
+    opts.idle_timeout_ms = idle_timeout_ms;
+    opts.max_conns = max_conns;
+    opts.max_frame_bytes = 1u << 20;
+    server_ = std::make_unique<Server>(opts);
+    server_->start();
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~HardenedServer() {
+    if (thread_.joinable()) {
+      server_->stop();
+      thread_.join();
+    }
+  }
+
+  const std::string& socket() const { return server_->socket_path(); }
+  json::Value healthz() {
+    json::Value req = json::Value::object();
+    req["op"] = "healthz";
+    return client_call(socket(), req);
+  }
+
+ private:
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+TEST(FuzzProtocol, RandomGarbageBytesNeverKillTheServer) {
+  HardenedServer fx("fuzz_garbage");
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<int> len_dist(1, 64);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int i = 0; i < 40; ++i) {
+    const int fd = connect_client(fx.socket());
+    std::string junk(static_cast<std::size_t>(len_dist(rng)), '\0');
+    for (auto& c : junk) c = static_cast<char>(byte_dist(rng));
+    (void)::send(fd, junk.data(), junk.size(), MSG_NOSIGNAL);
+    // Half the time vanish immediately; half the time linger a moment.
+    if (i % 2 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ::close(fd);
+  }
+  // The server took 40 rounds of garbage and still answers.
+  EXPECT_TRUE(fx.healthz().at("ok").as_bool());
+  EXPECT_EQ(fx.healthz().at("status").as_string(), "serving");
+}
+
+TEST(FuzzProtocol, TruncatedFrameCostsTheConnectionNotTheServer) {
+  HardenedServer fx("fuzz_truncated");
+  const int fd = connect_client(fx.socket());
+  const char prefix[4] = {0, 0, 0, 100};  // promises 100 bytes
+  ASSERT_EQ(::send(fd, prefix, 4, MSG_NOSIGNAL), 4);
+  ASSERT_EQ(::send(fd, "abc", 3, MSG_NOSIGNAL), 3);
+  ::close(fd);  // ...but delivers 3 and vanishes
+  EXPECT_TRUE(fx.healthz().at("ok").as_bool());
+}
+
+TEST(FuzzProtocol, OversizedPrefixGetsOneCleanErrorReplyThenClose) {
+  HardenedServer fx("fuzz_oversized");
+  const int fd = connect_client(fx.socket());
+  // 2 MiB prefix against the fixture's 1 MiB cap.
+  const std::uint32_t huge = 2u << 20;
+  const char prefix[4] = {static_cast<char>(huge >> 24),
+                          static_cast<char>(huge >> 16),
+                          static_cast<char>(huge >> 8),
+                          static_cast<char>(huge)};
+  ASSERT_EQ(::send(fd, prefix, 4, MSG_NOSIGNAL), 4);
+  const auto reply = read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  const json::Value v = json::Value::parse(*reply);
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_NE(v.at("error").as_string().find("cap"), std::string::npos);
+  // The stream is unrecoverable: the server closes after the diagnosis.
+  EXPECT_EQ(read_frame(fd), std::nullopt);
+  ::close(fd);
+  EXPECT_TRUE(fx.healthz().at("ok").as_bool());
+}
+
+TEST(FuzzProtocol, InvalidJsonGetsAnErrorReplyAndKeepsTheConnection) {
+  HardenedServer fx("fuzz_badjson");
+  const int fd = connect_client(fx.socket());
+  write_frame(fd, "{this is not json");
+  const auto reply = read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(json::Value::parse(*reply).at("ok").as_bool());
+  // Framing stayed intact, so the SAME connection still serves.
+  json::Value req = json::Value::object();
+  req["op"] = "healthz";
+  write_frame(fd, req.dump());
+  const auto next = read_frame(fd);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(json::Value::parse(*next).at("ok").as_bool());
+  ::close(fd);
+}
+
+TEST(FuzzProtocol, ChunkedDeliveryReassemblesExactly) {
+  // The short-read regression: a peer dribbling one frame across many
+  // tiny writes (prefix split 2+2, payload in 7-byte chunks) must
+  // reassemble byte-for-byte -- the old MSG_WAITALL prefix read and
+  // non-looping recv could tear this.
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  std::string payload(1013, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<char>('a' + i % 26);
+  std::thread writer([&] {
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const char prefix[4] = {static_cast<char>(len >> 24),
+                            static_cast<char>(len >> 16),
+                            static_cast<char>(len >> 8),
+                            static_cast<char>(len)};
+    ASSERT_EQ(::send(sp[0], prefix, 2, MSG_NOSIGNAL), 2);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(::send(sp[0], prefix + 2, 2, MSG_NOSIGNAL), 2);
+    for (std::size_t off = 0; off < payload.size(); off += 7) {
+      const std::size_t n = std::min<std::size_t>(7, payload.size() - off);
+      ASSERT_EQ(::send(sp[0], payload.data() + off, n, MSG_NOSIGNAL),
+                static_cast<ssize_t>(n));
+      if (off % 91 == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const auto got = read_frame(sp[1]);
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+TEST(FuzzProtocol, PartialWritesResumeAcrossAFullSocketBuffer) {
+  // The short-write regression from the other side: write_frame pushing a
+  // multi-megabyte frame through a shrunken send buffer while the reader
+  // drains slowly -- every send() below accepts only part of the data.
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const int small = 8 * 1024;
+  ASSERT_EQ(::setsockopt(sp[0], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small)),
+            0);
+  std::string payload(3u << 20, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<char>(i * 2654435761u >> 24);
+  std::thread writer([&] { write_frame(sp[0], payload); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // fill it up
+  const auto got = read_frame(sp[1]);
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+TEST(FuzzProtocol, ConnectionLimitRefusesPolitelyAndRecovers) {
+  HardenedServer fx("fuzz_connlimit", 0, 1);
+  const int held = connect_client(fx.socket());
+  {
+    // Prove the first connection is live (and therefore counted).
+    json::Value req = json::Value::object();
+    req["op"] = "healthz";
+    write_frame(held, req.dump());
+    ASSERT_TRUE(read_frame(held).has_value());
+  }
+  // The second connection is over the cap: one error reply, then close.
+  const int refused = connect_client(fx.socket());
+  const auto reply = read_frame(refused);
+  ASSERT_TRUE(reply.has_value());
+  const json::Value v = json::Value::parse(*reply);
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_NE(v.at("error").as_string().find("connection limit"),
+            std::string::npos);
+  EXPECT_EQ(read_frame(refused), std::nullopt);
+  ::close(refused);
+
+  // Release the held slot; the server accepts again (the accept loop
+  // reaps the finished connection thread on the next arrival).
+  ::close(held);
+  bool recovered = false;
+  for (int i = 0; i < 100 && !recovered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    try {
+      recovered = fx.healthz().at("ok").as_bool();
+    } catch (const Error&) {
+      // refused again: the reap had not caught up yet; retry
+    }
+  }
+  EXPECT_TRUE(recovered);
+}
+
+TEST(FuzzProtocol, IdleReaperClosesSilentConnections) {
+  HardenedServer fx("fuzz_idle", /*idle_timeout_ms=*/100);
+  const int fd = connect_client(fx.socket());
+  const auto t0 = std::chrono::steady_clock::now();
+  // Send nothing; the server must hang up on us, not park a thread.
+  EXPECT_EQ(read_frame(fd), std::nullopt);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::seconds(5));
+  ::close(fd);
+  EXPECT_TRUE(fx.healthz().at("ok").as_bool());
+}
+
+}  // namespace
+}  // namespace bricksim::serve

@@ -1,0 +1,263 @@
+// Cross-process sweep leases (harness/lease.h): claim protocol, liveness
+// via heartbeats, stale-lease takeover, the lease.steal fault site, and
+// the broker-level guarantee the whole module exists for: two brokers on
+// one cache directory simulate a cold sweep exactly once, and a peer
+// adopts a SIGKILLed owner's stale lease instead of waiting forever.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "common/fault.h"
+#include "common/json.h"
+#include "harness/harness.h"
+#include "harness/lease.h"
+#include "harness/sweepcache.h"
+#include "serve/broker.h"
+
+namespace bricksim::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+SweepConfig small_config(int stencil_radius = 1) {
+  SweepConfig config;
+  config.domain = {64, 64, 64};
+  config.platforms = {model::paper_platforms().front()};
+  config.stencils = {dsl::Stencil::star(stencil_radius)};
+  config.variants = {codegen::Variant::Array};
+  config.jobs = 1;
+  return config;
+}
+
+/// A lease record whose owner will never heartbeat again -- what a
+/// SIGKILLed daemon leaves on disk.
+void plant_dead_lease(const std::string& dir, const std::string& fp,
+                      long ttl_ms, long heartbeat_ms_ago) {
+  json::Value v = json::Value::object();
+  v["schema"] = kLeaseSchema;
+  v["owner"] = "deadhost:999999:42";
+  v["fingerprint"] = fp;
+  v["ttl_ms"] = ttl_ms;
+  v["heartbeat_ms"] =
+      static_cast<long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()) -
+      heartbeat_ms_ago;
+  std::ofstream out(lease_path(dir, fp), std::ios::binary | std::ios::trunc);
+  out << v.dump() << "\n";
+}
+
+TEST(Lease, AcquireStampReleaseRoundTrip) {
+  const fs::path dir = fresh_dir("lease_basic");
+  SweepLease lease(dir.string(), "abcd1234", 1000);
+  EXPECT_EQ(lease.try_acquire(), SweepLease::Outcome::Acquired);
+  EXPECT_TRUE(lease.owned());
+  EXPECT_EQ(lease.path(), lease_path(dir.string(), "abcd1234"));
+
+  const auto info = read_lease(lease.path());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->owner, lease.owner_id());
+  EXPECT_EQ(info->fingerprint, "abcd1234");
+  EXPECT_EQ(info->ttl_ms, 1000);
+  EXPECT_FALSE(info->stale);
+
+  lease.release();
+  EXPECT_FALSE(lease.owned());
+  EXPECT_FALSE(fs::exists(lease.path()));
+  lease.release();  // idempotent
+}
+
+TEST(Lease, LivePeerHoldsOutContenders) {
+  const fs::path dir = fresh_dir("lease_held");
+  SweepLease owner(dir.string(), "fp1", 60000);
+  ASSERT_EQ(owner.try_acquire(), SweepLease::Outcome::Acquired);
+
+  SweepLease contender(dir.string(), "fp1", 60000);
+  EXPECT_EQ(contender.try_acquire(), SweepLease::Outcome::Held);
+  EXPECT_FALSE(contender.owned());
+  // The loser did not clobber the holder's record.
+  EXPECT_EQ(read_lease(owner.path())->owner, owner.owner_id());
+
+  // A DIFFERENT fingerprint is an unrelated lease.
+  SweepLease other(dir.string(), "fp2", 60000);
+  EXPECT_EQ(other.try_acquire(), SweepLease::Outcome::Acquired);
+}
+
+TEST(Lease, HeartbeatKeepsALeaseFreshPastItsTtl) {
+  const fs::path dir = fresh_dir("lease_beat");
+  SweepLease owner(dir.string(), "fp1", 150);
+  ASSERT_EQ(owner.try_acquire(), SweepLease::Outcome::Acquired);
+  {
+    LeaseHeartbeat hb(owner);
+    // Far past the raw ttl, the heartbeat keeps the record fresh.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    SweepLease contender(dir.string(), "fp1", 150);
+    EXPECT_EQ(contender.try_acquire(), SweepLease::Outcome::Held);
+    EXPECT_FALSE(hb.ousted());
+  }
+  // Heartbeat gone (the owner "died"): the lease goes stale and is stolen.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  SweepLease thief(dir.string(), "fp1", 150);
+  EXPECT_EQ(thief.try_acquire(), SweepLease::Outcome::Stolen);
+  EXPECT_TRUE(thief.owned());
+  // The old owner discovers the steal on its next heartbeat and stands
+  // down without touching the thief's record.
+  EXPECT_FALSE(owner.heartbeat());
+  EXPECT_FALSE(owner.owned());
+  owner.release();
+  EXPECT_EQ(read_lease(thief.path())->owner, thief.owner_id());
+}
+
+TEST(Lease, StaleRecordFromASigkilledOwnerIsStolen) {
+  const fs::path dir = fresh_dir("lease_stale");
+  const std::string fp = "deadfp01";
+  plant_dead_lease(dir.string(), fp, 100, 500);  // 5x past its ttl
+
+  SweepLease thief(dir.string(), fp, 100);
+  EXPECT_EQ(thief.try_acquire(), SweepLease::Outcome::Stolen);
+  EXPECT_EQ(read_lease(thief.path())->owner, thief.owner_id());
+}
+
+TEST(Lease, UnreadableRecordIsClaimedLikeAStaleOne) {
+  const fs::path dir = fresh_dir("lease_garbage");
+  const std::string fp = "garbled1";
+  {
+    std::ofstream out(lease_path(dir.string(), fp));
+    out << "not json at all";
+  }
+  SweepLease thief(dir.string(), fp, 1000);
+  EXPECT_EQ(thief.try_acquire(), SweepLease::Outcome::Stolen);
+}
+
+TEST(Lease, FaultSiteForcesADeterministicSteal) {
+  const fs::path dir = fresh_dir("lease_fault");
+  SweepLease owner(dir.string(), "fp1", 60000);
+  ASSERT_EQ(owner.try_acquire(), SweepLease::Outcome::Acquired);
+
+  fault::ScopedPlan plan("lease.steal@1");
+  SweepLease thief(dir.string(), "fp1", 60000);
+  EXPECT_EQ(thief.try_acquire(), SweepLease::Outcome::Stolen);
+  EXPECT_FALSE(owner.heartbeat());  // ousted, but its sweep would continue
+}
+
+TEST(Lease, TwoBrokersOneCacheDirSimulateAColdSweepOnce) {
+  const fs::path dir = fresh_dir("lease_two_brokers");
+  serve::SweepBroker::Options o;
+  o.cache_dir = dir.string();
+  o.workers = 1;
+  o.lease_ttl_ms = 5000;
+  serve::SweepBroker daemon_a(o);
+  serve::SweepBroker daemon_b(o);
+  std::atomic<int> simulations{0};
+  const auto count = [&](const std::string&) { simulations.fetch_add(1); };
+  daemon_a.set_pre_run_hook(count);
+  daemon_b.set_pre_run_hook(count);
+
+  const SweepConfig config = small_config();
+  const serve::Ticket ta = daemon_a.submit(config);
+  // Wait until daemon A's leader provably holds the lease (the pre-run
+  // hook fires after acquisition) before the second daemon contends --
+  // the deterministic half of the race; a fully simultaneous claim can
+  // at worst duplicate one simulation, never corrupt (harness/lease.h).
+  while (simulations.load() == 0) std::this_thread::yield();
+  const serve::Ticket tb = daemon_b.submit(config);
+  const serve::SweepResponse ra = ta.result.get();
+  const serve::SweepResponse rb = tb.result.get();
+
+  ASSERT_NE(ra.sweep, nullptr);
+  ASSERT_NE(rb.sweep, nullptr);
+  EXPECT_EQ(simulations.load(), 1);
+  EXPECT_EQ(sweep_to_json(*ra.sweep).dump(), sweep_to_json(*rb.sweep).dump());
+  // The follower either found the entry on disk outright or waited out
+  // the leader's lease; the lease files themselves are gone.
+  EXPECT_FALSE(fs::exists(lease_path(dir.string(), ra.fingerprint)));
+  const auto ca = daemon_a.counters();
+  const auto cb = daemon_b.counters();
+  EXPECT_EQ(ca.simulated + cb.simulated, 1);
+  EXPECT_EQ(ca.warm_disk + cb.warm_disk, 1);
+}
+
+TEST(Lease, BrokerStealsAStaleLeaseAndCompletesTheSweep) {
+  // A daemon SIGKILLed mid-sweep leaves a lease that goes stale; the next
+  // broker must expire it, adopt the fingerprint, and finish the job --
+  // not wait forever, not duplicate corruption.
+  const fs::path dir = fresh_dir("lease_takeover");
+  const SweepConfig config = small_config();
+  const std::string fp = fingerprint(config);
+  plant_dead_lease(dir.string(), fp, 100, 1000);
+
+  serve::SweepBroker::Options o;
+  o.cache_dir = dir.string();
+  o.workers = 1;
+  o.lease_ttl_ms = 100;
+  serve::SweepBroker broker(o);
+  const serve::SweepResponse resp = broker.submit(config).result.get();
+  EXPECT_EQ(resp.status, serve::RequestStatus::Simulated);
+  ASSERT_NE(resp.sweep, nullptr);
+
+  const auto c = broker.counters();
+  EXPECT_EQ(c.lease_steals, 1);
+  EXPECT_EQ(c.simulated, 1);
+  // The stolen lease was released after the store; the cache entry is
+  // there for the next daemon.
+  EXPECT_FALSE(fs::exists(lease_path(dir.string(), fp)));
+  serve::SweepBroker fresh(o);
+  EXPECT_EQ(fresh.request(config).status, serve::RequestStatus::WarmDisk);
+}
+
+TEST(Lease, HeldLeaseMakesAPeerPollDiskInsteadOfSimulating) {
+  // A live lease with no cache entry yet: the peer's leader must wait on
+  // the owner (counted as a lease_wait), then serve the owner's result
+  // from disk the moment it lands.
+  const fs::path dir = fresh_dir("lease_poll");
+  const SweepConfig config = small_config();
+  const std::string fp = fingerprint(config);
+
+  SweepLease owner(dir.string(), fp, 60000);
+  ASSERT_EQ(owner.try_acquire(), SweepLease::Outcome::Acquired);
+
+  serve::SweepBroker::Options o;
+  o.cache_dir = dir.string();
+  o.workers = 1;
+  o.lease_ttl_ms = 60000;
+  serve::SweepBroker peer(o);
+  std::atomic<int> simulations{0};
+  peer.set_pre_run_hook([&](const std::string&) { simulations.fetch_add(1); });
+  const serve::Ticket ticket = peer.submit(config);
+
+  // While the owner holds the lease, the peer must not simulate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(simulations.load(), 0);
+  EXPECT_EQ(ticket.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+
+  // The "owner" (another process in production) completes the sweep,
+  // stores it, and releases -- the peer unblocks with the disk entry.
+  {
+    serve::SweepBroker::Options own;
+    own.cache_dir = dir.string();
+    serve::SweepBroker owner_broker(own);
+    ASSERT_EQ(owner_broker.request(config).status,
+              serve::RequestStatus::Simulated);
+  }
+  owner.release();
+  const serve::SweepResponse resp = ticket.result.get();
+  EXPECT_EQ(resp.status, serve::RequestStatus::WarmDisk);
+  EXPECT_EQ(simulations.load(), 0);
+  EXPECT_GE(peer.counters().lease_waits, 1);
+}
+
+}  // namespace
+}  // namespace bricksim::harness

@@ -7,7 +7,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <filesystem>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,9 +72,11 @@ TEST(Framing, TruncatedPayloadThrows) {
 }
 
 /// An in-process server on a fresh socket + cache, drained on destruction.
+/// `tweak` adjusts ServerOptions (queue bounds, timeouts, ...) before start.
 class ServerFixture {
  public:
-  explicit ServerFixture(const std::string& name) {
+  explicit ServerFixture(const std::string& name,
+                         std::function<void(ServerOptions&)> tweak = {}) {
     const fs::path root = fs::path(testing::TempDir()) / name;
     fs::remove_all(root);
     fs::create_directories(root);
@@ -78,6 +84,7 @@ class ServerFixture {
     opts.socket_path = (root / "s.sock").string();
     opts.cache_dir = (root / "cache").string();
     opts.workers = 2;
+    if (tweak) tweak(opts);
     server_ = std::make_unique<Server>(opts);
     server_->start();
     thread_ = std::thread([this] { server_->run(); });
@@ -228,7 +235,115 @@ TEST(Serve, LoadtestClientDrivesAMixedStorm) {
             counters.at("warm_memo").as_long() +
                 counters.at("coalesced").as_long() +
                 counters.at("cold_misses").as_long() +
-                counters.at("rejected").as_long());
+                counters.at("rejected").as_long() +
+                counters.at("overloaded").as_long());
+}
+
+TEST(Serve, OverloadShedsOverTheWireAndBackoffConverges) {
+  // One worker, a one-deep admission queue, and two parked leaders: a
+  // third distinct cold sweep is shed with a retry hint.  The query
+  // client's jittered backoff then converges once capacity frees up.
+  ServerFixture fx("serve_overload", [](ServerOptions& o) {
+    o.workers = 1;
+    o.max_queue = 1;
+  });
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> started{0};
+  fx.server().broker().set_pre_run_hook([&](const std::string&) {
+    started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return open; });
+  });
+
+  const auto sweep_req = [](long n) {
+    json::Value req = json::Value::object();
+    req["op"] = "sweep";
+    req["kind"] = "cpu";
+    req["n"] = n;
+    return req;
+  };
+  // Leader 1 occupies the worker; leader 2 fills the queue.
+  std::thread runner([&] { fx.call(sweep_req(64)); });
+  while (started.load() == 0) std::this_thread::yield();
+  std::thread waiter([&] { fx.call(sweep_req(128)); });
+  while (true) {
+    const json::Value c = fx.op("counters").at("counters");
+    if (c.at("queued").as_long() >= 1) break;
+    std::this_thread::yield();
+  }
+
+  const json::Value shed = fx.call(sweep_req(192));
+  ASSERT_TRUE(shed.at("ok").as_bool());
+  EXPECT_EQ(shed.at("status").as_string(), "overloaded");
+  EXPECT_GT(shed.at("retry_after_ms").as_long(), 0);
+
+  // The retrying client is launched WHILE the server is overloaded, then
+  // the gate opens: its backoff must land the request once capacity
+  // returns -- the convergence half of the admission-control contract.
+  const std::string socket_flag = "--socket=" + fx.server().socket_path();
+  std::atomic<int> query_rc{-1};
+  std::thread retrier([&] {
+    const std::vector<const char*> argv = {
+        "bricksim",    socket_flag.c_str(), "sweep", "--kind=cpu",
+        "--n=192",     "--retries=20"};
+    testing::internal::CaptureStdout();
+    query_rc.store(query_main(static_cast<int>(argv.size()), argv.data()));
+    const json::Value reply =
+        json::Value::parse(testing::internal::GetCapturedStdout());
+    EXPECT_NE(reply.at("status").as_string(), "overloaded");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+  }
+  cv.notify_all();
+  runner.join();
+  waiter.join();
+  retrier.join();
+  EXPECT_EQ(query_rc.load(), 0);
+
+  const json::Value counters = fx.op("counters").at("counters");
+  EXPECT_GE(counters.at("overloaded").as_long(), 1);
+  EXPECT_EQ(counters.at("requests").as_long(),
+            counters.at("warm_memo").as_long() +
+                counters.at("coalesced").as_long() +
+                counters.at("cold_misses").as_long() +
+                counters.at("rejected").as_long() +
+                counters.at("overloaded").as_long());
+  EXPECT_GT(counters.at("p50_ms").as_double(), 0.0);
+}
+
+TEST(Serve, LoadtestRetriesThroughAnOverloadStorm) {
+  // A storm of distinct colds at 4x the admission bound against one
+  // worker: shedding must kick in, every client must converge through
+  // backoff (zero gave_up), and nothing may hang or error.
+  ServerFixture fx("serve_overload_storm", [](ServerOptions& o) {
+    o.workers = 1;
+    o.max_queue = 1;
+  });
+  const std::string socket_flag = "--socket=" + fx.server().socket_path();
+  const std::vector<const char*> argv = {
+      "bricksim",      socket_flag.c_str(),
+      "--requests=16", "--threads=8",
+      "--kind=cpu",    "--hot-n=64",
+      "--cold-ns=128,192", "--cold-every=2",
+      "--retries=25"};
+  testing::internal::CaptureStdout();
+  const int rc = loadtest_main(static_cast<int>(argv.size()), argv.data());
+  const json::Value tally =
+      json::Value::parse(testing::internal::GetCapturedStdout());
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(tally.at("protocol_errors").as_long(), 0);
+  EXPECT_EQ(tally.at("gave_up").as_long(), 0);
+  EXPECT_EQ(tally.at("succeeded").as_long(), 16);
+  EXPECT_GE(tally.at("p99_ms").as_double(), tally.at("p50_ms").as_double());
+  // Client-side and server-side shed accounting agree.
+  const json::Value counters = fx.op("counters").at("counters");
+  EXPECT_EQ(tally.at("shed").as_long(),
+            counters.at("overloaded").as_long());
 }
 
 }  // namespace
